@@ -1,0 +1,90 @@
+/// \file Ablation: the contribution of the element level (the paper's key
+/// design addition over the CUDA/OpenCL grid-block-thread hierarchy,
+/// Sec. 3.2.4).
+///
+/// The single-source tiled DGEMM runs with a sweep of elements-per-thread
+/// values on the CPU and on the simulated GPU, everything else fixed. The
+/// paper's claim: element-level tiling is what lets one source exploit
+/// vector units (CPU) and per-thread arithmetic density (GPU); V = 1
+/// reduces the kernel to the classic thread-per-element form and loses
+/// that performance.
+#include "gemm_common.hpp"
+
+using namespace alpaka;
+using benchgemm::Size;
+
+namespace
+{
+    template<typename TAcc, typename TStream>
+    void sweepElements(
+        char const* label,
+        Size n,
+        Vec<Dim2, Size> const& blockThreads,
+        std::vector<Vec<Dim2, Size>> const& elementShapes)
+    {
+        std::cout << '\n' << label << " (n = " << n << "):\n";
+        bench::Table table({"elems/thread", "shape", "t [ms]", "GFLOPS", "vs V=1"});
+        double baseline = 0.0;
+        for(auto const& elems : elementShapes)
+        {
+            auto const workDiv = workload::gemmTiledWorkDiv(n, blockThreads, elems);
+            double err = 0.0;
+            auto const seconds = benchgemm::timeAlpakaGemm<TAcc, TStream>(
+                n,
+                workload::GemmTiledElemKernel{},
+                workDiv,
+                &err);
+            if(baseline == 0.0)
+                baseline = seconds;
+            table.addRow(
+                {std::to_string(elems.prod()),
+                 std::to_string(elems[0]) + "x" + std::to_string(elems[1]),
+                 bench::fmt(seconds * 1e3, 2),
+                 bench::fmt(bench::gflops(workload::gemmFlops(n), seconds), 3),
+                 bench::fmt(baseline / seconds, 2)});
+            if(err > 1e-9)
+                std::cout << "WARNING: wrong results at V=" << elems.prod() << "\n";
+        }
+        table.print(std::cout);
+        table.printCsv(std::cout);
+    }
+} // namespace
+
+auto main() -> int
+{
+    bench::banner(
+        std::cout,
+        "Ablation: elements-per-thread sweep of the single-source tiled DGEMM",
+        "paper Sec. 3.2.4: the element level enables vectorization and caching");
+
+    Size const nCpu = bench::fullSweep() ? 512 : 384;
+    sweepElements<acc::AccCpuOmp2Blocks<Dim2, Size>, stream::StreamCpuSync>(
+        "CPU (Omp2Blocks, 1 thread per block)",
+        nCpu,
+        Vec<Dim2, Size>::ones(),
+        {Vec<Dim2, Size>(Size{1}, Size{1}),
+         Vec<Dim2, Size>(Size{2}, Size{2}),
+         Vec<Dim2, Size>(Size{4}, Size{4}),
+         Vec<Dim2, Size>(Size{8}, Size{8}),
+         Vec<Dim2, Size>(Size{16}, Size{16}),
+         Vec<Dim2, Size>(Size{32}, Size{32}),
+         Vec<Dim2, Size>(Size{64}, Size{64}),
+         Vec<Dim2, Size>(Size{128}, Size{128})});
+
+    Size const nSim = bench::fullSweep() ? 256 : 128;
+    sweepElements<acc::AccGpuCudaSim<Dim2, Size>, stream::StreamCudaSimAsync>(
+        "Simulated GPU (8x8 thread blocks)",
+        nSim,
+        Vec<Dim2, Size>(Size{8}, Size{8}),
+        {Vec<Dim2, Size>(Size{1}, Size{1}),
+         Vec<Dim2, Size>(Size{1}, Size{2}),
+         Vec<Dim2, Size>(Size{1}, Size{4}),
+         Vec<Dim2, Size>(Size{2}, Size{4}),
+         Vec<Dim2, Size>(Size{2}, Size{8})});
+
+    std::cout << "\nReading: on the CPU, performance rises with the element tile until the\n"
+              << "tile outgrows the cache; on the simulated GPU, more elements per thread\n"
+              << "amortize the per-thread scheduling overhead (and on real GPUs, register\n"
+              << "tiling) until shared memory pressure pushes back.\n";
+    return 0;
+}

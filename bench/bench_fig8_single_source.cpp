@@ -1,0 +1,106 @@
+/// \file Reproduces paper Fig. 8: the single-source hierarchically tiled
+/// DGEMM kernel (Fig. 7) competes with — and can outperform — the native
+/// implementations on every back-end.
+///
+/// Series, mirroring the paper's legend:
+///  * Alpaka(CudaSim) tiling, 4 elements/thread, vs native simulator kernel
+///  * Alpaka(CudaSim) tiling, 1 element/thread,  vs native simulator kernel
+///  * Alpaka(Omp2Blocks) tiling, 16k elements (128x128), vs native OpenMP
+///  * Alpaka(Omp2Blocks) tiling, 256 elements (16x16),   vs native OpenMP
+#include "gemm_common.hpp"
+
+using namespace alpaka;
+using benchgemm::Size;
+
+namespace
+{
+    bool ok = true;
+
+    template<typename TAcc, typename TStream>
+    void runSeries(
+        char const* label,
+        bool simulator,
+        Vec<Dim2, Size> const& blockThreads,
+        Vec<Dim2, Size> const& threadElems,
+        double (*nativeTimer)(Size))
+    {
+        std::cout << '\n' << label << ":\n";
+        bench::Table table({"n", "t_native [ms]", "t_alpaka [ms]", "speedup", "GFLOPS", "maxRelErr"});
+        for(auto const n : benchgemm::extentSweep(simulator))
+        {
+            auto const workDiv = workload::gemmTiledWorkDiv(n, blockThreads, threadElems);
+            double err = 0.0;
+            auto const tAlpaka = benchgemm::timeAlpakaGemm<TAcc, TStream>(
+                n,
+                workload::GemmTiledElemKernel{},
+                workDiv,
+                &err);
+            auto const tNative = nativeTimer(n);
+            table.addRow(
+                {std::to_string(n),
+                 bench::fmt(tNative * 1e3, 2),
+                 bench::fmt(tAlpaka * 1e3, 2),
+                 bench::fmt(tNative / tAlpaka, 3),
+                 bench::fmt(bench::gflops(workload::gemmFlops(n), tAlpaka), 3),
+                 bench::fmt(err, 12)});
+            ok = ok && err < 1e-9;
+        }
+        table.print(std::cout);
+        table.printCsv(std::cout);
+    }
+
+    auto nativeSimTimer(Size n) -> double
+    {
+        return benchgemm::timeNativeSim(n);
+    }
+    auto nativeOmpTimer(Size n) -> double
+    {
+        return benchgemm::timeNativeOmp(n);
+    }
+} // namespace
+
+auto main() -> int
+{
+    bench::banner(
+        std::cout,
+        "Fig. 8: single-source tiled DGEMM vs native implementations",
+        "one kernel source, per-architecture work divisions (paper Fig. 7 algorithm)");
+
+    using AccSim = acc::AccGpuCudaSim<Dim2, Size>;
+    using AccCpu = acc::AccCpuOmp2Blocks<Dim2, Size>;
+
+    runSeries<AccSim, stream::StreamCudaSimAsync>(
+        "Alpaka(CudaSim) tiling, 4 elements/thread (8x8 threads, 1x4 elems)",
+        true,
+        Vec<Dim2, Size>(Size{8}, Size{8}),
+        Vec<Dim2, Size>(Size{1}, Size{4}),
+        &nativeSimTimer);
+
+    runSeries<AccSim, stream::StreamCudaSimAsync>(
+        "Alpaka(CudaSim) tiling, 1 element/thread (8x8 threads, 1x1 elems)",
+        true,
+        Vec<Dim2, Size>(Size{8}, Size{8}),
+        Vec<Dim2, Size>(Size{1}, Size{1}),
+        &nativeSimTimer);
+
+    runSeries<AccCpu, stream::StreamCpuSync>(
+        "Alpaka(Omp2Blocks) tiling, 16k elements/thread (1x1 threads, 128x128 elems)",
+        false,
+        Vec<Dim2, Size>::ones(),
+        Vec<Dim2, Size>(Size{128}, Size{128}),
+        &nativeOmpTimer);
+
+    runSeries<AccCpu, stream::StreamCpuSync>(
+        "Alpaka(Omp2Blocks) tiling, 256 elements/thread (1x1 threads, 16x16 elems)",
+        false,
+        Vec<Dim2, Size>::ones(),
+        Vec<Dim2, Size>(Size{16}, Size{16}),
+        &nativeOmpTimer);
+
+    std::cout << "\npaper expectation: the tiled single-source kernel competes with (and at\n"
+              << "larger extents outperforms) the natives on every back-end; the CPU series\n"
+              << "gain comes from cache blocking, the GPU series from higher arithmetic\n"
+              << "density per thread.\n"
+              << (ok ? "Fig. 8 reproduction: PASS (all results correct)\n" : "Fig. 8 reproduction: FAIL\n");
+    return ok ? 0 : 1;
+}

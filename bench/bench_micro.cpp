@@ -1,0 +1,217 @@
+/// \file google-benchmark micro suite backing the overhead analysis of the
+/// figures: costs of the individual moving parts (context switch, barrier,
+/// enqueue, kernel launch, copies, RNG, index math).
+#include <alpaka/alpaka.hpp>
+#include <fiber/fiber.hpp>
+#include <gpusim/gpusim.hpp>
+#include <workload/kernels.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct EmptyKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const&) const
+        {
+        }
+    };
+} // namespace
+
+// ---------------------------------------------------------------- fibers
+
+static void BM_FiberSwitch(benchmark::State& state)
+{
+    fiber::Scheduler sched(fiber::SchedulerConfig{
+        64 * 1024,
+        state.range(0) == 0 ? fiber::SwitchImpl::Asm : fiber::SwitchImpl::Ucontext});
+    for(auto _ : state)
+    {
+        state.PauseTiming();
+        auto const before = sched.switchCount();
+        state.ResumeTiming();
+        sched.run(
+            2,
+            [](std::size_t)
+            {
+                for(int i = 0; i < 1000; ++i)
+                    fiber::Scheduler::yield();
+            });
+        state.counters["switches"] = static_cast<double>(sched.switchCount() - before);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 1000);
+}
+BENCHMARK(BM_FiberSwitch)->Arg(0)->Arg(1)->ArgNames({"impl(0=asm,1=ucontext)"});
+
+static void BM_FiberBarrier(benchmark::State& state)
+{
+    auto const participants = static_cast<std::size_t>(state.range(0));
+    fiber::Scheduler sched;
+    fiber::Barrier barrier(participants);
+    for(auto _ : state)
+    {
+        sched.run(
+            participants,
+            [&](std::size_t)
+            {
+                for(int i = 0; i < 100; ++i)
+                    barrier.arriveAndWait();
+            });
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FiberBarrier)->Arg(4)->Arg(32)->Arg(128);
+
+// ---------------------------------------------------------------- streams
+
+static void BM_StreamCpuAsyncEnqueue(benchmark::State& state)
+{
+    stream::StreamCpuAsync stream(dev::PltfCpu::getDevByIdx(0));
+    for(auto _ : state)
+    {
+        stream.push([] {});
+    }
+    stream.wait();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamCpuAsyncEnqueue);
+
+static void BM_KernelLaunchSerial(benchmark::State& state)
+{
+    using Acc = acc::AccCpuSerial<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(1u, 1u, 1u);
+    auto const exec = exec::create<Acc>(wd, EmptyKernel{});
+    for(auto _ : state)
+    {
+        stream::enqueue(stream, exec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelLaunchSerial);
+
+static void BM_KernelLaunchCudaSim(benchmark::State& state)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(dev);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(
+        static_cast<Size>(state.range(0)),
+        static_cast<Size>(state.range(1)),
+        Size{1});
+    auto const exec = exec::create<Acc>(wd, EmptyKernel{});
+    for(auto _ : state)
+    {
+        stream::enqueue(stream, exec);
+        wait::wait(stream);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1));
+}
+BENCHMARK(BM_KernelLaunchCudaSim)->Args({1, 32})->Args({32, 32})->Args({32, 256})
+    ->ArgNames({"blocks", "threads"});
+
+// ---------------------------------------------------------------- memory
+
+static void BM_CopyHostToSim(benchmark::State& state)
+{
+    auto const bytes = static_cast<Size>(state.range(0));
+    auto const n = bytes / sizeof(double);
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(dev);
+    auto hostBuf = mem::buf::alloc<double, Size>(host, n);
+    auto devBuf = mem::buf::alloc<double, Size>(dev, n);
+    Vec<Dim1, Size> const extent(n);
+    for(auto _ : state)
+    {
+        mem::view::copy(stream, devBuf, hostBuf, extent);
+        wait::wait(stream);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CopyHostToSim)->Arg(4 << 10)->Arg(1 << 20)->Arg(16 << 20);
+
+static void BM_BufAllocFreeCpu(benchmark::State& state)
+{
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    for(auto _ : state)
+    {
+        auto buf = mem::buf::alloc<double, Size>(host, Size{1024});
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufAllocFreeCpu);
+
+static void BM_BufAllocFreeSim(benchmark::State& state)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    for(auto _ : state)
+    {
+        auto buf = mem::buf::alloc<double, Size>(dev, Size{1024});
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufAllocFreeSim);
+
+// ------------------------------------------------------------------ RNG
+
+static void BM_PhiloxThroughput(benchmark::State& state)
+{
+    rand::Philox4x32x10 engine(42, 0);
+    std::uint32_t sink = 0;
+    for(auto _ : state)
+    {
+        for(int i = 0; i < 1024; ++i)
+            sink += engine();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PhiloxThroughput);
+
+static void BM_UniformDouble(benchmark::State& state)
+{
+    rand::Philox4x32x10 engine(42, 0);
+    rand::distribution::UniformReal<double> uniform;
+    double sink = 0;
+    for(auto _ : state)
+    {
+        for(int i = 0; i < 1024; ++i)
+            sink += uniform(engine);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_UniformDouble);
+
+// ------------------------------------------------------------- index math
+
+static void BM_MapIdxRoundTrip(benchmark::State& state)
+{
+    Vec<Dim3, Size> extent(32, 64, 128);
+    benchmark::DoNotOptimize(extent); // defeat constant folding of the loop
+    Size sink = 0;
+    for(auto _ : state)
+    {
+        for(Size linear = 0; linear < 4096; ++linear)
+        {
+            Vec<Dim1, Size> idx(linear);
+            benchmark::DoNotOptimize(idx);
+            auto const nd = core::mapIdx<3>(idx, extent);
+            sink += core::mapIdx<1>(nd, extent)[0];
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MapIdxRoundTrip);
+
+BENCHMARK_MAIN();

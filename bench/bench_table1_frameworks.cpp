@@ -1,0 +1,103 @@
+/// \file Reproduces paper Table 1: properties of intra-node parallelization
+/// frameworks.
+///
+/// The table is qualitative; its content is encoded as structured data and
+/// rendered in the paper's format. For this library itself the claims are
+/// not just asserted but cross-referenced against the test suite (each
+/// property cites the tests that exercise it).
+#include <bench_util/bench_util.hpp>
+
+#include <array>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace
+{
+    enum class Rating
+    {
+        Yes,
+        Partial,
+        No
+    };
+
+    [[nodiscard]] auto symbol(Rating r) -> std::string
+    {
+        switch(r)
+        {
+        case Rating::Yes:
+            return "yes";
+        case Rating::Partial:
+            return "part";
+        case Rating::No:
+            return "no";
+        }
+        return "?";
+    }
+
+    struct Framework
+    {
+        std::string name;
+        // openness, single source, sustainability, heterogeneity,
+        // maintainability, testability, optimizability, data agnostic
+        std::array<Rating, 8> ratings;
+    };
+
+    using enum Rating;
+
+    std::vector<Framework> const table{
+        {"NVIDIA CUDA", {No, Yes, No, No, No, No, Partial, Yes}},
+        {"PGI CUDA-x86", {No, Yes, Partial, Yes, Yes, Yes, No, Yes}},
+        {"GPU Ocelot", {Yes, Yes, Partial, Yes, Yes, Yes, No, Yes}},
+        {"OpenMP", {Yes, Yes, Yes, Partial, Partial, Yes, No, Yes}},
+        {"OpenACC", {Yes, Yes, Partial, Partial, Yes, Yes, No, Yes}},
+        {"OpenCL", {Yes, Partial, Yes, Yes, Yes, Yes, No, Yes}},
+        {"SYCL", {Yes, Yes, Partial, Yes, Yes, Partial, Partial, Yes}},
+        {"C++AMP", {Yes, Yes, Partial, Partial, Yes, Partial, No, Partial}},
+        {"KOKKOS", {Yes, Yes, Yes, Yes, Yes, Yes, No, Partial}},
+        {"Thrust", {Yes, Yes, Yes, Yes, Yes, Yes, No, No}},
+        {"Alpaka", {Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes}},
+    };
+} // namespace
+
+auto main() -> int
+{
+    bench::banner(
+        std::cout,
+        "Table 1: Properties of intra-node parallelization frameworks",
+        "yes / part(ially) / no - as rated in the paper (Zenker et al. 2016)");
+
+    bench::Table out(
+        {"Model",
+         "Openness",
+         "SingleSource",
+         "Sustainability",
+         "Heterogeneity",
+         "Maintainability",
+         "Testability",
+         "Optimizability",
+         "DataAgnostic"});
+    for(auto const& fw : table)
+    {
+        std::vector<std::string> row{fw.name};
+        for(auto const r : fw.ratings)
+            row.push_back(symbol(r));
+        out.addRow(std::move(row));
+    }
+    out.print(std::cout);
+    out.printCsv(std::cout);
+
+    std::cout << "\nEvidence backing the Alpaka row within this reproduction:\n"
+              << "  Openness         - all sources in this repository, no proprietary dependency\n"
+              << "  Single source    - one kernel text per algorithm (tests/workload/test_gemm_kernels.cpp\n"
+              << "                     runs the identical GemmTiledElemKernel on six back-ends)\n"
+              << "  Sustainability   - porting = change one `using Acc` line (examples/quickstart.cpp)\n"
+              << "  Heterogeneity    - CPU + simulated-GPU back-ends concurrently in one binary\n"
+              << "                     (tests/integration: CpuAndSimBackendsRunConcurrentlyInOneProgram)\n"
+              << "  Maintainability  - back-ends added via trait specialization, not app changes\n"
+              << "  Testability      - cross-back-end bit-equality tests (CrossBackend.IdenticalResultsEverywhere)\n"
+              << "  Optimizability   - explicit work division + element level + shared memory control\n"
+              << "                     (bench_fig8_single_source)\n"
+              << "  Data agnostic    - plain-pointer buffers, kernels take raw pointers + pitches\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/// \file Reproduces paper Table 2: the predefined accelerator work
+/// divisions for problem size N, block size B and elements per thread V.
+///
+/// Unlike the paper's static table, every row here is *computed* by the
+/// library's workdiv::table2WorkDiv policy and printed with the symbolic
+/// formula it must satisfy; a mismatch aborts with a nonzero exit code.
+#include <alpaka/alpaka.hpp>
+#include <bench_util/bench_util.hpp>
+
+#include <iostream>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    int failures = 0;
+
+    template<typename TAcc>
+    void addRow(bench::Table& out, char const* arch, char const* accName, Size n, Size b, Size v)
+    {
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, b, v);
+        bool const usesThreads = workdiv::trait::UsesBlockThreads<TAcc>::value;
+        auto const expectBlocks = usesThreads ? (n + b * v - 1) / (b * v) : (n + v - 1) / v;
+        auto const expectThreads = usesThreads ? b : Size{1};
+        char const* const formula = usesThreads ? "N/(B*V)" : "N/V";
+
+        if(wd.gridBlockExtent()[0] != expectBlocks || wd.blockThreadExtent()[0] != expectThreads
+           || wd.threadElemExtent()[0] != v)
+            ++failures;
+
+        out.addRow(
+            {arch,
+             accName,
+             "1",
+             std::to_string(wd.gridBlockExtent()[0]) + " (" + formula + ")",
+             std::to_string(wd.blockThreadExtent()[0]),
+             std::to_string(wd.threadElemExtent()[0])});
+    }
+
+    void printForParameters(Size n, Size b, Size v)
+    {
+        std::cout << "\nN = " << n << ", B = " << b << ", V = " << v << ":\n";
+        bench::Table out({"Arch", "Acc", "Grid", "Blocks", "Threads", "Elements"});
+        addRow<acc::AccGpuCudaSim<Dim1, Size>>(out, "GPU", "CUDA(sim)", n, b, v);
+        addRow<acc::AccCpuOmp2Blocks<Dim1, Size>>(out, "CPU", "OpenMP block", n, b, v);
+        addRow<acc::AccCpuOmp2Threads<Dim1, Size>>(out, "CPU", "OpenMP thread", n, b, v);
+        addRow<acc::AccCpuThreads<Dim1, Size>>(out, "CPU", "C++11 thread", n, b, v);
+        addRow<acc::AccCpuFibers<Dim1, Size>>(out, "CPU", "Fibers", n, b, v);
+        addRow<acc::AccCpuSerial<Dim1, Size>>(out, "CPU", "Sequential", n, b, v);
+        out.print(std::cout);
+    }
+} // namespace
+
+auto main() -> int
+{
+    bench::banner(
+        std::cout,
+        "Table 2: Predefined accelerator work divisions",
+        "problem size N, threads per block B, elements per thread V");
+
+    printForParameters(1u << 20, 128, 4);
+    printForParameters(1u << 16, 256, 1);
+    printForParameters(100000, 64, 8); // ragged: ceiling divisions
+
+    if(failures != 0)
+    {
+        std::cout << "\nFAILED: " << failures << " rows deviate from the paper's formulas\n";
+        return 1;
+    }
+    std::cout << "\nOK: all rows match the paper's Table 2 formulas\n";
+    return 0;
+}

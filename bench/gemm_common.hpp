@@ -1,0 +1,134 @@
+/// \file Shared machinery of the DGEMM figure benchmarks (Fig. 5/6/8/9).
+#pragma once
+
+#include <alpaka/alpaka.hpp>
+#include <bench_util/bench_util.hpp>
+#include <native/native.hpp>
+#include <workload/kernels.hpp>
+#include <workload/matrix.hpp>
+
+#include <iostream>
+#include <vector>
+
+namespace benchgemm
+{
+    using Size = std::size_t;
+
+    //! Matrix extent sweep; the paper sweeps up to 7000 on cluster
+    //! hardware, this substrate sweeps smaller sizes with the same shape.
+    [[nodiscard]] inline auto extentSweep(bool forSimulator) -> std::vector<Size>
+    {
+        if(bench::fullSweep())
+            return forSimulator ? std::vector<Size>{64, 128, 192, 256, 320, 384}
+                                : std::vector<Size>{128, 256, 384, 512, 640, 768};
+        return forSimulator ? std::vector<Size>{48, 96, 144, 192} : std::vector<Size>{96, 192, 288, 384};
+    }
+
+    //! Times one alpaka GEMM kernel launch (device buffers pre-staged,
+    //! matching the paper: "Measurements do not include times for
+    //! allocating the matrices on the host, filling them, a possible data
+    //! transfer ... as well as device and stream initialization").
+    template<typename TAcc, typename TStream, typename TKernel, typename TWorkDiv>
+    [[nodiscard]] auto timeAlpakaGemm(
+        Size n,
+        TKernel kernel,
+        TWorkDiv const& workDiv,
+        double* maxErrOut = nullptr,
+        Size devIdx = 0) -> double
+    {
+        using namespace alpaka;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(devIdx);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        workload::HostMatrix a(n, 1001);
+        workload::HostMatrix b(n, 1002);
+        workload::HostMatrix c(n, 1003);
+
+        Vec<Dim2, Size> const extent(n, n);
+        auto devA = mem::buf::alloc<double, Size>(devAcc, extent);
+        auto devB = mem::buf::alloc<double, Size>(devAcc, extent);
+        auto devC = mem::buf::alloc<double, Size>(devAcc, extent);
+        mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewA(a.data(), devHost, extent);
+        mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewB(b.data(), devHost, extent);
+        mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewC(c.data(), devHost, extent);
+        mem::view::copy(stream, devA, viewA, extent);
+        mem::view::copy(stream, devB, viewB, extent);
+        mem::view::copy(stream, devC, viewC, extent);
+        wait::wait(stream);
+
+        auto const exec = exec::create<TAcc>(
+            workDiv,
+            kernel,
+            n,
+            1.0,
+            static_cast<double const*>(devA.data()),
+            devA.rowPitchBytes() / sizeof(double),
+            static_cast<double const*>(devB.data()),
+            devB.rowPitchBytes() / sizeof(double),
+            0.0, // beta = 0: repeated in-place runs stay comparable
+            devC.data(),
+            devC.rowPitchBytes() / sizeof(double));
+
+        auto const seconds = bench::timeBestOf(
+            bench::defaultReps(),
+            [&]
+            {
+                stream::enqueue(stream, exec);
+                wait::wait(stream);
+            });
+
+        if(maxErrOut != nullptr)
+        {
+            mem::view::copy(stream, viewC, devC, extent);
+            wait::wait(stream);
+            auto ref = workload::HostMatrix(n, 1003).values;
+            workload::refGemm(n, 1.0, a.data(), n, b.data(), n, 0.0, ref.data(), n);
+            *maxErrOut = workload::maxRelDiff(c.values, ref);
+        }
+        return seconds;
+    }
+
+    //! Times the native OpenMP GEMM.
+    [[nodiscard]] inline auto timeNativeOmp(Size n) -> double
+    {
+        workload::HostMatrix a(n, 1001);
+        workload::HostMatrix b(n, 1002);
+        workload::HostMatrix c(n, 1003);
+        return bench::timeBestOf(
+            bench::defaultReps(),
+            [&] { native::omp::gemm(n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n); });
+    }
+
+    //! Times the native simulator (raw gpusim) tiled GEMM.
+    [[nodiscard]] inline auto timeNativeSim(Size n, unsigned tile = 8) -> double
+    {
+        auto& dev = gpusim::Platform::instance().device(0);
+        gpusim::Stream stream(dev, false);
+
+        workload::HostMatrix a(n, 1001);
+        workload::HostMatrix b(n, 1002);
+        workload::HostMatrix c(n, 1003);
+        auto const bytes = n * n * sizeof(double);
+        auto* const da = static_cast<double*>(dev.memory().allocate(bytes));
+        auto* const db = static_cast<double*>(dev.memory().allocate(bytes));
+        auto* const dc = static_cast<double*>(dev.memory().allocate(bytes));
+        stream.memcpyHtoD(da, a.data(), bytes);
+        stream.memcpyHtoD(db, b.data(), bytes);
+        stream.memcpyHtoD(dc, c.data(), bytes);
+        stream.wait();
+
+        auto const seconds = bench::timeBestOf(
+            bench::defaultReps(),
+            [&]
+            {
+                native::sim::gemmTiled(stream, n, 1.0, da, n, db, n, 0.0, dc, n, tile);
+                stream.wait();
+            });
+
+        dev.memory().free(da);
+        dev.memory().free(db);
+        dev.memory().free(dc);
+        return seconds;
+    }
+} // namespace benchgemm

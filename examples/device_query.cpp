@@ -1,0 +1,76 @@
+/// \file Device and accelerator enumeration (the alpaka analogue of CUDA's
+/// deviceQuery): lists every platform, device and accelerator with its
+/// execution limits — the information getValidWorkDiv derives divisions
+/// from.
+#include <alpaka/alpaka.hpp>
+
+#include <cstdio>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    template<typename TAcc, typename TDev>
+    void printAccLimits(TDev const& dev)
+    {
+        auto const props = acc::getAccDevProps<TAcc>(dev);
+        std::printf(
+            "    %-26s multiprocessors %-6zu threads/block <= %-6zu shared/block %zu KiB\n",
+            acc::getAccName<TAcc>().c_str(),
+            static_cast<std::size_t>(props.multiProcessorCount),
+            static_cast<std::size_t>(props.blockThreadCountMax),
+            props.sharedMemSizeBytes / 1024);
+    }
+} // namespace
+
+auto main() -> int
+{
+    std::printf("alpaka-repro %s device query\n", core::versionString());
+
+    std::printf("\nPltfCpu: %zu device(s)\n", dev::PltfCpu::getDevCount());
+    {
+        auto const dev = dev::PltfCpu::getDevByIdx(0);
+        std::printf("  [0] %s\n", dev.getName().c_str());
+        printAccLimits<acc::AccCpuSerial<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuThreads<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuFibers<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuOmp2Blocks<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuOmp2Threads<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuTaskBlocks<Dim1, Size>>(dev);
+        printAccLimits<acc::AccCpuOmp4<Dim1, Size>>(dev);
+    }
+
+    std::printf("\nPltfCudaSim: %zu device(s)\n", dev::PltfCudaSim::getDevCount());
+    for(Size i = 0; i < dev::PltfCudaSim::getDevCount(); ++i)
+    {
+        auto const dev = dev::PltfCudaSim::getDevByIdx(i);
+        auto const& spec = dev.spec();
+        std::printf(
+            "  [%zu] %s\n"
+            "      %u SMs @ %.3f GHz, warp %u, %.0f GFLOPS fp64 peak, %.0f GB/s\n"
+            "      global %zu MiB (free %zu MiB), resident %u threads/SM\n",
+            i,
+            dev.getName().c_str(),
+            spec.smCount,
+            spec.clockGHz,
+            spec.warpSize,
+            spec.peakGflopsFp64(),
+            spec.memBandwidthGBs,
+            dev.getMemBytes() / (1024 * 1024),
+            dev.getFreeMemBytes() / (1024 * 1024),
+            spec.maxResidentThreadsPerSM);
+        printAccLimits<acc::AccGpuCudaSim<Dim1, Size>>(dev);
+
+        // Show a derived work division, the practical use of the limits.
+        auto const wd = workdiv::getValidWorkDiv<acc::AccGpuCudaSim<Dim1, Size>>(
+            dev,
+            Vec<Dim1, Size>(Size{1} << 20));
+        std::printf(
+            "      derived 1M-element division: %zu blocks x %zu threads x %zu elems\n",
+            wd.gridBlockExtent()[0],
+            wd.blockThreadExtent()[0],
+            wd.threadElemExtent()[0]);
+    }
+    return 0;
+}

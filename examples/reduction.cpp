@@ -1,0 +1,124 @@
+/// \file Two-level parallel reduction using the uniformElements range
+/// helper, block shared memory and a grid atomic — runnable on every
+/// back-end via one template, selected on the command line.
+///
+/// Usage: reduction [backend] [n]
+#include <alpaka/alpaka.hpp>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct ReduceKernel
+    {
+        static constexpr Size maxThreads = 256;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* in, Size n, double* result) const
+        {
+            auto& tile = block::shared::st::allocVar<std::array<double, maxThreads>>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+
+            // Grid-strided accumulation: works for any grid size.
+            double local = 0.0;
+            for(auto const i : uniformElements(acc, n))
+                local += in[i];
+            tile[t] = local;
+            block::sync::syncBlockThreads(acc);
+
+            // Shared-memory tree within the block.
+            for(Size stride = bt / 2; stride > 0; stride /= 2)
+            {
+                if(t < stride)
+                    tile[t] += tile[t + stride];
+                block::sync::syncBlockThreads(acc);
+            }
+            if(t == 0)
+                atomic::atomicAdd(acc, result, tile[0]);
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    auto runReduction(char const* name, Size n) -> int
+    {
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostIn = mem::buf::alloc<double, Size>(devHost, n);
+        double expected = 0.0;
+        for(Size i = 0; i < n; ++i)
+        {
+            hostIn.data()[i] = 1.0 / static_cast<double>(1 + i % 7);
+            expected += hostIn.data()[i];
+        }
+
+        auto devIn = mem::buf::alloc<double, Size>(devAcc, n);
+        auto devOut = mem::buf::alloc<double, Size>(devAcc, Size{1});
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devIn, hostIn, extent);
+        mem::view::set(stream, devOut, 0, Vec<Dim1, Size>(Size{1}));
+
+        // A fixed modest grid: uniformElements strides through the rest.
+        bool const multiThreadBlocks = workdiv::trait::UsesBlockThreads<TAcc>::value;
+        workdiv::WorkDivMembers<Dim1, Size> const wd(
+            Size{8},
+            multiThreadBlocks ? Size{64} : Size{1},
+            Size{4});
+
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(wd, ReduceKernel{}, static_cast<double const*>(devIn.data()), n, devOut.data()));
+
+        auto hostOut = mem::buf::alloc<double, Size>(devHost, Size{1});
+        mem::view::copy(stream, hostOut, devOut, Vec<Dim1, Size>(Size{1}));
+        wait::wait(stream);
+
+        auto const relErr = std::abs(hostOut.data()[0] - expected) / expected;
+        // The parallel tree sums in a different order than the sequential
+        // reference; the rounding gap grows with n.
+        auto const tolerance = std::max(1e-12, 1e-15 * static_cast<double>(n));
+        std::printf(
+            "%-18s n=%-9zu sum=%.6f expected=%.6f relErr=%.2e %s\n",
+            name,
+            n,
+            hostOut.data()[0],
+            expected,
+            relErr,
+            relErr < tolerance ? "OK" : "FAILED");
+        return relErr < tolerance ? 0 : 1;
+    }
+} // namespace
+
+auto main(int argc, char** argv) -> int
+{
+    std::string const backend = (argc > 1) ? argv[1] : "all";
+    Size const n = (argc > 2) ? std::strtoull(argv[2], nullptr, 10) : 1u << 20;
+
+    int rc = 0;
+    auto const want = [&](char const* name) { return backend == "all" || backend == name; };
+    if(want("serial"))
+        rc |= runReduction<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>("serial", n);
+    if(want("threads"))
+        rc |= runReduction<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>("threads", n);
+    if(want("fibers"))
+        rc |= runReduction<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>("fibers", n);
+    if(want("omp2b"))
+        rc |= runReduction<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuSync>("omp2b", n);
+    if(want("omp2t"))
+        rc |= runReduction<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>("omp2t", n);
+    if(want("taskblocks"))
+        rc |= runReduction<acc::AccCpuTaskBlocks<Dim1, Size>, stream::StreamCpuSync>("taskblocks", n);
+    if(want("omp4"))
+        rc |= runReduction<acc::AccCpuOmp4<Dim1, Size>, stream::StreamCpuSync>("omp4", n);
+    if(want("cudasim"))
+        rc |= runReduction<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>("cudasim", n);
+    return rc;
+}

@@ -1,0 +1,235 @@
+/// \file The ASE mini-application: adaptive Monte-Carlo flux computation
+/// (HASEonGPU analogue, paper Sec. 4.3 / Fig. 10).
+///
+/// Host-driven adaptive loop (identical for every implementation):
+///   1. sample every mesh point with params.raysPerSample rays,
+///   2. estimate the relative standard error per sample,
+///   3. for each refinement round, re-sample the points above the target
+///      with params.refineRayFactor x more rays (fresh RNG pass), merging
+///      the estimates,
+///   4. report flux, final error estimate and rays spent per sample.
+///
+/// Three interchangeable engines run step 1/3's batch:
+///   * runAse<TAcc, TStream>  — single-source alpaka kernel (any back-end),
+///   * nativeOmp::runAse      — `#pragma omp parallel for` (the paper's
+///                              native CPU version),
+///   * nativeSim::runAse      — raw gpusim kernel (the paper's native CUDA
+///                              version).
+/// All three produce bit-identical flux fields thanks to counter-based RNG.
+#pragma once
+
+#include "ase/scene.hpp"
+
+#include <alpaka/alpaka.hpp>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ase
+{
+    struct AseParams
+    {
+        std::size_t raysPerSample = 200;
+        std::size_t refineRounds = 1;
+        std::size_t refineRayFactor = 4;
+        double targetRelStdErr = 0.005;
+        std::uint64_t seed = 42;
+    };
+
+    struct AseResult
+    {
+        std::vector<double> flux; //!< mean amplification per sample
+        std::vector<double> relStdErr; //!< final relative standard error
+        std::vector<std::size_t> raysUsed; //!< rays spent per sample
+        std::size_t totalRays = 0;
+    };
+
+    namespace detail
+    {
+        //! Accumulation state of the adaptive loop (host side).
+        struct Accumulator
+        {
+            explicit Accumulator(std::size_t samples) : sum(samples, 0.0), sumSq(samples, 0.0), rays(samples, 0)
+            {
+            }
+
+            void merge(std::size_t sample, RaySum const& batch, std::size_t batchRays)
+            {
+                sum[sample] += batch.sum;
+                sumSq[sample] += batch.sumSq;
+                rays[sample] += batchRays;
+            }
+
+            [[nodiscard]] auto relStdErr(std::size_t sample) const -> double
+            {
+                auto const n = static_cast<double>(rays[sample]);
+                auto const mean = sum[sample] / n;
+                auto const var = std::fmax(0.0, sumSq[sample] / n - mean * mean);
+                return std::sqrt(var / n) / mean;
+            }
+
+            [[nodiscard]] auto finish() const -> AseResult
+            {
+                AseResult result;
+                auto const samples = sum.size();
+                result.flux.resize(samples);
+                result.relStdErr.resize(samples);
+                result.raysUsed = rays;
+                for(std::size_t s = 0; s < samples; ++s)
+                {
+                    result.flux[s] = sum[s] / static_cast<double>(rays[s]);
+                    result.relStdErr[s] = relStdErr(s);
+                    result.totalRays += rays[s];
+                }
+                return result;
+            }
+
+            std::vector<double> sum;
+            std::vector<double> sumSq;
+            std::vector<std::size_t> rays;
+        };
+
+        //! Samples above the error target, i.e. the next round's work list.
+        [[nodiscard]] inline auto selectRefinement(Accumulator const& acc, double target)
+            -> std::vector<std::uint64_t>
+        {
+            std::vector<std::uint64_t> ids;
+            for(std::size_t s = 0; s < acc.sum.size(); ++s)
+                if(acc.relStdErr(s) > target)
+                    ids.push_back(static_cast<std::uint64_t>(s));
+            return ids;
+        }
+
+        //! Runs the adaptive loop with a pluggable batch engine
+        //! `batch(sampleIds, rays, pass) -> vector<RaySum>`.
+        template<typename TBatchFn>
+        [[nodiscard]] auto adaptiveLoop(Scene const& scene, AseParams const& params, TBatchFn&& batch)
+            -> AseResult
+        {
+            auto const samples = scene.sampleCount();
+            Accumulator acc(samples);
+
+            std::vector<std::uint64_t> ids(samples);
+            for(std::size_t s = 0; s < samples; ++s)
+                ids[s] = static_cast<std::uint64_t>(s);
+
+            std::size_t rays = params.raysPerSample;
+            for(std::uint32_t pass = 0;; ++pass)
+            {
+                auto const sums = batch(ids, rays, pass);
+                for(std::size_t i = 0; i < ids.size(); ++i)
+                    acc.merge(static_cast<std::size_t>(ids[i]), sums[i], rays);
+
+                if(pass >= params.refineRounds)
+                    break;
+                ids = selectRefinement(acc, params.targetRelStdErr);
+                if(ids.empty())
+                    break;
+                rays *= params.refineRayFactor;
+            }
+            return acc.finish();
+        }
+    } // namespace detail
+
+    //! The single-source alpaka kernel: each thread processes the element
+    //! count of work-list entries assigned by the work division.
+    struct AseKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            Scene scene,
+            std::uint64_t const* sampleIds,
+            std::size_t count,
+            std::uint64_t rays,
+            std::uint32_t pass,
+            std::uint64_t seed,
+            double* sums,
+            double* sumSqs) const
+        {
+            auto const gridThreadIdx = alpaka::idx::getIdx<alpaka::Grid, alpaka::Threads>(acc)[0];
+            auto const elems = alpaka::workdiv::getWorkDiv<alpaka::Thread, alpaka::Elems>(acc)[0];
+            auto const begin = gridThreadIdx * elems;
+            for(std::size_t e = 0; e < elems; ++e)
+            {
+                auto const i = begin + e;
+                if(i >= count)
+                    return;
+                auto const sample = static_cast<std::size_t>(sampleIds[i]);
+                auto const result = sampleRays(scene, sample, pass, seed, rays);
+                sums[i] = result.sum;
+                sumSqs[i] = result.sumSq;
+            }
+        }
+    };
+
+    //! Runs the full adaptive ASE computation through an alpaka back-end.
+    //! Buffers live on the back-end's device; the work list and results move
+    //! with explicit deep copies each round.
+    template<typename TAcc, typename TStream>
+    [[nodiscard]] auto runAse(
+        typename TAcc::Dev const& dev,
+        TStream& stream,
+        Scene const& scene,
+        AseParams const& params) -> AseResult
+    {
+        using Size = std::size_t;
+        auto const host = alpaka::dev::PltfCpu::getDevByIdx(0);
+
+        auto batch = [&](std::vector<std::uint64_t> const& ids, std::size_t rays, std::uint32_t pass)
+        {
+            auto const count = ids.size();
+            auto idsHost = alpaka::mem::buf::alloc<std::uint64_t, Size>(host, count);
+            std::copy(ids.begin(), ids.end(), idsHost.data());
+            auto idsDev = alpaka::mem::buf::alloc<std::uint64_t, Size>(dev, count);
+            auto sumsDev = alpaka::mem::buf::alloc<double, Size>(dev, count);
+            auto sumSqsDev = alpaka::mem::buf::alloc<double, Size>(dev, count);
+
+            alpaka::Vec<alpaka::Dim1, Size> const extent(count);
+            alpaka::mem::view::copy(stream, idsDev, idsHost, extent);
+
+            auto const workDiv = alpaka::workdiv::getValidWorkDiv<TAcc>(
+                dev,
+                alpaka::Vec<alpaka::Dim1, Size>(count),
+                alpaka::Vec<alpaka::Dim1, Size>(Size{1}));
+            auto const exec = alpaka::exec::create<TAcc>(
+                workDiv,
+                AseKernel{},
+                scene,
+                static_cast<std::uint64_t const*>(idsDev.data()),
+                count,
+                static_cast<std::uint64_t>(rays),
+                pass,
+                params.seed,
+                sumsDev.data(),
+                sumSqsDev.data());
+            alpaka::stream::enqueue(stream, exec);
+
+            auto sumsHost = alpaka::mem::buf::alloc<double, Size>(host, count);
+            auto sumSqsHost = alpaka::mem::buf::alloc<double, Size>(host, count);
+            alpaka::mem::view::copy(stream, sumsHost, sumsDev, extent);
+            alpaka::mem::view::copy(stream, sumSqsHost, sumSqsDev, extent);
+            alpaka::wait::wait(stream);
+
+            std::vector<RaySum> result(count);
+            for(std::size_t i = 0; i < count; ++i)
+                result[i] = RaySum{sumsHost.data()[i], sumSqsHost.data()[i]};
+            return result;
+        };
+
+        return detail::adaptiveLoop(scene, params, batch);
+    }
+
+    namespace nativeOmp
+    {
+        //! Native OpenMP implementation (no alpaka).
+        [[nodiscard]] auto runAse(Scene const& scene, AseParams const& params) -> AseResult;
+    }
+
+    namespace nativeSim
+    {
+        //! Native simulator implementation (raw gpusim API, no alpaka).
+        [[nodiscard]] auto runAse(gpusim::Device& dev, Scene const& scene, AseParams const& params) -> AseResult;
+    }
+} // namespace ase

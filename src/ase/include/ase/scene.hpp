@@ -1,0 +1,140 @@
+/// \file Physics of the ASE mini-application (the HASEonGPU analogue of
+/// paper Sec. 4.3; see DESIGN.md for the substitution rationale).
+///
+/// Model: a two-dimensional laser gain medium occupying [0,lx] x [0,ly]
+/// with a spatially varying small-signal gain g(x,y) (uniform background
+/// plus a Gaussian pump spot). The amplified spontaneous emission (ASE)
+/// flux at a sample point is the direction-average of the amplification
+/// along rays to the boundary:
+///
+///   Phi(p) = E_theta[ exp( integral_0^t_exit g(p + s*dir(theta)) ds ) ]
+///
+/// estimated by Monte-Carlo ray sampling with midpoint-rule integration —
+/// the same algorithm class (adaptive massively parallel MC integration of
+/// ray amplification in a gain medium) as HASEonGPU.
+///
+/// All functions here are plain inline host/accelerator code shared by the
+/// alpaka kernel, the native OpenMP and the native simulator
+/// implementations, guaranteeing bit-identical physics across back-ends.
+#pragma once
+
+#include <alpaka/core/common.hpp>
+#include <alpaka/rand.hpp>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+
+namespace ase
+{
+    //! The gain medium and its sampling mesh. Trivially copyable: passed by
+    //! value into kernels.
+    struct Scene
+    {
+        double lx = 10.0; //!< medium extent x
+        double ly = 8.0; //!< medium extent y
+        std::size_t samplesX = 16; //!< sample mesh extent x
+        std::size_t samplesY = 12; //!< sample mesh extent y
+        double uniformGain = 0.04; //!< background small-signal gain
+        double pumpAmplitude = 0.30; //!< Gaussian pump spot amplitude
+        double pumpSigmaSq = 4.0; //!< pump spot sigma^2
+        double stepSize = 0.05; //!< ray integration step
+
+        [[nodiscard]] constexpr auto sampleCount() const noexcept -> std::size_t
+        {
+            return samplesX * samplesY;
+        }
+
+        //! Position of sample \p s (cell centers of the mesh).
+        auto samplePos(std::size_t s, double& x, double& y) const noexcept -> void
+        {
+            auto const ix = s % samplesX;
+            auto const iy = s / samplesX;
+            x = (static_cast<double>(ix) + 0.5) * lx / static_cast<double>(samplesX);
+            y = (static_cast<double>(iy) + 0.5) * ly / static_cast<double>(samplesY);
+        }
+    };
+
+    //! Local small-signal gain at (x, y).
+    ALPAKA_FN_HOST_ACC auto gainAt(Scene const& scene, double x, double y) noexcept -> double
+    {
+        auto const dx = x - 0.5 * scene.lx;
+        auto const dy = y - 0.5 * scene.ly;
+        return scene.uniformGain
+               + scene.pumpAmplitude * std::exp(-(dx * dx + dy * dy) / (2.0 * scene.pumpSigmaSq));
+    }
+
+    //! Amplification along the ray from (x0, y0) in direction \p theta to
+    //! the medium boundary, exp of the midpoint-rule gain integral.
+    ALPAKA_FN_HOST_ACC auto traceRay(Scene const& scene, double x0, double y0, double theta) noexcept
+        -> double
+    {
+        auto const dirX = std::cos(theta);
+        auto const dirY = std::sin(theta);
+        auto const h = scene.stepSize;
+
+        // Exit distance of the ray out of the rectangle.
+        auto distanceTo = [](double pos, double dir, double hi) noexcept
+        {
+            if(dir > 1e-12)
+                return (hi - pos) / dir;
+            if(dir < -1e-12)
+                return (0.0 - pos) / dir;
+            return 1e300;
+        };
+        auto const tExit = std::fmin(distanceTo(x0, dirX, scene.lx), distanceTo(y0, dirY, scene.ly));
+
+        auto const steps = static_cast<std::size_t>(tExit / h);
+        double integral = 0.0;
+        for(std::size_t s = 0; s < steps; ++s)
+        {
+            auto const t = (static_cast<double>(s) + 0.5) * h;
+            integral += gainAt(scene, x0 + t * dirX, y0 + t * dirY) * h;
+        }
+        // Remainder segment [steps*h, tExit).
+        auto const rest = tExit - static_cast<double>(steps) * h;
+        if(rest > 0.0)
+        {
+            auto const t = static_cast<double>(steps) * h + 0.5 * rest;
+            integral += gainAt(scene, x0 + t * dirX, y0 + t * dirY) * rest;
+        }
+        return std::exp(integral);
+    }
+
+    //! Monte-Carlo sum and sum-of-squares of \p rays ray amplifications of
+    //! sample \p sampleId. The RNG stream is keyed on (seed; sample, pass)
+    //! so results are independent of which back-end or thread executes
+    //! them — the ground truth for the cross-back-end equality tests.
+    struct RaySum
+    {
+        double sum = 0.0;
+        double sumSq = 0.0;
+    };
+
+    ALPAKA_FN_HOST_ACC auto sampleRays(
+        Scene const& scene,
+        std::size_t sampleId,
+        std::uint32_t pass,
+        std::uint64_t seed,
+        std::size_t rays) noexcept -> RaySum
+    {
+        double x0 = 0.0;
+        double y0 = 0.0;
+        scene.samplePos(sampleId, x0, y0);
+
+        auto const subsequence = (static_cast<std::uint64_t>(sampleId) << 16) | pass;
+        alpaka::rand::Philox4x32x10 engine(seed, subsequence);
+        alpaka::rand::distribution::UniformReal<double> uniform;
+
+        RaySum result;
+        for(std::size_t r = 0; r < rays; ++r)
+        {
+            auto const theta = 2.0 * std::numbers::pi * uniform(engine);
+            auto const amplification = traceRay(scene, x0, y0, theta);
+            result.sum += amplification;
+            result.sumSq += amplification * amplification;
+        }
+        return result;
+    }
+} // namespace ase

@@ -1,0 +1,84 @@
+#include "ase/ase.hpp"
+
+#include "gpusim/stream.hpp"
+
+#include <cstring>
+
+namespace ase::nativeOmp
+{
+    auto runAse(Scene const& scene, AseParams const& params) -> AseResult
+    {
+        auto batch = [&](std::vector<std::uint64_t> const& ids, std::size_t rays, std::uint32_t pass)
+        {
+            std::vector<RaySum> sums(ids.size());
+            auto const count = static_cast<long long>(ids.size());
+#pragma omp parallel for schedule(dynamic)
+            for(long long i = 0; i < count; ++i)
+            {
+                auto const idx = static_cast<std::size_t>(i);
+                sums[idx] = sampleRays(scene, static_cast<std::size_t>(ids[idx]), pass, params.seed, rays);
+            }
+            return sums;
+        };
+        return detail::adaptiveLoop(scene, params, batch);
+    }
+} // namespace ase::nativeOmp
+
+namespace ase::nativeSim
+{
+    auto runAse(gpusim::Device& dev, Scene const& scene, AseParams const& params) -> AseResult
+    {
+        gpusim::Stream stream(dev, /*async=*/false);
+
+        auto batch = [&](std::vector<std::uint64_t> const& ids, std::size_t rays, std::uint32_t pass)
+        {
+            auto const count = ids.size();
+            auto& memory = dev.memory();
+            auto* const devIds = static_cast<std::uint64_t*>(memory.allocate(count * sizeof(std::uint64_t)));
+            auto* const devSums = static_cast<double*>(memory.allocate(count * sizeof(double)));
+            auto* const devSumSqs = static_cast<double*>(memory.allocate(count * sizeof(double)));
+
+            stream.memcpyHtoD(devIds, ids.data(), count * sizeof(std::uint64_t));
+
+            constexpr unsigned threadsPerBlock = 64;
+            gpusim::GridSpec grid;
+            grid.block = gpusim::Dim3{threadsPerBlock, 1, 1};
+            grid.grid = gpusim::Dim3{
+                static_cast<unsigned>((count + threadsPerBlock - 1) / threadsPerBlock),
+                1,
+                1};
+            grid.noBarrier = true;
+
+            auto const seed = params.seed;
+            stream.launch(
+                grid,
+                [scene, devIds, count, rays, pass, seed, devSums, devSumSqs](gpusim::ThreadCtx& ctx)
+                {
+                    auto const i = ctx.globalLinearThreadIdx();
+                    if(i >= count)
+                        return;
+                    auto const result
+                        = sampleRays(scene, static_cast<std::size_t>(devIds[i]), pass, seed, rays);
+                    devSums[i] = result.sum;
+                    devSumSqs[i] = result.sumSq;
+                });
+
+            std::vector<double> sums(count);
+            std::vector<double> sumSqs(count);
+            stream.memcpyDtoH(sums.data(), devSums, count * sizeof(double));
+            stream.memcpyDtoH(sumSqs.data(), devSumSqs, count * sizeof(double));
+            stream.wait();
+
+            memory.free(devIds);
+            memory.free(devSums);
+            memory.free(devSumSqs);
+
+            std::vector<RaySum> result(count);
+            for(std::size_t i = 0; i < count; ++i)
+                result[i] = RaySum{sums[i], sumSqs[i]};
+            return result;
+        };
+
+        return detail::adaptiveLoop(scene, params, batch);
+    }
+} // namespace ase::nativeSim

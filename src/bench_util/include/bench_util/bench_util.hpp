@@ -1,0 +1,81 @@
+/// \file Measurement and reporting harness shared by all benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bench
+{
+    //! Wall-clock seconds of one invocation of \p fn.
+    template<typename TFn>
+    [[nodiscard]] auto timeOnce(TFn&& fn) -> double
+    {
+        auto const start = std::chrono::steady_clock::now();
+        std::forward<TFn>(fn)();
+        auto const stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(stop - start).count();
+    }
+
+    //! Best-of-\p reps wall-clock seconds (the conventional noise filter
+    //! for throughput measurements; Core Guidelines Per.6: measure).
+    template<typename TFn>
+    [[nodiscard]] auto timeBestOf(std::size_t reps, TFn&& fn) -> double
+    {
+        double best = 1e300;
+        for(std::size_t r = 0; r < reps; ++r)
+            best = std::min(best, timeOnce(fn));
+        return best;
+    }
+
+    //! Simple sample statistics.
+    struct Stats
+    {
+        double min = 0;
+        double max = 0;
+        double mean = 0;
+        double median = 0;
+        double stddev = 0;
+    };
+    [[nodiscard]] auto computeStats(std::vector<double> samples) -> Stats;
+
+    //! GFLOPS from a flop count and seconds.
+    [[nodiscard]] inline auto gflops(double flops, double seconds) -> double
+    {
+        return flops / seconds / 1e9;
+    }
+
+    //! True when the benchmark should run its full (longer) sweep; default
+    //! is a quick sweep suitable for CI. Toggle with ALPAKA_BENCH_FULL=1.
+    [[nodiscard]] auto fullSweep() -> bool;
+
+    //! Number of repetitions to use (more in full mode).
+    [[nodiscard]] auto defaultReps() -> std::size_t;
+
+    //! Fixed-width numeric formatting.
+    [[nodiscard]] auto fmt(double value, int precision = 3) -> std::string;
+
+    //! Aligned console table with an optional CSV dump, mirroring the way
+    //! the paper reports one series per line.
+    class Table
+    {
+    public:
+        explicit Table(std::vector<std::string> headers);
+
+        void addRow(std::vector<std::string> cells);
+        //! Prints the aligned table to \p os.
+        void print(std::ostream& os) const;
+        //! Prints "csv: a,b,c" lines for machine consumption.
+        void printCsv(std::ostream& os) const;
+
+    private:
+        std::vector<std::string> headers_;
+        std::vector<std::vector<std::string>> rows_;
+    };
+
+    //! Prints a section banner like the paper's figure captions.
+    void banner(std::ostream& os, std::string const& title, std::string const& subtitle = {});
+} // namespace bench

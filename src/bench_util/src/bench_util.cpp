@@ -1,0 +1,106 @@
+#include "bench_util/bench_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace bench
+{
+    auto computeStats(std::vector<double> samples) -> Stats
+    {
+        Stats s;
+        if(samples.empty())
+            return s;
+        std::sort(samples.begin(), samples.end());
+        s.min = samples.front();
+        s.max = samples.back();
+        s.median = samples[samples.size() / 2];
+        double sum = 0;
+        for(double const v : samples)
+            sum += v;
+        s.mean = sum / static_cast<double>(samples.size());
+        double sq = 0;
+        for(double const v : samples)
+            sq += (v - s.mean) * (v - s.mean);
+        s.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+        return s;
+    }
+
+    auto fullSweep() -> bool
+    {
+        char const* const env = std::getenv("ALPAKA_BENCH_FULL");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }
+
+    auto defaultReps() -> std::size_t
+    {
+        return fullSweep() ? 5 : 3;
+    }
+
+    auto fmt(double value, int precision) -> std::string
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return os.str();
+    }
+
+    Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+    {
+    }
+
+    void Table::addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void Table::print(std::ostream& os) const
+    {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        for(std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for(auto const& row : rows_)
+            for(std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto const printRow = [&](std::vector<std::string> const& row)
+        {
+            os << "  ";
+            for(std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+            os << '\n';
+        };
+
+        printRow(headers_);
+        std::size_t total = 2;
+        for(auto const w : widths)
+            total += w + 2;
+        os << "  " << std::string(total - 2, '-') << '\n';
+        for(auto const& row : rows_)
+            printRow(row);
+    }
+
+    void Table::printCsv(std::ostream& os) const
+    {
+        auto const line = [&](std::vector<std::string> const& row)
+        {
+            os << "csv:";
+            for(std::size_t c = 0; c < row.size(); ++c)
+                os << (c == 0 ? " " : ",") << row[c];
+            os << '\n';
+        };
+        line(headers_);
+        for(auto const& row : rows_)
+            line(row);
+    }
+
+    void banner(std::ostream& os, std::string const& title, std::string const& subtitle)
+    {
+        os << '\n' << std::string(78, '=') << '\n' << title << '\n';
+        if(!subtitle.empty())
+            os << subtitle << '\n';
+        os << std::string(78, '=') << '\n';
+    }
+} // namespace bench

@@ -1,0 +1,330 @@
+/// \file CPU accelerator types (paper Table 2: Sequential, OpenMP block,
+/// OpenMP thread, C++11 thread — plus the fiber back-end of Sec. 3.1).
+///
+/// An accelerator object is the kernel's window into the machine: it
+/// provides the work division, the indices of the executing block/thread,
+/// the block shared memory and the block barrier. One accelerator instance
+/// exists per executing thread; instances of the same block share the
+/// shared-memory arena and the barrier.
+#pragma once
+
+#include "alpaka/acc/props.hpp"
+#include "alpaka/acc/shared.hpp"
+#include "alpaka/dev.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/vec.hpp"
+#include "alpaka/workdiv.hpp"
+
+#include "fiber/barrier.hpp"
+
+#include <barrier>
+#include <cstddef>
+#include <string>
+
+namespace alpaka::acc
+{
+    namespace detail
+    {
+        //! State common to all accelerator implementations of this library.
+        //! Not part of the public API — kernels interact through
+        //! idx::getIdx, workdiv::getWorkDiv, block::shared and block::sync.
+        template<typename TDim, typename TSize>
+        class AccBase
+        {
+        public:
+            using Dim = TDim;
+            using Size = TSize;
+            using VecType = Vec<TDim, TSize>;
+
+            AccBase(
+                workdiv::WorkDivMembers<TDim, TSize> const& workDiv,
+                VecType const& gridBlockIdx,
+                VecType const& blockThreadIdx,
+                SharedBlock const& sharedBlock) noexcept
+                : workDiv_(&workDiv)
+                , gridBlockIdx_(gridBlockIdx)
+                , blockThreadIdx_(blockThreadIdx)
+                , shared_(sharedBlock)
+            {
+            }
+
+            //! \name ConceptWorkDiv
+            //! @{
+            [[nodiscard]] auto gridBlockExtent() const noexcept -> VecType const&
+            {
+                return workDiv_->gridBlockExtent();
+            }
+            [[nodiscard]] auto blockThreadExtent() const noexcept -> VecType const&
+            {
+                return workDiv_->blockThreadExtent();
+            }
+            [[nodiscard]] auto threadElemExtent() const noexcept -> VecType const&
+            {
+                return workDiv_->threadElemExtent();
+            }
+            //! @}
+
+            //! \name ConceptIdxProvider
+            //! @{
+            [[nodiscard]] auto gridBlockIdx() const noexcept -> VecType const&
+            {
+                return gridBlockIdx_;
+            }
+            [[nodiscard]] auto blockThreadIdx() const noexcept -> VecType const&
+            {
+                return blockThreadIdx_;
+            }
+            //! @}
+
+            //! \name Block shared memory (used by block::shared)
+            //! @{
+            template<typename T>
+            [[nodiscard]] auto allocVar() const -> T&
+            {
+                return cursor_.template allocVar<T>();
+            }
+            template<typename T>
+            [[nodiscard]] auto dynSharedMem() const noexcept -> T*
+            {
+                return cursor_.template dynMem<T>();
+            }
+            [[nodiscard]] auto dynSharedMemBytes() const noexcept -> std::size_t
+            {
+                return cursor_.dynBytes();
+            }
+            //! @}
+
+        private:
+            workdiv::WorkDivMembers<TDim, TSize> const* workDiv_;
+            VecType gridBlockIdx_;
+            VecType blockThreadIdx_;
+            SharedBlock shared_;
+            mutable SharedCursor cursor_{shared_};
+        };
+
+        //! Default CPU limits. The shared memory size models the part of
+        //! the cache hierarchy a block can reasonably own (paper Fig. 3 maps
+        //! block shared memory onto L1/L2 for CPUs); it is generous because
+        //! CPU blocks may span big tiles (the paper's Fig. 8 uses 16k
+        //! element tiles on CPUs).
+        inline constexpr std::size_t cpuSharedMemBytes = 4 * 1024 * 1024;
+        inline constexpr std::size_t cpuMaxThreadsPerBlock = 1024;
+
+        template<typename TDim, typename TSize>
+        [[nodiscard]] auto makeCpuProps(TSize blockThreadCountMax) -> AccDevProps<TDim, TSize>
+        {
+            AccDevProps<TDim, TSize> props;
+            props.multiProcessorCount = static_cast<TSize>(dev::DevCpu::concurrency());
+            props.gridBlockExtentMax = Vec<TDim, TSize>::all(std::numeric_limits<TSize>::max());
+            props.gridBlockCountMax = std::numeric_limits<TSize>::max();
+            props.blockThreadExtentMax = Vec<TDim, TSize>::all(blockThreadCountMax);
+            props.blockThreadCountMax = blockThreadCountMax;
+            props.threadElemExtentMax = Vec<TDim, TSize>::all(std::numeric_limits<TSize>::max());
+            props.threadElemCountMax = std::numeric_limits<TSize>::max();
+            props.sharedMemSizeBytes = cpuSharedMemBytes;
+            return props;
+        }
+    } // namespace detail
+
+    //! Sequential back-end: blocks run one after another, one thread per
+    //! block (paper Table 2 "Sequential": grid N/V, block 1, element V).
+    template<typename TDim, typename TSize>
+    class AccCpuSerial : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using detail::AccBase<TDim, TSize>::AccBase;
+    };
+
+    //! C++ thread back-end: the threads of a block are OS threads with a
+    //! std::barrier for block synchronization.
+    template<typename TDim, typename TSize>
+    class AccCpuThreads : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using BarrierType = std::barrier<>;
+
+        AccCpuThreads(
+            workdiv::WorkDivMembers<TDim, TSize> const& workDiv,
+            Vec<TDim, TSize> const& gridBlockIdx,
+            Vec<TDim, TSize> const& blockThreadIdx,
+            detail::SharedBlock const& sharedBlock,
+            BarrierType* barrier) noexcept
+            : detail::AccBase<TDim, TSize>(workDiv, gridBlockIdx, blockThreadIdx, sharedBlock)
+            , barrier_(barrier)
+        {
+        }
+
+        void syncBlockThreads() const
+        {
+            barrier_->arrive_and_wait();
+        }
+
+    private:
+        BarrierType* barrier_;
+    };
+
+    //! Fiber back-end: the threads of a block are cooperative user-level
+    //! fibers on one OS thread (the paper's boost::fibers back-end, rebuilt
+    //! on this repository's fiber substrate). Barrier divergence is
+    //! *detected* instead of deadlocking.
+    template<typename TDim, typename TSize>
+    class AccCpuFibers : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+
+        AccCpuFibers(
+            workdiv::WorkDivMembers<TDim, TSize> const& workDiv,
+            Vec<TDim, TSize> const& gridBlockIdx,
+            Vec<TDim, TSize> const& blockThreadIdx,
+            detail::SharedBlock const& sharedBlock,
+            fiber::Barrier* barrier) noexcept
+            : detail::AccBase<TDim, TSize>(workDiv, gridBlockIdx, blockThreadIdx, sharedBlock)
+            , barrier_(barrier)
+        {
+        }
+
+        void syncBlockThreads() const
+        {
+            barrier_->arriveAndWait();
+        }
+
+    private:
+        fiber::Barrier* barrier_;
+    };
+
+    //! OpenMP 2 "blocks" back-end: blocks are distributed over the OpenMP
+    //! thread team, one alpaka thread per block (paper Table 2 "OpenMP
+    //! block": grid N/V, block 1, element V). Block synchronization is a
+    //! no-op because a block is a single thread.
+    template<typename TDim, typename TSize>
+    class AccCpuOmp2Blocks : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using detail::AccBase<TDim, TSize>::AccBase;
+    };
+
+    //! OpenMP 2 "threads" back-end: the threads of a block form an OpenMP
+    //! team; blocks run sequentially (paper Table 2 "OpenMP thread").
+    //! Block synchronization uses a shared std::barrier so that divergence
+    //! failures stay recoverable (see DESIGN.md).
+    template<typename TDim, typename TSize>
+    class AccCpuOmp2Threads : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using BarrierType = std::barrier<>;
+
+        AccCpuOmp2Threads(
+            workdiv::WorkDivMembers<TDim, TSize> const& workDiv,
+            Vec<TDim, TSize> const& gridBlockIdx,
+            Vec<TDim, TSize> const& blockThreadIdx,
+            detail::SharedBlock const& sharedBlock,
+            BarrierType* barrier) noexcept
+            : detail::AccBase<TDim, TSize>(workDiv, gridBlockIdx, blockThreadIdx, sharedBlock)
+            , barrier_(barrier)
+        {
+        }
+
+        void syncBlockThreads() const
+        {
+            barrier_->arrive_and_wait();
+        }
+
+    private:
+        BarrierType* barrier_;
+    };
+
+    namespace trait
+    {
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuSerial<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(1));
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuOmp2Blocks<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(1));
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuThreads<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(detail::cpuMaxThreadsPerBlock));
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuFibers<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(detail::cpuMaxThreadsPerBlock));
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuOmp2Threads<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(detail::cpuMaxThreadsPerBlock));
+            }
+        };
+
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuSerial<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuSerial<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuThreads<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuThreads<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuFibers<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuFibers<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuOmp2Blocks<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuOmp2Blocks<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuOmp2Threads<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuOmp2Threads<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+    } // namespace trait
+} // namespace alpaka::acc

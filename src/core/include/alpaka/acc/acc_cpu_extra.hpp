@@ -1,0 +1,96 @@
+/// \file Additional CPU accelerators implementing the paper's future-work
+/// back-ends (Sec. 5: "Future work will focus on including more Alpaka
+/// back-ends, e.g. for OpenACC and OpenMP 4.x target offloading"; Sec. 3.1
+/// names Threading Building Blocks).
+///
+///  * AccCpuTaskBlocks — blocks scheduled dynamically onto a persistent
+///    worker pool (the TBB-style back-end, on the from-scratch threadpool
+///    substrate). One thread per block, like Omp2Blocks, but with
+///    amortized thread creation and dynamic load balancing.
+///  * AccCpuOmp4      — blocks distributed over OpenMP `target teams`
+///    (the OpenMP 4.x offloading model, executing in host-fallback mode on
+///    this machine: without a configured offload device the target region
+///    runs on the host, which is exactly OpenMP's portable behaviour).
+#pragma once
+
+#include "alpaka/acc/acc_cpu.hpp"
+#include "alpaka/workdiv_policy.hpp"
+
+#include <string>
+
+namespace alpaka::acc
+{
+    //! Task-pool back-end: one alpaka thread per block, blocks dynamically
+    //! distributed over a persistent worker pool.
+    template<typename TDim, typename TSize>
+    class AccCpuTaskBlocks : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using detail::AccBase<TDim, TSize>::AccBase;
+    };
+
+    //! OpenMP 4.x target-offload back-end (host fallback), one alpaka
+    //! thread per block distributed over the teams league.
+    template<typename TDim, typename TSize>
+    class AccCpuOmp4 : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using detail::AccBase<TDim, TSize>::AccBase;
+    };
+
+    namespace trait
+    {
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuTaskBlocks<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(1));
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccCpuOmp4<TDim, TSize>, dev::DevCpu>
+        {
+            static auto get(dev::DevCpu const&)
+            {
+                return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(1));
+            }
+        };
+
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuTaskBlocks<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuTaskBlocks<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccCpuOmp4<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccCpuOmp4<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+    } // namespace trait
+} // namespace alpaka::acc
+
+namespace alpaka::workdiv::trait
+{
+    //! Both new back-ends collapse the thread level (Table 2 "block" rows).
+    template<typename TDim, typename TSize>
+    struct UsesBlockThreads<acc::AccCpuTaskBlocks<TDim, TSize>>
+    {
+        static constexpr bool value = false;
+    };
+    template<typename TDim, typename TSize>
+    struct UsesBlockThreads<acc::AccCpuOmp4<TDim, TSize>>
+    {
+        static constexpr bool value = false;
+    };
+} // namespace alpaka::workdiv::trait

@@ -1,0 +1,123 @@
+/// \file The simulated-GPU accelerator (the paper's CUDA back-end mapped
+/// onto the gpusim substrate; see DESIGN.md for the substitution rationale).
+#pragma once
+
+#include "alpaka/acc/acc_cpu.hpp" // for detail::AccBase
+#include "alpaka/acc/props.hpp"
+#include "alpaka/acc/shared.hpp"
+#include "alpaka/dev.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/vec.hpp"
+#include "alpaka/workdiv.hpp"
+
+#include "gpusim/device.hpp"
+
+#include <string>
+
+namespace alpaka::acc
+{
+    namespace detail
+    {
+        //! Converts an alpaka extent/index vector (component 0 slowest) to a
+        //! gpusim Dim3 (x fastest). Only defined for Dim <= 3.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] auto vecToDim3(Vec<TDim, TSize> const& v) -> gpusim::Dim3
+        {
+            static_assert(TDim::value >= 1 && TDim::value <= 3, "the CudaSim back-end supports 1-3 dimensions");
+            gpusim::Dim3 d{};
+            constexpr std::size_t n = TDim::value;
+            d.x = static_cast<unsigned>(v[n - 1]);
+            if constexpr(n >= 2)
+                d.y = static_cast<unsigned>(v[n - 2]);
+            if constexpr(n >= 3)
+                d.z = static_cast<unsigned>(v[n - 3]);
+            return d;
+        }
+
+        //! Inverse of vecToDim3.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] auto dim3ToVec(gpusim::Dim3 const& d) -> Vec<TDim, TSize>
+        {
+            static_assert(TDim::value >= 1 && TDim::value <= 3, "the CudaSim back-end supports 1-3 dimensions");
+            constexpr std::size_t n = TDim::value;
+            auto v = Vec<TDim, TSize>::zeros();
+            v[n - 1] = static_cast<TSize>(d.x);
+            if constexpr(n >= 2)
+                v[n - 2] = static_cast<TSize>(d.y);
+            if constexpr(n >= 3)
+                v[n - 3] = static_cast<TSize>(d.z);
+            return v;
+        }
+    } // namespace detail
+
+    //! Accelerator executing on a simulated GPU: blocks are scheduled onto
+    //! the device engine, the threads of a block are SIMT fibers, shared
+    //! memory lives in the device's per-block arena and the block barrier is
+    //! the engine barrier (with divergence detection).
+    template<typename TDim, typename TSize>
+    class AccGpuCudaSim : public detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCudaSim;
+        using Pltf = dev::PltfCudaSim;
+
+        AccGpuCudaSim(
+            workdiv::WorkDivMembers<TDim, TSize> const& workDiv,
+            detail::SharedBlock const& sharedBlock,
+            gpusim::ThreadCtx& ctx) noexcept
+            : detail::AccBase<TDim, TSize>(
+                  workDiv,
+                  detail::dim3ToVec<TDim, TSize>(ctx.blockIdx()),
+                  detail::dim3ToVec<TDim, TSize>(ctx.threadIdx()),
+                  sharedBlock)
+            , ctx_(&ctx)
+        {
+        }
+
+        void syncBlockThreads() const
+        {
+            ctx_->sync();
+        }
+
+        //! The underlying simulator thread context (exposed for tests and
+        //! instrumentation).
+        [[nodiscard]] auto simThreadCtx() const noexcept -> gpusim::ThreadCtx&
+        {
+            return *ctx_;
+        }
+
+    private:
+        gpusim::ThreadCtx* ctx_;
+    };
+
+    namespace trait
+    {
+        template<typename TDim, typename TSize>
+        struct GetAccDevProps<AccGpuCudaSim<TDim, TSize>, dev::DevCudaSim>
+        {
+            static auto get(dev::DevCudaSim const& dev)
+            {
+                auto const& spec = dev.spec();
+                AccDevProps<TDim, TSize> props;
+                props.multiProcessorCount = static_cast<TSize>(spec.smCount);
+                props.gridBlockExtentMax = detail::dim3ToVec<TDim, TSize>(spec.maxGridDim);
+                props.gridBlockCountMax = std::numeric_limits<TSize>::max();
+                props.blockThreadExtentMax = detail::dim3ToVec<TDim, TSize>(spec.maxBlockDim);
+                props.blockThreadCountMax = static_cast<TSize>(spec.maxThreadsPerBlock);
+                props.threadElemExtentMax = Vec<TDim, TSize>::all(std::numeric_limits<TSize>::max());
+                props.threadElemCountMax = std::numeric_limits<TSize>::max();
+                props.sharedMemSizeBytes = spec.sharedMemPerBlock;
+                return props;
+            }
+        };
+
+        template<typename TDim, typename TSize>
+        struct GetAccName<AccGpuCudaSim<TDim, TSize>>
+        {
+            static auto get() -> std::string
+            {
+                return "AccGpuCudaSim<" + std::to_string(TDim::value) + "d>";
+            }
+        };
+    } // namespace trait
+} // namespace alpaka::acc

@@ -1,0 +1,52 @@
+/// \file Accelerator device properties and name queries.
+#pragma once
+
+#include "alpaka/dim.hpp"
+#include "alpaka/vec.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace alpaka::acc
+{
+    //! The execution limits of an accelerator on a concrete device. Used by
+    //! work division validation and by workdiv::getValidWorkDiv.
+    template<typename TDim, typename TSize>
+    struct AccDevProps
+    {
+        TSize multiProcessorCount{};
+        Vec<TDim, TSize> gridBlockExtentMax = Vec<TDim, TSize>::ones();
+        TSize gridBlockCountMax{};
+        Vec<TDim, TSize> blockThreadExtentMax = Vec<TDim, TSize>::ones();
+        TSize blockThreadCountMax{};
+        Vec<TDim, TSize> threadElemExtentMax = Vec<TDim, TSize>::ones();
+        TSize threadElemCountMax{};
+        std::size_t sharedMemSizeBytes{};
+    };
+
+    namespace trait
+    {
+        //! Customization point: the execution limits of accelerator \p TAcc
+        //! on device \p TDev.
+        template<typename TAcc, typename TDev, typename = void>
+        struct GetAccDevProps;
+
+        //! Customization point: human readable accelerator name.
+        template<typename TAcc, typename = void>
+        struct GetAccName;
+    } // namespace trait
+
+    //! The execution limits of \p TAcc on \p dev.
+    template<typename TAcc, typename TDev>
+    [[nodiscard]] auto getAccDevProps(TDev const& dev)
+    {
+        return trait::GetAccDevProps<TAcc, TDev>::get(dev);
+    }
+
+    //! Human readable accelerator name, e.g. "AccCpuSerial<1d>".
+    template<typename TAcc>
+    [[nodiscard]] auto getAccName() -> std::string
+    {
+        return trait::GetAccName<TAcc>::get();
+    }
+} // namespace alpaka::acc

@@ -1,0 +1,75 @@
+/// \file Block shared memory bookkeeping shared by all accelerators.
+#pragma once
+
+#include "alpaka/core/error.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alpaka::acc::detail
+{
+    //! Describes the shared memory region of the currently executing block.
+    //! The first \ref dynBytes are the dynamic ("extern") shared memory; the
+    //! remainder is carved into statically allocated shared variables by
+    //! SharedCursor.
+    struct SharedBlock
+    {
+        std::byte* base = nullptr;
+        std::size_t capacity = 0;
+        std::size_t dynBytes = 0;
+    };
+
+    //! Per-thread allocation cursor over the static region of a
+    //! SharedBlock.
+    //!
+    //! Every thread of a block calls the same sequence of allocVar<T>()
+    //! (the calls are part of the single-source kernel), so every thread
+    //! computes the same offsets deterministically and all threads of a
+    //! block receive the *same* object per call site — the CUDA __shared__
+    //! variable semantics without compiler support. Like CUDA shared
+    //! variables, the memory is uninitialized; one thread initializes it and
+    //! the block synchronizes before use.
+    class SharedCursor
+    {
+    public:
+        explicit SharedCursor(SharedBlock const& block) noexcept
+            : block_(block)
+            , cursor_(alignUp(block.dynBytes, alignof(std::max_align_t)))
+        {
+        }
+
+        template<typename T>
+        [[nodiscard]] auto allocVar() -> T&
+        {
+            static_assert(std::is_trivially_destructible_v<T>, "shared variables must be trivially destructible");
+            auto const offset = alignUp(cursor_, alignof(T));
+            auto const end = offset + sizeof(T);
+            if(end > block_.capacity)
+                throw SharedMemOverflowError(
+                    "block shared memory exhausted: request ends at " + std::to_string(end)
+                    + " B but the accelerator provides " + std::to_string(block_.capacity) + " B");
+            cursor_ = end;
+            return *reinterpret_cast<T*>(block_.base + offset);
+        }
+
+        template<typename T>
+        [[nodiscard]] auto dynMem() const noexcept -> T*
+        {
+            return reinterpret_cast<T*>(block_.base);
+        }
+
+        [[nodiscard]] auto dynBytes() const noexcept -> std::size_t
+        {
+            return block_.dynBytes;
+        }
+
+    private:
+        [[nodiscard]] static constexpr auto alignUp(std::size_t value, std::size_t align) noexcept -> std::size_t
+        {
+            return (value + align - 1) / align * align;
+        }
+
+        SharedBlock block_;
+        std::size_t cursor_;
+    };
+} // namespace alpaka::acc::detail

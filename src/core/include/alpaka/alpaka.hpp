@@ -1,0 +1,40 @@
+/// \file Umbrella header of the alpaka reproduction library.
+///
+/// Include this single header to get the full public API used throughout
+/// the paper's listings:
+///
+///   using Acc = alpaka::acc::AccCpuSerial<alpaka::Dim1, std::size_t>;
+///   auto dev  = alpaka::dev::DevMan<Acc>::getDevByIdx(0);
+///   alpaka::stream::StreamCpuAsync stream(dev);
+///   auto workDiv = alpaka::workdiv::WorkDivMembers<alpaka::Dim1, std::size_t>(256u, 16u, 1u);
+///   auto exec = alpaka::exec::create<Acc>(workDiv, kernel, args...);
+///   alpaka::stream::enqueue(stream, exec);
+///   alpaka::wait::wait(stream);
+#pragma once
+
+#include "alpaka/acc/acc_cpu.hpp"
+#include "alpaka/acc/acc_cpu_extra.hpp"
+#include "alpaka/acc/acc_cudasim.hpp"
+#include "alpaka/acc/props.hpp"
+#include "alpaka/atomic.hpp"
+#include "alpaka/block.hpp"
+#include "alpaka/core/common.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/core/map_idx.hpp"
+#include "alpaka/dev.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/element.hpp"
+#include "alpaka/event.hpp"
+#include "alpaka/exec.hpp"
+#include "alpaka/idx.hpp"
+#include "alpaka/kernel.hpp"
+#include "alpaka/math.hpp"
+#include "alpaka/mem.hpp"
+#include "alpaka/meta/nd_loop.hpp"
+#include "alpaka/origin.hpp"
+#include "alpaka/rand.hpp"
+#include "alpaka/stream.hpp"
+#include "alpaka/vec.hpp"
+#include "alpaka/wait.hpp"
+#include "alpaka/workdiv.hpp"
+#include "alpaka/workdiv_policy.hpp"

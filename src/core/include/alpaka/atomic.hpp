@@ -1,0 +1,227 @@
+/// \file Atomic operations usable from kernels (paper Sec. 3.2.3 footnote:
+/// "Alpaka allows for atomic operations that serialize thread access to
+/// global memory").
+#pragma once
+
+#include "alpaka/core/common.hpp"
+
+#include <atomic>
+#include <concepts>
+#include <type_traits>
+
+namespace alpaka::atomic
+{
+    //! Operation tags.
+    namespace op
+    {
+        struct Add
+        {
+        };
+        struct Sub
+        {
+        };
+        struct Min
+        {
+        };
+        struct Max
+        {
+        };
+        struct Exch
+        {
+        };
+        struct And
+        {
+        };
+        struct Or
+        {
+        };
+        struct Xor
+        {
+        };
+        struct Cas
+        {
+        };
+        //! CUDA-style wrapping increment: old >= limit ? 0 : old + 1.
+        struct Inc
+        {
+        };
+        //! CUDA-style wrapping decrement: old == 0 || old > limit ? limit : old - 1.
+        struct Dec
+        {
+        };
+    } // namespace op
+
+    namespace trait
+    {
+        //! Customization point: atomic operation \p TOp on accelerator
+        //! \p TAcc. The generic implementation uses std::atomic_ref, which
+        //! is correct for every back-end of this repository because all of
+        //! them execute in the host process's memory (single-threaded
+        //! back-ends simply pay no contention).
+        template<typename TOp, typename TAcc, typename T, typename = void>
+        struct AtomicOp;
+
+        template<typename TAcc, typename T>
+        struct AtomicOp<op::Add, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).fetch_add(value, std::memory_order_relaxed);
+            }
+        };
+
+        template<typename TAcc, typename T>
+        struct AtomicOp<op::Sub, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).fetch_sub(value, std::memory_order_relaxed);
+            }
+        };
+
+        template<typename TAcc, typename T>
+        struct AtomicOp<op::Exch, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).exchange(value, std::memory_order_relaxed);
+            }
+        };
+
+        namespace detail
+        {
+            //! Compare-and-swap loop for operations without a native
+            //! fetch_* (min/max, and floating point variants).
+            template<typename T, typename TCombine>
+            ALPAKA_FN_ACC auto casLoop(T* addr, T value, TCombine combine) -> T
+            {
+                std::atomic_ref<T> ref(*addr);
+                T expected = ref.load(std::memory_order_relaxed);
+                for(;;)
+                {
+                    T const desired = combine(expected, value);
+                    if(desired == expected)
+                        return expected; // no change needed
+                    if(ref.compare_exchange_weak(
+                           expected,
+                           desired,
+                           std::memory_order_relaxed,
+                           std::memory_order_relaxed))
+                        return expected;
+                }
+            }
+        } // namespace detail
+
+        template<typename TAcc, typename T>
+        struct AtomicOp<op::Min, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return detail::casLoop(addr, value, [](T a, T b) { return a < b ? a : b; });
+            }
+        };
+
+        template<typename TAcc, typename T>
+        struct AtomicOp<op::Max, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return detail::casLoop(addr, value, [](T a, T b) { return a > b ? a : b; });
+            }
+        };
+
+        template<typename TAcc, std::unsigned_integral T>
+        struct AtomicOp<op::Inc, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T limit) -> T
+            {
+                return detail::casLoop(addr, limit, [](T old, T lim) { return old >= lim ? T{0} : old + 1; });
+            }
+        };
+
+        template<typename TAcc, std::unsigned_integral T>
+        struct AtomicOp<op::Dec, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T limit) -> T
+            {
+                return detail::casLoop(
+                    addr,
+                    limit,
+                    [](T old, T lim) { return (old == 0 || old > lim) ? lim : old - 1; });
+            }
+        };
+
+        template<typename TAcc, std::integral T>
+        struct AtomicOp<op::And, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).fetch_and(value, std::memory_order_relaxed);
+            }
+        };
+        template<typename TAcc, std::integral T>
+        struct AtomicOp<op::Or, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).fetch_or(value, std::memory_order_relaxed);
+            }
+        };
+        template<typename TAcc, std::integral T>
+        struct AtomicOp<op::Xor, TAcc, T>
+        {
+            ALPAKA_FN_ACC static auto op(TAcc const&, T* addr, T value) -> T
+            {
+                return std::atomic_ref<T>(*addr).fetch_xor(value, std::memory_order_relaxed);
+            }
+        };
+    } // namespace trait
+
+    //! Atomically applies \p TOp to \p *addr and returns the previous value.
+    template<typename TOp, typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicOp(TAcc const& acc, T* addr, T value) -> T
+    {
+        return trait::AtomicOp<TOp, TAcc, T>::op(acc, addr, value);
+    }
+
+    //! Atomic compare-and-swap; returns the previous value.
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicCas(TAcc const&, T* addr, T compare, T value) -> T
+    {
+        std::atomic_ref<T>(*addr).compare_exchange_strong(
+            compare,
+            value,
+            std::memory_order_relaxed,
+            std::memory_order_relaxed);
+        return compare;
+    }
+
+    //! \name Convenience wrappers
+    //! @{
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicAdd(TAcc const& acc, T* addr, T value) -> T
+    {
+        return atomicOp<op::Add>(acc, addr, value);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicSub(TAcc const& acc, T* addr, T value) -> T
+    {
+        return atomicOp<op::Sub>(acc, addr, value);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicMin(TAcc const& acc, T* addr, T value) -> T
+    {
+        return atomicOp<op::Min>(acc, addr, value);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicMax(TAcc const& acc, T* addr, T value) -> T
+    {
+        return atomicOp<op::Max>(acc, addr, value);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atomicExch(TAcc const& acc, T* addr, T value) -> T
+    {
+        return atomicOp<op::Exch>(acc, addr, value);
+    }
+    //! @}
+} // namespace alpaka::atomic

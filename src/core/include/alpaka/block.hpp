@@ -1,0 +1,76 @@
+/// \file Block-level kernel services: shared memory and synchronization
+/// (paper Sec. 3.2.2/3.2.3).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+
+#include <cstddef>
+
+namespace alpaka::block
+{
+    namespace sync
+    {
+        namespace trait
+        {
+            //! Customization point: block-wide barrier of an accelerator.
+            //! The generic implementation covers accelerators exposing a
+            //! syncBlockThreads() member; single-thread-per-block back-ends
+            //! (Serial, Omp2Blocks) synchronize trivially.
+            template<typename TAcc, typename = void>
+            struct SyncBlockThreads
+            {
+                ALPAKA_FN_ACC static void sync(TAcc const& acc)
+                {
+                    if constexpr(requires { acc.syncBlockThreads(); })
+                        acc.syncBlockThreads();
+                    // else: one thread per block, nothing to synchronize.
+                }
+            };
+        } // namespace trait
+
+        //! Synchronizes all threads of the calling block (the portable
+        //! __syncthreads). All threads of the block must reach the same
+        //! textual barrier; fiber-based back-ends detect violations.
+        template<typename TAcc>
+        ALPAKA_FN_ACC void syncBlockThreads(TAcc const& acc)
+        {
+            trait::SyncBlockThreads<TAcc>::sync(acc);
+        }
+    } // namespace sync
+
+    namespace shared
+    {
+        namespace st
+        {
+            //! Allocates a statically-sized variable in block shared memory.
+            //! All threads of a block receive the same object per call
+            //! site; contents are uninitialized (CUDA __shared__
+            //! semantics). Call sequence must be identical for all threads
+            //! of the block.
+            template<typename T, typename TAcc>
+            ALPAKA_FN_ACC auto allocVar(TAcc const& acc) -> T&
+            {
+                return acc.template allocVar<T>();
+            }
+        } // namespace st
+
+        namespace dyn
+        {
+            //! Pointer to the dynamic shared memory of the block, sized via
+            //! the kernel's getBlockSharedMemDynSizeBytes hook (see
+            //! alpaka/kernel.hpp).
+            template<typename T, typename TAcc>
+            ALPAKA_FN_ACC auto getMem(TAcc const& acc) -> T*
+            {
+                return acc.template dynSharedMem<T>();
+            }
+
+            //! Size of the dynamic shared memory region in bytes.
+            template<typename TAcc>
+            ALPAKA_FN_ACC auto getMemBytes(TAcc const& acc) -> std::size_t
+            {
+                return acc.dynSharedMemBytes();
+            }
+        } // namespace dyn
+    } // namespace shared
+} // namespace alpaka::block

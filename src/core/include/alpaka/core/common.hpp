@@ -1,0 +1,26 @@
+/// \file Function attribute macros and version information.
+///
+/// The paper (Sec. 3.4.2) defines three annotation macros marking functions
+/// as callable from host code, accelerator code, or both. On native CUDA
+/// these would expand to __host__/__device__; all back-ends of this
+/// reproduction execute in the host process, so the macros reduce to
+/// `inline` — which is exactly the "zero overhead" path the paper
+/// demonstrates for the CPU back-ends.
+#pragma once
+
+#define ALPAKA_FN_ACC inline
+#define ALPAKA_FN_HOST inline
+#define ALPAKA_FN_HOST_ACC inline
+
+#define ALPAKA_REPRO_VERSION_MAJOR 0
+#define ALPAKA_REPRO_VERSION_MINOR 1
+#define ALPAKA_REPRO_VERSION_PATCH 0
+
+namespace alpaka::core
+{
+    //! Library version as "major.minor.patch".
+    [[nodiscard]] constexpr auto versionString() noexcept -> char const*
+    {
+        return "0.1.0";
+    }
+} // namespace alpaka::core

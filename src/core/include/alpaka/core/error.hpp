@@ -1,0 +1,49 @@
+/// \file Host-side error types of the alpaka library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace alpaka
+{
+    //! Base class of all errors raised by the library.
+    class Error : public std::runtime_error
+    {
+    public:
+        using std::runtime_error::runtime_error;
+    };
+
+    //! A work division violates the constraints of the targeted accelerator
+    //! or device (e.g. more than one thread per block on a blocking-only
+    //! back-end, device limits exceeded, zero extents).
+    class InvalidWorkDivError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Block shared memory request exceeds the accelerator's capacity.
+    class SharedMemOverflowError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! An unrecoverable condition inside a kernel execution (the kernel
+    //! threw, threads diverged at a barrier, back-end resources failed).
+    //! The original error is preserved as the nested exception when one
+    //! exists.
+    class KernelExecutionError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Misuse of the host-side API (bad device index, mismatched devices in
+    //! a copy, ...).
+    class UsageError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+} // namespace alpaka

@@ -1,0 +1,56 @@
+/// \file Index-space mappings (paper Listing 3: `core::mapIdx<1>(gTIdx,
+/// gTExtent)`).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/vec.hpp"
+
+#include <cstddef>
+
+namespace alpaka::core
+{
+    //! Maps an index between dimensionalities within the same extent.
+    //!
+    //!  * N -> 1: row-major linearization (component 0 slowest),
+    //!  * 1 -> N: inverse de-linearization,
+    //!  * N -> N: identity.
+    //!
+    //! \tparam TDimOut the target dimensionality
+    //! \param idx the index to map
+    //! \param extent the extent of the index space; for N -> 1 the extent of
+    //!        the source space, for 1 -> N the extent of the target space.
+    template<std::size_t TDimOut, typename TDimIn, typename TSize>
+    ALPAKA_FN_HOST_ACC constexpr auto mapIdx(
+        Vec<TDimIn, TSize> const& idx,
+        Vec<dim::DimInt<(TDimOut == 1 ? TDimIn::value : TDimOut)>, TSize> const& extent) noexcept
+        -> Vec<dim::DimInt<TDimOut>, TSize>
+    {
+        constexpr std::size_t dimIn = TDimIn::value;
+        if constexpr(TDimOut == dimIn)
+        {
+            return idx;
+        }
+        else if constexpr(TDimOut == 1)
+        {
+            // Linearize: idx[0] * extent[1] * ... + ... + idx[N-1]
+            TSize linear = idx[0];
+            for(std::size_t d = 1; d < dimIn; ++d)
+                linear = linear * extent[d] + idx[d];
+            return Vec<dim::DimInt<1>, TSize>(linear);
+        }
+        else
+        {
+            static_assert(dimIn == 1, "mapIdx supports N->1, 1->N and N->N mappings");
+            Vec<dim::DimInt<TDimOut>, TSize> result;
+            TSize rest = idx[0];
+            for(std::size_t d = TDimOut; d-- > 1;)
+            {
+                result[d] = rest % extent[d];
+                rest /= extent[d];
+            }
+            result[0] = rest;
+            return result;
+        }
+    }
+} // namespace alpaka::core

@@ -1,0 +1,124 @@
+/// \file Generic in-order asynchronous task queue backing StreamCpuAsync.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace alpaka::core
+{
+    //! Single-worker FIFO executing tasks in enqueue order. Errors are
+    //! sticky: after the first failing task subsequent tasks are skipped
+    //! (except markers) and the error re-surfaces on wait().
+    class TaskQueue
+    {
+    public:
+        TaskQueue() : worker_([this](std::stop_token stop) { loop(stop); })
+        {
+        }
+
+        ~TaskQueue()
+        {
+            {
+                std::unique_lock lock(mutex_);
+                cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
+            }
+            worker_.request_stop();
+            cvWork_.notify_all();
+        }
+
+        TaskQueue(TaskQueue const&) = delete;
+        auto operator=(TaskQueue const&) -> TaskQueue& = delete;
+
+        //! Enqueues a task. \p always makes it run even on a broken queue
+        //! (event markers must complete or waiters would hang).
+        void enqueue(std::function<void()> task, bool always = false)
+        {
+            {
+                std::scoped_lock lock(mutex_);
+                queue_.push_back(Task{std::move(task), always});
+            }
+            cvWork_.notify_one();
+        }
+
+        //! Blocks until the queue drained; rethrows the sticky error.
+        void wait()
+        {
+            std::unique_lock lock(mutex_);
+            cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
+            if(error_ != nullptr)
+                std::rethrow_exception(error_);
+        }
+
+        [[nodiscard]] auto idle() const -> bool
+        {
+            std::scoped_lock lock(mutex_);
+            return queue_.empty() && !busy_;
+        }
+
+        [[nodiscard]] auto lastError() const -> std::exception_ptr
+        {
+            std::scoped_lock lock(mutex_);
+            return error_;
+        }
+
+    private:
+        struct Task
+        {
+            std::function<void()> fn;
+            bool always = false;
+        };
+
+        void loop(std::stop_token stop)
+        {
+            for(;;)
+            {
+                Task task;
+                {
+                    std::unique_lock lock(mutex_);
+                    cvWork_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+                    if(queue_.empty())
+                    {
+                        if(stop.stop_requested())
+                            return;
+                        continue;
+                    }
+                    task = std::move(queue_.front());
+                    queue_.pop_front();
+                    busy_ = true;
+                    if(error_ != nullptr && !task.always)
+                        task.fn = nullptr;
+                }
+                if(task.fn)
+                {
+                    try
+                    {
+                        task.fn();
+                    }
+                    catch(...)
+                    {
+                        std::scoped_lock lock(mutex_);
+                        if(error_ == nullptr)
+                            error_ = std::current_exception();
+                    }
+                }
+                {
+                    std::scoped_lock lock(mutex_);
+                    busy_ = false;
+                }
+                cvDrained_.notify_all();
+            }
+        }
+
+        mutable std::mutex mutex_;
+        std::condition_variable cvWork_;
+        std::condition_variable cvDrained_;
+        std::deque<Task> queue_;
+        bool busy_ = false;
+        std::exception_ptr error_{};
+        std::jthread worker_;
+    };
+} // namespace alpaka::core

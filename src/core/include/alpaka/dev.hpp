@@ -1,0 +1,159 @@
+/// \file Devices and platforms (paper Listing 5:
+/// `dev::DevMan<Acc>::getDevByIdx(0)`).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/core/error.hpp"
+
+#include "gpusim/platform.hpp"
+
+#include <cstddef>
+#include <string>
+#include <thread>
+
+namespace alpaka::dev
+{
+    //! The host CPU as a device. All CPU back-ends execute on it. Value
+    //! type; every instance denotes the same physical processor.
+    class DevCpu
+    {
+    public:
+        [[nodiscard]] auto getName() const -> std::string
+        {
+            return "CPU-" + std::to_string(std::thread::hardware_concurrency()) + "-threads";
+        }
+
+        //! Number of hardware threads.
+        [[nodiscard]] static auto concurrency() -> std::size_t
+        {
+            auto const n = std::thread::hardware_concurrency();
+            return n == 0 ? 1 : n;
+        }
+
+        [[nodiscard]] constexpr auto operator==(DevCpu const&) const noexcept -> bool = default;
+
+        //! Registry key for the stream registry (one per physical device).
+        [[nodiscard]] static auto registryKey() noexcept -> void const*
+        {
+            static int const anchor = 0;
+            return &anchor;
+        }
+    };
+
+    //! A simulated GPU (one gpusim device). Copyable handle.
+    class DevCudaSim
+    {
+    public:
+        explicit DevCudaSim(gpusim::Device& device) : device_(&device)
+        {
+        }
+
+        [[nodiscard]] auto getName() const -> std::string
+        {
+            return device_->spec().name;
+        }
+        [[nodiscard]] auto getMemBytes() const -> std::size_t
+        {
+            return device_->spec().globalMemBytes;
+        }
+        [[nodiscard]] auto getFreeMemBytes() const -> std::size_t
+        {
+            return device_->spec().globalMemBytes - device_->memory().stats().liveBytes;
+        }
+        [[nodiscard]] auto spec() const -> gpusim::DeviceSpec const&
+        {
+            return device_->spec();
+        }
+
+        //! The underlying simulator device.
+        [[nodiscard]] auto simDevice() const noexcept -> gpusim::Device&
+        {
+            return *device_;
+        }
+
+        [[nodiscard]] auto operator==(DevCudaSim const& other) const noexcept -> bool
+        {
+            return device_ == other.device_;
+        }
+
+        [[nodiscard]] auto registryKey() const noexcept -> void const*
+        {
+            return device_;
+        }
+
+    private:
+        gpusim::Device* device_;
+    };
+
+    //! Platform of the host CPU: exactly one device.
+    struct PltfCpu
+    {
+        using Dev = DevCpu;
+
+        [[nodiscard]] static auto getDevCount() -> std::size_t
+        {
+            return 1;
+        }
+        [[nodiscard]] static auto getDevByIdx(std::size_t idx) -> DevCpu
+        {
+            if(idx != 0)
+                throw UsageError("PltfCpu: device index out of range (the host has exactly one CPU device)");
+            return DevCpu{};
+        }
+    };
+
+    //! Platform of the simulated GPUs (configure via gpusim::Platform).
+    struct PltfCudaSim
+    {
+        using Dev = DevCudaSim;
+
+        [[nodiscard]] static auto getDevCount() -> std::size_t
+        {
+            return gpusim::Platform::instance().deviceCount();
+        }
+        [[nodiscard]] static auto getDevByIdx(std::size_t idx) -> DevCudaSim
+        {
+            return DevCudaSim(gpusim::Platform::instance().device(idx));
+        }
+    };
+
+    namespace trait
+    {
+        //! Customization point: the platform an accelerator (or other
+        //! entity) belongs to. Defaults to the nested `Pltf` alias.
+        template<typename T, typename = void>
+        struct PltfType
+        {
+            using type = typename T::Pltf;
+        };
+
+        //! Customization point: the device type of an entity. Defaults to
+        //! the nested `Dev` alias.
+        template<typename T, typename = void>
+        struct DevType
+        {
+            using type = typename T::Dev;
+        };
+    } // namespace trait
+
+    template<typename T>
+    using Pltf = typename trait::PltfType<T>::type;
+    template<typename T>
+    using Dev = typename trait::DevType<T>::type;
+
+    //! Device manager of an accelerator (paper Listing 5).
+    template<typename TAcc>
+    struct DevMan
+    {
+        using PltfType = Pltf<TAcc>;
+
+        [[nodiscard]] static auto getDevCount() -> std::size_t
+        {
+            return PltfType::getDevCount();
+        }
+        [[nodiscard]] static auto getDevByIdx(std::size_t idx)
+        {
+            return PltfType::getDevByIdx(idx);
+        }
+    };
+} // namespace alpaka::dev

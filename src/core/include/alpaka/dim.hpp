@@ -1,0 +1,42 @@
+/// \file Compile-time dimensionality (paper Sec. 3.1: "Each level of the
+/// Alpaka parallelization hierarchy is unrestricted in its dimensionality").
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace alpaka::dim
+{
+    //! A compile-time dimensionality. All extents, indices and work
+    //! divisions are parameterized on one of these.
+    template<std::size_t N>
+    struct DimInt : std::integral_constant<std::size_t, N>
+    {
+    };
+
+    using Dim1 = DimInt<1>;
+    using Dim2 = DimInt<2>;
+    using Dim3 = DimInt<3>;
+
+    namespace trait
+    {
+        //! Customization point: the dimensionality of an arbitrary type.
+        template<typename T, typename = void>
+        struct DimType
+        {
+            using type = typename T::Dim;
+        };
+    } // namespace trait
+
+    //! Alias resolving the dimensionality of \p T.
+    template<typename T>
+    using Dim = typename trait::DimType<T>::type;
+} // namespace alpaka::dim
+
+namespace alpaka
+{
+    // Paper listings use the unqualified names (e.g. `Dim2` in Listing 2).
+    using dim::Dim1;
+    using dim::Dim2;
+    using dim::Dim3;
+} // namespace alpaka

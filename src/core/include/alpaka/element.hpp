@@ -1,0 +1,117 @@
+/// \file Element-level iteration helpers.
+///
+/// The element level (paper Sec. 3.2.4) is exposed to kernels as raw
+/// extents; writing the chunked/grid-strided loops by hand is error prone.
+/// uniformElements(acc, n) produces the index range the calling thread is
+/// responsible for, covering [0, n) exactly once across the grid:
+///
+///   for(auto const i : alpaka::uniformElements(acc, n))
+///       y[i] = a * x[i] + y[i];
+///
+/// Layout: each thread owns contiguous chunks of `Thread x Elems` indices,
+/// advancing by the grid's total element capacity per round (a grid-strided
+/// chunk loop). When the grid covers the domain in one round — the layout
+/// of Table 2 — this degenerates to the plain chunk [tid*V, tid*V + V).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/idx.hpp"
+#include "alpaka/workdiv.hpp"
+
+#include <cstddef>
+
+namespace alpaka
+{
+    template<typename TSize>
+    class ElementRange
+    {
+    public:
+        class Iterator
+        {
+        public:
+            constexpr Iterator(TSize index, TSize chunkBegin, TSize chunkSize, TSize stride, TSize n) noexcept
+                : index_(index)
+                , chunkBegin_(chunkBegin)
+                , chunkSize_(chunkSize)
+                , stride_(stride)
+                , n_(n)
+            {
+                clampToDomain();
+            }
+
+            [[nodiscard]] constexpr auto operator*() const noexcept -> TSize
+            {
+                return index_;
+            }
+
+            constexpr auto operator++() noexcept -> Iterator&
+            {
+                ++index_;
+                if(index_ == chunkBegin_ + chunkSize_)
+                {
+                    // Chunk exhausted: jump to this thread's next chunk.
+                    chunkBegin_ += stride_;
+                    index_ = chunkBegin_;
+                }
+                clampToDomain();
+                return *this;
+            }
+
+            [[nodiscard]] constexpr auto operator==(Iterator const& other) const noexcept -> bool
+            {
+                return index_ == other.index_;
+            }
+
+        private:
+            constexpr void clampToDomain() noexcept
+            {
+                if(index_ >= n_)
+                    index_ = n_; // normalize every past-the-end state
+            }
+
+            TSize index_;
+            TSize chunkBegin_;
+            TSize chunkSize_;
+            TSize stride_;
+            TSize n_;
+        };
+
+        constexpr ElementRange(TSize first, TSize chunkSize, TSize stride, TSize n) noexcept
+            : first_(first)
+            , chunkSize_(chunkSize)
+            , stride_(stride)
+            , n_(n)
+        {
+        }
+
+        [[nodiscard]] constexpr auto begin() const noexcept -> Iterator
+        {
+            return Iterator(first_, first_, chunkSize_, stride_, n_);
+        }
+        [[nodiscard]] constexpr auto end() const noexcept -> Iterator
+        {
+            return Iterator(n_, first_, chunkSize_, stride_, n_);
+        }
+
+    private:
+        TSize first_;
+        TSize chunkSize_;
+        TSize stride_;
+        TSize n_;
+    };
+
+    //! The 1-d element indices of [0, n) owned by the calling thread.
+    //! Every index is produced by exactly one thread of the grid,
+    //! regardless of whether the grid is larger or smaller than the domain.
+    template<typename TAcc, typename TSize>
+    ALPAKA_FN_ACC constexpr auto uniformElements(TAcc const& acc, TSize n) -> ElementRange<TSize>
+    {
+        auto const gridThreadIdx
+            = static_cast<TSize>(core::mapIdx<1>(
+                  idx::getIdx<Grid, Threads>(acc),
+                  workdiv::getWorkDiv<Grid, Threads>(acc))[0]);
+        auto const gridThreadCount = static_cast<TSize>(workdiv::getWorkDiv<Grid, Threads>(acc).prod());
+        auto const elems = static_cast<TSize>(workdiv::getWorkDiv<Thread, Elems>(acc).prod());
+        return ElementRange<TSize>(gridThreadIdx * elems, elems, gridThreadCount * elems, n);
+    }
+} // namespace alpaka

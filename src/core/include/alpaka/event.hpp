@@ -1,0 +1,146 @@
+/// \file Events: completion markers recordable into streams.
+#pragma once
+
+#include "alpaka/dev.hpp"
+#include "alpaka/stream.hpp"
+
+#include "gpusim/stream.hpp"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace alpaka::event
+{
+    //! Host-managed event for CPU streams. Like its CUDA counterpart, an
+    //! event that has never been recorded counts as complete. Recording it
+    //! into a stream (stream::enqueue(stream, event)) completes it when all
+    //! previously enqueued work of that stream has finished.
+    class EventCpu
+    {
+    public:
+        using Dev = dev::DevCpu;
+
+        explicit EventCpu(dev::DevCpu const& device = {}) : dev_(device), state_(std::make_shared<State>())
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCpu
+        {
+            return dev_;
+        }
+
+        [[nodiscard]] auto isDone() const -> bool
+        {
+            std::scoped_lock lock(state_->mutex);
+            return state_->done;
+        }
+
+        //! Blocks the calling host thread until complete.
+        void wait() const
+        {
+            std::unique_lock lock(state_->mutex);
+            state_->cv.wait(lock, [&] { return state_->done; });
+        }
+
+        //! \name used by Enqueue/wait traits
+        //! @{
+        void markPending() const
+        {
+            std::scoped_lock lock(state_->mutex);
+            state_->done = false;
+        }
+        void complete() const
+        {
+            {
+                std::scoped_lock lock(state_->mutex);
+                state_->done = true;
+            }
+            state_->cv.notify_all();
+        }
+        //! @}
+
+    private:
+        struct State
+        {
+            mutable std::mutex mutex;
+            mutable std::condition_variable cv;
+            bool done = true;
+        };
+
+        dev::DevCpu dev_;
+        std::shared_ptr<State> state_;
+    };
+
+    //! Event of a simulated GPU; wraps gpusim::Event.
+    class EventCudaSim
+    {
+    public:
+        using Dev = dev::DevCudaSim;
+
+        explicit EventCudaSim(dev::DevCudaSim const& device) : dev_(device)
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCudaSim
+        {
+            return dev_;
+        }
+        [[nodiscard]] auto isDone() const -> bool
+        {
+            return event_.isDone();
+        }
+        void wait() const
+        {
+            event_.wait();
+        }
+        [[nodiscard]] auto simEvent() noexcept -> gpusim::Event&
+        {
+            return event_;
+        }
+        [[nodiscard]] auto simEvent() const noexcept -> gpusim::Event const&
+        {
+            return event_;
+        }
+
+    private:
+        dev::DevCudaSim dev_;
+        mutable gpusim::Event event_;
+    };
+} // namespace alpaka::event
+
+namespace alpaka::stream::trait
+{
+    //! Recording an EventCpu into the synchronous CPU stream: everything
+    //! already ran, so the event completes immediately.
+    template<>
+    struct Enqueue<StreamCpuSync, event::EventCpu>
+    {
+        static void enqueue(StreamCpuSync&, event::EventCpu& event)
+        {
+            event.markPending();
+            event.complete();
+        }
+    };
+
+    //! Recording an EventCpu into an asynchronous CPU stream.
+    template<>
+    struct Enqueue<StreamCpuAsync, event::EventCpu>
+    {
+        static void enqueue(StreamCpuAsync& stream, event::EventCpu& event)
+        {
+            event.markPending();
+            stream.push([event] { event.complete(); }, /*always=*/true);
+        }
+    };
+
+    //! Recording an EventCudaSim into a CudaSim stream.
+    template<bool TAsync>
+    struct Enqueue<detail::StreamCudaSimBase<TAsync>, event::EventCudaSim>
+    {
+        static void enqueue(detail::StreamCudaSimBase<TAsync>& stream, event::EventCudaSim& event)
+        {
+            stream.simStream().record(event.simEvent());
+        }
+    };
+} // namespace alpaka::stream::trait

@@ -1,0 +1,596 @@
+/// \file Kernel executors (paper Sec. 3.4.6, Listing 5):
+/// `exec::create<Acc>(workDiv, kernel, args...)` builds an execution task
+/// binding accelerator, work division, kernel and arguments;
+/// `stream::enqueue(stream, exec)` runs it.
+#pragma once
+
+#include "alpaka/acc/acc_cpu.hpp"
+#include "alpaka/acc/acc_cpu_extra.hpp"
+#include "alpaka/acc/acc_cudasim.hpp"
+#include "alpaka/block.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/core/map_idx.hpp"
+#include "alpaka/dev.hpp"
+#include "alpaka/kernel.hpp"
+#include "alpaka/meta/nd_loop.hpp"
+#include "alpaka/stream.hpp"
+#include "alpaka/workdiv_policy.hpp"
+
+#include "fiber/fiber.hpp"
+#include "gpusim/device.hpp"
+#include "threadpool/thread_pool.hpp"
+
+#include <omp.h>
+
+#include <barrier>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace alpaka::exec
+{
+    //! The execution task: accelerator type + work division + kernel
+    //! function object + bound arguments. A plain value; enqueue it into a
+    //! stream of a matching device to run it.
+    template<typename TAcc, typename TKernel, typename... TArgs>
+    class TaskKernel
+    {
+    public:
+        using Acc = TAcc;
+        using Dim = typename TAcc::Dim;
+        using Size = typename TAcc::Size;
+
+        TaskKernel(workdiv::WorkDivMembers<Dim, Size> workDiv, TKernel kernel, TArgs... args)
+            : workDiv_(std::move(workDiv))
+            , kernel_(std::move(kernel))
+            , args_(std::move(args)...)
+        {
+        }
+
+        [[nodiscard]] auto workDiv() const noexcept -> workdiv::WorkDivMembers<Dim, Size> const&
+        {
+            return workDiv_;
+        }
+        [[nodiscard]] auto kernel() const noexcept -> TKernel const&
+        {
+            return kernel_;
+        }
+        [[nodiscard]] auto args() const noexcept -> std::tuple<TArgs...> const&
+        {
+            return args_;
+        }
+
+        //! Dynamic shared memory requirement for this launch.
+        [[nodiscard]] auto dynSharedMemBytes() const -> std::size_t
+        {
+            return std::apply(
+                [&](TArgs const&... unpacked)
+                {
+                    return kernel::trait::BlockSharedMemDynSizeBytes<TKernel>::get(
+                        kernel_,
+                        workDiv_.blockThreadExtent(),
+                        workDiv_.threadElemExtent(),
+                        unpacked...);
+                },
+                args_);
+        }
+
+        //! Invokes the kernel with \p acc and the bound arguments.
+        void invoke(TAcc const& acc) const
+        {
+            std::apply([&](TArgs const&... unpacked) { kernel_(acc, unpacked...); }, args_);
+        }
+
+    private:
+        workdiv::WorkDivMembers<Dim, Size> workDiv_;
+        TKernel kernel_;
+        std::tuple<TArgs...> args_;
+    };
+
+    //! Creates an execution task (paper Listing 5:
+    //! `exec::create<Acc>(workDiv, kernel, args...)`).
+    template<typename TAcc, typename TWorkDiv, typename TKernel, typename... TArgs>
+    [[nodiscard]] auto create(TWorkDiv const& workDiv, TKernel const& kernel, TArgs&&... args)
+    {
+        using Dim = typename TAcc::Dim;
+        using Size = typename TAcc::Size;
+        workdiv::WorkDivMembers<Dim, Size> const wd(
+            workdiv::getWorkDiv<Grid, Blocks>(workDiv),
+            workdiv::getWorkDiv<Block, Threads>(workDiv),
+            workdiv::getWorkDiv<Thread, Elems>(workDiv));
+        return TaskKernel<TAcc, TKernel, std::decay_t<TArgs>...>(wd, kernel, std::forward<TArgs>(args)...);
+    }
+
+    namespace detail
+    {
+        //! First-error capture shared by the multi-threaded runners.
+        class ErrorSlot
+        {
+        public:
+            void captureCurrent() noexcept
+            {
+                std::scoped_lock lock(mutex_);
+                if(error_ == nullptr)
+                    error_ = std::current_exception();
+            }
+            void rethrowIfSet()
+            {
+                if(error_ != nullptr)
+                    std::rethrow_exception(error_);
+            }
+
+        private:
+            std::mutex mutex_;
+            std::exception_ptr error_{};
+        };
+
+        //! Per-accelerator grid execution on the host. Specializations
+        //! implement the mapping of the abstract hierarchy onto the
+        //! parallelism model (paper Sec. 3.3).
+        template<typename TAcc>
+        struct KernelRunner;
+
+        //! Shared per-run block state for the CPU runners. The arena is
+        //! allocated *without* value-initialization: shared memory contents
+        //! are undefined (CUDA semantics) and touching multiple megabytes
+        //! per launch would violate the zero-overhead property (Fig. 5).
+        template<typename TDim, typename TSize>
+        struct CpuRunContext
+        {
+            template<typename TTask>
+            CpuRunContext(dev::DevCpu const& dev, TTask const& task, std::size_t capacityBytes)
+                : arena(std::make_unique_for_overwrite<std::byte[]>(capacityBytes))
+                , shared{arena.get(), capacityBytes, task.dynSharedMemBytes()}
+            {
+                (void) dev;
+                if(shared.dynBytes > capacityBytes)
+                    throw SharedMemOverflowError(
+                        "dynamic shared memory request of " + std::to_string(shared.dynBytes)
+                        + " B exceeds the accelerator's " + std::to_string(capacityBytes) + " B");
+            }
+
+            std::unique_ptr<std::byte[]> arena;
+            acc::detail::SharedBlock shared;
+        };
+
+        //! Decodes linear block index \p b into grid coordinates.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] auto blockIdxFromLinear(Vec<TDim, TSize> const& gridExtent, TSize b) -> Vec<TDim, TSize>
+        {
+            return core::mapIdx<TDim::value>(Vec<dim::DimInt<1>, TSize>(b), gridExtent);
+        }
+
+        // ------------------------------------------------------------------
+        //! Sequential back-end: a double loop over blocks (threads per block
+        //! fixed to one by validation).
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuSerial<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuSerial<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                CpuRunContext<TDim, TSize> ctx(dev, task, props.sharedMemSizeBytes);
+
+                meta::ndLoop(
+                    wd.gridBlockExtent(),
+                    [&](Vec<TDim, TSize> const& blockIdx)
+                    {
+                        Acc const acc(wd, blockIdx, Vec<TDim, TSize>::zeros(), ctx.shared);
+                        task.invoke(acc);
+                    });
+            }
+        };
+
+        // ------------------------------------------------------------------
+        //! C++ thread back-end: one OS thread per alpaka thread; every
+        //! thread walks the block list; a std::barrier separates blocks and
+        //! implements block synchronization.
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuThreads<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuThreads<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                CpuRunContext<TDim, TSize> ctx(dev, task, props.sharedMemSizeBytes);
+
+                auto const threadCount = static_cast<std::size_t>(wd.blockThreadExtent().prod());
+                auto const blockCount = wd.gridBlockExtent().prod();
+                std::barrier barrier(static_cast<std::ptrdiff_t>(threadCount));
+                ErrorSlot errors;
+
+                {
+                    std::vector<std::jthread> team;
+                    team.reserve(threadCount);
+                    for(std::size_t t = 0; t < threadCount; ++t)
+                    {
+                        team.emplace_back(
+                            [&, t]
+                            {
+                                auto const threadIdx = blockIdxFromLinear<TDim, TSize>(
+                                    wd.blockThreadExtent(),
+                                    static_cast<TSize>(t));
+                                try
+                                {
+                                    for(TSize b = 0; b < blockCount; ++b)
+                                    {
+                                        Acc const acc(
+                                            wd,
+                                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
+                                            threadIdx,
+                                            ctx.shared,
+                                            &barrier);
+                                        task.invoke(acc);
+                                        // Block boundary: no thread enters
+                                        // block b+1 (and reuses the shared
+                                        // arena) while a sibling still works
+                                        // on block b.
+                                        barrier.arrive_and_wait();
+                                    }
+                                }
+                                catch(...)
+                                {
+                                    errors.captureCurrent();
+                                    // Withdraw from all future barrier
+                                    // phases so the siblings do not deadlock
+                                    // waiting for this thread.
+                                    barrier.arrive_and_drop();
+                                }
+                            });
+                    }
+                } // jthreads join here
+
+                errors.rethrowIfSet();
+            }
+        };
+
+        // ------------------------------------------------------------------
+        //! Fiber back-end: the threads of a block are cooperative fibers on
+        //! the calling OS thread; divergence at barriers is detected.
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuFibers<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuFibers<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                CpuRunContext<TDim, TSize> ctx(dev, task, props.sharedMemSizeBytes);
+
+                auto const threadCount = static_cast<std::size_t>(wd.blockThreadExtent().prod());
+                auto const blockCount = wd.gridBlockExtent().prod();
+                fiber::Scheduler scheduler;
+                fiber::Barrier barrier(threadCount);
+
+                try
+                {
+                    scheduler.run(
+                        threadCount,
+                        [&](std::size_t const t)
+                        {
+                            auto const threadIdx = blockIdxFromLinear<TDim, TSize>(
+                                wd.blockThreadExtent(),
+                                static_cast<TSize>(t));
+                            for(TSize b = 0; b < blockCount; ++b)
+                            {
+                                Acc const acc(
+                                    wd,
+                                    blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
+                                    threadIdx,
+                                    ctx.shared,
+                                    &barrier);
+                                task.invoke(acc);
+                                barrier.arriveAndWait();
+                            }
+                        });
+                }
+                catch(fiber::BarrierDivergenceError const& e)
+                {
+                    throw KernelExecutionError(
+                        std::string("AccCpuFibers: barrier divergence inside kernel: ") + e.what());
+                }
+            }
+        };
+
+        // ------------------------------------------------------------------
+        //! OpenMP 2 blocks back-end: `#pragma omp parallel for` over blocks,
+        //! one alpaka thread per block (paper Sec. 4: the "OpenMP 2
+        //! back-end" of the evaluation).
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuOmp2Blocks<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuOmp2Blocks<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                auto const capacity = props.sharedMemSizeBytes;
+                auto const dynBytes = task.dynSharedMemBytes();
+                if(dynBytes > capacity)
+                    throw SharedMemOverflowError("AccCpuOmp2Blocks: dynamic shared memory exceeds capacity");
+
+                auto const blockCount = static_cast<long long>(wd.gridBlockExtent().prod());
+                ErrorSlot errors;
+
+#pragma omp parallel default(shared)
+                {
+                    // Blocks run concurrently across the team, so each OpenMP
+                    // thread owns a private shared-memory arena (allocated
+                    // without value-initialization, see CpuRunContext).
+                    auto const arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
+                    acc::detail::SharedBlock const shared{arena.get(), capacity, dynBytes};
+#pragma omp for schedule(static)
+                    for(long long b = 0; b < blockCount; ++b)
+                    {
+                        try
+                        {
+                            Acc const acc(
+                                wd,
+                                blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
+                                Vec<TDim, TSize>::zeros(),
+                                shared);
+                            task.invoke(acc);
+                        }
+                        catch(...)
+                        {
+                            errors.captureCurrent();
+                        }
+                    }
+                }
+
+                errors.rethrowIfSet();
+            }
+        };
+
+        // ------------------------------------------------------------------
+        //! OpenMP 2 threads back-end: the block's threads form an OpenMP
+        //! team; blocks run one after another inside the region.
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuOmp2Threads<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuOmp2Threads<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                CpuRunContext<TDim, TSize> ctx(dev, task, props.sharedMemSizeBytes);
+
+                auto const threadCount = static_cast<int>(wd.blockThreadExtent().prod());
+                auto const blockCount = wd.gridBlockExtent().prod();
+                std::barrier barrier(threadCount);
+                ErrorSlot errors;
+                bool teamSizeOk = true;
+
+#pragma omp parallel num_threads(threadCount) default(shared)
+                {
+                    if(omp_get_num_threads() != threadCount)
+                    {
+#pragma omp single
+                        teamSizeOk = false;
+                    }
+                    else
+                    {
+                        auto const t = static_cast<TSize>(omp_get_thread_num());
+                        auto const threadIdx = blockIdxFromLinear<TDim, TSize>(wd.blockThreadExtent(), t);
+                        try
+                        {
+                            for(TSize b = 0; b < blockCount; ++b)
+                            {
+                                Acc const acc(
+                                    wd,
+                                    blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
+                                    threadIdx,
+                                    ctx.shared,
+                                    &barrier);
+                                task.invoke(acc);
+                                barrier.arrive_and_wait();
+                            }
+                        }
+                        catch(...)
+                        {
+                            errors.captureCurrent();
+                            barrier.arrive_and_drop();
+                        }
+                    }
+                }
+
+                if(!teamSizeOk)
+                    throw KernelExecutionError(
+                        "AccCpuOmp2Threads: OpenMP delivered a smaller team than requested ("
+                        + std::to_string(threadCount) + " threads needed)");
+                errors.rethrowIfSet();
+            }
+        };
+        // ------------------------------------------------------------------
+        //! Task-pool back-end: blocks are pool tasks, scheduled dynamically
+        //! (the TBB-style future-work back-end of the paper).
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuTaskBlocks<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuTaskBlocks<TDim, TSize>;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                auto const capacity = props.sharedMemSizeBytes;
+                auto const dynBytes = task.dynSharedMemBytes();
+                if(dynBytes > capacity)
+                    throw SharedMemOverflowError("AccCpuTaskBlocks: dynamic shared memory exceeds capacity");
+
+                auto& pool = threadpool::ThreadPool::global();
+                // One arena per pool worker plus one for the helping
+                // submitter thread (worker index npos -> last slot).
+                auto const arenaCount = pool.workerCount() + 1;
+                std::vector<std::unique_ptr<std::byte[]>> arenas(arenaCount);
+                for(auto& arena : arenas)
+                    arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
+
+                auto const blockCount = static_cast<std::size_t>(wd.gridBlockExtent().prod());
+                pool.parallelFor(
+                    blockCount,
+                    [&](std::size_t const b)
+                    {
+                        auto workerIdx = threadpool::ThreadPool::currentWorkerIndex();
+                        if(workerIdx == threadpool::ThreadPool::npos)
+                            workerIdx = arenas.size() - 1;
+                        acc::detail::SharedBlock const shared{arenas[workerIdx].get(), capacity, dynBytes};
+                        Acc const acc(
+                            wd,
+                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
+                            Vec<TDim, TSize>::zeros(),
+                            shared);
+                        task.invoke(acc);
+                    });
+            }
+        };
+
+        // ------------------------------------------------------------------
+        //! OpenMP 4.x target-offload back-end. Without a configured offload
+        //! device the target region executes on the host (the standard's
+        //! fallback), which is the mode exercised here; the mapping of the
+        //! block level onto `teams distribute` is identical either way.
+        template<typename TDim, typename TSize>
+        struct KernelRunner<acc::AccCpuOmp4<TDim, TSize>>
+        {
+            using Acc = acc::AccCpuOmp4<TDim, TSize>;
+            static constexpr int maxTeams = 64;
+
+            template<typename TKernel, typename... TArgs>
+            static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+            {
+                auto const& wd = task.workDiv();
+                workdiv::requireValidWorkDiv<Acc>(dev, wd);
+                auto const props = acc::getAccDevProps<Acc>(dev);
+                auto const capacity = props.sharedMemSizeBytes;
+                auto const dynBytes = task.dynSharedMemBytes();
+                if(dynBytes > capacity)
+                    throw SharedMemOverflowError("AccCpuOmp4: dynamic shared memory exceeds capacity");
+
+                // One arena per team, pre-allocated outside the region.
+                std::vector<std::unique_ptr<std::byte[]>> arenas(maxTeams);
+                for(auto& arena : arenas)
+                    arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
+
+                auto const blockCount = static_cast<long long>(wd.gridBlockExtent().prod());
+                ErrorSlot errors;
+
+#pragma omp target teams distribute num_teams(maxTeams)
+                for(long long b = 0; b < blockCount; ++b)
+                {
+                    try
+                    {
+                        auto const team = static_cast<std::size_t>(omp_get_team_num()) % maxTeams;
+                        acc::detail::SharedBlock const shared{arenas[team].get(), capacity, dynBytes};
+                        Acc const acc(
+                            wd,
+                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
+                            Vec<TDim, TSize>::zeros(),
+                            shared);
+                        task.invoke(acc);
+                    }
+                    catch(...)
+                    {
+                        errors.captureCurrent();
+                    }
+                }
+
+                errors.rethrowIfSet();
+            }
+        };
+    } // namespace detail
+} // namespace alpaka::exec
+
+namespace alpaka::stream::trait
+{
+    //! Kernel task into the synchronous CPU stream: runs inline.
+    template<typename TAcc, typename TKernel, typename... TArgs>
+        requires(std::is_same_v<typename TAcc::Dev, dev::DevCpu>)
+    struct Enqueue<StreamCpuSync, exec::TaskKernel<TAcc, TKernel, TArgs...>>
+    {
+        static void enqueue(StreamCpuSync& stream, exec::TaskKernel<TAcc, TKernel, TArgs...> const& task)
+        {
+            exec::detail::KernelRunner<TAcc>::run(stream.getDev(), task);
+        }
+    };
+
+    //! Kernel task into the asynchronous CPU stream: runs on the worker.
+    template<typename TAcc, typename TKernel, typename... TArgs>
+        requires(std::is_same_v<typename TAcc::Dev, dev::DevCpu>)
+    struct Enqueue<StreamCpuAsync, exec::TaskKernel<TAcc, TKernel, TArgs...>>
+    {
+        static void enqueue(StreamCpuAsync& stream, exec::TaskKernel<TAcc, TKernel, TArgs...> task)
+        {
+            auto const dev = stream.getDev();
+            stream.push([dev, task = std::move(task)] { exec::detail::KernelRunner<TAcc>::run(dev, task); });
+        }
+    };
+
+    //! Kernel task into a CudaSim stream: translated into a simulator grid
+    //! launch. The task is stored in shared ownership so the kernel body
+    //! outlives the enqueue call.
+    template<bool TAsync, typename TDim, typename TSize, typename TKernel, typename... TArgs>
+    struct Enqueue<
+        detail::StreamCudaSimBase<TAsync>,
+        exec::TaskKernel<acc::AccGpuCudaSim<TDim, TSize>, TKernel, TArgs...>>
+    {
+        using Acc = acc::AccGpuCudaSim<TDim, TSize>;
+
+        static void enqueue(
+            detail::StreamCudaSimBase<TAsync>& stream,
+            exec::TaskKernel<Acc, TKernel, TArgs...> task)
+        {
+            auto const dev = stream.getDev();
+            workdiv::requireValidWorkDiv<Acc>(dev, task.workDiv());
+
+            auto const& spec = dev.spec();
+            auto const dynBytes = task.dynSharedMemBytes();
+            if(dynBytes > spec.sharedMemPerBlock)
+                throw SharedMemOverflowError(
+                    "AccGpuCudaSim: kernel requests " + std::to_string(dynBytes)
+                    + " B dynamic shared memory but the device provides "
+                    + std::to_string(spec.sharedMemPerBlock) + " B per block");
+
+            gpusim::GridSpec grid;
+            grid.grid = acc::detail::vecToDim3(task.workDiv().gridBlockExtent());
+            grid.block = acc::detail::vecToDim3(task.workDiv().blockThreadExtent());
+            // Request the full per-block shared memory: the dynamic region
+            // occupies the front, statically allocated vars the rest.
+            grid.sharedMemBytes = spec.sharedMemPerBlock;
+
+            auto const sharedTask
+                = std::make_shared<exec::TaskKernel<Acc, TKernel, TArgs...>>(std::move(task));
+            auto const capacity = spec.sharedMemPerBlock;
+            gpusim::KernelBody body = [sharedTask, dynBytes, capacity](gpusim::ThreadCtx& ctx)
+            {
+                acc::detail::SharedBlock const shared{ctx.sharedMem(), capacity, dynBytes};
+                Acc const acc(sharedTask->workDiv(), shared, ctx);
+                sharedTask->invoke(acc);
+            };
+            stream.simStream().launch(grid, std::move(body));
+        }
+    };
+} // namespace alpaka::stream::trait

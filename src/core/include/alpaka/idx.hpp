@@ -1,0 +1,90 @@
+/// \file Index retrieval inside kernels (paper Listing 3).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/origin.hpp"
+#include "alpaka/vec.hpp"
+#include "alpaka/workdiv.hpp"
+
+#include <concepts>
+
+namespace alpaka
+{
+    //! Anything that can tell a thread where it is: an accelerator handed to
+    //! a kernel. Extends ConceptWorkDiv by the two index vectors.
+    template<typename T>
+    concept ConceptIdxProvider = ConceptWorkDiv<T> && requires(T const& acc) {
+        {
+            acc.gridBlockIdx()
+        } -> std::convertible_to<Vec<typename T::Dim, typename T::Size>>;
+        {
+            acc.blockThreadIdx()
+        } -> std::convertible_to<Vec<typename T::Dim, typename T::Size>>;
+    };
+} // namespace alpaka
+
+namespace alpaka::idx
+{
+    namespace trait
+    {
+        //! Customization point: the index of the calling unit. Back-ends
+        //! with native index registers could specialize per accelerator;
+        //! the generic implementations cover every accelerator that stores
+        //! its block/thread coordinates (all back-ends of this repo).
+        template<typename TOrigin, typename TUnit>
+        struct GetIdx;
+
+        //! Block index within the grid.
+        template<>
+        struct GetIdx<Grid, Blocks>
+        {
+            template<ConceptIdxProvider TAcc>
+            ALPAKA_FN_ACC static constexpr auto get(TAcc const& acc)
+            {
+                return acc.gridBlockIdx();
+            }
+        };
+
+        //! Thread index within the block.
+        template<>
+        struct GetIdx<Block, Threads>
+        {
+            template<ConceptIdxProvider TAcc>
+            ALPAKA_FN_ACC static constexpr auto get(TAcc const& acc)
+            {
+                return acc.blockThreadIdx();
+            }
+        };
+
+        //! Thread index within the grid.
+        template<>
+        struct GetIdx<Grid, Threads>
+        {
+            template<ConceptIdxProvider TAcc>
+            ALPAKA_FN_ACC static constexpr auto get(TAcc const& acc)
+            {
+                return acc.gridBlockIdx() * acc.blockThreadExtent() + acc.blockThreadIdx();
+            }
+        };
+
+        //! Index of the first element of the calling thread, in element
+        //! units from the grid origin.
+        template<>
+        struct GetIdx<Grid, Elems>
+        {
+            template<ConceptIdxProvider TAcc>
+            ALPAKA_FN_ACC static constexpr auto get(TAcc const& acc)
+            {
+                return GetIdx<Grid, Threads>::get(acc) * acc.threadElemExtent();
+            }
+        };
+    } // namespace trait
+
+    //! The calling unit's index (paper Listing 3:
+    //! `idx::getIdx<Grid, Threads>(acc)`).
+    template<typename TOrigin, typename TUnit, ConceptIdxProvider TAcc>
+    ALPAKA_FN_ACC constexpr auto getIdx(TAcc const& acc)
+    {
+        return trait::GetIdx<TOrigin, TUnit>::get(acc);
+    }
+} // namespace alpaka::idx

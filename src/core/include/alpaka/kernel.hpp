@@ -1,0 +1,48 @@
+/// \file Kernel-related traits.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/vec.hpp"
+
+#include <concepts>
+#include <cstddef>
+
+namespace alpaka::kernel::trait
+{
+    //! Customization point: how many bytes of dynamic ("extern") block
+    //! shared memory a kernel needs for a given launch configuration.
+    //!
+    //! The default picks up an optional member
+    //!   `kernel.getBlockSharedMemDynSizeBytes(blockThreadExtent,
+    //!    threadElemExtent, args...)`
+    //! and otherwise returns zero. Kernels like the tiled DGEMM use the hook
+    //! to size their tiles from the work division — this is how a single
+    //! source adapts its shared memory use per architecture (paper
+    //! Sec. 4.2.2: "considers the architecture cache sizes by adapting ...
+    //! the size of the shared memory").
+    template<typename TKernel, typename = void>
+    struct BlockSharedMemDynSizeBytes
+    {
+        template<typename TDim, typename TSize, typename... TArgs>
+        [[nodiscard]] static auto get(
+            TKernel const& kernel,
+            Vec<TDim, TSize> const& blockThreadExtent,
+            Vec<TDim, TSize> const& threadElemExtent,
+            TArgs const&... args) -> std::size_t
+        {
+            if constexpr(requires {
+                             {
+                                 kernel.getBlockSharedMemDynSizeBytes(blockThreadExtent, threadElemExtent, args...)
+                             } -> std::convertible_to<std::size_t>;
+                         })
+            {
+                return kernel.getBlockSharedMemDynSizeBytes(blockThreadExtent, threadElemExtent, args...);
+            }
+            else
+            {
+                (void) kernel;
+                return 0;
+            }
+        }
+    };
+} // namespace alpaka::kernel::trait

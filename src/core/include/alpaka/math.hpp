@@ -1,0 +1,233 @@
+/// \file Math functions usable from kernels.
+///
+/// Every function takes the accelerator as its first argument and dispatches
+/// through a trait, so back-ends can substitute device-specific
+/// implementations (on real CUDA these map to the device intrinsics; here
+/// all back-ends share the host libm). Kernels that use alpaka::math are
+/// therefore portable across back-ends by construction.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alpaka::math
+{
+    namespace trait
+    {
+        // One trait per function keeps each independently specializable per
+        // accelerator, which is the extension mechanism the paper claims
+        // ("specialization of its internals for optimization").
+
+        template<typename TAcc, typename T, typename = void>
+        struct Sqrt
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::sqrt(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Rsqrt
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return T(1) / std::sqrt(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Sin
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::sin(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Cos
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::cos(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Tan
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::tan(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Exp
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::exp(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Log
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::log(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Abs
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::abs(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Floor
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::floor(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Ceil
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::ceil(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Erf
+        {
+            ALPAKA_FN_ACC static auto apply(T x)
+            {
+                return std::erf(x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Pow
+        {
+            ALPAKA_FN_ACC static auto apply(T base, T exponent)
+            {
+                return std::pow(base, exponent);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Atan2
+        {
+            ALPAKA_FN_ACC static auto apply(T y, T x)
+            {
+                return std::atan2(y, x);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Fma
+        {
+            ALPAKA_FN_ACC static auto apply(T a, T b, T c)
+            {
+                return std::fma(a, b, c);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Min
+        {
+            ALPAKA_FN_ACC static auto apply(T a, T b)
+            {
+                return std::min(a, b);
+            }
+        };
+        template<typename TAcc, typename T, typename = void>
+        struct Max
+        {
+            ALPAKA_FN_ACC static auto apply(T a, T b)
+            {
+                return std::max(a, b);
+            }
+        };
+    } // namespace trait
+
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto sqrt(TAcc const&, T x)
+    {
+        return trait::Sqrt<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto rsqrt(TAcc const&, T x)
+    {
+        return trait::Rsqrt<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto sin(TAcc const&, T x)
+    {
+        return trait::Sin<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto cos(TAcc const&, T x)
+    {
+        return trait::Cos<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto tan(TAcc const&, T x)
+    {
+        return trait::Tan<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto exp(TAcc const&, T x)
+    {
+        return trait::Exp<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto log(TAcc const&, T x)
+    {
+        return trait::Log<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto abs(TAcc const&, T x)
+    {
+        return trait::Abs<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto floor(TAcc const&, T x)
+    {
+        return trait::Floor<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto ceil(TAcc const&, T x)
+    {
+        return trait::Ceil<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto erf(TAcc const&, T x)
+    {
+        return trait::Erf<TAcc, T>::apply(x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto pow(TAcc const&, T base, T exponent)
+    {
+        return trait::Pow<TAcc, T>::apply(base, exponent);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto atan2(TAcc const&, T y, T x)
+    {
+        return trait::Atan2<TAcc, T>::apply(y, x);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto fma(TAcc const&, T a, T b, T c)
+    {
+        return trait::Fma<TAcc, T>::apply(a, b, c);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto min(TAcc const&, T a, T b)
+    {
+        return trait::Min<TAcc, T>::apply(a, b);
+    }
+    template<typename TAcc, typename T>
+    ALPAKA_FN_ACC auto max(TAcc const&, T a, T b)
+    {
+        return trait::Max<TAcc, T>::apply(a, b);
+    }
+} // namespace alpaka::math

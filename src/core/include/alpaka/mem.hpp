@@ -1,0 +1,572 @@
+/// \file Memory buffers, views and deep copies (paper Sec. 3.4.4,
+/// Listing 4).
+///
+/// The paper's memory model is deliberately simple: buffers store a plain
+/// pointer plus residing device, extent, pitch and dimension; copies between
+/// memory levels are explicit and data layout is never hidden from the user
+/// ("data structure agnostic"). Buffers are uniform across devices, so one
+/// `mem::view::copy` moves data between any combination of host and
+/// (simulated) accelerator buffers.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/dev.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/stream.hpp"
+#include "alpaka/vec.hpp"
+
+#include <concepts>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+namespace alpaka::mem
+{
+    namespace detail
+    {
+        [[nodiscard]] constexpr auto roundUp(std::size_t value, std::size_t mult) noexcept -> std::size_t
+        {
+            return (value + mult - 1) / mult * mult;
+        }
+
+        //! Row count of an extent: the product of all but the innermost
+        //! dimension.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] constexpr auto rowCount(Vec<TDim, TSize> const& extent) noexcept -> std::size_t
+        {
+            std::size_t rows = 1;
+            for(std::size_t d = 0; d + 1 < TDim::value; ++d)
+                rows *= static_cast<std::size_t>(extent[d]);
+            return rows;
+        }
+
+        //! Byte strides of a pitched buffer: strides[N-1] = sizeof(elem),
+        //! strides[N-2] = rowPitch, outer strides derived from the buffer's
+        //! own extent.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] constexpr auto byteStrides(
+            Vec<TDim, TSize> const& bufExtent,
+            std::size_t elemBytes,
+            std::size_t rowPitchBytes) noexcept -> Vec<TDim, std::size_t>
+        {
+            constexpr std::size_t n = TDim::value;
+            Vec<TDim, std::size_t> strides = Vec<TDim, std::size_t>::zeros();
+            strides[n - 1] = elemBytes;
+            if constexpr(n >= 2)
+            {
+                strides[n - 2] = rowPitchBytes;
+                for(std::size_t d = n - 2; d-- > 0;)
+                    strides[d] = strides[d + 1] * static_cast<std::size_t>(bufExtent[d + 1]);
+            }
+            return strides;
+        }
+
+        //! Byte offset of row \p row (rows enumerated over the copy extent,
+        //! innermost-but-one dimension fastest) within a buffer described by
+        //! \p strides.
+        template<typename TDim, typename TSize>
+        [[nodiscard]] constexpr auto rowByteOffset(
+            std::size_t row,
+            Vec<TDim, TSize> const& copyExtent,
+            Vec<TDim, std::size_t> const& strides) noexcept -> std::size_t
+        {
+            constexpr std::size_t n = TDim::value;
+            std::size_t offset = 0;
+            std::size_t rest = row;
+            if constexpr(n >= 2)
+            {
+                for(std::size_t d = n - 1; d-- > 0;)
+                {
+                    auto const e = static_cast<std::size_t>(copyExtent[d]);
+                    offset += (rest % e) * strides[d];
+                    rest /= e;
+                }
+            }
+            return offset;
+        }
+    } // namespace detail
+} // namespace alpaka::mem
+
+namespace alpaka::mem::buf
+{
+    //! Host (CPU) buffer with rows aligned to cache-line boundaries.
+    //! Shared-ownership value type: copies refer to the same storage, the
+    //! last owner frees it.
+    template<typename TElem, typename TDim, typename TSize>
+    class BufCpu
+    {
+        static_assert(std::is_trivially_copyable_v<TElem>, "buffers hold trivially copyable elements");
+
+    public:
+        using Elem = TElem;
+        using Dim = TDim;
+        using Size = TSize;
+        using Dev = dev::DevCpu;
+        static constexpr std::size_t rowAlignment = 64;
+
+        BufCpu(dev::DevCpu const& device, Vec<TDim, TSize> const& extent)
+            : impl_(std::make_shared<Impl>(device, extent))
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCpu
+        {
+            return impl_->dev;
+        }
+        [[nodiscard]] auto extent() const noexcept -> Vec<TDim, TSize> const&
+        {
+            return impl_->extent;
+        }
+        //! Plain pointer to the first element (paper: "simple buffers that
+        //! store the plain pointer").
+        [[nodiscard]] auto data() const noexcept -> TElem*
+        {
+            return impl_->ptr;
+        }
+        //! Stride in bytes between consecutive rows.
+        [[nodiscard]] auto rowPitchBytes() const noexcept -> std::size_t
+        {
+            return impl_->pitchBytes;
+        }
+
+    private:
+        struct Impl
+        {
+            Impl(dev::DevCpu const& device, Vec<TDim, TSize> const& ext) : dev(device), extent(ext)
+            {
+                if(!ext.allOf([](TSize v) { return v > static_cast<TSize>(0); }))
+                    throw UsageError("BufCpu: extents must be positive");
+                auto const widthBytes = static_cast<std::size_t>(ext.back()) * sizeof(TElem);
+                pitchBytes = TDim::value == 1 ? widthBytes : detail::roundUp(widthBytes, rowAlignment);
+                bytes = pitchBytes * detail::rowCount(ext);
+                ptr = static_cast<TElem*>(::operator new[](bytes, std::align_val_t{rowAlignment}));
+            }
+            ~Impl()
+            {
+                ::operator delete[](static_cast<void*>(ptr), std::align_val_t{rowAlignment});
+            }
+            Impl(Impl const&) = delete;
+            auto operator=(Impl const&) -> Impl& = delete;
+
+            dev::DevCpu dev;
+            Vec<TDim, TSize> extent;
+            std::size_t pitchBytes = 0;
+            std::size_t bytes = 0;
+            TElem* ptr = nullptr;
+        };
+
+        std::shared_ptr<Impl> impl_;
+    };
+
+    //! Buffer in the global memory of a simulated GPU. Rows are pitched to
+    //! the device's alignment (256 B, like cudaMallocPitch).
+    template<typename TElem, typename TDim, typename TSize>
+    class BufCudaSim
+    {
+        static_assert(std::is_trivially_copyable_v<TElem>, "buffers hold trivially copyable elements");
+
+    public:
+        using Elem = TElem;
+        using Dim = TDim;
+        using Size = TSize;
+        using Dev = dev::DevCudaSim;
+
+        BufCudaSim(dev::DevCudaSim const& device, Vec<TDim, TSize> const& extent)
+            : impl_(std::make_shared<Impl>(device, extent))
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCudaSim
+        {
+            return impl_->dev;
+        }
+        [[nodiscard]] auto extent() const noexcept -> Vec<TDim, TSize> const&
+        {
+            return impl_->extent;
+        }
+        [[nodiscard]] auto data() const noexcept -> TElem*
+        {
+            return impl_->ptr;
+        }
+        [[nodiscard]] auto rowPitchBytes() const noexcept -> std::size_t
+        {
+            return impl_->pitchBytes;
+        }
+
+    private:
+        struct Impl
+        {
+            Impl(dev::DevCudaSim const& device, Vec<TDim, TSize> const& ext) : dev(device), extent(ext)
+            {
+                if(!ext.allOf([](TSize v) { return v > static_cast<TSize>(0); }))
+                    throw UsageError("BufCudaSim: extents must be positive");
+                auto const widthBytes = static_cast<std::size_t>(ext.back()) * sizeof(TElem);
+                auto& memory = dev.simDevice().memory();
+                if constexpr(TDim::value == 1)
+                {
+                    pitchBytes = widthBytes;
+                    ptr = static_cast<TElem*>(memory.allocate(widthBytes));
+                }
+                else
+                {
+                    ptr = static_cast<TElem*>(
+                        memory.allocatePitched(widthBytes, detail::rowCount(ext), pitchBytes));
+                }
+            }
+            ~Impl()
+            {
+                dev.simDevice().memory().free(ptr);
+            }
+            Impl(Impl const&) = delete;
+            auto operator=(Impl const&) -> Impl& = delete;
+
+            dev::DevCudaSim dev;
+            Vec<TDim, TSize> extent;
+            std::size_t pitchBytes = 0;
+            TElem* ptr = nullptr;
+        };
+
+        std::shared_ptr<Impl> impl_;
+    };
+
+    namespace trait
+    {
+        //! Customization point: the buffer type living on a device.
+        template<typename TDev, typename TElem, typename TDim, typename TSize>
+        struct BufType;
+
+        template<typename TElem, typename TDim, typename TSize>
+        struct BufType<dev::DevCpu, TElem, TDim, TSize>
+        {
+            using type = BufCpu<TElem, TDim, TSize>;
+        };
+        template<typename TElem, typename TDim, typename TSize>
+        struct BufType<dev::DevCudaSim, TElem, TDim, TSize>
+        {
+            using type = BufCudaSim<TElem, TDim, TSize>;
+        };
+    } // namespace trait
+
+    template<typename TDev, typename TElem, typename TDim, typename TSize>
+    using Buf = typename trait::BufType<TDev, TElem, TDim, TSize>::type;
+
+    //! Allocates a buffer of \p extent elements on \p dev (paper Listing 4:
+    //! `mem::buf::alloc<Data, Size>(host, extents)`).
+    template<typename TElem, typename TSize, typename TDev, typename TDim>
+    [[nodiscard]] auto alloc(TDev const& device, Vec<TDim, TSize> const& extent)
+        -> Buf<TDev, TElem, TDim, TSize>
+    {
+        return Buf<TDev, TElem, TDim, TSize>(device, extent);
+    }
+
+    //! 1-d convenience overload taking the element count as a scalar.
+    template<typename TElem, typename TSize, typename TDev>
+    [[nodiscard]] auto alloc(TDev const& device, TSize const extent)
+        -> Buf<TDev, TElem, dim::DimInt<1>, TSize>
+    {
+        return alloc<TElem, TSize>(device, Vec<dim::DimInt<1>, TSize>(extent));
+    }
+} // namespace alpaka::mem::buf
+
+namespace alpaka::mem::view
+{
+    //! Wraps caller-owned memory (e.g. a std::vector's storage) as a
+    //! contiguous alpaka view so it can take part in copies.
+    template<typename TDev, typename TElem, typename TDim, typename TSize>
+    class ViewPlainPtr
+    {
+    public:
+        using Elem = TElem;
+        using Dim = TDim;
+        using Size = TSize;
+        using Dev = TDev;
+
+        ViewPlainPtr(TElem* ptr, TDev const& device, Vec<TDim, TSize> const& extent) noexcept
+            : ptr_(ptr)
+            , dev_(device)
+            , extent_(extent)
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> TDev
+        {
+            return dev_;
+        }
+        [[nodiscard]] auto extent() const noexcept -> Vec<TDim, TSize> const&
+        {
+            return extent_;
+        }
+        [[nodiscard]] auto data() const noexcept -> TElem*
+        {
+            return ptr_;
+        }
+        [[nodiscard]] auto rowPitchBytes() const noexcept -> std::size_t
+        {
+            return static_cast<std::size_t>(extent_.back()) * sizeof(TElem);
+        }
+
+    private:
+        TElem* ptr_;
+        TDev dev_;
+        Vec<TDim, TSize> extent_;
+    };
+
+    //! Any buffer- or view-like type copies can work on.
+    template<typename T>
+    concept ConceptView = requires(T const& v) {
+        typename T::Elem;
+        typename T::Dim;
+        typename T::Size;
+        typename T::Dev;
+        {
+            v.data()
+        };
+        {
+            v.extent()
+        };
+        {
+            v.rowPitchBytes()
+        } -> std::convertible_to<std::size_t>;
+    };
+
+    //! Plain pointer to the first element of a view.
+    template<ConceptView TView>
+    [[nodiscard]] auto getPtrNative(TView const& view) noexcept
+    {
+        return view.data();
+    }
+
+    //! A rectangular window into another view/buffer: same storage, offset
+    //! origin, smaller extent, parent strides. Enables partial copies and
+    //! multi-device domain decomposition without owning new memory.
+    template<ConceptView TParent>
+    class ViewSubView
+    {
+    public:
+        using Elem = typename TParent::Elem;
+        using Dim = typename TParent::Dim;
+        using Size = typename TParent::Size;
+        using Dev = typename TParent::Dev;
+
+        ViewSubView(TParent parent, Vec<Dim, Size> const& offset, Vec<Dim, Size> const& extent)
+            : parent_(std::move(parent))
+            , offset_(offset)
+            , extent_(extent)
+        {
+            for(std::size_t d = 0; d < Dim::value; ++d)
+                if(offset[d] + extent[d] > parent_.extent()[d])
+                    throw UsageError("ViewSubView: window exceeds the parent extent");
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> Dev
+        {
+            return parent_.getDev();
+        }
+        [[nodiscard]] auto extent() const noexcept -> Vec<Dim, Size> const&
+        {
+            return extent_;
+        }
+        [[nodiscard]] auto offset() const noexcept -> Vec<Dim, Size> const&
+        {
+            return offset_;
+        }
+        [[nodiscard]] auto rowPitchBytes() const noexcept -> std::size_t
+        {
+            return parent_.rowPitchBytes();
+        }
+
+        //! Strides come from the *parent* layout (the window shares it).
+        [[nodiscard]] auto byteStrides() const noexcept -> Vec<Dim, std::size_t>
+        {
+            return mem::detail::byteStrides(parent_.extent(), sizeof(Elem), parent_.rowPitchBytes());
+        }
+
+        //! First element of the window.
+        [[nodiscard]] auto data() const noexcept -> Elem*
+        {
+            auto const strides = byteStrides();
+            std::size_t offsetBytes = 0;
+            for(std::size_t d = 0; d < Dim::value; ++d)
+                offsetBytes += static_cast<std::size_t>(offset_[d]) * strides[d];
+            return reinterpret_cast<Elem*>(reinterpret_cast<std::byte*>(parent_.data()) + offsetBytes);
+        }
+
+    private:
+        TParent parent_;
+        Vec<Dim, Size> offset_;
+        Vec<Dim, Size> extent_;
+    };
+
+    //! Creates a sub-view window of \p parent at \p offset with \p extent.
+    template<ConceptView TParent, typename TDim, typename TSize>
+    [[nodiscard]] auto subView(TParent const& parent, Vec<TDim, TSize> const& offset, Vec<TDim, TSize> const& extent)
+    {
+        return ViewSubView<TParent>(parent, offset, extent);
+    }
+
+    namespace detail
+    {
+        //! A type-erased memory operation, enqueueable into any stream.
+        struct MemTask
+        {
+            std::function<void()> work;
+
+            void operator()() const
+            {
+                work();
+            }
+        };
+
+        template<typename T>
+        inline constexpr bool isCudaSimDev = std::is_same_v<T, dev::DevCudaSim>;
+
+        //! Byte strides of a view: sub-views carry their parent's strides
+        //! explicitly, plain buffers derive them from extent and pitch.
+        template<view::ConceptView TView>
+        [[nodiscard]] auto stridesOf(TView const& view) noexcept
+        {
+            if constexpr(requires { view.byteStrides(); })
+                return view.byteStrides();
+            else
+                return mem::detail::byteStrides(
+                    view.extent(),
+                    sizeof(typename TView::Elem),
+                    view.rowPitchBytes());
+        }
+
+        //! Performs the actual (synchronous) deep copy between two views.
+        template<view::ConceptView TViewDst, view::ConceptView TViewSrc, typename TDim, typename TSize>
+        void copyRows(TViewDst const& dst, TViewSrc const& src, Vec<TDim, TSize> const& extent)
+        {
+            using Elem = typename TViewDst::Elem;
+            auto const widthBytes = static_cast<std::size_t>(extent.back()) * sizeof(Elem);
+            auto const rows = mem::detail::rowCount(extent);
+            auto const dstStrides = stridesOf(dst);
+            auto const srcStrides = stridesOf(src);
+
+            auto* const dstBase = reinterpret_cast<std::byte*>(dst.data());
+            auto const* const srcBase = reinterpret_cast<std::byte const*>(src.data());
+
+            using DevDst = typename TViewDst::Dev;
+            using DevSrc = typename TViewSrc::Dev;
+
+            for(std::size_t r = 0; r < rows; ++r)
+            {
+                auto* const dstRow = dstBase + mem::detail::rowByteOffset(r, extent, dstStrides);
+                auto const* const srcRow = srcBase + mem::detail::rowByteOffset(r, extent, srcStrides);
+
+                if constexpr(isCudaSimDev<DevDst> && isCudaSimDev<DevSrc>)
+                {
+                    auto& dstMem = dst.getDev().simDevice().memory();
+                    auto& srcMem = src.getDev().simDevice().memory();
+                    if(dst.getDev() == src.getDev())
+                        dstMem.copyDtoD(dstRow, srcRow, widthBytes);
+                    else
+                    {
+                        // Peer copy between two simulated devices: validate
+                        // both sides, then move the bytes.
+                        srcMem.validateRange(srcRow, widthBytes, "peer copy source");
+                        dstMem.validateRange(dstRow, widthBytes, "peer copy destination");
+                        std::memcpy(dstRow, srcRow, widthBytes);
+                    }
+                }
+                else if constexpr(isCudaSimDev<DevDst>)
+                    dst.getDev().simDevice().memory().copyHtoD(dstRow, srcRow, widthBytes);
+                else if constexpr(isCudaSimDev<DevSrc>)
+                    src.getDev().simDevice().memory().copyDtoH(dstRow, srcRow, widthBytes);
+                else
+                    std::memcpy(dstRow, srcRow, widthBytes);
+            }
+        }
+
+        template<view::ConceptView TView, typename TDim, typename TSize>
+        void setRows(TView const& view, int value, Vec<TDim, TSize> const& extent)
+        {
+            using Elem = typename TView::Elem;
+            auto const widthBytes = static_cast<std::size_t>(extent.back()) * sizeof(Elem);
+            auto const rows = mem::detail::rowCount(extent);
+            auto const strides = stridesOf(view);
+            auto* const base = reinterpret_cast<std::byte*>(view.data());
+
+            for(std::size_t r = 0; r < rows; ++r)
+            {
+                auto* const row = base + mem::detail::rowByteOffset(r, extent, strides);
+                if constexpr(isCudaSimDev<typename TView::Dev>)
+                    view.getDev().simDevice().memory().fill(row, value, widthBytes);
+                else
+                    std::memset(row, value, widthBytes);
+            }
+        }
+
+        template<typename TDim, typename TSize, view::ConceptView TView>
+        void checkExtentFits(Vec<TDim, TSize> const& extent, TView const& view, char const* which)
+        {
+            for(std::size_t d = 0; d < TDim::value; ++d)
+                if(extent[d] > view.extent()[d])
+                    throw UsageError(
+                        std::string("mem::view: copy/set extent exceeds the ") + which + " view extent");
+        }
+    } // namespace detail
+
+    //! Enqueues a deep copy of \p extent elements from \p src to \p dst
+    //! (paper Listing 4: `mem::view::copy(stream, devBuf, hostBuf,
+    //! extents)`). Works for every host/accelerator direction.
+    template<typename TStream, ConceptView TViewDst, ConceptView TViewSrc, typename TDim, typename TSize>
+    void copy(TStream& stream, TViewDst dst, TViewSrc src, Vec<TDim, TSize> const& extent)
+    {
+        static_assert(
+            std::is_same_v<typename TViewDst::Elem, typename TViewSrc::Elem>,
+            "copy requires matching element types");
+        static_assert(
+            std::is_same_v<typename TViewDst::Dim, TDim> && std::is_same_v<typename TViewSrc::Dim, TDim>,
+            "copy requires matching dimensionality");
+        detail::checkExtentFits(extent, dst, "destination");
+        detail::checkExtentFits(extent, src, "source");
+
+        // Views are captured by value: buffers are shared-ownership, so the
+        // storage stays alive until the asynchronous task ran.
+        stream::enqueue(
+            stream,
+            detail::MemTask{[dst, src, extent] { detail::copyRows(dst, src, extent); }});
+    }
+
+    //! Enqueues a byte-wise fill of \p extent elements of \p view.
+    template<typename TStream, ConceptView TView, typename TDim, typename TSize>
+    void set(TStream& stream, TView view, int value, Vec<TDim, TSize> const& extent)
+    {
+        detail::checkExtentFits(extent, view, "destination");
+        stream::enqueue(stream, detail::MemTask{[view, value, extent] { detail::setRows(view, value, extent); }});
+    }
+} // namespace alpaka::mem::view
+
+namespace alpaka::stream::trait
+{
+    template<>
+    struct Enqueue<StreamCpuSync, mem::view::detail::MemTask>
+    {
+        static void enqueue(StreamCpuSync& stream, mem::view::detail::MemTask const& task)
+        {
+            stream.run(task.work);
+        }
+    };
+    template<>
+    struct Enqueue<StreamCpuAsync, mem::view::detail::MemTask>
+    {
+        static void enqueue(StreamCpuAsync& stream, mem::view::detail::MemTask task)
+        {
+            stream.push(std::move(task.work));
+        }
+    };
+    template<bool TAsync>
+    struct Enqueue<detail::StreamCudaSimBase<TAsync>, mem::view::detail::MemTask>
+    {
+        static void enqueue(detail::StreamCudaSimBase<TAsync>& stream, mem::view::detail::MemTask task)
+        {
+            stream.simStream().enqueue(std::move(task.work));
+        }
+    };
+} // namespace alpaka::stream::trait

@@ -1,0 +1,37 @@
+/// \file N-dimensional iteration helper used by the CPU executors.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/vec.hpp"
+
+#include <cstddef>
+
+namespace alpaka::meta
+{
+    //! Invokes \p f(idx) for every index in [0, extent), iterating the last
+    //! component fastest (row-major, matching core::mapIdx).
+    template<typename TDim, typename TSize, typename TFn>
+    constexpr void ndLoop(Vec<TDim, TSize> const& extent, TFn&& f)
+    {
+        constexpr std::size_t n = TDim::value;
+        Vec<TDim, TSize> idx = Vec<TDim, TSize>::zeros();
+        if(extent.prod() == static_cast<TSize>(0))
+            return;
+        for(;;)
+        {
+            f(static_cast<Vec<TDim, TSize> const&>(idx));
+            // Odometer increment, last digit fastest.
+            std::size_t d = n;
+            for(;;)
+            {
+                if(d == 0)
+                    return;
+                --d;
+                idx[d] += static_cast<TSize>(1);
+                if(idx[d] < extent[d])
+                    break;
+                idx[d] = static_cast<TSize>(0);
+            }
+        }
+    }
+} // namespace alpaka::meta

@@ -1,0 +1,35 @@
+/// \file Origin and unit tags of the parallelization hierarchy
+/// (paper Fig. 1: grid, block, thread, element).
+///
+/// `idx::getIdx<Grid, Threads>(acc)` reads: "the index in *thread* units,
+/// measured from the *grid* origin".
+#pragma once
+
+namespace alpaka
+{
+    //! \name Origins — where the index/extent is measured from.
+    //! @{
+    struct Grid
+    {
+    };
+    struct Block
+    {
+    };
+    struct Thread
+    {
+    };
+    //! @}
+
+    //! \name Units — what is being counted.
+    //! @{
+    struct Blocks
+    {
+    };
+    struct Threads
+    {
+    };
+    struct Elems
+    {
+    };
+    //! @}
+} // namespace alpaka

@@ -1,0 +1,198 @@
+/// \file Counter-based random number generation for kernels.
+///
+/// Monte-Carlo workloads (the HASEonGPU application of the paper's Fig. 10)
+/// need per-thread random streams that are reproducible and independent
+/// regardless of the executing back-end. A counter-based generator is the
+/// canonical choice: Philox4x32-10 (Salmon et al., SC'11), the same family
+/// cuRAND and the real alpaka use. Each (seed, subsequence) pair is an
+/// independent stream; the generator state is four counter words plus two
+/// key words and needs no warm-up.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace alpaka::rand
+{
+    //! Philox4x32-10 engine. Satisfies the basic requirements of a
+    //! UniformRandomBitGenerator over std::uint32_t.
+    class Philox4x32x10
+    {
+    public:
+        using result_type = std::uint32_t;
+
+        //! \param seed key of the stream family
+        //! \param subsequence independent stream selector (e.g. the global
+        //!        thread index); streams with different subsequences never
+        //!        overlap
+        //! \param offset starting position within the stream
+        ALPAKA_FN_ACC explicit Philox4x32x10(
+            std::uint64_t seed,
+            std::uint64_t subsequence = 0,
+            std::uint64_t offset = 0) noexcept
+            : key_{static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32)}
+            , counter_{
+                  static_cast<std::uint32_t>(offset),
+                  static_cast<std::uint32_t>(offset >> 32),
+                  static_cast<std::uint32_t>(subsequence),
+                  static_cast<std::uint32_t>(subsequence >> 32)}
+        {
+        }
+
+        [[nodiscard]] static constexpr auto min() noexcept -> result_type
+        {
+            return 0;
+        }
+        [[nodiscard]] static constexpr auto max() noexcept -> result_type
+        {
+            return std::numeric_limits<result_type>::max();
+        }
+
+        //! Next 32 random bits.
+        ALPAKA_FN_ACC auto operator()() noexcept -> result_type
+        {
+            if(cacheIdx_ == 4)
+            {
+                cache_ = bijection(counter_, key_);
+                advanceCounter();
+                cacheIdx_ = 0;
+            }
+            return cache_[cacheIdx_++];
+        }
+
+        //! The raw 4x32-bit block function (exposed for known-answer tests).
+        [[nodiscard]] ALPAKA_FN_ACC static auto bijection(
+            std::array<std::uint32_t, 4> counter,
+            std::array<std::uint32_t, 2> key) noexcept -> std::array<std::uint32_t, 4>
+        {
+            for(int round = 0; round < 10; ++round)
+            {
+                counter = singleRound(counter, key);
+                key[0] += 0x9E3779B9u; // golden ratio
+                key[1] += 0xBB67AE85u; // sqrt(3)-1
+            }
+            return counter;
+        }
+
+    private:
+        ALPAKA_FN_ACC static auto mulHiLo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi) noexcept
+            -> std::uint32_t
+        {
+            auto const product = static_cast<std::uint64_t>(a) * b;
+            hi = static_cast<std::uint32_t>(product >> 32);
+            return static_cast<std::uint32_t>(product);
+        }
+
+        [[nodiscard]] ALPAKA_FN_ACC static auto singleRound(
+            std::array<std::uint32_t, 4> const& ctr,
+            std::array<std::uint32_t, 2> const& key) noexcept -> std::array<std::uint32_t, 4>
+        {
+            std::uint32_t hi0 = 0;
+            std::uint32_t hi1 = 0;
+            auto const lo0 = mulHiLo(0xD2511F53u, ctr[0], hi0);
+            auto const lo1 = mulHiLo(0xCD9E8D57u, ctr[2], hi1);
+            return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+        }
+
+        ALPAKA_FN_ACC void advanceCounter() noexcept
+        {
+            if(++counter_[0] == 0)
+                ++counter_[1]; // 2^64 blocks per subsequence
+        }
+
+        std::array<std::uint32_t, 2> key_;
+        std::array<std::uint32_t, 4> counter_;
+        std::array<std::uint32_t, 4> cache_{};
+        unsigned cacheIdx_ = 4;
+    };
+
+    namespace generator
+    {
+        //! Creates the default generator of an accelerator (API mirrors
+        //! alpaka; every back-end of this repo uses Philox).
+        template<typename TAcc>
+        ALPAKA_FN_ACC auto createDefault(
+            TAcc const& /*acc*/,
+            std::uint64_t seed,
+            std::uint64_t subsequence = 0,
+            std::uint64_t offset = 0) -> Philox4x32x10
+        {
+            return Philox4x32x10(seed, subsequence, offset);
+        }
+    } // namespace generator
+
+    namespace distribution
+    {
+        //! Uniform reals in (0, 1]: never returns 0 so that log(u) is safe.
+        template<typename T>
+        class UniformReal
+        {
+        public:
+            template<typename TEngine>
+            ALPAKA_FN_ACC auto operator()(TEngine& engine) -> T
+            {
+                if constexpr(sizeof(T) > 4)
+                {
+                    auto const hi = static_cast<std::uint64_t>(engine());
+                    auto const lo = static_cast<std::uint64_t>(engine());
+                    auto const bits53 = ((hi << 32) | lo) >> 11;
+                    return static_cast<T>(bits53 + 1) * static_cast<T>(0x1.0p-53);
+                }
+                else
+                {
+                    auto const bits24 = engine() >> 8;
+                    return static_cast<T>(bits24 + 1) * static_cast<T>(0x1.0p-24);
+                }
+            }
+        };
+
+        //! Uniform integers over the full 32/64-bit range.
+        template<typename T>
+        class UniformUint
+        {
+        public:
+            template<typename TEngine>
+            ALPAKA_FN_ACC auto operator()(TEngine& engine) -> T
+            {
+                if constexpr(sizeof(T) > 4)
+                    return (static_cast<T>(engine()) << 32) | static_cast<T>(engine());
+                else
+                    return static_cast<T>(engine());
+            }
+        };
+
+        //! Standard normal distribution via Box-Muller (caches the second
+        //! variate).
+        template<typename T>
+        class NormalReal
+        {
+        public:
+            template<typename TEngine>
+            ALPAKA_FN_ACC auto operator()(TEngine& engine) -> T
+            {
+                if(hasSpare_)
+                {
+                    hasSpare_ = false;
+                    return spare_;
+                }
+                UniformReal<T> uniform;
+                auto const u1 = uniform(engine); // in (0,1], log safe
+                auto const u2 = uniform(engine);
+                auto const radius = std::sqrt(T(-2) * std::log(u1));
+                auto const angle = T(2) * std::numbers::pi_v<T> * u2;
+                spare_ = radius * std::sin(angle);
+                hasSpare_ = true;
+                return radius * std::cos(angle);
+            }
+
+        private:
+            T spare_{};
+            bool hasSpare_ = false;
+        };
+    } // namespace distribution
+} // namespace alpaka::rand

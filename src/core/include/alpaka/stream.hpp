@@ -1,0 +1,232 @@
+/// \file Streams: in-order work queues of a device (paper Sec. 3.4.5).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/core/task_queue.hpp"
+#include "alpaka/dev.hpp"
+
+#include "gpusim/stream.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace alpaka::detail
+{
+    //! Anything the device-wide wait can block on.
+    struct IWaitable
+    {
+        virtual ~IWaitable() = default;
+        virtual void waitIdle() = 0;
+    };
+
+    //! Process-wide registry of live streams per device, enabling
+    //! wait::wait(dev) ("block until the device finished all work").
+    class StreamRegistry
+    {
+    public:
+        [[nodiscard]] static auto instance() -> StreamRegistry&
+        {
+            static StreamRegistry registry;
+            return registry;
+        }
+
+        void add(void const* devKey, std::weak_ptr<IWaitable> stream)
+        {
+            std::scoped_lock lock(mutex_);
+            auto& list = streams_[devKey];
+            // Compact expired entries opportunistically.
+            std::erase_if(list, [](auto const& w) { return w.expired(); });
+            list.push_back(std::move(stream));
+        }
+
+        void waitAll(void const* devKey)
+        {
+            std::vector<std::shared_ptr<IWaitable>> live;
+            {
+                std::scoped_lock lock(mutex_);
+                auto const it = streams_.find(devKey);
+                if(it == streams_.end())
+                    return;
+                for(auto const& weak : it->second)
+                    if(auto locked = weak.lock())
+                        live.push_back(std::move(locked));
+            }
+            for(auto const& stream : live)
+                stream->waitIdle();
+        }
+
+    private:
+        std::mutex mutex_;
+        std::map<void const*, std::vector<std::weak_ptr<IWaitable>>> streams_;
+    };
+} // namespace alpaka::detail
+
+namespace alpaka::stream
+{
+    namespace trait
+    {
+        //! Customization point: how to enqueue a task of type \p TTask into
+        //! a stream of type \p TStream. Kernel executors, memory operations
+        //! and events all funnel through this.
+        template<typename TStream, typename TTask, typename = void>
+        struct Enqueue;
+    } // namespace trait
+
+    //! Enqueues \p task into \p stream (paper Listing 5:
+    //! `stream::enqueue(stream, exec)`).
+    template<typename TStream, typename TTask>
+    void enqueue(TStream& stream, TTask&& task)
+    {
+        trait::Enqueue<TStream, std::decay_t<TTask>>::enqueue(stream, std::forward<TTask>(task));
+    }
+
+    //! Synchronous CPU stream: every operation executes in the enqueuing
+    //! host thread; enqueue returns when the operation completed.
+    class StreamCpuSync
+    {
+    public:
+        using Dev = dev::DevCpu;
+
+        explicit StreamCpuSync(dev::DevCpu const& device) : dev_(device)
+        {
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCpu
+        {
+            return dev_;
+        }
+
+        //! Runs a type-erased task right away (used by Enqueue traits).
+        void run(std::function<void()> const& task) const
+        {
+            task();
+        }
+
+        void wait() const noexcept
+        {
+            // Synchronous: always drained.
+        }
+
+    private:
+        dev::DevCpu dev_;
+    };
+
+    //! Asynchronous CPU stream: a worker thread executes operations in
+    //! enqueue order while the host continues (paper Sec. 3.4.5).
+    class StreamCpuAsync
+    {
+    public:
+        using Dev = dev::DevCpu;
+
+        explicit StreamCpuAsync(dev::DevCpu const& device) : impl_(std::make_shared<Impl>(device))
+        {
+            detail::StreamRegistry::instance().add(device.registryKey(), impl_);
+        }
+
+        [[nodiscard]] auto getDev() const noexcept -> dev::DevCpu
+        {
+            return impl_->dev;
+        }
+
+        void push(std::function<void()> task, bool always = false) const
+        {
+            impl_->queue.enqueue(std::move(task), always);
+        }
+
+        //! Blocks until all enqueued work finished; rethrows task errors.
+        void wait() const
+        {
+            impl_->queue.wait();
+        }
+
+        [[nodiscard]] auto idle() const -> bool
+        {
+            return impl_->queue.idle();
+        }
+
+    private:
+        struct Impl : detail::IWaitable
+        {
+            explicit Impl(dev::DevCpu const& device) : dev(device)
+            {
+            }
+            void waitIdle() override
+            {
+                queue.wait();
+            }
+
+            dev::DevCpu dev;
+            core::TaskQueue queue;
+        };
+
+        std::shared_ptr<Impl> impl_;
+    };
+
+    namespace detail
+    {
+        //! Shared implementation of the two CudaSim stream flavours.
+        template<bool TAsync>
+        class StreamCudaSimBase
+        {
+        public:
+            using Dev = dev::DevCudaSim;
+
+            explicit StreamCudaSimBase(dev::DevCudaSim const& device)
+                : impl_(std::make_shared<Impl>(device))
+            {
+                alpaka::detail::StreamRegistry::instance().add(device.registryKey(), impl_);
+            }
+
+            [[nodiscard]] auto getDev() const noexcept -> dev::DevCudaSim
+            {
+                return impl_->dev;
+            }
+
+            [[nodiscard]] auto simStream() const noexcept -> gpusim::Stream&
+            {
+                return impl_->stream;
+            }
+
+            //! Blocks until all enqueued work finished; rethrows errors.
+            void wait() const
+            {
+                impl_->stream.wait();
+            }
+
+            [[nodiscard]] auto idle() const -> bool
+            {
+                return impl_->stream.idle();
+            }
+
+        private:
+            struct Impl : alpaka::detail::IWaitable
+            {
+                explicit Impl(dev::DevCudaSim const& device)
+                    : dev(device)
+                    , stream(device.simDevice(), TAsync)
+                {
+                }
+                void waitIdle() override
+                {
+                    stream.wait();
+                }
+
+                dev::DevCudaSim dev;
+                gpusim::Stream stream;
+            };
+
+            std::shared_ptr<Impl> impl_;
+        };
+    } // namespace detail
+
+    //! Synchronous stream of a simulated GPU.
+    using StreamCudaSimSync = detail::StreamCudaSimBase<false>;
+    //! Asynchronous stream of a simulated GPU.
+    using StreamCudaSimAsync = detail::StreamCudaSimBase<true>;
+} // namespace alpaka::stream

@@ -1,0 +1,219 @@
+/// \file N-dimensional extent/index vector (paper Listing 2: `Vec<Dim2,
+/// size_t>`).
+///
+/// Convention: component 0 is the *slowest* varying dimension and component
+/// N-1 the fastest (row-major, "z,y,x" order). core::mapIdx and all
+/// linearizations follow this convention.
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/dim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <concepts>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace alpaka
+{
+    template<typename TDim, typename TSize>
+    class Vec
+    {
+    public:
+        using Dim = TDim;
+        using Size = TSize;
+        static constexpr std::size_t dimension = TDim::value;
+        static_assert(dimension >= 1, "Vec requires dimensionality >= 1");
+
+        //! Zero-initialized.
+        constexpr Vec() = default;
+
+        //! Component-wise construction; requires exactly one value per
+        //! dimension (paper: `Vec<Dim2, size_t> extents(10, 10)`).
+        template<std::convertible_to<TSize>... TArgs>
+            requires(sizeof...(TArgs) == dimension && dimension > 0)
+        constexpr Vec(TArgs const&... args) noexcept // NOLINT(google-explicit-constructor)
+            : values_{static_cast<TSize>(args)...}
+        {
+        }
+
+        //! A vector with all components equal to \p value.
+        [[nodiscard]] static constexpr auto all(TSize value) noexcept -> Vec
+        {
+            Vec v;
+            v.values_.fill(value);
+            return v;
+        }
+        [[nodiscard]] static constexpr auto zeros() noexcept -> Vec
+        {
+            return all(static_cast<TSize>(0));
+        }
+        [[nodiscard]] static constexpr auto ones() noexcept -> Vec
+        {
+            return all(static_cast<TSize>(1));
+        }
+
+        [[nodiscard]] constexpr auto operator[](std::size_t i) noexcept -> TSize&
+        {
+            return values_[i];
+        }
+        [[nodiscard]] constexpr auto operator[](std::size_t i) const noexcept -> TSize const&
+        {
+            return values_[i];
+        }
+
+        [[nodiscard]] constexpr auto operator==(Vec const&) const noexcept -> bool = default;
+
+        //! Product of all components (the total element count of an extent).
+        [[nodiscard]] constexpr auto prod() const noexcept -> TSize
+        {
+            TSize p = static_cast<TSize>(1);
+            for(auto const v : values_)
+                p *= v;
+            return p;
+        }
+
+        //! Sum of all components.
+        [[nodiscard]] constexpr auto sum() const noexcept -> TSize
+        {
+            TSize s = static_cast<TSize>(0);
+            for(auto const v : values_)
+                s += v;
+            return s;
+        }
+
+        //! Smallest / largest component.
+        [[nodiscard]] constexpr auto min() const noexcept -> TSize
+        {
+            return *std::min_element(values_.begin(), values_.end());
+        }
+        [[nodiscard]] constexpr auto max() const noexcept -> TSize
+        {
+            return *std::max_element(values_.begin(), values_.end());
+        }
+
+        //! True if every component satisfies \p pred.
+        template<typename TPred>
+        [[nodiscard]] constexpr auto allOf(TPred&& pred) const -> bool
+        {
+            return std::all_of(values_.begin(), values_.end(), std::forward<TPred>(pred));
+        }
+
+        //! Casts every component to \p TSizeOther.
+        template<typename TSizeOther>
+        [[nodiscard]] constexpr auto cast() const noexcept -> Vec<TDim, TSizeOther>
+        {
+            Vec<TDim, TSizeOther> r;
+            for(std::size_t i = 0; i < dimension; ++i)
+                r[i] = static_cast<TSizeOther>(values_[i]);
+            return r;
+        }
+
+        //! The last (fastest varying) component; for 1-d vectors this is the
+        //! scalar value.
+        [[nodiscard]] constexpr auto back() const noexcept -> TSize
+        {
+            return values_[dimension - 1];
+        }
+
+        [[nodiscard]] constexpr auto begin() noexcept
+        {
+            return values_.begin();
+        }
+        [[nodiscard]] constexpr auto end() noexcept
+        {
+            return values_.end();
+        }
+        [[nodiscard]] constexpr auto begin() const noexcept
+        {
+            return values_.begin();
+        }
+        [[nodiscard]] constexpr auto end() const noexcept
+        {
+            return values_.end();
+        }
+
+    private:
+        std::array<TSize, dimension> values_{};
+    };
+
+    namespace detail
+    {
+        template<typename TDim, typename TSize, typename TOp>
+        [[nodiscard]] constexpr auto zipWith(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b, TOp op) noexcept
+            -> Vec<TDim, TSize>
+        {
+            Vec<TDim, TSize> r;
+            for(std::size_t i = 0; i < TDim::value; ++i)
+                r[i] = static_cast<TSize>(op(a[i], b[i]));
+            return r;
+        }
+    } // namespace detail
+
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto operator+(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, std::plus<>{});
+    }
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto operator-(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, std::minus<>{});
+    }
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto operator*(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, std::multiplies<>{});
+    }
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto operator/(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, std::divides<>{});
+    }
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto operator%(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, std::modulus<>{});
+    }
+
+    //! Component-wise minimum / maximum.
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto elementwiseMin(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, [](TSize x, TSize y) { return std::min(x, y); });
+    }
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto elementwiseMax(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, [](TSize x, TSize y) { return std::max(x, y); });
+    }
+
+    //! Component-wise ceiling division (used to subdivide element domains
+    //! into grids of blocks).
+    template<typename TDim, typename TSize>
+    [[nodiscard]] constexpr auto ceilDiv(Vec<TDim, TSize> const& a, Vec<TDim, TSize> const& b) noexcept
+    {
+        return detail::zipWith(a, b, [](TSize x, TSize y) { return static_cast<TSize>((x + y - 1) / y); });
+    }
+
+    template<typename TDim, typename TSize>
+    auto operator<<(std::ostream& os, Vec<TDim, TSize> const& v) -> std::ostream&
+    {
+        os << '(';
+        for(std::size_t i = 0; i < TDim::value; ++i)
+            os << (i == 0 ? "" : ", ") << v[i];
+        return os << ')';
+    }
+
+    namespace dim::trait
+    {
+        template<typename TDim, typename TSize>
+        struct DimType<alpaka::Vec<TDim, TSize>>
+        {
+            using type = TDim;
+        };
+    } // namespace dim::trait
+} // namespace alpaka

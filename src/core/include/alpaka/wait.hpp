@@ -1,0 +1,97 @@
+/// \file Synchronization of host, devices, streams and events
+/// (paper Sec. 3.2.1: "Grids can be synchronized to each other via explicit
+/// synchronization evoked in the code").
+#pragma once
+
+#include "alpaka/dev.hpp"
+#include "alpaka/event.hpp"
+#include "alpaka/stream.hpp"
+
+namespace alpaka::wait
+{
+    namespace trait
+    {
+        //! Customization point: block the calling host thread until \p T
+        //! finished.
+        template<typename T, typename = void>
+        struct CurrentThreadWaitFor;
+
+        //! Streams and events expose wait() directly.
+        template<typename T>
+        struct CurrentThreadWaitFor<T, std::void_t<decltype(std::declval<T const&>().wait())>>
+        {
+            static void wait(T const& waitable)
+            {
+                waitable.wait();
+            }
+        };
+
+        //! Waiting for a device drains all of its registered streams.
+        template<>
+        struct CurrentThreadWaitFor<dev::DevCpu>
+        {
+            static void wait(dev::DevCpu const& device)
+            {
+                detail::StreamRegistry::instance().waitAll(device.registryKey());
+            }
+        };
+        template<>
+        struct CurrentThreadWaitFor<dev::DevCudaSim>
+        {
+            static void wait(dev::DevCudaSim const& device)
+            {
+                detail::StreamRegistry::instance().waitAll(device.registryKey());
+            }
+        };
+
+        //! Customization point: make \p TWaiter (a stream) wait for
+        //! \p TWaited (an event) before running subsequent work.
+        template<typename TWaiter, typename TWaited, typename = void>
+        struct WaiterWaitFor;
+
+        template<>
+        struct WaiterWaitFor<stream::StreamCpuSync, event::EventCpu>
+        {
+            static void wait(stream::StreamCpuSync&, event::EventCpu const& event)
+            {
+                // A sync stream's timeline is the host timeline.
+                event.wait();
+            }
+        };
+
+        template<>
+        struct WaiterWaitFor<stream::StreamCpuAsync, event::EventCpu>
+        {
+            static void wait(stream::StreamCpuAsync& stream, event::EventCpu const& event)
+            {
+                stream.push([event] { event.wait(); });
+            }
+        };
+
+        template<bool TAsync>
+        struct WaiterWaitFor<stream::detail::StreamCudaSimBase<TAsync>, event::EventCudaSim>
+        {
+            static void wait(stream::detail::StreamCudaSimBase<TAsync>& stream, event::EventCudaSim const& event)
+            {
+                stream.simStream().waitFor(event.simEvent());
+            }
+        };
+    } // namespace trait
+
+    //! Blocks the calling host thread until \p waitable (stream, event or
+    //! device) completed all outstanding work.
+    template<typename T>
+    void wait(T const& waitable)
+    {
+        trait::CurrentThreadWaitFor<T>::wait(waitable);
+    }
+
+    //! Makes \p waiter (a stream) wait for \p waited (an event) before
+    //! executing any later enqueued operation — cross-stream dependencies
+    //! without blocking the host.
+    template<typename TWaiter, typename TWaited>
+    void wait(TWaiter& waiter, TWaited const& waited)
+    {
+        trait::WaiterWaitFor<TWaiter, TWaited>::wait(waiter, waited);
+    }
+} // namespace alpaka::wait

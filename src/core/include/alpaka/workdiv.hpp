@@ -1,0 +1,167 @@
+/// \file Work division: the extents of all hierarchy levels
+/// (paper Sec. 3.4.3 and Listing 2).
+#pragma once
+
+#include "alpaka/core/common.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/dim.hpp"
+#include "alpaka/origin.hpp"
+#include "alpaka/vec.hpp"
+
+#include <concepts>
+#include <ostream>
+#include <type_traits>
+
+namespace alpaka
+{
+    //! Anything that exposes the three level extents of the hierarchy.
+    template<typename T>
+    concept ConceptWorkDiv = requires(T const& wd) {
+        typename T::Dim;
+        typename T::Size;
+        {
+            wd.gridBlockExtent()
+        } -> std::convertible_to<Vec<typename T::Dim, typename T::Size>>;
+        {
+            wd.blockThreadExtent()
+        } -> std::convertible_to<Vec<typename T::Dim, typename T::Size>>;
+        {
+            wd.threadElemExtent()
+        } -> std::convertible_to<Vec<typename T::Dim, typename T::Size>>;
+    };
+} // namespace alpaka
+
+namespace alpaka::workdiv
+{
+    //! A plain value type holding the extents of the grid/block/thread/
+    //! element hierarchy (paper Listing 2).
+    template<typename TDim, typename TSize>
+    class WorkDivMembers
+    {
+    public:
+        using Dim = TDim;
+        using Size = TSize;
+        using VecType = Vec<TDim, TSize>;
+
+        constexpr WorkDivMembers() = default;
+
+        constexpr WorkDivMembers(
+            VecType const& gridBlockExtent,
+            VecType const& blockThreadExtent,
+            VecType const& threadElemExtent)
+            : gridBlockExtent_(gridBlockExtent)
+            , blockThreadExtent_(blockThreadExtent)
+            , threadElemExtent_(threadElemExtent)
+        {
+        }
+
+        //! Scalar convenience for 1-d work divisions (paper Listing 5:
+        //! `WorkDivMembers<Dim, Size>(256u, 16u, 1u)`).
+        template<std::convertible_to<TSize> TA, std::convertible_to<TSize> TB, std::convertible_to<TSize> TC>
+            requires(TDim::value == 1)
+        constexpr WorkDivMembers(TA blocks, TB threadsPerBlock, TC elemsPerThread)
+            : gridBlockExtent_(static_cast<TSize>(blocks))
+            , blockThreadExtent_(static_cast<TSize>(threadsPerBlock))
+            , threadElemExtent_(static_cast<TSize>(elemsPerThread))
+        {
+        }
+
+        [[nodiscard]] constexpr auto gridBlockExtent() const noexcept -> VecType const&
+        {
+            return gridBlockExtent_;
+        }
+        [[nodiscard]] constexpr auto blockThreadExtent() const noexcept -> VecType const&
+        {
+            return blockThreadExtent_;
+        }
+        [[nodiscard]] constexpr auto threadElemExtent() const noexcept -> VecType const&
+        {
+            return threadElemExtent_;
+        }
+
+        [[nodiscard]] constexpr auto operator==(WorkDivMembers const&) const noexcept -> bool = default;
+
+    private:
+        VecType gridBlockExtent_ = VecType::ones();
+        VecType blockThreadExtent_ = VecType::ones();
+        VecType threadElemExtent_ = VecType::ones();
+    };
+
+    template<typename TDim, typename TSize>
+    auto operator<<(std::ostream& os, WorkDivMembers<TDim, TSize> const& wd) -> std::ostream&
+    {
+        return os << "{grid: " << wd.gridBlockExtent() << ", block: " << wd.blockThreadExtent()
+                  << ", elems: " << wd.threadElemExtent() << '}';
+    }
+
+    namespace trait
+    {
+        //! Customization point for querying level extents from anything
+        //! work-division-like (a WorkDivMembers or an accelerator).
+        template<typename TOrigin, typename TUnit>
+        struct GetWorkDiv;
+
+        template<>
+        struct GetWorkDiv<Grid, Blocks>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.gridBlockExtent();
+            }
+        };
+        template<>
+        struct GetWorkDiv<Block, Threads>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.blockThreadExtent();
+            }
+        };
+        template<>
+        struct GetWorkDiv<Thread, Elems>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.threadElemExtent();
+            }
+        };
+        template<>
+        struct GetWorkDiv<Grid, Threads>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.gridBlockExtent() * wd.blockThreadExtent();
+            }
+        };
+        template<>
+        struct GetWorkDiv<Grid, Elems>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.gridBlockExtent() * wd.blockThreadExtent() * wd.threadElemExtent();
+            }
+        };
+        template<>
+        struct GetWorkDiv<Block, Elems>
+        {
+            template<ConceptWorkDiv TWorkDiv>
+            ALPAKA_FN_HOST_ACC static constexpr auto get(TWorkDiv const& wd)
+            {
+                return wd.blockThreadExtent() * wd.threadElemExtent();
+            }
+        };
+    } // namespace trait
+
+    //! The extent of \p TUnit units measured from \p TOrigin
+    //! (paper Listing 3: `workdiv::getWorkDiv<Grid, Threads>(acc)`).
+    template<typename TOrigin, typename TUnit, ConceptWorkDiv TWorkDiv>
+    ALPAKA_FN_HOST_ACC constexpr auto getWorkDiv(TWorkDiv const& workDiv)
+    {
+        return trait::GetWorkDiv<TOrigin, TUnit>::get(workDiv);
+    }
+} // namespace alpaka::workdiv

@@ -1,0 +1,132 @@
+/// \file Work division validation and derivation (paper Table 2).
+#pragma once
+
+#include "alpaka/acc/acc_cpu.hpp"
+#include "alpaka/acc/acc_cudasim.hpp"
+#include "alpaka/acc/props.hpp"
+#include "alpaka/core/error.hpp"
+#include "alpaka/vec.hpp"
+#include "alpaka/workdiv.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace alpaka::workdiv
+{
+    namespace trait
+    {
+        //! Whether an accelerator maps the thread level onto real
+        //! parallelism (paper Table 2: back-ends with B threads per block)
+        //! or collapses it (one thread per block; Sequential and OpenMP
+        //! block rows).
+        template<typename TAcc>
+        struct UsesBlockThreads
+        {
+            static constexpr bool value = true;
+        };
+
+        //! Paper Table 2, "Sequential" row: grid N/V, block 1, element V.
+        template<typename TDim, typename TSize>
+        struct UsesBlockThreads<acc::AccCpuSerial<TDim, TSize>>
+        {
+            static constexpr bool value = false;
+        };
+        //! Paper Table 2, "OpenMP block" row: grid N/V, block 1, element V.
+        template<typename TDim, typename TSize>
+        struct UsesBlockThreads<acc::AccCpuOmp2Blocks<TDim, TSize>>
+        {
+            static constexpr bool value = false;
+        };
+    } // namespace trait
+
+    //! Checks a work division against the accelerator limits on a device.
+    template<typename TAcc, typename TDev, typename TDim, typename TSize>
+    [[nodiscard]] auto isValidWorkDiv(TDev const& dev, WorkDivMembers<TDim, TSize> const& workDiv) -> bool
+    {
+        auto const props = acc::getAccDevProps<TAcc>(dev);
+        auto const positive = [](TSize v) { return v > static_cast<TSize>(0); };
+        if(!workDiv.gridBlockExtent().allOf(positive) || !workDiv.blockThreadExtent().allOf(positive)
+           || !workDiv.threadElemExtent().allOf(positive))
+            return false;
+        if(workDiv.blockThreadExtent().prod() > props.blockThreadCountMax)
+            return false;
+        for(std::size_t d = 0; d < TDim::value; ++d)
+        {
+            if(workDiv.blockThreadExtent()[d] > props.blockThreadExtentMax[d])
+                return false;
+            if(workDiv.gridBlockExtent()[d] > props.gridBlockExtentMax[d])
+                return false;
+        }
+        return true;
+    }
+
+    //! Like isValidWorkDiv but throws InvalidWorkDivError with a diagnostic.
+    template<typename TAcc, typename TDev, typename TDim, typename TSize>
+    void requireValidWorkDiv(TDev const& dev, WorkDivMembers<TDim, TSize> const& workDiv)
+    {
+        if(!isValidWorkDiv<TAcc>(dev, workDiv))
+        {
+            auto const props = acc::getAccDevProps<TAcc>(dev);
+            std::ostringstream os;
+            os << "work division " << workDiv << " is invalid for " << acc::getAccName<TAcc>() << " on device (max "
+               << props.blockThreadCountMax << " threads/block, per-dim max " << props.blockThreadExtentMax << ")";
+            throw InvalidWorkDivError(os.str());
+        }
+    }
+
+    namespace detail
+    {
+        template<typename TSize>
+        [[nodiscard]] constexpr auto floorPow2(TSize v) noexcept -> TSize
+        {
+            TSize p = 1;
+            while(p * 2 <= v)
+                p *= 2;
+            return p;
+        }
+    } // namespace detail
+
+    //! Derives a valid work division covering \p gridElemExtent elements
+    //! with \p threadElemExtent elements per thread: chooses a block-thread
+    //! extent within the accelerator limits (powers of two, innermost
+    //! dimension first) and computes the grid extent by ceiling division.
+    //! The grid may overshoot the element domain; kernels guard with an
+    //! index check, exactly as in CUDA.
+    template<typename TAcc, typename TDev, typename TDim, typename TSize>
+    [[nodiscard]] auto getValidWorkDiv(
+        TDev const& dev,
+        Vec<TDim, TSize> const& gridElemExtent,
+        Vec<TDim, TSize> const& threadElemExtent = Vec<TDim, TSize>::ones()) -> WorkDivMembers<TDim, TSize>
+    {
+        auto const props = acc::getAccDevProps<TAcc>(dev);
+        auto blockThreads = Vec<TDim, TSize>::ones();
+        // Heuristic upper bound so CPU back-ends do not create absurdly
+        // large teams: cap the block at 256 threads or the device limit.
+        TSize remaining = std::min<TSize>(props.blockThreadCountMax, static_cast<TSize>(256));
+        auto const threadExtent = ceilDiv(gridElemExtent, threadElemExtent);
+        for(std::size_t d = TDim::value; d-- > 0;)
+        {
+            auto const want = std::min({threadExtent[d], props.blockThreadExtentMax[d], remaining});
+            blockThreads[d] = std::max<TSize>(detail::floorPow2(want), 1);
+            remaining = std::max<TSize>(remaining / blockThreads[d], 1);
+        }
+        auto const gridBlocks = ceilDiv(gridElemExtent, blockThreads * threadElemExtent);
+        return WorkDivMembers<TDim, TSize>(gridBlocks, blockThreads, threadElemExtent);
+    }
+
+    //! The paper's Table 2 mapping: given a 1-d problem of \p n elements, a
+    //! requested block size \p b and \p v elements per thread, produces the
+    //! work division the predefined accelerator would use —
+    //! {N/(B*V), B, V} for thread-parallel back-ends and {N/V, 1, V} for
+    //! single-thread-per-block back-ends (ceiling divisions).
+    template<typename TAcc, typename TSize>
+    [[nodiscard]] auto table2WorkDiv(TSize n, TSize b, TSize v) -> WorkDivMembers<dim::DimInt<1>, TSize>
+    {
+        auto const ceil = [](TSize num, TSize den) { return static_cast<TSize>((num + den - 1) / den); };
+        if constexpr(trait::UsesBlockThreads<TAcc>::value)
+            return {ceil(n, static_cast<TSize>(b * v)), b, v};
+        else
+            return {ceil(n, v), static_cast<TSize>(1), v};
+    }
+} // namespace alpaka::workdiv

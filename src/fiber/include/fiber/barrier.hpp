@@ -1,0 +1,43 @@
+/// \file Cooperative barrier for fibers of one scheduler run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fiber
+{
+    //! Rendezvous point for a fixed number of fibers driven by the same
+    //! Scheduler::run(). Reusable across generations (like std::barrier, but
+    //! cooperative and single-threaded).
+    //!
+    //! If a participant finishes its body without arriving while siblings
+    //! wait, the scheduler's stall detection cancels the run and the caller
+    //! of Scheduler::run() receives BarrierDivergenceError — mirroring the
+    //! semantics of __syncthreads() in divergent code, except detected.
+    class Barrier
+    {
+    public:
+        explicit Barrier(std::size_t participants);
+
+        //! Arrive and wait for all participants; throws FiberCancelled when
+        //! the scheduler cancels the run while waiting.
+        void arriveAndWait();
+
+        [[nodiscard]] auto participants() const noexcept -> std::size_t
+        {
+            return participants_;
+        }
+        //! Number of completed generations (instrumentation / tests).
+        [[nodiscard]] auto generation() const noexcept -> std::uint64_t
+        {
+            return generation_;
+        }
+
+    private:
+        std::size_t participants_;
+        std::size_t arrived_ = 0;
+        std::uint64_t generation_ = 0;
+        std::vector<std::size_t> waiters_;
+    };
+} // namespace fiber

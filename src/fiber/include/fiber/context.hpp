@@ -1,0 +1,81 @@
+/// \file Low-level execution context switching.
+///
+/// Two interchangeable implementations are provided:
+///  * SwitchImpl::Asm      - hand-written x86-64 System V context switch that
+///                           saves only the callee-saved register set plus the
+///                           floating point control words. A switch costs a
+///                           few nanoseconds. Available on x86-64 only.
+///  * SwitchImpl::Ucontext - portable fallback on top of POSIX
+///                           makecontext/swapcontext. Functionally identical
+///                           but roughly an order of magnitude slower because
+///                           glibc's swapcontext performs a signal mask
+///                           syscall per switch.
+///
+/// The scheduler selects the implementation at run time (fiber::SchedulerConfig)
+/// so that both code paths stay continuously tested.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ucontext.h>
+
+namespace fiber
+{
+    //! Selects the machine-level context switch implementation.
+    enum class SwitchImpl
+    {
+        Asm, //!< hand written x86-64 switch (default where available)
+        Ucontext //!< POSIX ucontext fallback
+    };
+
+    //! Returns the fastest implementation available on this platform.
+    [[nodiscard]] auto defaultSwitchImpl() noexcept -> SwitchImpl;
+
+    namespace detail
+    {
+        //! Saved machine context for the Asm implementation. Only the stack
+        //! pointer is stored explicitly; everything else lives on the stack.
+        struct AsmContext
+        {
+            void* sp = nullptr;
+        };
+
+        extern "C"
+        {
+            //! Switches from \p from to \p to. Defined in context.cpp in
+            //! assembly. Saves rbp/rbx/r12-r15 + mxcsr + x87cw.
+            void alpakaFiberCtxSwitch(AsmContext* from, AsmContext* to) noexcept;
+        }
+
+        //! Entry thunk invoked on the first switch into a fresh fiber. It
+        //! must never return; it reads the current fiber from thread-local
+        //! state and runs its body.
+        using EntryFn = void (*)();
+
+        //! Prepares a fresh Asm context on [stackLo, stackHi) that will enter
+        //! \p entry on the first switch-in.
+        void makeAsmContext(AsmContext& ctx, void* stackLo, std::size_t stackBytes, EntryFn entry) noexcept;
+
+        //! A context that can hold either implementation; which member is
+        //! active is decided by the owning scheduler's SwitchImpl.
+        struct Context
+        {
+            AsmContext asmCtx;
+            ucontext_t uctx{};
+        };
+
+        //! Prepares \p ctx (of implementation \p impl) to enter \p entry on a
+        //! fresh stack. \p returnTo is the context control returns to should
+        //! the entry function ever return (must not happen; used as guard).
+        void makeContext(
+            SwitchImpl impl,
+            Context& ctx,
+            void* stackLo,
+            std::size_t stackBytes,
+            EntryFn entry,
+            Context& returnTo);
+
+        //! Transfers control from \p from to \p to.
+        void switchContext(SwitchImpl impl, Context& from, Context& to) noexcept;
+    } // namespace detail
+} // namespace fiber

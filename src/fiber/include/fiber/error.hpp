@@ -1,0 +1,55 @@
+/// \file Error types of the fiber substrate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fiber
+{
+    //! Base class of all errors raised by the fiber substrate.
+    class Error : public std::runtime_error
+    {
+    public:
+        using std::runtime_error::runtime_error;
+    };
+
+    //! Raised by the scheduler when cooperative progress stalls: every
+    //! unfinished fiber is blocked in a barrier that can never complete
+    //! because at least one expected participant already finished.
+    //!
+    //! This is the substrate-level signal behind the "barrier divergence is
+    //! detected, not a hang" guarantee of the SIMT back-ends.
+    class BarrierDivergenceError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Thrown *inside* a blocked fiber when the scheduler cancels the run
+    //! (for example after detecting divergence or after another fiber threw).
+    //! It unwinds the fiber stack so that destructors of kernel-local objects
+    //! run; the scheduler translates it back into the primary error.
+    class FiberCancelled : public Error
+    {
+    public:
+        FiberCancelled() : Error("fiber run cancelled by scheduler")
+        {
+        }
+    };
+
+    //! Raised when the canary region at the low end of a fiber stack was
+    //! overwritten, i.e. the fiber (nearly) overflowed its stack.
+    class StackOverflowError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Raised on misuse of the API (calling fiber-only functions from
+    //! outside a fiber, zero participants, ...).
+    class UsageError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+} // namespace fiber

@@ -1,0 +1,14 @@
+/// \file Umbrella header of the fiber substrate.
+///
+/// The fiber library provides deterministic cooperative user-level threads.
+/// It backs two higher layers of this repository:
+///  * the AccCpuFibers accelerator back-end (the paper's "boost fibers"
+///    back-end, rebuilt from scratch), and
+///  * the warp/thread execution engine of the SIMT GPU simulator.
+#pragma once
+
+#include "fiber/barrier.hpp"
+#include "fiber/context.hpp"
+#include "fiber/error.hpp"
+#include "fiber/scheduler.hpp"
+#include "fiber/stack.hpp"

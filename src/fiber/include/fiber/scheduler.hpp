@@ -1,0 +1,130 @@
+/// \file Cooperative round-robin fiber scheduler.
+///
+/// One Scheduler drives a set of fibers on the calling OS thread until all of
+/// them finished. It is the execution engine below the AccCpuFibers back-end
+/// and below every block of the SIMT GPU simulator. Key properties:
+///
+///  * deterministic round-robin order (blocks of the simulator replay
+///    identically from run to run),
+///  * cooperative blocking via Barrier (see barrier.hpp) with stall
+///    detection: if no fiber can make progress the scheduler cancels the run
+///    and reports BarrierDivergenceError instead of hanging,
+///  * exceptions thrown by fiber bodies are captured, remaining fibers are
+///    cancelled and unwound, and the first error is re-thrown to the caller,
+///  * stacks are pooled and reused across runs.
+#pragma once
+
+#include "fiber/context.hpp"
+#include "fiber/error.hpp"
+#include "fiber/stack.hpp"
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace fiber
+{
+    //! Scheduler construction parameters.
+    struct SchedulerConfig
+    {
+        //! Usable bytes per fiber stack.
+        std::size_t stackBytes = 128 * 1024;
+        //! Context switch implementation; Asm where available.
+        SwitchImpl switchImpl = defaultSwitchImpl();
+    };
+
+    class Scheduler
+    {
+    public:
+        explicit Scheduler(SchedulerConfig config = {});
+        ~Scheduler();
+
+        Scheduler(Scheduler const&) = delete;
+        auto operator=(Scheduler const&) -> Scheduler& = delete;
+
+        //! The body invoked per fiber; receives the fiber index [0, count).
+        using Body = std::function<void(std::size_t)>;
+
+        //! Runs \p count fibers executing \p body(index) to completion.
+        //!
+        //! Re-throws the first exception a fiber body raised. Throws
+        //! BarrierDivergenceError if the run stalled (see class comment).
+        //! Throws StackOverflowError if a fiber's stack canary was destroyed.
+        void run(std::size_t count, Body const& body);
+
+        //! \name In-fiber services (valid only while run() is active and the
+        //! caller is one of its fibers)
+        //! @{
+
+        //! Cooperatively gives up the processor; the fiber stays runnable.
+        static void yield();
+        //! Index of the calling fiber within the current run.
+        [[nodiscard]] static auto currentIndex() -> std::size_t;
+        //! True when called from inside a fiber.
+        [[nodiscard]] static auto insideFiber() noexcept -> bool;
+        //! The scheduler driving the calling fiber.
+        [[nodiscard]] static auto current() -> Scheduler&;
+        //! @}
+
+        //! \name Services used by cooperative primitives (Barrier)
+        //! @{
+
+        //! Marks the calling fiber blocked and switches to the scheduler.
+        //! Returns when some other fiber marked it ready again.
+        void blockCurrent();
+        //! Marks fiber \p index ready (callable from another fiber).
+        void makeReady(std::size_t index);
+        //! True once the run is being cancelled; blocked primitives must
+        //! throw FiberCancelled when they observe this.
+        [[nodiscard]] auto cancelRequested() const noexcept -> bool
+        {
+            return cancelRequested_;
+        }
+        //! @}
+
+        //! Total number of fiber context switches performed (instrumentation).
+        [[nodiscard]] auto switchCount() const noexcept -> std::uint64_t
+        {
+            return switches_;
+        }
+        [[nodiscard]] auto config() const noexcept -> SchedulerConfig const&
+        {
+            return config_;
+        }
+
+    private:
+        enum class Status
+        {
+            Ready,
+            Blocked,
+            Done
+        };
+
+        struct FiberSlot
+        {
+            detail::Context ctx{};
+            Stack stack{};
+            Status status = Status::Done;
+            std::exception_ptr error{};
+            std::size_t index = 0;
+        };
+
+        static void trampoline();
+        void runBodyOn(FiberSlot& slot);
+        void switchToFiber(FiberSlot& slot);
+        void switchToScheduler();
+        void cancelRemaining();
+
+        SchedulerConfig config_;
+        StackPool stackPool_;
+        std::vector<FiberSlot> slots_;
+        detail::Context schedCtx_{};
+        Body const* body_ = nullptr;
+        FiberSlot* running_ = nullptr;
+        std::size_t doneCount_ = 0;
+        std::size_t activeCount_ = 0;
+        bool cancelRequested_ = false;
+        std::uint64_t switches_ = 0;
+    };
+} // namespace fiber

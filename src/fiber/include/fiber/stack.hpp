@@ -1,0 +1,80 @@
+/// \file mmap-backed fiber stacks with guard page and canary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fiber
+{
+    //! A single fiber stack.
+    //!
+    //! Layout (low to high address):
+    //!   [guard page (PROT_NONE)] [canary words] [usable stack ...........]
+    //!
+    //! The guard page turns a hard stack overflow into an immediate fault
+    //! instead of silent corruption; the canary detects "near misses" where
+    //! the fiber wrote into the lowest usable words without crossing into
+    //! the guard page.
+    class Stack
+    {
+    public:
+        Stack() = default;
+        explicit Stack(std::size_t usableBytes);
+        ~Stack();
+
+        Stack(Stack&& other) noexcept;
+        auto operator=(Stack&& other) noexcept -> Stack&;
+        Stack(Stack const&) = delete;
+        auto operator=(Stack const&) -> Stack& = delete;
+
+        //! Lowest usable address (just above guard page and canary).
+        [[nodiscard]] auto lo() const noexcept -> void*;
+        //! Number of usable bytes starting at lo().
+        [[nodiscard]] auto usableBytes() const noexcept -> std::size_t;
+        [[nodiscard]] auto valid() const noexcept -> bool;
+
+        //! (Re)writes the canary pattern. Called before a fiber is (re)used.
+        void armCanary() noexcept;
+        //! True while the canary pattern is intact.
+        [[nodiscard]] auto canaryIntact() const noexcept -> bool;
+
+        //! Address of the canary region start; exposed for tests that
+        //! deliberately simulate an overflow.
+        [[nodiscard]] auto canaryLo() const noexcept -> void*;
+        static constexpr std::size_t canaryBytes = 64;
+
+    private:
+        void release() noexcept;
+
+        std::byte* mapBase_ = nullptr; //!< start of the whole mapping
+        std::size_t mapBytes_ = 0;
+        std::size_t usable_ = 0;
+    };
+
+    //! Reuses stacks across scheduler runs so that per-kernel-block fiber
+    //! creation does not hit mmap.
+    class StackPool
+    {
+    public:
+        explicit StackPool(std::size_t stackBytes);
+
+        //! Borrows a stack (grows the pool on demand).
+        auto acquire() -> Stack;
+        //! Returns a stack for reuse.
+        void recycle(Stack&& stack);
+
+        [[nodiscard]] auto stackBytes() const noexcept -> std::size_t
+        {
+            return stackBytes_;
+        }
+        [[nodiscard]] auto pooled() const noexcept -> std::size_t
+        {
+            return pool_.size();
+        }
+
+    private:
+        std::size_t stackBytes_;
+        std::vector<Stack> pool_;
+    };
+} // namespace fiber

@@ -1,0 +1,40 @@
+#include "fiber/barrier.hpp"
+
+#include "fiber/error.hpp"
+#include "fiber/scheduler.hpp"
+
+namespace fiber
+{
+    Barrier::Barrier(std::size_t participants) : participants_(participants)
+    {
+        if(participants == 0)
+            throw UsageError("fiber::Barrier: participants must be > 0");
+        waiters_.reserve(participants - 1);
+    }
+
+    void Barrier::arriveAndWait()
+    {
+        auto& sched = Scheduler::current();
+        ++arrived_;
+        if(arrived_ == participants_)
+        {
+            // Last arriver: open the barrier and wake all waiters. It keeps
+            // running; the woken fibers resume on their next schedule slot.
+            arrived_ = 0;
+            ++generation_;
+            for(auto const idx : waiters_)
+                sched.makeReady(idx);
+            waiters_.clear();
+            return;
+        }
+
+        waiters_.push_back(Scheduler::currentIndex());
+        auto const myGeneration = generation_;
+        while(generation_ == myGeneration)
+        {
+            if(sched.cancelRequested())
+                throw FiberCancelled{};
+            sched.blockCurrent();
+        }
+    }
+} // namespace fiber

@@ -1,0 +1,132 @@
+#include "fiber/context.hpp"
+
+#include "fiber/error.hpp"
+
+#include <cstring>
+
+namespace fiber
+{
+    auto defaultSwitchImpl() noexcept -> SwitchImpl
+    {
+#if defined(__x86_64__) && defined(__GNUC__)
+        return SwitchImpl::Asm;
+#else
+        return SwitchImpl::Ucontext;
+#endif
+    }
+
+    namespace detail
+    {
+#if defined(__x86_64__) && defined(__GNUC__)
+        // System V x86-64 cooperative context switch.
+        //
+        // Stack frame captured at a switch point (from low to high address,
+        // rsp pointing at offset 0 after the save sequence):
+        //   [ 0.. 7]  mxcsr (4 bytes) + x87 control word (2 bytes) + pad
+        //   [ 8..15]  r15
+        //   [16..23]  r14
+        //   [24..31]  r13
+        //   [32..39]  r12
+        //   [40..47]  rbx
+        //   [48..55]  rbp
+        //   [56..63]  return address
+        //
+        // All other registers are caller-saved under the System V ABI and are
+        // therefore dealt with by the compiler at the call site of
+        // alpakaFiberCtxSwitch.
+        asm(R"(
+        .text
+        .globl alpakaFiberCtxSwitch
+        .type alpakaFiberCtxSwitch,@function
+        .align 16
+alpakaFiberCtxSwitch:
+        pushq %rbp
+        pushq %rbx
+        pushq %r12
+        pushq %r13
+        pushq %r14
+        pushq %r15
+        subq  $8, %rsp
+        stmxcsr (%rsp)
+        fnstcw  4(%rsp)
+        movq  %rsp, (%rdi)
+        movq  (%rsi), %rsp
+        ldmxcsr (%rsp)
+        fldcw   4(%rsp)
+        addq  $8, %rsp
+        popq  %r15
+        popq  %r14
+        popq  %r13
+        popq  %r12
+        popq  %rbx
+        popq  %rbp
+        retq
+        .size alpakaFiberCtxSwitch,.-alpakaFiberCtxSwitch
+        )");
+
+        void makeAsmContext(AsmContext& ctx, void* stackLo, std::size_t stackBytes, EntryFn entry) noexcept
+        {
+            auto* const hi = static_cast<std::byte*>(stackLo) + stackBytes;
+
+            // Choose sp such that after the restore sequence pops the frame
+            // (64 bytes) the entry function observes rsp % 16 == 8, exactly
+            // as if it had been reached via a call instruction.
+            auto top = reinterpret_cast<std::uintptr_t>(hi);
+            top &= ~std::uintptr_t{0xF}; // 16-byte align
+            top -= 8; // sp0 % 16 == 8  =>  (sp0 + 64) % 16 == 8
+            auto* sp = reinterpret_cast<std::byte*>(top) - 64;
+
+            std::memset(sp, 0, 64);
+            // Default x86-64 floating point environment: mxcsr = 0x1F80
+            // (all exceptions masked, round to nearest), x87 cw = 0x037F.
+            std::uint32_t const mxcsr = 0x1F80u;
+            std::uint16_t const fcw = 0x037Fu;
+            std::memcpy(sp + 0, &mxcsr, sizeof(mxcsr));
+            std::memcpy(sp + 4, &fcw, sizeof(fcw));
+            auto const entryAddr = reinterpret_cast<std::uintptr_t>(entry);
+            std::memcpy(sp + 56, &entryAddr, sizeof(entryAddr));
+
+            ctx.sp = sp;
+        }
+#else
+        void makeAsmContext(AsmContext&, void*, std::size_t, EntryFn) noexcept
+        {
+        }
+#endif
+
+        void makeContext(
+            SwitchImpl impl,
+            Context& ctx,
+            void* stackLo,
+            std::size_t stackBytes,
+            EntryFn entry,
+            Context& returnTo)
+        {
+            if(impl == SwitchImpl::Asm)
+            {
+#if defined(__x86_64__) && defined(__GNUC__)
+                makeAsmContext(ctx.asmCtx, stackLo, stackBytes, entry);
+                return;
+#else
+                throw UsageError("SwitchImpl::Asm is not available on this platform");
+#endif
+            }
+            if(::getcontext(&ctx.uctx) != 0)
+                throw Error("getcontext failed");
+            ctx.uctx.uc_stack.ss_sp = stackLo;
+            ctx.uctx.uc_stack.ss_size = stackBytes;
+            ctx.uctx.uc_link = &returnTo.uctx; // guard: entry must not return
+            ::makecontext(&ctx.uctx, entry, 0);
+        }
+
+        void switchContext(SwitchImpl impl, Context& from, Context& to) noexcept
+        {
+            if(impl == SwitchImpl::Asm)
+            {
+                alpakaFiberCtxSwitch(&from.asmCtx, &to.asmCtx);
+                return;
+            }
+            ::swapcontext(&from.uctx, &to.uctx);
+        }
+    } // namespace detail
+} // namespace fiber

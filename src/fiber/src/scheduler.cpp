@@ -1,0 +1,222 @@
+#include "fiber/scheduler.hpp"
+
+#include <utility>
+
+namespace fiber
+{
+    namespace
+    {
+        thread_local Scheduler* t_scheduler = nullptr;
+    } // namespace
+
+    Scheduler::Scheduler(SchedulerConfig config) : config_(config), stackPool_(config.stackBytes)
+    {
+    }
+
+    Scheduler::~Scheduler() = default;
+
+    auto Scheduler::insideFiber() noexcept -> bool
+    {
+        return t_scheduler != nullptr && t_scheduler->running_ != nullptr;
+    }
+
+    auto Scheduler::current() -> Scheduler&
+    {
+        if(t_scheduler == nullptr)
+            throw UsageError("fiber::Scheduler::current() called outside of a fiber run");
+        return *t_scheduler;
+    }
+
+    auto Scheduler::currentIndex() -> std::size_t
+    {
+        auto& self = current();
+        if(self.running_ == nullptr)
+            throw UsageError("fiber::Scheduler::currentIndex() called outside of a fiber");
+        return self.running_->index;
+    }
+
+    void Scheduler::yield()
+    {
+        auto& self = current();
+        if(self.running_ == nullptr)
+            throw UsageError("fiber::Scheduler::yield() called outside of a fiber");
+        // Stays Ready; just hand control back to the scheduler loop.
+        self.switchToScheduler();
+        if(self.cancelRequested_)
+            throw FiberCancelled{};
+    }
+
+    void Scheduler::blockCurrent()
+    {
+        if(running_ == nullptr)
+            throw UsageError("fiber::Scheduler::blockCurrent() called outside of a fiber");
+        running_->status = Status::Blocked;
+        switchToScheduler();
+    }
+
+    void Scheduler::makeReady(std::size_t index)
+    {
+        if(index >= slots_.size())
+            throw UsageError("fiber::Scheduler::makeReady(): index out of range");
+        if(slots_[index].status == Status::Blocked)
+            slots_[index].status = Status::Ready;
+    }
+
+    void Scheduler::trampoline()
+    {
+        // Entered exactly once per fiber activation via the first context
+        // switch into the fresh stack.
+        auto* self = t_scheduler;
+        self->runBodyOn(*self->running_);
+        // Unreachable: runBodyOn switches back to the scheduler for good.
+        std::terminate();
+    }
+
+    void Scheduler::runBodyOn(FiberSlot& slot)
+    {
+        try
+        {
+            (*body_)(slot.index);
+        }
+        catch(...)
+        {
+            slot.error = std::current_exception();
+        }
+        slot.status = Status::Done;
+        switchToScheduler();
+        std::terminate(); // a Done fiber must never be resumed
+    }
+
+    void Scheduler::switchToFiber(FiberSlot& slot)
+    {
+        running_ = &slot;
+        ++switches_;
+        detail::switchContext(config_.switchImpl, schedCtx_, slot.ctx);
+        running_ = nullptr;
+    }
+
+    void Scheduler::switchToScheduler()
+    {
+        auto& slot = *running_;
+        ++switches_;
+        detail::switchContext(config_.switchImpl, slot.ctx, schedCtx_);
+    }
+
+    void Scheduler::cancelRemaining()
+    {
+        cancelRequested_ = true;
+        for(auto& slot : slots_)
+            if(slot.status == Status::Blocked)
+                slot.status = Status::Ready;
+    }
+
+    void Scheduler::run(std::size_t count, Body const& body)
+    {
+        if(t_scheduler != nullptr)
+            throw UsageError("fiber::Scheduler::run() is not re-entrant on the same thread");
+        if(count == 0)
+            return;
+
+        t_scheduler = this;
+        body_ = &body;
+        doneCount_ = 0;
+        activeCount_ = count;
+        cancelRequested_ = false;
+
+        // Shrinking: hand surplus stacks back to the pool instead of
+        // unmapping them.
+        while(slots_.size() > count)
+        {
+            stackPool_.recycle(std::move(slots_.back().stack));
+            slots_.pop_back();
+        }
+        slots_.resize(count);
+        for(std::size_t i = 0; i < count; ++i)
+        {
+            auto& slot = slots_[i];
+            slot.index = i;
+            slot.status = Status::Ready;
+            slot.error = nullptr;
+            if(!slot.stack.valid())
+                slot.stack = stackPool_.acquire();
+            else
+                slot.stack.armCanary();
+            detail::makeContext(
+                config_.switchImpl,
+                slot.ctx,
+                slot.stack.lo(),
+                slot.stack.usableBytes(),
+                &Scheduler::trampoline,
+                schedCtx_);
+        }
+
+        std::exception_ptr firstError{};
+        bool stalled = false;
+        bool canaryBroken = false;
+
+        while(doneCount_ < count)
+        {
+            bool progressed = false;
+            for(auto& slot : slots_)
+            {
+                if(slot.status != Status::Ready)
+                    continue;
+                progressed = true;
+                switchToFiber(slot);
+                if(!slot.stack.canaryIntact())
+                {
+                    // The fiber scribbled over its canary: its stack contents
+                    // are untrustworthy, do not resume it again.
+                    canaryBroken = true;
+                    slot.status = Status::Done;
+                    ++doneCount_;
+                    cancelRemaining();
+                    continue;
+                }
+                if(slot.status == Status::Done)
+                {
+                    ++doneCount_;
+                    if(slot.error != nullptr && firstError == nullptr)
+                    {
+                        // Distinguish user errors from our own cancellation
+                        // signal; only the former is primary.
+                        try
+                        {
+                            std::rethrow_exception(slot.error);
+                        }
+                        catch(FiberCancelled const&)
+                        {
+                        }
+                        catch(...)
+                        {
+                            firstError = slot.error;
+                            // Unwind the remaining fibers promptly; blocked
+                            // siblings would otherwise stall the run first.
+                            cancelRemaining();
+                        }
+                    }
+                }
+            }
+            if(!progressed && doneCount_ < count)
+            {
+                // Every unfinished fiber is Blocked: cooperative deadlock,
+                // i.e. a barrier that can never be completed.
+                stalled = true;
+                cancelRemaining();
+            }
+        }
+
+        // Recycle state for the next run.
+        body_ = nullptr;
+        t_scheduler = nullptr;
+
+        if(canaryBroken)
+            throw StackOverflowError("fiber stack canary destroyed; increase SchedulerConfig::stackBytes");
+        if(firstError != nullptr)
+            std::rethrow_exception(firstError);
+        if(stalled)
+            throw BarrierDivergenceError(
+                "cooperative deadlock: all unfinished fibers are blocked in a barrier that can never complete "
+                "(a sibling fiber exited before reaching it)");
+    }
+} // namespace fiber

@@ -1,0 +1,147 @@
+#include "fiber/stack.hpp"
+
+#include "fiber/error.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace fiber
+{
+    namespace
+    {
+        [[nodiscard]] auto pageSize() noexcept -> std::size_t
+        {
+            static std::size_t const cached = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+            return cached;
+        }
+
+        [[nodiscard]] auto roundUp(std::size_t value, std::size_t mult) noexcept -> std::size_t
+        {
+            return (value + mult - 1) / mult * mult;
+        }
+
+        constexpr std::uint64_t canaryWord = 0xFEEDFACECAFEBEEFull;
+    } // namespace
+
+    Stack::Stack(std::size_t usableBytes)
+    {
+        usable_ = roundUp(usableBytes, 16);
+        mapBytes_ = pageSize() + roundUp(canaryBytes + usable_, pageSize());
+        void* const p = ::mmap(
+            nullptr,
+            mapBytes_,
+            PROT_READ | PROT_WRITE,
+            MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK,
+            -1,
+            0);
+        if(p == MAP_FAILED)
+            throw Error("fiber::Stack: mmap failed");
+        mapBase_ = static_cast<std::byte*>(p);
+        if(::mprotect(mapBase_, pageSize(), PROT_NONE) != 0)
+        {
+            release();
+            throw Error("fiber::Stack: mprotect(guard) failed");
+        }
+        armCanary();
+    }
+
+    Stack::~Stack()
+    {
+        release();
+    }
+
+    Stack::Stack(Stack&& other) noexcept
+        : mapBase_(std::exchange(other.mapBase_, nullptr))
+        , mapBytes_(std::exchange(other.mapBytes_, 0))
+        , usable_(std::exchange(other.usable_, 0))
+    {
+    }
+
+    auto Stack::operator=(Stack&& other) noexcept -> Stack&
+    {
+        if(this != &other)
+        {
+            release();
+            mapBase_ = std::exchange(other.mapBase_, nullptr);
+            mapBytes_ = std::exchange(other.mapBytes_, 0);
+            usable_ = std::exchange(other.usable_, 0);
+        }
+        return *this;
+    }
+
+    void Stack::release() noexcept
+    {
+        if(mapBase_ != nullptr)
+        {
+            ::munmap(mapBase_, mapBytes_);
+            mapBase_ = nullptr;
+            mapBytes_ = 0;
+            usable_ = 0;
+        }
+    }
+
+    auto Stack::lo() const noexcept -> void*
+    {
+        return mapBase_ + pageSize() + canaryBytes;
+    }
+
+    auto Stack::usableBytes() const noexcept -> std::size_t
+    {
+        return usable_;
+    }
+
+    auto Stack::valid() const noexcept -> bool
+    {
+        return mapBase_ != nullptr;
+    }
+
+    auto Stack::canaryLo() const noexcept -> void*
+    {
+        return mapBase_ + pageSize();
+    }
+
+    void Stack::armCanary() noexcept
+    {
+        auto* p = static_cast<std::byte*>(canaryLo());
+        for(std::size_t i = 0; i < canaryBytes; i += sizeof(canaryWord))
+            std::memcpy(p + i, &canaryWord, sizeof(canaryWord));
+    }
+
+    auto Stack::canaryIntact() const noexcept -> bool
+    {
+        auto const* p = static_cast<std::byte const*>(canaryLo());
+        for(std::size_t i = 0; i < canaryBytes; i += sizeof(canaryWord))
+        {
+            std::uint64_t w = 0;
+            std::memcpy(&w, p + i, sizeof(w));
+            if(w != canaryWord)
+                return false;
+        }
+        return true;
+    }
+
+    StackPool::StackPool(std::size_t stackBytes) : stackBytes_(stackBytes)
+    {
+    }
+
+    auto StackPool::acquire() -> Stack
+    {
+        if(!pool_.empty())
+        {
+            Stack s = std::move(pool_.back());
+            pool_.pop_back();
+            s.armCanary();
+            return s;
+        }
+        return Stack(stackBytes_);
+    }
+
+    void StackPool::recycle(Stack&& stack)
+    {
+        if(stack.valid())
+            pool_.push_back(std::move(stack));
+    }
+} // namespace fiber

@@ -1,0 +1,181 @@
+/// \file Simulated GPU device and its SIMT execution engine.
+#pragma once
+
+#include "fiber/barrier.hpp"
+#include "fiber/scheduler.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/types.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace gpusim
+{
+    class Device;
+
+    //! Execution statistics of one device (monotonic counters).
+    struct ExecStats
+    {
+        std::uint64_t kernelsLaunched = 0;
+        std::uint64_t blocksExecuted = 0;
+        std::uint64_t warpsExecuted = 0;
+        std::uint64_t barrierWaits = 0;
+        std::uint64_t fiberSwitches = 0;
+    };
+
+    //! Everything a simulated thread can see and do from inside a kernel:
+    //! its coordinates, the launch geometry, the block's shared memory and
+    //! the block barrier. This is the moral equivalent of the CUDA built-ins
+    //! (threadIdx, blockIdx, __shared__, __syncthreads) — except nothing is
+    //! implicit; the kernel body receives the context as a parameter, which
+    //! is exactly the discipline the Alpaka paper builds on.
+    class ThreadCtx
+    {
+    public:
+        ThreadCtx(
+            Dim3 blockIdx,
+            Dim3 threadIdx,
+            GridSpec const& grid,
+            std::byte* sharedMem,
+            fiber::Barrier* barrier,
+            Device& device) noexcept
+            : blockIdx_(blockIdx)
+            , threadIdx_(threadIdx)
+            , grid_(&grid)
+            , sharedMem_(sharedMem)
+            , barrier_(barrier)
+            , device_(&device)
+        {
+        }
+
+        [[nodiscard]] auto blockIdx() const noexcept -> Dim3
+        {
+            return blockIdx_;
+        }
+        [[nodiscard]] auto threadIdx() const noexcept -> Dim3
+        {
+            return threadIdx_;
+        }
+        [[nodiscard]] auto gridDim() const noexcept -> Dim3
+        {
+            return grid_->grid;
+        }
+        [[nodiscard]] auto blockDim() const noexcept -> Dim3
+        {
+            return grid_->block;
+        }
+
+        //! Row-major linear thread index inside the block (x fastest).
+        [[nodiscard]] auto linearThreadIdx() const noexcept -> std::size_t
+        {
+            return (static_cast<std::size_t>(threadIdx_.z) * grid_->block.y + threadIdx_.y) * grid_->block.x
+                   + threadIdx_.x;
+        }
+        //! Row-major linear block index inside the grid (x fastest).
+        [[nodiscard]] auto linearBlockIdx() const noexcept -> std::size_t
+        {
+            return (static_cast<std::size_t>(blockIdx_.z) * grid_->grid.y + blockIdx_.y) * grid_->grid.x
+                   + blockIdx_.x;
+        }
+        //! Global linear thread index across the whole grid.
+        [[nodiscard]] auto globalLinearThreadIdx() const noexcept -> std::size_t
+        {
+            return linearBlockIdx() * grid_->block.prod() + linearThreadIdx();
+        }
+
+        [[nodiscard]] auto warpId() const noexcept -> unsigned;
+        [[nodiscard]] auto laneId() const noexcept -> unsigned;
+
+        //! Dynamic shared memory of this block.
+        [[nodiscard]] auto sharedMem() const noexcept -> std::byte*
+        {
+            return sharedMem_;
+        }
+        [[nodiscard]] auto sharedMemBytes() const noexcept -> std::size_t
+        {
+            return grid_->sharedMemBytes;
+        }
+
+        //! Block-wide barrier (__syncthreads).
+        //! \throws LaunchError when the kernel was launched with the
+        //!         noBarrier hint.
+        void sync();
+
+        [[nodiscard]] auto device() const noexcept -> Device&
+        {
+            return *device_;
+        }
+
+    private:
+        Dim3 blockIdx_;
+        Dim3 threadIdx_;
+        GridSpec const* grid_;
+        std::byte* sharedMem_;
+        fiber::Barrier* barrier_; // nullptr under the noBarrier hint
+        Device* device_;
+    };
+
+    //! Kernel body type: invoked once per simulated thread.
+    using KernelBody = std::function<void(ThreadCtx&)>;
+
+    //! One simulated GPU. Owns its global memory and its execution engine.
+    //!
+    //! Execution model: one kernel executes at a time per device (kernel
+    //! launches from multiple streams serialize on the device, like a GPU
+    //! without concurrent-kernel support). Blocks run in deterministic
+    //! ascending linear order; the threads of a block run as cooperative
+    //! fibers scheduled round-robin in warp-major order. This makes every
+    //! simulation replayable bit-for-bit.
+    class Device
+    {
+    public:
+        explicit Device(DeviceSpec spec, int ordinal = 0);
+
+        Device(Device const&) = delete;
+        auto operator=(Device const&) -> Device& = delete;
+
+        [[nodiscard]] auto spec() const noexcept -> DeviceSpec const&
+        {
+            return spec_;
+        }
+        [[nodiscard]] auto ordinal() const noexcept -> int
+        {
+            return ordinal_;
+        }
+        [[nodiscard]] auto memory() noexcept -> MemoryManager&
+        {
+            return memory_;
+        }
+        [[nodiscard]] auto memory() const noexcept -> MemoryManager const&
+        {
+            return memory_;
+        }
+
+        //! Validates a launch configuration against the device limits.
+        //! \throws LaunchError on violation.
+        void validate(GridSpec const& grid) const;
+
+        //! Runs a kernel synchronously (the calling thread is the engine).
+        void runGrid(GridSpec const& grid, KernelBody const& body);
+
+        [[nodiscard]] auto execStats() const -> ExecStats;
+
+    private:
+        friend class ThreadCtx;
+
+        void runBlockFibers(GridSpec const& grid, KernelBody const& body, Dim3 blockIdx, std::byte* sharedMem);
+        void runBlockLoop(GridSpec const& grid, KernelBody const& body, Dim3 blockIdx, std::byte* sharedMem);
+
+        DeviceSpec spec_;
+        int ordinal_;
+        MemoryManager memory_;
+        std::mutex execMutex_; //!< serializes kernels (one engine per device)
+        fiber::Scheduler scheduler_;
+        std::vector<std::byte> sharedArena_;
+        mutable std::mutex statsMutex_;
+        ExecStats stats_{};
+    };
+} // namespace gpusim

@@ -1,0 +1,93 @@
+/// \file Simulated device descriptions.
+#pragma once
+
+#include "gpusim/types.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace gpusim
+{
+    //! Static description of a simulated GPU. The presets model the paper's
+    //! evaluation hardware (Table 3) so that device enumeration, theoretical
+    //! peak computation and occupancy-style statistics mirror the original
+    //! setup.
+    struct DeviceSpec
+    {
+        std::string name = "SimGeneric";
+        unsigned smCount = 8;
+        unsigned warpSize = 32;
+        unsigned maxThreadsPerBlock = 1024;
+        Dim3 maxBlockDim{1024, 1024, 64};
+        Dim3 maxGridDim{2147483647u, 65535u, 65535u};
+        std::size_t sharedMemPerBlock = 48 * 1024;
+        std::size_t globalMemBytes = std::size_t{1} << 30; // 1 GiB
+        double clockGHz = 1.0;
+        //! Double precision FMA units per SM (each does 2 flop/cycle).
+        unsigned fp64UnitsPerSM = 32;
+        //! Threads resident per SM at full occupancy (Kepler: 2048).
+        unsigned maxResidentThreadsPerSM = 2048;
+        //! Global memory bandwidth in GB/s (Kepler K20: ~208, K80: ~240).
+        double memBandwidthGBs = 200.0;
+        //! Usable stack bytes per simulated thread (fiber).
+        std::size_t fiberStackBytes = 64 * 1024;
+
+        //! Theoretical double precision peak in GFLOPS.
+        [[nodiscard]] auto peakGflopsFp64() const noexcept -> double
+        {
+            return static_cast<double>(smCount) * fp64UnitsPerSM * 2.0 * clockGHz;
+        }
+
+        //! Threads the whole device keeps resident at full occupancy.
+        [[nodiscard]] auto residentThreadCapacity() const noexcept -> double
+        {
+            return static_cast<double>(smCount) * maxResidentThreadsPerSM;
+        }
+    };
+
+    //! \name Occupancy performance model
+    //!
+    //! The simulator executes kernels *functionally* on the host; its wall
+    //! clock therefore reflects host throughput, not device throughput. For
+    //! experiments whose effect lives in the device's parallelism (the
+    //! paper's Fig. 6: a work division with too few, too heavy threads
+    //! starves the GPU), this first-order model estimates device time as
+    //!
+    //!   t = flops / (peak * occupancy),
+    //!   occupancy = min(1, totalThreads / residentThreadCapacity)
+    //!
+    //! i.e. perfect latency hiding up to the resident-thread capacity and
+    //! proportional slowdown below it. Memory coalescing is deliberately
+    //! not modeled (DESIGN.md). All quantities are observable launch
+    //! parameters, so the model is exactly reproducible.
+    //! @{
+
+    //! Fraction of the device's resident-thread capacity used by a launch.
+    [[nodiscard]] auto occupancyFraction(DeviceSpec const& spec, GridSpec const& grid) noexcept -> double;
+
+    //! Modeled kernel duration for \p flops floating point operations.
+    [[nodiscard]] auto modeledKernelSeconds(DeviceSpec const& spec, GridSpec const& grid, double flops) noexcept
+        -> double;
+
+    //! Roofline extension: the kernel additionally moves \p bytes through
+    //! global memory; the modeled time is the slower of the compute leg
+    //! (occupancy-scaled) and the bandwidth leg.
+    [[nodiscard]] auto modeledKernelSecondsRoofline(
+        DeviceSpec const& spec,
+        GridSpec const& grid,
+        double flops,
+        double bytes) noexcept -> double;
+    //! @}
+
+    //! NVIDIA Tesla K20 (GK110) lookalike: 13 SMs, 64 fp64 units/SM,
+    //! 0.706 GHz boost -> ~1.17 TFLOPS fp64 as reported in the paper.
+    [[nodiscard]] auto teslaK20Spec() -> DeviceSpec;
+
+    //! One GK210 half of an NVIDIA Tesla K80: 13 SMs, 64 fp64 units/SM,
+    //! 0.875 GHz boost -> ~1.45 TFLOPS fp64 as reported in the paper.
+    [[nodiscard]] auto teslaK80Spec() -> DeviceSpec;
+
+    //! Small generic device used by tests: quick to simulate and with
+    //! deliberately tight limits so that limit violations are testable.
+    [[nodiscard]] auto genericSpec() -> DeviceSpec;
+} // namespace gpusim

@@ -1,0 +1,20 @@
+/// \file Umbrella header of the GPU simulator substrate.
+///
+/// gpusim is a deterministic software SIMT device: separate global memory
+/// with bounds-checked transfers, in-order streams with events, and a grid
+/// execution engine that runs the threads of each block as cooperative
+/// fibers with real block barriers (including divergence *detection*).
+///
+/// Within this reproduction it plays the role of the CUDA driver/runtime and
+/// the GPU hardware of the paper's evaluation: the Alpaka AccGpuCudaSim
+/// back-end maps onto it, and the "native CUDA" baselines are written
+/// directly against this API.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/platform.hpp"
+#include "gpusim/stream.hpp"
+#include "gpusim/trace.hpp"
+#include "gpusim/types.hpp"

@@ -1,0 +1,46 @@
+/// \file Process-wide registry of simulated devices.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gpusim
+{
+    //! Enumerates the simulated GPUs of this process, analogous to the CUDA
+    //! runtime's device list. The default configuration models the paper's
+    //! evaluation node: one K20-like and one K80-like device.
+    //!
+    //! configure() must be called before any device has been materialized
+    //! (typically first thing in main()); reconfiguring afterwards would
+    //! invalidate live Device references and is rejected.
+    class Platform
+    {
+    public:
+        [[nodiscard]] static auto instance() -> Platform&;
+
+        //! Replaces the device specs. \throws Error after materialization.
+        void configure(std::vector<DeviceSpec> specs);
+
+        [[nodiscard]] auto deviceCount() const -> std::size_t;
+
+        //! Lazily materializes and returns device \p idx.
+        [[nodiscard]] auto device(std::size_t idx) -> Device&;
+
+        //! Testing hook: drops all devices and restores the default specs.
+        //! Callers must guarantee no live references into the old devices.
+        void resetForTesting();
+
+    private:
+        Platform();
+
+        mutable std::mutex mutex_;
+        std::vector<DeviceSpec> specs_;
+        std::vector<std::unique_ptr<Device>> devices_;
+        bool materialized_ = false;
+    };
+} // namespace gpusim

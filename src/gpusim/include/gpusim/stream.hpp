@@ -1,0 +1,150 @@
+/// \file In-order work queues (streams) and events of a simulated device.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/types.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gpusim
+{
+    //! Completion marker, recordable into streams and waitable from the host
+    //! or from other streams. Like a CUDA event, an Event that was never
+    //! recorded counts as complete.
+    class Event
+    {
+    public:
+        Event() : state_(std::make_shared<State>())
+        {
+        }
+
+        [[nodiscard]] auto isDone() const -> bool
+        {
+            std::scoped_lock lock(state_->mutex);
+            return state_->done;
+        }
+
+        //! Blocks the calling host thread until the event completed.
+        void wait() const
+        {
+            std::unique_lock lock(state_->mutex);
+            state_->cv.wait(lock, [&] { return state_->done; });
+        }
+
+    private:
+        friend class Stream;
+
+        struct State
+        {
+            mutable std::mutex mutex;
+            mutable std::condition_variable cv;
+            bool done = true;
+        };
+
+        void markPending()
+        {
+            std::scoped_lock lock(state_->mutex);
+            state_->done = false;
+        }
+        void complete()
+        {
+            {
+                std::scoped_lock lock(state_->mutex);
+                state_->done = true;
+            }
+            state_->cv.notify_all();
+        }
+
+        std::shared_ptr<State> state_;
+    };
+
+    //! An in-order work queue of one device; the simulator equivalent of a
+    //! CUDA stream (the paper's "stream" abstraction maps 1:1 onto this).
+    //!
+    //! * Sync streams execute each operation in the enqueuing host thread.
+    //! * Async streams execute on a dedicated worker thread; enqueue returns
+    //!   immediately.
+    //!
+    //! Errors thrown by enqueued work are sticky, as on real devices: the
+    //! first error is captured, subsequent work is skipped, and the error is
+    //! re-thrown on the next wait() (and from the destructor-suppressing
+    //! check helper lastError()).
+    class Stream
+    {
+    public:
+        Stream(Device& device, bool async);
+        ~Stream();
+
+        Stream(Stream const&) = delete;
+        auto operator=(Stream const&) -> Stream& = delete;
+
+        [[nodiscard]] auto device() noexcept -> Device&
+        {
+            return *device_;
+        }
+        [[nodiscard]] auto isAsync() const noexcept -> bool
+        {
+            return async_;
+        }
+
+        //! Enqueues an arbitrary task (kernel launches and copies use this).
+        void enqueue(std::function<void()> task);
+
+        //! Enqueues a kernel launch.
+        void launch(GridSpec const& grid, KernelBody body);
+
+        //! Enqueued deep copies / fills with device-side validation.
+        void memcpyHtoD(void* dst, void const* src, std::size_t bytes);
+        void memcpyDtoH(void* dst, void const* src, std::size_t bytes);
+        void memcpyDtoD(void* dst, void const* src, std::size_t bytes);
+        void fill(void* dst, int value, std::size_t bytes);
+
+        //! Records \p event: it completes when all previously enqueued work
+        //! of this stream has finished.
+        void record(Event& event);
+
+        //! Makes subsequent work of this stream wait for \p event.
+        void waitFor(Event const& event);
+
+        //! Blocks until all enqueued work completed.
+        //! \throws the sticky error if any task failed.
+        void wait();
+
+        //! True when no work is pending (non-blocking).
+        [[nodiscard]] auto idle() const -> bool;
+
+        //! Sticky error of the stream, if any (nullptr otherwise).
+        [[nodiscard]] auto lastError() const -> std::exception_ptr;
+
+    private:
+        struct Task
+        {
+            std::function<void()> fn;
+            //! Marker tasks (event completion) run even on a broken stream,
+            //! otherwise host-side Event::wait() could hang forever after an
+            //! error.
+            bool always = false;
+        };
+
+        void enqueueTask(Task task);
+        void runTask(std::function<void()> const& task) noexcept;
+        void workerLoop(std::stop_token stop);
+
+        Device* device_;
+        bool async_;
+
+        mutable std::mutex mutex_;
+        std::condition_variable cvWork_;
+        std::condition_variable cvDrained_;
+        std::deque<Task> queue_;
+        bool busy_ = false;
+        std::exception_ptr error_{};
+        std::jthread worker_{}; //!< only for async streams
+    };
+} // namespace gpusim

@@ -1,0 +1,152 @@
+/// \file Operation tracing used by the Fig. 4 code-generation experiment.
+///
+/// The paper compares the PTX emitted for an Alpaka kernel with the PTX of
+/// the native CUDA kernel and finds them identical up to two unused
+/// parameters. Portably we cannot diff PTX, but we can observe the dynamic
+/// operation stream: TracedPtr records every load and store (with the
+/// element offset relative to the base pointer) into an OpTrace. Running the
+/// Alpaka DAXPY and the native DAXPY over traced pointers and diffing the
+/// two streams demonstrates the same zero-overhead property at the level of
+/// executed memory operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpusim
+{
+    //! One recorded memory operation.
+    struct TraceOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            Load,
+            Store
+        };
+
+        Kind kind{};
+        //! Which logical array the access hit (user-chosen id, e.g. 0 = X).
+        std::uint16_t array = 0;
+        //! Element offset relative to the array base.
+        std::uint64_t offset = 0;
+
+        [[nodiscard]] auto operator==(TraceOp const&) const noexcept -> bool = default;
+    };
+
+    //! Append-only trace of memory operations.
+    class OpTrace
+    {
+    public:
+        void clear()
+        {
+            ops_.clear();
+        }
+        void record(TraceOp op)
+        {
+            ops_.push_back(op);
+        }
+        [[nodiscard]] auto ops() const noexcept -> std::vector<TraceOp> const&
+        {
+            return ops_;
+        }
+        [[nodiscard]] auto size() const noexcept -> std::size_t
+        {
+            return ops_.size();
+        }
+
+        //! Index of the first differing operation, or npos if identical.
+        [[nodiscard]] static auto firstDifference(OpTrace const& a, OpTrace const& b) -> std::size_t
+        {
+            auto const n = std::min(a.size(), b.size());
+            for(std::size_t i = 0; i < n; ++i)
+                if(!(a.ops_[i] == b.ops_[i]))
+                    return i;
+            if(a.size() != b.size())
+                return n;
+            return npos;
+        }
+
+        static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    private:
+        std::vector<TraceOp> ops_;
+    };
+
+    template<typename T>
+    class TracedRef;
+
+    //! Pointer-like wrapper that records element loads/stores into an
+    //! OpTrace. Layout-compatible use: arithmetic and indexing mirror T*.
+    template<typename T>
+    class TracedPtr
+    {
+    public:
+        TracedPtr(T* base, T* current, std::uint16_t arrayId, OpTrace* trace) noexcept
+            : base_(base)
+            , p_(current)
+            , array_(arrayId)
+            , trace_(trace)
+        {
+        }
+
+        TracedPtr(T* base, std::uint16_t arrayId, OpTrace* trace) noexcept : TracedPtr(base, base, arrayId, trace)
+        {
+        }
+
+        [[nodiscard]] auto operator[](std::size_t i) const noexcept -> TracedRef<T>
+        {
+            return TracedRef<T>(p_ + i, base_, array_, trace_);
+        }
+        [[nodiscard]] auto operator+(std::ptrdiff_t d) const noexcept -> TracedPtr
+        {
+            return TracedPtr(base_, p_ + d, array_, trace_);
+        }
+        [[nodiscard]] auto operator*() const noexcept -> TracedRef<T>
+        {
+            return (*this)[0];
+        }
+
+    private:
+        T* base_;
+        T* p_;
+        std::uint16_t array_;
+        OpTrace* trace_;
+    };
+
+    //! Reference proxy performing the actual recording.
+    template<typename T>
+    class TracedRef
+    {
+    public:
+        TracedRef(T* p, T* base, std::uint16_t arrayId, OpTrace* trace) noexcept
+            : p_(p)
+            , base_(base)
+            , array_(arrayId)
+            , trace_(trace)
+        {
+        }
+
+        //! Load.
+        operator T() const noexcept // NOLINT(google-explicit-constructor)
+        {
+            trace_->record({TraceOp::Kind::Load, array_, static_cast<std::uint64_t>(p_ - base_)});
+            return *p_;
+        }
+
+        //! Store.
+        auto operator=(T value) noexcept -> TracedRef&
+        {
+            trace_->record({TraceOp::Kind::Store, array_, static_cast<std::uint64_t>(p_ - base_)});
+            *p_ = value;
+            return *this;
+        }
+
+    private:
+        T* p_;
+        T* base_;
+        std::uint16_t array_;
+        OpTrace* trace_;
+    };
+} // namespace gpusim

@@ -1,0 +1,72 @@
+/// \file Basic types shared across the GPU simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gpusim
+{
+    //! Base error of the simulator.
+    class Error : public std::runtime_error
+    {
+    public:
+        using std::runtime_error::runtime_error;
+    };
+
+    //! Device memory misuse: out-of-memory, double free, foreign pointer,
+    //! out-of-bounds transfer.
+    class MemoryError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Invalid launch configuration (block too large, too much shared
+    //! memory, zero extent, barrier use under the no-barrier hint).
+    class LaunchError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! A block barrier could never complete because threads diverged.
+    class DivergenceError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! CUDA-dim3-like extent triple.
+    struct Dim3
+    {
+        unsigned x = 1;
+        unsigned y = 1;
+        unsigned z = 1;
+
+        [[nodiscard]] constexpr auto prod() const noexcept -> std::size_t
+        {
+            return static_cast<std::size_t>(x) * y * z;
+        }
+        [[nodiscard]] constexpr auto operator==(Dim3 const&) const noexcept -> bool = default;
+    };
+
+    [[nodiscard]] inline auto toString(Dim3 const d) -> std::string
+    {
+        return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," + std::to_string(d.z) + ")";
+    }
+
+    //! Kernel launch configuration.
+    struct GridSpec
+    {
+        Dim3 grid{};
+        Dim3 block{};
+        //! Dynamic shared memory per block in bytes.
+        std::size_t sharedMemBytes = 0;
+        //! Optimization hint: the kernel never calls ThreadCtx::sync(). The
+        //! engine then runs the threads of a block as a plain loop instead of
+        //! fibers. Calling sync() under this hint raises LaunchError.
+        bool noBarrier = false;
+    };
+} // namespace gpusim

@@ -1,0 +1,136 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpusim
+{
+    auto ThreadCtx::warpId() const noexcept -> unsigned
+    {
+        return static_cast<unsigned>(linearThreadIdx() / device_->spec().warpSize);
+    }
+
+    auto ThreadCtx::laneId() const noexcept -> unsigned
+    {
+        return static_cast<unsigned>(linearThreadIdx() % device_->spec().warpSize);
+    }
+
+    void ThreadCtx::sync()
+    {
+        if(barrier_ == nullptr)
+            throw LaunchError(
+                "gpusim: ThreadCtx::sync() called in a kernel launched with the noBarrier hint");
+        barrier_->arriveAndWait();
+        {
+            std::scoped_lock lock(device_->statsMutex_);
+            ++device_->stats_.barrierWaits;
+        }
+    }
+
+    Device::Device(DeviceSpec spec, int ordinal)
+        : spec_(std::move(spec))
+        , ordinal_(ordinal)
+        , memory_(spec_.globalMemBytes)
+        , scheduler_(fiber::SchedulerConfig{spec_.fiberStackBytes, fiber::defaultSwitchImpl()})
+    {
+    }
+
+    void Device::validate(GridSpec const& grid) const
+    {
+        if(grid.grid.prod() == 0 || grid.block.prod() == 0)
+            throw LaunchError("gpusim: zero-extent launch");
+        if(grid.block.prod() > spec_.maxThreadsPerBlock)
+            throw LaunchError(
+                "gpusim: " + std::to_string(grid.block.prod()) + " threads per block exceed device limit "
+                + std::to_string(spec_.maxThreadsPerBlock));
+        if(grid.block.x > spec_.maxBlockDim.x || grid.block.y > spec_.maxBlockDim.y
+           || grid.block.z > spec_.maxBlockDim.z)
+            throw LaunchError("gpusim: block extent " + toString(grid.block) + " exceeds device limit");
+        if(grid.grid.x > spec_.maxGridDim.x || grid.grid.y > spec_.maxGridDim.y || grid.grid.z > spec_.maxGridDim.z)
+            throw LaunchError("gpusim: grid extent " + toString(grid.grid) + " exceeds device limit");
+        if(grid.sharedMemBytes > spec_.sharedMemPerBlock)
+            throw LaunchError(
+                "gpusim: " + std::to_string(grid.sharedMemBytes) + " B shared memory exceed device limit "
+                + std::to_string(spec_.sharedMemPerBlock));
+    }
+
+    void Device::runGrid(GridSpec const& grid, KernelBody const& body)
+    {
+        validate(grid);
+        std::scoped_lock execLock(execMutex_);
+
+        sharedArena_.resize(grid.sharedMemBytes);
+
+        for(unsigned bz = 0; bz < grid.grid.z; ++bz)
+        {
+            for(unsigned by = 0; by < grid.grid.y; ++by)
+            {
+                for(unsigned bx = 0; bx < grid.grid.x; ++bx)
+                {
+                    Dim3 const blockIdx{bx, by, bz};
+                    if(!sharedArena_.empty())
+                        std::memset(sharedArena_.data(), 0, sharedArena_.size());
+                    if(grid.noBarrier)
+                        runBlockLoop(grid, body, blockIdx, sharedArena_.data());
+                    else
+                        runBlockFibers(grid, body, blockIdx, sharedArena_.data());
+                }
+            }
+        }
+
+        std::scoped_lock statsLock(statsMutex_);
+        ++stats_.kernelsLaunched;
+        stats_.blocksExecuted += grid.grid.prod();
+        stats_.warpsExecuted += grid.grid.prod() * ((grid.block.prod() + spec_.warpSize - 1) / spec_.warpSize);
+        stats_.fiberSwitches = scheduler_.switchCount();
+    }
+
+    namespace
+    {
+        //! Decodes a linear in-block thread id into (x,y,z), x fastest.
+        [[nodiscard]] auto decodeThreadIdx(Dim3 const block, std::size_t linear) noexcept -> Dim3
+        {
+            auto const x = static_cast<unsigned>(linear % block.x);
+            auto const y = static_cast<unsigned>((linear / block.x) % block.y);
+            auto const z = static_cast<unsigned>(linear / (static_cast<std::size_t>(block.x) * block.y));
+            return Dim3{x, y, z};
+        }
+    } // namespace
+
+    void Device::runBlockFibers(GridSpec const& grid, KernelBody const& body, Dim3 blockIdx, std::byte* sharedMem)
+    {
+        auto const threadCount = grid.block.prod();
+        fiber::Barrier barrier(threadCount);
+        try
+        {
+            scheduler_.run(
+                threadCount,
+                [&](std::size_t const linear)
+                {
+                    ThreadCtx ctx(blockIdx, decodeThreadIdx(grid.block, linear), grid, sharedMem, &barrier, *this);
+                    body(ctx);
+                });
+        }
+        catch(fiber::BarrierDivergenceError const& e)
+        {
+            throw DivergenceError(
+                "gpusim: barrier divergence in block " + toString(blockIdx) + ": " + e.what());
+        }
+    }
+
+    void Device::runBlockLoop(GridSpec const& grid, KernelBody const& body, Dim3 blockIdx, std::byte* sharedMem)
+    {
+        auto const threadCount = grid.block.prod();
+        for(std::size_t linear = 0; linear < threadCount; ++linear)
+        {
+            ThreadCtx ctx(blockIdx, decodeThreadIdx(grid.block, linear), grid, sharedMem, nullptr, *this);
+            body(ctx);
+        }
+    }
+
+    auto Device::execStats() const -> ExecStats
+    {
+        std::scoped_lock lock(statsMutex_);
+        return stats_;
+    }
+} // namespace gpusim

@@ -1,0 +1,75 @@
+#include "gpusim/device_spec.hpp"
+
+#include <algorithm>
+
+namespace gpusim
+{
+    auto occupancyFraction(DeviceSpec const& spec, GridSpec const& grid) noexcept -> double
+    {
+        auto const totalThreads = static_cast<double>(grid.grid.prod()) * static_cast<double>(grid.block.prod());
+        return std::min(1.0, totalThreads / spec.residentThreadCapacity());
+    }
+
+    auto modeledKernelSeconds(DeviceSpec const& spec, GridSpec const& grid, double flops) noexcept -> double
+    {
+        return flops / (spec.peakGflopsFp64() * 1e9 * occupancyFraction(spec, grid));
+    }
+
+    auto modeledKernelSecondsRoofline(
+        DeviceSpec const& spec,
+        GridSpec const& grid,
+        double flops,
+        double bytes) noexcept -> double
+    {
+        auto const computeLeg = modeledKernelSeconds(spec, grid, flops);
+        auto const memoryLeg = bytes / (spec.memBandwidthGBs * 1e9);
+        return std::max(computeLeg, memoryLeg);
+    }
+
+    auto teslaK20Spec() -> DeviceSpec
+    {
+        DeviceSpec spec;
+        spec.name = "SimTeslaK20-GK110";
+        spec.smCount = 13;
+        spec.warpSize = 32;
+        spec.maxThreadsPerBlock = 1024;
+        spec.sharedMemPerBlock = 48 * 1024;
+        spec.globalMemBytes = std::size_t{5} * 1024 * 1024 * 1024 / 4; // keep sim footprint modest: 1.25 GiB
+        spec.clockGHz = 0.706;
+        spec.fp64UnitsPerSM = 64;
+        spec.memBandwidthGBs = 208.0;
+        return spec;
+    }
+
+    auto teslaK80Spec() -> DeviceSpec
+    {
+        DeviceSpec spec;
+        spec.name = "SimTeslaK80-GK210";
+        spec.smCount = 13;
+        spec.warpSize = 32;
+        spec.maxThreadsPerBlock = 1024;
+        spec.sharedMemPerBlock = 48 * 1024;
+        spec.globalMemBytes = std::size_t{3} * 1024 * 1024 * 1024 / 2; // 1.5 GiB
+        spec.clockGHz = 0.875;
+        spec.fp64UnitsPerSM = 64;
+        spec.memBandwidthGBs = 240.0;
+        return spec;
+    }
+
+    auto genericSpec() -> DeviceSpec
+    {
+        DeviceSpec spec;
+        spec.name = "SimGeneric";
+        spec.smCount = 4;
+        spec.warpSize = 8;
+        spec.maxThreadsPerBlock = 256;
+        spec.maxBlockDim = Dim3{256, 256, 64};
+        spec.maxGridDim = Dim3{65535, 65535, 65535};
+        spec.sharedMemPerBlock = 16 * 1024;
+        spec.globalMemBytes = std::size_t{256} * 1024 * 1024;
+        spec.clockGHz = 1.0;
+        spec.fp64UnitsPerSM = 32;
+        spec.maxResidentThreadsPerSM = 512;
+        return spec;
+    }
+} // namespace gpusim

@@ -1,0 +1,125 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace gpusim
+{
+    namespace
+    {
+        constexpr std::size_t baseAlignment = 256;
+
+        [[nodiscard]] auto roundUp(std::size_t value, std::size_t mult) noexcept -> std::size_t
+        {
+            return (value + mult - 1) / mult * mult;
+        }
+    } // namespace
+
+    MemoryManager::MemoryManager(std::size_t capacityBytes, std::size_t pitchAlignment)
+        : capacity_(capacityBytes)
+        , pitchAlign_(pitchAlignment)
+    {
+    }
+
+    MemoryManager::~MemoryManager()
+    {
+        // Intentionally frees leftovers: a Device owns its memory and takes
+        // everything down with it, exactly like a real device reset.
+        for(auto const& [ptr, alloc] : allocations_)
+            ::operator delete[](const_cast<std::byte*>(ptr), std::align_val_t{baseAlignment});
+    }
+
+    auto MemoryManager::allocate(std::size_t bytes) -> void*
+    {
+        if(bytes == 0)
+            throw MemoryError("gpusim: zero-byte device allocation");
+        std::scoped_lock lock(mutex_);
+        if(stats_.liveBytes + bytes > capacity_)
+            throw MemoryError(
+                "gpusim: device out of memory (requested " + std::to_string(bytes) + " B, live "
+                + std::to_string(stats_.liveBytes) + " B, capacity " + std::to_string(capacity_) + " B)");
+        auto* p = static_cast<std::byte*>(::operator new[](bytes, std::align_val_t{baseAlignment}));
+        allocations_.emplace(p, Allocation{bytes});
+        stats_.liveAllocations += 1;
+        stats_.totalAllocations += 1;
+        stats_.liveBytes += bytes;
+        stats_.peakBytes = std::max(stats_.peakBytes, stats_.liveBytes);
+        return p;
+    }
+
+    auto MemoryManager::allocatePitched(std::size_t widthBytes, std::size_t rows, std::size_t& pitchBytes) -> void*
+    {
+        pitchBytes = roundUp(std::max<std::size_t>(widthBytes, 1), pitchAlign_);
+        return allocate(pitchBytes * std::max<std::size_t>(rows, 1));
+    }
+
+    void MemoryManager::free(void* ptr)
+    {
+        std::scoped_lock lock(mutex_);
+        auto const it = allocations_.find(static_cast<std::byte const*>(ptr));
+        if(it == allocations_.end())
+            throw MemoryError("gpusim: free of unknown device pointer (double free or foreign pointer)");
+        stats_.liveAllocations -= 1;
+        stats_.liveBytes -= it->second.bytes;
+        allocations_.erase(it);
+        ::operator delete[](static_cast<std::byte*>(ptr), std::align_val_t{baseAlignment});
+    }
+
+    auto MemoryManager::owns(void const* ptr, std::size_t bytes) const -> bool
+    {
+        std::scoped_lock lock(mutex_);
+        auto const* p = static_cast<std::byte const*>(ptr);
+        // Find the last allocation with base <= p.
+        auto it = allocations_.upper_bound(p);
+        if(it == allocations_.begin())
+            return false;
+        --it;
+        return p >= it->first && p + bytes <= it->first + it->second.bytes;
+    }
+
+    void MemoryManager::validateRange(void const* ptr, std::size_t bytes, char const* what) const
+    {
+        if(!owns(ptr, bytes))
+            throw MemoryError(
+                std::string("gpusim: ") + what + ": range is not inside a live device allocation");
+    }
+
+    void MemoryManager::copyHtoD(void* dst, void const* src, std::size_t bytes)
+    {
+        validateRange(dst, bytes, "copyHtoD destination");
+        std::memcpy(dst, src, bytes);
+        std::scoped_lock lock(mutex_);
+        stats_.bytesHtoD += bytes;
+    }
+
+    void MemoryManager::copyDtoH(void* dst, void const* src, std::size_t bytes)
+    {
+        validateRange(src, bytes, "copyDtoH source");
+        std::memcpy(dst, src, bytes);
+        std::scoped_lock lock(mutex_);
+        stats_.bytesDtoH += bytes;
+    }
+
+    void MemoryManager::copyDtoD(void* dst, void const* src, std::size_t bytes)
+    {
+        validateRange(src, bytes, "copyDtoD source");
+        validateRange(dst, bytes, "copyDtoD destination");
+        std::memmove(dst, src, bytes);
+        std::scoped_lock lock(mutex_);
+        stats_.bytesDtoD += bytes;
+    }
+
+    void MemoryManager::fill(void* dst, int value, std::size_t bytes)
+    {
+        validateRange(dst, bytes, "fill destination");
+        std::memset(dst, value, bytes);
+    }
+
+    auto MemoryManager::stats() const -> MemoryStats
+    {
+        std::scoped_lock lock(mutex_);
+        return stats_;
+    }
+} // namespace gpusim

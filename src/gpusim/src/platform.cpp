@@ -1,0 +1,55 @@
+#include "gpusim/platform.hpp"
+
+namespace gpusim
+{
+    Platform::Platform() : specs_{teslaK20Spec(), teslaK80Spec()}
+    {
+    }
+
+    auto Platform::instance() -> Platform&
+    {
+        static Platform platform;
+        return platform;
+    }
+
+    void Platform::configure(std::vector<DeviceSpec> specs)
+    {
+        std::scoped_lock lock(mutex_);
+        if(materialized_)
+            throw Error("gpusim::Platform::configure(): devices already materialized");
+        if(specs.empty())
+            throw Error("gpusim::Platform::configure(): need at least one device spec");
+        specs_ = std::move(specs);
+    }
+
+    auto Platform::deviceCount() const -> std::size_t
+    {
+        std::scoped_lock lock(mutex_);
+        return specs_.size();
+    }
+
+    auto Platform::device(std::size_t idx) -> Device&
+    {
+        std::scoped_lock lock(mutex_);
+        if(idx >= specs_.size())
+            throw Error(
+                "gpusim::Platform::device(): index " + std::to_string(idx) + " out of range (have "
+                + std::to_string(specs_.size()) + " devices)");
+        if(devices_.size() < specs_.size())
+            devices_.resize(specs_.size());
+        if(devices_[idx] == nullptr)
+        {
+            devices_[idx] = std::make_unique<Device>(specs_[idx], static_cast<int>(idx));
+            materialized_ = true;
+        }
+        return *devices_[idx];
+    }
+
+    void Platform::resetForTesting()
+    {
+        std::scoped_lock lock(mutex_);
+        devices_.clear();
+        specs_ = {teslaK20Spec(), teslaK80Spec()};
+        materialized_ = false;
+    }
+} // namespace gpusim

@@ -1,0 +1,174 @@
+#include "gpusim/stream.hpp"
+
+#include <utility>
+
+namespace gpusim
+{
+    Stream::Stream(Device& device, bool async) : device_(&device), async_(async)
+    {
+        if(async_)
+            worker_ = std::jthread([this](std::stop_token stop) { workerLoop(stop); });
+    }
+
+    Stream::~Stream()
+    {
+        if(async_)
+        {
+            // Drain without throwing; a sticky error is intentionally
+            // swallowed here (check wait()/lastError() before destruction to
+            // observe it).
+            std::unique_lock lock(mutex_);
+            cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
+            worker_.request_stop();
+            cvWork_.notify_all();
+        }
+    }
+
+    void Stream::runTask(std::function<void()> const& task) noexcept
+    {
+        try
+        {
+            task();
+        }
+        catch(...)
+        {
+            std::scoped_lock lock(mutex_);
+            if(error_ == nullptr)
+                error_ = std::current_exception();
+        }
+    }
+
+    void Stream::workerLoop(std::stop_token stop)
+    {
+        for(;;)
+        {
+            Task task;
+            {
+                std::unique_lock lock(mutex_);
+                cvWork_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+                if(queue_.empty())
+                {
+                    if(stop.stop_requested())
+                        return;
+                    continue;
+                }
+                task = std::move(queue_.front());
+                queue_.pop_front();
+                busy_ = true;
+                if(error_ != nullptr && !task.always)
+                    task.fn = nullptr; // sticky error: skip the work
+            }
+            if(task.fn)
+                runTask(task.fn);
+            {
+                std::scoped_lock lock(mutex_);
+                busy_ = false;
+            }
+            cvDrained_.notify_all();
+        }
+    }
+
+    void Stream::enqueueTask(Task task)
+    {
+        if(async_)
+        {
+            {
+                std::scoped_lock lock(mutex_);
+                queue_.push_back(std::move(task));
+            }
+            cvWork_.notify_one();
+            return;
+        }
+        // Sync stream: run in the calling thread, unless already broken.
+        {
+            std::scoped_lock lock(mutex_);
+            if(error_ != nullptr && !task.always)
+                return;
+        }
+        runTask(task.fn);
+    }
+
+    void Stream::enqueue(std::function<void()> task)
+    {
+        enqueueTask(Task{std::move(task), false});
+    }
+
+    void Stream::launch(GridSpec const& grid, KernelBody body)
+    {
+        enqueue([this, grid, body = std::move(body)] { device_->runGrid(grid, body); });
+    }
+
+    void Stream::memcpyHtoD(void* dst, void const* src, std::size_t bytes)
+    {
+        enqueue([this, dst, src, bytes] { device_->memory().copyHtoD(dst, src, bytes); });
+    }
+
+    void Stream::memcpyDtoH(void* dst, void const* src, std::size_t bytes)
+    {
+        enqueue([this, dst, src, bytes] { device_->memory().copyDtoH(dst, src, bytes); });
+    }
+
+    void Stream::memcpyDtoD(void* dst, void const* src, std::size_t bytes)
+    {
+        enqueue([this, dst, src, bytes] { device_->memory().copyDtoD(dst, src, bytes); });
+    }
+
+    void Stream::fill(void* dst, int value, std::size_t bytes)
+    {
+        enqueue([this, dst, value, bytes] { device_->memory().fill(dst, value, bytes); });
+    }
+
+    void Stream::record(Event& event)
+    {
+        event.markPending();
+        auto state = event.state_;
+        enqueueTask(Task{
+            [state]
+            {
+                {
+                    std::scoped_lock lock(state->mutex);
+                    state->done = true;
+                }
+                state->cv.notify_all();
+            },
+            true});
+    }
+
+    void Stream::waitFor(Event const& event)
+    {
+        auto state = event.state_;
+        enqueue(
+            [state]
+            {
+                std::unique_lock lock(state->mutex);
+                state->cv.wait(lock, [&] { return state->done; });
+            });
+    }
+
+    void Stream::wait()
+    {
+        if(async_)
+        {
+            std::unique_lock lock(mutex_);
+            cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
+            if(error_ != nullptr)
+                std::rethrow_exception(error_);
+            return;
+        }
+        std::scoped_lock lock(mutex_);
+        if(error_ != nullptr)
+            std::rethrow_exception(error_);
+    }
+
+    auto Stream::idle() const -> bool
+    {
+        std::scoped_lock lock(mutex_);
+        return queue_.empty() && !busy_;
+    }
+
+    auto Stream::lastError() const -> std::exception_ptr
+    {
+        std::scoped_lock lock(mutex_);
+        return error_;
+    }
+} // namespace gpusim

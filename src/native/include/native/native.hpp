@@ -1,0 +1,88 @@
+/// \file Native baseline implementations (paper Sec. 4: "Source codes
+/// denoted as native are not wrapped by Alpaka, but contain pure CUDA or
+/// OpenMP code").
+///
+/// Three baseline families:
+///  * seq  — plain sequential C++ (the paper's native C++ DAXPY),
+///  * omp  — OpenMP 2 parallel-for implementations (the paper's native
+///           OpenMP kernels, run on the Xeon nodes),
+///  * sim  — kernels written directly against the raw gpusim API (the
+///           paper's native CUDA kernels, run on the K20/K80; see DESIGN.md
+///           for the substitution).
+///
+/// The Alpaka-vs-native comparisons of Fig. 4/5/6/8/10 measure exactly the
+/// abstraction overhead because both sides execute on the same substrate.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/stream.hpp"
+
+#include <cstddef>
+
+namespace native::seq
+{
+    //! y <- a*x + y, plain loop.
+    void daxpy(std::size_t n, double a, double const* x, double* y);
+
+    //! C <- alpha*A*B + beta*C, classic triple loop (row-major, leading
+    //! dimensions in elements).
+    void gemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc);
+} // namespace native::seq
+
+namespace native::omp
+{
+    //! y <- a*x + y, `#pragma omp parallel for`.
+    void daxpy(std::size_t n, double a, double const* x, double* y);
+
+    //! C <- alpha*A*B + beta*C, parallel over rows with nested loops — the
+    //! paper's "standard DGEMM algorithm with nested for loops".
+    void gemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc);
+} // namespace native::omp
+
+namespace native::sim
+{
+    //! y <- a*x + y on device buffers; one thread per element, launched
+    //! with \p threadsPerBlock threads (the classic CUDA daxpy shape).
+    void daxpy(
+        gpusim::Stream& stream,
+        std::size_t n,
+        double a,
+        double const* devX,
+        double* devY,
+        unsigned threadsPerBlock = 128);
+
+    //! Block-parallel shared-memory tiled DGEMM on device buffers, the CUDA
+    //! programming guide algorithm (square thread blocks of
+    //! \p tile x \p tile threads, one C element per thread, A/B tiles
+    //! staged through shared memory, two barriers per tile step).
+    void gemmTiled(
+        gpusim::Stream& stream,
+        std::size_t n,
+        double alpha,
+        double const* devA,
+        std::size_t lda,
+        double const* devB,
+        std::size_t ldb,
+        double beta,
+        double* devC,
+        std::size_t ldc,
+        unsigned tile = 8);
+} // namespace native::sim

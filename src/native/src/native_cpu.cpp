@@ -1,0 +1,70 @@
+#include "native/native.hpp"
+
+namespace native::seq
+{
+    void daxpy(std::size_t n, double a, double const* x, double* y)
+    {
+        for(std::size_t i = 0; i < n; ++i)
+            y[i] = a * x[i] + y[i];
+    }
+
+    void gemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc)
+    {
+        for(std::size_t i = 0; i < n; ++i)
+        {
+            for(std::size_t j = 0; j < n; ++j)
+            {
+                double sum = 0.0;
+                for(std::size_t k = 0; k < n; ++k)
+                    sum += a[i * lda + k] * b[k * ldb + j];
+                c[i * ldc + j] = alpha * sum + beta * c[i * ldc + j];
+            }
+        }
+    }
+} // namespace native::seq
+
+namespace native::omp
+{
+    void daxpy(std::size_t n, double a, double const* x, double* y)
+    {
+        auto const count = static_cast<long long>(n);
+#pragma omp parallel for schedule(static)
+        for(long long i = 0; i < count; ++i)
+            y[i] = a * x[i] + y[i];
+    }
+
+    void gemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc)
+    {
+        auto const rows = static_cast<long long>(n);
+#pragma omp parallel for schedule(static)
+        for(long long i = 0; i < rows; ++i)
+        {
+            for(std::size_t j = 0; j < n; ++j)
+            {
+                double sum = 0.0;
+                for(std::size_t k = 0; k < n; ++k)
+                    sum += a[static_cast<std::size_t>(i) * lda + k] * b[k * ldb + j];
+                c[static_cast<std::size_t>(i) * ldc + j]
+                    = alpha * sum + beta * c[static_cast<std::size_t>(i) * ldc + j];
+            }
+        }
+    }
+} // namespace native::omp

@@ -1,0 +1,81 @@
+#include "native/native.hpp"
+
+namespace native::sim
+{
+    void daxpy(
+        gpusim::Stream& stream,
+        std::size_t n,
+        double a,
+        double const* devX,
+        double* devY,
+        unsigned threadsPerBlock)
+    {
+        gpusim::GridSpec grid;
+        grid.block = gpusim::Dim3{threadsPerBlock, 1, 1};
+        grid.grid = gpusim::Dim3{
+            static_cast<unsigned>((n + threadsPerBlock - 1) / threadsPerBlock),
+            1,
+            1};
+        grid.noBarrier = true; // daxpy never synchronizes
+
+        stream.launch(
+            grid,
+            [n, a, devX, devY](gpusim::ThreadCtx& ctx)
+            {
+                auto const i = ctx.globalLinearThreadIdx();
+                if(i < n)
+                    devY[i] = a * devX[i] + devY[i];
+            });
+    }
+
+    void gemmTiled(
+        gpusim::Stream& stream,
+        std::size_t n,
+        double alpha,
+        double const* devA,
+        std::size_t lda,
+        double const* devB,
+        std::size_t ldb,
+        double beta,
+        double* devC,
+        std::size_t ldc,
+        unsigned tile)
+    {
+        gpusim::GridSpec grid;
+        grid.block = gpusim::Dim3{tile, tile, 1};
+        auto const blocks = static_cast<unsigned>((n + tile - 1) / tile);
+        grid.grid = gpusim::Dim3{blocks, blocks, 1};
+        grid.sharedMemBytes = 2ull * tile * tile * sizeof(double);
+
+        stream.launch(
+            grid,
+            [n, alpha, devA, lda, devB, ldb, beta, devC, ldc, tile](gpusim::ThreadCtx& ctx)
+            {
+                auto* const tileA = reinterpret_cast<double*>(ctx.sharedMem());
+                auto* const tileB = tileA + static_cast<std::size_t>(tile) * tile;
+
+                auto const tx = ctx.threadIdx().x;
+                auto const ty = ctx.threadIdx().y;
+                auto const row = static_cast<std::size_t>(ctx.blockIdx().y) * tile + ty;
+                auto const col = static_cast<std::size_t>(ctx.blockIdx().x) * tile + tx;
+
+                double sum = 0.0;
+                auto const tileCount = (n + tile - 1) / tile;
+                for(std::size_t t = 0; t < tileCount; ++t)
+                {
+                    auto const aCol = t * tile + tx;
+                    auto const bRow = t * tile + ty;
+                    tileA[ty * tile + tx] = (row < n && aCol < n) ? devA[row * lda + aCol] : 0.0;
+                    tileB[ty * tile + tx] = (bRow < n && col < n) ? devB[bRow * ldb + col] : 0.0;
+                    ctx.sync();
+
+                    for(unsigned k = 0; k < tile; ++k)
+                        sum += tileA[ty * tile + k] * tileB[k * tile + tx];
+                    ctx.sync();
+                }
+
+                if(row < n && col < n)
+                    devC[row * ldc + col] = alpha * sum + beta * devC[row * ldc + col];
+            });
+    }
+} // namespace native::sim

@@ -1,0 +1,77 @@
+/// \file Persistent worker pool substrate.
+///
+/// The paper names Intel Threading Building Blocks as a planned additional
+/// back-end (Sec. 3.1: "will in the future be extended by e.g. Thread
+/// Building Blocks"). This substrate provides the ingredient that back-end
+/// needs — a persistent task pool with dynamic chunk scheduling — built
+/// from scratch, and the AccCpuTaskBlocks accelerator maps the alpaka block
+/// level onto it. Compared to AccCpuThreads (which spawns OS threads per
+/// kernel launch), the pool amortizes thread creation across launches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace threadpool
+{
+    class ThreadPool
+    {
+    public:
+        //! \param workers number of worker threads (defaults to hardware
+        //!        concurrency, at least one).
+        explicit ThreadPool(std::size_t workers = 0);
+        ~ThreadPool();
+
+        ThreadPool(ThreadPool const&) = delete;
+        auto operator=(ThreadPool const&) -> ThreadPool& = delete;
+
+        //! Runs fn(index) for every index in [0, count), distributing the
+        //! indices dynamically over the workers. Blocks until all indices
+        //! completed. Exceptions from fn are captured; the first one is
+        //! re-thrown after the loop drained.
+        //!
+        //! Re-entrant calls from within a worker are rejected (UsageError
+        //! semantics; throws std::logic_error) — nested parallelism is the
+        //! caller's responsibility, as in the paper's model where nesting
+        //! is expressed through the hierarchy instead.
+        void parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn);
+
+        [[nodiscard]] auto workerCount() const noexcept -> std::size_t
+        {
+            return workers_.size();
+        }
+
+        //! Index of the calling worker in [0, workerCount()), or npos when
+        //! called from a non-worker thread. Used by executors to give each
+        //! worker its own shared-memory arena.
+        [[nodiscard]] static auto currentWorkerIndex() noexcept -> std::size_t;
+        static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+        //! Lazily constructed process-wide pool.
+        [[nodiscard]] static auto global() -> ThreadPool&;
+
+    private:
+        void workerLoop(std::size_t workerIndex);
+
+        struct Job
+        {
+            std::size_t count = 0;
+            std::function<void(std::size_t)> const* fn = nullptr;
+            std::size_t next = 0; //!< next unclaimed index (under mutex)
+            std::size_t active = 0; //!< workers still inside the job
+            std::exception_ptr error{};
+        };
+
+        mutable std::mutex mutex_;
+        std::condition_variable cvWork_;
+        std::condition_variable cvDone_;
+        std::uint64_t jobGeneration_ = 0;
+        Job job_{};
+        bool shutdown_ = false;
+        std::vector<std::jthread> workers_;
+    };
+} // namespace threadpool

@@ -1,0 +1,142 @@
+#include "threadpool/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace threadpool
+{
+    namespace
+    {
+        thread_local std::size_t t_workerIndex = ThreadPool::npos;
+        //! True while the calling thread participates in a parallelFor
+        //! (worker or helping submitter) — guards against re-entrancy.
+        thread_local bool t_insideLoop = false;
+
+        struct LoopScope
+        {
+            LoopScope()
+            {
+                t_insideLoop = true;
+            }
+            ~LoopScope()
+            {
+                t_insideLoop = false;
+            }
+        };
+    } // namespace
+
+    ThreadPool::ThreadPool(std::size_t workers)
+    {
+        auto count = workers;
+        if(count == 0)
+        {
+            count = std::thread::hardware_concurrency();
+            if(count == 0)
+                count = 1;
+        }
+        workers_.reserve(count);
+        for(std::size_t w = 0; w < count; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    ThreadPool::~ThreadPool()
+    {
+        {
+            std::scoped_lock lock(mutex_);
+            shutdown_ = true;
+        }
+        cvWork_.notify_all();
+    }
+
+    auto ThreadPool::currentWorkerIndex() noexcept -> std::size_t
+    {
+        return t_workerIndex;
+    }
+
+    auto ThreadPool::global() -> ThreadPool&
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    void ThreadPool::parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn)
+    {
+        if(count == 0)
+            return;
+        if(t_workerIndex != npos || t_insideLoop)
+            throw std::logic_error("threadpool::ThreadPool::parallelFor: re-entrant call");
+        LoopScope const scope;
+
+        std::unique_lock lock(mutex_);
+        job_ = Job{count, &fn, 0, 0, nullptr};
+        ++jobGeneration_;
+        cvWork_.notify_all();
+
+        // The submitting thread helps: on a single-core machine the pool
+        // worker and the submitter share the CPU anyway, and helping keeps
+        // the latency of tiny loops low.
+        auto const myGeneration = jobGeneration_;
+        ++job_.active;
+        while(true)
+        {
+            if(job_.next >= job_.count)
+                break;
+            auto const index = job_.next++;
+            lock.unlock();
+            try
+            {
+                fn(index);
+            }
+            catch(...)
+            {
+                lock.lock();
+                if(job_.error == nullptr)
+                    job_.error = std::current_exception();
+                continue;
+            }
+            lock.lock();
+        }
+        --job_.active;
+        cvDone_.wait(lock, [&] { return job_.next >= job_.count && job_.active == 0; });
+        // Invalidate so late-waking workers skip it.
+        job_.fn = nullptr;
+        (void) myGeneration;
+        if(job_.error != nullptr)
+            std::rethrow_exception(job_.error);
+    }
+
+    void ThreadPool::workerLoop(std::size_t workerIndex)
+    {
+        t_workerIndex = workerIndex;
+        std::uint64_t seenGeneration = 0;
+        std::unique_lock lock(mutex_);
+        for(;;)
+        {
+            cvWork_.wait(lock, [&] { return shutdown_ || (jobGeneration_ != seenGeneration && job_.fn != nullptr); });
+            if(shutdown_)
+                return;
+            seenGeneration = jobGeneration_;
+            auto const* fn = job_.fn;
+            ++job_.active;
+            while(job_.fn == fn && job_.next < job_.count)
+            {
+                auto const index = job_.next++;
+                lock.unlock();
+                try
+                {
+                    (*fn)(index);
+                }
+                catch(...)
+                {
+                    lock.lock();
+                    if(job_.error == nullptr)
+                        job_.error = std::current_exception();
+                    continue;
+                }
+                lock.lock();
+            }
+            --job_.active;
+            if(job_.active == 0 && job_.next >= job_.count)
+                cvDone_.notify_all();
+        }
+    }
+} // namespace threadpool

@@ -1,0 +1,351 @@
+/// \file The alpaka kernels of the paper's evaluation (Sec. 4).
+///
+/// Three DGEMM kernels reproduce the three kernel styles the paper
+/// measures:
+///  * GemmNaiveKernel      — the "native OpenMP style" kernel: plain
+///                           nested loops, one thread per block, a set of C
+///                           elements per thread (used in Fig. 5/6).
+///  * GemmSharedTileKernel — the "native CUDA style" kernel: the CUDA
+///                           programming guide's block-parallel tiling with
+///                           shared memory, one element per thread (used in
+///                           Fig. 5/6).
+///  * GemmTiledElemKernel  — the single-source hierarchically tiled kernel
+///                           with element-level parallelism (paper Fig. 7;
+///                           used in Fig. 8/9).
+///
+/// Plus the DAXPY kernel of Sec. 4.1 and an FMA throughput kernel used to
+/// measure each architecture's attainable peak (Fig. 9 normalization).
+#pragma once
+
+#include <alpaka/alpaka.hpp>
+
+#include <array>
+#include <cstddef>
+
+namespace workload
+{
+    //! DAXPY: y <- a*x + y (paper Sec. 4.1). 1-d kernel; each thread
+    //! processes the `Thread x Elems` consecutive elements that the work
+    //! division assigns to it. The element loop has constant trip count per
+    //! launch, which is what lets the host compiler vectorize it (paper:
+    //! "by looping over the additional element level ... the compiler
+    //! recognizes the iteration independent looping pattern").
+    struct DaxpyKernel
+    {
+        template<typename TAcc, typename TSize>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            TSize n,
+            double a,
+            double const* x,
+            double* y) const
+        {
+            auto const gridThreadIdx = alpaka::idx::getIdx<alpaka::Grid, alpaka::Threads>(acc)[0];
+            auto const elems = alpaka::workdiv::getWorkDiv<alpaka::Thread, alpaka::Elems>(acc)[0];
+            auto const begin = gridThreadIdx * elems;
+            for(TSize e = 0; e < elems; ++e)
+            {
+                auto const i = begin + e;
+                if(i < n)
+                    y[i] = a * x[i] + y[i];
+            }
+        }
+    };
+
+    //! Generic DAXPY body shared by the alpaka kernel above and the
+    //! traced-pointer variants of the Fig. 4 experiment: the pointer types
+    //! are template parameters so the same *algorithm text* runs over plain
+    //! and instrumented pointers.
+    template<typename TSize, typename TConstPtr, typename TPtr>
+    ALPAKA_FN_HOST_ACC void daxpyBody(TSize i, TSize n, double a, TConstPtr x, TPtr y)
+    {
+        if(i < n)
+            y[i] = a * x[i] + y[i];
+    }
+
+    //! Naive DGEMM, the paper's "native OpenMP style" kernel: every thread
+    //! computes a contiguous range of C elements with the classic triple
+    //! loop. 1-d work division; designed for one-thread-per-block back-ends
+    //! (paper Sec. 4.2.1: "The OpenMP kernels use a standard DGEMM
+    //! algorithm with nested for loops").
+    struct GemmNaiveKernel
+    {
+        template<typename TAcc, typename TSize>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            TSize n,
+            double alpha,
+            double const* a,
+            TSize lda,
+            double const* b,
+            TSize ldb,
+            double beta,
+            double* c,
+            TSize ldc) const
+        {
+            auto const gridThreadIdx = alpaka::idx::getIdx<alpaka::Grid, alpaka::Threads>(acc)[0];
+            auto const elems = alpaka::workdiv::getWorkDiv<alpaka::Thread, alpaka::Elems>(acc)[0];
+            auto const total = n * n;
+            auto const begin = gridThreadIdx * elems;
+            for(TSize e = 0; e < elems; ++e)
+            {
+                auto const idx = begin + e;
+                if(idx >= total)
+                    return;
+                auto const i = idx / n;
+                auto const j = idx % n;
+                double sum = 0.0;
+                for(TSize k = 0; k < n; ++k)
+                    sum += a[i * lda + k] * b[k * ldb + j];
+                c[i * ldc + j] = alpha * sum + beta * c[i * ldc + j];
+            }
+        }
+    };
+
+    //! Block-parallel shared-memory tiling DGEMM, the paper's "native CUDA
+    //! style" kernel (paper Sec. 4.2.1: "based on the CUDA programming
+    //! guide, Sec. 3.2.3"). 2-d work division with square thread blocks;
+    //! one C element per thread; A/B tiles staged through dynamic block
+    //! shared memory with two block barriers per tile.
+    struct GemmSharedTileKernel
+    {
+        template<typename TAcc, typename TSize>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            TSize n,
+            double alpha,
+            double const* a,
+            TSize lda,
+            double const* b,
+            TSize ldb,
+            double beta,
+            double* c,
+            TSize ldc) const
+        {
+            auto const blockThreadExtent = alpaka::workdiv::getWorkDiv<alpaka::Block, alpaka::Threads>(acc);
+            auto const tile = blockThreadExtent[0]; // square blocks
+            auto* const tileA = alpaka::block::shared::dyn::getMem<double>(acc);
+            auto* const tileB = tileA + tile * tile;
+
+            auto const blockThreadIdx = alpaka::idx::getIdx<alpaka::Block, alpaka::Threads>(acc);
+            auto const gridBlockIdx = alpaka::idx::getIdx<alpaka::Grid, alpaka::Blocks>(acc);
+            auto const ty = blockThreadIdx[0];
+            auto const tx = blockThreadIdx[1];
+            auto const row = gridBlockIdx[0] * tile + ty;
+            auto const col = gridBlockIdx[1] * tile + tx;
+
+            double sum = 0.0;
+            auto const tileCount = (n + tile - 1) / tile;
+            for(TSize t = 0; t < tileCount; ++t)
+            {
+                auto const aCol = t * tile + tx;
+                auto const bRow = t * tile + ty;
+                tileA[ty * tile + tx] = (row < n && aCol < n) ? a[row * lda + aCol] : 0.0;
+                tileB[ty * tile + tx] = (bRow < n && col < n) ? b[bRow * ldb + col] : 0.0;
+                alpaka::block::sync::syncBlockThreads(acc);
+
+                for(TSize k = 0; k < tile; ++k)
+                    sum += tileA[ty * tile + k] * tileB[k * tile + tx];
+                alpaka::block::sync::syncBlockThreads(acc);
+            }
+
+            if(row < n && col < n)
+                c[row * ldc + col] = alpha * sum + beta * c[row * ldc + col];
+        }
+
+        //! Two square tiles of blockDim^2 doubles.
+        template<typename TDim, typename TSize, typename... TArgs>
+        [[nodiscard]] auto getBlockSharedMemDynSizeBytes(
+            alpaka::Vec<TDim, TSize> const& blockThreadExtent,
+            alpaka::Vec<TDim, TSize> const& /*threadElemExtent*/,
+            TArgs const&... /*args*/) const -> std::size_t
+        {
+            auto const tile = static_cast<std::size_t>(blockThreadExtent[0]);
+            return 2 * tile * tile * sizeof(double);
+        }
+    };
+
+    //! The paper's optimized single-source kernel (Fig. 7): hierarchical
+    //! tiling over all four levels. A block computes an
+    //! (Tby*Vy) x (Tbx*Vx) tile of C; A/B tiles are staged through shared
+    //! memory; every thread computes a Vy x Vx register tile, with the
+    //! innermost loop running over contiguous Vx elements so the host
+    //! compiler can use the vector units (the element level in action).
+    //!
+    //! The *same source* serves the simulated GPU (small V, many threads)
+    //! and the CPUs (V = tile, one thread) — the work division is the only
+    //! thing that changes (paper Sec. 4.2.2/4.2.3).
+    struct GemmTiledElemKernel
+    {
+        //! Upper bound for Vx (compile-time accumulator size).
+        static constexpr std::size_t maxElemsX = 256;
+
+        template<typename TAcc, typename TSize>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            TSize n,
+            double alpha,
+            double const* a,
+            TSize lda,
+            double const* b,
+            TSize ldb,
+            double beta,
+            double* c,
+            TSize ldc) const
+        {
+            auto const blockThreadExtent = alpaka::workdiv::getWorkDiv<alpaka::Block, alpaka::Threads>(acc);
+            auto const threadElemExtent = alpaka::workdiv::getWorkDiv<alpaka::Thread, alpaka::Elems>(acc);
+            auto const vy = threadElemExtent[0];
+            auto const vx = threadElemExtent[1];
+            auto const tileM = blockThreadExtent[0] * vy; // C tile rows
+            auto const tileN = blockThreadExtent[1] * vx; // C tile cols
+            auto const tileK = tileN; // K-slab width
+
+            auto* const tileA = alpaka::block::shared::dyn::getMem<double>(acc); // tileM x tileK
+            auto* const tileB = tileA + tileM * tileK; // tileK x tileN
+
+            auto const blockThreadIdx = alpaka::idx::getIdx<alpaka::Block, alpaka::Threads>(acc);
+            auto const gridBlockIdx = alpaka::idx::getIdx<alpaka::Grid, alpaka::Blocks>(acc);
+            auto const blockRow0 = gridBlockIdx[0] * tileM;
+            auto const blockCol0 = gridBlockIdx[1] * tileN;
+            auto const threadCount = blockThreadExtent.prod();
+            auto const linearThread = blockThreadIdx[0] * blockThreadExtent[1] + blockThreadIdx[1];
+
+            // Scale this thread's exclusive C elements by beta up front; the
+            // k-slabs then accumulate alpha * A*B into them.
+            for(TSize ey = 0; ey < vy; ++ey)
+            {
+                auto const row = blockRow0 + blockThreadIdx[0] * vy + ey;
+                if(row >= n)
+                    break;
+                for(TSize ex = 0; ex < vx; ++ex)
+                {
+                    auto const col = blockCol0 + blockThreadIdx[1] * vx + ex;
+                    if(col < n)
+                        c[row * ldc + col] *= beta;
+                }
+            }
+
+            std::array<double, maxElemsX> accRow{}; // per-(row,k-slab) accumulators
+
+            auto const slabCount = (n + tileK - 1) / tileK;
+            for(TSize slab = 0; slab < slabCount; ++slab)
+            {
+                auto const k0 = slab * tileK;
+
+                // Cooperative load of the A (tileM x tileK) and
+                // B (tileK x tileN) slabs, zero-padded at the borders.
+                for(TSize idx = linearThread; idx < tileM * tileK; idx += threadCount)
+                {
+                    auto const r = idx / tileK;
+                    auto const k = idx % tileK;
+                    auto const gr = blockRow0 + r;
+                    auto const gk = k0 + k;
+                    tileA[idx] = (gr < n && gk < n) ? a[gr * lda + gk] : 0.0;
+                }
+                for(TSize idx = linearThread; idx < tileK * tileN; idx += threadCount)
+                {
+                    auto const k = idx / tileN;
+                    auto const col = idx % tileN;
+                    auto const gk = k0 + k;
+                    auto const gc = blockCol0 + col;
+                    tileB[idx] = (gk < n && gc < n) ? b[gk * ldb + gc] : 0.0;
+                }
+                alpaka::block::sync::syncBlockThreads(acc);
+
+                // Register-tile update: rows of the thread's C tile, vector
+                // loop over the contiguous Vx columns (element level).
+                for(TSize ey = 0; ey < vy; ++ey)
+                {
+                    auto const localRow = blockThreadIdx[0] * vy + ey;
+                    auto const globalRow = blockRow0 + localRow;
+                    if(globalRow >= n)
+                        break;
+                    for(TSize ex = 0; ex < vx; ++ex)
+                        accRow[ex] = 0.0;
+                    auto const localCol0 = blockThreadIdx[1] * vx;
+                    for(TSize k = 0; k < tileK; ++k)
+                    {
+                        double const aval = tileA[localRow * tileK + k];
+                        double const* const bRow = tileB + k * tileN + localCol0;
+                        for(TSize ex = 0; ex < vx; ++ex)
+                            accRow[ex] += aval * bRow[ex];
+                    }
+                    auto const globalCol0 = blockCol0 + localCol0;
+                    for(TSize ex = 0; ex < vx; ++ex)
+                    {
+                        auto const col = globalCol0 + ex;
+                        if(col < n)
+                            c[globalRow * ldc + col] += alpha * accRow[ex];
+                    }
+                }
+                alpaka::block::sync::syncBlockThreads(acc);
+            }
+        }
+
+        //! tileM x tileK + tileK x tileN doubles of dynamic shared memory.
+        template<typename TDim, typename TSize, typename... TArgs>
+        [[nodiscard]] auto getBlockSharedMemDynSizeBytes(
+            alpaka::Vec<TDim, TSize> const& blockThreadExtent,
+            alpaka::Vec<TDim, TSize> const& threadElemExtent,
+            TArgs const&... /*args*/) const -> std::size_t
+        {
+            auto const tileM = static_cast<std::size_t>(blockThreadExtent[0] * threadElemExtent[0]);
+            auto const tileN = static_cast<std::size_t>(blockThreadExtent[1] * threadElemExtent[1]);
+            auto const tileK = tileN;
+            return (tileM * tileK + tileK * tileN) * sizeof(double);
+        }
+    };
+
+    //! Builds the 2-d work division of the tiled kernel for a given matrix
+    //! extent, thread-block shape and element shape.
+    template<typename TSize>
+    [[nodiscard]] auto gemmTiledWorkDiv(
+        TSize n,
+        alpaka::Vec<alpaka::Dim2, TSize> const& blockThreads,
+        alpaka::Vec<alpaka::Dim2, TSize> const& threadElems)
+        -> alpaka::workdiv::WorkDivMembers<alpaka::Dim2, TSize>
+    {
+        auto const domain = alpaka::Vec<alpaka::Dim2, TSize>(n, n);
+        auto const gridBlocks = alpaka::ceilDiv(domain, blockThreads * threadElems);
+        return {gridBlocks, blockThreads, threadElems};
+    }
+
+    //! Pure-FMA throughput kernel used to measure the attainable peak of an
+    //! architecture (Fig. 9 normalization). Eight independent dependency
+    //! chains keep the FMA pipeline saturated. Each thread performs
+    //! 2 * 8 * iterations flops and writes its result to defeat dead code
+    //! elimination.
+    struct FmaPeakKernel
+    {
+        static constexpr std::size_t chains = 8;
+
+        template<typename TAcc, typename TSize>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, TSize iterations, double* out, TSize outCount) const
+        {
+            auto const i = alpaka::idx::getIdx<alpaka::Grid, alpaka::Threads>(acc)[0];
+            double x0 = 1.0 + static_cast<double>(i);
+            double x1 = 1.1, x2 = 1.2, x3 = 1.3, x4 = 1.4, x5 = 1.5, x6 = 1.6, x7 = 1.7;
+            double const m = 1.000000001;
+            double const add = 0.0000001;
+            for(TSize it = 0; it < iterations; ++it)
+            {
+                x0 = x0 * m + add;
+                x1 = x1 * m + add;
+                x2 = x2 * m + add;
+                x3 = x3 * m + add;
+                x4 = x4 * m + add;
+                x5 = x5 * m + add;
+                x6 = x6 * m + add;
+                x7 = x7 * m + add;
+            }
+            if(i < outCount)
+                out[i] = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+        }
+
+        [[nodiscard]] static constexpr auto flopsPerThread(std::size_t iterations) noexcept -> double
+        {
+            return 2.0 * static_cast<double>(chains) * static_cast<double>(iterations);
+        }
+    };
+} // namespace workload

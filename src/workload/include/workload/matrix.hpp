@@ -1,0 +1,78 @@
+/// \file Dense matrix utilities for the DGEMM experiments (paper Sec. 4.2).
+///
+/// Matrices are dense, square in the benchmarks (paper: "All input matrices
+/// are dense and always have square extents"), stored row-major in 1-d
+/// buffers with a row pitch expressed as a leading dimension in *elements*
+/// (paper: "The matrices are mapped to 1D memory buffers with Alpaka
+/// aligning rows to optimum memory boundaries").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace workload
+{
+    //! Fills \p data with uniform random values in [lo, hi); deterministic
+    //! per \p seed (paper: "the matrices are filled with random values in
+    //! the range [0.0, 10.0]").
+    void fillRandom(std::span<double> data, std::uint64_t seed, double lo = 0.0, double hi = 10.0);
+
+    //! Largest relative element difference max(|a-b| / max(1, |b|)).
+    [[nodiscard]] auto maxRelDiff(std::span<double const> a, std::span<double const> b) -> double;
+
+    //! Reference GEMM C <- alpha*A*B + beta*C (row-major, leading
+    //! dimensions in elements). Cache-blocked serial implementation used to
+    //! verify every kernel under test.
+    void refGemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc);
+
+    //! Floating point operations of one C <- alpha*A*B + beta*C evaluation.
+    [[nodiscard]] constexpr auto gemmFlops(std::size_t n) noexcept -> double
+    {
+        // n^2 dot products of length n (mul+add) plus the alpha/beta scaling.
+        return 2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n)
+               + 3.0 * static_cast<double>(n) * static_cast<double>(n);
+    }
+
+    //! Floating point operations of one DAXPY sweep.
+    [[nodiscard]] constexpr auto daxpyFlops(std::size_t n) noexcept -> double
+    {
+        return 2.0 * static_cast<double>(n);
+    }
+
+    //! A host-side square matrix with deterministic content.
+    struct HostMatrix
+    {
+        explicit HostMatrix(std::size_t extent, std::uint64_t seed);
+
+        [[nodiscard]] auto data() noexcept -> double*
+        {
+            return values.data();
+        }
+        [[nodiscard]] auto data() const noexcept -> double const*
+        {
+            return values.data();
+        }
+        [[nodiscard]] auto span() noexcept -> std::span<double>
+        {
+            return values;
+        }
+        [[nodiscard]] auto span() const noexcept -> std::span<double const>
+        {
+            return values;
+        }
+
+        std::size_t n;
+        std::vector<double> values;
+    };
+} // namespace workload

@@ -1,0 +1,65 @@
+#include "workload/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace workload
+{
+    void fillRandom(std::span<double> data, std::uint64_t seed, double lo, double hi)
+    {
+        std::mt19937_64 engine(seed);
+        std::uniform_real_distribution<double> dist(lo, hi);
+        for(auto& v : data)
+            v = dist(engine);
+    }
+
+    auto maxRelDiff(std::span<double const> a, std::span<double const> b) -> double
+    {
+        double worst = 0.0;
+        auto const n = std::min(a.size(), b.size());
+        for(std::size_t i = 0; i < n; ++i)
+        {
+            double const denom = std::max(1.0, std::abs(b[i]));
+            worst = std::max(worst, std::abs(a[i] - b[i]) / denom);
+        }
+        return worst;
+    }
+
+    void refGemm(
+        std::size_t n,
+        double alpha,
+        double const* a,
+        std::size_t lda,
+        double const* b,
+        std::size_t ldb,
+        double beta,
+        double* c,
+        std::size_t ldc)
+    {
+        constexpr std::size_t blockSize = 48;
+        for(std::size_t i = 0; i < n; ++i)
+            for(std::size_t j = 0; j < n; ++j)
+                c[i * ldc + j] *= beta;
+        for(std::size_t kk = 0; kk < n; kk += blockSize)
+        {
+            auto const kEnd = std::min(n, kk + blockSize);
+            for(std::size_t i = 0; i < n; ++i)
+            {
+                for(std::size_t k = kk; k < kEnd; ++k)
+                {
+                    double const aik = alpha * a[i * lda + k];
+                    double const* bRow = b + k * ldb;
+                    double* cRow = c + i * ldc;
+                    for(std::size_t j = 0; j < n; ++j)
+                        cRow[j] += aik * bRow[j];
+                }
+            }
+        }
+    }
+
+    HostMatrix::HostMatrix(std::size_t extent, std::uint64_t seed) : n(extent), values(extent * extent)
+    {
+        fillRandom(values, seed);
+    }
+} // namespace workload

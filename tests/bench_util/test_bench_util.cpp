@@ -1,0 +1,92 @@
+/// \file Unit tests of the benchmark harness utilities (the numbers in
+/// EXPERIMENTS.md are only as trustworthy as these helpers).
+#include <bench_util/bench_util.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+TEST(BenchStats, BasicMoments)
+{
+    auto const s = bench::computeStats({4.0, 1.0, 3.0, 2.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(BenchStats, EmptyIsZeroed)
+{
+    auto const s = bench::computeStats({});
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(BenchTime, MeasuresElapsedWallClock)
+{
+    auto const t = bench::timeOnce([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    EXPECT_GE(t, 0.018);
+    EXPECT_LT(t, 0.5);
+}
+
+TEST(BenchTime, BestOfTakesTheMinimum)
+{
+    int call = 0;
+    auto const t = bench::timeBestOf(
+        3,
+        [&]
+        {
+            ++call;
+            std::this_thread::sleep_for(std::chrono::milliseconds(call == 2 ? 1 : 30));
+        });
+    EXPECT_EQ(call, 3);
+    EXPECT_LT(t, 0.02) << "did not pick the fastest repetition";
+}
+
+TEST(BenchGflops, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(bench::gflops(2e9, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(bench::gflops(1e9, 0.5), 2.0);
+}
+
+TEST(BenchFmt, FixedPrecision)
+{
+    EXPECT_EQ(bench::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(bench::fmt(1.0, 3), "1.000");
+}
+
+TEST(BenchTable, AlignedOutputContainsAllCells)
+{
+    bench::Table t({"col_a", "b"});
+    t.addRow({"1", "long-cell-value"});
+    t.addRow({"22", "x"});
+    std::ostringstream os;
+    t.print(os);
+    auto const out = os.str();
+    EXPECT_NE(out.find("col_a"), std::string::npos);
+    EXPECT_NE(out.find("long-cell-value"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(BenchTable, CsvRowsMatchData)
+{
+    bench::Table t({"n", "v"});
+    t.addRow({"1", "2.5"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "csv: n,v\ncsv: 1,2.5\n");
+}
+
+TEST(BenchEnv, FullSweepDefaultsOff)
+{
+    // The test environment must not set ALPAKA_BENCH_FULL; quick sweeps
+    // keep CI fast.
+    if(std::getenv("ALPAKA_BENCH_FULL") == nullptr)
+    {
+        EXPECT_FALSE(bench::fullSweep());
+    }
+}

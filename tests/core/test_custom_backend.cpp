@@ -1,0 +1,191 @@
+/// \file Proof of the paper's extensibility claim (abstract: "The Alpaka
+/// C++ template interface allows for straightforward extension of the
+/// library to support other accelerators and specialization of its
+/// internals for optimization").
+///
+/// This test defines a complete new accelerator *outside the library* —
+/// AccCpuReverse, a sequential back-end that deliberately executes blocks
+/// in descending order — using only the public customization points:
+/// trait specializations for device properties, name, work-division
+/// policy, and stream enqueue. No library file is modified. The standard
+/// kernels then run on it unchanged.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+// ---------------------------------------------------------------------
+// The out-of-tree accelerator.
+
+namespace custom
+{
+    //! Sequential accelerator iterating blocks in *reverse* linear order
+    //! (a stand-in for any vendor-specific scheduling strategy).
+    template<typename TDim, typename TSize>
+    class AccCpuReverse : public acc::detail::AccBase<TDim, TSize>
+    {
+    public:
+        using Dev = dev::DevCpu;
+        using Pltf = dev::PltfCpu;
+        using acc::detail::AccBase<TDim, TSize>::AccBase;
+    };
+} // namespace custom
+
+// Customization point implementations — the complete set a back-end needs.
+namespace alpaka::acc::trait
+{
+    template<typename TDim, typename TSize>
+    struct GetAccDevProps<custom::AccCpuReverse<TDim, TSize>, dev::DevCpu>
+    {
+        static auto get(dev::DevCpu const&)
+        {
+            return detail::makeCpuProps<TDim, TSize>(static_cast<TSize>(1));
+        }
+    };
+
+    template<typename TDim, typename TSize>
+    struct GetAccName<custom::AccCpuReverse<TDim, TSize>>
+    {
+        static auto get() -> std::string
+        {
+            return "custom::AccCpuReverse<" + std::to_string(TDim::value) + "d>";
+        }
+    };
+} // namespace alpaka::acc::trait
+
+namespace alpaka::workdiv::trait
+{
+    template<typename TDim, typename TSize>
+    struct UsesBlockThreads<custom::AccCpuReverse<TDim, TSize>>
+    {
+        static constexpr bool value = false; // Table 2 "block" row behaviour
+    };
+} // namespace alpaka::workdiv::trait
+
+namespace alpaka::exec::detail
+{
+    //! The executor: blocks in descending order, one thread per block.
+    template<typename TDim, typename TSize>
+    struct KernelRunner<custom::AccCpuReverse<TDim, TSize>>
+    {
+        using Acc = custom::AccCpuReverse<TDim, TSize>;
+
+        template<typename TKernel, typename... TArgs>
+        static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
+        {
+            auto const& wd = task.workDiv();
+            workdiv::requireValidWorkDiv<Acc>(dev, wd);
+            auto const props = acc::getAccDevProps<Acc>(dev);
+            CpuRunContext<TDim, TSize> ctx(dev, task, props.sharedMemSizeBytes);
+
+            auto const blockCount = wd.gridBlockExtent().prod();
+            for(TSize b = blockCount; b-- > 0;)
+            {
+                Acc const acc(
+                    wd,
+                    blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
+                    Vec<TDim, TSize>::zeros(),
+                    ctx.shared);
+                task.invoke(acc);
+            }
+        }
+    };
+} // namespace alpaka::exec::detail
+
+// ---------------------------------------------------------------------
+// The standard kernels, unchanged, on the new back-end.
+
+namespace
+{
+    struct CoverageKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* visits, Size n) const
+        {
+            for(auto const i : uniformElements(acc, n))
+                atomic::atomicAdd(acc, &visits[i], std::uint32_t{1});
+        }
+    };
+
+    struct OrderProbeKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::vector<Size>* order) const
+        {
+            order->push_back(idx::getIdx<Grid, Blocks>(acc)[0]);
+        }
+    };
+} // namespace
+
+TEST(CustomBackend, StandardKernelRunsUnchanged)
+{
+    using Acc = custom::AccCpuReverse<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCpuSync stream(dev);
+
+    Size const n = 1000;
+    std::vector<std::uint32_t> visits(n, 0);
+    auto const wd = workdiv::table2WorkDiv<Acc>(n, Size{16}, Size{4});
+    stream::enqueue(stream, exec::create<Acc>(wd, CoverageKernel{}, visits.data(), n));
+    wait::wait(stream);
+    for(auto const v : visits)
+        ASSERT_EQ(v, 1u);
+}
+
+TEST(CustomBackend, SchedulingStrategyIsTheBackendsOwn)
+{
+    using Acc = custom::AccCpuReverse<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCpuSync stream(dev);
+
+    std::vector<Size> order;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(8u, 1u, 1u);
+    stream::enqueue(stream, exec::create<Acc>(wd, OrderProbeKernel{}, &order));
+    wait::wait(stream);
+
+    ASSERT_EQ(order.size(), 8u);
+    for(Size i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], 7 - i) << "custom runner did not control the schedule";
+}
+
+TEST(CustomBackend, ParticipatesInAllGenericMachinery)
+{
+    using Acc = custom::AccCpuReverse<Dim1, Size>;
+    // Name + props traits.
+    EXPECT_EQ(acc::getAccName<Acc>(), "custom::AccCpuReverse<1d>");
+    auto const props = acc::getAccDevProps<Acc>(dev::PltfCpu::getDevByIdx(0));
+    EXPECT_EQ(props.blockThreadCountMax, 1u);
+    // Table 2 policy.
+    auto const wd = workdiv::table2WorkDiv<Acc>(Size{100}, Size{8}, Size{5});
+    EXPECT_EQ(wd.gridBlockExtent()[0], 20u);
+    EXPECT_EQ(wd.blockThreadExtent()[0], 1u);
+    // Validation.
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    EXPECT_FALSE((workdiv::isValidWorkDiv<Acc>(dev, workdiv::WorkDivMembers<Dim1, Size>(1u, 2u, 1u))));
+    // getValidWorkDiv derives a one-thread division automatically.
+    auto const derived = workdiv::getValidWorkDiv<Acc>(dev, Vec<Dim1, Size>(Size{1000}));
+    EXPECT_EQ(derived.blockThreadExtent()[0], 1u);
+}
+
+TEST(CustomBackend, ResultsMatchBuiltInBackends)
+{
+    using Custom = custom::AccCpuReverse<Dim1, Size>;
+    using Builtin = acc::AccCpuSerial<Dim1, Size>;
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+
+    Size const n = 512;
+    auto const run = [&]<typename TAcc>(std::type_identity<TAcc>)
+    {
+        stream::StreamCpuSync stream(dev);
+        std::vector<std::uint32_t> visits(n, 0);
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{1}, Size{8});
+        stream::enqueue(stream, exec::create<TAcc>(wd, CoverageKernel{}, visits.data(), n));
+        wait::wait(stream);
+        return visits;
+    };
+    EXPECT_EQ(run(std::type_identity<Custom>{}), run(std::type_identity<Builtin>{}));
+}

@@ -1,0 +1,171 @@
+/// \file Tests of devices, platforms, streams, events and wait::
+/// (paper Sec. 3.4.5: in-order streams, sync/async semantics).
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+TEST(Devices, CpuPlatformHasExactlyOneDevice)
+{
+    EXPECT_EQ(dev::PltfCpu::getDevCount(), 1u);
+    EXPECT_NO_THROW((void) dev::PltfCpu::getDevByIdx(0));
+    EXPECT_THROW((void) dev::PltfCpu::getDevByIdx(1), UsageError);
+}
+
+TEST(Devices, CudaSimPlatformModelsPaperNode)
+{
+    // Default platform: one K20-like and one K80-like device (Table 3).
+    ASSERT_GE(dev::PltfCudaSim::getDevCount(), 2u);
+    auto const k20 = dev::PltfCudaSim::getDevByIdx(0);
+    auto const k80 = dev::PltfCudaSim::getDevByIdx(1);
+    EXPECT_NE(k20.getName(), k80.getName());
+    EXPECT_NE(k20, k80);
+    EXPECT_GT(k20.spec().peakGflopsFp64(), 1000.0); // ~1.17 TFLOPS
+    EXPECT_GT(k80.spec().peakGflopsFp64(), k20.spec().peakGflopsFp64());
+}
+
+TEST(Devices, DevManRoutesThroughAccelerator)
+{
+    auto const cpuDev = dev::DevMan<acc::AccCpuSerial<Dim1, Size>>::getDevByIdx(0);
+    EXPECT_EQ(cpuDev, dev::DevCpu{});
+    auto const simDev = dev::DevMan<acc::AccGpuCudaSim<Dim1, Size>>::getDevByIdx(0);
+    EXPECT_EQ(simDev, dev::PltfCudaSim::getDevByIdx(0));
+}
+
+TEST(Streams, AsyncCpuStreamPreservesOrder)
+{
+    stream::StreamCpuAsync stream(dev::PltfCpu::getDevByIdx(0));
+    std::vector<int> order;
+    for(int i = 0; i < 100; ++i)
+        stream.push([&order, i] { order.push_back(i); });
+    stream.wait();
+    ASSERT_EQ(order.size(), 100u);
+    for(int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Streams, AsyncCpuStreamIsAsynchronous)
+{
+    // An enqueued long task must not block the host (paper: "Asynchronous
+    // streams allow the host to resume computations").
+    stream::StreamCpuAsync stream(dev::PltfCpu::getDevByIdx(0));
+    std::atomic<bool> finished{false};
+    auto const enqueueTime = std::chrono::steady_clock::now();
+    stream.push(
+        [&finished]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            finished = true;
+        });
+    auto const afterEnqueue = std::chrono::steady_clock::now();
+    EXPECT_LT(std::chrono::duration<double>(afterEnqueue - enqueueTime).count(), 0.04);
+    EXPECT_FALSE(finished.load());
+    stream.wait();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(Streams, SyncCpuStreamRunsInline)
+{
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    bool ran = false;
+    stream.run([&ran] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_NO_THROW(stream.wait());
+}
+
+TEST(Streams, AsyncErrorsAreStickyAndSurfaceOnWait)
+{
+    stream::StreamCpuAsync stream(dev::PltfCpu::getDevByIdx(0));
+    bool laterTaskRan = false;
+    stream.push([] { throw std::runtime_error("boom"); });
+    stream.push([&laterTaskRan] { laterTaskRan = true; });
+    EXPECT_THROW(stream.wait(), std::runtime_error);
+    EXPECT_FALSE(laterTaskRan) << "work after a failure must be skipped";
+}
+
+TEST(Events, NeverRecordedEventIsComplete)
+{
+    event::EventCpu const ev(dev::PltfCpu::getDevByIdx(0));
+    EXPECT_TRUE(ev.isDone());
+    EXPECT_NO_THROW(wait::wait(ev));
+}
+
+TEST(Events, EventCompletesAfterPrecedingWork)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync stream(dev);
+    event::EventCpu ev(dev);
+    std::atomic<bool> workDone{false};
+    stream.push(
+        [&workDone]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            workDone = true;
+        });
+    stream::enqueue(stream, ev);
+    EXPECT_FALSE(ev.isDone());
+    wait::wait(ev);
+    EXPECT_TRUE(workDone.load()) << "event completed before earlier stream work";
+    stream.wait();
+}
+
+TEST(Events, CrossStreamDependency)
+{
+    // Stream B waits for an event recorded in stream A: B's task must
+    // observe A's side effect.
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync a(dev);
+    stream::StreamCpuAsync b(dev);
+    event::EventCpu ev(dev);
+
+    std::atomic<int> value{0};
+    a.push(
+        [&value]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            value = 42;
+        });
+    stream::enqueue(a, ev);
+    wait::wait(b, ev);
+    int observed = -1;
+    b.push([&value, &observed] { observed = value.load(); });
+    b.wait();
+    EXPECT_EQ(observed, 42);
+    a.wait();
+}
+
+TEST(Wait, DeviceWaitDrainsAllItsStreams)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync s1(dev);
+    stream::StreamCpuAsync s2(dev);
+    std::atomic<int> done{0};
+    for(auto* s : {&s1, &s2})
+        s->push(
+            [&done]
+            {
+                std::this_thread::sleep_for(std::chrono::milliseconds(15));
+                ++done;
+            });
+    wait::wait(dev);
+    EXPECT_EQ(done.load(), 2);
+}
+
+TEST(Streams, CudaSimStreamsEnqueueAndWait)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync async(dev);
+    stream::StreamCudaSimSync sync(dev);
+    event::EventCudaSim ev(dev);
+    stream::enqueue(async, ev);
+    wait::wait(ev);
+    EXPECT_NO_THROW(wait::wait(async));
+    EXPECT_NO_THROW(wait::wait(sync));
+    EXPECT_NO_THROW(wait::wait(dev));
+}

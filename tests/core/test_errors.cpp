@@ -1,0 +1,177 @@
+/// \file Failure-injection tests: invalid work divisions, kernel
+/// exceptions, barrier divergence detection (DESIGN.md invariants 4/5).
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct NoopKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const&) const
+        {
+        }
+    };
+
+    struct ThrowingKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size failingThread) const
+        {
+            if(idx::getIdx<Grid, Threads>(acc)[0] == failingThread)
+                throw std::runtime_error("kernel failure injection");
+        }
+    };
+
+    //! Thread 0 of every block skips the barrier: divergent sync.
+    struct DivergentSyncKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc) const
+        {
+            if(idx::getIdx<Block, Threads>(acc)[0] != 0)
+                block::sync::syncBlockThreads(acc);
+        }
+    };
+} // namespace
+
+TEST(InvalidWorkDiv, SerialMoreThanOneThreadRejectedAtEnqueue)
+{
+    using Acc = acc::AccCpuSerial<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(2u, 4u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+TEST(InvalidWorkDiv, Omp2BlocksMoreThanOneThreadRejected)
+{
+    using Acc = acc::AccCpuOmp2Blocks<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(2u, 2u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+TEST(InvalidWorkDiv, CudaSimOversizedBlockRejected)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(dev);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(1u, dev.spec().maxThreadsPerBlock * 2, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+TEST(InvalidWorkDiv, ZeroBlocksRejected)
+{
+    using Acc = acc::AccCpuThreads<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(0u, 4u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+// ---------------------------------------------------------------------
+// Kernel exception propagation per back-end.
+
+template<typename TAcc, typename TStream>
+void expectKernelExceptionPropagates()
+{
+    auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+    TStream stream(devAcc);
+    auto const wd = workdiv::table2WorkDiv<TAcc>(Size{64}, Size{8}, Size{1});
+    stream::enqueue(stream, exec::create<TAcc>(wd, ThrowingKernel{}, Size{13}));
+    EXPECT_THROW(wait::wait(stream), std::runtime_error);
+}
+
+TEST(KernelException, Serial)
+{
+    using Acc = acc::AccCpuSerial<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    auto const wd = workdiv::table2WorkDiv<Acc>(Size{64}, Size{8}, Size{1});
+    // Sync stream: surfaces directly at enqueue.
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, ThrowingKernel{}, Size{13})), std::runtime_error);
+}
+
+TEST(KernelException, ThreadsViaAsyncStream)
+{
+    expectKernelExceptionPropagates<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuAsync>();
+}
+TEST(KernelException, FibersViaAsyncStream)
+{
+    expectKernelExceptionPropagates<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuAsync>();
+}
+TEST(KernelException, Omp2BlocksViaAsyncStream)
+{
+    expectKernelExceptionPropagates<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuAsync>();
+}
+TEST(KernelException, Omp2ThreadsViaAsyncStream)
+{
+    expectKernelExceptionPropagates<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuAsync>();
+}
+TEST(KernelException, CudaSim)
+{
+    expectKernelExceptionPropagates<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}
+
+// ---------------------------------------------------------------------
+// Barrier divergence detection (fiber-based back-ends).
+
+TEST(Divergence, FibersDetectsDivergentBarrier)
+{
+    using Acc = acc::AccCpuFibers<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(1u, 4u, 1u);
+    EXPECT_THROW(
+        stream::enqueue(stream, exec::create<Acc>(wd, DivergentSyncKernel{})),
+        KernelExecutionError);
+}
+
+TEST(Divergence, CudaSimDetectsDivergentBarrier)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCudaSimAsync stream(dev);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(2u, 8u, 1u);
+    stream::enqueue(stream, exec::create<Acc>(wd, DivergentSyncKernel{}));
+    EXPECT_THROW(wait::wait(stream), gpusim::DivergenceError);
+}
+
+TEST(Divergence, SingleThreadBlocksAreImmuneByConstruction)
+{
+    // Serial/Omp2Blocks have one thread per block: the "divergent" kernel
+    // simply runs (thread 0 skips the no-op sync).
+    using Acc = acc::AccCpuSerial<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(4u, 1u, 1u);
+    EXPECT_NO_THROW(stream::enqueue(stream, exec::create<Acc>(wd, DivergentSyncKernel{})));
+}
+
+TEST(StickyStreamError, LaterWorkSkippedAfterKernelFailure)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCudaSimAsync stream(dev);
+    auto const wd = workdiv::table2WorkDiv<Acc>(Size{32}, Size{8}, Size{1});
+    stream::enqueue(stream, exec::create<Acc>(wd, ThrowingKernel{}, Size{0}));
+
+    // A copy enqueued after the failure must not execute.
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    auto hostBuf = mem::buf::alloc<int, Size>(host, Size{4});
+    auto devBuf = mem::buf::alloc<int, Size>(dev, Size{4});
+    hostBuf.data()[0] = 7;
+    mem::view::copy(stream, devBuf, hostBuf, Vec<Dim1, Size>(Size{4}));
+
+    EXPECT_THROW(wait::wait(stream), std::runtime_error);
+}
+
+TEST(GpusimMemory, ForeignPointerCopyRejected)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    std::vector<int> notDeviceMemory(16);
+    stream::StreamCudaSimSync stream(dev);
+    EXPECT_THROW(
+        dev.simDevice().memory().copyHtoD(notDeviceMemory.data(), notDeviceMemory.data(), 16),
+        gpusim::MemoryError);
+}

@@ -1,0 +1,323 @@
+/// \file Typed tests run against EVERY accelerator back-end: index
+/// coverage (DESIGN.md invariant 1), element-level semantics, in-kernel
+/// work division queries, multi-dimensional launches and cross-back-end
+/// result equality (invariant 8).
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    template<typename TAcc, typename TStream>
+    struct Backend
+    {
+        using Acc = TAcc;
+        using Stream = TStream;
+        using Dev = typename TAcc::Dev;
+
+        static auto dev()
+        {
+            return dev::DevMan<TAcc>::getDevByIdx(0);
+        }
+    };
+
+    using Backends1d = ::testing::Types<
+        Backend<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>,
+        Backend<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuAsync>,
+        Backend<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>,
+        Backend<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>,
+        Backend<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuSync>,
+        Backend<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>,
+        Backend<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimSync>,
+        Backend<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>>;
+
+    //! Marks every visited element with an atomic increment.
+    struct CoverageKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* visits, Size n) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc)[0];
+            for(Size e = 0; e < elems; ++e)
+            {
+                auto const i = tid * elems + e;
+                if(i < n)
+                    atomic::atomicAdd(acc, &visits[i], std::uint32_t{1});
+            }
+        }
+    };
+
+    //! Records the work division as seen from inside the kernel.
+    struct WorkDivProbeKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size* out) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            if(tid == 0)
+            {
+                out[0] = workdiv::getWorkDiv<Grid, Blocks>(acc)[0];
+                out[1] = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+                out[2] = workdiv::getWorkDiv<Thread, Elems>(acc)[0];
+                out[3] = workdiv::getWorkDiv<Grid, Threads>(acc)[0];
+            }
+        }
+    };
+
+    //! Writes each thread's (block, thread-in-block) pair to its slot.
+    struct IdxProbeKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size* blocks, Size* threads) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            blocks[tid] = idx::getIdx<Grid, Blocks>(acc)[0];
+            threads[tid] = idx::getIdx<Block, Threads>(acc)[0];
+        }
+    };
+} // namespace
+
+template<typename TBackend>
+class ExecAllAccs : public ::testing::Test
+{
+protected:
+    using Acc = typename TBackend::Acc;
+    using Stream = typename TBackend::Stream;
+
+    //! Builds a Table-2-style work division valid for the back-end.
+    static auto makeWorkDiv(Size n, Size b, Size v)
+    {
+        return workdiv::table2WorkDiv<Acc>(n, b, v);
+    }
+
+    template<typename TElem>
+    auto roundTripRun(Size n, auto makeExec) -> std::vector<TElem>
+    {
+        auto const devAcc = TBackend::dev();
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        Stream stream(devAcc);
+
+        auto devBuf = mem::buf::alloc<TElem, Size>(devAcc, n);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::set(stream, devBuf, 0, extent);
+        stream::enqueue(stream, makeExec(devBuf.data()));
+        auto hostBuf = mem::buf::alloc<TElem, Size>(devHost, n);
+        mem::view::copy(stream, hostBuf, devBuf, extent);
+        wait::wait(stream);
+        return {hostBuf.data(), hostBuf.data() + n};
+    }
+};
+
+TYPED_TEST_SUITE(ExecAllAccs, Backends1d);
+
+TYPED_TEST(ExecAllAccs, EveryElementVisitedExactlyOnce)
+{
+    using AccT = typename TestFixture::Acc;
+    Size const n = 1024;
+    auto const wd = TestFixture::makeWorkDiv(n, 16, 4);
+    auto const visits = this->template roundTripRun<std::uint32_t>(
+        n,
+        [&](std::uint32_t* ptr) { return exec::create<AccT>(wd, CoverageKernel{}, ptr, n); });
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i], 1u) << "element " << i << " on " << acc::getAccName<AccT>();
+}
+
+TYPED_TEST(ExecAllAccs, RaggedDomainIsStillCoveredExactlyOnce)
+{
+    using AccT = typename TestFixture::Acc;
+    Size const n = 1000; // not a multiple of b*v
+    auto const wd = TestFixture::makeWorkDiv(n, 16, 3);
+    auto const visits = this->template roundTripRun<std::uint32_t>(
+        n,
+        [&](std::uint32_t* ptr) { return exec::create<AccT>(wd, CoverageKernel{}, ptr, n); });
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i], 1u);
+}
+
+TYPED_TEST(ExecAllAccs, KernelSeesTheHostWorkDivision)
+{
+    using AccT = typename TestFixture::Acc;
+    auto const wd = TestFixture::makeWorkDiv(512, 8, 2);
+    auto const probe = this->template roundTripRun<Size>(
+        4,
+        [&](Size* ptr) { return exec::create<AccT>(wd, WorkDivProbeKernel{}, ptr); });
+    EXPECT_EQ(probe[0], wd.gridBlockExtent()[0]);
+    EXPECT_EQ(probe[1], wd.blockThreadExtent()[0]);
+    EXPECT_EQ(probe[2], wd.threadElemExtent()[0]);
+    EXPECT_EQ(probe[3], wd.gridBlockExtent()[0] * wd.blockThreadExtent()[0]);
+}
+
+TYPED_TEST(ExecAllAccs, BlockAndThreadIndicesAreConsistent)
+{
+    using AccT = typename TestFixture::Acc;
+    Size const n = 256;
+    auto const wd = TestFixture::makeWorkDiv(n, 8, 1);
+    // One buffer of 2n: first half records block indices, second half
+    // thread-in-block indices.
+    auto const probe = this->template roundTripRun<Size>(
+        2 * n,
+        [&](Size* ptr) { return exec::create<AccT>(wd, IdxProbeKernel{}, ptr, ptr + n); });
+    auto const bt = wd.blockThreadExtent()[0];
+    for(Size i = 0; i < n; ++i)
+    {
+        ASSERT_EQ(probe[i], i / bt) << acc::getAccName<AccT>();
+        ASSERT_EQ(probe[n + i], i % bt) << acc::getAccName<AccT>();
+    }
+}
+
+TYPED_TEST(ExecAllAccs, ResultsAreDeterministicAcrossRuns)
+{
+    using AccT = typename TestFixture::Acc;
+    Size const n = 512;
+    auto const wd = TestFixture::makeWorkDiv(n, 16, 2);
+    auto const runOnce = [&]
+    {
+        return this->template roundTripRun<std::uint32_t>(
+            n,
+            [&](std::uint32_t* ptr) { return exec::create<AccT>(wd, CoverageKernel{}, ptr, n); });
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+// ---------------------------------------------------------------------
+// 2-d launches across back-ends.
+
+namespace
+{
+    struct Coverage2dKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* visits, Size height, Size width) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc);
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc);
+            for(Size ey = 0; ey < elems[0]; ++ey)
+                for(Size ex = 0; ex < elems[1]; ++ex)
+                {
+                    auto const y = tid[0] * elems[0] + ey;
+                    auto const x = tid[1] * elems[1] + ex;
+                    if(y < height && x < width)
+                        atomic::atomicAdd(acc, &visits[y * width + x], std::uint32_t{1});
+                }
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    void runCoverage2d(Vec<Dim2, Size> const& blockThreads, Vec<Dim2, Size> const& threadElems)
+    {
+        Size const height = 48;
+        Size const width = 37;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        Size const total = height * width;
+        auto devBuf = mem::buf::alloc<std::uint32_t, Size>(devAcc, total);
+        Vec<Dim1, Size> const flat(total);
+        mem::view::set(stream, devBuf, 0, flat);
+
+        Vec<Dim2, Size> const domain(height, width);
+        auto const gridBlocks = ceilDiv(domain, blockThreads * threadElems);
+        workdiv::WorkDivMembers<Dim2, Size> const wd(gridBlocks, blockThreads, threadElems);
+        auto const exec = exec::create<TAcc>(wd, Coverage2dKernel{}, devBuf.data(), height, width);
+        stream::enqueue(stream, exec);
+
+        auto hostBuf = mem::buf::alloc<std::uint32_t, Size>(devHost, total);
+        mem::view::copy(stream, hostBuf, devBuf, flat);
+        wait::wait(stream);
+        for(Size i = 0; i < total; ++i)
+            ASSERT_EQ(hostBuf.data()[i], 1u) << acc::getAccName<TAcc>() << " at " << i;
+    }
+} // namespace
+
+TEST(Exec2d, CoverageSerial)
+{
+    runCoverage2d<acc::AccCpuSerial<Dim2, Size>, stream::StreamCpuSync>(
+        Vec<Dim2, Size>::ones(),
+        Vec<Dim2, Size>(Size{2}, Size{3}));
+}
+TEST(Exec2d, CoverageThreads)
+{
+    runCoverage2d<acc::AccCpuThreads<Dim2, Size>, stream::StreamCpuSync>(
+        Vec<Dim2, Size>(Size{2}, Size{4}),
+        Vec<Dim2, Size>(Size{3}, Size{1}));
+}
+TEST(Exec2d, CoverageFibers)
+{
+    runCoverage2d<acc::AccCpuFibers<Dim2, Size>, stream::StreamCpuSync>(
+        Vec<Dim2, Size>(Size{2}, Size{2}),
+        Vec<Dim2, Size>(Size{1}, Size{2}));
+}
+TEST(Exec2d, CoverageOmp2Blocks)
+{
+    runCoverage2d<acc::AccCpuOmp2Blocks<Dim2, Size>, stream::StreamCpuSync>(
+        Vec<Dim2, Size>::ones(),
+        Vec<Dim2, Size>(Size{4}, Size{4}));
+}
+TEST(Exec2d, CoverageOmp2Threads)
+{
+    runCoverage2d<acc::AccCpuOmp2Threads<Dim2, Size>, stream::StreamCpuSync>(
+        Vec<Dim2, Size>(Size{2}, Size{2}),
+        Vec<Dim2, Size>(Size{2}, Size{2}));
+}
+TEST(Exec2d, CoverageCudaSim)
+{
+    runCoverage2d<acc::AccGpuCudaSim<Dim2, Size>, stream::StreamCudaSimAsync>(
+        Vec<Dim2, Size>(Size{4}, Size{8}),
+        Vec<Dim2, Size>(Size{1}, Size{2}));
+}
+
+// ---------------------------------------------------------------------
+// Cross-back-end equality: the same kernel + work division produces
+// bit-identical output everywhere (invariant 8).
+
+namespace
+{
+    struct SaxpyLikeKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out, Size n) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc)[0];
+            for(Size e = 0; e < elems; ++e)
+            {
+                auto const i = tid * elems + e;
+                if(i < n)
+                    out[i] = std::sin(static_cast<double>(i)) * 2.5 + 1.0;
+            }
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    auto runSaxpyLike(Size n) -> std::vector<double>
+    {
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+        auto devBuf = mem::buf::alloc<double, Size>(devAcc, n);
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{8}, Size{2});
+        stream::enqueue(stream, exec::create<TAcc>(wd, SaxpyLikeKernel{}, devBuf.data(), n));
+        auto hostBuf = mem::buf::alloc<double, Size>(devHost, n);
+        mem::view::copy(stream, hostBuf, devBuf, Vec<Dim1, Size>(n));
+        wait::wait(stream);
+        return {hostBuf.data(), hostBuf.data() + n};
+    }
+} // namespace
+
+TEST(CrossBackend, IdenticalResultsEverywhere)
+{
+    Size const n = 333;
+    auto const reference = runSaxpyLike<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>(n);
+    EXPECT_EQ((runSaxpyLike<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>(n)), reference);
+    EXPECT_EQ((runSaxpyLike<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>(n)), reference);
+    EXPECT_EQ((runSaxpyLike<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuSync>(n)), reference);
+    EXPECT_EQ((runSaxpyLike<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>(n)), reference);
+    EXPECT_EQ((runSaxpyLike<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>(n)), reference);
+}

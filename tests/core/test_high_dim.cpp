@@ -1,0 +1,118 @@
+/// \file Tests of dimensionality beyond 3: the paper states "Each level of
+/// the Alpaka parallelization hierarchy is unrestricted in its
+/// dimensionality" (Sec. 3.1). The CPU back-ends and the core index math
+/// support arbitrary Dim; the SIMT back-end is bounded by the device's
+/// 3-d geometry (as real CUDA is), which is asserted too.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+using Dim4 = dim::DimInt<4>;
+using Dim5 = dim::DimInt<5>;
+
+TEST(HighDim, VecArithmeticInFiveDimensions)
+{
+    Vec<Dim5, Size> const a(2, 3, 4, 5, 6);
+    EXPECT_EQ(a.prod(), 720u);
+    EXPECT_EQ((a + Vec<Dim5, Size>::ones()).prod(), 3u * 4 * 5 * 6 * 7);
+}
+
+TEST(HighDim, MapIdxRoundTrip4d)
+{
+    Vec<Dim4, Size> const extent(3, 4, 5, 6);
+    for(Size linear = 0; linear < extent.prod(); ++linear)
+    {
+        auto const nd = core::mapIdx<4>(Vec<Dim1, Size>(linear), extent);
+        ASSERT_EQ((core::mapIdx<1>(nd, extent)[0]), linear);
+    }
+}
+
+TEST(HighDim, NdLoopVisitsDense4d)
+{
+    Vec<Dim4, Size> const extent(2, 3, 2, 4);
+    Size count = 0;
+    Size lastLinear = 0;
+    bool first = true;
+    meta::ndLoop(
+        extent,
+        [&](Vec<Dim4, Size> const& idx)
+        {
+            auto const linear = core::mapIdx<1>(idx, extent)[0];
+            if(!first)
+                EXPECT_EQ(linear, lastLinear + 1) << "ndLoop order is not row-major dense";
+            first = false;
+            lastLinear = linear;
+            ++count;
+        });
+    EXPECT_EQ(count, extent.prod());
+}
+
+namespace
+{
+    struct Coverage4dKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* visits, Vec<Dim4, Size> domain) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc);
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc);
+            // Iterate this thread's 4-d element box.
+            meta::ndLoop(
+                elems,
+                [&](Vec<Dim4, Size> const& e)
+                {
+                    auto const pos = tid * elems + e;
+                    for(std::size_t d = 0; d < 4; ++d)
+                        if(pos[d] >= domain[d])
+                            return;
+                    atomic::atomicAdd(
+                        acc,
+                        &visits[static_cast<Size>(core::mapIdx<1>(pos, domain)[0])],
+                        std::uint32_t{1});
+                });
+        }
+    };
+
+    template<typename TAcc>
+    void expect4dCoverage()
+    {
+        Vec<Dim4, Size> const domain(3, 5, 4, 7);
+        Vec<Dim4, Size> const elems(1, 2, 1, 3);
+        auto const gridBlocks = ceilDiv(domain, elems);
+        workdiv::WorkDivMembers<Dim4, Size> const wd(gridBlocks, Vec<Dim4, Size>::ones(), elems);
+
+        auto const dev = dev::DevMan<TAcc>::getDevByIdx(0);
+        stream::StreamCpuSync stream(dev);
+        std::vector<std::uint32_t> visits(domain.prod(), 0);
+        stream::enqueue(stream, exec::create<TAcc>(wd, Coverage4dKernel{}, visits.data(), domain));
+        wait::wait(stream);
+        for(Size i = 0; i < visits.size(); ++i)
+            ASSERT_EQ(visits[i], 1u) << acc::getAccName<TAcc>() << " at " << i;
+    }
+} // namespace
+
+TEST(HighDim, FourDimensionalGridOnSerial)
+{
+    expect4dCoverage<acc::AccCpuSerial<Dim4, Size>>();
+}
+TEST(HighDim, FourDimensionalGridOnOmp2Blocks)
+{
+    expect4dCoverage<acc::AccCpuOmp2Blocks<Dim4, Size>>();
+}
+TEST(HighDim, FourDimensionalGridOnTaskBlocks)
+{
+    expect4dCoverage<acc::AccCpuTaskBlocks<Dim4, Size>>();
+}
+
+TEST(HighDim, WorkDivAlgebra4d)
+{
+    workdiv::WorkDivMembers<Dim4, Size> const wd(
+        Vec<Dim4, Size>(2, 3, 4, 5),
+        Vec<Dim4, Size>::ones(),
+        Vec<Dim4, Size>(1, 2, 2, 1));
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Elems>(wd)), (Vec<Dim4, Size>(2, 6, 8, 5)));
+}

@@ -1,0 +1,101 @@
+/// \file Unit and property tests of core::mapIdx (paper Listing 3).
+#include <alpaka/core/map_idx.hpp>
+#include <alpaka/meta/nd_loop.hpp>
+
+#include <gtest/gtest.h>
+
+using alpaka::Vec;
+using alpaka::core::mapIdx;
+using alpaka::dim::DimInt;
+
+TEST(MapIdx, LinearizeRowMajor2d)
+{
+    Vec<DimInt<2>, std::size_t> const extent(4, 5);
+    // Component 0 is the slow dimension: idx (2,3) -> 2*5 + 3 = 13.
+    EXPECT_EQ((mapIdx<1>(Vec<DimInt<2>, std::size_t>(2, 3), extent)[0]), 13u);
+    EXPECT_EQ((mapIdx<1>(Vec<DimInt<2>, std::size_t>(0, 0), extent)[0]), 0u);
+    EXPECT_EQ((mapIdx<1>(Vec<DimInt<2>, std::size_t>(3, 4), extent)[0]), 19u);
+}
+
+TEST(MapIdx, Linearize3d)
+{
+    Vec<DimInt<3>, std::size_t> const extent(2, 3, 4);
+    EXPECT_EQ((mapIdx<1>(Vec<DimInt<3>, std::size_t>(1, 2, 3), extent)[0]), 23u);
+    EXPECT_EQ((mapIdx<1>(Vec<DimInt<3>, std::size_t>(0, 1, 0), extent)[0]), 4u);
+}
+
+TEST(MapIdx, Delinearize2d)
+{
+    Vec<DimInt<2>, std::size_t> const extent(4, 5);
+    auto const idx = mapIdx<2>(Vec<DimInt<1>, std::size_t>(13), extent);
+    EXPECT_EQ(idx, (Vec<DimInt<2>, std::size_t>(2, 3)));
+}
+
+TEST(MapIdx, IdentitySameDim)
+{
+    Vec<DimInt<2>, std::size_t> const extent(4, 5);
+    Vec<DimInt<2>, std::size_t> const idx(3, 2);
+    EXPECT_EQ((mapIdx<2>(idx, extent)), idx);
+}
+
+TEST(MapIdx, LinearizationIsDenseAndOrdered)
+{
+    // Walking the index space in ndLoop order must produce 0,1,2,...
+    Vec<DimInt<3>, std::size_t> const extent(3, 4, 5);
+    std::size_t expected = 0;
+    alpaka::meta::ndLoop(
+        extent,
+        [&](Vec<DimInt<3>, std::size_t> const& idx)
+        {
+            EXPECT_EQ((mapIdx<1>(idx, extent)[0]), expected);
+            ++expected;
+        });
+    EXPECT_EQ(expected, extent.prod());
+}
+
+//! Round-trip property over randomized extents (DESIGN.md invariant 2).
+class MapIdxRoundTrip : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>>
+{
+};
+
+TEST_P(MapIdxRoundTrip, OneToNdToOneIsIdentity)
+{
+    auto const [e0, e1, e2] = GetParam();
+    Vec<DimInt<3>, std::size_t> const extent(e0, e1, e2);
+    for(std::size_t linear = 0; linear < extent.prod(); ++linear)
+    {
+        auto const nd = mapIdx<3>(Vec<DimInt<1>, std::size_t>(linear), extent);
+        for(std::size_t d = 0; d < 3; ++d)
+            ASSERT_LT(nd[d], extent[d]);
+        ASSERT_EQ((mapIdx<1>(nd, extent)[0]), linear);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extents,
+    MapIdxRoundTrip,
+    ::testing::Values(
+        std::make_tuple(1u, 1u, 1u),
+        std::make_tuple(2u, 3u, 4u),
+        std::make_tuple(7u, 1u, 13u),
+        std::make_tuple(1u, 16u, 3u),
+        std::make_tuple(5u, 5u, 5u)));
+
+TEST(NdLoop, VisitsEveryIndexOnce2d)
+{
+    Vec<DimInt<2>, std::size_t> const extent(3, 4);
+    std::vector<int> visits(extent.prod(), 0);
+    alpaka::meta::ndLoop(
+        extent,
+        [&](auto const& idx) { visits[static_cast<std::size_t>(mapIdx<1>(idx, extent)[0])] += 1; });
+    for(auto const v : visits)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(NdLoop, ZeroExtentVisitsNothing)
+{
+    Vec<DimInt<2>, std::size_t> const extent(0, 4);
+    std::size_t count = 0;
+    alpaka::meta::ndLoop(extent, [&](auto const&) { ++count; });
+    EXPECT_EQ(count, 0u);
+}

@@ -1,0 +1,111 @@
+/// \file Math service tests: parity with libm and cross-back-end equality.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    //! Evaluates the whole math surface on a grid of inputs.
+    struct MathKernel
+    {
+        static constexpr Size functions = 14;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* in, double* out, Size n) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            if(tid >= n)
+                return;
+            auto const x = in[tid];
+            auto* o = out + tid * functions;
+            o[0] = math::sqrt(acc, x + 2.0);
+            o[1] = math::rsqrt(acc, x + 2.0);
+            o[2] = math::sin(acc, x);
+            o[3] = math::cos(acc, x);
+            o[4] = math::exp(acc, x * 0.1);
+            o[5] = math::log(acc, x + 2.0);
+            o[6] = math::abs(acc, -x);
+            o[7] = math::floor(acc, x * 1.7);
+            o[8] = math::ceil(acc, x * 1.7);
+            o[9] = math::pow(acc, x * x + 1.5, 2.5);
+            o[10] = math::atan2(acc, x, 1.0 + x * x);
+            o[11] = math::fma(acc, x, 3.0, 1.0);
+            o[12] = math::min(acc, x, 0.5);
+            o[13] = math::max(acc, math::erf(acc, x), math::tan(acc, x * 0.1));
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    auto runMath(std::vector<double> const& inputs) -> std::vector<double>
+    {
+        auto const n = inputs.size();
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+        auto devIn = mem::buf::alloc<double, Size>(devAcc, n);
+        auto devOut = mem::buf::alloc<double, Size>(devAcc, n * MathKernel::functions);
+        auto hostIn = mem::buf::alloc<double, Size>(devHost, n);
+        std::copy(inputs.begin(), inputs.end(), hostIn.data());
+        mem::view::copy(stream, devIn, hostIn, Vec<Dim1, Size>(n));
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{8}, Size{1});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(wd, MathKernel{}, static_cast<double const*>(devIn.data()), devOut.data(), n));
+        auto hostOut = mem::buf::alloc<double, Size>(devHost, n * MathKernel::functions);
+        mem::view::copy(stream, hostOut, devOut, Vec<Dim1, Size>(n * MathKernel::functions));
+        wait::wait(stream);
+        return {hostOut.data(), hostOut.data() + n * MathKernel::functions};
+    }
+
+    auto testInputs() -> std::vector<double>
+    {
+        // Keep every argument inside the domain of all functions under
+        // test: x > -2 so that sqrt/log(x + 2) are defined.
+        std::vector<double> v;
+        for(int i = -5; i < 11; ++i)
+            v.push_back(static_cast<double>(i) * 0.37 + 0.01);
+        return v;
+    }
+} // namespace
+
+TEST(Math, MatchesLibmOnSerial)
+{
+    auto const inputs = testInputs();
+    auto const out = runMath<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>(inputs);
+    for(Size i = 0; i < inputs.size(); ++i)
+    {
+        auto const x = inputs[i];
+        auto const* o = out.data() + i * MathKernel::functions;
+        EXPECT_DOUBLE_EQ(o[0], std::sqrt(x + 2.0));
+        EXPECT_DOUBLE_EQ(o[1], 1.0 / std::sqrt(x + 2.0));
+        EXPECT_DOUBLE_EQ(o[2], std::sin(x));
+        EXPECT_DOUBLE_EQ(o[3], std::cos(x));
+        EXPECT_DOUBLE_EQ(o[4], std::exp(x * 0.1));
+        EXPECT_DOUBLE_EQ(o[5], std::log(x + 2.0));
+        EXPECT_DOUBLE_EQ(o[6], std::abs(-x));
+        EXPECT_DOUBLE_EQ(o[7], std::floor(x * 1.7));
+        EXPECT_DOUBLE_EQ(o[8], std::ceil(x * 1.7));
+        EXPECT_DOUBLE_EQ(o[9], std::pow(x * x + 1.5, 2.5));
+        EXPECT_DOUBLE_EQ(o[10], std::atan2(x, 1.0 + x * x));
+        EXPECT_DOUBLE_EQ(o[11], std::fma(x, 3.0, 1.0));
+        EXPECT_DOUBLE_EQ(o[12], std::min(x, 0.5));
+        EXPECT_DOUBLE_EQ(o[13], std::max(std::erf(x), std::tan(x * 0.1)));
+    }
+}
+
+TEST(Math, BitIdenticalAcrossBackends)
+{
+    auto const inputs = testInputs();
+    auto const reference = runMath<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>(inputs);
+    EXPECT_EQ((runMath<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>(inputs)), reference);
+    EXPECT_EQ((runMath<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>(inputs)), reference);
+    EXPECT_EQ((runMath<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuSync>(inputs)), reference);
+    EXPECT_EQ((runMath<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>(inputs)), reference);
+    EXPECT_EQ((runMath<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>(inputs)), reference);
+}

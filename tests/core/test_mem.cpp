@@ -1,0 +1,285 @@
+/// \file Tests of buffers, views and deep copies (paper Listing 4),
+/// including the copy round-trip property over random extents
+/// (DESIGN.md invariant 6).
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+
+    template<typename TBuf>
+    void fillSequential(TBuf& buf)
+    {
+        auto const& e = buf.extent();
+        auto const ld = buf.rowPitchBytes() / sizeof(typename TBuf::Elem);
+        if constexpr(TBuf::Dim::value == 1)
+        {
+            for(Size i = 0; i < e[0]; ++i)
+                buf.data()[i] = static_cast<typename TBuf::Elem>(i);
+        }
+        else
+        {
+            for(Size r = 0; r < e[0]; ++r)
+                for(Size c = 0; c < e[1]; ++c)
+                    buf.data()[r * ld + c] = static_cast<typename TBuf::Elem>(r * 1000 + c);
+        }
+    }
+} // namespace
+
+TEST(BufCpu, AllocatesRequestedExtent)
+{
+    auto buf = mem::buf::alloc<double, Size>(host, Size{100});
+    EXPECT_NE(buf.data(), nullptr);
+    EXPECT_EQ(buf.extent()[0], 100u);
+    EXPECT_EQ(buf.rowPitchBytes(), 100 * sizeof(double));
+}
+
+TEST(BufCpu, TwoDimensionalRowsAreCacheAligned)
+{
+    Vec<Dim2, Size> const extent(10, 13);
+    auto buf = mem::buf::alloc<double, Size>(host, extent);
+    EXPECT_EQ(buf.rowPitchBytes() % 64, 0u);
+    EXPECT_GE(buf.rowPitchBytes(), 13 * sizeof(double));
+    // Pointer itself aligned.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+}
+
+TEST(BufCpu, SharedOwnershipKeepsStorageAlive)
+{
+    double* raw = nullptr;
+    mem::buf::BufCpu<double, Dim1, Size> copy = [&]
+    {
+        auto buf = mem::buf::alloc<double, Size>(host, Size{10});
+        raw = buf.data();
+        raw[5] = 3.5;
+        return buf; // original handle dies here
+    }();
+    EXPECT_EQ(copy.data(), raw);
+    EXPECT_EQ(copy.data()[5], 3.5);
+}
+
+TEST(BufCpu, ZeroExtentRejected)
+{
+    EXPECT_THROW((mem::buf::alloc<double, Size>(host, Size{0})), UsageError);
+}
+
+TEST(BufCudaSim, AllocatesInDeviceMemoryWithPitch)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    Vec<Dim2, Size> const extent(4, 10);
+    auto const before = dev.simDevice().memory().stats().liveBytes;
+    {
+        auto buf = mem::buf::alloc<float, Size>(dev, extent);
+        EXPECT_EQ(buf.rowPitchBytes() % 256, 0u); // cudaMallocPitch-like
+        EXPECT_TRUE(dev.simDevice().memory().owns(buf.data(), 1));
+        EXPECT_GT(dev.simDevice().memory().stats().liveBytes, before);
+    }
+    // Buffer destruction returns the memory.
+    EXPECT_EQ(dev.simDevice().memory().stats().liveBytes, before);
+}
+
+TEST(Copy, HostToHost1d)
+{
+    auto src = mem::buf::alloc<int, Size>(host, Size{50});
+    auto dst = mem::buf::alloc<int, Size>(host, Size{50});
+    fillSequential(src);
+    stream::StreamCpuSync stream(host);
+    mem::view::copy(stream, dst, src, Vec<Dim1, Size>(Size{50}));
+    for(Size i = 0; i < 50; ++i)
+        EXPECT_EQ(dst.data()[i], static_cast<int>(i));
+}
+
+TEST(Copy, RoundTripThroughDeviceIsLossless2d)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync stream(dev);
+    Vec<Dim2, Size> const extent(7, 13); // deliberately pitch-unfriendly
+    auto hostSrc = mem::buf::alloc<double, Size>(host, extent);
+    auto hostDst = mem::buf::alloc<double, Size>(host, extent);
+    auto devBuf = mem::buf::alloc<double, Size>(dev, extent);
+    fillSequential(hostSrc);
+
+    mem::view::copy(stream, devBuf, hostSrc, extent);
+    mem::view::copy(stream, hostDst, devBuf, extent);
+    wait::wait(stream);
+
+    auto const ldSrc = hostSrc.rowPitchBytes() / sizeof(double);
+    auto const ldDst = hostDst.rowPitchBytes() / sizeof(double);
+    for(Size r = 0; r < extent[0]; ++r)
+        for(Size c = 0; c < extent[1]; ++c)
+            ASSERT_EQ(hostDst.data()[r * ldDst + c], hostSrc.data()[r * ldSrc + c]) << r << "," << c;
+}
+
+TEST(Copy, PartialExtentLeavesRestUntouched)
+{
+    Vec<Dim2, Size> const bufExtent(6, 8);
+    Vec<Dim2, Size> const copyExtent(3, 4);
+    auto src = mem::buf::alloc<int, Size>(host, bufExtent);
+    auto dst = mem::buf::alloc<int, Size>(host, bufExtent);
+    fillSequential(src);
+    auto const ld = dst.rowPitchBytes() / sizeof(int);
+    for(Size r = 0; r < bufExtent[0]; ++r)
+        for(Size c = 0; c < bufExtent[1]; ++c)
+            dst.data()[r * ld + c] = -1;
+
+    stream::StreamCpuSync stream(host);
+    mem::view::copy(stream, dst, src, copyExtent);
+
+    auto const ldSrc = src.rowPitchBytes() / sizeof(int);
+    for(Size r = 0; r < bufExtent[0]; ++r)
+        for(Size c = 0; c < bufExtent[1]; ++c)
+        {
+            if(r < copyExtent[0] && c < copyExtent[1])
+                EXPECT_EQ(dst.data()[r * ld + c], src.data()[r * ldSrc + c]);
+            else
+                EXPECT_EQ(dst.data()[r * ld + c], -1);
+        }
+}
+
+TEST(Copy, ExtentLargerThanViewRejected)
+{
+    auto small = mem::buf::alloc<int, Size>(host, Size{10});
+    auto big = mem::buf::alloc<int, Size>(host, Size{20});
+    stream::StreamCpuSync stream(host);
+    EXPECT_THROW(mem::view::copy(stream, small, big, Vec<Dim1, Size>(Size{20})), UsageError);
+}
+
+TEST(Copy, DeviceToDeviceSameDevice)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(dev);
+    Size const n = 64;
+    auto hostBuf = mem::buf::alloc<int, Size>(host, n);
+    auto devA = mem::buf::alloc<int, Size>(dev, n);
+    auto devB = mem::buf::alloc<int, Size>(dev, n);
+    fillSequential(hostBuf);
+    Vec<Dim1, Size> const extent(n);
+    mem::view::copy(stream, devA, hostBuf, extent);
+    mem::view::copy(stream, devB, devA, extent);
+    auto hostOut = mem::buf::alloc<int, Size>(host, n);
+    mem::view::copy(stream, hostOut, devB, extent);
+    wait::wait(stream);
+    for(Size i = 0; i < n; ++i)
+        EXPECT_EQ(hostOut.data()[i], static_cast<int>(i));
+}
+
+TEST(Copy, PeerCopyBetweenTwoSimDevices)
+{
+    auto const dev0 = dev::PltfCudaSim::getDevByIdx(0);
+    auto const dev1 = dev::PltfCudaSim::getDevByIdx(1);
+    stream::StreamCudaSimSync s0(dev0);
+    Size const n = 32;
+    auto hostBuf = mem::buf::alloc<int, Size>(host, n);
+    fillSequential(hostBuf);
+    auto devA = mem::buf::alloc<int, Size>(dev0, n);
+    auto devB = mem::buf::alloc<int, Size>(dev1, n);
+    Vec<Dim1, Size> const extent(n);
+    mem::view::copy(s0, devA, hostBuf, extent);
+    mem::view::copy(s0, devB, devA, extent); // peer
+    auto hostOut = mem::buf::alloc<int, Size>(host, n);
+    mem::view::copy(s0, hostOut, devB, extent);
+    wait::wait(s0);
+    for(Size i = 0; i < n; ++i)
+        EXPECT_EQ(hostOut.data()[i], static_cast<int>(i));
+}
+
+TEST(Set, FillsBytesRespectingExtent)
+{
+    auto buf = mem::buf::alloc<std::uint8_t, Size>(host, Size{16});
+    stream::StreamCpuSync stream(host);
+    mem::view::set(stream, buf, 0xAB, Vec<Dim1, Size>(Size{8}));
+    for(Size i = 0; i < 8; ++i)
+        EXPECT_EQ(buf.data()[i], 0xAB);
+}
+
+TEST(ViewPlainPtr, WrapsExternalMemory)
+{
+    std::vector<double> storage(30, 1.5);
+    Vec<Dim2, Size> const extent(5, 6);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> view(storage.data(), host, extent);
+    EXPECT_EQ(mem::view::getPtrNative(view), storage.data());
+    EXPECT_EQ(view.rowPitchBytes(), 6 * sizeof(double));
+
+    auto buf = mem::buf::alloc<double, Size>(host, extent);
+    stream::StreamCpuSync stream(host);
+    mem::view::copy(stream, buf, view, extent);
+    auto const ld = buf.rowPitchBytes() / sizeof(double);
+    for(Size r = 0; r < 5; ++r)
+        for(Size c = 0; c < 6; ++c)
+            EXPECT_EQ(buf.data()[r * ld + c], 1.5);
+}
+
+TEST(BufferLifetime, AsyncCopyKeepsDroppedBuffersAlive)
+{
+    // Buffers are shared-ownership; a copy task captures them by value, so
+    // dropping every user handle before the async work ran must be safe.
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync stream(dev);
+    Size const n = 1u << 16;
+    auto hostDst = mem::buf::alloc<int, Size>(host, n);
+    {
+        auto hostSrc = mem::buf::alloc<int, Size>(host, n);
+        auto devBuf = mem::buf::alloc<int, Size>(dev, n);
+        fillSequential(hostSrc);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devBuf, hostSrc, extent);
+        mem::view::copy(stream, hostDst, devBuf, extent);
+        // hostSrc and devBuf handles die here, before the worker ran.
+    }
+    wait::wait(stream);
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(hostDst.data()[i], static_cast<int>(i));
+}
+
+//! Property: host -> device -> host round trips preserve every element for
+//! randomized 2-d extents.
+class CopyRoundTripProperty : public ::testing::TestWithParam<std::tuple<Size, Size>>
+{
+};
+
+TEST_P(CopyRoundTripProperty, Lossless)
+{
+    auto const [rows, cols] = GetParam();
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync stream(dev);
+    Vec<Dim2, Size> const extent(rows, cols);
+
+    auto hostSrc = mem::buf::alloc<float, Size>(host, extent);
+    auto hostDst = mem::buf::alloc<float, Size>(host, extent);
+    auto devBuf = mem::buf::alloc<float, Size>(dev, extent);
+
+    std::mt19937 rng(static_cast<unsigned>(rows * 1000 + cols));
+    auto const ldSrc = hostSrc.rowPitchBytes() / sizeof(float);
+    for(Size r = 0; r < rows; ++r)
+        for(Size c = 0; c < cols; ++c)
+            hostSrc.data()[r * ldSrc + c] = static_cast<float>(rng()) / 1e6f;
+
+    mem::view::copy(stream, devBuf, hostSrc, extent);
+    mem::view::copy(stream, hostDst, devBuf, extent);
+    wait::wait(stream);
+
+    auto const ldDst = hostDst.rowPitchBytes() / sizeof(float);
+    for(Size r = 0; r < rows; ++r)
+        for(Size c = 0; c < cols; ++c)
+            ASSERT_EQ(hostDst.data()[r * ldDst + c], hostSrc.data()[r * ldSrc + c]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomExtents,
+    CopyRoundTripProperty,
+    ::testing::Values(
+        std::make_tuple(1u, 1u),
+        std::make_tuple(1u, 257u),
+        std::make_tuple(17u, 3u),
+        std::make_tuple(33u, 65u),
+        std::make_tuple(64u, 64u),
+        std::make_tuple(5u, 1023u)));

@@ -1,0 +1,187 @@
+/// \file Tests of the future-work back-ends AccCpuTaskBlocks (task pool)
+/// and AccCpuOmp4 (target-offload, host fallback): coverage, correctness,
+/// validation, Table 2 behaviour and parity with the established back-ends.
+#include <alpaka/alpaka.hpp>
+#include <workload/kernels.hpp>
+#include <workload/matrix.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct NoopKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const&) const
+        {
+        }
+    };
+
+    struct CoverageKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* visits, Size n) const
+        {
+            for(auto const i : uniformElements(acc, n))
+                atomic::atomicAdd(acc, &visits[i], std::uint32_t{1});
+        }
+    };
+
+    template<typename TAcc>
+    auto runCoverage(Size n, Size v) -> std::vector<std::uint32_t>
+    {
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        stream::StreamCpuSync stream(devAcc);
+        auto devBuf = mem::buf::alloc<std::uint32_t, Size>(devAcc, n);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::set(stream, devBuf, 0, extent);
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{16}, v);
+        stream::enqueue(stream, exec::create<TAcc>(wd, CoverageKernel{}, devBuf.data(), n));
+        wait::wait(stream);
+        std::vector<std::uint32_t> out(n);
+        std::copy(devBuf.data(), devBuf.data() + n, out.begin());
+        return out;
+    }
+} // namespace
+
+TEST(TaskBlocks, EveryElementVisitedExactlyOnce)
+{
+    for(auto const visit : runCoverage<acc::AccCpuTaskBlocks<Dim1, Size>>(1000, 4))
+        ASSERT_EQ(visit, 1u);
+}
+
+TEST(Omp4, EveryElementVisitedExactlyOnce)
+{
+    for(auto const visit : runCoverage<acc::AccCpuOmp4<Dim1, Size>>(1000, 4))
+        ASSERT_EQ(visit, 1u);
+}
+
+TEST(TaskBlocks, Table2MappingCollapsesThreadLevel)
+{
+    auto const wd = workdiv::table2WorkDiv<acc::AccCpuTaskBlocks<Dim1, Size>>(Size{4096}, Size{16}, Size{4});
+    EXPECT_EQ(wd.gridBlockExtent()[0], 1024u); // N/V
+    EXPECT_EQ(wd.blockThreadExtent()[0], 1u);
+    EXPECT_EQ(wd.threadElemExtent()[0], 4u);
+}
+
+TEST(Omp4, Table2MappingCollapsesThreadLevel)
+{
+    auto const wd = workdiv::table2WorkDiv<acc::AccCpuOmp4<Dim1, Size>>(Size{4096}, Size{16}, Size{4});
+    EXPECT_EQ(wd.gridBlockExtent()[0], 1024u);
+    EXPECT_EQ(wd.blockThreadExtent()[0], 1u);
+}
+
+TEST(TaskBlocks, RejectsMultiThreadBlocks)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(4u, 2u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+TEST(Omp4, RejectsMultiThreadBlocks)
+{
+    using Acc = acc::AccCpuOmp4<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(4u, 2u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, NoopKernel{})), InvalidWorkDivError);
+}
+
+namespace
+{
+    struct ThrowingKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size failAt) const
+        {
+            if(idx::getIdx<Grid, Blocks>(acc)[0] == failAt)
+                throw std::runtime_error("injected failure");
+        }
+    };
+} // namespace
+
+TEST(TaskBlocks, KernelExceptionPropagates)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(32u, 1u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, ThrowingKernel{}, Size{7})), std::runtime_error);
+}
+
+TEST(Omp4, KernelExceptionPropagates)
+{
+    using Acc = acc::AccCpuOmp4<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(32u, 1u, 1u);
+    EXPECT_THROW(stream::enqueue(stream, exec::create<Acc>(wd, ThrowingKernel{}, Size{7})), std::runtime_error);
+}
+
+//! The tiled single-source DGEMM must work unchanged on both new back-ends
+//! (the whole point of adding back-ends behind the abstraction).
+class NewBackendGemm : public ::testing::TestWithParam<Size>
+{
+protected:
+    template<typename TAcc>
+    void expectGemmMatchesRef()
+    {
+        auto const n = GetParam();
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        stream::StreamCpuSync stream(devAcc);
+
+        workload::HostMatrix a(n, 71);
+        workload::HostMatrix b(n, 72);
+        workload::HostMatrix c(n, 73);
+        auto ref = c.values;
+        workload::refGemm(n, 1.0, a.data(), n, b.data(), n, 0.5, ref.data(), n);
+
+        auto const wd = workload::gemmTiledWorkDiv(
+            n,
+            Vec<Dim2, Size>::ones(),
+            Vec<Dim2, Size>(Size{16}, Size{16}));
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                workload::GemmTiledElemKernel{},
+                n,
+                1.0,
+                static_cast<double const*>(a.data()),
+                n,
+                static_cast<double const*>(b.data()),
+                n,
+                0.5,
+                c.data(),
+                n));
+        wait::wait(stream);
+        EXPECT_LT(workload::maxRelDiff(c.values, ref), 1e-10) << acc::getAccName<TAcc>();
+    }
+};
+
+TEST_P(NewBackendGemm, TaskBlocks)
+{
+    expectGemmMatchesRef<acc::AccCpuTaskBlocks<Dim2, Size>>();
+}
+TEST_P(NewBackendGemm, Omp4)
+{
+    expectGemmMatchesRef<acc::AccCpuOmp4<Dim2, Size>>();
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, NewBackendGemm, ::testing::Values(16u, 31u, 48u));
+
+TEST(NewBackends, MatchEstablishedBackendsBitForBit)
+{
+    Size const n = 777;
+    auto const reference = runCoverage<acc::AccCpuSerial<Dim1, Size>>(n, 3);
+    EXPECT_EQ((runCoverage<acc::AccCpuTaskBlocks<Dim1, Size>>(n, 3)), reference);
+    EXPECT_EQ((runCoverage<acc::AccCpuOmp4<Dim1, Size>>(n, 3)), reference);
+}
+
+TEST(NewBackends, NamesRegistered)
+{
+    EXPECT_EQ((acc::getAccName<acc::AccCpuTaskBlocks<Dim1, Size>>()), "AccCpuTaskBlocks<1d>");
+    EXPECT_EQ((acc::getAccName<acc::AccCpuOmp4<Dim2, Size>>()), "AccCpuOmp4<2d>");
+}

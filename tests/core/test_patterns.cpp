@@ -1,0 +1,424 @@
+/// \file Algorithm-pattern tests across back-ends. Each pattern stresses a
+/// distinct combination of services:
+///   * histogram       - global atomics under heavy contention (all 8 accs)
+///   * block scan      - shared memory + repeated barriers (SIMT accs)
+///   * 3-d stencil     - Dim3 work divisions and index math (all accs)
+///   * block reduce +
+///     grid atomic     - two-level reduction (SIMT accs)
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+// ---------------------------------------------------------------------
+// Histogram: every back-end, contended atomics.
+
+namespace
+{
+    struct HistogramKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            std::uint32_t const* data,
+            Size n,
+            std::uint32_t* bins,
+            std::uint32_t binCount) const
+        {
+            for(auto const i : uniformElements(acc, n))
+                atomic::atomicAdd(acc, &bins[data[i] % binCount], std::uint32_t{1});
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    void expectHistogramExact()
+    {
+        Size const n = 20000;
+        std::uint32_t const binCount = 32;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostData = mem::buf::alloc<std::uint32_t, Size>(devHost, n);
+        std::vector<std::uint32_t> expected(binCount, 0);
+        for(Size i = 0; i < n; ++i)
+        {
+            hostData.data()[i] = static_cast<std::uint32_t>((i * 2654435761u) >> 7);
+            expected[hostData.data()[i] % binCount] += 1;
+        }
+
+        auto devData = mem::buf::alloc<std::uint32_t, Size>(devAcc, n);
+        auto devBins = mem::buf::alloc<std::uint32_t, Size>(devAcc, Size{binCount});
+        Vec<Dim1, Size> const extent(n);
+        Vec<Dim1, Size> const binExtent(Size{binCount});
+        mem::view::copy(stream, devData, hostData, extent);
+        mem::view::set(stream, devBins, 0, binExtent);
+
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{32}, Size{8});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                HistogramKernel{},
+                static_cast<std::uint32_t const*>(devData.data()),
+                n,
+                devBins.data(),
+                binCount));
+
+        auto hostBins = mem::buf::alloc<std::uint32_t, Size>(devHost, Size{binCount});
+        mem::view::copy(stream, hostBins, devBins, binExtent);
+        wait::wait(stream);
+
+        for(std::uint32_t b = 0; b < binCount; ++b)
+            ASSERT_EQ(hostBins.data()[b], expected[b]) << acc::getAccName<TAcc>() << " bin " << b;
+    }
+} // namespace
+
+TEST(Histogram, Serial)
+{
+    expectHistogramExact<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, Threads)
+{
+    expectHistogramExact<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, Fibers)
+{
+    expectHistogramExact<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, Omp2Blocks)
+{
+    expectHistogramExact<acc::AccCpuOmp2Blocks<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, Omp2Threads)
+{
+    expectHistogramExact<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, TaskBlocks)
+{
+    expectHistogramExact<acc::AccCpuTaskBlocks<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, Omp4)
+{
+    expectHistogramExact<acc::AccCpuOmp4<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(Histogram, CudaSim)
+{
+    expectHistogramExact<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}
+
+// ---------------------------------------------------------------------
+// Hillis-Steele inclusive scan per block: shared memory + log2(n) barriers.
+
+namespace
+{
+    struct BlockScanKernel
+    {
+        static constexpr Size maxThreads = 64;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint64_t const* in, std::uint64_t* out) const
+        {
+            auto& tileA = block::shared::st::allocVar<std::array<std::uint64_t, maxThreads>>(acc);
+            auto& tileB = block::shared::st::allocVar<std::array<std::uint64_t, maxThreads>>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const b = idx::getIdx<Grid, Blocks>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+
+            auto* src = &tileA;
+            auto* dst = &tileB;
+            (*src)[t] = in[b * bt + t];
+            block::sync::syncBlockThreads(acc);
+
+            for(Size offset = 1; offset < bt; offset *= 2)
+            {
+                (*dst)[t] = t >= offset ? (*src)[t] + (*src)[t - offset] : (*src)[t];
+                block::sync::syncBlockThreads(acc);
+                std::swap(src, dst);
+            }
+            out[b * bt + t] = (*src)[t];
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    void expectScanCorrect()
+    {
+        Size const blocks = 6;
+        Size const threads = 64;
+        Size const n = blocks * threads;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostIn = mem::buf::alloc<std::uint64_t, Size>(devHost, n);
+        for(Size i = 0; i < n; ++i)
+            hostIn.data()[i] = (i * 7919) % 100;
+
+        auto devIn = mem::buf::alloc<std::uint64_t, Size>(devAcc, n);
+        auto devOut = mem::buf::alloc<std::uint64_t, Size>(devAcc, n);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devIn, hostIn, extent);
+
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, threads, Size{1});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                BlockScanKernel{},
+                static_cast<std::uint64_t const*>(devIn.data()),
+                devOut.data()));
+
+        auto hostOut = mem::buf::alloc<std::uint64_t, Size>(devHost, n);
+        mem::view::copy(stream, hostOut, devOut, extent);
+        wait::wait(stream);
+
+        for(Size b = 0; b < blocks; ++b)
+        {
+            std::uint64_t running = 0;
+            for(Size t = 0; t < threads; ++t)
+            {
+                running += hostIn.data()[b * threads + t];
+                ASSERT_EQ(hostOut.data()[b * threads + t], running)
+                    << acc::getAccName<TAcc>() << " block " << b << " slot " << t;
+            }
+        }
+    }
+} // namespace
+
+TEST(BlockScan, Threads)
+{
+    expectScanCorrect<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(BlockScan, Fibers)
+{
+    expectScanCorrect<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(BlockScan, Omp2Threads)
+{
+    expectScanCorrect<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(BlockScan, CudaSim)
+{
+    expectScanCorrect<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}
+
+// ---------------------------------------------------------------------
+// 3-d Jacobi-style stencil: Dim3 work divisions.
+
+namespace
+{
+    struct Stencil3dKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(
+            TAcc const& acc,
+            double const* in,
+            double* out,
+            Size dz,
+            Size dy,
+            Size dx) const
+        {
+            auto const idx3 = idx::getIdx<Grid, Threads>(acc);
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc);
+            for(Size ez = 0; ez < elems[0]; ++ez)
+                for(Size ey = 0; ey < elems[1]; ++ey)
+                    for(Size ex = 0; ex < elems[2]; ++ex)
+                    {
+                        auto const z = idx3[0] * elems[0] + ez;
+                        auto const y = idx3[1] * elems[1] + ey;
+                        auto const x = idx3[2] * elems[2] + ex;
+                        if(z >= dz || y >= dy || x >= dx)
+                            continue;
+                        auto const at = [&](Size zz, Size yy, Size xx) { return in[(zz * dy + yy) * dx + xx]; };
+                        if(z == 0 || y == 0 || x == 0 || z == dz - 1 || y == dy - 1 || x == dx - 1)
+                        {
+                            out[(z * dy + y) * dx + x] = at(z, y, x);
+                            continue;
+                        }
+                        out[(z * dy + y) * dx + x]
+                            = (at(z - 1, y, x) + at(z + 1, y, x) + at(z, y - 1, x) + at(z, y + 1, x)
+                               + at(z, y, x - 1) + at(z, y, x + 1))
+                              / 6.0;
+                    }
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    void expectStencil3dCorrect(Vec<Dim3, Size> const& blockThreads, Vec<Dim3, Size> const& threadElems)
+    {
+        Size const dz = 10;
+        Size const dy = 12;
+        Size const dx = 14;
+        Size const total = dz * dy * dx;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostIn = mem::buf::alloc<double, Size>(devHost, total);
+        for(Size i = 0; i < total; ++i)
+            hostIn.data()[i] = std::sin(static_cast<double>(i) * 0.1);
+
+        auto devIn = mem::buf::alloc<double, Size>(devAcc, total);
+        auto devOut = mem::buf::alloc<double, Size>(devAcc, total);
+        Vec<Dim1, Size> const flat(total);
+        mem::view::copy(stream, devIn, hostIn, flat);
+
+        Vec<Dim3, Size> const domain(dz, dy, dx);
+        auto const gridBlocks = ceilDiv(domain, blockThreads * threadElems);
+        workdiv::WorkDivMembers<Dim3, Size> const wd(gridBlocks, blockThreads, threadElems);
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                Stencil3dKernel{},
+                static_cast<double const*>(devIn.data()),
+                devOut.data(),
+                dz,
+                dy,
+                dx));
+
+        auto hostOut = mem::buf::alloc<double, Size>(devHost, total);
+        mem::view::copy(stream, hostOut, devOut, flat);
+        wait::wait(stream);
+
+        auto const at = [&](Size z, Size y, Size x) { return hostIn.data()[(z * dy + y) * dx + x]; };
+        for(Size z = 0; z < dz; ++z)
+            for(Size y = 0; y < dy; ++y)
+                for(Size x = 0; x < dx; ++x)
+                {
+                    double const expected
+                        = (z == 0 || y == 0 || x == 0 || z == dz - 1 || y == dy - 1 || x == dx - 1)
+                              ? at(z, y, x)
+                              : (at(z - 1, y, x) + at(z + 1, y, x) + at(z, y - 1, x) + at(z, y + 1, x)
+                                 + at(z, y, x - 1) + at(z, y, x + 1))
+                                    / 6.0;
+                    ASSERT_DOUBLE_EQ(hostOut.data()[(z * dy + y) * dx + x], expected)
+                        << acc::getAccName<TAcc>() << " at " << z << ',' << y << ',' << x;
+                }
+    }
+} // namespace
+
+TEST(Stencil3d, Serial)
+{
+    expectStencil3dCorrect<acc::AccCpuSerial<Dim3, Size>, stream::StreamCpuSync>(
+        Vec<Dim3, Size>::ones(),
+        Vec<Dim3, Size>(Size{2}, Size{3}, Size{4}));
+}
+TEST(Stencil3d, Threads)
+{
+    expectStencil3dCorrect<acc::AccCpuThreads<Dim3, Size>, stream::StreamCpuSync>(
+        Vec<Dim3, Size>(Size{2}, Size{2}, Size{2}),
+        Vec<Dim3, Size>(Size{1}, Size{2}, Size{2}));
+}
+TEST(Stencil3d, Omp2Blocks)
+{
+    expectStencil3dCorrect<acc::AccCpuOmp2Blocks<Dim3, Size>, stream::StreamCpuSync>(
+        Vec<Dim3, Size>::ones(),
+        Vec<Dim3, Size>(Size{2}, Size{2}, Size{7}));
+}
+TEST(Stencil3d, TaskBlocks)
+{
+    expectStencil3dCorrect<acc::AccCpuTaskBlocks<Dim3, Size>, stream::StreamCpuSync>(
+        Vec<Dim3, Size>::ones(),
+        Vec<Dim3, Size>(Size{5}, Size{3}, Size{2}));
+}
+TEST(Stencil3d, CudaSim)
+{
+    expectStencil3dCorrect<acc::AccGpuCudaSim<Dim3, Size>, stream::StreamCudaSimAsync>(
+        Vec<Dim3, Size>(Size{2}, Size{2}, Size{4}),
+        Vec<Dim3, Size>(Size{1}, Size{1}, Size{2}));
+}
+
+// ---------------------------------------------------------------------
+// Two-level reduction: block-shared tree + one grid atomic per block.
+
+namespace
+{
+    struct TwoLevelReduceKernel
+    {
+        static constexpr Size maxThreads = 128;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* in, Size n, double* result) const
+        {
+            auto& tile = block::shared::st::allocVar<std::array<double, maxThreads>>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+
+            double local = 0.0;
+            for(auto const i : uniformElements(acc, n))
+                local += in[i];
+            tile[t] = local;
+            block::sync::syncBlockThreads(acc);
+
+            for(Size stride = bt / 2; stride > 0; stride /= 2)
+            {
+                if(t < stride)
+                    tile[t] += tile[t + stride];
+                block::sync::syncBlockThreads(acc);
+            }
+            if(t == 0)
+                atomic::atomicAdd(acc, result, tile[0]);
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    void expectReduceCorrect()
+    {
+        Size const n = 10000;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostIn = mem::buf::alloc<double, Size>(devHost, n);
+        double expected = 0;
+        for(Size i = 0; i < n; ++i)
+        {
+            hostIn.data()[i] = 1.0; // exact in FP regardless of order
+            expected += 1.0;
+        }
+
+        auto devIn = mem::buf::alloc<double, Size>(devAcc, n);
+        auto devResult = mem::buf::alloc<double, Size>(devAcc, Size{1});
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devIn, hostIn, extent);
+        mem::view::set(stream, devResult, 0, Vec<Dim1, Size>(Size{1}));
+
+        workdiv::WorkDivMembers<Dim1, Size> const wd(Size{4}, Size{64}, Size{8});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                TwoLevelReduceKernel{},
+                static_cast<double const*>(devIn.data()),
+                n,
+                devResult.data()));
+
+        auto hostResult = mem::buf::alloc<double, Size>(devHost, Size{1});
+        mem::view::copy(stream, hostResult, devResult, Vec<Dim1, Size>(Size{1}));
+        wait::wait(stream);
+        EXPECT_EQ(hostResult.data()[0], expected) << acc::getAccName<TAcc>();
+    }
+} // namespace
+
+TEST(TwoLevelReduce, Threads)
+{
+    expectReduceCorrect<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(TwoLevelReduce, Fibers)
+{
+    expectReduceCorrect<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(TwoLevelReduce, Omp2Threads)
+{
+    expectReduceCorrect<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(TwoLevelReduce, CudaSim)
+{
+    expectReduceCorrect<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}

@@ -1,0 +1,227 @@
+/// \file RNG tests: Philox known-answer vectors (Random123), stream
+/// independence, distribution sanity, and in-kernel reproducibility.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+TEST(Philox, KnownAnswerZeros)
+{
+    // Random123 kat_vectors: philox4x32-10, ctr = 0, key = 0.
+    auto const out = rand::Philox4x32x10::bijection({0, 0, 0, 0}, {0, 0});
+    EXPECT_EQ(out[0], 0x6627e8d5u);
+    EXPECT_EQ(out[1], 0xe169c58du);
+    EXPECT_EQ(out[2], 0xbc57ac4cu);
+    EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerOnes)
+{
+    // Random123 kat_vectors: philox4x32-10, ctr = key = all ff.
+    auto const out = rand::Philox4x32x10::bijection(
+        {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+        {0xffffffffu, 0xffffffffu});
+    EXPECT_EQ(out[0], 0x408f276du);
+    EXPECT_EQ(out[1], 0x41c83b0eu);
+    EXPECT_EQ(out[2], 0xa20bc7c6u);
+    EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, KnownAnswerPiDigits)
+{
+    // Random123 kat_vectors: philox4x32-10 with pi-digit counter/key.
+    auto const out = rand::Philox4x32x10::bijection(
+        {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+        {0xa4093822u, 0x299f31d0u});
+    EXPECT_EQ(out[0], 0xd16cfe09u);
+    EXPECT_EQ(out[1], 0x94fdccebu);
+    EXPECT_EQ(out[2], 0x5001e420u);
+    EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(Philox, SameSeedSameSequence)
+{
+    rand::Philox4x32x10 a(123, 7);
+    rand::Philox4x32x10 b(123, 7);
+    for(int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Philox, DifferentSubsequencesDiffer)
+{
+    rand::Philox4x32x10 a(123, 0);
+    rand::Philox4x32x10 b(123, 1);
+    int equal = 0;
+    for(int i = 0; i < 1000; ++i)
+        if(a() == b())
+            ++equal;
+    EXPECT_LT(equal, 5) << "streams with different subsequences look correlated";
+}
+
+TEST(Philox, DifferentSeedsDiffer)
+{
+    rand::Philox4x32x10 a(1, 0);
+    rand::Philox4x32x10 b(2, 0);
+    int equal = 0;
+    for(int i = 0; i < 1000; ++i)
+        if(a() == b())
+            ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Philox, OffsetSkipsAhead)
+{
+    // Offset k starts at counter block k: drawing 4 values from offset 0
+    // then the next 4 must equal the first 4 of offset 1.
+    rand::Philox4x32x10 a(99, 5, 0);
+    rand::Philox4x32x10 b(99, 5, 1);
+    for(int i = 0; i < 4; ++i)
+        (void) a();
+    for(int i = 0; i < 4; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(UniformReal, RangeAndMoments)
+{
+    rand::Philox4x32x10 engine(2016, 0);
+    rand::distribution::UniformReal<double> uniform;
+    Size const n = 100000;
+    double sum = 0;
+    double sumSq = 0;
+    for(Size i = 0; i < n; ++i)
+    {
+        auto const u = uniform(engine);
+        ASSERT_GT(u, 0.0);
+        ASSERT_LE(u, 1.0);
+        sum += u;
+        sumSq += u * u;
+    }
+    auto const mean = sum / n;
+    auto const var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005); // ~5 sigma of 1/sqrt(12n)
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(UniformReal, FloatVariantInRange)
+{
+    rand::Philox4x32x10 engine(7, 3);
+    rand::distribution::UniformReal<float> uniform;
+    for(int i = 0; i < 10000; ++i)
+    {
+        auto const u = uniform(engine);
+        ASSERT_GT(u, 0.0f);
+        ASSERT_LE(u, 1.0f);
+    }
+}
+
+TEST(NormalReal, Moments)
+{
+    rand::Philox4x32x10 engine(77, 0);
+    rand::distribution::NormalReal<double> normal;
+    Size const n = 100000;
+    double sum = 0;
+    double sumSq = 0;
+    for(Size i = 0; i < n; ++i)
+    {
+        auto const z = normal(engine);
+        sum += z;
+        sumSq += z * z;
+    }
+    auto const mean = sum / n;
+    auto const var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(UniformUint, CoversHighAndLowBits)
+{
+    rand::Philox4x32x10 engine(5, 0);
+    rand::distribution::UniformUint<std::uint64_t> uniform;
+    std::uint64_t orAll = 0;
+    std::uint64_t andAll = ~0ull;
+    for(int i = 0; i < 1000; ++i)
+    {
+        auto const v = uniform(engine);
+        orAll |= v;
+        andAll &= v;
+    }
+    EXPECT_EQ(orAll, ~0ull) << "some bit never set";
+    EXPECT_EQ(andAll, 0ull) << "some bit always set";
+}
+
+TEST(UniformReal, Chi2UniformityAcross16Bins)
+{
+    rand::Philox4x32x10 engine(31337, 0);
+    rand::distribution::UniformReal<double> uniform;
+    constexpr int bins = 16;
+    constexpr int n = 160000;
+    std::array<int, bins> histogram{};
+    for(int i = 0; i < n; ++i)
+        histogram[std::min(bins - 1, static_cast<int>(uniform(engine) * bins))] += 1;
+    double chi2 = 0;
+    double const expected = static_cast<double>(n) / bins;
+    for(auto const h : histogram)
+        chi2 += (h - expected) * (h - expected) / expected;
+    // 15 dof: 99.9th percentile ~ 37.7.
+    EXPECT_LT(chi2, 37.7);
+}
+
+// ---------------------------------------------------------------------
+// In-kernel use across back-ends.
+
+namespace
+{
+    struct RandKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out, Size n, std::uint64_t seed) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            if(tid >= n)
+                return;
+            auto engine = rand::generator::createDefault(acc, seed, tid);
+            rand::distribution::UniformReal<double> uniform;
+            double sum = 0;
+            for(int i = 0; i < 16; ++i)
+                sum += uniform(engine);
+            out[tid] = sum;
+        }
+    };
+
+    template<typename TAcc, typename TStream>
+    auto runRandKernel(Size n, std::uint64_t seed) -> std::vector<double>
+    {
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+        auto devOut = mem::buf::alloc<double, Size>(devAcc, n);
+        auto const wd = workdiv::table2WorkDiv<TAcc>(n, Size{16}, Size{1});
+        stream::enqueue(stream, exec::create<TAcc>(wd, RandKernel{}, devOut.data(), n, seed));
+        auto hostOut = mem::buf::alloc<double, Size>(devHost, n);
+        mem::view::copy(stream, hostOut, devOut, Vec<Dim1, Size>(n));
+        wait::wait(stream);
+        return {hostOut.data(), hostOut.data() + n};
+    }
+} // namespace
+
+TEST(RandInKernel, PerThreadStreamsAreReproducibleAndBackendInvariant)
+{
+    Size const n = 128;
+    auto const serial = runRandKernel<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>(n, 42);
+    auto const threads = runRandKernel<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>(n, 42);
+    auto const cudasim = runRandKernel<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>(n, 42);
+    EXPECT_EQ(serial, threads);
+    EXPECT_EQ(serial, cudasim);
+    // Different seed -> different field.
+    auto const other = runRandKernel<acc::AccCpuSerial<Dim1, Size>, stream::StreamCpuSync>(n, 43);
+    EXPECT_NE(serial, other);
+    // Thread streams must differ from one another.
+    std::set<double> unique(serial.begin(), serial.end());
+    EXPECT_GT(unique.size(), n - 3);
+}

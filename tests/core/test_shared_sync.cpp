@@ -1,0 +1,350 @@
+/// \file Block shared memory and block synchronization across all
+/// back-ends that support multi-thread blocks (paper Sec. 3.2.2/3.2.3).
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    //! Block-wide reduction through statically allocated shared memory:
+    //! out[block] = sum of (block*T .. block*T+T-1).
+    struct SharedReduceKernel
+    {
+        static constexpr Size maxThreads = 64;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out) const
+        {
+            auto& tile = block::shared::st::allocVar<std::array<double, maxThreads>>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const b = idx::getIdx<Grid, Blocks>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+
+            tile[t] = static_cast<double>(b * bt + t);
+            block::sync::syncBlockThreads(acc);
+
+            if(t == 0)
+            {
+                double sum = 0;
+                for(Size k = 0; k < bt; ++k)
+                    sum += tile[k];
+                out[b] = sum;
+            }
+        }
+    };
+
+    //! Every thread allocates the same sequence of shared variables; all
+    //! threads of a block must observe identical addresses (CUDA __shared__
+    //! semantics).
+    struct SharedAddressKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uintptr_t* firstAddr, std::uintptr_t* secondAddr) const
+        {
+            auto& a = block::shared::st::allocVar<double>(acc);
+            auto& b = block::shared::st::allocVar<std::array<int, 7>>(acc);
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            firstAddr[tid] = reinterpret_cast<std::uintptr_t>(&a);
+            secondAddr[tid] = reinterpret_cast<std::uintptr_t>(&b);
+        }
+    };
+
+    //! Odd-even transposition sort of one block's shared tile: heavy
+    //! barrier usage, each phase depends on the previous one completing.
+    struct OddEvenSortKernel
+    {
+        static constexpr Size maxThreads = 32;
+
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t const* in, std::uint32_t* out) const
+        {
+            auto& tile = block::shared::st::allocVar<std::array<std::uint32_t, maxThreads>>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const b = idx::getIdx<Grid, Blocks>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+            auto const base = b * bt;
+
+            tile[t] = in[base + t];
+            block::sync::syncBlockThreads(acc);
+
+            for(Size phase = 0; phase < bt; ++phase)
+            {
+                auto const even = (phase % 2 == 0);
+                auto const partner = even ? (t % 2 == 0 ? t + 1 : t - 1) : (t % 2 == 0 ? t - 1 : t + 1);
+                std::uint32_t mine = tile[t];
+                if(partner < bt)
+                {
+                    auto const theirs = tile[partner];
+                    bool const iAmLow = t < partner;
+                    mine = iAmLow ? std::min(mine, theirs) : std::max(mine, theirs);
+                }
+                block::sync::syncBlockThreads(acc);
+                tile[t] = mine;
+                block::sync::syncBlockThreads(acc);
+            }
+            out[base + t] = tile[t];
+        }
+    };
+
+    //! Uses the dynamic shared memory region sized by the kernel trait.
+    struct DynSharedKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size words, double* out) const
+        {
+            auto* mem = block::shared::dyn::getMem<double>(acc);
+            auto const t = idx::getIdx<Block, Threads>(acc)[0];
+            auto const bt = workdiv::getWorkDiv<Block, Threads>(acc)[0];
+            for(Size i = t; i < words; i += bt)
+                mem[i] = static_cast<double>(i);
+            block::sync::syncBlockThreads(acc);
+            if(t == 0)
+            {
+                double sum = 0;
+                for(Size i = 0; i < words; ++i)
+                    sum += mem[i];
+                out[idx::getIdx<Grid, Blocks>(acc)[0]] = sum;
+            }
+        }
+
+        template<typename TDim, typename TSize, typename... TArgs>
+        [[nodiscard]] auto getBlockSharedMemDynSizeBytes(
+            Vec<TDim, TSize> const& /*blockThreadExtent*/,
+            Vec<TDim, TSize> const& /*threadElemExtent*/,
+            Size words,
+            TArgs const&...) const -> std::size_t
+        {
+            return words * sizeof(double);
+        }
+    };
+
+    //! Exhausts the static shared memory region: must throw.
+    struct SharedOverflowKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, Size chunks) const
+        {
+            for(Size i = 0; i < chunks; ++i)
+                (void) block::shared::st::allocVar<std::array<std::byte, 1024 * 1024>>(acc);
+        }
+    };
+
+    template<typename TAcc, typename TStream, typename TKernel, typename... TArgs>
+    auto runAndFetch(Size outCount, workdiv::WorkDivMembers<Dim1, Size> const& wd, TKernel kernel, TArgs... args)
+        -> std::vector<double>
+    {
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+        auto devOut = mem::buf::alloc<double, Size>(devAcc, outCount);
+        stream::enqueue(stream, exec::create<TAcc>(wd, kernel, args..., devOut.data()));
+        auto hostOut = mem::buf::alloc<double, Size>(devHost, outCount);
+        mem::view::copy(stream, hostOut, devOut, Vec<Dim1, Size>(outCount));
+        wait::wait(stream);
+        return {hostOut.data(), hostOut.data() + outCount};
+    }
+
+    template<typename TAcc, typename TStream>
+    void expectSharedReduceWorks()
+    {
+        Size const blocks = 8;
+        Size const threads = 32;
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, threads, Size{1});
+        auto const sums = runAndFetch<TAcc, TStream>(blocks, wd, SharedReduceKernel{});
+        for(Size b = 0; b < blocks; ++b)
+        {
+            double expected = 0;
+            for(Size t = 0; t < threads; ++t)
+                expected += static_cast<double>(b * threads + t);
+            ASSERT_EQ(sums[b], expected) << acc::getAccName<TAcc>() << " block " << b;
+        }
+    }
+} // namespace
+
+TEST(SharedReduce, Threads)
+{
+    expectSharedReduceWorks<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedReduce, Fibers)
+{
+    expectSharedReduceWorks<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedReduce, Omp2Threads)
+{
+    expectSharedReduceWorks<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedReduce, CudaSim)
+{
+    expectSharedReduceWorks<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}
+
+namespace
+{
+    template<typename TAcc, typename TStream>
+    void expectSharedAddressesAgree()
+    {
+        Size const blocks = 4;
+        Size const threads = 16;
+        Size const n = blocks * threads;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+        auto devFirst = mem::buf::alloc<std::uintptr_t, Size>(devAcc, n);
+        auto devSecond = mem::buf::alloc<std::uintptr_t, Size>(devAcc, n);
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, threads, Size{1});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(wd, SharedAddressKernel{}, devFirst.data(), devSecond.data()));
+        auto hostFirst = mem::buf::alloc<std::uintptr_t, Size>(devHost, n);
+        auto hostSecond = mem::buf::alloc<std::uintptr_t, Size>(devHost, n);
+        mem::view::copy(stream, hostFirst, devFirst, Vec<Dim1, Size>(n));
+        mem::view::copy(stream, hostSecond, devSecond, Vec<Dim1, Size>(n));
+        wait::wait(stream);
+
+        for(Size b = 0; b < blocks; ++b)
+        {
+            auto const ref1 = hostFirst.data()[b * threads];
+            auto const ref2 = hostSecond.data()[b * threads];
+            EXPECT_NE(ref1, ref2);
+            for(Size t = 1; t < threads; ++t)
+            {
+                ASSERT_EQ(hostFirst.data()[b * threads + t], ref1)
+                    << acc::getAccName<TAcc>() << ": thread " << t << " of block " << b
+                    << " got a different address for shared var 1";
+                ASSERT_EQ(hostSecond.data()[b * threads + t], ref2);
+            }
+        }
+    }
+} // namespace
+
+TEST(SharedAddresses, Threads)
+{
+    expectSharedAddressesAgree<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedAddresses, Fibers)
+{
+    expectSharedAddressesAgree<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedAddresses, Omp2Threads)
+{
+    expectSharedAddressesAgree<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(SharedAddresses, CudaSim)
+{
+    expectSharedAddressesAgree<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimSync>();
+}
+
+namespace
+{
+    template<typename TAcc, typename TStream>
+    void expectOddEvenSortWorks()
+    {
+        Size const blocks = 4;
+        Size const threads = 32;
+        Size const n = blocks * threads;
+        auto const devAcc = dev::DevMan<TAcc>::getDevByIdx(0);
+        auto const devHost = dev::PltfCpu::getDevByIdx(0);
+        TStream stream(devAcc);
+
+        auto hostIn = mem::buf::alloc<std::uint32_t, Size>(devHost, n);
+        for(Size i = 0; i < n; ++i)
+            hostIn.data()[i] = static_cast<std::uint32_t>((i * 2654435761u) % 1000);
+        auto devIn = mem::buf::alloc<std::uint32_t, Size>(devAcc, n);
+        auto devOut = mem::buf::alloc<std::uint32_t, Size>(devAcc, n);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devIn, hostIn, extent);
+
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, threads, Size{1});
+        stream::enqueue(
+            stream,
+            exec::create<TAcc>(
+                wd,
+                OddEvenSortKernel{},
+                static_cast<std::uint32_t const*>(devIn.data()),
+                devOut.data()));
+        auto hostOut = mem::buf::alloc<std::uint32_t, Size>(devHost, n);
+        mem::view::copy(stream, hostOut, devOut, extent);
+        wait::wait(stream);
+
+        for(Size b = 0; b < blocks; ++b)
+        {
+            // Each block's slice must be sorted and a permutation of input.
+            std::vector<std::uint32_t> in(hostIn.data() + b * threads, hostIn.data() + (b + 1) * threads);
+            std::vector<std::uint32_t> out(hostOut.data() + b * threads, hostOut.data() + (b + 1) * threads);
+            EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << acc::getAccName<TAcc>() << " block " << b;
+            std::sort(in.begin(), in.end());
+            EXPECT_EQ(in, out) << acc::getAccName<TAcc>() << " block " << b;
+        }
+    }
+} // namespace
+
+TEST(OddEvenSort, Threads)
+{
+    expectOddEvenSortWorks<acc::AccCpuThreads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(OddEvenSort, Fibers)
+{
+    expectOddEvenSortWorks<acc::AccCpuFibers<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(OddEvenSort, Omp2Threads)
+{
+    expectOddEvenSortWorks<acc::AccCpuOmp2Threads<Dim1, Size>, stream::StreamCpuSync>();
+}
+TEST(OddEvenSort, CudaSim)
+{
+    expectOddEvenSortWorks<acc::AccGpuCudaSim<Dim1, Size>, stream::StreamCudaSimAsync>();
+}
+
+TEST(DynShared, SizedByKernelTrait)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    Size const words = 512;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(Size{4}, Size{16}, Size{1});
+    auto const sums
+        = runAndFetch<Acc, stream::StreamCudaSimAsync>(Size{4}, wd, DynSharedKernel{}, words);
+    double expected = 0;
+    for(Size i = 0; i < words; ++i)
+        expected += static_cast<double>(i);
+    for(auto const s : sums)
+        EXPECT_EQ(s, expected);
+}
+
+TEST(DynShared, WorksOnCpuBackends)
+{
+    using Acc = acc::AccCpuFibers<Dim1, Size>;
+    Size const words = 256;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(Size{2}, Size{8}, Size{1});
+    auto const sums = runAndFetch<Acc, stream::StreamCpuSync>(Size{2}, wd, DynSharedKernel{}, words);
+    double expected = 0;
+    for(Size i = 0; i < words; ++i)
+        expected += static_cast<double>(i);
+    for(auto const s : sums)
+        EXPECT_EQ(s, expected);
+}
+
+TEST(SharedOverflow, StaticAllocationBeyondCapacityThrows)
+{
+    // CudaSim has 48 KiB blocks: allocating MiB chunks must overflow.
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const devAcc = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(devAcc);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(Size{1}, Size{1}, Size{1});
+    stream::enqueue(stream, exec::create<Acc>(wd, SharedOverflowKernel{}, Size{4}));
+    EXPECT_THROW(wait::wait(stream), SharedMemOverflowError);
+}
+
+TEST(SharedOverflow, DynamicRequestBeyondDeviceLimitThrows)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const devAcc = dev::DevMan<Acc>::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(devAcc);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(Size{1}, Size{4}, Size{1});
+    // 1M doubles of dynamic shared memory >> 48 KiB.
+    auto const exec = exec::create<Acc>(wd, DynSharedKernel{}, Size{1024 * 1024}, static_cast<double*>(nullptr));
+    EXPECT_THROW(stream::enqueue(stream, exec), SharedMemOverflowError);
+}

@@ -1,0 +1,125 @@
+/// \file Unit tests of alpaka::Vec.
+#include <alpaka/vec.hpp>
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using alpaka::Vec;
+using alpaka::dim::DimInt;
+
+TEST(Vec, ComponentConstructionAndAccess)
+{
+    Vec<DimInt<3>, std::size_t> const v(2, 3, 4);
+    EXPECT_EQ(v[0], 2u);
+    EXPECT_EQ(v[1], 3u);
+    EXPECT_EQ(v[2], 4u);
+    EXPECT_EQ(v.back(), 4u);
+}
+
+TEST(Vec, DefaultIsZero)
+{
+    Vec<DimInt<2>, int> const v;
+    EXPECT_EQ(v, (Vec<DimInt<2>, int>(0, 0)));
+}
+
+TEST(Vec, Factories)
+{
+    EXPECT_EQ((Vec<DimInt<2>, int>::all(7)), (Vec<DimInt<2>, int>(7, 7)));
+    EXPECT_EQ((Vec<DimInt<3>, int>::zeros().prod()), 0);
+    EXPECT_EQ((Vec<DimInt<3>, int>::ones().prod()), 1);
+}
+
+TEST(Vec, ProdSumMinMax)
+{
+    Vec<DimInt<3>, int> const v(2, 5, 3);
+    EXPECT_EQ(v.prod(), 30);
+    EXPECT_EQ(v.sum(), 10);
+    EXPECT_EQ(v.min(), 2);
+    EXPECT_EQ(v.max(), 5);
+}
+
+TEST(Vec, ElementwiseArithmetic)
+{
+    Vec<DimInt<2>, int> const a(8, 6);
+    Vec<DimInt<2>, int> const b(2, 3);
+    EXPECT_EQ(a + b, (Vec<DimInt<2>, int>(10, 9)));
+    EXPECT_EQ(a - b, (Vec<DimInt<2>, int>(6, 3)));
+    EXPECT_EQ(a * b, (Vec<DimInt<2>, int>(16, 18)));
+    EXPECT_EQ(a / b, (Vec<DimInt<2>, int>(4, 2)));
+    EXPECT_EQ(a % b, (Vec<DimInt<2>, int>(0, 0)));
+}
+
+TEST(Vec, ElementwiseMinMax)
+{
+    Vec<DimInt<2>, int> const a(8, 2);
+    Vec<DimInt<2>, int> const b(3, 5);
+    EXPECT_EQ(elementwiseMin(a, b), (Vec<DimInt<2>, int>(3, 2)));
+    EXPECT_EQ(elementwiseMax(a, b), (Vec<DimInt<2>, int>(8, 5)));
+}
+
+TEST(Vec, CeilDiv)
+{
+    Vec<DimInt<2>, int> const a(10, 9);
+    Vec<DimInt<2>, int> const b(4, 3);
+    EXPECT_EQ(ceilDiv(a, b), (Vec<DimInt<2>, int>(3, 3)));
+    // Exact division has no rounding.
+    EXPECT_EQ(ceilDiv((Vec<DimInt<2>, int>(8, 9)), b), (Vec<DimInt<2>, int>(2, 3)));
+}
+
+TEST(Vec, Cast)
+{
+    Vec<DimInt<2>, std::size_t> const v(300, 2);
+    auto const asInt = v.cast<int>();
+    EXPECT_EQ(asInt, (Vec<DimInt<2>, int>(300, 2)));
+}
+
+TEST(Vec, AllOfPredicate)
+{
+    Vec<DimInt<3>, int> const v(1, 2, 3);
+    EXPECT_TRUE(v.allOf([](int x) { return x > 0; }));
+    EXPECT_FALSE(v.allOf([](int x) { return x > 1; }));
+}
+
+TEST(Vec, StreamOutput)
+{
+    std::ostringstream os;
+    os << Vec<DimInt<3>, int>(1, 2, 3);
+    EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Vec, ScalarOneDim)
+{
+    Vec<DimInt<1>, std::size_t> const v(42);
+    EXPECT_EQ(v[0], 42u);
+    EXPECT_EQ(v.prod(), 42u);
+    EXPECT_EQ(v.back(), 42u);
+}
+
+TEST(Vec, ConstexprUsable)
+{
+    constexpr Vec<DimInt<2>, int> v(3, 4);
+    static_assert(v.prod() == 12);
+    static_assert(v[0] == 3);
+    SUCCEED();
+}
+
+//! Property sweep: ceilDiv(a, b) * b >= a and (ceilDiv(a, b) - 1) * b < a.
+class VecCeilDivProperty : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(VecCeilDivProperty, CoversWithoutExcess)
+{
+    auto const [num, den] = GetParam();
+    Vec<DimInt<1>, int> const a(num);
+    Vec<DimInt<1>, int> const b(den);
+    auto const q = ceilDiv(a, b)[0];
+    EXPECT_GE(q * den, num);
+    EXPECT_LT((q - 1) * den, num);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep,
+    VecCeilDivProperty,
+    ::testing::Combine(::testing::Values(1, 2, 7, 63, 64, 65, 1000), ::testing::Values(1, 2, 16, 64, 1000)));

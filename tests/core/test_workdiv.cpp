@@ -1,0 +1,173 @@
+/// \file Tests of work divisions: getWorkDiv algebra, validation, the
+/// paper's Table 2 mapping, and getValidWorkDiv coverage.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+TEST(WorkDivMembers, StoresExtents)
+{
+    workdiv::WorkDivMembers<Dim2, Size> const wd(
+        Vec<Dim2, Size>(8, 16),
+        Vec<Dim2, Size>(2, 4),
+        Vec<Dim2, Size>(1, 3));
+    EXPECT_EQ(wd.gridBlockExtent(), (Vec<Dim2, Size>(8, 16)));
+    EXPECT_EQ(wd.blockThreadExtent(), (Vec<Dim2, Size>(2, 4)));
+    EXPECT_EQ(wd.threadElemExtent(), (Vec<Dim2, Size>(1, 3)));
+}
+
+TEST(WorkDivMembers, ScalarConvenienceFor1d)
+{
+    // Paper Listing 5: WorkDivMembers<Dim, Size>(256u, 16u, 1u).
+    workdiv::WorkDivMembers<Dim1, Size> const wd(256u, 16u, 1u);
+    EXPECT_EQ(wd.gridBlockExtent()[0], 256u);
+    EXPECT_EQ(wd.blockThreadExtent()[0], 16u);
+    EXPECT_EQ(wd.threadElemExtent()[0], 1u);
+}
+
+TEST(GetWorkDiv, AllOriginUnitCombinations)
+{
+    workdiv::WorkDivMembers<Dim1, Size> const wd(8u, 4u, 2u);
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Blocks>(wd)[0]), 8u);
+    EXPECT_EQ((workdiv::getWorkDiv<Block, Threads>(wd)[0]), 4u);
+    EXPECT_EQ((workdiv::getWorkDiv<Thread, Elems>(wd)[0]), 2u);
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Threads>(wd)[0]), 32u);
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Elems>(wd)[0]), 64u);
+    EXPECT_EQ((workdiv::getWorkDiv<Block, Elems>(wd)[0]), 8u);
+}
+
+TEST(GetWorkDiv, MultiDimensional)
+{
+    workdiv::WorkDivMembers<Dim2, Size> const wd(
+        Vec<Dim2, Size>(2, 3),
+        Vec<Dim2, Size>(4, 5),
+        Vec<Dim2, Size>(6, 7));
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Threads>(wd)), (Vec<Dim2, Size>(8, 15)));
+    EXPECT_EQ((workdiv::getWorkDiv<Grid, Elems>(wd)), (Vec<Dim2, Size>(48, 105)));
+}
+
+// ---------------------------------------------------------------------
+// Paper Table 2: predefined accelerator work divisions.
+// Columns: blocks/grid, threads/block, elements/thread for problem size N,
+// block size B, elements V.
+
+TEST(Table2, ThreadParallelBackendsUseNOverBV)
+{
+    Size const n = 4096;
+    Size const b = 16;
+    Size const v = 4;
+    // GPU CUDA row: grid N/(B*V), block B, element V.
+    auto const cuda = workdiv::table2WorkDiv<acc::AccGpuCudaSim<Dim1, Size>>(n, b, v);
+    EXPECT_EQ(cuda.gridBlockExtent()[0], n / (b * v));
+    EXPECT_EQ(cuda.blockThreadExtent()[0], b);
+    EXPECT_EQ(cuda.threadElemExtent()[0], v);
+    // C++11 thread and OpenMP-thread rows are identical.
+    auto const threads = workdiv::table2WorkDiv<acc::AccCpuThreads<Dim1, Size>>(n, b, v);
+    auto const omp2t = workdiv::table2WorkDiv<acc::AccCpuOmp2Threads<Dim1, Size>>(n, b, v);
+    auto const fibers = workdiv::table2WorkDiv<acc::AccCpuFibers<Dim1, Size>>(n, b, v);
+    EXPECT_EQ(threads, cuda);
+    EXPECT_EQ(omp2t, cuda);
+    EXPECT_EQ(fibers, cuda);
+}
+
+TEST(Table2, SingleThreadBackendsUseNOverV)
+{
+    Size const n = 4096;
+    Size const b = 16;
+    Size const v = 4;
+    // Sequential and OpenMP-block rows: grid N/V, block 1, element V.
+    auto const serial = workdiv::table2WorkDiv<acc::AccCpuSerial<Dim1, Size>>(n, b, v);
+    EXPECT_EQ(serial.gridBlockExtent()[0], n / v);
+    EXPECT_EQ(serial.blockThreadExtent()[0], 1u);
+    EXPECT_EQ(serial.threadElemExtent()[0], v);
+    EXPECT_EQ((workdiv::table2WorkDiv<acc::AccCpuOmp2Blocks<Dim1, Size>>(n, b, v)), serial);
+}
+
+TEST(Table2, CeilingDivisionOnRaggedSizes)
+{
+    auto const wd = workdiv::table2WorkDiv<acc::AccGpuCudaSim<Dim1, Size>>(Size{1000}, Size{16}, Size{3});
+    // 1000 / 48 -> 21 blocks cover 1008 >= 1000 elements.
+    EXPECT_EQ(wd.gridBlockExtent()[0], 21u);
+    EXPECT_GE(wd.gridBlockExtent()[0] * 16u * 3u, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Validation.
+
+TEST(ValidWorkDiv, SerialRejectsMultipleThreads)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    workdiv::WorkDivMembers<Dim1, Size> const bad(4u, 2u, 1u);
+    EXPECT_FALSE((workdiv::isValidWorkDiv<acc::AccCpuSerial<Dim1, Size>>(dev, bad)));
+    EXPECT_THROW(
+        (workdiv::requireValidWorkDiv<acc::AccCpuSerial<Dim1, Size>>(dev, bad)),
+        InvalidWorkDivError);
+    workdiv::WorkDivMembers<Dim1, Size> const good(4u, 1u, 2u);
+    EXPECT_TRUE((workdiv::isValidWorkDiv<acc::AccCpuSerial<Dim1, Size>>(dev, good)));
+}
+
+TEST(ValidWorkDiv, ZeroExtentsRejected)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    workdiv::WorkDivMembers<Dim1, Size> const zero(0u, 1u, 1u);
+    EXPECT_FALSE((workdiv::isValidWorkDiv<acc::AccCpuThreads<Dim1, Size>>(dev, zero)));
+}
+
+TEST(ValidWorkDiv, CudaSimEnforcesDeviceLimits)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const props = acc::getAccDevProps<acc::AccGpuCudaSim<Dim1, Size>>(dev);
+    workdiv::WorkDivMembers<Dim1, Size> const tooWide(1u, props.blockThreadCountMax + 1, 1u);
+    EXPECT_FALSE((workdiv::isValidWorkDiv<acc::AccGpuCudaSim<Dim1, Size>>(dev, tooWide)));
+    workdiv::WorkDivMembers<Dim1, Size> const maxed(1u, props.blockThreadCountMax, 1u);
+    EXPECT_TRUE((workdiv::isValidWorkDiv<acc::AccGpuCudaSim<Dim1, Size>>(dev, maxed)));
+}
+
+// ---------------------------------------------------------------------
+// getValidWorkDiv: derived divisions must be valid and cover the domain.
+
+template<typename TAcc>
+void expectDerivedWorkDivCovers(typename TAcc::Dev const& dev, Vec<Dim2, Size> const& domain)
+{
+    auto const wd = workdiv::getValidWorkDiv<TAcc>(dev, domain, Vec<Dim2, Size>(Size{1}, Size{2}));
+    EXPECT_TRUE((workdiv::isValidWorkDiv<TAcc>(dev, wd))) << acc::getAccName<TAcc>();
+    auto const covered = workdiv::getWorkDiv<Grid, Elems>(wd);
+    for(std::size_t d = 0; d < 2; ++d)
+        EXPECT_GE(covered[d], domain[d]) << acc::getAccName<TAcc>() << " dim " << d;
+}
+
+TEST(GetValidWorkDiv, CoversDomainOnAllBackends)
+{
+    Vec<Dim2, Size> const domain(100, 37);
+    auto const cpu = dev::PltfCpu::getDevByIdx(0);
+    expectDerivedWorkDivCovers<acc::AccCpuSerial<Dim2, Size>>(cpu, domain);
+    expectDerivedWorkDivCovers<acc::AccCpuThreads<Dim2, Size>>(cpu, domain);
+    expectDerivedWorkDivCovers<acc::AccCpuFibers<Dim2, Size>>(cpu, domain);
+    expectDerivedWorkDivCovers<acc::AccCpuOmp2Blocks<Dim2, Size>>(cpu, domain);
+    expectDerivedWorkDivCovers<acc::AccCpuOmp2Threads<Dim2, Size>>(cpu, domain);
+    auto const sim = dev::PltfCudaSim::getDevByIdx(0);
+    expectDerivedWorkDivCovers<acc::AccGpuCudaSim<Dim2, Size>>(sim, domain);
+}
+
+TEST(AccProps, NamesAreDistinct)
+{
+    std::set<std::string> names{
+        acc::getAccName<acc::AccCpuSerial<Dim1, Size>>(),
+        acc::getAccName<acc::AccCpuThreads<Dim1, Size>>(),
+        acc::getAccName<acc::AccCpuFibers<Dim1, Size>>(),
+        acc::getAccName<acc::AccCpuOmp2Blocks<Dim1, Size>>(),
+        acc::getAccName<acc::AccCpuOmp2Threads<Dim1, Size>>(),
+        acc::getAccName<acc::AccGpuCudaSim<Dim1, Size>>()};
+    EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(AccProps, CudaSimReflectsDeviceSpec)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const props = acc::getAccDevProps<acc::AccGpuCudaSim<Dim1, Size>>(dev);
+    EXPECT_EQ(props.multiProcessorCount, dev.spec().smCount);
+    EXPECT_EQ(props.blockThreadCountMax, dev.spec().maxThreadsPerBlock);
+    EXPECT_EQ(props.sharedMemSizeBytes, dev.spec().sharedMemPerBlock);
+}

@@ -1,0 +1,267 @@
+/// \file Unit tests of the fiber substrate: scheduling order, barriers,
+/// divergence detection, exceptions, stack reuse and both context-switch
+/// implementations.
+#include <fiber/fiber.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+namespace
+{
+    //! Parameterize every test over both context-switch implementations so
+    //! the ucontext fallback stays continuously verified.
+    class FiberTest : public ::testing::TestWithParam<fiber::SwitchImpl>
+    {
+    protected:
+        auto makeScheduler(std::size_t stackBytes = 128 * 1024) -> fiber::Scheduler
+        {
+            return fiber::Scheduler(fiber::SchedulerConfig{stackBytes, GetParam()});
+        }
+    };
+} // namespace
+
+TEST_P(FiberTest, RunsAllBodies)
+{
+    auto sched = makeScheduler();
+    std::vector<int> hits(16, 0);
+    sched.run(16, [&](std::size_t i) { hits[i] += 1; });
+    for(auto const h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST_P(FiberTest, ZeroFibersIsANoop)
+{
+    auto sched = makeScheduler();
+    EXPECT_NO_THROW(sched.run(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST_P(FiberTest, RoundRobinOrderIsDeterministic)
+{
+    auto sched = makeScheduler();
+    std::vector<std::size_t> order;
+    sched.run(
+        4,
+        [&](std::size_t i)
+        {
+            order.push_back(i);
+            fiber::Scheduler::yield();
+            order.push_back(i + 10);
+        });
+    std::vector<std::size_t> const expected{0, 1, 2, 3, 10, 11, 12, 13};
+    EXPECT_EQ(order, expected);
+}
+
+TEST_P(FiberTest, CurrentIndexMatches)
+{
+    auto sched = makeScheduler();
+    sched.run(8, [&](std::size_t i) { EXPECT_EQ(fiber::Scheduler::currentIndex(), i); });
+}
+
+TEST_P(FiberTest, InsideFiberDetection)
+{
+    EXPECT_FALSE(fiber::Scheduler::insideFiber());
+    auto sched = makeScheduler();
+    sched.run(1, [](std::size_t) { EXPECT_TRUE(fiber::Scheduler::insideFiber()); });
+    EXPECT_FALSE(fiber::Scheduler::insideFiber());
+}
+
+TEST_P(FiberTest, BarrierSynchronizesPhases)
+{
+    auto sched = makeScheduler();
+    constexpr std::size_t n = 8;
+    fiber::Barrier barrier(n);
+    std::vector<int> phase(n, 0);
+    sched.run(
+        n,
+        [&](std::size_t i)
+        {
+            phase[i] = 1;
+            barrier.arriveAndWait();
+            // After the barrier every fiber must see all phases == 1.
+            for(std::size_t k = 0; k < n; ++k)
+                EXPECT_EQ(phase[k], 1) << "fiber " << i << " raced past the barrier";
+            barrier.arriveAndWait();
+            phase[i] = 2;
+        });
+    EXPECT_EQ(barrier.generation(), 2u);
+}
+
+TEST_P(FiberTest, BarrierReusableManyGenerations)
+{
+    auto sched = makeScheduler();
+    constexpr std::size_t n = 4;
+    constexpr std::size_t rounds = 50;
+    fiber::Barrier barrier(n);
+    std::vector<std::size_t> counters(n, 0);
+    sched.run(
+        n,
+        [&](std::size_t i)
+        {
+            for(std::size_t r = 0; r < rounds; ++r)
+            {
+                counters[i] += 1;
+                barrier.arriveAndWait();
+                // All siblings completed round r.
+                for(auto const c : counters)
+                    EXPECT_GE(c, r + 1);
+            }
+        });
+    EXPECT_EQ(barrier.generation(), rounds);
+}
+
+TEST_P(FiberTest, DivergenceIsDetectedNotHung)
+{
+    auto sched = makeScheduler();
+    fiber::Barrier barrier(3);
+    EXPECT_THROW(
+        sched.run(
+            3,
+            [&](std::size_t i)
+            {
+                if(i != 2)
+                    barrier.arriveAndWait(); // fiber 2 never arrives
+            }),
+        fiber::BarrierDivergenceError);
+}
+
+TEST_P(FiberTest, BodyExceptionPropagatesAndCancelsSiblings)
+{
+    auto sched = makeScheduler();
+    fiber::Barrier barrier(4);
+    EXPECT_THROW(
+        sched.run(
+            4,
+            [&](std::size_t i)
+            {
+                if(i == 1)
+                    throw std::logic_error("injected");
+                barrier.arriveAndWait(); // would deadlock without cancel
+            }),
+        std::logic_error);
+}
+
+TEST_P(FiberTest, SchedulerReusableAfterError)
+{
+    auto sched = makeScheduler();
+    EXPECT_THROW(
+        sched.run(2, [&](std::size_t) { throw std::runtime_error("first run fails"); }),
+        std::runtime_error);
+    int ok = 0;
+    sched.run(2, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok, 2);
+}
+
+TEST_P(FiberTest, StacksAreReusedAcrossRuns)
+{
+    auto sched = makeScheduler(64 * 1024);
+    for(int round = 0; round < 10; ++round)
+    {
+        int sum = 0;
+        sched.run(32, [&](std::size_t i) { sum += static_cast<int>(i); });
+        EXPECT_EQ(sum, 496);
+    }
+}
+
+TEST_P(FiberTest, DeepCallStacksWithinBudgetWork)
+{
+    auto sched = makeScheduler(256 * 1024);
+    std::function<int(int)> recurse = [&](int depth) -> int
+    {
+        if(depth == 0)
+            return 0;
+        volatile char pad[512]; // consume real stack
+        pad[0] = static_cast<char>(depth);
+        return pad[0] + recurse(depth - 1);
+    };
+    int result = -1;
+    sched.run(2, [&](std::size_t) { result = recurse(100); });
+    EXPECT_GE(result, 0);
+}
+
+TEST_P(FiberTest, LargeFiberCountCompletes)
+{
+    auto sched = makeScheduler(64 * 1024);
+    std::size_t const n = 512;
+    std::vector<std::uint8_t> done(n, 0);
+    fiber::Barrier barrier(n);
+    sched.run(
+        n,
+        [&](std::size_t i)
+        {
+            barrier.arriveAndWait();
+            done[i] = 1;
+        });
+    EXPECT_EQ(std::accumulate(done.begin(), done.end(), 0u), n);
+}
+
+TEST_P(FiberTest, SwitchCountGrowsWithYields)
+{
+    auto sched = makeScheduler();
+    auto const before = sched.switchCount();
+    sched.run(
+        4,
+        [](std::size_t)
+        {
+            for(int k = 0; k < 10; ++k)
+                fiber::Scheduler::yield();
+        });
+    // 4 fibers x (1 entry + 10 yields) round trips at minimum.
+    EXPECT_GE(sched.switchCount() - before, 2 * 4 * 11ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothImplementations,
+    FiberTest,
+    ::testing::Values(fiber::SwitchImpl::Asm, fiber::SwitchImpl::Ucontext),
+    [](auto const& paramInfo) { return paramInfo.param == fiber::SwitchImpl::Asm ? "Asm" : "Ucontext"; });
+
+// ---------------------------------------------------------------------
+// Non-parameterized pieces.
+
+TEST(FiberStack, CanaryDetectsNearOverflow)
+{
+    // A near-overflow scribbles into the canary region just above the guard
+    // page; canaryIntact() must notice, and re-arming must restore it.
+    fiber::Stack stack(8 * 1024);
+    ASSERT_TRUE(stack.canaryIntact());
+    std::memset(stack.canaryLo(), 0x55, 8);
+    EXPECT_FALSE(stack.canaryIntact());
+    stack.armCanary();
+    EXPECT_TRUE(stack.canaryIntact());
+}
+
+TEST(FiberStack, GuardPageExists)
+{
+    fiber::Stack stack(16 * 1024);
+    EXPECT_TRUE(stack.valid());
+    EXPECT_TRUE(stack.canaryIntact());
+    EXPECT_GE(stack.usableBytes(), 16 * 1024u);
+}
+
+TEST(FiberStack, PoolRecyclesStacks)
+{
+    fiber::StackPool pool(8 * 1024);
+    auto s1 = pool.acquire();
+    auto* const lo1 = s1.lo();
+    pool.recycle(std::move(s1));
+    EXPECT_EQ(pool.pooled(), 1u);
+    auto s2 = pool.acquire();
+    EXPECT_EQ(s2.lo(), lo1) << "pool did not reuse the stack";
+    EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(FiberUsage, InFiberApisRejectOutsideUse)
+{
+    EXPECT_THROW((void) fiber::Scheduler::current(), fiber::UsageError);
+    EXPECT_THROW(fiber::Scheduler::yield(), fiber::UsageError);
+    EXPECT_THROW((void) fiber::Scheduler::currentIndex(), fiber::UsageError);
+}
+
+TEST(FiberUsage, BarrierRequiresParticipants)
+{
+    EXPECT_THROW(fiber::Barrier{0}, fiber::UsageError);
+}

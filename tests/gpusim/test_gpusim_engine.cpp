@@ -1,0 +1,314 @@
+/// \file Tests of the SIMT execution engine: grid geometry, barriers,
+/// shared memory, divergence detection, launch validation, statistics and
+/// determinism.
+#include <gpusim/gpusim.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+using gpusim::Dim3;
+using gpusim::GridSpec;
+
+namespace
+{
+    auto makeDevice() -> gpusim::Device
+    {
+        return gpusim::Device(gpusim::genericSpec());
+    }
+} // namespace
+
+TEST(SimEngine, EveryThreadRunsOnceWithCorrectCoordinates)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{3, 2, 2};
+    grid.block = Dim3{4, 2, 1};
+    std::vector<std::atomic<int>> visits(grid.grid.prod() * grid.block.prod());
+
+    dev.runGrid(
+        grid,
+        [&](gpusim::ThreadCtx& ctx)
+        {
+            EXPECT_LT(ctx.threadIdx().x, ctx.blockDim().x);
+            EXPECT_LT(ctx.threadIdx().y, ctx.blockDim().y);
+            EXPECT_LT(ctx.blockIdx().x, ctx.gridDim().x);
+            visits[ctx.globalLinearThreadIdx()] += 1;
+        });
+
+    for(auto const& v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(SimEngine, BlocksExecuteInAscendingLinearOrder)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{4, 3, 1};
+    grid.block = Dim3{2, 1, 1};
+    std::vector<std::size_t> blockOrder;
+    dev.runGrid(
+        grid,
+        [&](gpusim::ThreadCtx& ctx)
+        {
+            if(ctx.linearThreadIdx() == 0)
+                blockOrder.push_back(ctx.linearBlockIdx());
+        });
+    ASSERT_EQ(blockOrder.size(), 12u);
+    for(std::size_t i = 0; i < blockOrder.size(); ++i)
+        EXPECT_EQ(blockOrder[i], i) << "non-deterministic block order";
+}
+
+TEST(SimEngine, BarrierSeparatesPhasesWithinBlock)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{2, 1, 1};
+    grid.block = Dim3{16, 1, 1};
+    grid.sharedMemBytes = 16 * sizeof(int);
+
+    std::atomic<int> failures{0};
+    dev.runGrid(
+        grid,
+        [&](gpusim::ThreadCtx& ctx)
+        {
+            auto* shared = reinterpret_cast<int*>(ctx.sharedMem());
+            shared[ctx.linearThreadIdx()] = static_cast<int>(ctx.linearThreadIdx()) + 1;
+            ctx.sync();
+            for(unsigned k = 0; k < 16; ++k)
+                if(shared[k] != static_cast<int>(k) + 1)
+                    ++failures;
+        });
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SimEngine, SharedMemoryZeroedPerBlock)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{4, 1, 1};
+    grid.block = Dim3{2, 1, 1};
+    grid.sharedMemBytes = 64;
+    std::atomic<int> nonZero{0};
+    dev.runGrid(
+        grid,
+        [&](gpusim::ThreadCtx& ctx)
+        {
+            if(ctx.linearThreadIdx() == 0)
+            {
+                for(std::size_t i = 0; i < 64; ++i)
+                    if(ctx.sharedMem()[i] != std::byte{0})
+                        ++nonZero;
+                // Dirty it for the next block to prove re-zeroing.
+                ctx.sharedMem()[0] = std::byte{0xFF};
+            }
+            ctx.sync();
+        });
+    EXPECT_EQ(nonZero.load(), 0);
+}
+
+TEST(SimEngine, DivergentBarrierDetected)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{1, 1, 1};
+    grid.block = Dim3{8, 1, 1};
+    EXPECT_THROW(
+        dev.runGrid(
+            grid,
+            [](gpusim::ThreadCtx& ctx)
+            {
+                if(ctx.linearThreadIdx() != 3)
+                    ctx.sync();
+            }),
+        gpusim::DivergenceError);
+}
+
+TEST(SimEngine, NoBarrierHintFastPathWorks)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{8, 1, 1};
+    grid.block = Dim3{32, 1, 1};
+    grid.noBarrier = true;
+    std::vector<int> visits(grid.grid.prod() * grid.block.prod(), 0);
+    auto const before = dev.execStats().fiberSwitches;
+    dev.runGrid(grid, [&](gpusim::ThreadCtx& ctx) { visits[ctx.globalLinearThreadIdx()] += 1; });
+    EXPECT_EQ(dev.execStats().fiberSwitches, before) << "fast path must not create fibers";
+    for(auto const v : visits)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(SimEngine, SyncUnderNoBarrierHintThrows)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{1, 1, 1};
+    grid.block = Dim3{2, 1, 1};
+    grid.noBarrier = true;
+    EXPECT_THROW(dev.runGrid(grid, [](gpusim::ThreadCtx& ctx) { ctx.sync(); }), gpusim::LaunchError);
+}
+
+TEST(SimEngine, LaunchValidation)
+{
+    auto dev = makeDevice(); // generic: max 256 threads/block, 16 KiB shared
+    GridSpec grid;
+    grid.grid = Dim3{1, 1, 1};
+    grid.block = Dim3{512, 1, 1};
+    EXPECT_THROW(dev.runGrid(grid, [](gpusim::ThreadCtx&) {}), gpusim::LaunchError);
+
+    grid.block = Dim3{16, 1, 1};
+    grid.sharedMemBytes = 1024 * 1024;
+    EXPECT_THROW(dev.runGrid(grid, [](gpusim::ThreadCtx&) {}), gpusim::LaunchError);
+
+    grid.sharedMemBytes = 0;
+    grid.grid = Dim3{0, 1, 1};
+    EXPECT_THROW(dev.runGrid(grid, [](gpusim::ThreadCtx&) {}), gpusim::LaunchError);
+}
+
+TEST(SimEngine, WarpAndLaneIds)
+{
+    auto dev = makeDevice(); // warpSize = 8 in the generic spec
+    GridSpec grid;
+    grid.grid = Dim3{1, 1, 1};
+    grid.block = Dim3{20, 1, 1};
+    dev.runGrid(
+        grid,
+        [&](gpusim::ThreadCtx& ctx)
+        {
+            EXPECT_EQ(ctx.warpId(), ctx.linearThreadIdx() / 8);
+            EXPECT_EQ(ctx.laneId(), ctx.linearThreadIdx() % 8);
+        });
+}
+
+TEST(SimEngine, StatisticsCountKernelsBlocksWarpsBarriers)
+{
+    auto dev = makeDevice(); // warpSize 8
+    GridSpec grid;
+    grid.grid = Dim3{4, 1, 1};
+    grid.block = Dim3{16, 1, 1}; // 2 warps per block
+    dev.runGrid(grid, [](gpusim::ThreadCtx& ctx) { ctx.sync(); });
+
+    auto const stats = dev.execStats();
+    EXPECT_EQ(stats.kernelsLaunched, 1u);
+    EXPECT_EQ(stats.blocksExecuted, 4u);
+    EXPECT_EQ(stats.warpsExecuted, 8u);
+    EXPECT_EQ(stats.barrierWaits, 4u * 16u);
+    EXPECT_GT(stats.fiberSwitches, 0u);
+}
+
+TEST(SimEngine, ExecutionIsDeterministic)
+{
+    // Two identical runs interleave identically: record the exact sequence
+    // of (block, thread) activations around a barrier.
+    auto const record = [&]
+    {
+        auto dev = makeDevice();
+        GridSpec grid;
+        grid.grid = Dim3{2, 1, 1};
+        grid.block = Dim3{8, 1, 1};
+        std::vector<std::size_t> sequence;
+        dev.runGrid(
+            grid,
+            [&](gpusim::ThreadCtx& ctx)
+            {
+                sequence.push_back(ctx.globalLinearThreadIdx());
+                ctx.sync();
+                sequence.push_back(1000 + ctx.globalLinearThreadIdx());
+            });
+        return sequence;
+    };
+    EXPECT_EQ(record(), record());
+}
+
+TEST(SimEngine, ExceptionInThreadBodyPropagates)
+{
+    auto dev = makeDevice();
+    GridSpec grid;
+    grid.grid = Dim3{1, 1, 1};
+    grid.block = Dim3{4, 1, 1};
+    EXPECT_THROW(
+        dev.runGrid(
+            grid,
+            [](gpusim::ThreadCtx& ctx)
+            {
+                if(ctx.linearThreadIdx() == 2)
+                    throw std::runtime_error("thread body failure");
+                ctx.sync();
+            }),
+        std::runtime_error);
+    // Device remains usable.
+    grid.block = Dim3{2, 1, 1};
+    EXPECT_NO_THROW(dev.runGrid(grid, [](gpusim::ThreadCtx&) {}));
+}
+
+TEST(OccupancyModel, FullAtOrAboveResidentCapacity)
+{
+    auto const spec = gpusim::genericSpec(); // 4 SMs x 512 resident = 2048
+    GridSpec grid;
+    grid.block = Dim3{256, 1, 1};
+    grid.grid = Dim3{8, 1, 1}; // exactly 2048 threads
+    EXPECT_DOUBLE_EQ(gpusim::occupancyFraction(spec, grid), 1.0);
+    grid.grid = Dim3{64, 1, 1}; // oversubscribed: still 1.0
+    EXPECT_DOUBLE_EQ(gpusim::occupancyFraction(spec, grid), 1.0);
+}
+
+TEST(OccupancyModel, ProportionalBelowCapacity)
+{
+    auto const spec = gpusim::genericSpec();
+    GridSpec grid;
+    grid.block = Dim3{64, 1, 1};
+    grid.grid = Dim3{4, 1, 1}; // 256 of 2048 threads
+    EXPECT_DOUBLE_EQ(gpusim::occupancyFraction(spec, grid), 0.125);
+}
+
+TEST(OccupancyModel, ModeledTimeScalesInverselyWithOccupancy)
+{
+    auto const spec = gpusim::genericSpec();
+    GridSpec full;
+    full.block = Dim3{256, 1, 1};
+    full.grid = Dim3{8, 1, 1};
+    GridSpec starved;
+    starved.block = Dim3{64, 1, 1};
+    starved.grid = Dim3{4, 1, 1};
+    double const flops = 1e9;
+    auto const tFull = gpusim::modeledKernelSeconds(spec, full, flops);
+    auto const tStarved = gpusim::modeledKernelSeconds(spec, starved, flops);
+    EXPECT_DOUBLE_EQ(tStarved / tFull, 8.0); // 1 / 0.125
+    // Full occupancy means running at theoretical peak.
+    EXPECT_DOUBLE_EQ(tFull, flops / (spec.peakGflopsFp64() * 1e9));
+}
+
+TEST(SimTrace, TracedPtrRecordsLoadsAndStores)
+{
+    gpusim::OpTrace trace;
+    std::vector<double> x{1.0, 2.0, 3.0};
+    std::vector<double> y{10.0, 20.0, 30.0};
+    gpusim::TracedPtr<double> tx(x.data(), 0, &trace);
+    gpusim::TracedPtr<double> ty(y.data(), 1, &trace);
+
+    for(std::size_t i = 0; i < 3; ++i)
+        ty[i] = 2.0 * tx[i] + ty[i];
+
+    ASSERT_EQ(trace.size(), 9u); // load x, load y, store y per element
+    using K = gpusim::TraceOp::Kind;
+    EXPECT_EQ(trace.ops()[0], (gpusim::TraceOp{K::Load, 0, 0}));
+    EXPECT_EQ(trace.ops()[1], (gpusim::TraceOp{K::Load, 1, 0}));
+    EXPECT_EQ(trace.ops()[2], (gpusim::TraceOp{K::Store, 1, 0}));
+    EXPECT_EQ(y[2], 36.0);
+}
+
+TEST(SimTrace, FirstDifferenceFindsDivergence)
+{
+    gpusim::OpTrace a;
+    gpusim::OpTrace b;
+    using K = gpusim::TraceOp::Kind;
+    a.record({K::Load, 0, 0});
+    b.record({K::Load, 0, 0});
+    EXPECT_EQ(gpusim::OpTrace::firstDifference(a, b), gpusim::OpTrace::npos);
+    a.record({K::Store, 0, 1});
+    b.record({K::Store, 0, 2});
+    EXPECT_EQ(gpusim::OpTrace::firstDifference(a, b), 1u);
+}

@@ -1,0 +1,174 @@
+/// \file Tests of the simulated device memory manager: capacity
+/// enforcement, bounds registry, pitched allocation and validated copies.
+#include <gpusim/gpusim.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace
+{
+    auto smallSpec() -> gpusim::DeviceSpec
+    {
+        auto spec = gpusim::genericSpec();
+        spec.globalMemBytes = 1024 * 1024; // 1 MiB for capacity tests
+        return spec;
+    }
+} // namespace
+
+TEST(SimMemory, AllocateFreeRoundTrip)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    auto* const p = mm.allocate(1000);
+    EXPECT_NE(p, nullptr);
+    EXPECT_TRUE(mm.owns(p, 1000));
+    EXPECT_EQ(mm.stats().liveAllocations, 1u);
+    EXPECT_EQ(mm.stats().liveBytes, 1000u);
+    mm.free(p);
+    EXPECT_EQ(mm.stats().liveAllocations, 0u);
+    EXPECT_FALSE(mm.owns(p, 1));
+}
+
+TEST(SimMemory, AllocationsAre256ByteAligned)
+{
+    gpusim::Device dev(smallSpec());
+    for(int i = 0; i < 5; ++i)
+    {
+        auto* const p = dev.memory().allocate(100 + i);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
+        dev.memory().free(p);
+    }
+}
+
+TEST(SimMemory, CapacityEnforced)
+{
+    gpusim::Device dev(smallSpec()); // 1 MiB
+    auto& mm = dev.memory();
+    auto* const p = mm.allocate(800 * 1024);
+    EXPECT_THROW((void) mm.allocate(800 * 1024), gpusim::MemoryError);
+    mm.free(p);
+    // After freeing, the allocation fits.
+    auto* const q = mm.allocate(800 * 1024);
+    mm.free(q);
+}
+
+TEST(SimMemory, PeakBytesTracksHighWater)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    auto* const a = mm.allocate(1000);
+    auto* const b = mm.allocate(2000);
+    mm.free(a);
+    mm.free(b);
+    EXPECT_EQ(mm.stats().peakBytes, 3000u);
+    EXPECT_EQ(mm.stats().liveBytes, 0u);
+}
+
+TEST(SimMemory, DoubleFreeRejected)
+{
+    gpusim::Device dev(smallSpec());
+    auto* const p = dev.memory().allocate(64);
+    dev.memory().free(p);
+    EXPECT_THROW(dev.memory().free(p), gpusim::MemoryError);
+}
+
+TEST(SimMemory, ForeignPointerFreeRejected)
+{
+    gpusim::Device dev(smallSpec());
+    int hostInt = 0;
+    EXPECT_THROW(dev.memory().free(&hostInt), gpusim::MemoryError);
+}
+
+TEST(SimMemory, ZeroByteAllocationRejected)
+{
+    gpusim::Device dev(smallSpec());
+    EXPECT_THROW((void) dev.memory().allocate(0), gpusim::MemoryError);
+}
+
+TEST(SimMemory, OwnsChecksExactBounds)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    auto* const p = static_cast<std::byte*>(mm.allocate(100));
+    EXPECT_TRUE(mm.owns(p, 100));
+    EXPECT_TRUE(mm.owns(p + 50, 50));
+    EXPECT_FALSE(mm.owns(p, 101)) << "range past the end accepted";
+    EXPECT_FALSE(mm.owns(p - 1, 1));
+    mm.free(p);
+}
+
+TEST(SimMemory, PitchedAllocationAlignsRows)
+{
+    gpusim::Device dev(smallSpec());
+    std::size_t pitch = 0;
+    auto* const p = dev.memory().allocatePitched(100, 10, pitch);
+    EXPECT_EQ(pitch % 256, 0u);
+    EXPECT_GE(pitch, 100u);
+    EXPECT_TRUE(dev.memory().owns(p, pitch * 10));
+    dev.memory().free(p);
+}
+
+TEST(SimMemory, CopiesValidateDeviceRanges)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    std::vector<std::byte> hostData(128, std::byte{42});
+    auto* const d = mm.allocate(128);
+
+    EXPECT_NO_THROW(mm.copyHtoD(d, hostData.data(), 128));
+    EXPECT_NO_THROW(mm.copyDtoH(hostData.data(), d, 128));
+    // Overruns are rejected on the device side.
+    EXPECT_THROW(mm.copyHtoD(d, hostData.data(), 129), gpusim::MemoryError);
+    EXPECT_THROW(mm.copyDtoH(hostData.data(), d, 129), gpusim::MemoryError);
+    // Host pointers are not device pointers.
+    EXPECT_THROW(mm.copyDtoH(hostData.data(), hostData.data(), 16), gpusim::MemoryError);
+    mm.free(d);
+}
+
+TEST(SimMemory, TransferStatsAccumulate)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    std::vector<std::byte> hostData(256);
+    auto* const a = mm.allocate(256);
+    auto* const b = mm.allocate(256);
+    mm.copyHtoD(a, hostData.data(), 256);
+    mm.copyDtoD(b, a, 128);
+    mm.copyDtoH(hostData.data(), b, 64);
+    auto const stats = mm.stats();
+    EXPECT_EQ(stats.bytesHtoD, 256u);
+    EXPECT_EQ(stats.bytesDtoD, 128u);
+    EXPECT_EQ(stats.bytesDtoH, 64u);
+    mm.free(a);
+    mm.free(b);
+}
+
+TEST(SimMemory, FillWritesPattern)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    auto* const d = static_cast<unsigned char*>(mm.allocate(64));
+    mm.fill(d, 0xCD, 64);
+    for(int i = 0; i < 64; ++i)
+        EXPECT_EQ(d[i], 0xCD);
+    mm.free(d);
+}
+
+TEST(SimPlatform, DefaultModelsPaperNode)
+{
+    auto& platform = gpusim::Platform::instance();
+    ASSERT_GE(platform.deviceCount(), 2u);
+    auto& k20 = platform.device(0);
+    EXPECT_NEAR(k20.spec().peakGflopsFp64(), 1174.0, 10.0); // paper: 1170
+    auto& k80 = platform.device(1);
+    EXPECT_NEAR(k80.spec().peakGflopsFp64(), 1456.0, 10.0); // paper: 1450
+    EXPECT_THROW((void) platform.device(99), gpusim::Error);
+}
+
+TEST(SimPlatform, ReconfigureAfterMaterializationRejected)
+{
+    auto& platform = gpusim::Platform::instance();
+    (void) platform.device(0); // materialize
+    EXPECT_THROW(platform.configure({gpusim::genericSpec()}), gpusim::Error);
+}

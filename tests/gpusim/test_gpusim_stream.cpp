@@ -1,0 +1,182 @@
+/// \file Tests of simulator streams and events: FIFO order, async
+/// behaviour, sticky errors, event dependencies, kernel serialization.
+#include <gpusim/gpusim.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace
+{
+    auto makeDevice() -> gpusim::Device
+    {
+        return gpusim::Device(gpusim::genericSpec());
+    }
+} // namespace
+
+TEST(SimStream, SyncStreamRunsInline)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, /*async=*/false);
+    bool ran = false;
+    stream.enqueue([&ran] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(stream.idle());
+}
+
+TEST(SimStream, AsyncStreamPreservesFifoOrder)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, true);
+    std::vector<int> order;
+    for(int i = 0; i < 64; ++i)
+        stream.enqueue([&order, i] { order.push_back(i); });
+    stream.wait();
+    ASSERT_EQ(order.size(), 64u);
+    for(int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimStream, AsyncStreamDoesNotBlockHost)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, true);
+    std::atomic<bool> done{false};
+    auto const t0 = std::chrono::steady_clock::now();
+    stream.enqueue(
+        [&done]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            done = true;
+        });
+    EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count(), 0.04);
+    EXPECT_FALSE(done.load());
+    stream.wait();
+    EXPECT_TRUE(done.load());
+}
+
+TEST(SimStream, MemcpyTasksMoveData)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, true);
+    std::vector<int> hostIn{1, 2, 3, 4};
+    std::vector<int> hostOut(4, 0);
+    auto* const d = dev.memory().allocate(4 * sizeof(int));
+    stream.memcpyHtoD(d, hostIn.data(), 4 * sizeof(int));
+    stream.memcpyDtoH(hostOut.data(), d, 4 * sizeof(int));
+    stream.wait();
+    EXPECT_EQ(hostOut, hostIn);
+    dev.memory().free(d);
+}
+
+TEST(SimStream, ErrorsAreStickyAndSkipLaterWork)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, true);
+    std::atomic<bool> laterRan{false};
+    stream.enqueue([] { throw std::runtime_error("injected"); });
+    stream.enqueue([&laterRan] { laterRan = true; });
+    EXPECT_THROW(stream.wait(), std::runtime_error);
+    EXPECT_FALSE(laterRan.load());
+    EXPECT_NE(stream.lastError(), nullptr);
+}
+
+TEST(SimStream, EventsCompleteInOrderEvenAfterError)
+{
+    auto dev = makeDevice();
+    gpusim::Stream stream(dev, true);
+    gpusim::Event ev;
+    stream.enqueue([] { throw std::runtime_error("injected"); });
+    stream.record(ev);
+    // The event marker must still complete (no hang), despite the error.
+    ev.wait();
+    EXPECT_TRUE(ev.isDone());
+    EXPECT_THROW(stream.wait(), std::runtime_error);
+}
+
+TEST(SimEvent, UnrecordedEventIsDone)
+{
+    gpusim::Event ev;
+    EXPECT_TRUE(ev.isDone());
+    EXPECT_NO_THROW(ev.wait());
+}
+
+TEST(SimEvent, CrossStreamDependency)
+{
+    auto dev = makeDevice();
+    gpusim::Stream producer(dev, true);
+    gpusim::Stream consumer(dev, true);
+    gpusim::Event ev;
+
+    std::atomic<int> value{0};
+    producer.enqueue(
+        [&value]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            value = 7;
+        });
+    producer.record(ev);
+
+    consumer.waitFor(ev);
+    int observed = -1;
+    consumer.enqueue([&value, &observed] { observed = value.load(); });
+    consumer.wait();
+    EXPECT_EQ(observed, 7);
+    producer.wait();
+}
+
+TEST(SimStream, ConcurrentKernelsSerializeOnTheDevice)
+{
+    // Two async streams launching kernels on one device: the device mutex
+    // serializes execution, so a per-device counter never sees overlap.
+    auto dev = makeDevice();
+    gpusim::Stream s1(dev, true);
+    gpusim::Stream s2(dev, true);
+
+    std::atomic<int> active{0};
+    std::atomic<int> maxActive{0};
+    auto const body = [&](gpusim::ThreadCtx& ctx)
+    {
+        if(ctx.globalLinearThreadIdx() == 0)
+        {
+            int const now = ++active;
+            int expected = maxActive.load();
+            while(expected < now && !maxActive.compare_exchange_weak(expected, now))
+            {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            --active;
+        }
+    };
+
+    gpusim::GridSpec grid;
+    grid.grid = gpusim::Dim3{2, 1, 1};
+    grid.block = gpusim::Dim3{4, 1, 1};
+    for(int i = 0; i < 3; ++i)
+    {
+        s1.launch(grid, body);
+        s2.launch(grid, body);
+    }
+    s1.wait();
+    s2.wait();
+    EXPECT_EQ(maxActive.load(), 1) << "kernels from different streams overlapped on one device";
+}
+
+TEST(SimStream, DestructorDrainsPendingWork)
+{
+    auto dev = makeDevice();
+    std::atomic<bool> done{false};
+    {
+        gpusim::Stream stream(dev, true);
+        stream.enqueue(
+            [&done]
+            {
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                done = true;
+            });
+    } // destructor must wait
+    EXPECT_TRUE(done.load());
+}

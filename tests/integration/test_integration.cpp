@@ -1,0 +1,206 @@
+/// \file Cross-module integration tests: multi-stream pipelines,
+/// multi-device execution, mixed back-ends in one program (paper Sec. 3.1:
+/// "running multiple of the same or different back-end instances
+/// simultaneously"), and host/device overlap.
+#include <alpaka/alpaka.hpp>
+#include <workload/kernels.hpp>
+#include <workload/matrix.hpp>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct ScaleKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* data, Size n, double factor) const
+        {
+            auto const tid = idx::getIdx<Grid, Threads>(acc)[0];
+            auto const elems = workdiv::getWorkDiv<Thread, Elems>(acc)[0];
+            for(Size e = 0; e < elems; ++e)
+            {
+                auto const i = tid * elems + e;
+                if(i < n)
+                    data[i] *= factor;
+            }
+        }
+    };
+} // namespace
+
+TEST(Integration, PipelineAcrossTwoSimDevicesWithEvents)
+{
+    // dev0 doubles the data, the host relays it to dev1 which adds copies
+    // back; event ordering ties the three timelines together.
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev0 = dev::PltfCudaSim::getDevByIdx(0);
+    auto const dev1 = dev::PltfCudaSim::getDevByIdx(1);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimAsync s0(dev0);
+    stream::StreamCudaSimAsync s1(dev1);
+
+    Size const n = 4096;
+    auto hostBuf = mem::buf::alloc<double, Size>(host, n);
+    for(Size i = 0; i < n; ++i)
+        hostBuf.data()[i] = static_cast<double>(i);
+
+    auto d0 = mem::buf::alloc<double, Size>(dev0, n);
+    auto d1 = mem::buf::alloc<double, Size>(dev1, n);
+    Vec<Dim1, Size> const extent(n);
+
+    mem::view::copy(s0, d0, hostBuf, extent);
+    auto const wd = workdiv::table2WorkDiv<Acc>(n, Size{64}, Size{2});
+    stream::enqueue(s0, exec::create<Acc>(wd, ScaleKernel{}, d0.data(), n, 2.0));
+    // Peer copy dev0 -> dev1 ordered within s0, then signal s1.
+    mem::view::copy(s0, d1, d0, extent);
+    event::EventCudaSim handoff(dev0);
+    stream::enqueue(s0, handoff);
+
+    wait::wait(s1, handoff);
+    stream::enqueue(s1, exec::create<Acc>(wd, ScaleKernel{}, d1.data(), n, 3.0));
+    mem::view::copy(s1, hostBuf, d1, extent);
+    wait::wait(s1);
+
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(hostBuf.data()[i], 6.0 * static_cast<double>(i));
+}
+
+TEST(Integration, CpuAndSimBackendsRunConcurrentlyInOneProgram)
+{
+    // The paper's heterogeneity claim: one binary drives the CPU back-end
+    // and the (simulated) GPU back-end at the same time.
+    using AccCpu = acc::AccCpuOmp2Blocks<Dim1, Size>;
+    using AccSim = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const devCpu = dev::DevMan<AccCpu>::getDevByIdx(0);
+    auto const devSim = dev::DevMan<AccSim>::getDevByIdx(0);
+    stream::StreamCpuAsync cpuStream(devCpu);
+    stream::StreamCudaSimAsync simStream(devSim);
+
+    Size const n = 8192;
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    auto cpuBuf = mem::buf::alloc<double, Size>(devCpu, n);
+    auto simBuf = mem::buf::alloc<double, Size>(devSim, n);
+    auto hostInit = mem::buf::alloc<double, Size>(host, n);
+    for(Size i = 0; i < n; ++i)
+        hostInit.data()[i] = 1.0;
+    Vec<Dim1, Size> const extent(n);
+    mem::view::copy(cpuStream, cpuBuf, hostInit, extent);
+    mem::view::copy(simStream, simBuf, hostInit, extent);
+
+    // Enqueue on both streams back to back; they proceed concurrently.
+    auto const wdCpu = workdiv::table2WorkDiv<AccCpu>(n, Size{1}, Size{16});
+    auto const wdSim = workdiv::table2WorkDiv<AccSim>(n, Size{64}, Size{1});
+    for(int round = 0; round < 4; ++round)
+    {
+        stream::enqueue(cpuStream, exec::create<AccCpu>(wdCpu, ScaleKernel{}, cpuBuf.data(), n, 2.0));
+        stream::enqueue(simStream, exec::create<AccSim>(wdSim, ScaleKernel{}, simBuf.data(), n, 2.0));
+    }
+
+    auto hostCpu = mem::buf::alloc<double, Size>(host, n);
+    auto hostSim = mem::buf::alloc<double, Size>(host, n);
+    mem::view::copy(cpuStream, hostCpu, cpuBuf, extent);
+    mem::view::copy(simStream, hostSim, simBuf, extent);
+    wait::wait(cpuStream);
+    wait::wait(simStream);
+
+    for(Size i = 0; i < n; ++i)
+    {
+        ASSERT_EQ(hostCpu.data()[i], 16.0);
+        ASSERT_EQ(hostSim.data()[i], 16.0);
+    }
+}
+
+TEST(Integration, GemmPipelineWithSeparateCopyAndComputeStreams)
+{
+    // Copy A/B on one stream, compute on another, synchronized by events —
+    // the canonical overlap pattern.
+    using Acc = acc::AccGpuCudaSim<Dim2, Size>;
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimAsync copyStream(dev);
+    stream::StreamCudaSimAsync computeStream(dev);
+
+    Size const n = 32;
+    workload::HostMatrix a(n, 51);
+    workload::HostMatrix b(n, 52);
+    workload::HostMatrix c(n, 53);
+    auto ref = c.values;
+    workload::refGemm(n, 1.0, a.data(), n, b.data(), n, 0.0, ref.data(), n);
+
+    Vec<Dim2, Size> const extent(n, n);
+    auto devA = mem::buf::alloc<double, Size>(dev, extent);
+    auto devB = mem::buf::alloc<double, Size>(dev, extent);
+    auto devC = mem::buf::alloc<double, Size>(dev, extent);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewA(a.data(), host, extent);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewB(b.data(), host, extent);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim2, Size> viewC(c.data(), host, extent);
+
+    mem::view::copy(copyStream, devA, viewA, extent);
+    mem::view::copy(copyStream, devB, viewB, extent);
+    event::EventCudaSim uploaded(dev);
+    stream::enqueue(copyStream, uploaded);
+
+    wait::wait(computeStream, uploaded);
+    auto const wd = workload::gemmTiledWorkDiv(
+        n,
+        Vec<Dim2, Size>(Size{4}, Size{4}),
+        Vec<Dim2, Size>(Size{1}, Size{2}));
+    stream::enqueue(
+        computeStream,
+        exec::create<Acc>(
+            wd,
+            workload::GemmTiledElemKernel{},
+            n,
+            1.0,
+            static_cast<double const*>(devA.data()),
+            devA.rowPitchBytes() / sizeof(double),
+            static_cast<double const*>(devB.data()),
+            devB.rowPitchBytes() / sizeof(double),
+            0.0,
+            devC.data(),
+            devC.rowPitchBytes() / sizeof(double)));
+    mem::view::copy(computeStream, viewC, devC, extent);
+    wait::wait(computeStream);
+
+    EXPECT_LT(workload::maxRelDiff(c.values, ref), 1e-10);
+}
+
+TEST(Integration, SameKernelMixedBackendsSequentially)
+{
+    // One TaskKernel source, three different accelerator instantiations,
+    // identical results (the "mixing parallelization models" claim).
+    Size const n = 2048;
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+
+    auto const runWith = [&]<typename Acc>(std::type_identity<Acc>, auto& stream, auto const& dev)
+        -> std::vector<double>
+    {
+        auto devBuf = mem::buf::alloc<double, Size>(dev, n);
+        auto hostBuf = mem::buf::alloc<double, Size>(host, n);
+        for(Size i = 0; i < n; ++i)
+            hostBuf.data()[i] = static_cast<double>(i % 97);
+        Vec<Dim1, Size> const extent(n);
+        mem::view::copy(stream, devBuf, hostBuf, extent);
+        auto const wd = workdiv::table2WorkDiv<Acc>(n, Size{16}, Size{4});
+        stream::enqueue(stream, exec::create<Acc>(wd, ScaleKernel{}, devBuf.data(), n, 1.5));
+        mem::view::copy(stream, hostBuf, devBuf, extent);
+        wait::wait(stream);
+        return {hostBuf.data(), hostBuf.data() + n};
+    };
+
+    auto const devCpu = dev::PltfCpu::getDevByIdx(0);
+    auto const devSim = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCpuSync sSerial(devCpu);
+    stream::StreamCpuSync sFibers(devCpu);
+    stream::StreamCudaSimAsync sSim(devSim);
+
+    auto const a = runWith(std::type_identity<acc::AccCpuSerial<Dim1, Size>>{}, sSerial, devCpu);
+    auto const b = runWith(std::type_identity<acc::AccCpuFibers<Dim1, Size>>{}, sFibers, devCpu);
+    auto const c = runWith(std::type_identity<acc::AccGpuCudaSim<Dim1, Size>>{}, sSim, devSim);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+}

@@ -1,0 +1,174 @@
+/// \file Stress and fuzz tests: randomized multi-stream pipelines with a
+/// deterministic seed, launch storms, and large-grid execution. These
+/// probe the coordination machinery (queues, events, device serialization)
+/// far beyond the structured integration tests.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct AddKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint64_t* data, Size n, std::uint64_t delta) const
+        {
+            for(auto const i : uniformElements(acc, n))
+                data[i] += delta;
+        }
+    };
+
+    struct MarkKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::uint32_t* out, Size count) const
+        {
+            auto const i = idx::getIdx<Grid, Threads>(acc)[0];
+            if(i < count)
+                out[i] = static_cast<std::uint32_t>(i % 65536);
+        }
+    };
+} // namespace
+
+//! Randomized interleaving of kernels, copies and events over two streams
+//! of one device; correctness is checked against a scalar replay of the
+//! same operation sequence. Deterministic per seed.
+class StreamFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StreamFuzz, RandomPipelineMatchesScalarReplay)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimAsync s1(dev);
+    stream::StreamCudaSimAsync s2(dev);
+
+    Size const n = 512;
+    auto hostBuf = mem::buf::alloc<std::uint64_t, Size>(host, n);
+    auto devBuf = mem::buf::alloc<std::uint64_t, Size>(dev, n);
+    std::vector<std::uint64_t> model(n, 0);
+    for(Size i = 0; i < n; ++i)
+        hostBuf.data()[i] = 0;
+    Vec<Dim1, Size> const extent(n);
+    mem::view::copy(s1, devBuf, hostBuf, extent);
+    // s2 must not race ahead of the initial upload.
+    event::EventCudaSim uploaded(dev);
+    stream::enqueue(s1, uploaded);
+    wait::wait(s2, uploaded);
+
+    std::mt19937 rng(GetParam());
+    auto const wd = workdiv::table2WorkDiv<Acc>(n, Size{64}, Size{1});
+
+    // Alternate phases: one stream is active at a time, with an event
+    // handing the timeline over — a randomized ping-pong pipeline.
+    auto* active = &s1;
+    auto* passive = &s2;
+    for(int op = 0; op < 40; ++op)
+    {
+        auto const delta = static_cast<std::uint64_t>(rng() % 1000);
+        stream::enqueue(*active, exec::create<Acc>(wd, AddKernel{}, devBuf.data(), n, delta));
+        for(auto& v : model)
+            v += delta;
+
+        if(rng() % 3 == 0)
+        {
+            // Hand over to the other stream through an event.
+            event::EventCudaSim handoff(dev);
+            stream::enqueue(*active, handoff);
+            wait::wait(*passive, handoff);
+            std::swap(active, passive);
+        }
+    }
+    mem::view::copy(*active, hostBuf, devBuf, extent);
+    wait::wait(*active);
+    wait::wait(*passive);
+
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(hostBuf.data()[i], model[i]) << "element " << i << " seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+TEST(Stress, LaunchStormOnAsyncStreams)
+{
+    // Hundreds of tiny launches across CPU and simulator streams at once;
+    // the final counters prove nothing was lost or duplicated.
+    using AccSim = acc::AccGpuCudaSim<Dim1, Size>;
+    using AccCpu = acc::AccCpuOmp2Blocks<Dim1, Size>;
+    auto const devSim = dev::PltfCudaSim::getDevByIdx(0);
+    auto const devCpu = dev::PltfCpu::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimAsync simStream(devSim);
+    stream::StreamCpuAsync cpuStream(devCpu);
+
+    Size const n = 64;
+    auto devBuf = mem::buf::alloc<std::uint64_t, Size>(devSim, n);
+    auto cpuBuf = mem::buf::alloc<std::uint64_t, Size>(devCpu, n);
+    Vec<Dim1, Size> const extent(n);
+    mem::view::set(simStream, devBuf, 0, extent);
+    mem::view::set(cpuStream, cpuBuf, 0, extent);
+
+    int const launches = 300;
+    auto const wdSim = workdiv::table2WorkDiv<AccSim>(n, Size{32}, Size{1});
+    auto const wdCpu = workdiv::table2WorkDiv<AccCpu>(n, Size{1}, Size{8});
+    for(int i = 0; i < launches; ++i)
+    {
+        stream::enqueue(simStream, exec::create<AccSim>(wdSim, AddKernel{}, devBuf.data(), n, std::uint64_t{1}));
+        stream::enqueue(cpuStream, exec::create<AccCpu>(wdCpu, AddKernel{}, cpuBuf.data(), n, std::uint64_t{1}));
+    }
+
+    auto hostBuf = mem::buf::alloc<std::uint64_t, Size>(host, n);
+    mem::view::copy(simStream, hostBuf, devBuf, extent);
+    wait::wait(simStream);
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(hostBuf.data()[i], static_cast<std::uint64_t>(launches));
+
+    wait::wait(cpuStream);
+    for(Size i = 0; i < n; ++i)
+        ASSERT_EQ(cpuBuf.data()[i], static_cast<std::uint64_t>(launches));
+}
+
+TEST(Stress, LargeGridOnSimulator)
+{
+    // 16k blocks x 64 threads = 1M threads through the fiber engine.
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCudaSimSync stream(dev);
+
+    Size const n = 1u << 20;
+    auto devBuf = mem::buf::alloc<std::uint32_t, Size>(dev, n);
+    Vec<Dim1, Size> const extent(n);
+    mem::view::set(stream, devBuf, 0, extent);
+
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n / 64, Size{64}, Size{1});
+    auto const exec = exec::create<Acc>(wd, MarkKernel{}, devBuf.data(), n);
+    stream::enqueue(stream, exec);
+
+    auto hostBuf = mem::buf::alloc<std::uint32_t, Size>(host, n);
+    mem::view::copy(stream, hostBuf, devBuf, extent);
+    wait::wait(stream);
+    for(Size i = 0; i < n; i += 4097) // sampled check
+        ASSERT_EQ(hostBuf.data()[i], i % 65536);
+}
+
+TEST(Stress, ManySmallBuffersChurnTheSimAllocator)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const before = dev.simDevice().memory().stats().liveBytes;
+    for(int round = 0; round < 50; ++round)
+    {
+        std::vector<mem::buf::BufCudaSim<double, Dim1, Size>> buffers;
+        for(Size k = 1; k <= 20; ++k)
+            buffers.push_back(mem::buf::alloc<double, Size>(dev, k * 17));
+    }
+    EXPECT_EQ(dev.simDevice().memory().stats().liveBytes, before) << "allocator leaked";
+}

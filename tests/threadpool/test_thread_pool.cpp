@@ -1,0 +1,140 @@
+/// \file Unit tests of the persistent worker pool substrate.
+#include <threadpool/thread_pool.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    threadpool::ThreadPool pool(2);
+    std::vector<std::atomic<int>> visits(1000);
+    pool.parallelFor(1000, [&](std::size_t i) { visits[i] += 1; });
+    for(auto const& v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop)
+{
+    threadpool::ThreadPool pool(2);
+    EXPECT_NO_THROW(pool.parallelFor(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops)
+{
+    threadpool::ThreadPool pool(3);
+    for(int round = 0; round < 50; ++round)
+    {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, SubmitterHelpsOnWork)
+{
+    // Even a pool whose workers are busy elsewhere can't deadlock: the
+    // submitting thread participates in its own loop.
+    threadpool::ThreadPool pool(1);
+    std::atomic<int> count{0};
+    pool.parallelFor(64, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndBounded)
+{
+    threadpool::ThreadPool pool(2);
+    std::mutex m;
+    std::set<std::size_t> seen;
+    pool.parallelFor(
+        200,
+        [&](std::size_t)
+        {
+            auto const w = threadpool::ThreadPool::currentWorkerIndex();
+            std::scoped_lock lock(m);
+            seen.insert(w);
+        });
+    // Either a pool worker (0..1) or the helping submitter (npos).
+    for(auto const w : seen)
+        EXPECT_TRUE(w < 2 || w == threadpool::ThreadPool::npos);
+}
+
+TEST(ThreadPool, NonWorkerThreadHasNoIndex)
+{
+    EXPECT_EQ(threadpool::ThreadPool::currentWorkerIndex(), threadpool::ThreadPool::npos);
+}
+
+TEST(ThreadPool, ExceptionsArePropagatedAfterDrain)
+{
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(
+            100,
+            [&](std::size_t i)
+            {
+                ++executed;
+                if(i == 13)
+                    throw std::runtime_error("injected");
+            }),
+        std::runtime_error);
+    // All indices were still dispatched (no premature abort of siblings).
+    EXPECT_EQ(executed.load(), 100);
+    // Pool remains usable.
+    std::atomic<int> ok{0};
+    pool.parallelFor(10, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ReentrantUseRejected)
+{
+    // Nested parallelFor from ANY participating thread — pool worker or the
+    // helping submitter — must be rejected instead of corrupting the job.
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> threwInside{0};
+    pool.parallelFor(
+        4,
+        [&](std::size_t)
+        {
+            try
+            {
+                pool.parallelFor(2, [](std::size_t) {});
+            }
+            catch(std::logic_error const&)
+            {
+                ++threwInside;
+            }
+        });
+    EXPECT_EQ(threwInside.load(), 4);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton)
+{
+    auto& a = threadpool::ThreadPool::global();
+    auto& b = threadpool::ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.workerCount(), 1u);
+}
+
+TEST(ThreadPool, LargeDynamicLoadIsBalancedToCompletion)
+{
+    threadpool::ThreadPool pool(4);
+    std::atomic<std::uint64_t> total{0};
+    // Skewed work: index i costs ~i iterations.
+    pool.parallelFor(
+        500,
+        [&](std::size_t i)
+        {
+            std::uint64_t local = 0;
+            for(std::size_t k = 0; k < i; ++k)
+                local += k;
+            total += local + 1;
+        });
+    std::uint64_t expected = 0;
+    for(std::size_t i = 0; i < 500; ++i)
+        expected += i * (i - 1) / 2 + 1;
+    EXPECT_EQ(total.load(), expected);
+}

@@ -1,0 +1,176 @@
+/// \file Tests of the workload utilities and the native baselines.
+#include <native/native.hpp>
+#include <workload/matrix.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+TEST(FillRandom, DeterministicPerSeedAndInRange)
+{
+    std::vector<double> a(1000);
+    std::vector<double> b(1000);
+    workload::fillRandom(a, 7);
+    workload::fillRandom(b, 7);
+    EXPECT_EQ(a, b);
+    workload::fillRandom(b, 8);
+    EXPECT_NE(a, b);
+    // Paper: random values in [0, 10).
+    for(auto const v : a)
+    {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 10.0);
+    }
+}
+
+TEST(MaxRelDiff, DetectsDeviation)
+{
+    std::vector<double> const a{1.0, 2.0, 100.0};
+    std::vector<double> b = a;
+    EXPECT_EQ(workload::maxRelDiff(a, b), 0.0);
+    b[2] = 101.0;
+    EXPECT_NEAR(workload::maxRelDiff(a, b), 1.0 / 101.0, 1e-12);
+}
+
+TEST(RefGemm, MatchesHandComputed2x2)
+{
+    // A = [1 2; 3 4], B = [5 6; 7 8], C0 = [1 1; 1 1]
+    // alpha*A*B + beta*C with alpha = 2, beta = 0.5:
+    // A*B = [19 22; 43 50] -> 2*A*B + 0.5 = [38.5 44.5; 86.5 100.5]
+    std::vector<double> a{1, 2, 3, 4};
+    std::vector<double> b{5, 6, 7, 8};
+    std::vector<double> c{1, 1, 1, 1};
+    workload::refGemm(2, 2.0, a.data(), 2, b.data(), 2, 0.5, c.data(), 2);
+    EXPECT_DOUBLE_EQ(c[0], 38.5);
+    EXPECT_DOUBLE_EQ(c[1], 44.5);
+    EXPECT_DOUBLE_EQ(c[2], 86.5);
+    EXPECT_DOUBLE_EQ(c[3], 100.5);
+}
+
+TEST(RefGemm, IdentityTimesMatrixIsMatrix)
+{
+    std::size_t const n = 16;
+    std::vector<double> eye(n * n, 0.0);
+    for(std::size_t i = 0; i < n; ++i)
+        eye[i * n + i] = 1.0;
+    workload::HostMatrix b(n, 3);
+    std::vector<double> c(n * n, 0.0);
+    workload::refGemm(n, 1.0, eye.data(), n, b.data(), n, 0.0, c.data(), n);
+    EXPECT_EQ(workload::maxRelDiff(c, b.values), 0.0);
+}
+
+TEST(GemmFlops, CountsMulAddAndScaling)
+{
+    EXPECT_DOUBLE_EQ(workload::gemmFlops(10), 2.0 * 1000 + 3.0 * 100);
+    EXPECT_DOUBLE_EQ(workload::daxpyFlops(10), 20.0);
+}
+
+// ---------------------------------------------------------------------
+// Native baselines against the reference.
+
+namespace
+{
+    void expectGemmMatchesRef(
+        void (*gemm)(
+            std::size_t,
+            double,
+            double const*,
+            std::size_t,
+            double const*,
+            std::size_t,
+            double,
+            double*,
+            std::size_t),
+        std::size_t n)
+    {
+        workload::HostMatrix a(n, 11);
+        workload::HostMatrix b(n, 12);
+        workload::HostMatrix c(n, 13);
+        auto ref = c.values;
+        gemm(n, 1.25, a.data(), n, b.data(), n, 0.75, c.data(), n);
+        workload::refGemm(n, 1.25, a.data(), n, b.data(), n, 0.75, ref.data(), n);
+        EXPECT_LT(workload::maxRelDiff(c.values, ref), 1e-10);
+    }
+} // namespace
+
+TEST(NativeBaselines, SeqGemmMatchesReference)
+{
+    expectGemmMatchesRef(&native::seq::gemm, 33);
+}
+
+TEST(NativeBaselines, OmpGemmMatchesReference)
+{
+    expectGemmMatchesRef(&native::omp::gemm, 48);
+}
+
+TEST(NativeBaselines, DaxpyVariantsAgree)
+{
+    std::size_t const n = 10000;
+    std::vector<double> x(n);
+    workload::fillRandom(x, 1);
+    std::vector<double> ySeq(n);
+    workload::fillRandom(ySeq, 2);
+    auto yOmp = ySeq;
+
+    native::seq::daxpy(n, 3.5, x.data(), ySeq.data());
+    native::omp::daxpy(n, 3.5, x.data(), yOmp.data());
+    EXPECT_EQ(ySeq, yOmp);
+}
+
+TEST(NativeBaselines, SimDaxpyMatchesSeq)
+{
+    std::size_t const n = 5000;
+    gpusim::Device dev(gpusim::genericSpec());
+    gpusim::Stream stream(dev, false);
+
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    workload::fillRandom(x, 5);
+    workload::fillRandom(y, 6);
+    auto expected = y;
+    native::seq::daxpy(n, 2.25, x.data(), expected.data());
+
+    auto* const dx = static_cast<double*>(dev.memory().allocate(n * sizeof(double)));
+    auto* const dy = static_cast<double*>(dev.memory().allocate(n * sizeof(double)));
+    stream.memcpyHtoD(dx, x.data(), n * sizeof(double));
+    stream.memcpyHtoD(dy, y.data(), n * sizeof(double));
+    native::sim::daxpy(stream, n, 2.25, dx, dy);
+    stream.memcpyDtoH(y.data(), dy, n * sizeof(double));
+    stream.wait();
+
+    EXPECT_EQ(y, expected);
+    dev.memory().free(dx);
+    dev.memory().free(dy);
+}
+
+TEST(NativeBaselines, SimGemmTiledMatchesReference)
+{
+    std::size_t const n = 48; // ragged vs tile 8? 48 = 6 tiles exactly; try 50 below
+    for(std::size_t extent : {n, std::size_t{50}})
+    {
+        gpusim::Device dev(gpusim::genericSpec());
+        gpusim::Stream stream(dev, false);
+
+        workload::HostMatrix a(extent, 21);
+        workload::HostMatrix b(extent, 22);
+        workload::HostMatrix c(extent, 23);
+        auto ref = c.values;
+        workload::refGemm(extent, 2.0, a.data(), extent, b.data(), extent, 1.0, ref.data(), extent);
+
+        auto const bytes = extent * extent * sizeof(double);
+        auto* const da = static_cast<double*>(dev.memory().allocate(bytes));
+        auto* const db = static_cast<double*>(dev.memory().allocate(bytes));
+        auto* const dc = static_cast<double*>(dev.memory().allocate(bytes));
+        stream.memcpyHtoD(da, a.data(), bytes);
+        stream.memcpyHtoD(db, b.data(), bytes);
+        stream.memcpyHtoD(dc, c.data(), bytes);
+        native::sim::gemmTiled(stream, extent, 2.0, da, extent, db, extent, 1.0, dc, extent, 8);
+        stream.memcpyDtoH(c.values.data(), dc, bytes);
+        stream.wait();
+
+        EXPECT_LT(workload::maxRelDiff(c.values, ref), 1e-10) << "extent " << extent;
+        dev.memory().free(da);
+        dev.memory().free(db);
+        dev.memory().free(dc);
+    }
+}
