@@ -1,0 +1,262 @@
+/// \file Launch-overhead benchmark of the host execution engine
+/// (DESIGN.md "Zero-overhead launch engine").
+///
+/// Measures the cost of launching small grids of a cheap kernel — the
+/// regime where the paper's Fig. 5 zero-overhead claim is decided by the
+/// engine, not by the kernel — and compares the chunked lock-free
+/// ThreadPool against a faithful in-file copy of the seed's
+/// mutex-per-index engine (one mutex acquisition per block index, one 4 MB
+/// arena allocation per launch). Emits BENCH_launch_overhead.json via
+/// bench_util so the perf trajectory is tracked from this PR onward.
+#include <alpaka/alpaka.hpp>
+#include <bench_util/bench_util.hpp>
+
+#include <condition_variable>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    // ------------------------------------------------------------------
+    //! The seed's scheduling engine, reproduced verbatim in spirit: a
+    //! single job slot handing out ONE index per mutex acquisition, with
+    //! condition-variable parking. Kept here as the measurement baseline
+    //! so the speedup is computed against the real pre-PR engine rather
+    //! than a guess.
+    class MutexPerIndexPool
+    {
+    public:
+        explicit MutexPerIndexPool(std::size_t workers)
+        {
+            workers_.reserve(workers);
+            for(std::size_t w = 0; w < workers; ++w)
+                workers_.emplace_back([this] { workerLoop(); });
+        }
+
+        ~MutexPerIndexPool()
+        {
+            {
+                std::scoped_lock lock(mutex_);
+                shutdown_ = true;
+            }
+            cvWork_.notify_all();
+        }
+
+        void parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn)
+        {
+            if(count == 0)
+                return;
+            std::unique_lock lock(mutex_);
+            job_ = Job{count, &fn, 0, 0};
+            ++jobGeneration_;
+            cvWork_.notify_all();
+            ++job_.active;
+            while(true)
+            {
+                if(job_.next >= job_.count)
+                    break;
+                auto const index = job_.next++;
+                lock.unlock();
+                fn(index);
+                lock.lock();
+            }
+            --job_.active;
+            cvDone_.wait(lock, [&] { return job_.next >= job_.count && job_.active == 0; });
+            job_.fn = nullptr;
+        }
+
+    private:
+        struct Job
+        {
+            std::size_t count = 0;
+            std::function<void(std::size_t)> const* fn = nullptr;
+            std::size_t next = 0;
+            std::size_t active = 0;
+        };
+
+        void workerLoop()
+        {
+            std::uint64_t seenGeneration = 0;
+            std::unique_lock lock(mutex_);
+            for(;;)
+            {
+                cvWork_.wait(
+                    lock,
+                    [&] { return shutdown_ || (jobGeneration_ != seenGeneration && job_.fn != nullptr); });
+                if(shutdown_)
+                    return;
+                seenGeneration = jobGeneration_;
+                auto const* fn = job_.fn;
+                ++job_.active;
+                while(job_.fn == fn && job_.next < job_.count)
+                {
+                    auto const index = job_.next++;
+                    lock.unlock();
+                    (*fn)(index);
+                    lock.lock();
+                }
+                --job_.active;
+                if(job_.active == 0 && job_.next >= job_.count)
+                    cvDone_.notify_all();
+            }
+        }
+
+        std::mutex mutex_;
+        std::condition_variable cvWork_;
+        std::condition_variable cvDone_;
+        std::uint64_t jobGeneration_ = 0;
+        Job job_{};
+        bool shutdown_ = false;
+        std::vector<std::jthread> workers_;
+    };
+
+    //! A cheap kernel: a handful of arithmetic ops per block, so the
+    //! measured time is dominated by the engine.
+    struct CheapKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out) const
+        {
+            auto const b = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[b] = static_cast<double>(b) * 1.000001 + 0.5;
+        }
+    };
+
+    //! Seconds per launch of \p launches back-to-back launches.
+    template<typename TFn>
+    auto secondsPerLaunch(std::size_t launches, TFn&& launch) -> double
+    {
+        // Warm up arenas, pool threads, futex state.
+        for(int i = 0; i < 32; ++i)
+            launch();
+        auto const total = bench::timeBestOf(
+            bench::defaultReps(),
+            [&]
+            {
+                for(std::size_t i = 0; i < launches; ++i)
+                    launch();
+            });
+        return total / static_cast<double>(launches);
+    }
+
+    //! The seed's per-launch arena behaviour for the baseline: one fresh
+    //! 4 MB allocation per participant per launch.
+    auto baselineArenas(std::size_t participants) -> std::vector<std::unique_ptr<std::byte[]>>
+    {
+        std::vector<std::unique_ptr<std::byte[]>> arenas(participants);
+        for(auto& a : arenas)
+            a = std::make_unique_for_overwrite<std::byte[]>(acc::detail::cpuSharedMemBytes);
+        return arenas;
+    }
+} // namespace
+
+auto main() -> int
+{
+    bench::banner(
+        std::cout,
+        "Launch overhead: lock-free chunked engine vs seed mutex-per-index engine",
+        "small grids, cheap kernel; per-launch wall clock; target >= 3x on AccCpuTaskBlocks");
+
+    auto const launches = bench::fullSweep() ? std::size_t{2000} : std::size_t{500};
+    auto const workers = threadpool::ThreadPool::global().workerCount();
+
+    bench::JsonReport report("launch_overhead");
+    bench::Table table({"grid blocks", "engine", "ns/launch", "speedup vs seed"});
+    bool ok = true;
+
+    for(Size const blocks : {Size{1}, Size{8}, Size{64}, Size{512}})
+    {
+        std::vector<double> out(blocks, 0.0);
+
+        // ---- baseline: seed engine (mutex per index + per-launch arenas)
+        MutexPerIndexPool seedPool(workers);
+        std::function<void(std::size_t)> const seedBody = [&](std::size_t b)
+        { out[b] = static_cast<double>(b) * 1.000001 + 0.5; };
+        auto const tSeed = secondsPerLaunch(
+            launches,
+            [&]
+            {
+                auto const arenas = baselineArenas(workers + 1);
+                (void) arenas;
+                seedPool.parallelFor(blocks, seedBody);
+            });
+
+        // ---- new engine, full alpaka launch path on AccCpuTaskBlocks
+        using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+        auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+        stream::StreamCpuSync stream(dev);
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, Size{1}, Size{1});
+        auto const exec = exec::create<Acc>(wd, CheapKernel{}, out.data());
+        auto const tNew = secondsPerLaunch(launches, [&] { stream::enqueue(stream, exec); });
+
+        auto const speedup = tSeed / tNew;
+        table.addRow(
+            {std::to_string(blocks),
+             "TaskBlocks",
+             bench::fmt(tNew * 1e9, 0),
+             bench::fmt(speedup, 2)});
+        report.beginRecord();
+        report.str("acc", "AccCpuTaskBlocks");
+        report.num("grid_blocks", static_cast<std::size_t>(blocks));
+        report.num("ns_per_launch_seed_engine", tSeed * 1e9);
+        report.num("ns_per_launch_new_engine", tNew * 1e9);
+        report.num("speedup", speedup);
+        // The acceptance gate targets the small-grid cheap-kernel case.
+        if(blocks <= 64)
+            ok = ok && speedup >= 3.0;
+    }
+
+    // Secondary series: raw pool loop (no alpaka wrapping) to separate the
+    // scheduler win from the arena/executor win.
+    for(Size const blocks : {Size{8}, Size{64}})
+    {
+        std::vector<double> out(blocks, 0.0);
+        MutexPerIndexPool seedPool(workers);
+        std::function<void(std::size_t)> const body = [&](std::size_t b)
+        { out[b] = static_cast<double>(b) * 1.000001 + 0.5; };
+        auto const tSeed
+            = secondsPerLaunch(launches, [&] { seedPool.parallelFor(blocks, body); });
+        auto const tNew = secondsPerLaunch(
+            launches,
+            [&]
+            {
+                threadpool::ThreadPool::global().parallelForTemplated(
+                    static_cast<std::size_t>(blocks),
+                    [&](std::size_t b) { out[b] = static_cast<double>(b) * 1.000001 + 0.5; });
+            });
+        auto const speedup = tSeed / tNew;
+        table.addRow(
+            {std::to_string(blocks), "raw pool", bench::fmt(tNew * 1e9, 0), bench::fmt(speedup, 2)});
+        report.beginRecord();
+        report.str("acc", "raw_parallel_for");
+        report.num("grid_blocks", static_cast<std::size_t>(blocks));
+        report.num("ns_per_launch_seed_engine", tSeed * 1e9);
+        report.num("ns_per_launch_new_engine", tNew * 1e9);
+        report.num("speedup", speedup);
+    }
+
+    table.print(std::cout);
+    table.printCsv(std::cout);
+
+    try
+    {
+        char const* const outDir = std::getenv("BENCH_OUT_DIR");
+        auto const path = report.write(outDir != nullptr ? outDir : "");
+        std::cout << "\nreport: " << path << '\n';
+    }
+    catch(std::exception const& e)
+    {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    std::cout << (ok ? "launch-overhead gate: PASS (>= 3x on small grids)\n"
+                     : "launch-overhead gate: FAIL\n");
+    return ok ? 0 : 1;
+}

@@ -96,6 +96,38 @@ static void BM_KernelLaunchSerial(benchmark::State& state)
 }
 BENCHMARK(BM_KernelLaunchSerial);
 
+static void BM_KernelLaunchTaskBlocks(benchmark::State& state)
+{
+    // The launch-overhead path of the chunk-scheduled pool back-end:
+    // small grid, empty kernel — measures the engine, not the work.
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(static_cast<Size>(state.range(0)), Size{1}, Size{1});
+    auto const exec = exec::create<Acc>(wd, EmptyKernel{});
+    for(auto _ : state)
+    {
+        stream::enqueue(stream, exec);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelLaunchTaskBlocks)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->ArgNames({"blocks"});
+
+static void BM_KernelLaunchThreads(benchmark::State& state)
+{
+    // AccCpuThreads on the persistent TeamPool: per-launch cost without
+    // the per-launch jthread spawns of the seed engine.
+    using Acc = acc::AccCpuThreads<Dim1, Size>;
+    stream::StreamCpuSync stream(dev::PltfCpu::getDevByIdx(0));
+    workdiv::WorkDivMembers<Dim1, Size> const wd(Size{4}, static_cast<Size>(state.range(0)), Size{1});
+    auto const exec = exec::create<Acc>(wd, EmptyKernel{});
+    for(auto _ : state)
+    {
+        stream::enqueue(stream, exec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelLaunchThreads)->Arg(2)->Arg(4)->ArgNames({"threads"});
+
 static void BM_KernelLaunchCudaSim(benchmark::State& state)
 {
     using Acc = acc::AccGpuCudaSim<Dim1, Size>;

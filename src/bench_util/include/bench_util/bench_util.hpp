@@ -6,6 +6,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bench
@@ -78,4 +79,32 @@ namespace bench
 
     //! Prints a section banner like the paper's figure captions.
     void banner(std::ostream& os, std::string const& title, std::string const& subtitle = {});
+
+    //! Machine-readable benchmark report: a flat JSON document of the form
+    //!   {"benchmark": "<name>", "results": [{...}, ...]}
+    //! written as BENCH_<name>.json so CI can track the perf trajectory
+    //! across PRs. Values are either numbers or strings; no nesting — the
+    //! consumers are jq one-liners, not a schema.
+    class JsonReport
+    {
+    public:
+        explicit JsonReport(std::string name);
+
+        //! Starts a result record; finish it with num()/str() calls.
+        void beginRecord();
+        void num(std::string const& key, double value);
+        void num(std::string const& key, std::size_t value);
+        void str(std::string const& key, std::string const& value);
+
+        //! Serializes the report to "BENCH_<name>.json" inside \p dir (or
+        //! the current directory when empty). Returns the path written.
+        [[nodiscard]] auto write(std::string const& dir = {}) const -> std::string;
+
+        //! Serializes to \p os.
+        void print(std::ostream& os) const;
+
+    private:
+        std::string name_;
+        std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+    };
 } // namespace bench

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -102,5 +103,72 @@ namespace bench
         if(!subtitle.empty())
             os << subtitle << '\n';
         os << std::string(78, '=') << '\n';
+    }
+
+    namespace
+    {
+        auto jsonEscape(std::string const& s) -> std::string
+        {
+            std::string out;
+            out.reserve(s.size());
+            for(char const c : s)
+            {
+                if(c == '"' || c == '\\')
+                    out += '\\';
+                out += c;
+            }
+            return out;
+        }
+    } // namespace
+
+    JsonReport::JsonReport(std::string name) : name_(std::move(name))
+    {
+    }
+
+    void JsonReport::beginRecord()
+    {
+        records_.emplace_back();
+    }
+
+    void JsonReport::num(std::string const& key, double value)
+    {
+        std::ostringstream os;
+        os << value;
+        records_.back().emplace_back(key, os.str());
+    }
+
+    void JsonReport::num(std::string const& key, std::size_t value)
+    {
+        records_.back().emplace_back(key, std::to_string(value));
+    }
+
+    void JsonReport::str(std::string const& key, std::string const& value)
+    {
+        records_.back().emplace_back(key, '"' + jsonEscape(value) + '"');
+    }
+
+    void JsonReport::print(std::ostream& os) const
+    {
+        os << "{\n  \"benchmark\": \"" << jsonEscape(name_) << "\",\n  \"results\": [";
+        for(std::size_t r = 0; r < records_.size(); ++r)
+        {
+            os << (r == 0 ? "\n" : ",\n") << "    {";
+            for(std::size_t f = 0; f < records_[r].size(); ++f)
+                os << (f == 0 ? "" : ", ") << '"' << jsonEscape(records_[r][f].first)
+                   << "\": " << records_[r][f].second;
+            os << '}';
+        }
+        os << "\n  ]\n}\n";
+    }
+
+    auto JsonReport::write(std::string const& dir) const -> std::string
+    {
+        auto path = dir.empty() ? std::string{} : dir + '/';
+        path += "BENCH_" + name_ + ".json";
+        std::ofstream file(path);
+        print(file);
+        if(!file)
+            throw std::runtime_error("bench::JsonReport: cannot write " + path);
+        return path;
     }
 } // namespace bench

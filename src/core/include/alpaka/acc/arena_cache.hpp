@@ -1,0 +1,77 @@
+/// \file Persistent per-thread block-shared-memory arenas.
+///
+/// Every CPU back-end hands each concurrently executing block a 4 MB
+/// shared-memory arena (acc_cpu.hpp: cpuSharedMemBytes). The seed allocated
+/// these arenas with make_unique_for_overwrite on *every* kernel launch —
+/// one malloc/free of 4 MB per launch (and one per OpenMP thread in
+/// AccCpuOmp2Blocks), which alone violates the paper's zero-overhead claim
+/// (Fig. 5) for small grids. This cache keeps one arena alive per OS
+/// thread for the lifetime of the thread, so steady-state launches perform
+/// zero shared-arena heap allocations.
+///
+/// Safety argument: an arena is handed out per *executing* thread —
+///  * single-threaded-block back-ends (Serial, Omp2Blocks, TaskBlocks,
+///    Omp4) fetch it on the thread that runs the block, and one thread
+///    runs one block at a time;
+///  * multi-threaded-block back-ends (Threads, Fibers, Omp2Threads) fetch
+///    it once per launch on the *launching* thread and share it across the
+///    block's team — concurrent launches come from distinct launcher
+///    threads and therefore get distinct arenas.
+/// Contents are undefined between launches, matching CUDA shared-memory
+/// semantics (and the seed's make_unique_for_overwrite).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace alpaka::acc
+{
+    class SharedArenaCache
+    {
+    public:
+        //! The calling thread's arena, at least \p bytes large. The arena
+        //! is (re)allocated only when \p bytes grows beyond the cached
+        //! capacity — with the fixed per-accelerator capacities this
+        //! happens at most once per thread.
+        [[nodiscard]] static auto get(std::size_t bytes) -> std::byte*
+        {
+            auto& slot = local();
+            if(slot.capacity < bytes)
+            {
+                // Uninitialized: shared memory contents are undefined
+                // (CUDA semantics) and touching multiple megabytes per
+                // launch would itself violate the zero-overhead property.
+                slot.arena = std::make_unique_for_overwrite<std::byte[]>(bytes);
+                slot.capacity = bytes;
+            }
+            return slot.arena.get();
+        }
+
+        //! Capacity currently cached for the calling thread (test hook).
+        [[nodiscard]] static auto capacity() noexcept -> std::size_t
+        {
+            return local().capacity;
+        }
+
+        //! Drops the calling thread's arena (test hook).
+        static void reset() noexcept
+        {
+            auto& slot = local();
+            slot.arena.reset();
+            slot.capacity = 0;
+        }
+
+    private:
+        struct Slot
+        {
+            std::unique_ptr<std::byte[]> arena;
+            std::size_t capacity = 0;
+        };
+
+        [[nodiscard]] static auto local() noexcept -> Slot&
+        {
+            thread_local Slot slot;
+            return slot;
+        }
+    };
+} // namespace alpaka::acc

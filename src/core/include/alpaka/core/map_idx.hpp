@@ -53,4 +53,64 @@ namespace alpaka::core
             return result;
         }
     }
+
+    //! Linear -> N-d decoder with the extent products precomputed once.
+    //!
+    //! mapIdx<N>(Vec<1>, extent) re-derives the row-major weights with a
+    //! division chain on every call; the executors decode one linear block
+    //! index per block, so per launch that is gridBlockCount repetitions of
+    //! identical product computations. An IdxMapper is built once per
+    //! launch from the grid extent and caches the suffix products
+    //! (pitches), so decoding costs one division per dimension — and for
+    //! the 1-d case (the hot launch-overhead path) no division at all.
+    template<typename TDim, typename TSize>
+    class IdxMapper
+    {
+    public:
+        //! All-zero pitches; only useful as a mapping target (OpenMP
+        //! target regions require mappable, default-constructible types).
+        constexpr IdxMapper() = default;
+
+        ALPAKA_FN_HOST_ACC constexpr explicit IdxMapper(Vec<TDim, TSize> const& extent) noexcept
+        {
+            pitch_[TDim::value - 1] = static_cast<TSize>(1);
+            for(std::size_t d = TDim::value - 1; d-- > 0;)
+                pitch_[d] = pitch_[d + 1] * extent[d + 1];
+        }
+
+        //! Decodes \p linear (< extent.prod()) into its N-d index.
+        [[nodiscard]] ALPAKA_FN_HOST_ACC constexpr auto operator()(TSize linear) const noexcept
+            -> Vec<TDim, TSize>
+        {
+            if constexpr(TDim::value == 1)
+            {
+                return Vec<TDim, TSize>(linear);
+            }
+            else
+            {
+                Vec<TDim, TSize> idx;
+                for(std::size_t d = 0; d < TDim::value - 1; ++d)
+                {
+                    auto const q = linear / pitch_[d];
+                    idx[d] = q;
+                    linear -= q * pitch_[d];
+                }
+                idx[TDim::value - 1] = linear;
+                return idx;
+            }
+        }
+
+        //! Re-encodes an N-d index into its linear form.
+        [[nodiscard]] ALPAKA_FN_HOST_ACC constexpr auto linearize(Vec<TDim, TSize> const& idx) const noexcept
+            -> TSize
+        {
+            TSize linear = static_cast<TSize>(0);
+            for(std::size_t d = 0; d < TDim::value; ++d)
+                linear += idx[d] * pitch_[d];
+            return linear;
+        }
+
+    private:
+        Vec<TDim, TSize> pitch_;
+    };
 } // namespace alpaka::core

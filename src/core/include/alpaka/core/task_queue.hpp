@@ -105,11 +105,19 @@ namespace alpaka::core
                             error_ = std::current_exception();
                     }
                 }
+                // Batched drain notification: waiters only care about the
+                // fully drained state, so skip the notify (and the
+                // associated wakeups) while more tasks are queued. Like
+                // enqueue's notify_one, the notify stays outside the
+                // critical section so woken waiters find the mutex free.
+                bool drained;
                 {
                     std::scoped_lock lock(mutex_);
                     busy_ = false;
+                    drained = queue_.empty();
                 }
-                cvDrained_.notify_all();
+                if(drained)
+                    cvDrained_.notify_all();
             }
         }
 

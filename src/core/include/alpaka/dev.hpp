@@ -23,11 +23,17 @@ namespace alpaka::dev
             return "CPU-" + std::to_string(std::thread::hardware_concurrency()) + "-threads";
         }
 
-        //! Number of hardware threads.
+        //! Number of hardware threads. Cached: hardware_concurrency()
+        //! performs a syscall on glibc, and this sits on the per-launch
+        //! validation path (getAccDevProps) of every CPU back-end.
         [[nodiscard]] static auto concurrency() -> std::size_t
         {
-            auto const n = std::thread::hardware_concurrency();
-            return n == 0 ? 1 : n;
+            static std::size_t const cached = []
+            {
+                auto const n = std::thread::hardware_concurrency();
+                return n == 0 ? std::size_t{1} : std::size_t{n};
+            }();
+            return cached;
         }
 
         [[nodiscard]] constexpr auto operator==(DevCpu const&) const noexcept -> bool = default;

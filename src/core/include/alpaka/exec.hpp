@@ -7,6 +7,7 @@
 #include "alpaka/acc/acc_cpu.hpp"
 #include "alpaka/acc/acc_cpu_extra.hpp"
 #include "alpaka/acc/acc_cudasim.hpp"
+#include "alpaka/acc/arena_cache.hpp"
 #include "alpaka/block.hpp"
 #include "alpaka/core/error.hpp"
 #include "alpaka/core/map_idx.hpp"
@@ -18,6 +19,7 @@
 
 #include "fiber/fiber.hpp"
 #include "gpusim/device.hpp"
+#include "threadpool/team_pool.hpp"
 #include "threadpool/thread_pool.hpp"
 
 #include <omp.h>
@@ -26,9 +28,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <tuple>
-#include <vector>
 
 namespace alpaka::exec
 {
@@ -133,17 +133,18 @@ namespace alpaka::exec
         template<typename TAcc>
         struct KernelRunner;
 
-        //! Shared per-run block state for the CPU runners. The arena is
-        //! allocated *without* value-initialization: shared memory contents
-        //! are undefined (CUDA semantics) and touching multiple megabytes
-        //! per launch would violate the zero-overhead property (Fig. 5).
+        //! Shared per-run block state for the CPU runners. The arena comes
+        //! from the calling thread's SharedArenaCache — reused across
+        //! launches, so a steady-state launch allocates nothing (see
+        //! arena_cache.hpp for the reuse-safety argument). Its contents are
+        //! undefined (CUDA semantics); zeroing multiple megabytes per
+        //! launch would itself violate the zero-overhead property (Fig. 5).
         template<typename TDim, typename TSize>
         struct CpuRunContext
         {
             template<typename TTask>
             CpuRunContext(dev::DevCpu const& dev, TTask const& task, std::size_t capacityBytes)
-                : arena(std::make_unique_for_overwrite<std::byte[]>(capacityBytes))
-                , shared{arena.get(), capacityBytes, task.dynSharedMemBytes()}
+                : shared{acc::SharedArenaCache::get(capacityBytes), capacityBytes, task.dynSharedMemBytes()}
             {
                 (void) dev;
                 if(shared.dynBytes > capacityBytes)
@@ -152,15 +153,17 @@ namespace alpaka::exec
                         + " B exceeds the accelerator's " + std::to_string(capacityBytes) + " B");
             }
 
-            std::unique_ptr<std::byte[]> arena;
             acc::detail::SharedBlock shared;
         };
 
-        //! Decodes linear block index \p b into grid coordinates.
+        //! Decodes linear block index \p b into grid coordinates. Part of
+        //! the back-end extension surface (out-of-tree runners use it);
+        //! in-tree runners hoist a core::IdxMapper out of the block loop
+        //! instead so the extent products are computed once per launch.
         template<typename TDim, typename TSize>
         [[nodiscard]] auto blockIdxFromLinear(Vec<TDim, TSize> const& gridExtent, TSize b) -> Vec<TDim, TSize>
         {
-            return core::mapIdx<TDim::value>(Vec<dim::DimInt<1>, TSize>(b), gridExtent);
+            return core::IdxMapper<TDim, TSize>(gridExtent)(b);
         }
 
         // ------------------------------------------------------------------
@@ -192,7 +195,8 @@ namespace alpaka::exec
         // ------------------------------------------------------------------
         //! C++ thread back-end: one OS thread per alpaka thread; every
         //! thread walks the block list; a std::barrier separates blocks and
-        //! implements block synchronization.
+        //! implements block synchronization. The team threads come from the
+        //! persistent TeamPool instead of being spawned per launch.
         template<typename TDim, typename TSize>
         struct KernelRunner<acc::AccCpuThreads<TDim, TSize>>
         {
@@ -208,49 +212,37 @@ namespace alpaka::exec
 
                 auto const threadCount = static_cast<std::size_t>(wd.blockThreadExtent().prod());
                 auto const blockCount = wd.gridBlockExtent().prod();
+                core::IdxMapper<TDim, TSize> const threadMap(wd.blockThreadExtent());
+                core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
                 std::barrier barrier(static_cast<std::ptrdiff_t>(threadCount));
                 ErrorSlot errors;
 
-                {
-                    std::vector<std::jthread> team;
-                    team.reserve(threadCount);
-                    for(std::size_t t = 0; t < threadCount; ++t)
+                threadpool::TeamPool::global().runTeam(
+                    threadCount,
+                    [&](std::size_t const t)
                     {
-                        team.emplace_back(
-                            [&, t]
+                        auto const threadIdx = threadMap(static_cast<TSize>(t));
+                        try
+                        {
+                            for(TSize b = 0; b < blockCount; ++b)
                             {
-                                auto const threadIdx = blockIdxFromLinear<TDim, TSize>(
-                                    wd.blockThreadExtent(),
-                                    static_cast<TSize>(t));
-                                try
-                                {
-                                    for(TSize b = 0; b < blockCount; ++b)
-                                    {
-                                        Acc const acc(
-                                            wd,
-                                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
-                                            threadIdx,
-                                            ctx.shared,
-                                            &barrier);
-                                        task.invoke(acc);
-                                        // Block boundary: no thread enters
-                                        // block b+1 (and reuses the shared
-                                        // arena) while a sibling still works
-                                        // on block b.
-                                        barrier.arrive_and_wait();
-                                    }
-                                }
-                                catch(...)
-                                {
-                                    errors.captureCurrent();
-                                    // Withdraw from all future barrier
-                                    // phases so the siblings do not deadlock
-                                    // waiting for this thread.
-                                    barrier.arrive_and_drop();
-                                }
-                            });
-                    }
-                } // jthreads join here
+                                Acc const acc(wd, blockMap(b), threadIdx, ctx.shared, &barrier);
+                                task.invoke(acc);
+                                // Block boundary: no thread enters block
+                                // b+1 (and reuses the shared arena) while a
+                                // sibling still works on block b.
+                                barrier.arrive_and_wait();
+                            }
+                        }
+                        catch(...)
+                        {
+                            errors.captureCurrent();
+                            // Withdraw from all future barrier phases so
+                            // the siblings do not deadlock waiting for this
+                            // thread.
+                            barrier.arrive_and_drop();
+                        }
+                    });
 
                 errors.rethrowIfSet();
             }
@@ -274,7 +266,12 @@ namespace alpaka::exec
 
                 auto const threadCount = static_cast<std::size_t>(wd.blockThreadExtent().prod());
                 auto const blockCount = wd.gridBlockExtent().prod();
-                fiber::Scheduler scheduler;
+                core::IdxMapper<TDim, TSize> const threadMap(wd.blockThreadExtent());
+                core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
+                // One persistent scheduler per launcher thread: its fiber
+                // stacks are pooled across launches, so steady-state
+                // launches reuse them instead of mmap-ing fresh stacks.
+                thread_local fiber::Scheduler scheduler;
                 fiber::Barrier barrier(threadCount);
 
                 try
@@ -283,17 +280,10 @@ namespace alpaka::exec
                         threadCount,
                         [&](std::size_t const t)
                         {
-                            auto const threadIdx = blockIdxFromLinear<TDim, TSize>(
-                                wd.blockThreadExtent(),
-                                static_cast<TSize>(t));
+                            auto const threadIdx = threadMap(static_cast<TSize>(t));
                             for(TSize b = 0; b < blockCount; ++b)
                             {
-                                Acc const acc(
-                                    wd,
-                                    blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
-                                    threadIdx,
-                                    ctx.shared,
-                                    &barrier);
+                                Acc const acc(wd, blockMap(b), threadIdx, ctx.shared, &barrier);
                                 task.invoke(acc);
                                 barrier.arriveAndWait();
                             }
@@ -328,25 +318,22 @@ namespace alpaka::exec
                     throw SharedMemOverflowError("AccCpuOmp2Blocks: dynamic shared memory exceeds capacity");
 
                 auto const blockCount = static_cast<long long>(wd.gridBlockExtent().prod());
+                core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
                 ErrorSlot errors;
 
 #pragma omp parallel default(shared)
                 {
-                    // Blocks run concurrently across the team, so each OpenMP
-                    // thread owns a private shared-memory arena (allocated
-                    // without value-initialization, see CpuRunContext).
-                    auto const arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
-                    acc::detail::SharedBlock const shared{arena.get(), capacity, dynBytes};
+                    // Blocks run concurrently across the team, so each
+                    // OpenMP thread uses its own cached per-thread arena
+                    // (OpenMP team threads persist across parallel regions,
+                    // so steady-state launches allocate nothing).
+                    acc::detail::SharedBlock const shared{acc::SharedArenaCache::get(capacity), capacity, dynBytes};
 #pragma omp for schedule(static)
                     for(long long b = 0; b < blockCount; ++b)
                     {
                         try
                         {
-                            Acc const acc(
-                                wd,
-                                blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
-                                Vec<TDim, TSize>::zeros(),
-                                shared);
+                            Acc const acc(wd, blockMap(static_cast<TSize>(b)), Vec<TDim, TSize>::zeros(), shared);
                             task.invoke(acc);
                         }
                         catch(...)
@@ -378,6 +365,8 @@ namespace alpaka::exec
 
                 auto const threadCount = static_cast<int>(wd.blockThreadExtent().prod());
                 auto const blockCount = wd.gridBlockExtent().prod();
+                core::IdxMapper<TDim, TSize> const threadMap(wd.blockThreadExtent());
+                core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
                 std::barrier barrier(threadCount);
                 ErrorSlot errors;
                 bool teamSizeOk = true;
@@ -392,17 +381,12 @@ namespace alpaka::exec
                     else
                     {
                         auto const t = static_cast<TSize>(omp_get_thread_num());
-                        auto const threadIdx = blockIdxFromLinear<TDim, TSize>(wd.blockThreadExtent(), t);
+                        auto const threadIdx = threadMap(t);
                         try
                         {
                             for(TSize b = 0; b < blockCount; ++b)
                             {
-                                Acc const acc(
-                                    wd,
-                                    blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), b),
-                                    threadIdx,
-                                    ctx.shared,
-                                    &barrier);
+                                Acc const acc(wd, blockMap(b), threadIdx, ctx.shared, &barrier);
                                 task.invoke(acc);
                                 barrier.arrive_and_wait();
                             }
@@ -442,27 +426,18 @@ namespace alpaka::exec
                     throw SharedMemOverflowError("AccCpuTaskBlocks: dynamic shared memory exceeds capacity");
 
                 auto& pool = threadpool::ThreadPool::global();
-                // One arena per pool worker plus one for the helping
-                // submitter thread (worker index npos -> last slot).
-                auto const arenaCount = pool.workerCount() + 1;
-                std::vector<std::unique_ptr<std::byte[]>> arenas(arenaCount);
-                for(auto& arena : arenas)
-                    arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
-
                 auto const blockCount = static_cast<std::size_t>(wd.gridBlockExtent().prod());
-                pool.parallelFor(
+                core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
+                // The statically-bound fast path: one trampoline call per
+                // claimed chunk, no std::function, and every participant
+                // (pool worker or helping submitter) draws its reusable
+                // arena from its own thread's cache.
+                pool.parallelForTemplated(
                     blockCount,
                     [&](std::size_t const b)
                     {
-                        auto workerIdx = threadpool::ThreadPool::currentWorkerIndex();
-                        if(workerIdx == threadpool::ThreadPool::npos)
-                            workerIdx = arenas.size() - 1;
-                        acc::detail::SharedBlock const shared{arenas[workerIdx].get(), capacity, dynBytes};
-                        Acc const acc(
-                            wd,
-                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
-                            Vec<TDim, TSize>::zeros(),
-                            shared);
+                        acc::detail::SharedBlock const shared{acc::SharedArenaCache::get(capacity), capacity, dynBytes};
+                        Acc const acc(wd, blockMap(static_cast<TSize>(b)), Vec<TDim, TSize>::zeros(), shared);
                         task.invoke(acc);
                     });
             }
@@ -477,7 +452,10 @@ namespace alpaka::exec
         struct KernelRunner<acc::AccCpuOmp4<TDim, TSize>>
         {
             using Acc = acc::AccCpuOmp4<TDim, TSize>;
-            static constexpr int maxTeams = 64;
+            // League size cap: bounds the cached arena slab at
+            // maxTeams * 4 MB per launcher thread (host-fallback teams
+            // beyond the hardware concurrency add nothing anyway).
+            static constexpr int maxTeams = 8;
 
             template<typename TKernel, typename... TArgs>
             static void run(dev::DevCpu const& dev, TaskKernel<Acc, TKernel, TArgs...> const& task)
@@ -490,12 +468,12 @@ namespace alpaka::exec
                 if(dynBytes > capacity)
                     throw SharedMemOverflowError("AccCpuOmp4: dynamic shared memory exceeds capacity");
 
-                // One arena per team, pre-allocated outside the region.
-                std::vector<std::unique_ptr<std::byte[]>> arenas(maxTeams);
-                for(auto& arena : arenas)
-                    arena = std::make_unique_for_overwrite<std::byte[]>(capacity);
-
                 auto const blockCount = static_cast<long long>(wd.gridBlockExtent().prod());
+                // Target regions may not touch thread_local state, so the
+                // launcher draws one slab for the whole league from its
+                // cache up front and the teams slice it by team number.
+                // Steady-state launches therefore still allocate nothing.
+                auto* const arenaSlab = acc::SharedArenaCache::get(capacity * maxTeams);
                 ErrorSlot errors;
 
 #pragma omp target teams distribute num_teams(maxTeams)
@@ -504,12 +482,13 @@ namespace alpaka::exec
                     try
                     {
                         auto const team = static_cast<std::size_t>(omp_get_team_num()) % maxTeams;
-                        acc::detail::SharedBlock const shared{arenas[team].get(), capacity, dynBytes};
-                        Acc const acc(
-                            wd,
-                            blockIdxFromLinear<TDim, TSize>(wd.gridBlockExtent(), static_cast<TSize>(b)),
-                            Vec<TDim, TSize>::zeros(),
-                            shared);
+                        acc::detail::SharedBlock const shared{arenaSlab + team * capacity, capacity, dynBytes};
+                        // Region-private decoder: local class objects from
+                        // the enclosing scope are not mappable, so the
+                        // mapper is rebuilt here (a handful of multiplies;
+                        // this fallback back-end is not a hot path).
+                        core::IdxMapper<TDim, TSize> const blockMap(wd.gridBlockExtent());
+                        Acc const acc(wd, blockMap(static_cast<TSize>(b)), Vec<TDim, TSize>::zeros(), shared);
                         task.invoke(acc);
                     }
                     catch(...)

@@ -1,0 +1,81 @@
+/// \file Persistent thread-team substrate for barrier-coupled back-ends.
+///
+/// AccCpuThreads maps every alpaka thread of a block onto its own OS thread
+/// and synchronizes them with a std::barrier. Those threads must all exist
+/// concurrently (a barrier participant blocks its OS thread), so the
+/// chunk-scheduling ThreadPool cannot host them — its dynamic scheduling
+/// gives no concurrency guarantee. The seed spawned a fresh std::jthread
+/// team on *every* kernel launch; this pool keeps the team threads alive
+/// across launches and hands out exactly teamSize of them per run, removing
+/// the dominant per-launch cost of the AccCpuThreads back-end (thread
+/// creation, ~tens of microseconds each).
+///
+/// Retention policy: the pool keeps at most retainCount() threads between
+/// runs (oversized teams get their surplus spawned per run and trimmed
+/// afterwards, i.e. seed behaviour) — a single huge launch must not pin
+/// hundreds of OS threads for the process lifetime, and the bounded size
+/// also bounds the notify_all wakeup fan-out per launch.
+///
+/// This is a correctness-first substrate: launches are rare compared to the
+/// barrier traffic inside them, so publication uses a plain mutex/condvar.
+/// The throughput-critical engine is ThreadPool (see thread_pool.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace threadpool
+{
+    class TeamPool
+    {
+    public:
+        TeamPool() = default;
+        ~TeamPool();
+
+        TeamPool(TeamPool const&) = delete;
+        auto operator=(TeamPool const&) -> TeamPool& = delete;
+
+        //! Runs body(t) for every t in [0, teamSize), each on its own
+        //! persistent OS thread, all live concurrently (so body may use
+        //! blocking barriers between the members). Blocks until every
+        //! member returned. body must not throw — kernel-level errors are
+        //! captured by the executors before they reach the pool.
+        //!
+        //! Concurrent runTeam calls from different threads serialize.
+        //! Nested calls from inside a team body are rejected (throws
+        //! std::logic_error): the members the inner run would need are
+        //! the ones the outer run is blocking on.
+        void runTeam(std::size_t teamSize, std::function<void(std::size_t)> const& body);
+
+        //! Number of persistent threads currently alive (grows on demand,
+        //! trimmed back to retainCount() after oversized runs).
+        [[nodiscard]] auto threadCount() const -> std::size_t;
+
+        //! Maximum number of threads kept alive between runs.
+        [[nodiscard]] static auto retainCount() -> std::size_t;
+
+        //! Lazily constructed process-wide pool.
+        [[nodiscard]] static auto global() -> TeamPool&;
+
+    private:
+        void memberLoop(std::size_t memberIndex);
+
+        std::mutex submitMutex_; //!< serializes whole runTeam calls
+        mutable std::mutex mutex_; //!< protects all state below
+        std::condition_variable cvWork_;
+        std::condition_variable cvDone_;
+        std::uint64_t generation_ = 0;
+        std::function<void(std::size_t)> const* body_ = nullptr;
+        std::size_t teamSize_ = 0;
+        std::size_t nextTicket_ = 0; //!< member indices handed out this run
+        std::size_t running_ = 0; //!< members still inside body
+        std::size_t keep_ = static_cast<std::size_t>(-1); //!< members with index >= keep_ exit
+        bool shutdown_ = false;
+        std::vector<std::jthread> threads_;
+    };
+} // namespace threadpool

@@ -7,17 +7,67 @@
 /// from scratch, and the AccCpuTaskBlocks accelerator maps the alpaka block
 /// level onto it. Compared to AccCpuThreads (which spawns OS threads per
 /// kernel launch), the pool amortizes thread creation across launches.
+///
+/// Scheduling engine (see DESIGN.md, "Zero-overhead launch engine"):
+///
+///  * Indices are claimed in proportional chunks via a single atomic
+///    fetch_add per chunk (grain = max(1, count / (workers * 8))) — no
+///    mutex on the claim path.
+///  * Jobs are published through a generation-stamped slot: workers key off
+///    the generation counter, never off the callable's address, so two
+///    back-to-back jobs reusing the same callable cannot be confused (the
+///    classic ABA hazard of pointer-compared job slots).
+///  * Workers spin briefly before parking in an atomic futex wait, so
+///    back-to-back launches of tiny grids do not round-trip through the
+///    kernel futex.
+///  * parallelForTemplated() binds the caller's callable statically — the
+///    per-chunk dispatch is one indirect call per *chunk*, not a
+///    std::function invocation per *index*.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace threadpool
 {
+    namespace detail
+    {
+        //! First-exception capture usable from any participant without a
+        //! full mutex (single CAS-guarded slot).
+        class FirstError
+        {
+        public:
+            void captureCurrent() noexcept
+            {
+                bool expected = false;
+                if(armed_.compare_exchange_strong(expected, true, std::memory_order_acq_rel))
+                    error_ = std::current_exception();
+            }
+
+            //! Only valid after the job drained (no concurrent captures).
+            void rethrowIfSetAndClear()
+            {
+                if(armed_.load(std::memory_order_acquire))
+                {
+                    auto error = std::exchange(error_, nullptr);
+                    armed_.store(false, std::memory_order_release);
+                    std::rethrow_exception(error);
+                }
+            }
+
+        private:
+            std::atomic<bool> armed_{false};
+            std::exception_ptr error_{};
+        };
+    } // namespace detail
+
     class ThreadPool
     {
     public:
@@ -30,15 +80,31 @@ namespace threadpool
         auto operator=(ThreadPool const&) -> ThreadPool& = delete;
 
         //! Runs fn(index) for every index in [0, count), distributing the
-        //! indices dynamically over the workers. Blocks until all indices
-        //! completed. Exceptions from fn are captured; the first one is
+        //! indices dynamically over the workers in proportional chunks.
+        //! Blocks until all indices completed. Exceptions from fn are
+        //! captured per index (every index still runs); the first one is
         //! re-thrown after the loop drained.
         //!
         //! Re-entrant calls from within a worker are rejected (UsageError
         //! semantics; throws std::logic_error) — nested parallelism is the
         //! caller's responsibility, as in the paper's model where nesting
         //! is expressed through the hierarchy instead.
-        void parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn);
+        void parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn)
+        {
+            parallelForTemplated(count, fn);
+        }
+
+        //! Statically-bound variant of parallelFor: the callable type is
+        //! known at the call site, so worker dispatch goes through one
+        //! trampoline call per chunk instead of a std::function invocation
+        //! per index. This is the fast path used by the kernel executors.
+        template<typename TFn>
+        void parallelForTemplated(std::size_t count, TFn const& fn)
+        {
+            if(count == 0)
+                return;
+            runJob(count, &fn, &chunkTrampoline<TFn>);
+        }
 
         [[nodiscard]] auto workerCount() const noexcept -> std::size_t
         {
@@ -55,23 +121,82 @@ namespace threadpool
         [[nodiscard]] static auto global() -> ThreadPool&;
 
     private:
-        void workerLoop(std::size_t workerIndex);
+        //! Runs fn(i) for every i in [begin, end); captures per-index
+        //! errors so a throwing index never skips its chunk siblings.
+        using ChunkFn = void (*)(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors);
 
-        struct Job
+        template<typename TFn>
+        static void chunkTrampoline(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors)
         {
+            auto const& fn = *static_cast<TFn const*>(ctx);
+            for(std::size_t i = begin; i < end; ++i)
+            {
+                try
+                {
+                    fn(i);
+                }
+                catch(...)
+                {
+                    errors.captureCurrent();
+                }
+            }
+        }
+
+        void runJob(std::size_t count, void const* ctx, ChunkFn run);
+        void workerLoop(std::size_t workerIndex);
+        //! Claims and runs chunks of the current job until the index space
+        //! is exhausted. Callers must have registered as participants
+        //! (active_) for the current generation — the submitter implicitly
+        //! is one; workers register in workerLoop.
+        void drainCurrentJob();
+
+        //! The single generation-stamped job slot.
+        //!
+        //! Publication protocol (runJob): write the descriptor fields and
+        //! reset the cursors, then release-bump generation_. Participation
+        //! protocol (workerLoop): acquire-load generation_, register in
+        //! active_, re-verify generation_ — only then touch the slot. The
+        //! submitter does not return before remaining == 0 (all work done)
+        //! AND active_ == 0 (no registered worker still inside the claim
+        //! loop), so slot publication never races with a participant: a
+        //! worker that missed the current generation can never claim, and
+        //! a worker that observed it keeps the slot pinned until it
+        //! leaves. This is what makes the plain (non-atomic) descriptor
+        //! fields and the cursor reset safe.
+        struct JobSlot
+        {
+            void const* ctx = nullptr;
+            ChunkFn run = nullptr;
             std::size_t count = 0;
-            std::function<void(std::size_t)> const* fn = nullptr;
-            std::size_t next = 0; //!< next unclaimed index (under mutex)
-            std::size_t active = 0; //!< workers still inside the job
-            std::exception_ptr error{};
+            std::size_t grain = 1;
+            alignas(64) std::atomic<std::size_t> next{0};
+            alignas(64) std::atomic<std::size_t> remaining{0};
+            detail::FirstError errors;
         };
 
-        mutable std::mutex mutex_;
-        std::condition_variable cvWork_;
-        std::condition_variable cvDone_;
-        std::uint64_t jobGeneration_ = 0;
-        Job job_{};
-        bool shutdown_ = false;
+        static constexpr int spinBeforePark = 4096;
+        //! Actual spin budget: zero on single-hardware-thread machines,
+        //! where spinning can never observe progress by another core and
+        //! only steals the timeslice of the thread being waited for.
+        int spinBudget_ = spinBeforePark;
+
+        JobSlot job_{};
+        alignas(64) std::atomic<std::uint64_t> generation_{0};
+        //! Registered participants currently inside drainCurrentJob.
+        alignas(64) std::atomic<std::size_t> active_{0};
+        alignas(64) std::atomic<std::size_t> parked_{0};
+        //! Set by every worker as it parks, cleared by the publish-side
+        //! notify: a publish skips the futex syscall only when every
+        //! currently parked worker was already covered by an earlier
+        //! notify (woken but not yet scheduled — it still counts as
+        //! parked, and re-notifying it pays a FUTEX_WAKE for nothing). A
+        //! worker parking after the last notify re-arms the flag, so it
+        //! can never be left sleeping through a publish.
+        std::atomic<bool> parkedSinceNotify_{false};
+        std::atomic<bool> shutdown_{false};
+        //! Serializes concurrent submitters (streams may launch from
+        //! multiple threads); uncontended cost is a single CAS.
+        std::mutex submitMutex_;
         std::vector<std::jthread> workers_;
     };
 } // namespace threadpool

@@ -1,0 +1,117 @@
+#include "threadpool/team_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace threadpool
+{
+    namespace
+    {
+        //! True while the calling thread executes a team body — nested
+        //! runTeam from it would deadlock on the members the outer run
+        //! already blocks on.
+        thread_local bool t_insideTeam = false;
+    } // namespace
+
+    TeamPool::~TeamPool()
+    {
+        {
+            std::scoped_lock lock(mutex_);
+            shutdown_ = true;
+        }
+        cvWork_.notify_all();
+    }
+
+    auto TeamPool::global() -> TeamPool&
+    {
+        static TeamPool pool;
+        return pool;
+    }
+
+    auto TeamPool::retainCount() -> std::size_t
+    {
+        static std::size_t const cached = std::max<std::size_t>(8, 2 * std::thread::hardware_concurrency());
+        return cached;
+    }
+
+    auto TeamPool::threadCount() const -> std::size_t
+    {
+        std::scoped_lock lock(mutex_);
+        return threads_.size();
+    }
+
+    void TeamPool::runTeam(std::size_t teamSize, std::function<void(std::size_t)> const& body)
+    {
+        if(teamSize == 0)
+            return;
+        if(t_insideTeam)
+            throw std::logic_error("threadpool::TeamPool::runTeam: nested call from a team member");
+        std::scoped_lock submitLock(submitMutex_);
+        std::unique_lock lock(mutex_);
+        while(threads_.size() < teamSize)
+        {
+            auto const index = threads_.size();
+            threads_.emplace_back([this, index] { memberLoop(index); });
+        }
+
+        body_ = &body;
+        teamSize_ = teamSize;
+        nextTicket_ = 0;
+        running_ = teamSize;
+        ++generation_;
+        lock.unlock();
+        cvWork_.notify_all();
+
+        lock.lock();
+        cvDone_.wait(lock, [&] { return running_ == 0; });
+        body_ = nullptr;
+
+        // Trim surplus members spawned for an oversized team: members with
+        // index >= keep_ exit their loop. The surplus jthreads are moved
+        // out under the lock (threadCount() stays consistent) and joined
+        // without it, so the exiting members can re-check the predicate.
+        if(threads_.size() > retainCount())
+        {
+            keep_ = retainCount();
+            std::vector<std::jthread> surplus;
+            while(threads_.size() > keep_)
+            {
+                surplus.push_back(std::move(threads_.back()));
+                threads_.pop_back();
+            }
+            lock.unlock();
+            cvWork_.notify_all();
+            surplus.clear(); // joins the exiting members
+            lock.lock();
+            keep_ = static_cast<std::size_t>(-1);
+        }
+    }
+
+    void TeamPool::memberLoop(std::size_t memberIndex)
+    {
+        std::unique_lock lock(mutex_);
+        std::uint64_t seen = 0;
+        for(;;)
+        {
+            cvWork_.wait(
+                lock,
+                [&]
+                {
+                    return shutdown_ || memberIndex >= keep_
+                           || (generation_ != seen && nextTicket_ < teamSize_);
+                });
+            if(shutdown_ || memberIndex >= keep_)
+                return;
+            seen = generation_;
+            auto const ticket = nextTicket_++;
+            auto const* body = body_;
+            lock.unlock();
+            t_insideTeam = true;
+            (*body)(ticket);
+            t_insideTeam = false;
+            lock.lock();
+            if(--running_ == 0)
+                cvDone_.notify_all();
+        }
+    }
+} // namespace threadpool

@@ -1,6 +1,11 @@
 #include "threadpool/thread_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#    include <immintrin.h>
+#endif
 
 namespace threadpool
 {
@@ -22,6 +27,20 @@ namespace threadpool
                 t_insideLoop = false;
             }
         };
+
+        inline void cpuRelax() noexcept
+        {
+#if defined(__x86_64__) && defined(__GNUC__)
+            _mm_pause();
+#else
+            std::this_thread::yield();
+#endif
+        }
+
+        [[nodiscard]] constexpr auto isOpen(std::uint64_t generation) noexcept -> bool
+        {
+            return (generation & 1u) != 0;
+        }
     } // namespace
 
     ThreadPool::ThreadPool(std::size_t workers)
@@ -33,6 +52,8 @@ namespace threadpool
             if(count == 0)
                 count = 1;
         }
+        if(std::thread::hardware_concurrency() <= 1)
+            spinBudget_ = 0;
         workers_.reserve(count);
         for(std::size_t w = 0; w < count; ++w)
             workers_.emplace_back([this, w] { workerLoop(w); });
@@ -40,11 +61,9 @@ namespace threadpool
 
     ThreadPool::~ThreadPool()
     {
-        {
-            std::scoped_lock lock(mutex_);
-            shutdown_ = true;
-        }
-        cvWork_.notify_all();
+        shutdown_.store(true, std::memory_order_seq_cst);
+        generation_.fetch_add(2, std::memory_order_seq_cst);
+        generation_.notify_all();
     }
 
     auto ThreadPool::currentWorkerIndex() noexcept -> std::size_t
@@ -58,85 +77,140 @@ namespace threadpool
         return pool;
     }
 
-    void ThreadPool::parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn)
+    //! Spin briefly, then park on the futex until \p counter reaches zero.
+    //! In-flight chunks are typically sub-microsecond, so the spin phase
+    //! usually wins and the syscall is skipped.
+    namespace
     {
-        if(count == 0)
-            return;
+        void awaitZero(std::atomic<std::size_t>& counter, int spins)
+        {
+            for(;;)
+            {
+                auto const value = counter.load(std::memory_order_seq_cst);
+                if(value == 0)
+                    return;
+                if(spins-- > 0)
+                    cpuRelax();
+                else
+                    counter.wait(value, std::memory_order_seq_cst);
+            }
+        }
+    } // namespace
+
+    void ThreadPool::runJob(std::size_t count, void const* ctx, ChunkFn run)
+    {
         if(t_workerIndex != npos || t_insideLoop)
             throw std::logic_error("threadpool::ThreadPool::parallelFor: re-entrant call");
         LoopScope const scope;
+        std::scoped_lock submitLock(submitMutex_);
 
-        std::unique_lock lock(mutex_);
-        job_ = Job{count, &fn, 0, 0, nullptr};
-        ++jobGeneration_;
-        cvWork_.notify_all();
+        // Invariant on entry: generation is even (slot closed) and no
+        // worker is registered — the previous runJob closed the slot and
+        // drained active_ before returning. Publication therefore races
+        // with nobody: workers refuse to join even generations, and a late
+        // worker that saw the previous odd generation re-validates after
+        // registering and backs out (see workerLoop).
+        job_.ctx = ctx;
+        job_.run = run;
+        job_.count = count;
+        job_.grain = std::max<std::size_t>(1, count / (workers_.size() * 8));
+        job_.remaining.store(count, std::memory_order_relaxed);
+        job_.next.store(0, std::memory_order_relaxed);
+        // Open the slot (even -> odd). seq_cst: forms a Dekker pair with
+        // the workers' parked_ increment — either a worker sees the new
+        // generation or we see it parked and pay the notify.
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        // Notify only when someone parked since the last notify; workers
+        // already woken (but not yet scheduled) still count as parked and
+        // need no second FUTEX_WAKE. A worker parking concurrently either
+        // re-arms the flag before blocking (we or the next publish wake
+        // it) or observes the bumped generation at wait entry and returns
+        // immediately — seq_cst on both sides closes the window.
+        if(parked_.load(std::memory_order_seq_cst) != 0
+           && parkedSinceNotify_.exchange(false, std::memory_order_seq_cst))
+            generation_.notify_all();
 
         // The submitting thread helps: on a single-core machine the pool
         // worker and the submitter share the CPU anyway, and helping keeps
         // the latency of tiny loops low.
-        auto const myGeneration = jobGeneration_;
-        ++job_.active;
-        while(true)
+        drainCurrentJob();
+        awaitZero(job_.remaining, spinBudget_);
+
+        // Close the slot (odd -> even), then wait until every registered
+        // worker left the claim loop. A worker that validated against the
+        // odd generation is visible in active_ by the time the close bump
+        // lands (seq_cst Dekker pair on active_/generation_), so after
+        // this wait the slot is quiescent and may be republished.
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        awaitZero(active_, spinBudget_);
+
+        job_.errors.rethrowIfSetAndClear();
+    }
+
+    void ThreadPool::drainCurrentJob()
+    {
+        auto const count = job_.count;
+        auto const grain = job_.grain;
+        // Completed indices are subtracted from remaining once per
+        // participant, not per chunk — the waiter only cares about zero,
+        // and batching keeps the claim loop to one atomic per chunk.
+        std::size_t done = 0;
+        for(;;)
         {
-            if(job_.next >= job_.count)
+            auto const begin = job_.next.fetch_add(grain, std::memory_order_relaxed);
+            if(begin >= count)
                 break;
-            auto const index = job_.next++;
-            lock.unlock();
-            try
-            {
-                fn(index);
-            }
-            catch(...)
-            {
-                lock.lock();
-                if(job_.error == nullptr)
-                    job_.error = std::current_exception();
-                continue;
-            }
-            lock.lock();
+            auto const end = std::min(begin + grain, count);
+            job_.run(job_.ctx, begin, end, job_.errors);
+            done += end - begin;
         }
-        --job_.active;
-        cvDone_.wait(lock, [&] { return job_.next >= job_.count && job_.active == 0; });
-        // Invalidate so late-waking workers skip it.
-        job_.fn = nullptr;
-        (void) myGeneration;
-        if(job_.error != nullptr)
-            std::rethrow_exception(job_.error);
+        if(done != 0 && job_.remaining.fetch_sub(done, std::memory_order_acq_rel) == done)
+            job_.remaining.notify_all();
     }
 
     void ThreadPool::workerLoop(std::size_t workerIndex)
     {
         t_workerIndex = workerIndex;
-        std::uint64_t seenGeneration = 0;
-        std::unique_lock lock(mutex_);
+        std::uint64_t seen = 0;
         for(;;)
         {
-            cvWork_.wait(lock, [&] { return shutdown_ || (jobGeneration_ != seenGeneration && job_.fn != nullptr); });
-            if(shutdown_)
-                return;
-            seenGeneration = jobGeneration_;
-            auto const* fn = job_.fn;
-            ++job_.active;
-            while(job_.fn == fn && job_.next < job_.count)
+            // Wait for an open job we have not joined yet: spin, then park.
+            int spins = spinBudget_;
+            std::uint64_t gen;
+            for(;;)
             {
-                auto const index = job_.next++;
-                lock.unlock();
-                try
+                gen = generation_.load(std::memory_order_seq_cst);
+                if(shutdown_.load(std::memory_order_seq_cst))
+                    return;
+                if(gen != seen && isOpen(gen))
+                    break;
+                if(spins-- > 0)
                 {
-                    (*fn)(index);
+                    cpuRelax();
                 }
-                catch(...)
+                else
                 {
-                    lock.lock();
-                    if(job_.error == nullptr)
-                        job_.error = std::current_exception();
-                    continue;
+                    parked_.fetch_add(1, std::memory_order_seq_cst);
+                    parkedSinceNotify_.store(true, std::memory_order_seq_cst);
+                    generation_.wait(gen, std::memory_order_seq_cst);
+                    parked_.fetch_sub(1, std::memory_order_relaxed);
                 }
-                lock.lock();
             }
-            --job_.active;
-            if(job_.active == 0 && job_.next >= job_.count)
-                cvDone_.notify_all();
+            // Register, then re-validate: claims may only happen while the
+            // observed generation is still current. If the job closed (or
+            // a new one opened) in between, back out — the transient
+            // active_ blip merely delays the submitter's quiescence wait.
+            active_.fetch_add(1, std::memory_order_seq_cst);
+            if(generation_.load(std::memory_order_seq_cst) != gen)
+            {
+                if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                    active_.notify_all();
+                continue;
+            }
+            seen = gen;
+            drainCurrentJob();
+            if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                active_.notify_all();
         }
     }
 } // namespace threadpool

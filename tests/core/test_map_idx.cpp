@@ -81,6 +81,48 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(1u, 16u, 3u),
         std::make_tuple(5u, 5u, 5u)));
 
+//! IdxMapper must agree with mapIdx everywhere (DESIGN.md invariant 2) —
+//! it is the launch-cached decoder the executors hoist out of their block
+//! loops.
+TEST(IdxMapper, AgreesWithMapIdxOnRandomizedExtents)
+{
+    using alpaka::core::IdxMapper;
+    for(auto const& extent :
+        {Vec<DimInt<3>, std::size_t>(1, 1, 1),
+         Vec<DimInt<3>, std::size_t>(2, 3, 4),
+         Vec<DimInt<3>, std::size_t>(7, 1, 13),
+         Vec<DimInt<3>, std::size_t>(1, 16, 3),
+         Vec<DimInt<3>, std::size_t>(5, 5, 5)})
+    {
+        IdxMapper<DimInt<3>, std::size_t> const mapper(extent);
+        for(std::size_t linear = 0; linear < extent.prod(); ++linear)
+        {
+            auto const viaMapIdx = mapIdx<3>(Vec<DimInt<1>, std::size_t>(linear), extent);
+            ASSERT_EQ(mapper(linear), viaMapIdx) << "linear=" << linear;
+            ASSERT_EQ(mapper.linearize(viaMapIdx), linear);
+        }
+    }
+}
+
+TEST(IdxMapper, OneDimensionalDecodeIsIdentity)
+{
+    alpaka::core::IdxMapper<DimInt<1>, std::size_t> const mapper(Vec<DimInt<1>, std::size_t>(100));
+    for(std::size_t i : {std::size_t{0}, std::size_t{42}, std::size_t{99}})
+    {
+        EXPECT_EQ(mapper(i)[0], i);
+        EXPECT_EQ(mapper.linearize(Vec<DimInt<1>, std::size_t>(i)), i);
+    }
+}
+
+TEST(IdxMapper, TwoDimensionalDecode)
+{
+    Vec<DimInt<2>, std::size_t> const extent(4, 5);
+    alpaka::core::IdxMapper<DimInt<2>, std::size_t> const mapper(extent);
+    EXPECT_EQ(mapper(13), (Vec<DimInt<2>, std::size_t>(2, 3)));
+    EXPECT_EQ(mapper(0), (Vec<DimInt<2>, std::size_t>(0, 0)));
+    EXPECT_EQ(mapper(19), (Vec<DimInt<2>, std::size_t>(3, 4)));
+}
+
 TEST(NdLoop, VisitsEveryIndexOnce2d)
 {
     Vec<DimInt<2>, std::size_t> const extent(3, 4);

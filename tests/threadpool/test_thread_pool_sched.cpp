@@ -1,0 +1,328 @@
+/// \file Regression + property tests of the chunked scheduling engine
+/// (DESIGN.md "Zero-overhead launch engine"): chunk-claim exhaustiveness
+/// under adversarial counts, the generation-stamp fix for the fn-pointer
+/// ABA hazard, exception propagation from worker vs helping submitter, and
+/// team-pool semantics.
+#include <threadpool/team_pool.hpp>
+#include <threadpool/thread_pool.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+// ---------------------------------------------------------------------
+// Chunk-claim exhaustiveness: every index runs exactly once, for counts
+// chosen adversarially against the grain formula
+// grain = max(1, count / (workers * 8)).
+
+TEST(ThreadPoolSched, ChunkClaimsAreExhaustiveUnderAdversarialCounts)
+{
+    for(std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7}})
+    {
+        threadpool::ThreadPool pool(workers);
+        auto const g = workers * 8; // one grain's worth of indices
+        std::vector<std::size_t> counts
+            = {1, 2, g - 1, g, g + 1, 2 * g - 1, 2 * g + 1, 97, 1009, 8 * g + 7};
+        for(auto const count : counts)
+        {
+            if(count == 0)
+                continue;
+            std::vector<std::atomic<std::uint8_t>> visits(count);
+            pool.parallelFor(count, [&](std::size_t i) { visits[i] += 1; });
+            for(std::size_t i = 0; i < count; ++i)
+                ASSERT_EQ(visits[i].load(), 1u)
+                    << "workers=" << workers << " count=" << count << " index=" << i;
+        }
+    }
+}
+
+TEST(ThreadPoolSched, TemplatedFastPathCoversEveryIndex)
+{
+    threadpool::ThreadPool pool(3);
+    std::vector<std::atomic<std::uint8_t>> visits(1000);
+    auto const body = [&](std::size_t i) { visits[i] += 1; };
+    pool.parallelForTemplated(1000, body);
+    for(std::size_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(visits[i].load(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// The seed identified the current job by comparing the callable's address
+// (job_.fn == fn) — an ABA hazard when two successive jobs use the same
+// callable address. The generation-stamped slot must keep back-to-back
+// identical launches distinct.
+
+TEST(ThreadPoolSched, BackToBackIdenticalLaunchesAreNotConfused)
+{
+    threadpool::ThreadPool pool(4);
+    constexpr std::size_t rounds = 2000;
+    constexpr std::size_t count = 8; // tiny grid: maximizes publish/drain races
+    std::atomic<std::uint64_t> total{0};
+    // Same callable object, same address, every round.
+    auto const body = [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); };
+    for(std::size_t r = 0; r < rounds; ++r)
+        pool.parallelForTemplated(count, body);
+    // Every launch ran exactly count indices — no double execution by a
+    // stale worker, no lost indices.
+    EXPECT_EQ(total.load(), rounds * count);
+}
+
+// ---------------------------------------------------------------------
+// Exception propagation: thrown on a pool worker vs thrown on the helping
+// submitter; in both cases every index still runs.
+
+TEST(ThreadPoolSched, ExceptionThrownOnPoolWorkerPropagates)
+{
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    std::atomic<bool> workerRan{false};
+    EXPECT_THROW(
+        pool.parallelFor(
+            200,
+            [&](std::size_t)
+            {
+                ++executed;
+                if(threadpool::ThreadPool::currentWorkerIndex() != threadpool::ThreadPool::npos)
+                {
+                    workerRan = true;
+                    throw std::runtime_error("worker boom");
+                }
+                // Helping submitter: hold this index until a pool worker
+                // joined, so the worker-throw path runs deterministically
+                // even when the submitter would otherwise drain everything
+                // first (single-core machines).
+                while(!workerRan.load())
+                    std::this_thread::yield();
+            }),
+        std::runtime_error);
+    EXPECT_EQ(executed.load(), 200);
+    EXPECT_TRUE(workerRan.load());
+}
+
+TEST(ThreadPoolSched, ExceptionThrownOnHelpingSubmitterPropagates)
+{
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    std::atomic<bool> threwOnSubmitter{false};
+    bool caught = false;
+    try
+    {
+        pool.parallelFor(
+            200,
+            [&](std::size_t)
+            {
+                ++executed;
+                if(threadpool::ThreadPool::currentWorkerIndex() == threadpool::ThreadPool::npos)
+                {
+                    threwOnSubmitter = true;
+                    throw std::runtime_error("submitter boom");
+                }
+            });
+    }
+    catch(std::runtime_error const&)
+    {
+        caught = true;
+    }
+    EXPECT_EQ(executed.load(), 200);
+    // The submitter usually helps (it drains before waiting); whenever it
+    // ran an index and threw, the error must have propagated to the
+    // caller. (Workers claiming every chunk first is legal, hence the
+    // conditional form.)
+    EXPECT_EQ(caught, threwOnSubmitter.load());
+}
+
+TEST(ThreadPoolSched, ErrorStateResetsBetweenJobs)
+{
+    threadpool::ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(16, [](std::size_t i) { if(i == 3) throw std::runtime_error("x"); }),
+        std::runtime_error);
+    // A clean follow-up job must not re-surface the old error.
+    EXPECT_NO_THROW(pool.parallelFor(16, [](std::size_t) {}));
+}
+
+// ---------------------------------------------------------------------
+// Re-entrancy is still rejected on the new engine, from workers and from
+// the helping submitter alike.
+
+TEST(ThreadPoolSched, ReentrancyRejectedOnEveryParticipant)
+{
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> rejected{0};
+    pool.parallelFor(
+        32,
+        [&](std::size_t)
+        {
+            try
+            {
+                pool.parallelFor(2, [](std::size_t) {});
+            }
+            catch(std::logic_error const&)
+            {
+                ++rejected;
+            }
+        });
+    EXPECT_EQ(rejected.load(), 32);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent submitters from distinct non-worker threads serialize instead
+// of corrupting the job slot.
+
+TEST(ThreadPoolSched, ConcurrentSubmittersSerializeSafely)
+{
+    threadpool::ThreadPool pool(2);
+    constexpr int submitters = 4;
+    constexpr int roundsEach = 50;
+    constexpr std::size_t count = 64;
+    std::atomic<std::uint64_t> total{0};
+    std::vector<std::jthread> threads;
+    threads.reserve(submitters);
+    for(int s = 0; s < submitters; ++s)
+        threads.emplace_back(
+            [&]
+            {
+                for(int r = 0; r < roundsEach; ++r)
+                    pool.parallelFor(count, [&](std::size_t) { total.fetch_add(1); });
+            });
+    threads.clear(); // join
+    EXPECT_EQ(total.load(), static_cast<std::uint64_t>(submitters) * roundsEach * count);
+}
+
+// ---------------------------------------------------------------------
+// TeamPool: persistent barrier-capable teams.
+
+TEST(TeamPool, AllMembersRunConcurrentlyAndCanBarrier)
+{
+    threadpool::TeamPool pool;
+    constexpr std::size_t teamSize = 4;
+    std::barrier barrier(teamSize);
+    std::atomic<int> phase1{0};
+    std::atomic<int> phase2{0};
+    pool.runTeam(
+        teamSize,
+        [&](std::size_t)
+        {
+            ++phase1;
+            barrier.arrive_and_wait(); // deadlocks unless all 4 are live
+            ++phase2;
+        });
+    EXPECT_EQ(phase1.load(), static_cast<int>(teamSize));
+    EXPECT_EQ(phase2.load(), static_cast<int>(teamSize));
+}
+
+TEST(TeamPool, MemberIndicesAreUniqueAndComplete)
+{
+    threadpool::TeamPool pool;
+    std::mutex m;
+    std::set<std::size_t> seen;
+    pool.runTeam(
+        5,
+        [&](std::size_t t)
+        {
+            std::scoped_lock lock(m);
+            seen.insert(t);
+        });
+    EXPECT_EQ(seen, (std::set<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TeamPool, ThreadsPersistAcrossRuns)
+{
+    threadpool::TeamPool pool;
+    pool.runTeam(3, [](std::size_t) {});
+    auto const after = pool.threadCount();
+    EXPECT_EQ(after, 3u);
+    std::set<std::thread::id> ids;
+    std::mutex m;
+    for(int round = 0; round < 20; ++round)
+        pool.runTeam(
+            3,
+            [&](std::size_t)
+            {
+                std::scoped_lock lock(m);
+                ids.insert(std::this_thread::get_id());
+            });
+    // No per-launch spawning: the same 3 OS threads served all rounds.
+    EXPECT_EQ(pool.threadCount(), 3u);
+    EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(TeamPool, GrowsToLargestTeamRequested)
+{
+    threadpool::TeamPool pool;
+    pool.runTeam(2, [](std::size_t) {});
+    pool.runTeam(6, [](std::size_t) {});
+    pool.runTeam(3, [](std::size_t) {});
+    EXPECT_EQ(pool.threadCount(), 6u);
+}
+
+TEST(TeamPool, ZeroTeamIsANoop)
+{
+    threadpool::TeamPool pool;
+    EXPECT_NO_THROW(pool.runTeam(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(TeamPool, NestedRunFromMemberIsRejectedNotDeadlocked)
+{
+    threadpool::TeamPool pool;
+    std::atomic<int> rejected{0};
+    pool.runTeam(
+        2,
+        [&](std::size_t)
+        {
+            try
+            {
+                pool.runTeam(1, [](std::size_t) {});
+            }
+            catch(std::logic_error const&)
+            {
+                ++rejected;
+            }
+        });
+    EXPECT_EQ(rejected.load(), 2);
+}
+
+TEST(TeamPool, OversizedTeamsAreTrimmedBackToRetainCount)
+{
+    threadpool::TeamPool pool;
+    auto const retain = threadpool::TeamPool::retainCount();
+    auto const big = retain + 5;
+    std::atomic<int> ran{0};
+    pool.runTeam(big, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), static_cast<int>(big));
+    // Surplus threads do not outlive the run...
+    EXPECT_EQ(pool.threadCount(), retain);
+    // ...and the pool still serves teams of every size afterwards.
+    std::atomic<int> again{0};
+    pool.runTeam(retain, [&](std::size_t) { ++again; });
+    EXPECT_EQ(again.load(), static_cast<int>(retain));
+    pool.runTeam(big, [&](std::size_t) {});
+    EXPECT_EQ(pool.threadCount(), retain);
+}
+
+TEST(ThreadPoolSched, LateParkerIsNeverLeftSleepingThroughJobs)
+{
+    // Regression for the notify-suppression hole: a worker that parks
+    // *after* a wake was issued must still be woken for the next job.
+    // With 2 workers, back-to-back jobs where the body sleeps briefly
+    // push both workers through park/wake cycles in varied orders; the
+    // counter check catches any worker permanently sleeping.
+    threadpool::ThreadPool pool(2);
+    std::atomic<std::uint64_t> total{0};
+    for(int round = 0; round < 200; ++round)
+    {
+        pool.parallelFor(
+            16,
+            [&](std::size_t)
+            {
+                total.fetch_add(1, std::memory_order_relaxed);
+                if(total.load(std::memory_order_relaxed) % 7 == 0)
+                    std::this_thread::yield();
+            });
+    }
+    EXPECT_EQ(total.load(), 200u * 16u);
+}
