@@ -431,7 +431,12 @@ namespace alpaka::exec
                 // The statically-bound fast path: one trampoline call per
                 // claimed chunk, no std::function, and every participant
                 // (pool worker or helping submitter) draws its reusable
-                // arena from its own thread's cache.
+                // arena from its own thread's cache. Launches arriving from
+                // concurrent streams (each StreamCpuAsync submits from its
+                // own queue worker) publish into distinct slots of the
+                // pool's job ring and overlap; workers steal across the
+                // open slots (DESIGN.md §3.5), and a kernel exception stays
+                // confined to the slot of its submitting stream.
                 pool.parallelForTemplated(
                     blockCount,
                     [&](std::size_t const b)

@@ -53,6 +53,11 @@ namespace alpaka::detail
                 auto const it = streams_.find(devKey);
                 if(it == streams_.end())
                     return;
+                // Compact here too: a device whose streams all died and
+                // that never registers a new one would otherwise keep its
+                // expired entries forever (add only compacts the list it
+                // inserts into).
+                std::erase_if(it->second, [](auto const& w) { return w.expired(); });
                 for(auto const& weak : it->second)
                     if(auto locked = weak.lock())
                         live.push_back(std::move(locked));
@@ -61,8 +66,18 @@ namespace alpaka::detail
                 stream->waitIdle();
         }
 
+        //! Registered entries (live or not yet compacted) for \p devKey.
+        //! Test observability: churning short-lived streams must not grow
+        //! the registry unboundedly.
+        [[nodiscard]] auto entryCount(void const* devKey) const -> std::size_t
+        {
+            std::scoped_lock lock(mutex_);
+            auto const it = streams_.find(devKey);
+            return it == streams_.end() ? 0 : it->second.size();
+        }
+
     private:
-        std::mutex mutex_;
+        mutable std::mutex mutex_;
         std::map<void const*, std::vector<std::weak_ptr<IWaitable>>> streams_;
     };
 } // namespace alpaka::detail
@@ -118,7 +133,11 @@ namespace alpaka::stream
     };
 
     //! Asynchronous CPU stream: a worker thread executes operations in
-    //! enqueue order while the host continues (paper Sec. 3.4.5).
+    //! enqueue order while the host continues (paper Sec. 3.4.5). Kernel
+    //! tasks of pool-backed accelerators submit from this worker into the
+    //! shared ThreadPool; its multi-slot job ring (DESIGN.md §3.5) lets the
+    //! jobs of concurrent streams overlap instead of serializing at the
+    //! pool.
     class StreamCpuAsync
     {
     public:

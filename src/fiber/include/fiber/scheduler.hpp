@@ -108,6 +108,12 @@ namespace fiber
             Status status = Status::Done;
             std::exception_ptr error{};
             std::size_t index = 0;
+            //! ThreadSanitizer shadow-state handle for this fiber (created
+            //! per run, destroyed when the run ends); null outside TSan
+            //! builds. TSan cannot follow the custom context switch on its
+            //! own — without the fiber annotations it would report false
+            //! races between fibers of one OS thread.
+            void* tsanFiber = nullptr;
         };
 
         static void trampoline();
@@ -120,6 +126,9 @@ namespace fiber
         StackPool stackPool_;
         std::vector<FiberSlot> slots_;
         detail::Context schedCtx_{};
+        //! TSan handle of the scheduler's own context (the OS thread's
+        //! fiber); captured on the first switch-out of a run.
+        void* tsanSchedFiber_ = nullptr;
         Body const* body_ = nullptr;
         FiberSlot* running_ = nullptr;
         std::size_t doneCount_ = 0;

@@ -2,18 +2,58 @@
 
 #include <utility>
 
+// ThreadSanitizer support: the hand-rolled context switch moves execution
+// between stacks without TSan noticing, so sequential fibers of one OS
+// thread would look like racing threads. The TSan fiber API
+// (create/switch/destroy) keeps one shadow state per fiber and establishes
+// happens-before along every cooperative switch, making the fiber substrate
+// (and everything above it: AccCpuFibers, the gpusim SIMT blocks, the
+// CudaSim streams) race-checkable by the sanitizer CI layer.
+#if defined(__SANITIZE_THREAD__)
+#    define FIBER_TSAN 1
+#elif defined(__has_feature)
+#    if __has_feature(thread_sanitizer)
+#        define FIBER_TSAN 1
+#    endif
+#endif
+#if defined(FIBER_TSAN)
+#    include <sanitizer/tsan_interface.h>
+#endif
+
 namespace fiber
 {
     namespace
     {
         thread_local Scheduler* t_scheduler = nullptr;
+
+        inline auto tsanCreateFiber() noexcept -> void*
+        {
+#if defined(FIBER_TSAN)
+            return __tsan_create_fiber(0);
+#else
+            return nullptr;
+#endif
+        }
+
+        inline void tsanDestroyFiber(void*& fiber) noexcept
+        {
+#if defined(FIBER_TSAN)
+            if(fiber != nullptr)
+                __tsan_destroy_fiber(fiber);
+#endif
+            fiber = nullptr;
+        }
     } // namespace
 
     Scheduler::Scheduler(SchedulerConfig config) : config_(config), stackPool_(config.stackBytes)
     {
     }
 
-    Scheduler::~Scheduler() = default;
+    Scheduler::~Scheduler()
+    {
+        for(auto& slot : slots_)
+            tsanDestroyFiber(slot.tsanFiber);
+    }
 
     auto Scheduler::insideFiber() noexcept -> bool
     {
@@ -91,6 +131,10 @@ namespace fiber
     {
         running_ = &slot;
         ++switches_;
+#if defined(FIBER_TSAN)
+        tsanSchedFiber_ = __tsan_get_current_fiber();
+        __tsan_switch_to_fiber(slot.tsanFiber, 0);
+#endif
         detail::switchContext(config_.switchImpl, schedCtx_, slot.ctx);
         running_ = nullptr;
     }
@@ -99,6 +143,9 @@ namespace fiber
     {
         auto& slot = *running_;
         ++switches_;
+#if defined(FIBER_TSAN)
+        __tsan_switch_to_fiber(tsanSchedFiber_, 0);
+#endif
         detail::switchContext(config_.switchImpl, slot.ctx, schedCtx_);
     }
 
@@ -128,6 +175,7 @@ namespace fiber
         while(slots_.size() > count)
         {
             stackPool_.recycle(std::move(slots_.back().stack));
+            tsanDestroyFiber(slots_.back().tsanFiber);
             slots_.pop_back();
         }
         slots_.resize(count);
@@ -137,6 +185,11 @@ namespace fiber
             slot.index = i;
             slot.status = Status::Ready;
             slot.error = nullptr;
+            // Fresh TSan shadow state per activation: the previous run's
+            // fiber terminated on this slot, and reusing its shadow stack
+            // for a new body would leak stale synchronization history.
+            tsanDestroyFiber(slot.tsanFiber);
+            slot.tsanFiber = tsanCreateFiber();
             if(!slot.stack.valid())
                 slot.stack = stackPool_.acquire();
             else

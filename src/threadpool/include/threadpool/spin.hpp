@@ -1,0 +1,62 @@
+/// \file Spin-then-park primitives shared by the threadpool substrates.
+///
+/// ThreadPool (chunk scheduling) and TeamPool (barrier-coupled teams) use
+/// the same waiting discipline: spin briefly on an atomic word, then park
+/// in a C++20 atomic (futex) wait. In-flight work units are typically
+/// sub-microsecond, so the spin phase usually wins and the syscall is
+/// skipped. The helpers live here so both pools share one tested copy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#    include <immintrin.h>
+#endif
+
+namespace threadpool::detail
+{
+    inline void cpuRelax() noexcept
+    {
+#if defined(__x86_64__) && defined(__GNUC__)
+        _mm_pause();
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    //! Default spin iterations before parking in the futex.
+    inline constexpr int spinBeforePark = 4096;
+
+    //! Actual spin budget for this machine: zero on single-hardware-thread
+    //! machines, where spinning can never observe progress by another core
+    //! and only steals the timeslice of the thread being waited for.
+    [[nodiscard]] inline auto machineSpinBudget() noexcept -> int
+    {
+        return std::thread::hardware_concurrency() <= 1 ? 0 : spinBeforePark;
+    }
+
+    //! Odd generations mean "slot open", even mean "closed" (the parity
+    //! protocol of the generation-stamped job slots).
+    [[nodiscard]] constexpr auto isOpen(std::uint64_t generation) noexcept -> bool
+    {
+        return (generation & 1u) != 0;
+    }
+
+    //! Spin briefly, then park on the futex until \p counter reaches zero.
+    inline void awaitZero(std::atomic<std::size_t>& counter, int spins)
+    {
+        for(;;)
+        {
+            auto const value = counter.load(std::memory_order_seq_cst);
+            if(value == 0)
+                return;
+            if(spins-- > 0)
+                cpuRelax();
+            else
+                counter.wait(value, std::memory_order_seq_cst);
+        }
+    }
+} // namespace threadpool::detail

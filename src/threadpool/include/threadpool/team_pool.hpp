@@ -10,18 +10,23 @@
 /// the dominant per-launch cost of the AccCpuThreads back-end (thread
 /// creation, ~tens of microseconds each).
 ///
+/// Publication uses the same generation-parity spin-then-park protocol as
+/// ThreadPool's job slots (see spin.hpp and DESIGN.md §3.5): members spin
+/// briefly on the generation word before parking in an atomic futex wait,
+/// and the submitter elides the wake syscall while every parked member was
+/// already covered by an earlier notify. Back-to-back AccCpuThreads
+/// launches therefore stop futex-round-tripping per launch on multi-core
+/// machines. Member selection is an atomic ticket: the first teamSize
+/// registrants of a generation run the body, later ones back out.
+///
 /// Retention policy: the pool keeps at most retainCount() threads between
 /// runs (oversized teams get their surplus spawned per run and trimmed
 /// afterwards, i.e. seed behaviour) — a single huge launch must not pin
 /// hundreds of OS threads for the process lifetime, and the bounded size
 /// also bounds the notify_all wakeup fan-out per launch.
-///
-/// This is a correctness-first substrate: launches are rare compared to the
-/// barrier traffic inside them, so publication uses a plain mutex/condvar.
-/// The throughput-critical engine is ThreadPool (see thread_pool.hpp).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -34,7 +39,7 @@ namespace threadpool
     class TeamPool
     {
     public:
-        TeamPool() = default;
+        TeamPool();
         ~TeamPool();
 
         TeamPool(TeamPool const&) = delete;
@@ -48,8 +53,8 @@ namespace threadpool
         //!
         //! Concurrent runTeam calls from different threads serialize.
         //! Nested calls from inside a team body are rejected (throws
-        //! std::logic_error): the members the inner run would need are
-        //! the ones the outer run is blocking on.
+        //! UsageError): the members the inner run would need are the ones
+        //! the outer run is blocking on.
         void runTeam(std::size_t teamSize, std::function<void(std::size_t)> const& body);
 
         //! Number of persistent threads currently alive (grows on demand,
@@ -64,18 +69,36 @@ namespace threadpool
 
     private:
         void memberLoop(std::size_t memberIndex);
+        //! Wakes every member (trim and shutdown): bumps the generation by
+        //! 2 — the parity stays "closed", so no tickets can be claimed —
+        //! and pays an unconditional notify.
+        void wakeAllMembers();
 
         std::mutex submitMutex_; //!< serializes whole runTeam calls
-        mutable std::mutex mutex_; //!< protects all state below
-        std::condition_variable cvWork_;
-        std::condition_variable cvDone_;
-        std::uint64_t generation_ = 0;
+        mutable std::mutex threadsMutex_; //!< protects threads_ only
+
+        //! Run descriptor: plain fields, written under submitMutex_ while
+        //! the generation is closed, read by members only between
+        //! registering in active_ and re-validating the generation — the
+        //! same publication argument as ThreadPool's job slots.
         std::function<void(std::size_t)> const* body_ = nullptr;
         std::size_t teamSize_ = 0;
-        std::size_t nextTicket_ = 0; //!< member indices handed out this run
-        std::size_t running_ = 0; //!< members still inside body
-        std::size_t keep_ = static_cast<std::size_t>(-1); //!< members with index >= keep_ exit
-        bool shutdown_ = false;
+
+        //! Odd = run open (tickets claimable), even = closed.
+        alignas(64) std::atomic<std::uint64_t> generation_{0};
+        //! Member indices handed out this run; the first teamSize_ claimants
+        //! execute the body.
+        alignas(64) std::atomic<std::size_t> nextTicket_{0};
+        //! Ticket holders still inside the body.
+        alignas(64) std::atomic<std::size_t> running_{0};
+        //! Members registered between generation validation and back-out.
+        alignas(64) std::atomic<std::size_t> active_{0};
+        alignas(64) std::atomic<std::size_t> parked_{0};
+        std::atomic<bool> parkedSinceNotify_{false};
+        //! Members with index >= keep_ exit their loop (trim protocol).
+        std::atomic<std::size_t> keep_{static_cast<std::size_t>(-1)};
+        std::atomic<bool> shutdown_{false};
+        int spinBudget_;
         std::vector<std::jthread> threads_;
     };
 } // namespace threadpool

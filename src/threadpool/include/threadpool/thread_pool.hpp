@@ -13,10 +13,18 @@
 ///  * Indices are claimed in proportional chunks via a single atomic
 ///    fetch_add per chunk (grain = max(1, count / (workers * 8))) — no
 ///    mutex on the claim path.
-///  * Jobs are published through a generation-stamped slot: workers key off
-///    the generation counter, never off the callable's address, so two
-///    back-to-back jobs reusing the same callable cannot be confused (the
-///    classic ABA hazard of pointer-compared job slots).
+///  * Jobs are published into a fixed ring of generation-stamped slots:
+///    concurrent submitters (the paper's streams model, Sec. 3.4.5, runs
+///    independent in-order queues from independent host threads) each
+///    acquire their own slot and publish without any shared mutex on the
+///    fast path, so K concurrent streams overlap instead of getting 1/K of
+///    the pool. Workers key off the slots' generation counters, never off a
+///    callable's address, so two back-to-back jobs reusing the same
+///    callable cannot be confused (the classic ABA hazard of
+///    pointer-compared job slots).
+///  * Workers drain the job they discover first, then steal chunks from any
+///    other open slot (same atomic chunk claim, scanned by generation
+///    parity), so a pool worker is never idle while any submitter has work.
 ///  * Workers spin briefly before parking in an atomic futex wait, so
 ///    back-to-back launches of tiny grids do not round-trip through the
 ///    kernel futex.
@@ -25,18 +33,32 @@
 ///    std::function invocation per *index*.
 #pragma once
 
+#include "threadpool/spin.hpp"
+
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace threadpool
 {
+    //! Misuse of the pool API by the calling code (re-entrant submission
+    //! from inside a running loop, nested team runs). Typed so callers and
+    //! tests can tell a programming error apart from a failure inside the
+    //! submitted work (DESIGN.md invariant 4: errors are typed exceptions).
+    class UsageError : public std::logic_error
+    {
+    public:
+        using std::logic_error::logic_error;
+    };
+
     namespace detail
     {
         //! First-exception capture usable from any participant without a
@@ -71,6 +93,13 @@ namespace threadpool
     class ThreadPool
     {
     public:
+        //! Number of independent job slots: up to this many submitters
+        //! publish concurrently without blocking each other; further
+        //! submitters queue on a slot mutex. 8 covers the streams-per-device
+        //! counts of the paper's evaluation with headroom, at a cost of
+        //! 8 cache lines scanned per worker wakeup.
+        static constexpr std::size_t slotCount = 8;
+
         //! \param workers number of worker threads (defaults to hardware
         //!        concurrency, at least one).
         explicit ThreadPool(std::size_t workers = 0);
@@ -83,12 +112,13 @@ namespace threadpool
         //! indices dynamically over the workers in proportional chunks.
         //! Blocks until all indices completed. Exceptions from fn are
         //! captured per index (every index still runs); the first one is
-        //! re-thrown after the loop drained.
+        //! re-thrown after the loop drained. Errors stay confined to the
+        //! submitting job: concurrent jobs in other slots are unaffected.
         //!
-        //! Re-entrant calls from within a worker are rejected (UsageError
-        //! semantics; throws std::logic_error) — nested parallelism is the
-        //! caller's responsibility, as in the paper's model where nesting
-        //! is expressed through the hierarchy instead.
+        //! Re-entrant calls from within a worker are rejected (throws
+        //! UsageError) — nested parallelism is the caller's responsibility,
+        //! as in the paper's model where nesting is expressed through the
+        //! hierarchy instead.
         void parallelFor(std::size_t count, std::function<void(std::size_t)> const& fn)
         {
             parallelForTemplated(count, fn);
@@ -144,46 +174,56 @@ namespace threadpool
 
         void runJob(std::size_t count, void const* ctx, ChunkFn run);
         void workerLoop(std::size_t workerIndex);
-        //! Claims and runs chunks of the current job until the index space
-        //! is exhausted. Callers must have registered as participants
-        //! (active_) for the current generation — the submitter implicitly
-        //! is one; workers register in workerLoop.
-        void drainCurrentJob();
 
-        //! The single generation-stamped job slot.
+        //! One generation-stamped job slot of the ring.
         //!
-        //! Publication protocol (runJob): write the descriptor fields and
-        //! reset the cursors, then release-bump generation_. Participation
-        //! protocol (workerLoop): acquire-load generation_, register in
-        //! active_, re-verify generation_ — only then touch the slot. The
-        //! submitter does not return before remaining == 0 (all work done)
-        //! AND active_ == 0 (no registered worker still inside the claim
-        //! loop), so slot publication never races with a participant: a
-        //! worker that missed the current generation can never claim, and
-        //! a worker that observed it keeps the slot pinned until it
-        //! leaves. This is what makes the plain (non-atomic) descriptor
-        //! fields and the cursor reset safe.
-        struct JobSlot
+        //! Publication protocol (runJob, per slot): hold the slot's submit
+        //! mutex, write the descriptor fields and reset the cursors while
+        //! the slot is closed (even generation), then open it with a
+        //! seq_cst generation bump. Participation protocol (workerLoop):
+        //! load an odd generation, register in active, re-verify the
+        //! generation — only then touch the slot. The submitter does not
+        //! close before remaining == 0 (all work done) and does not release
+        //! the slot mutex before active == 0 (no registered worker still
+        //! inside the claim loop), so slot publication never races with a
+        //! participant: a worker that missed the current generation can
+        //! never claim, and a worker that observed it keeps the slot pinned
+        //! until it leaves. This is what makes the plain (non-atomic)
+        //! descriptor fields and the cursor reset safe — per slot, exactly
+        //! the PR 1 single-slot argument (DESIGN.md §3.5).
+        struct alignas(64) JobSlot
         {
             void const* ctx = nullptr;
             ChunkFn run = nullptr;
             std::size_t count = 0;
             std::size_t grain = 1;
+            //! Odd = open (claimable), even = closed.
+            alignas(64) std::atomic<std::uint64_t> generation{0};
             alignas(64) std::atomic<std::size_t> next{0};
             alignas(64) std::atomic<std::size_t> remaining{0};
+            //! Registered participants currently inside drainSlot.
+            alignas(64) std::atomic<std::size_t> active{0};
             detail::FirstError errors;
+            //! Exclusivity of publication into this slot; never contended
+            //! while fewer than slotCount submitters run concurrently.
+            std::mutex submitMutex;
         };
 
-        static constexpr int spinBeforePark = 4096;
-        //! Actual spin budget: zero on single-hardware-thread machines,
-        //! where spinning can never observe progress by another core and
-        //! only steals the timeslice of the thread being waited for.
-        int spinBudget_ = spinBeforePark;
+        //! Claims and runs chunks of \p slot's job until its index space is
+        //! exhausted. Callers must have registered as participants (active)
+        //! for the slot's current generation — the submitter implicitly is
+        //! one; workers register in workerLoop.
+        void drainSlot(JobSlot& slot);
 
-        JobSlot job_{};
-        alignas(64) std::atomic<std::uint64_t> generation_{0};
-        //! Registered participants currently inside drainCurrentJob.
-        alignas(64) std::atomic<std::size_t> active_{0};
+        int spinBudget_ = detail::spinBeforePark;
+
+        std::array<JobSlot, slotCount> slots_;
+        //! Bumped once per publish; the workers' park word. Purely a wakeup
+        //! hint — claim correctness rests on the per-slot protocol alone.
+        alignas(64) std::atomic<std::uint64_t> publishSeq_{0};
+        //! Round-robin start for slot acquisition, spreading concurrent
+        //! submitters over distinct slots.
+        alignas(64) std::atomic<std::size_t> submitCursor_{0};
         alignas(64) std::atomic<std::size_t> parked_{0};
         //! Set by every worker as it parks, cleared by the publish-side
         //! notify: a publish skips the futex syscall only when every
@@ -194,9 +234,6 @@ namespace threadpool
         //! can never be left sleeping through a publish.
         std::atomic<bool> parkedSinceNotify_{false};
         std::atomic<bool> shutdown_{false};
-        //! Serializes concurrent submitters (streams may launch from
-        //! multiple threads); uncontended cost is a single CAS.
-        std::mutex submitMutex_;
         std::vector<std::jthread> workers_;
     };
 } // namespace threadpool

@@ -1,7 +1,9 @@
 #include "threadpool/team_pool.hpp"
 
+#include "threadpool/spin.hpp"
+#include "threadpool/thread_pool.hpp" // UsageError
+
 #include <algorithm>
-#include <stdexcept>
 
 namespace threadpool
 {
@@ -13,13 +15,14 @@ namespace threadpool
         thread_local bool t_insideTeam = false;
     } // namespace
 
+    TeamPool::TeamPool() : spinBudget_(detail::machineSpinBudget())
+    {
+    }
+
     TeamPool::~TeamPool()
     {
-        {
-            std::scoped_lock lock(mutex_);
-            shutdown_ = true;
-        }
-        cvWork_.notify_all();
+        shutdown_.store(true, std::memory_order_seq_cst);
+        wakeAllMembers();
     }
 
     auto TeamPool::global() -> TeamPool&
@@ -36,8 +39,16 @@ namespace threadpool
 
     auto TeamPool::threadCount() const -> std::size_t
     {
-        std::scoped_lock lock(mutex_);
+        std::scoped_lock lock(threadsMutex_);
         return threads_.size();
+    }
+
+    void TeamPool::wakeAllMembers()
+    {
+        // Parity-preserving bump: the generation stays "closed", so woken
+        // members re-check shutdown_/keep_ but can never claim a ticket.
+        generation_.fetch_add(2, std::memory_order_seq_cst);
+        generation_.notify_all();
     }
 
     void TeamPool::runTeam(std::size_t teamSize, std::function<void(std::size_t)> const& body)
@@ -45,73 +56,118 @@ namespace threadpool
         if(teamSize == 0)
             return;
         if(t_insideTeam)
-            throw std::logic_error("threadpool::TeamPool::runTeam: nested call from a team member");
+            throw UsageError("threadpool::TeamPool::runTeam: nested call from a team member");
         std::scoped_lock submitLock(submitMutex_);
-        std::unique_lock lock(mutex_);
-        while(threads_.size() < teamSize)
         {
-            auto const index = threads_.size();
-            threads_.emplace_back([this, index] { memberLoop(index); });
+            std::scoped_lock lock(threadsMutex_);
+            while(threads_.size() < teamSize)
+            {
+                auto const index = threads_.size();
+                threads_.emplace_back([this, index] { memberLoop(index); });
+            }
         }
 
+        // Invariant under submitMutex_: generation is even (closed) and no
+        // member is registered — the previous run closed and drained
+        // active_ before returning. The descriptor writes below therefore
+        // race with nobody (see memberLoop's register/re-validate).
         body_ = &body;
         teamSize_ = teamSize;
-        nextTicket_ = 0;
-        running_ = teamSize;
-        ++generation_;
-        lock.unlock();
-        cvWork_.notify_all();
+        nextTicket_.store(0, std::memory_order_relaxed);
+        running_.store(teamSize, std::memory_order_relaxed);
+        // Open the run (even -> odd); same Dekker pair with parked_ and the
+        // same notify elision as the ThreadPool publish path.
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        if(parked_.load(std::memory_order_seq_cst) != 0
+           && parkedSinceNotify_.exchange(false, std::memory_order_seq_cst))
+            generation_.notify_all();
 
-        lock.lock();
-        cvDone_.wait(lock, [&] { return running_ == 0; });
+        // All bodies done...
+        detail::awaitZero(running_, spinBudget_);
+        // ...then close (odd -> even) and wait for every registrant to back
+        // out, after which the descriptor may be rewritten.
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        detail::awaitZero(active_, spinBudget_);
         body_ = nullptr;
 
         // Trim surplus members spawned for an oversized team: members with
         // index >= keep_ exit their loop. The surplus jthreads are moved
         // out under the lock (threadCount() stays consistent) and joined
-        // without it, so the exiting members can re-check the predicate.
-        if(threads_.size() > retainCount())
+        // without it.
+        std::vector<std::jthread> surplus;
         {
-            keep_ = retainCount();
-            std::vector<std::jthread> surplus;
-            while(threads_.size() > keep_)
+            std::scoped_lock lock(threadsMutex_);
+            if(threads_.size() > retainCount())
             {
-                surplus.push_back(std::move(threads_.back()));
-                threads_.pop_back();
+                keep_.store(retainCount(), std::memory_order_seq_cst);
+                while(threads_.size() > retainCount())
+                {
+                    surplus.push_back(std::move(threads_.back()));
+                    threads_.pop_back();
+                }
             }
-            lock.unlock();
-            cvWork_.notify_all();
+        }
+        if(!surplus.empty())
+        {
+            wakeAllMembers();
             surplus.clear(); // joins the exiting members
-            lock.lock();
-            keep_ = static_cast<std::size_t>(-1);
+            keep_.store(static_cast<std::size_t>(-1), std::memory_order_seq_cst);
         }
     }
 
     void TeamPool::memberLoop(std::size_t memberIndex)
     {
-        std::unique_lock lock(mutex_);
         std::uint64_t seen = 0;
         for(;;)
         {
-            cvWork_.wait(
-                lock,
-                [&]
+            // Wait for an open run we have not joined yet: spin, then park.
+            int spins = spinBudget_;
+            std::uint64_t gen;
+            for(;;)
+            {
+                gen = generation_.load(std::memory_order_seq_cst);
+                if(shutdown_.load(std::memory_order_seq_cst)
+                   || memberIndex >= keep_.load(std::memory_order_seq_cst))
+                    return;
+                if(detail::isOpen(gen) && gen != seen)
+                    break;
+                if(spins-- > 0)
                 {
-                    return shutdown_ || memberIndex >= keep_
-                           || (generation_ != seen && nextTicket_ < teamSize_);
-                });
-            if(shutdown_ || memberIndex >= keep_)
-                return;
-            seen = generation_;
-            auto const ticket = nextTicket_++;
-            auto const* body = body_;
-            lock.unlock();
-            t_insideTeam = true;
-            (*body)(ticket);
-            t_insideTeam = false;
-            lock.lock();
-            if(--running_ == 0)
-                cvDone_.notify_all();
+                    detail::cpuRelax();
+                }
+                else
+                {
+                    parked_.fetch_add(1, std::memory_order_seq_cst);
+                    parkedSinceNotify_.store(true, std::memory_order_seq_cst);
+                    generation_.wait(gen, std::memory_order_seq_cst);
+                    parked_.fetch_sub(1, std::memory_order_relaxed);
+                }
+            }
+            // Register, then re-validate: the descriptor (body_, teamSize_)
+            // and the ticket counter may only be touched while the observed
+            // generation is still current (a stale member would otherwise
+            // claim a ticket of the *next* run — the ABA the parity
+            // protocol exists to prevent).
+            active_.fetch_add(1, std::memory_order_seq_cst);
+            if(generation_.load(std::memory_order_seq_cst) != gen)
+            {
+                if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                    active_.notify_all();
+                continue;
+            }
+            seen = gen;
+            auto const ticket = nextTicket_.fetch_add(1, std::memory_order_relaxed);
+            if(ticket < teamSize_)
+            {
+                auto const* body = body_;
+                t_insideTeam = true;
+                (*body)(ticket);
+                t_insideTeam = false;
+                if(running_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                    running_.notify_all();
+            }
+            if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                active_.notify_all();
         }
     }
 } // namespace threadpool

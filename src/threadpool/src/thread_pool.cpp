@@ -1,11 +1,6 @@
 #include "threadpool/thread_pool.hpp"
 
 #include <algorithm>
-#include <stdexcept>
-
-#if defined(__x86_64__) && defined(__GNUC__)
-#    include <immintrin.h>
-#endif
 
 namespace threadpool
 {
@@ -27,20 +22,6 @@ namespace threadpool
                 t_insideLoop = false;
             }
         };
-
-        inline void cpuRelax() noexcept
-        {
-#if defined(__x86_64__) && defined(__GNUC__)
-            _mm_pause();
-#else
-            std::this_thread::yield();
-#endif
-        }
-
-        [[nodiscard]] constexpr auto isOpen(std::uint64_t generation) noexcept -> bool
-        {
-            return (generation & 1u) != 0;
-        }
     } // namespace
 
     ThreadPool::ThreadPool(std::size_t workers)
@@ -52,8 +33,7 @@ namespace threadpool
             if(count == 0)
                 count = 1;
         }
-        if(std::thread::hardware_concurrency() <= 1)
-            spinBudget_ = 0;
+        spinBudget_ = detail::machineSpinBudget();
         workers_.reserve(count);
         for(std::size_t w = 0; w < count; ++w)
             workers_.emplace_back([this, w] { workerLoop(w); });
@@ -62,8 +42,8 @@ namespace threadpool
     ThreadPool::~ThreadPool()
     {
         shutdown_.store(true, std::memory_order_seq_cst);
-        generation_.fetch_add(2, std::memory_order_seq_cst);
-        generation_.notify_all();
+        publishSeq_.fetch_add(1, std::memory_order_seq_cst);
+        publishSeq_.notify_all();
     }
 
     auto ThreadPool::currentWorkerIndex() noexcept -> std::size_t
@@ -77,140 +57,167 @@ namespace threadpool
         return pool;
     }
 
-    //! Spin briefly, then park on the futex until \p counter reaches zero.
-    //! In-flight chunks are typically sub-microsecond, so the spin phase
-    //! usually wins and the syscall is skipped.
-    namespace
-    {
-        void awaitZero(std::atomic<std::size_t>& counter, int spins)
-        {
-            for(;;)
-            {
-                auto const value = counter.load(std::memory_order_seq_cst);
-                if(value == 0)
-                    return;
-                if(spins-- > 0)
-                    cpuRelax();
-                else
-                    counter.wait(value, std::memory_order_seq_cst);
-            }
-        }
-    } // namespace
-
     void ThreadPool::runJob(std::size_t count, void const* ctx, ChunkFn run)
     {
         if(t_workerIndex != npos || t_insideLoop)
-            throw std::logic_error("threadpool::ThreadPool::parallelFor: re-entrant call");
+            throw UsageError("threadpool::ThreadPool::parallelFor: re-entrant call");
         LoopScope const scope;
-        std::scoped_lock submitLock(submitMutex_);
 
-        // Invariant on entry: generation is even (slot closed) and no
-        // worker is registered — the previous runJob closed the slot and
-        // drained active_ before returning. Publication therefore races
-        // with nobody: workers refuse to join even generations, and a late
-        // worker that saw the previous odd generation re-validates after
-        // registering and backs out (see workerLoop).
-        job_.ctx = ctx;
-        job_.run = run;
-        job_.count = count;
-        job_.grain = std::max<std::size_t>(1, count / (workers_.size() * 8));
-        job_.remaining.store(count, std::memory_order_relaxed);
-        job_.next.store(0, std::memory_order_relaxed);
-        // Open the slot (even -> odd). seq_cst: forms a Dekker pair with
-        // the workers' parked_ increment — either a worker sees the new
-        // generation or we see it parked and pay the notify.
-        generation_.fetch_add(1, std::memory_order_seq_cst);
+        // Acquire a slot: try-lock scan starting at a round-robin ticket, so
+        // up to slotCount concurrent submitters land on distinct slots
+        // without blocking; only submitter number slotCount+1 queues behind
+        // one of them (on its ticket slot, keeping the fallback fair).
+        auto const start = submitCursor_.fetch_add(1, std::memory_order_relaxed);
+        JobSlot* slot = nullptr;
+        std::unique_lock<std::mutex> slotLock;
+        for(std::size_t i = 0; i < slotCount; ++i)
+        {
+            auto& candidate = slots_[(start + i) % slotCount];
+            std::unique_lock<std::mutex> tryLock(candidate.submitMutex, std::try_to_lock);
+            if(tryLock.owns_lock())
+            {
+                slot = &candidate;
+                slotLock = std::move(tryLock);
+                break;
+            }
+        }
+        if(slot == nullptr)
+        {
+            slot = &slots_[start % slotCount];
+            slotLock = std::unique_lock<std::mutex>(slot->submitMutex);
+        }
+
+        // Invariant under the slot mutex: the slot's generation is even
+        // (closed) and no worker is registered on it — the previous holder
+        // closed it and drained its active count before unlocking.
+        // Publication therefore races with nobody: workers refuse to join
+        // even generations, and a late worker that saw the previous odd
+        // generation re-validates after registering and backs out (see
+        // workerLoop).
+        slot->ctx = ctx;
+        slot->run = run;
+        slot->count = count;
+        slot->grain = std::max<std::size_t>(1, count / (workers_.size() * 8));
+        slot->remaining.store(count, std::memory_order_relaxed);
+        slot->next.store(0, std::memory_order_relaxed);
+        // Open the slot (even -> odd), then advertise the publish on the
+        // global park word. seq_cst: forms a Dekker pair with the workers'
+        // parked_ increment — either a worker's slot scan or wait-entry
+        // check sees the publish, or we see it parked and pay the notify.
+        slot->generation.fetch_add(1, std::memory_order_seq_cst);
+        publishSeq_.fetch_add(1, std::memory_order_seq_cst);
         // Notify only when someone parked since the last notify; workers
         // already woken (but not yet scheduled) still count as parked and
         // need no second FUTEX_WAKE. A worker parking concurrently either
         // re-arms the flag before blocking (we or the next publish wake
-        // it) or observes the bumped generation at wait entry and returns
-        // immediately — seq_cst on both sides closes the window.
+        // it) or observes the bumped publish count at wait entry and
+        // returns immediately — seq_cst on both sides closes the window.
         if(parked_.load(std::memory_order_seq_cst) != 0
            && parkedSinceNotify_.exchange(false, std::memory_order_seq_cst))
-            generation_.notify_all();
+            publishSeq_.notify_all();
 
         // The submitting thread helps: on a single-core machine the pool
         // worker and the submitter share the CPU anyway, and helping keeps
-        // the latency of tiny loops low.
-        drainCurrentJob();
-        awaitZero(job_.remaining, spinBudget_);
+        // the latency of tiny loops low. It also bounds every job's
+        // completion independently of the workers — a job never waits on
+        // chunks of another submitter's job.
+        drainSlot(*slot);
+        detail::awaitZero(slot->remaining, spinBudget_);
 
         // Close the slot (odd -> even), then wait until every registered
         // worker left the claim loop. A worker that validated against the
-        // odd generation is visible in active_ by the time the close bump
-        // lands (seq_cst Dekker pair on active_/generation_), so after
-        // this wait the slot is quiescent and may be republished.
-        generation_.fetch_add(1, std::memory_order_seq_cst);
-        awaitZero(active_, spinBudget_);
+        // odd generation is visible in active by the time the close bump
+        // lands (seq_cst Dekker pair on active/generation), so after this
+        // wait the slot is quiescent and may be republished by the next
+        // holder of the slot mutex.
+        slot->generation.fetch_add(1, std::memory_order_seq_cst);
+        detail::awaitZero(slot->active, spinBudget_);
 
-        job_.errors.rethrowIfSetAndClear();
+        slot->errors.rethrowIfSetAndClear();
     }
 
-    void ThreadPool::drainCurrentJob()
+    void ThreadPool::drainSlot(JobSlot& slot)
     {
-        auto const count = job_.count;
-        auto const grain = job_.grain;
+        auto const count = slot.count;
+        auto const grain = slot.grain;
         // Completed indices are subtracted from remaining once per
         // participant, not per chunk — the waiter only cares about zero,
         // and batching keeps the claim loop to one atomic per chunk.
         std::size_t done = 0;
         for(;;)
         {
-            auto const begin = job_.next.fetch_add(grain, std::memory_order_relaxed);
+            auto const begin = slot.next.fetch_add(grain, std::memory_order_relaxed);
             if(begin >= count)
                 break;
             auto const end = std::min(begin + grain, count);
-            job_.run(job_.ctx, begin, end, job_.errors);
+            slot.run(slot.ctx, begin, end, slot.errors);
             done += end - begin;
         }
-        if(done != 0 && job_.remaining.fetch_sub(done, std::memory_order_acq_rel) == done)
-            job_.remaining.notify_all();
+        if(done != 0 && slot.remaining.fetch_sub(done, std::memory_order_acq_rel) == done)
+            slot.remaining.notify_all();
     }
 
     void ThreadPool::workerLoop(std::size_t workerIndex)
     {
         t_workerIndex = workerIndex;
-        std::uint64_t seen = 0;
+        // Last drained generation per slot: a worker re-joins a slot only
+        // for a generation it has not drained yet (re-joining a drained one
+        // would merely burn a fetch_add, but the scan must make progress).
+        std::array<std::uint64_t, slotCount> seen{};
+        // Distinct scan origins spread the workers over the open slots, so
+        // concurrent jobs get disjoint helpers first and stealing overlap
+        // only once a worker's preferred slots drained.
+        auto const scanOffset = workerIndex % slotCount;
+        int spins = spinBudget_;
         for(;;)
         {
-            // Wait for an open job we have not joined yet: spin, then park.
-            int spins = spinBudget_;
-            std::uint64_t gen;
-            for(;;)
+            if(shutdown_.load(std::memory_order_seq_cst))
+                return;
+            auto const seq = publishSeq_.load(std::memory_order_seq_cst);
+            // Scan for an open generation not yet drained: the worker's own
+            // current job first (scanOffset sticks until its slot closes),
+            // then any other submitter's open slot — the steal path.
+            bool drained = false;
+            for(std::size_t i = 0; i < slotCount; ++i)
             {
-                gen = generation_.load(std::memory_order_seq_cst);
-                if(shutdown_.load(std::memory_order_seq_cst))
-                    return;
-                if(gen != seen && isOpen(gen))
+                auto& slot = slots_[(scanOffset + i) % slotCount];
+                auto const gen = slot.generation.load(std::memory_order_seq_cst);
+                if(!detail::isOpen(gen) || gen == seen[(scanOffset + i) % slotCount])
+                    continue;
+                // Register, then re-validate: claims may only happen while
+                // the observed generation is still current. If the job
+                // closed in between, back out — the transient active blip
+                // merely delays the submitter's quiescence wait.
+                slot.active.fetch_add(1, std::memory_order_seq_cst);
+                if(slot.generation.load(std::memory_order_seq_cst) == gen)
+                {
+                    seen[(scanOffset + i) % slotCount] = gen;
+                    drainSlot(slot);
+                    drained = true;
+                }
+                if(slot.active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                    slot.active.notify_all();
+                if(drained)
                     break;
-                if(spins-- > 0)
-                {
-                    cpuRelax();
-                }
-                else
-                {
-                    parked_.fetch_add(1, std::memory_order_seq_cst);
-                    parkedSinceNotify_.store(true, std::memory_order_seq_cst);
-                    generation_.wait(gen, std::memory_order_seq_cst);
-                    parked_.fetch_sub(1, std::memory_order_relaxed);
-                }
             }
-            // Register, then re-validate: claims may only happen while the
-            // observed generation is still current. If the job closed (or
-            // a new one opened) in between, back out — the transient
-            // active_ blip merely delays the submitter's quiescence wait.
-            active_.fetch_add(1, std::memory_order_seq_cst);
-            if(generation_.load(std::memory_order_seq_cst) != gen)
+            if(drained)
             {
-                if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-                    active_.notify_all();
+                spins = spinBudget_;
                 continue;
             }
-            seen = gen;
-            drainCurrentJob();
-            if(active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-                active_.notify_all();
+            // Nothing claimable anywhere: spin, then park on the publish
+            // word. A publish between the seq load above and the wait entry
+            // is caught by the futex value check (publishSeq_ != seq).
+            if(spins-- > 0)
+            {
+                detail::cpuRelax();
+                continue;
+            }
+            parked_.fetch_add(1, std::memory_order_seq_cst);
+            parkedSinceNotify_.store(true, std::memory_order_seq_cst);
+            publishSeq_.wait(seq, std::memory_order_seq_cst);
+            parked_.fetch_sub(1, std::memory_order_relaxed);
+            spins = spinBudget_;
         }
     }
 } // namespace threadpool

@@ -1,0 +1,239 @@
+/// \file Concurrent-streams integration tests (paper Sec. 3.4.5: streams
+/// are independent in-order queues that overlap). K StreamCpuAsync and K
+/// StreamCudaSimAsync enqueue interleaved kernels, copies and events from
+/// separate host threads; per-stream FIFO order (DESIGN.md invariant 7) and
+/// back-end equivalence of the results (invariant 8) must hold, and
+/// wait::wait(dev) must drain all of them. Part of the ThreadSanitizer CI
+/// layer: the CPU streams submit into the shared ThreadPool's job ring from
+/// concurrent queue workers, which is exactly the surface PR 2 opened.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    //! Order-sensitive update: buf[i] = buf[i] * 31 + round. The final
+    //! value encodes the exact execution order of the rounds, so any
+    //! per-stream FIFO violation changes the result.
+    struct ChainKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* data, Size n, double round) const
+        {
+            auto const i = idx::getIdx<Grid, Threads>(acc)[0];
+            if(i < n)
+                data[i] = data[i] * 31.0 + round;
+        }
+    };
+
+    //! Host-side reference of \p rounds chained updates on value \p seed.
+    [[nodiscard]] auto chainReference(double seed, int rounds) -> double
+    {
+        double v = seed;
+        for(int r = 0; r < rounds; ++r)
+            v = v * 31.0 + static_cast<double>(r);
+        return v;
+    }
+} // namespace
+
+TEST(ConcurrentStreams, CpuStreamsFromConcurrentHostThreadsKeepFifoAndOverlap)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+
+    constexpr int streams = 3;
+    constexpr int rounds = 40;
+    constexpr Size n = 32;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+
+    std::vector<std::vector<double>> bufs(streams, std::vector<double>(n));
+    std::barrier startLine(streams);
+    std::vector<std::jthread> hosts;
+    std::vector<stream::StreamCpuAsync> qs;
+    qs.reserve(streams);
+    for(int s = 0; s < streams; ++s)
+        qs.emplace_back(dev);
+
+    for(int s = 0; s < streams; ++s)
+        hosts.emplace_back(
+            [&, s]
+            {
+                auto& buf = bufs[static_cast<std::size_t>(s)];
+                for(Size i = 0; i < n; ++i)
+                    buf[i] = static_cast<double>(s + 1);
+                startLine.arrive_and_wait();
+                for(int r = 0; r < rounds; ++r)
+                {
+                    auto const exec
+                        = exec::create<Acc>(wd, ChainKernel{}, buf.data(), n, static_cast<double>(r));
+                    stream::enqueue(qs[static_cast<std::size_t>(s)], exec);
+                    // Interleave a host-side task through the same queue:
+                    // it must observe every kernel round enqueued before it.
+                    if(r % 8 == 7)
+                    {
+                        std::atomic<double> snapshot{0.0};
+                        qs[static_cast<std::size_t>(s)].push([&buf, &snapshot] { snapshot.store(buf[0]); });
+                        qs[static_cast<std::size_t>(s)].wait();
+                        EXPECT_EQ(snapshot.load(), chainReference(static_cast<double>(s + 1), r + 1));
+                    }
+                }
+            });
+    hosts.clear(); // join the enqueuing threads
+
+    // Device-level drain must cover all K streams (invariant 7, second half).
+    wait::wait(dev);
+    for(int s = 0; s < streams; ++s)
+    {
+        auto const expected = chainReference(static_cast<double>(s + 1), rounds);
+        for(Size i = 0; i < n; ++i)
+            ASSERT_EQ(bufs[static_cast<std::size_t>(s)][i], expected) << "stream " << s << " index " << i;
+    }
+}
+
+TEST(ConcurrentStreams, CudaSimStreamsFromConcurrentHostThreadsKeepFifo)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+
+    constexpr int streams = 3;
+    constexpr int rounds = 20;
+    constexpr Size n = 64;
+    Vec<Dim1, Size> const extent(n);
+    auto const wd = workdiv::table2WorkDiv<Acc>(n, Size{32}, Size{1});
+
+    std::vector<std::vector<double>> results(streams, std::vector<double>(n));
+    std::barrier startLine(streams);
+    {
+        std::vector<std::jthread> hosts;
+        for(int s = 0; s < streams; ++s)
+            hosts.emplace_back(
+                [&, s]
+                {
+                    stream::StreamCudaSimAsync q(dev);
+                    auto hostBuf = mem::buf::alloc<double, Size>(host, n);
+                    for(Size i = 0; i < n; ++i)
+                        hostBuf.data()[i] = static_cast<double>(s + 1);
+                    auto devBuf = mem::buf::alloc<double, Size>(dev, n);
+                    startLine.arrive_and_wait();
+
+                    // Interleaved copies, kernels and events on one stream.
+                    mem::view::copy(q, devBuf, hostBuf, extent);
+                    for(int r = 0; r < rounds; ++r)
+                    {
+                        stream::enqueue(
+                            q,
+                            exec::create<Acc>(wd, ChainKernel{}, devBuf.data(), n, static_cast<double>(r)));
+                        if(r == rounds / 2)
+                        {
+                            // An event recorded mid-chain completes only
+                            // after the first half of the rounds.
+                            event::EventCudaSim ev(dev);
+                            stream::enqueue(q, ev);
+                            wait::wait(ev);
+                        }
+                    }
+                    mem::view::copy(q, hostBuf, devBuf, extent);
+                    wait::wait(q);
+                    for(Size i = 0; i < n; ++i)
+                        results[static_cast<std::size_t>(s)][i] = hostBuf.data()[i];
+                });
+    } // join
+
+    for(int s = 0; s < streams; ++s)
+    {
+        auto const expected = chainReference(static_cast<double>(s + 1), rounds);
+        for(Size i = 0; i < n; ++i)
+            ASSERT_EQ(results[static_cast<std::size_t>(s)][i], expected) << "stream " << s << " index " << i;
+    }
+}
+
+TEST(ConcurrentStreams, CpuAndSimBackendsProduceIdenticalChains)
+{
+    // Invariant 8 under concurrency: the same kernel chain run through
+    // concurrent CPU streams and concurrent sim streams yields bit-equal
+    // results, and both match the host reference.
+    using AccCpu = acc::AccCpuTaskBlocks<Dim1, Size>;
+    using AccSim = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const devCpu = dev::DevMan<AccCpu>::getDevByIdx(0);
+    auto const devSim = dev::PltfCudaSim::getDevByIdx(0);
+    auto const host = dev::PltfCpu::getDevByIdx(0);
+
+    constexpr int rounds = 16;
+    constexpr Size n = 48;
+    Vec<Dim1, Size> const extent(n);
+
+    // CPU side on an async stream...
+    std::vector<double> cpuBuf(n, 2.5);
+    {
+        stream::StreamCpuAsync q(devCpu);
+        workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+        for(int r = 0; r < rounds; ++r)
+            stream::enqueue(q, exec::create<AccCpu>(wd, ChainKernel{}, cpuBuf.data(), n, static_cast<double>(r)));
+        wait::wait(devCpu);
+    }
+
+    // ...sim side on its async stream, same chain.
+    auto hostBuf = mem::buf::alloc<double, Size>(host, n);
+    for(Size i = 0; i < n; ++i)
+        hostBuf.data()[i] = 2.5;
+    {
+        stream::StreamCudaSimAsync q(devSim);
+        auto devBuf = mem::buf::alloc<double, Size>(devSim, n);
+        mem::view::copy(q, devBuf, hostBuf, extent);
+        auto const wd = workdiv::table2WorkDiv<AccSim>(n, Size{16}, Size{1});
+        for(int r = 0; r < rounds; ++r)
+            stream::enqueue(q, exec::create<AccSim>(wd, ChainKernel{}, devBuf.data(), n, static_cast<double>(r)));
+        mem::view::copy(q, hostBuf, devBuf, extent);
+        wait::wait(devSim);
+    }
+
+    auto const expected = chainReference(2.5, rounds);
+    for(Size i = 0; i < n; ++i)
+    {
+        ASSERT_EQ(cpuBuf[i], expected);
+        ASSERT_EQ(hostBuf.data()[i], cpuBuf[i]);
+    }
+}
+
+TEST(ConcurrentStreams, RegistryStaysBoundedUnderStreamChurn)
+{
+    // detail::StreamRegistry must not grow unboundedly when short-lived
+    // streams churn: add() compacts the list it inserts into, waitAll()
+    // compacts the rest (the device whose streams all died).
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    auto& registry = detail::StreamRegistry::instance();
+
+    auto const before = registry.entryCount(dev.registryKey());
+    for(int round = 0; round < 100; ++round)
+    {
+        stream::StreamCpuAsync s(dev);
+        s.push([] {});
+        s.wait();
+        // s dies here; its weak_ptr entry expires.
+    }
+    // add() compacted on every registration: at most the final dead entry
+    // (plus any pre-existing live streams) remains.
+    EXPECT_LE(registry.entryCount(dev.registryKey()), before + 1);
+
+    // waitAll() compacts what add() cannot (no further registrations).
+    wait::wait(dev);
+    EXPECT_LE(registry.entryCount(dev.registryKey()), before);
+
+    // Same bound on the sim device registry path.
+    auto const simDev = dev::PltfCudaSim::getDevByIdx(0);
+    auto const simBefore = registry.entryCount(simDev.registryKey());
+    for(int round = 0; round < 50; ++round)
+        stream::StreamCudaSimAsync s(simDev);
+    wait::wait(simDev);
+    EXPECT_LE(registry.entryCount(simDev.registryKey()), simBefore);
+}

@@ -103,8 +103,9 @@ TEST(ThreadPool, ReentrantUseRejected)
             {
                 pool.parallelFor(2, [](std::size_t) {});
             }
-            catch(std::logic_error const&)
+            catch(threadpool::UsageError const&)
             {
+                // Typed rejection (DESIGN invariant 4); is-a std::logic_error.
                 ++threwInside;
             }
         });

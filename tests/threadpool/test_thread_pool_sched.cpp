@@ -161,7 +161,7 @@ TEST(ThreadPoolSched, ReentrancyRejectedOnEveryParticipant)
             {
                 pool.parallelFor(2, [](std::size_t) {});
             }
-            catch(std::logic_error const&)
+            catch(threadpool::UsageError const&)
             {
                 ++rejected;
             }
@@ -278,7 +278,7 @@ TEST(TeamPool, NestedRunFromMemberIsRejectedNotDeadlocked)
             {
                 pool.runTeam(1, [](std::size_t) {});
             }
-            catch(std::logic_error const&)
+            catch(threadpool::UsageError const&)
             {
                 ++rejected;
             }
