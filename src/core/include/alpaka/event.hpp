@@ -43,7 +43,7 @@ namespace alpaka::event
             state_->cv.wait(lock, [&] { return state_->done; });
         }
 
-        //! \name used by Enqueue/wait traits
+        //! \name used by Enqueue/wait traits and the graph replay engine
         //! @{
         void markPending() const
         {
@@ -59,6 +59,14 @@ namespace alpaka::event
             state_->cv.notify_all();
         }
         //! @}
+
+        //! Opaque identity of the event's shared state; capture sinks key
+        //! cross-stream record/wait edges on it (copies of an event share
+        //! the state, hence the key).
+        [[nodiscard]] auto key() const noexcept -> void const*
+        {
+            return state_.get();
+        }
 
     private:
         struct State
@@ -109,6 +117,20 @@ namespace alpaka::event
     };
 } // namespace alpaka::event
 
+namespace alpaka::event::detail
+{
+    //! Describes recording \p event to a capture sink: the live event is
+    //! left untouched; replay re-arms it (markPending) at replay start and
+    //! completes it when the record node is reached.
+    inline void captureEventRecord(gpusim::CaptureSink& sink, event::EventCpu const& event)
+    {
+        sink.eventRecord(
+            event.key(),
+            [event] { event.markPending(); },
+            [event] { event.complete(); });
+    }
+} // namespace alpaka::event::detail
+
 namespace alpaka::stream::trait
 {
     //! Recording an EventCpu into the synchronous CPU stream: everything
@@ -116,8 +138,13 @@ namespace alpaka::stream::trait
     template<>
     struct Enqueue<StreamCpuSync, event::EventCpu>
     {
-        static void enqueue(StreamCpuSync&, event::EventCpu& event)
+        static void enqueue(StreamCpuSync& stream, event::EventCpu& event)
         {
+            if(auto const& sink = stream.captureSink())
+            {
+                event::detail::captureEventRecord(*sink, event);
+                return;
+            }
             event.markPending();
             event.complete();
         }
@@ -129,6 +156,11 @@ namespace alpaka::stream::trait
     {
         static void enqueue(StreamCpuAsync& stream, event::EventCpu& event)
         {
+            if(auto const& sink = stream.captureSink())
+            {
+                event::detail::captureEventRecord(*sink, event);
+                return;
+            }
             event.markPending();
             stream.push([event] { event.complete(); }, /*always=*/true);
         }

@@ -505,6 +505,124 @@ namespace alpaka::exec
                 errors.rethrowIfSet();
             }
         };
+        // ------------------------------------------------------------------
+        //! Pre-resolved, type-erased replay form of a kernel launch: the
+        //! work division is validated, the shared-memory demand checked,
+        //! the index decoder built and the dispatch trampoline bound ONCE;
+        //! the returned closures can then be run any number of times (by a
+        //! graph replay, DESIGN.md §4) without redoing any of it.
+        //!
+        //! Two shapes:
+        //!  * `whole` — runs the complete launch through the back-end's
+        //!    KernelRunner; set for every accelerator.
+        //!  * `range` — runs the half-open block range [begin, end) of
+        //!    `chunkCount` blocks directly in the calling thread; set only
+        //!    for back-ends whose blocks are independent pool tasks
+        //!    (AccCpuTaskBlocks). A replay engine executing nodes on
+        //!    ThreadPool workers MUST use `range` when present: the whole-
+        //!    launch form would submit into the pool from a pool worker
+        //!    (rejected as re-entrant), and chunked execution is what lets
+        //!    one fat kernel node spread over the workers.
+        struct LoweredKernel
+        {
+            std::size_t chunkCount = 0; //!< >0 iff range is usable
+            std::function<void(std::size_t, std::size_t)> range;
+            std::function<void()> whole;
+        };
+
+        //! Generic lowering: validate now, replay through the KernelRunner.
+        template<typename TAcc, typename TKernel, typename... TArgs>
+        [[nodiscard]] auto lowerKernel(dev::DevCpu const& dev, TaskKernel<TAcc, TKernel, TArgs...> task)
+            -> LoweredKernel
+        {
+            workdiv::requireValidWorkDiv<TAcc>(dev, task.workDiv());
+            (void) task.dynSharedMemBytes(); // resolve the trait once; overflow throws at run
+            LoweredKernel lowered;
+            lowered.whole = [dev, task = std::move(task)] { KernelRunner<TAcc>::run(dev, task); };
+            return lowered;
+        }
+
+        //! AccCpuTaskBlocks lowering: blocks are independent, so the node
+        //! exposes them as a chunkable range. Everything per-launch
+        //! (validation, props lookup, shared-memory check, IdxMapper) is
+        //! resolved here; a chunk costs only arena lookup + the block loop.
+        template<typename TDim, typename TSize, typename TKernel, typename... TArgs>
+        [[nodiscard]] auto lowerKernel(
+            dev::DevCpu const& dev,
+            TaskKernel<acc::AccCpuTaskBlocks<TDim, TSize>, TKernel, TArgs...> task) -> LoweredKernel
+        {
+            using Acc = acc::AccCpuTaskBlocks<TDim, TSize>;
+            workdiv::requireValidWorkDiv<Acc>(dev, task.workDiv());
+            auto const props = acc::getAccDevProps<Acc>(dev);
+            auto const capacity = props.sharedMemSizeBytes;
+            auto const dynBytes = task.dynSharedMemBytes();
+            if(dynBytes > capacity)
+                throw SharedMemOverflowError("AccCpuTaskBlocks: dynamic shared memory exceeds capacity");
+
+            auto const shared = std::make_shared<TaskKernel<Acc, TKernel, TArgs...> const>(std::move(task));
+            core::IdxMapper<TDim, TSize> const blockMap(shared->workDiv().gridBlockExtent());
+            LoweredKernel lowered;
+            lowered.chunkCount = static_cast<std::size_t>(shared->workDiv().gridBlockExtent().prod());
+            lowered.range = [shared, blockMap, capacity, dynBytes](std::size_t begin, std::size_t end)
+            {
+                auto const& wd = shared->workDiv();
+                for(std::size_t b = begin; b < end; ++b)
+                {
+                    acc::detail::SharedBlock const block{acc::SharedArenaCache::get(capacity), capacity, dynBytes};
+                    Acc const acc(wd, blockMap(static_cast<TSize>(b)), Vec<TDim, TSize>::zeros(), block);
+                    shared->invoke(acc);
+                }
+            };
+            lowered.whole = [range = lowered.range, count = lowered.chunkCount] { range(0, count); };
+            return lowered;
+        }
+
+        //! CudaSim lowering: the launch is translated to a simulator grid
+        //! once; replay re-runs the grid on the device (one chunk — the
+        //! simulator serializes grids per device anyway).
+        template<typename TDim, typename TSize, typename TKernel, typename... TArgs>
+        [[nodiscard]] auto lowerKernel(
+            dev::DevCudaSim const& dev,
+            TaskKernel<acc::AccGpuCudaSim<TDim, TSize>, TKernel, TArgs...> task) -> LoweredKernel
+        {
+            using Acc = acc::AccGpuCudaSim<TDim, TSize>;
+            workdiv::requireValidWorkDiv<Acc>(dev, task.workDiv());
+            auto const& spec = dev.spec();
+            auto const dynBytes = task.dynSharedMemBytes();
+            if(dynBytes > spec.sharedMemPerBlock)
+                throw SharedMemOverflowError(
+                    "AccGpuCudaSim: kernel requests " + std::to_string(dynBytes)
+                    + " B dynamic shared memory but the device provides "
+                    + std::to_string(spec.sharedMemPerBlock) + " B per block");
+
+            gpusim::GridSpec grid;
+            grid.grid = acc::detail::vecToDim3(task.workDiv().gridBlockExtent());
+            grid.block = acc::detail::vecToDim3(task.workDiv().blockThreadExtent());
+            grid.sharedMemBytes = spec.sharedMemPerBlock;
+
+            auto const shared = std::make_shared<TaskKernel<Acc, TKernel, TArgs...> const>(std::move(task));
+            auto const capacity = spec.sharedMemPerBlock;
+            gpusim::KernelBody body = [shared, dynBytes, capacity](gpusim::ThreadCtx& ctx)
+            {
+                acc::detail::SharedBlock const block{ctx.sharedMem(), capacity, dynBytes};
+                Acc const acc(shared->workDiv(), block, ctx);
+                shared->invoke(acc);
+            };
+            LoweredKernel lowered;
+            lowered.whole = [dev, grid, body = std::move(body)] { dev.simDevice().runGrid(grid, body); };
+            return lowered;
+        }
+
+        //! Describes a kernel launch to a capture sink in its lowered form.
+        template<typename TDev, typename TTask>
+        void captureKernel(gpusim::CaptureSink& sink, TDev const& dev, TTask task)
+        {
+            auto lowered = lowerKernel(dev, std::move(task));
+            if(lowered.chunkCount > 0)
+                sink.kernelChunks(lowered.chunkCount, std::move(lowered.range));
+            else
+                sink.task(std::move(lowered.whole), /*always=*/false);
+        }
     } // namespace detail
 } // namespace alpaka::exec
 
@@ -517,6 +635,11 @@ namespace alpaka::stream::trait
     {
         static void enqueue(StreamCpuSync& stream, exec::TaskKernel<TAcc, TKernel, TArgs...> const& task)
         {
+            if(auto const& sink = stream.captureSink())
+            {
+                exec::detail::captureKernel(*sink, stream.getDev(), task);
+                return;
+            }
             exec::detail::KernelRunner<TAcc>::run(stream.getDev(), task);
         }
     };
@@ -529,6 +652,11 @@ namespace alpaka::stream::trait
         static void enqueue(StreamCpuAsync& stream, exec::TaskKernel<TAcc, TKernel, TArgs...> task)
         {
             auto const dev = stream.getDev();
+            if(auto const& sink = stream.captureSink())
+            {
+                exec::detail::captureKernel(*sink, dev, std::move(task));
+                return;
+            }
             stream.push([dev, task = std::move(task)] { exec::detail::KernelRunner<TAcc>::run(dev, task); });
         }
     };

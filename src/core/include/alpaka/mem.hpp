@@ -512,11 +512,12 @@ namespace alpaka::mem::view
         }
     } // namespace detail
 
-    //! Enqueues a deep copy of \p extent elements from \p src to \p dst
-    //! (paper Listing 4: `mem::view::copy(stream, devBuf, hostBuf,
-    //! extents)`). Works for every host/accelerator direction.
-    template<typename TStream, ConceptView TViewDst, ConceptView TViewSrc, typename TDim, typename TSize>
-    void copy(TStream& stream, TViewDst dst, TViewSrc src, Vec<TDim, TSize> const& extent)
+    //! Builds the validated, type-erased deep-copy task for \p extent
+    //! elements from \p src to \p dst. Shared by copy() below and by the
+    //! graph subsystem's explicit copy nodes — validation and the view
+    //! captures happen once, at build time.
+    template<ConceptView TViewDst, ConceptView TViewSrc, typename TDim, typename TSize>
+    [[nodiscard]] auto makeCopyTask(TViewDst dst, TViewSrc src, Vec<TDim, TSize> const& extent) -> detail::MemTask
     {
         static_assert(
             std::is_same_v<typename TViewDst::Elem, typename TViewSrc::Elem>,
@@ -528,18 +529,33 @@ namespace alpaka::mem::view
         detail::checkExtentFits(extent, src, "source");
 
         // Views are captured by value: buffers are shared-ownership, so the
-        // storage stays alive until the asynchronous task ran.
-        stream::enqueue(
-            stream,
-            detail::MemTask{[dst, src, extent] { detail::copyRows(dst, src, extent); }});
+        // storage stays alive until the (possibly much later) execution.
+        return detail::MemTask{[dst, src, extent] { detail::copyRows(dst, src, extent); }};
+    }
+
+    //! Builds the validated, type-erased fill task for \p extent elements
+    //! of \p view (see makeCopyTask).
+    template<ConceptView TView, typename TDim, typename TSize>
+    [[nodiscard]] auto makeSetTask(TView view, int value, Vec<TDim, TSize> const& extent) -> detail::MemTask
+    {
+        detail::checkExtentFits(extent, view, "destination");
+        return detail::MemTask{[view, value, extent] { detail::setRows(view, value, extent); }};
+    }
+
+    //! Enqueues a deep copy of \p extent elements from \p src to \p dst
+    //! (paper Listing 4: `mem::view::copy(stream, devBuf, hostBuf,
+    //! extents)`). Works for every host/accelerator direction.
+    template<typename TStream, ConceptView TViewDst, ConceptView TViewSrc, typename TDim, typename TSize>
+    void copy(TStream& stream, TViewDst dst, TViewSrc src, Vec<TDim, TSize> const& extent)
+    {
+        stream::enqueue(stream, makeCopyTask(std::move(dst), std::move(src), extent));
     }
 
     //! Enqueues a byte-wise fill of \p extent elements of \p view.
     template<typename TStream, ConceptView TView, typename TDim, typename TSize>
     void set(TStream& stream, TView view, int value, Vec<TDim, TSize> const& extent)
     {
-        detail::checkExtentFits(extent, view, "destination");
-        stream::enqueue(stream, detail::MemTask{[view, value, extent] { detail::setRows(view, value, extent); }});
+        stream::enqueue(stream, makeSetTask(std::move(view), value, extent));
     }
 } // namespace alpaka::mem::view
 

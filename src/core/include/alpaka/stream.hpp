@@ -6,6 +6,7 @@
 #include "alpaka/core/task_queue.hpp"
 #include "alpaka/dev.hpp"
 
+#include "gpusim/capture.hpp"
 #include "gpusim/stream.hpp"
 
 #include <functional>
@@ -117,19 +118,55 @@ namespace alpaka::stream
             return dev_;
         }
 
-        //! Runs a type-erased task right away (used by Enqueue traits).
-        void run(std::function<void()> const& task) const
+        //! Runs a type-erased task right away (used by Enqueue traits) —
+        //! or, while capturing, records it instead of running it.
+        void run(std::function<void()> task) const
         {
+            if(auto const& sink = captureSink())
+            {
+                sink->task(std::move(task), false);
+                return;
+            }
             task();
         }
 
-        void wait() const noexcept
+        void wait() const
         {
-            // Synchronous: always drained.
+            // Synchronous: always drained (but synchronizing a capture is
+            // a misuse — nothing is executing).
+            if(captureSink() != nullptr)
+                throw UsageError("StreamCpuSync: wait() on a capturing stream");
         }
+
+        //! \name stream capture (see gpusim/capture.hpp for the contract;
+        //! a sink whose session ended is dropped lazily, so stream and
+        //! capture session may die in any order)
+        //! @{
+        void beginCapture(std::shared_ptr<gpusim::CaptureSink> sink)
+        {
+            if(captureSink() != nullptr)
+                throw UsageError("StreamCpuSync: beginCapture while already capturing");
+            if(sink == nullptr)
+                throw UsageError("StreamCpuSync: beginCapture requires a sink");
+            capture_ = std::move(sink);
+        }
+        void endCapture() noexcept
+        {
+            capture_.reset();
+        }
+        [[nodiscard]] auto captureSink() const noexcept -> std::shared_ptr<gpusim::CaptureSink> const&
+        {
+            if(capture_ != nullptr && !capture_->active())
+                capture_.reset();
+            return capture_;
+        }
+        //! @}
 
     private:
         dev::DevCpu dev_;
+        //! Mutable: captureSink() drops a stale sink from const accessors;
+        //! capture, like enqueue, is externally synchronized per stream.
+        mutable std::shared_ptr<gpusim::CaptureSink> capture_;
     };
 
     //! Asynchronous CPU stream: a worker thread executes operations in
@@ -153,14 +190,22 @@ namespace alpaka::stream
             return impl_->dev;
         }
 
+        //! Enqueues a task — or, while capturing, records it instead.
         void push(std::function<void()> task, bool always = false) const
         {
+            if(auto const& sink = captureSink())
+            {
+                sink->task(std::move(task), always);
+                return;
+            }
             impl_->queue.enqueue(std::move(task), always);
         }
 
         //! Blocks until all enqueued work finished; rethrows task errors.
         void wait() const
         {
+            if(captureSink() != nullptr)
+                throw UsageError("StreamCpuAsync: wait() on a capturing stream");
             impl_->queue.wait();
         }
 
@@ -168,6 +213,30 @@ namespace alpaka::stream
         {
             return impl_->queue.idle();
         }
+
+        //! \name stream capture (see gpusim/capture.hpp for the contract;
+        //! a sink whose session ended is dropped lazily, so stream and
+        //! capture session may die in any order)
+        //! @{
+        void beginCapture(std::shared_ptr<gpusim::CaptureSink> sink) const
+        {
+            if(captureSink() != nullptr)
+                throw UsageError("StreamCpuAsync: beginCapture while already capturing");
+            if(sink == nullptr)
+                throw UsageError("StreamCpuAsync: beginCapture requires a sink");
+            impl_->capture = std::move(sink);
+        }
+        void endCapture() const noexcept
+        {
+            impl_->capture.reset();
+        }
+        [[nodiscard]] auto captureSink() const noexcept -> std::shared_ptr<gpusim::CaptureSink> const&
+        {
+            if(impl_->capture != nullptr && !impl_->capture->active())
+                impl_->capture.reset();
+            return impl_->capture;
+        }
+        //! @}
 
     private:
         struct Impl : detail::IWaitable
@@ -177,11 +246,20 @@ namespace alpaka::stream
             }
             void waitIdle() override
             {
+                // wait::wait(dev) reaches the stream through here; a
+                // capturing stream rejects synchronization on this path
+                // exactly like on stream.wait() (and like the CudaSim
+                // streams do through gpusim::Stream::wait).
+                if(capture != nullptr && capture->active())
+                    throw UsageError("StreamCpuAsync: wait() on a capturing stream");
                 queue.wait();
             }
 
             dev::DevCpu dev;
             core::TaskQueue queue;
+            //! Capture, like enqueue order, is externally synchronized per
+            //! stream; copies of the stream share the capture state.
+            std::shared_ptr<gpusim::CaptureSink> capture;
         };
 
         std::shared_ptr<Impl> impl_;
@@ -222,6 +300,23 @@ namespace alpaka::stream
             {
                 return impl_->stream.idle();
             }
+
+            //! \name stream capture — forwarded to the simulator stream,
+            //! which intercepts launches, copies, fills and events itself.
+            //! @{
+            void beginCapture(std::shared_ptr<gpusim::CaptureSink> sink) const
+            {
+                impl_->stream.beginCapture(std::move(sink));
+            }
+            void endCapture() const noexcept
+            {
+                impl_->stream.endCapture();
+            }
+            [[nodiscard]] auto capturing() const noexcept -> bool
+            {
+                return impl_->stream.capturing();
+            }
+            //! @}
 
         private:
             struct Impl : alpaka::detail::IWaitable

@@ -52,8 +52,15 @@ namespace alpaka::wait
         template<>
         struct WaiterWaitFor<stream::StreamCpuSync, event::EventCpu>
         {
-            static void wait(stream::StreamCpuSync&, event::EventCpu const& event)
+            static void wait(stream::StreamCpuSync& stream, event::EventCpu const& event)
             {
+                // Captured: becomes a dependency edge on the event's last
+                // record in the capture session.
+                if(auto const& sink = stream.captureSink())
+                {
+                    sink->eventWait(event.key());
+                    return;
+                }
                 // A sync stream's timeline is the host timeline.
                 event.wait();
             }
@@ -64,6 +71,11 @@ namespace alpaka::wait
         {
             static void wait(stream::StreamCpuAsync& stream, event::EventCpu const& event)
             {
+                if(auto const& sink = stream.captureSink())
+                {
+                    sink->eventWait(event.key());
+                    return;
+                }
                 stream.push([event] { event.wait(); });
             }
         };

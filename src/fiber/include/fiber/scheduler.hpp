@@ -129,6 +129,14 @@ namespace fiber
         //! TSan handle of the scheduler's own context (the OS thread's
         //! fiber); captured on the first switch-out of a run.
         void* tsanSchedFiber_ = nullptr;
+        //! AddressSanitizer view of the scheduler's own stack (the OS
+        //! thread's); captured at the first fiber entry and passed back to
+        //! __sanitizer_start_switch_fiber on every fiber → scheduler
+        //! switch. Unused (null) outside ASan builds. Without the ASan
+        //! fiber annotations, running on a fiber stack looks like
+        //! stack-use-after-return to the sanitizer.
+        void const* asanSchedStackBottom_ = nullptr;
+        std::size_t asanSchedStackSize_ = 0;
         Body const* body_ = nullptr;
         FiberSlot* running_ = nullptr;
         std::size_t doneCount_ = 0;

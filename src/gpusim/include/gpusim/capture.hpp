@@ -1,0 +1,78 @@
+/// \file Stream-capture sink interface.
+///
+/// A stream (gpusim::Stream, or the alpaka CPU streams built on the same
+/// model) can be switched into *capture mode*: instead of executing, its
+/// operations are described to a CaptureSink, which records them as nodes
+/// of a task graph (see the alpaka graph subsystem, DESIGN.md §4). The
+/// interface lives here — the lowest layer whose streams are capturable —
+/// so neither the simulator nor the alpaka core has to depend on the graph
+/// subsystem that implements it.
+///
+/// The sink sees three things:
+///  * sequential tasks (kernel launches lowered to a closure, copies,
+///    fills, host callbacks) — ordered on the capturing stream's timeline;
+///  * event records and event waits — identified by an opaque key (the
+///    event's shared state), from which the sink derives *cross-stream*
+///    dependency edges;
+///  * chunked kernels — kernels whose block range the replay engine may
+///    split across pool workers instead of running it as one closure.
+///
+/// Capture mode is controlled per stream (beginCapture/endCapture) and is
+/// externally synchronized like every other stream operation: begin/end
+/// and the captured enqueues must not race from concurrent threads (the
+/// CUDA stream-capture contract).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gpusim
+{
+    //! Where a capturing stream's operations go instead of executing.
+    //! One sink instance per (capture session, stream): the sink chains
+    //! same-stream tasks in order and resolves event keys session-wide.
+    //!
+    //! Lifetime: streams hold their sink in shared ownership and the
+    //! capture session never references the streams back — ending the
+    //! session merely *deactivates* its sinks, and a stream drops a
+    //! deactivated sink on its next use (or at destruction). Stream and
+    //! session may therefore die in any order.
+    class CaptureSink
+    {
+    public:
+        virtual ~CaptureSink() = default;
+
+        //! False once the owning capture session ended; the stream then
+        //! discards the sink and resumes executing.
+        [[nodiscard]] virtual auto active() const noexcept -> bool
+        {
+            return true;
+        }
+
+        //! A sequential operation on this stream's timeline. \p always
+        //! marks tasks that must run even on an errored (poisoned) replay,
+        //! e.g. event completion markers.
+        virtual void task(std::function<void()> body, bool always) = 0;
+
+        //! A kernel whose index space [0, count) may be split into chunks
+        //! and executed concurrently during replay; \p range runs the
+        //! half-open chunk [begin, end).
+        virtual void kernelChunks(std::size_t count, std::function<void(std::size_t, std::size_t)> range) = 0;
+
+        //! An event record: when replay reaches this point of the stream's
+        //! timeline it runs \p complete; \p markPending is re-run at the
+        //! start of every replay. \p key identifies the event across
+        //! streams of the same capture session.
+        virtual void eventRecord(
+            void const* key,
+            std::function<void()> markPending,
+            std::function<void()> complete)
+            = 0;
+
+        //! An event wait: everything this stream captures afterwards
+        //! depends on the last record of \p key in this capture session.
+        //! Waiting for an event never recorded in the session is an error
+        //! (there is nothing to order against).
+        virtual void eventWait(void const* key) = 0;
+    };
+} // namespace gpusim

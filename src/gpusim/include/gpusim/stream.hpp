@@ -1,6 +1,7 @@
 /// \file In-order work queues (streams) and events of a simulated device.
 #pragma once
 
+#include "gpusim/capture.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/types.hpp"
 
@@ -37,22 +38,16 @@ namespace gpusim
             state_->cv.wait(lock, [&] { return state_->done; });
         }
 
-    private:
-        friend class Stream;
-
-        struct State
-        {
-            mutable std::mutex mutex;
-            mutable std::condition_variable cv;
-            bool done = true;
-        };
-
-        void markPending()
+        //! \name completion protocol — used by Stream::record and by the
+        //! graph replay engine (an event-record graph node re-arms the
+        //! event at replay start and completes it when the node runs).
+        //! @{
+        void markPending() const
         {
             std::scoped_lock lock(state_->mutex);
             state_->done = false;
         }
-        void complete()
+        void complete() const
         {
             {
                 std::scoped_lock lock(state_->mutex);
@@ -60,6 +55,22 @@ namespace gpusim
             }
             state_->cv.notify_all();
         }
+        //! @}
+
+        //! Opaque identity of the event's shared state; capture sinks key
+        //! cross-stream record/wait edges on it.
+        [[nodiscard]] auto key() const noexcept -> void const*
+        {
+            return state_.get();
+        }
+
+    private:
+        struct State
+        {
+            mutable std::mutex mutex;
+            mutable std::condition_variable cv;
+            bool done = true;
+        };
 
         std::shared_ptr<State> state_;
     };
@@ -112,8 +123,27 @@ namespace gpusim
         //! Makes subsequent work of this stream wait for \p event.
         void waitFor(Event const& event);
 
+        //! \name stream capture (see gpusim/capture.hpp)
+        //! While a sink is attached, enqueued operations are described to
+        //! it instead of executing; captured closures bind the *device*,
+        //! not this stream, so they stay valid after the stream dies.
+        //! Begin/end and captured enqueues are externally synchronized
+        //! like all other stream operations.
+        //! @{
+        //! \throws LaunchError when already capturing.
+        void beginCapture(std::shared_ptr<CaptureSink> sink);
+        //! Detaches the sink; no-op when not capturing.
+        void endCapture() noexcept;
+        [[nodiscard]] auto capturing() const noexcept -> bool
+        {
+            return activeCapture() != nullptr;
+        }
+        //! @}
+
         //! Blocks until all enqueued work completed.
-        //! \throws the sticky error if any task failed.
+        //! \throws the sticky error if any task failed; LaunchError when
+        //!         the stream is capturing (synchronizing a capture is
+        //!         meaningless — there is nothing executing).
         void wait();
 
         //! True when no work is pending (non-blocking).
@@ -136,8 +166,21 @@ namespace gpusim
         void runTask(std::function<void()> const& task) noexcept;
         void workerLoop(std::stop_token stop);
 
+        //! The attached sink, or nullptr; drops a sink whose capture
+        //! session ended (see CaptureSink lifetime note).
+        [[nodiscard]] auto activeCapture() const noexcept -> CaptureSink*
+        {
+            if(capture_ != nullptr && !capture_->active())
+                capture_.reset();
+            return capture_.get();
+        }
+
         Device* device_;
         bool async_;
+        //! Capture sink; mutable plain member because capture, like
+        //! enqueue, is externally synchronized per stream (the lazy drop
+        //! in activeCapture mutates from const accessors).
+        mutable std::shared_ptr<CaptureSink> capture_;
 
         mutable std::mutex mutex_;
         std::condition_variable cvWork_;

@@ -90,63 +90,117 @@ namespace gpusim
 
     void Stream::enqueue(std::function<void()> task)
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->task(std::move(task), false);
+            return;
+        }
         enqueueTask(Task{std::move(task), false});
     }
 
     void Stream::launch(GridSpec const& grid, KernelBody body)
     {
+        // Captured closures bind the device, not the stream: validation ran
+        // eagerly (capture-time errors surface at the capture site, like
+        // launch-time errors do), and the graph node outlives this stream.
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            device_->validate(grid);
+            sink->task([dev = device_, grid, body = std::move(body)] { dev->runGrid(grid, body); }, false);
+            return;
+        }
         enqueue([this, grid, body = std::move(body)] { device_->runGrid(grid, body); });
     }
 
     void Stream::memcpyHtoD(void* dst, void const* src, std::size_t bytes)
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->task([dev = device_, dst, src, bytes] { dev->memory().copyHtoD(dst, src, bytes); }, false);
+            return;
+        }
         enqueue([this, dst, src, bytes] { device_->memory().copyHtoD(dst, src, bytes); });
     }
 
     void Stream::memcpyDtoH(void* dst, void const* src, std::size_t bytes)
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->task([dev = device_, dst, src, bytes] { dev->memory().copyDtoH(dst, src, bytes); }, false);
+            return;
+        }
         enqueue([this, dst, src, bytes] { device_->memory().copyDtoH(dst, src, bytes); });
     }
 
     void Stream::memcpyDtoD(void* dst, void const* src, std::size_t bytes)
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->task([dev = device_, dst, src, bytes] { dev->memory().copyDtoD(dst, src, bytes); }, false);
+            return;
+        }
         enqueue([this, dst, src, bytes] { device_->memory().copyDtoD(dst, src, bytes); });
     }
 
     void Stream::fill(void* dst, int value, std::size_t bytes)
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->task([dev = device_, dst, value, bytes] { dev->memory().fill(dst, value, bytes); }, false);
+            return;
+        }
         enqueue([this, dst, value, bytes] { device_->memory().fill(dst, value, bytes); });
     }
 
     void Stream::record(Event& event)
     {
+        // Copies of an Event share its state, so the captured/enqueued
+        // copies drive the caller's event through its own public protocol.
+        Event const shared = event;
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            // Capture must not touch the live event; the replay engine
+            // re-arms it (markPending) at the start of every replay and
+            // completes it when the record node is reached.
+            sink->eventRecord(
+                shared.key(),
+                [shared] { shared.markPending(); },
+                [shared] { shared.complete(); });
+            return;
+        }
         event.markPending();
-        auto state = event.state_;
-        enqueueTask(Task{
-            [state]
-            {
-                {
-                    std::scoped_lock lock(state->mutex);
-                    state->done = true;
-                }
-                state->cv.notify_all();
-            },
-            true});
+        enqueueTask(Task{[shared] { shared.complete(); }, true});
     }
 
     void Stream::waitFor(Event const& event)
     {
-        auto state = event.state_;
-        enqueue(
-            [state]
-            {
-                std::unique_lock lock(state->mutex);
-                state->cv.wait(lock, [&] { return state->done; });
-            });
+        if(auto* const sink = activeCapture(); sink != nullptr)
+        {
+            sink->eventWait(event.key());
+            return;
+        }
+        Event const shared = event;
+        enqueue([shared] { shared.wait(); });
+    }
+
+    void Stream::beginCapture(std::shared_ptr<CaptureSink> sink)
+    {
+        if(activeCapture() != nullptr)
+            throw LaunchError("gpusim: beginCapture on a stream that is already capturing");
+        if(sink == nullptr)
+            throw LaunchError("gpusim: beginCapture requires a sink");
+        capture_ = std::move(sink);
+    }
+
+    void Stream::endCapture() noexcept
+    {
+        capture_.reset();
     }
 
     void Stream::wait()
     {
+        if(auto* const sink = activeCapture(); sink != nullptr)
+            throw LaunchError("gpusim: wait() on a capturing stream (nothing is executing)");
         if(async_)
         {
             std::unique_lock lock(mutex_);

@@ -1,0 +1,88 @@
+/// \file Stream capture: build a Graph by running existing enqueue code
+/// against capturing streams (DESIGN.md §4.2).
+///
+/// A Capture session attaches a per-stream sink (gpusim/capture.hpp) to
+/// any number of streams. While attached, everything enqueued into those
+/// streams — kernels, copies, fills, host tasks, event records and event
+/// waits — is recorded as graph nodes instead of executing:
+///
+///  * same-stream order becomes a chain of dependency edges (streams are
+///    in-order queues, invariant 7);
+///  * a cross-stream `wait::wait(streamB, event)` after a
+///    `stream::enqueue(streamA, event)` becomes an edge from A's record
+///    node to everything B captures afterwards — the same fork/join
+///    discovery CUDA's stream capture performs.
+///
+/// Rules (UsageError otherwise): waiting for an event that was not
+/// recorded earlier in the same session has nothing to order against and
+/// is rejected; synchronizing a capturing stream (stream.wait()) is
+/// rejected by the stream itself; a stream can be in at most one capture
+/// at a time. Lifetime is decoupled on purpose: end() (or the Capture
+/// destructor) only *deactivates* the session's sinks — the session never
+/// references the streams back — and each stream drops its deactivated
+/// sink on next use, so streams and the Capture may die in any order.
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include "gpusim/capture.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace alpaka::graph
+{
+    class Capture
+    {
+    public:
+        //! \p graph receives the captured nodes; it may already hold
+        //! explicitly added nodes (captured work is appended).
+        explicit Capture(Graph& graph) : graph_(&graph)
+        {
+        }
+
+        //! Deactivates the session's sinks; nodes recorded so far stay in
+        //! the graph. Streams drop the dead sinks on their next use.
+        ~Capture()
+        {
+            end();
+        }
+
+        Capture(Capture const&) = delete;
+        auto operator=(Capture const&) -> Capture& = delete;
+
+        //! Switches \p stream into capture mode for this session. Works
+        //! for every stream type exposing beginCapture/endCapture
+        //! (StreamCpuSync, StreamCpuAsync, the CudaSim streams).
+        template<typename TStream>
+        void add(TStream& stream)
+        {
+            stream.beginCapture(makeSink()); // throws when already capturing
+        }
+
+        //! Ends the session: deactivates every sink handed out by add();
+        //! the graph is complete.
+        void end() noexcept;
+
+    private:
+        class Sink;
+
+        //! Creates a registered, active sink for one stream.
+        [[nodiscard]] auto makeSink() -> std::shared_ptr<gpusim::CaptureSink>;
+
+        //! Appends a node on behalf of a sink: same-stream chaining plus
+        //! any event-wait edges the sink accumulated.
+        auto record(Sink& sink, detail::Node node) -> NodeId;
+
+        Graph* graph_;
+        std::mutex mutex_; //!< one lock for graph growth + event table
+        //! Last record node per event key — the source of cross-stream
+        //! edges.
+        std::map<void const*, NodeId> records_;
+        //! Sinks handed out by add(); shared ownership with the streams.
+        std::vector<std::shared_ptr<Sink>> sinks_;
+    };
+} // namespace alpaka::graph

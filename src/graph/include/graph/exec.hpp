@@ -1,0 +1,174 @@
+/// \file Graph instantiation and near-zero-overhead replay
+/// (DESIGN.md §4.3).
+///
+/// graph::Exec freezes a Graph into its executable form once:
+/// dependencies become a successor CSR + per-node initial indegrees,
+/// chunkable kernel nodes are split into block-range subtasks, the pool
+/// job descriptor (count, grain, trampoline) is pre-built, and per-replay
+/// scratch (atomic indegree/pending counters, the ready ring) is
+/// allocated. replay(stream) then costs: one task pushed into the target
+/// stream + one pre-built pool job — independent of how many operations
+/// the pipeline contains.
+///
+/// Replay protocol (run()/runTicket() in exec.cpp): the driver — the
+/// task enqueued into the target stream, so a replay is ordered like any
+/// other operation of that stream — re-arms captured events, resets the
+/// counters, seeds the ready ring with the indegree-zero nodes and
+/// submits the pre-built job to the ThreadPool. Every job index is a
+/// *pop ticket*: the participant (pool worker or helping driver) takes
+/// the next ring position, waits until a push filled it (spin-then-park,
+/// the pool's own discipline), runs the subtask, and on a node's last
+/// subtask decrements the successors' indegree counters — pushing every
+/// node that reaches zero. Independent branches are therefore in the
+/// ring simultaneously and spread over the workers through the ordinary
+/// chunk claiming, exactly like any other job in the slot ring (stealing
+/// included, since the graph occupies one slot among eight).
+///
+/// Error semantics mirror the streams' sticky errors (invariant 4/10):
+/// the first throwing node poisons the replay — downstream bodies are
+/// skipped (except always-run event records, which must complete or
+/// host waiters would hang), the DAG bookkeeping still runs to
+/// completion, and the error resurfaces through the target stream's
+/// usual channel (stream::wait).
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include "alpaka/stream.hpp"
+
+#include "threadpool/spin.hpp"
+#include "threadpool/thread_pool.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace alpaka::graph
+{
+    class Exec
+    {
+    public:
+        //! Instantiates \p graph for replay through \p pool. The Graph may
+        //! be discarded afterwards; the Exec is self-contained.
+        explicit Exec(Graph const& graph, threadpool::ThreadPool& pool = threadpool::ThreadPool::global());
+
+        Exec(Exec const&) = delete;
+        auto operator=(Exec const&) -> Exec& = delete;
+
+        //! Enqueues one full DAG execution into \p stream (any stream
+        //! type; the graph's nodes carry their own devices, so the target
+        //! stream only hosts the driver). Replays of one Exec serialize;
+        //! the Exec must outlive the replay (wait on the stream before
+        //! destroying it). \throws UsageError when \p stream is capturing.
+        template<typename TStream>
+        void replay(TStream& stream)
+        {
+            requireNotCapturing(stream);
+            if constexpr(std::is_same_v<TStream, stream::StreamCpuSync>)
+                stream.run([this] { run(); });
+            else if constexpr(std::is_same_v<TStream, stream::StreamCpuAsync>)
+                stream.push([this] { run(); });
+            else
+                stream.simStream().enqueue([this] { run(); });
+        }
+
+        //! \name introspection (tests, bench)
+        //! @{
+        [[nodiscard]] auto nodeCount() const noexcept -> std::size_t
+        {
+            return nodes_.size();
+        }
+        [[nodiscard]] auto edgeCount() const noexcept -> std::size_t
+        {
+            return succ_.size();
+        }
+        [[nodiscard]] auto subtaskCount() const noexcept -> std::size_t
+        {
+            return subtasks_.size();
+        }
+        //! @}
+
+    private:
+        template<typename TStream>
+        static void requireNotCapturing(TStream const& stream)
+        {
+            bool capturing = false;
+            if constexpr(requires { stream.captureSink(); })
+                capturing = stream.captureSink() != nullptr;
+            else
+                capturing = stream.capturing();
+            if(capturing)
+                throw UsageError("graph::Exec::replay into a capturing stream");
+        }
+
+        struct SubTask
+        {
+            NodeId node = 0;
+            std::size_t begin = 0;
+            std::size_t end = 0;
+        };
+
+        //! Frozen per-node execution state (immutable after instantiate).
+        struct NodeExec
+        {
+            std::function<void()> body;
+            std::function<void(std::size_t, std::size_t)> range;
+            bool always = false;
+            std::uint32_t initialIndeg = 0;
+            std::uint32_t subCount = 1;
+            std::uint32_t succBegin = 0;
+            std::uint32_t succEnd = 0;
+        };
+
+        //! Cache-line padded atomic, one per node (indegree / pending).
+        struct alignas(64) Counter
+        {
+            std::atomic<std::uint32_t> value{0};
+        };
+
+        //! The per-index body of the pre-built pool job.
+        struct PopBody
+        {
+            Exec* self = nullptr;
+            void operator()(std::size_t /*index*/) const;
+        };
+
+        void run();
+        void runTicket();
+        void pushNode(NodeId node);
+        void completeNode(NodeId node);
+
+        threadpool::ThreadPool* pool_;
+        std::vector<NodeExec> nodes_;
+        std::vector<NodeId> succ_; //!< successor CSR, indexed by succBegin/End
+        std::vector<SubTask> subtasks_; //!< grouped by node, node-contiguous
+        std::vector<std::uint32_t> firstSub_; //!< per node: its first subtask
+        std::vector<NodeId> initialReady_;
+        std::vector<std::function<void()>> prologues_;
+
+        //! \name per-replay scratch (reset by run(), guarded by replayMutex_)
+        //! @{
+        std::unique_ptr<Counter[]> indeg_;
+        std::unique_ptr<Counter[]> pending_;
+        //! Ready ring: position i holds subtask-id + 1 once pushed. Exactly
+        //! subtaskCount() pushes and pops happen per replay, so positions
+        //! are handed out by plain fetch_adds and never wrap.
+        std::unique_ptr<std::atomic<std::uint32_t>[]> ring_;
+        alignas(64) std::atomic<std::size_t> popTicket_{0};
+        alignas(64) std::atomic<std::size_t> pushCursor_{0};
+        //! Publish word of the ring — the pool's own spin-then-park,
+        //! notify-eliding discipline (threadpool::detail::PublishWord).
+        threadpool::detail::PublishWord readyWord_;
+        std::atomic<bool> poisoned_{false};
+        threadpool::detail::FirstError errors_;
+        //! @}
+
+        std::mutex replayMutex_; //!< replays of one Exec serialize
+        PopBody popBody_{this};
+        threadpool::ThreadPool::PrebuiltJob job_;
+        int spinBudget_ = threadpool::detail::machineSpinBudget();
+    };
+} // namespace alpaka::graph

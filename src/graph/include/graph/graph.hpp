@@ -1,0 +1,165 @@
+/// \file Task graphs: record a multi-kernel, multi-copy pipeline once,
+/// replay it many times (DESIGN.md §4).
+///
+/// The paper's streams model (Sec. 3.4.5) prices every operation at one
+/// enqueue; PR 1–2 made that enqueue nearly free, but a pipeline of K
+/// operations resubmitted N times still pays K·N submissions — type
+/// erasure, work-division validation, slot ticketing, event wiring — for
+/// work whose *structure* never changes. A graph::Graph captures that
+/// structure once as an immutable dependency DAG; graph::Exec (exec.hpp)
+/// pre-resolves everything per-submission about it and replays it at the
+/// cost of one pool job.
+///
+/// Nodes are added either explicitly (addKernel/addCopy/addSet/addHost/
+/// addEventRecord/addEmpty, each naming its dependencies) or by capturing
+/// live streams (capture.hpp). A node's dependencies must already be in
+/// the graph, so a Graph is acyclic by construction — there is no "edge
+/// later" API, which is what makes instantiation-time pre-resolution safe.
+#pragma once
+
+#include "alpaka/core/error.hpp"
+#include "alpaka/event.hpp"
+#include "alpaka/exec.hpp"
+#include "alpaka/mem.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace alpaka::graph
+{
+    //! Nodes are named by their insertion index.
+    using NodeId = std::uint32_t;
+    inline constexpr NodeId noNode = static_cast<NodeId>(-1);
+
+    //! Informational classification of a node (captured simulator work
+    //! arrives type-erased and is classified Host).
+    enum class NodeKind : std::uint8_t
+    {
+        Kernel,
+        Copy,
+        Set,
+        Host,
+        EventRecord,
+        Empty
+    };
+
+    namespace detail
+    {
+        //! One recorded operation. Exactly one of {body, range} is set for
+        //! executable nodes; Empty nodes have neither.
+        struct Node
+        {
+            NodeKind kind = NodeKind::Empty;
+            //! Runs even on a poisoned (errored) replay — event completion
+            //! markers must fire or host-side waiters would hang, the same
+            //! rule the streams apply to their marker tasks.
+            bool always = false;
+            std::function<void()> body;
+            //! Chunked kernel body: replay may run disjoint [begin, end)
+            //! sub-ranges of [0, rangeCount) concurrently.
+            std::function<void(std::size_t, std::size_t)> range;
+            std::size_t rangeCount = 0;
+            //! Re-run at the start of every replay (event re-arming).
+            std::function<void()> prologue;
+            std::vector<NodeId> deps;
+        };
+    } // namespace detail
+
+    //! The recorded DAG. A plain value: build it, hand it to graph::Exec,
+    //! throw it away (Exec copies what it needs).
+    class Graph
+    {
+    public:
+        Graph() = default;
+
+        //! Adds a kernel launch node. The work division is validated and
+        //! the launch lowered to its replay form here, once — an invalid
+        //! launch fails at graph-build time, not at replay time.
+        template<typename TAcc, typename TKernel, typename... TArgs>
+        auto addKernel(
+            std::initializer_list<NodeId> deps,
+            typename TAcc::Dev const& dev,
+            exec::TaskKernel<TAcc, TKernel, TArgs...> task) -> NodeId
+        {
+            auto lowered = exec::detail::lowerKernel(dev, std::move(task));
+            detail::Node node;
+            node.kind = NodeKind::Kernel;
+            if(lowered.chunkCount > 0)
+            {
+                node.range = std::move(lowered.range);
+                node.rangeCount = lowered.chunkCount;
+            }
+            else
+                node.body = std::move(lowered.whole);
+            node.deps = deps;
+            return addNode(std::move(node));
+        }
+
+        //! Adds a deep-copy node (validated now, like mem::view::copy).
+        template<mem::view::ConceptView TViewDst, mem::view::ConceptView TViewSrc, typename TDim, typename TSize>
+        auto addCopy(
+            std::initializer_list<NodeId> deps,
+            TViewDst dst,
+            TViewSrc src,
+            Vec<TDim, TSize> const& extent) -> NodeId
+        {
+            detail::Node node;
+            node.kind = NodeKind::Copy;
+            node.body = mem::view::makeCopyTask(std::move(dst), std::move(src), extent).work;
+            node.deps = deps;
+            return addNode(std::move(node));
+        }
+
+        //! Adds a byte-wise fill node (validated now, like mem::view::set).
+        template<mem::view::ConceptView TView, typename TDim, typename TSize>
+        auto addSet(std::initializer_list<NodeId> deps, TView view, int value, Vec<TDim, TSize> const& extent)
+            -> NodeId
+        {
+            detail::Node node;
+            node.kind = NodeKind::Set;
+            node.body = mem::view::makeSetTask(std::move(view), value, extent).work;
+            node.deps = deps;
+            return addNode(std::move(node));
+        }
+
+        //! Adds an arbitrary host callback node.
+        auto addHost(std::initializer_list<NodeId> deps, std::function<void()> fn) -> NodeId;
+
+        //! Adds an event-record node: every replay re-arms \p event at
+        //! replay start and completes it when the node is reached (even on
+        //! a poisoned replay, so host waiters never hang).
+        auto addEventRecord(std::initializer_list<NodeId> deps, event::EventCpu const& event) -> NodeId;
+        auto addEventRecord(std::initializer_list<NodeId> deps, event::EventCudaSim const& event) -> NodeId;
+
+        //! Adds a no-op node — a join/fork point for dependency fan-in.
+        auto addEmpty(std::initializer_list<NodeId> deps) -> NodeId;
+
+        //! Inserts a fully described node; deps must name existing nodes
+        //! (\throws UsageError otherwise) — the invariant that keeps every
+        //! Graph acyclic by construction.
+        auto addNode(detail::Node node) -> NodeId;
+
+        //! \name introspection (tests, instantiation)
+        //! @{
+        [[nodiscard]] auto nodeCount() const noexcept -> std::size_t
+        {
+            return nodes_.size();
+        }
+        [[nodiscard]] auto kind(NodeId node) const -> NodeKind;
+        [[nodiscard]] auto deps(NodeId node) const -> std::vector<NodeId> const&;
+        //! True when \p node transitively depends on \p dep.
+        [[nodiscard]] auto dependsOn(NodeId node, NodeId dep) const -> bool;
+        [[nodiscard]] auto nodes() const noexcept -> std::vector<detail::Node> const&
+        {
+            return nodes_;
+        }
+        //! @}
+
+    private:
+        std::vector<detail::Node> nodes_;
+    };
+} // namespace alpaka::graph

@@ -1,0 +1,118 @@
+#include "graph/capture.hpp"
+
+#include <atomic>
+
+namespace alpaka::graph
+{
+    //! Per-stream sink: forwards every captured operation to the session,
+    //! tracking this stream's last node (the in-order chain) and the
+    //! cross-stream dependencies its pending event waits accumulated.
+    //! Deactivated (not destroyed) when the session ends; the attached
+    //! stream drops it on next use.
+    class Capture::Sink final : public gpusim::CaptureSink
+    {
+    public:
+        explicit Sink(Capture& owner) : owner_(&owner)
+        {
+        }
+
+        [[nodiscard]] auto active() const noexcept -> bool override
+        {
+            return active_.load(std::memory_order_acquire);
+        }
+
+        void deactivate() noexcept
+        {
+            active_.store(false, std::memory_order_release);
+        }
+
+        void task(std::function<void()> body, bool always) override
+        {
+            detail::Node node;
+            node.kind = NodeKind::Host;
+            node.always = always;
+            node.body = std::move(body);
+            owner_->record(*this, std::move(node));
+        }
+
+        void kernelChunks(std::size_t count, std::function<void(std::size_t, std::size_t)> range) override
+        {
+            detail::Node node;
+            node.kind = NodeKind::Kernel;
+            node.range = std::move(range);
+            node.rangeCount = count;
+            owner_->record(*this, std::move(node));
+        }
+
+        void eventRecord(
+            void const* key,
+            std::function<void()> markPending,
+            std::function<void()> complete) override
+        {
+            detail::Node node;
+            node.kind = NodeKind::EventRecord;
+            node.always = true;
+            node.body = std::move(complete);
+            node.prologue = std::move(markPending);
+            auto const id = owner_->record(*this, std::move(node));
+            std::scoped_lock lock(owner_->mutex_);
+            owner_->records_[key] = id;
+        }
+
+        void eventWait(void const* key) override
+        {
+            std::scoped_lock lock(owner_->mutex_);
+            auto const it = owner_->records_.find(key);
+            if(it == owner_->records_.end())
+                throw UsageError(
+                    "graph::Capture: wait for an event that was not recorded in this capture session "
+                    "(nothing to order against)");
+            pendingDeps_.push_back(it->second);
+        }
+
+    private:
+        friend class Capture;
+
+        Capture* owner_;
+        std::atomic<bool> active_{true};
+        //! Last node captured from this stream (the in-order chain tail).
+        NodeId last_ = noNode;
+        //! Record nodes the next captured node must additionally depend on
+        //! (accumulated event waits).
+        std::vector<NodeId> pendingDeps_;
+    };
+
+    auto Capture::makeSink() -> std::shared_ptr<gpusim::CaptureSink>
+    {
+        auto sink = std::make_shared<Sink>(*this);
+        {
+            std::scoped_lock lock(mutex_);
+            sinks_.push_back(sink);
+        }
+        return sink;
+    }
+
+    void Capture::end() noexcept
+    {
+        std::vector<std::shared_ptr<Sink>> sinks;
+        {
+            std::scoped_lock lock(mutex_);
+            sinks.swap(sinks_);
+        }
+        for(auto const& sink : sinks)
+            sink->deactivate();
+    }
+
+    auto Capture::record(Sink& sink, detail::Node node) -> NodeId
+    {
+        std::scoped_lock lock(mutex_);
+        if(sink.last_ != noNode)
+            node.deps.push_back(sink.last_);
+        for(auto const dep : sink.pendingDeps_)
+            node.deps.push_back(dep);
+        sink.pendingDeps_.clear();
+        auto const id = graph_->addNode(std::move(node));
+        sink.last_ = id;
+        return id;
+    }
+} // namespace alpaka::graph

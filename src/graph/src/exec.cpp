@@ -1,0 +1,191 @@
+#include "graph/exec.hpp"
+
+#include <algorithm>
+
+namespace alpaka::graph
+{
+    void Exec::PopBody::operator()(std::size_t /*index*/) const
+    {
+        self->runTicket();
+    }
+
+    Exec::Exec(Graph const& graph, threadpool::ThreadPool& pool) : pool_(&pool)
+    {
+        auto const& src = graph.nodes();
+        auto const nodeCount = src.size();
+        nodes_.resize(nodeCount);
+        firstSub_.resize(nodeCount);
+
+        // Chunk grain of range (kernel) nodes: about two subtasks per
+        // worker for fat kernels, but never below minChunkGrain blocks per
+        // subtask — submission-bound graphs (tiny grids) must not pay a
+        // ring push/pop per block, and spreading an 8-block kernel over 16
+        // workers buys nothing.
+        auto const workers = std::max<std::size_t>(1, pool.workerCount());
+        constexpr std::size_t minChunkGrain = 8;
+
+        std::vector<std::vector<NodeId>> successors(nodeCount);
+        for(std::size_t i = 0; i < nodeCount; ++i)
+        {
+            auto const& from = src[i];
+            auto& node = nodes_[i];
+            node.body = from.body;
+            node.range = from.range;
+            node.always = from.always;
+            if(from.prologue != nullptr)
+                prologues_.push_back(from.prologue);
+
+            // Dedupe dependencies: a duplicate edge must not count twice
+            // against the indegree.
+            auto deps = from.deps;
+            std::sort(deps.begin(), deps.end());
+            deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+            node.initialIndeg = static_cast<std::uint32_t>(deps.size());
+            for(auto const dep : deps)
+                successors[dep].push_back(static_cast<NodeId>(i));
+            if(deps.empty())
+                initialReady_.push_back(static_cast<NodeId>(i));
+
+            // Subtask expansion: range nodes split into chunks, everything
+            // else is one subtask.
+            firstSub_[i] = static_cast<std::uint32_t>(subtasks_.size());
+            if(from.range != nullptr && from.rangeCount > 0)
+            {
+                auto const grain = std::max(minChunkGrain, from.rangeCount / (workers * 2));
+                std::uint32_t count = 0;
+                for(std::size_t begin = 0; begin < from.rangeCount; begin += grain)
+                {
+                    subtasks_.push_back(
+                        SubTask{static_cast<NodeId>(i), begin, std::min(begin + grain, from.rangeCount)});
+                    ++count;
+                }
+                node.subCount = count;
+            }
+            else
+            {
+                subtasks_.push_back(SubTask{static_cast<NodeId>(i), 0, 0});
+                node.subCount = 1;
+            }
+        }
+
+        // Successor CSR.
+        std::size_t edgeCount = 0;
+        for(auto const& list : successors)
+            edgeCount += list.size();
+        succ_.reserve(edgeCount);
+        for(std::size_t i = 0; i < nodeCount; ++i)
+        {
+            nodes_[i].succBegin = static_cast<std::uint32_t>(succ_.size());
+            succ_.insert(succ_.end(), successors[i].begin(), successors[i].end());
+            nodes_[i].succEnd = static_cast<std::uint32_t>(succ_.size());
+        }
+
+        indeg_ = std::make_unique<Counter[]>(nodeCount);
+        pending_ = std::make_unique<Counter[]>(nodeCount);
+        ring_ = std::make_unique<std::atomic<std::uint32_t>[]>(subtasks_.size());
+        job_ = pool.prebuild(subtasks_.size(), popBody_);
+    }
+
+    void Exec::run()
+    {
+        if(subtasks_.empty())
+            return;
+        // Replays of one Exec serialize: the scratch state below is one
+        // replay's working set (invariant 10).
+        std::scoped_lock lock(replayMutex_);
+
+        for(auto const& prologue : prologues_)
+            prologue();
+        poisoned_.store(false, std::memory_order_relaxed);
+        for(std::size_t i = 0; i < nodes_.size(); ++i)
+        {
+            indeg_[i].value.store(nodes_[i].initialIndeg, std::memory_order_relaxed);
+            pending_[i].value.store(nodes_[i].subCount, std::memory_order_relaxed);
+        }
+        for(std::size_t t = 0; t < subtasks_.size(); ++t)
+            ring_[t].store(0, std::memory_order_relaxed);
+        popTicket_.store(0, std::memory_order_relaxed);
+        // No participant is in flight yet, so the relaxed resets above
+        // cannot race; the job publication below releases them.
+        pushCursor_.store(0, std::memory_order_relaxed);
+        for(auto const node : initialReady_)
+            pushNode(node);
+
+        pool_->runPrebuilt(job_);
+        errors_.rethrowIfSetAndClear();
+    }
+
+    void Exec::pushNode(NodeId node)
+    {
+        auto const first = firstSub_[node];
+        auto const count = nodes_[node].subCount;
+        for(std::uint32_t k = 0; k < count; ++k)
+        {
+            auto const pos = pushCursor_.fetch_add(1, std::memory_order_relaxed);
+            ring_[pos].store(first + k + 1, std::memory_order_release);
+        }
+        // Advertise once per node — the shared Dekker-paired,
+        // notify-eliding protocol (threadpool::detail::PublishWord) covers
+        // the release-stores above.
+        readyWord_.publish();
+    }
+
+    void Exec::runTicket()
+    {
+        auto const ticket = popTicket_.fetch_add(1, std::memory_order_relaxed);
+        auto& slot = ring_[ticket];
+        std::uint32_t id = 0;
+        int spins = spinBudget_;
+        for(;;)
+        {
+            auto const seq = readyWord_.snapshot();
+            id = slot.load(std::memory_order_acquire);
+            if(id != 0)
+                break;
+            // Not pushed yet: some predecessor subtask is still in flight
+            // on another participant (the DAG guarantees a filled slot
+            // otherwise — see DESIGN.md §4.3), so spin briefly, then park
+            // on the ring's publish word.
+            if(spins-- > 0)
+                threadpool::detail::cpuRelax();
+            else
+            {
+                readyWord_.park(seq);
+                spins = spinBudget_;
+            }
+        }
+
+        auto const& sub = subtasks_[id - 1];
+        auto const& node = nodes_[sub.node];
+        if(!poisoned_.load(std::memory_order_acquire) || node.always)
+        {
+            try
+            {
+                if(node.range != nullptr)
+                    node.range(sub.begin, sub.end);
+                else if(node.body != nullptr)
+                    node.body();
+            }
+            catch(...)
+            {
+                errors_.captureCurrent();
+                poisoned_.store(true, std::memory_order_release);
+            }
+        }
+        // Bookkeeping runs even on a poisoned replay: every ticket must be
+        // served or the pops would starve.
+        if(pending_[sub.node].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            completeNode(sub.node);
+    }
+
+    void Exec::completeNode(NodeId node)
+    {
+        auto const& done = nodes_[node];
+        for(auto s = done.succBegin; s < done.succEnd; ++s)
+        {
+            auto const succ = succ_[s];
+            if(indeg_[succ].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                pushNode(succ);
+        }
+    }
+} // namespace alpaka::graph

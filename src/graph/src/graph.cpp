@@ -1,0 +1,101 @@
+#include "graph/graph.hpp"
+
+#include <string>
+
+namespace alpaka::graph
+{
+    auto Graph::addHost(std::initializer_list<NodeId> deps, std::function<void()> fn) -> NodeId
+    {
+        if(fn == nullptr)
+            throw UsageError("graph::Graph::addHost: null callback");
+        detail::Node node;
+        node.kind = NodeKind::Host;
+        node.body = std::move(fn);
+        node.deps = deps;
+        return addNode(std::move(node));
+    }
+
+    auto Graph::addEventRecord(std::initializer_list<NodeId> deps, event::EventCpu const& event) -> NodeId
+    {
+        detail::Node node;
+        node.kind = NodeKind::EventRecord;
+        node.always = true;
+        node.body = [event] { event.complete(); };
+        node.prologue = [event] { event.markPending(); };
+        node.deps = deps;
+        return addNode(std::move(node));
+    }
+
+    auto Graph::addEventRecord(std::initializer_list<NodeId> deps, event::EventCudaSim const& event) -> NodeId
+    {
+        // Copies of the simulator event share its state, so the captured
+        // copy completes the caller's event.
+        gpusim::Event const sim = event.simEvent();
+        detail::Node node;
+        node.kind = NodeKind::EventRecord;
+        node.always = true;
+        node.body = [sim] { sim.complete(); };
+        node.prologue = [sim] { sim.markPending(); };
+        node.deps = deps;
+        return addNode(std::move(node));
+    }
+
+    auto Graph::addEmpty(std::initializer_list<NodeId> deps) -> NodeId
+    {
+        detail::Node node;
+        node.kind = NodeKind::Empty;
+        node.deps = deps;
+        return addNode(std::move(node));
+    }
+
+    auto Graph::addNode(detail::Node node) -> NodeId
+    {
+        for(auto const dep : node.deps)
+            if(dep >= nodes_.size())
+                throw UsageError(
+                    "graph::Graph: dependency #" + std::to_string(dep) + " names a node not yet in the graph ("
+                    + std::to_string(nodes_.size()) + " nodes so far)");
+        nodes_.push_back(std::move(node));
+        return static_cast<NodeId>(nodes_.size() - 1);
+    }
+
+    auto Graph::kind(NodeId node) const -> NodeKind
+    {
+        if(node >= nodes_.size())
+            throw UsageError("graph::Graph::kind: no such node");
+        return nodes_[node].kind;
+    }
+
+    auto Graph::deps(NodeId node) const -> std::vector<NodeId> const&
+    {
+        if(node >= nodes_.size())
+            throw UsageError("graph::Graph::deps: no such node");
+        return nodes_[node].deps;
+    }
+
+    auto Graph::dependsOn(NodeId node, NodeId dep) const -> bool
+    {
+        if(node >= nodes_.size() || dep >= nodes_.size())
+            throw UsageError("graph::Graph::dependsOn: no such node");
+        // Depth-first over the (small) ancestor set; ids decrease along
+        // dependency edges, so termination is immediate.
+        std::vector<NodeId> frontier{node};
+        std::vector<bool> seen(nodes_.size(), false);
+        while(!frontier.empty())
+        {
+            auto const current = frontier.back();
+            frontier.pop_back();
+            for(auto const d : nodes_[current].deps)
+            {
+                if(d == dep)
+                    return true;
+                if(!seen[d])
+                {
+                    seen[d] = true;
+                    frontier.push_back(d);
+                }
+            }
+        }
+        return false;
+    }
+} // namespace alpaka::graph

@@ -59,4 +59,61 @@ namespace threadpool::detail
                 counter.wait(value, std::memory_order_seq_cst);
         }
     }
+
+    //! Publish word with syscall-elided wakeups, the waiting discipline
+    //! shared by ThreadPool's job-ring publication and the graph replay
+    //! engine's ready ring (DESIGN.md §3.1/§4.3).
+    //!
+    //! Protocol: a waiter snapshots the word, re-checks its own readiness
+    //! predicate, spins, and eventually parks via park(snapshot); a
+    //! publisher makes its state visible (release/seq_cst stores), then
+    //! calls publish(). The seq_cst bump forms a Dekker pair with the
+    //! waiter's parked-counter increment — either the waiter's re-check or
+    //! its futex value check sees the publish, or the publisher sees it
+    //! parked and pays the notify. The notify itself is elided while every
+    //! currently parked waiter was already covered by an earlier notify
+    //! (woken but not yet scheduled still counts as parked); a waiter
+    //! parking after the last notify re-arms the flag, so nobody sleeps
+    //! through a publish.
+    class PublishWord
+    {
+    public:
+        //! Word value to pass to park(); always re-check the readiness
+        //! predicate *after* taking the snapshot.
+        [[nodiscard]] auto snapshot() const noexcept -> std::uint64_t
+        {
+            return seq_.load(std::memory_order_seq_cst);
+        }
+
+        //! Advertises newly published state and wakes parked waiters
+        //! (elided when all were covered by an earlier notify).
+        void publish() noexcept
+        {
+            seq_.fetch_add(1, std::memory_order_seq_cst);
+            if(parked_.load(std::memory_order_seq_cst) != 0
+               && parkedSinceNotify_.exchange(false, std::memory_order_seq_cst))
+                seq_.notify_all();
+        }
+
+        //! Unconditional advertise + wake (shutdown paths).
+        void publishAlways() noexcept
+        {
+            seq_.fetch_add(1, std::memory_order_seq_cst);
+            seq_.notify_all();
+        }
+
+        //! Blocks until the word moved past \p seen (or a spurious wake).
+        void park(std::uint64_t seen) noexcept
+        {
+            parked_.fetch_add(1, std::memory_order_seq_cst);
+            parkedSinceNotify_.store(true, std::memory_order_seq_cst);
+            seq_.wait(seen, std::memory_order_seq_cst);
+            parked_.fetch_sub(1, std::memory_order_relaxed);
+        }
+
+    private:
+        alignas(64) std::atomic<std::uint64_t> seq_{0};
+        alignas(64) std::atomic<std::size_t> parked_{0};
+        std::atomic<bool> parkedSinceNotify_{false};
+    };
 } // namespace threadpool::detail

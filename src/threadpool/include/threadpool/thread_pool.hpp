@@ -35,6 +35,7 @@
 
 #include "threadpool/spin.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -42,6 +43,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -108,6 +110,11 @@ namespace threadpool
         ThreadPool(ThreadPool const&) = delete;
         auto operator=(ThreadPool const&) -> ThreadPool& = delete;
 
+        //! Chunk dispatch signature: runs fn(i) for every i in [begin,
+        //! end); captures per-index errors so a throwing index never skips
+        //! its chunk siblings.
+        using ChunkFn = void (*)(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors);
+
         //! Runs fn(index) for every index in [0, count), distributing the
         //! indices dynamically over the workers in proportional chunks.
         //! Blocks until all indices completed. Exceptions from fn are
@@ -133,8 +140,62 @@ namespace threadpool
         {
             if(count == 0)
                 return;
-            runJob(count, &fn, &chunkTrampoline<TFn>);
+            runJob(count, defaultGrain(count), &fn, &chunkTrampoline<TFn>);
         }
+
+        //! A job descriptor resolved once and submitted many times: index
+        //! count, chunk grain, bound callable and dispatch trampoline are
+        //! all frozen at build time, so a steady-state submission performs
+        //! no per-call setup at all. The referenced callable must outlive
+        //! every run of the job (the descriptor stores its address, like
+        //! parallelForTemplated does for the duration of one call).
+        //! Built by prebuild(); submitted by runPrebuilt()/runBatch().
+        class PrebuiltJob
+        {
+        public:
+            PrebuiltJob() = default;
+
+            [[nodiscard]] auto count() const noexcept -> std::size_t
+            {
+                return count_;
+            }
+
+        private:
+            friend class ThreadPool;
+            std::size_t count_ = 0;
+            std::size_t grain_ = 1;
+            void const* ctx_ = nullptr;
+            ChunkFn run_ = nullptr;
+        };
+
+        //! Freezes \p fn over [0, count) into a reusable job descriptor.
+        template<typename TFn>
+        [[nodiscard]] auto prebuild(std::size_t count, TFn const& fn) const -> PrebuiltJob
+        {
+            PrebuiltJob job;
+            job.count_ = count;
+            job.grain_ = defaultGrain(count);
+            job.ctx_ = &fn;
+            job.run_ = &chunkTrampoline<TFn>;
+            return job;
+        }
+
+        //! Submits a pre-built job; identical semantics to parallelFor.
+        void runPrebuilt(PrebuiltJob const& job)
+        {
+            if(job.count_ == 0)
+                return;
+            runJob(job.count_, job.grain_, job.ctx_, job.run_);
+        }
+
+        //! Submits up to slotCount pre-built jobs *concurrently* from one
+        //! calling thread: each job gets its own ring slot, so the jobs
+        //! overlap through the ordinary worker stealing instead of running
+        //! one-after-another; blocks until every job drained. Jobs beyond
+        //! the slots acquirable right now run in later rounds. Errors are
+        //! confined per job as usual; the first one (in batch order)
+        //! rethrows after the whole batch completed.
+        void runBatch(std::span<PrebuiltJob const> jobs);
 
         [[nodiscard]] auto workerCount() const noexcept -> std::size_t
         {
@@ -147,14 +208,17 @@ namespace threadpool
         [[nodiscard]] static auto currentWorkerIndex() noexcept -> std::size_t;
         static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+        //! Slot the calling thread last published into, or npos. The
+        //! affinity hint of the submit path: a thread that submits again
+        //! (each stream submits from its one queue worker, so per thread ==
+        //! per stream) re-tries this slot first and skips the ticket scan
+        //! when it is still free. Exposed for tests.
+        [[nodiscard]] static auto lastSlotHint() noexcept -> std::size_t;
+
         //! Lazily constructed process-wide pool.
         [[nodiscard]] static auto global() -> ThreadPool&;
 
     private:
-        //! Runs fn(i) for every i in [begin, end); captures per-index
-        //! errors so a throwing index never skips its chunk siblings.
-        using ChunkFn = void (*)(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors);
-
         template<typename TFn>
         static void chunkTrampoline(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors)
         {
@@ -172,7 +236,14 @@ namespace threadpool
             }
         }
 
-        void runJob(std::size_t count, void const* ctx, ChunkFn run);
+        //! Grain used when the caller did not pre-resolve one: 8 chunks per
+        //! worker on average (DESIGN.md §3.1).
+        [[nodiscard]] auto defaultGrain(std::size_t count) const noexcept -> std::size_t
+        {
+            return std::max<std::size_t>(1, count / (workers_.size() * 8));
+        }
+
+        void runJob(std::size_t count, std::size_t grain, void const* ctx, ChunkFn run);
         void workerLoop(std::size_t workerIndex);
 
         //! One generation-stamped job slot of the ring.
@@ -215,24 +286,31 @@ namespace threadpool
         //! one; workers register in workerLoop.
         void drainSlot(JobSlot& slot);
 
+        //! Acquires a publishable slot: the caller's affinity hint first,
+        //! then a try-lock ticket scan; when \p blocking, falls back to a
+        //! blocking lock on the first non-held ticket slot, otherwise
+        //! returns npos. \p held marks slots the calling thread already
+        //! holds (runBatch) — they must be skipped, a thread re-locking
+        //! its own slot mutex would be undefined behaviour.
+        auto acquireSlot(std::unique_lock<std::mutex>& lock, bool blocking, std::array<bool, slotCount> const& held)
+            -> std::size_t;
+        //! Writes the descriptor into an acquired (closed, quiescent) slot
+        //! and opens it (generation bump + publish advertisement).
+        void publishInto(JobSlot& slot, std::size_t count, std::size_t grain, void const* ctx, ChunkFn run);
+        //! Waits for remaining == 0, closes the slot, quiesces active.
+        void awaitCloseQuiesce(JobSlot& slot);
+
         int spinBudget_ = detail::spinBeforePark;
 
         std::array<JobSlot, slotCount> slots_;
-        //! Bumped once per publish; the workers' park word. Purely a wakeup
-        //! hint — claim correctness rests on the per-slot protocol alone.
-        alignas(64) std::atomic<std::uint64_t> publishSeq_{0};
+        //! Bumped once per publish; the workers' park word (shared
+        //! spin-then-park protocol with syscall elision, see
+        //! detail::PublishWord). Purely a wakeup hint — claim correctness
+        //! rests on the per-slot protocol alone.
+        detail::PublishWord publishWord_;
         //! Round-robin start for slot acquisition, spreading concurrent
         //! submitters over distinct slots.
         alignas(64) std::atomic<std::size_t> submitCursor_{0};
-        alignas(64) std::atomic<std::size_t> parked_{0};
-        //! Set by every worker as it parks, cleared by the publish-side
-        //! notify: a publish skips the futex syscall only when every
-        //! currently parked worker was already covered by an earlier
-        //! notify (woken but not yet scheduled — it still counts as
-        //! parked, and re-notifying it pays a FUTEX_WAKE for nothing). A
-        //! worker parking after the last notify re-arms the flag, so it
-        //! can never be left sleeping through a publish.
-        std::atomic<bool> parkedSinceNotify_{false};
         std::atomic<bool> shutdown_{false};
         std::vector<std::jthread> workers_;
     };

@@ -10,6 +10,13 @@ namespace threadpool
         //! True while the calling thread participates in a parallelFor
         //! (worker or helping submitter) — guards against re-entrancy.
         thread_local bool t_insideLoop = false;
+        //! Slot this thread last published into — the affinity hint. Each
+        //! StreamCpuAsync submits from its dedicated queue worker, so
+        //! per-thread affinity is per-stream affinity: a stream that keeps
+        //! submitting re-acquires "its" slot with one try-lock and skips
+        //! the ticket fetch_add + scan entirely, and its jobs stay on the
+        //! slot its preferred workers (scanOffset) already watch.
+        thread_local std::size_t t_lastSlot = ThreadPool::npos;
 
         struct LoopScope
         {
@@ -42,13 +49,17 @@ namespace threadpool
     ThreadPool::~ThreadPool()
     {
         shutdown_.store(true, std::memory_order_seq_cst);
-        publishSeq_.fetch_add(1, std::memory_order_seq_cst);
-        publishSeq_.notify_all();
+        publishWord_.publishAlways();
     }
 
     auto ThreadPool::currentWorkerIndex() noexcept -> std::size_t
     {
         return t_workerIndex;
+    }
+
+    auto ThreadPool::lastSlotHint() noexcept -> std::size_t
+    {
+        return t_lastSlot;
     }
 
     auto ThreadPool::global() -> ThreadPool&
@@ -57,36 +68,60 @@ namespace threadpool
         return pool;
     }
 
-    void ThreadPool::runJob(std::size_t count, void const* ctx, ChunkFn run)
+    auto ThreadPool::acquireSlot(
+        std::unique_lock<std::mutex>& lock,
+        bool blocking,
+        std::array<bool, slotCount> const& held) -> std::size_t
     {
-        if(t_workerIndex != npos || t_insideLoop)
-            throw UsageError("threadpool::ThreadPool::parallelFor: re-entrant call");
-        LoopScope const scope;
-
-        // Acquire a slot: try-lock scan starting at a round-robin ticket, so
-        // up to slotCount concurrent submitters land on distinct slots
-        // without blocking; only submitter number slotCount+1 queues behind
-        // one of them (on its ticket slot, keeping the fallback fair).
-        auto const start = submitCursor_.fetch_add(1, std::memory_order_relaxed);
-        JobSlot* slot = nullptr;
-        std::unique_lock<std::mutex> slotLock;
-        for(std::size_t i = 0; i < slotCount; ++i)
+        // Affinity hint first: the slot this thread published into last
+        // time. One uncontended try-lock instead of ticket fetch_add +
+        // scan; under many streams each stream sticks to "its" slot and
+        // the submitters stop migrating over the ring.
+        if(t_lastSlot != npos && !held[t_lastSlot])
         {
-            auto& candidate = slots_[(start + i) % slotCount];
-            std::unique_lock<std::mutex> tryLock(candidate.submitMutex, std::try_to_lock);
+            auto& hinted = slots_[t_lastSlot];
+            std::unique_lock<std::mutex> tryLock(hinted.submitMutex, std::try_to_lock);
             if(tryLock.owns_lock())
             {
-                slot = &candidate;
-                slotLock = std::move(tryLock);
-                break;
+                lock = std::move(tryLock);
+                return t_lastSlot;
             }
         }
-        if(slot == nullptr)
+        // Try-lock scan starting at a round-robin ticket, so up to
+        // slotCount concurrent submitters land on distinct slots without
+        // blocking; only submitter number slotCount+1 queues behind one of
+        // them (on its ticket slot, keeping the fallback fair).
+        auto const start = submitCursor_.fetch_add(1, std::memory_order_relaxed);
+        for(std::size_t i = 0; i < slotCount; ++i)
         {
-            slot = &slots_[start % slotCount];
-            slotLock = std::unique_lock<std::mutex>(slot->submitMutex);
+            auto const index = (start + i) % slotCount;
+            if(held[index])
+                continue;
+            std::unique_lock<std::mutex> tryLock(slots_[index].submitMutex, std::try_to_lock);
+            if(tryLock.owns_lock())
+            {
+                t_lastSlot = index;
+                lock = std::move(tryLock);
+                return index;
+            }
         }
+        if(!blocking)
+            return npos;
+        for(std::size_t i = 0; i < slotCount; ++i)
+        {
+            auto const index = (start + i) % slotCount;
+            if(held[index])
+                continue;
+            lock = std::unique_lock<std::mutex>(slots_[index].submitMutex);
+            t_lastSlot = index;
+            return index;
+        }
+        // Unreachable: callers never hold all slots while asking for one.
+        throw UsageError("threadpool::ThreadPool: no acquirable slot");
+    }
 
+    void ThreadPool::publishInto(JobSlot& slot, std::size_t count, std::size_t grain, void const* ctx, ChunkFn run)
+    {
         // Invariant under the slot mutex: the slot's generation is even
         // (closed) and no worker is registered on it — the previous holder
         // closed it and drained its active count before unlocking.
@@ -94,27 +129,42 @@ namespace threadpool
         // even generations, and a late worker that saw the previous odd
         // generation re-validates after registering and backs out (see
         // workerLoop).
-        slot->ctx = ctx;
-        slot->run = run;
-        slot->count = count;
-        slot->grain = std::max<std::size_t>(1, count / (workers_.size() * 8));
-        slot->remaining.store(count, std::memory_order_relaxed);
-        slot->next.store(0, std::memory_order_relaxed);
+        slot.ctx = ctx;
+        slot.run = run;
+        slot.count = count;
+        slot.grain = grain;
+        slot.remaining.store(count, std::memory_order_relaxed);
+        slot.next.store(0, std::memory_order_relaxed);
         // Open the slot (even -> odd), then advertise the publish on the
-        // global park word. seq_cst: forms a Dekker pair with the workers'
-        // parked_ increment — either a worker's slot scan or wait-entry
-        // check sees the publish, or we see it parked and pay the notify.
-        slot->generation.fetch_add(1, std::memory_order_seq_cst);
-        publishSeq_.fetch_add(1, std::memory_order_seq_cst);
-        // Notify only when someone parked since the last notify; workers
-        // already woken (but not yet scheduled) still count as parked and
-        // need no second FUTEX_WAKE. A worker parking concurrently either
-        // re-arms the flag before blocking (we or the next publish wake
-        // it) or observes the bumped publish count at wait entry and
-        // returns immediately — seq_cst on both sides closes the window.
-        if(parked_.load(std::memory_order_seq_cst) != 0
-           && parkedSinceNotify_.exchange(false, std::memory_order_seq_cst))
-            publishSeq_.notify_all();
+        // global park word — the shared Dekker-paired, notify-eliding
+        // protocol (detail::PublishWord).
+        slot.generation.fetch_add(1, std::memory_order_seq_cst);
+        publishWord_.publish();
+    }
+
+    void ThreadPool::awaitCloseQuiesce(JobSlot& slot)
+    {
+        detail::awaitZero(slot.remaining, spinBudget_);
+        // Close the slot (odd -> even), then wait until every registered
+        // worker left the claim loop. A worker that validated against the
+        // odd generation is visible in active by the time the close bump
+        // lands (seq_cst Dekker pair on active/generation), so after this
+        // wait the slot is quiescent and may be republished by the next
+        // holder of the slot mutex.
+        slot.generation.fetch_add(1, std::memory_order_seq_cst);
+        detail::awaitZero(slot.active, spinBudget_);
+    }
+
+    void ThreadPool::runJob(std::size_t count, std::size_t grain, void const* ctx, ChunkFn run)
+    {
+        if(t_workerIndex != npos || t_insideLoop)
+            throw UsageError("threadpool::ThreadPool::parallelFor: re-entrant call");
+        LoopScope const scope;
+
+        std::unique_lock<std::mutex> slotLock;
+        std::array<bool, slotCount> const noneHeld{};
+        auto* const slot = &slots_[acquireSlot(slotLock, /*blocking=*/true, noneHeld)];
+        publishInto(*slot, count, grain, ctx, run);
 
         // The submitting thread helps: on a single-core machine the pool
         // worker and the submitter share the CPU anyway, and helping keeps
@@ -122,18 +172,71 @@ namespace threadpool
         // completion independently of the workers — a job never waits on
         // chunks of another submitter's job.
         drainSlot(*slot);
-        detail::awaitZero(slot->remaining, spinBudget_);
-
-        // Close the slot (odd -> even), then wait until every registered
-        // worker left the claim loop. A worker that validated against the
-        // odd generation is visible in active by the time the close bump
-        // lands (seq_cst Dekker pair on active/generation), so after this
-        // wait the slot is quiescent and may be republished by the next
-        // holder of the slot mutex.
-        slot->generation.fetch_add(1, std::memory_order_seq_cst);
-        detail::awaitZero(slot->active, spinBudget_);
+        awaitCloseQuiesce(*slot);
 
         slot->errors.rethrowIfSetAndClear();
+    }
+
+    void ThreadPool::runBatch(std::span<PrebuiltJob const> jobs)
+    {
+        if(t_workerIndex != npos || t_insideLoop)
+            throw UsageError("threadpool::ThreadPool::runBatch: re-entrant call");
+        LoopScope const scope;
+
+        std::size_t published = 0; // jobs completed in earlier rounds
+        std::exception_ptr firstError{};
+        while(published < jobs.size())
+        {
+            // One round: the first pending job gets a slot unconditionally
+            // (blocking fallback guarantees progress), the rest of the
+            // round joins only on cheaply acquirable slots. All jobs of a
+            // round are open simultaneously, so the workers' ordinary
+            // cross-slot stealing overlaps them.
+            std::array<JobSlot*, slotCount> slots{};
+            std::array<std::unique_lock<std::mutex>, slotCount> locks;
+            std::array<bool, slotCount> held{};
+            std::size_t roundSize = 0;
+            while(published + roundSize < jobs.size() && roundSize < slotCount)
+            {
+                auto const& job = jobs[published + roundSize];
+                if(job.count_ == 0)
+                {
+                    slots[roundSize++] = nullptr; // vacuously complete
+                    continue;
+                }
+                auto const index = acquireSlot(locks[roundSize], /*blocking=*/roundSize == 0, held);
+                if(index == npos)
+                    break;
+                held[index] = true;
+                publishInto(slots_[index], job.count_, job.grain_, job.ctx_, job.run_);
+                slots[roundSize++] = &slots_[index];
+            }
+            // Help drain every job of the round, then retire them in
+            // order. Draining all before waiting on any keeps the
+            // submitter useful while workers finish the stragglers.
+            for(std::size_t i = 0; i < roundSize; ++i)
+                if(slots[i] != nullptr)
+                    drainSlot(*slots[i]);
+            for(std::size_t i = 0; i < roundSize; ++i)
+            {
+                if(slots[i] == nullptr)
+                    continue;
+                awaitCloseQuiesce(*slots[i]);
+                try
+                {
+                    slots[i]->errors.rethrowIfSetAndClear();
+                }
+                catch(...)
+                {
+                    if(firstError == nullptr)
+                        firstError = std::current_exception();
+                }
+                locks[i].unlock();
+            }
+            published += roundSize;
+        }
+        if(firstError != nullptr)
+            std::rethrow_exception(firstError);
     }
 
     void ThreadPool::drainSlot(JobSlot& slot)
@@ -173,7 +276,7 @@ namespace threadpool
         {
             if(shutdown_.load(std::memory_order_seq_cst))
                 return;
-            auto const seq = publishSeq_.load(std::memory_order_seq_cst);
+            auto const seq = publishWord_.snapshot();
             // Scan for an open generation not yet drained: the worker's own
             // current job first (scanOffset sticks until its slot closes),
             // then any other submitter's open slot — the steal path.
@@ -206,17 +309,14 @@ namespace threadpool
                 continue;
             }
             // Nothing claimable anywhere: spin, then park on the publish
-            // word. A publish between the seq load above and the wait entry
-            // is caught by the futex value check (publishSeq_ != seq).
+            // word. A publish between the snapshot above and the wait entry
+            // is caught by the futex value check inside park().
             if(spins-- > 0)
             {
                 detail::cpuRelax();
                 continue;
             }
-            parked_.fetch_add(1, std::memory_order_seq_cst);
-            parkedSinceNotify_.store(true, std::memory_order_seq_cst);
-            publishSeq_.wait(seq, std::memory_order_seq_cst);
-            parked_.fetch_sub(1, std::memory_order_relaxed);
+            publishWord_.park(seq);
             spins = spinBudget_;
         }
     }

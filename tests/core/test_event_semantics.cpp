@@ -1,0 +1,228 @@
+/// \file Cross-stream event semantics underpinning stream capture
+/// (DESIGN.md §4.2): re-record while pending, wait-before-record, and the
+/// interplay with wait::wait(dev) — for EventCpu and EventCudaSim.
+///
+/// These are the *runtime* semantics the capture layer builds its edge
+/// model on; capture-time variants live in tests/graph/.
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    //! Blocks the stream until released, so the test controls when
+    //! preceding work "finishes".
+    struct Gate
+    {
+        std::atomic<bool> open{false};
+
+        [[nodiscard]] auto task()
+        {
+            return [this]
+            {
+                auto const deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+                while(!open.load() && std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::yield();
+            };
+        }
+    };
+} // namespace
+
+// ---------------------------------------------------------------------
+// Wait-before-record: an event that was never recorded counts as
+// complete — host waits and stream waits pass through immediately.
+
+TEST(EventSemantics, WaitBeforeRecordIsCompleteCpu)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    event::EventCpu ev(dev);
+    EXPECT_TRUE(ev.isDone());
+    EXPECT_NO_THROW(wait::wait(ev));
+
+    // A stream told to wait for a never-recorded event must not stall.
+    stream::StreamCpuAsync s(dev);
+    wait::wait(s, ev);
+    std::atomic<bool> ran{false};
+    s.push([&ran] { ran = true; });
+    s.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(EventSemantics, WaitBeforeRecordIsCompleteCudaSim)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    event::EventCudaSim ev(dev);
+    EXPECT_TRUE(ev.isDone());
+    EXPECT_NO_THROW(wait::wait(ev));
+
+    stream::StreamCudaSimAsync s(dev);
+    wait::wait(s, ev);
+    std::atomic<bool> ran{false};
+    s.simStream().enqueue([&ran] { ran = true; });
+    s.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------
+// Re-record while pending: recording an event again while an earlier
+// record is still outstanding is legal; the event completes when any
+// outstanding record completes, and both streams drain.
+
+TEST(EventSemantics, ReRecordWhilePendingCpu)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync a(dev);
+    stream::StreamCpuAsync b(dev);
+    event::EventCpu ev(dev);
+    Gate gateA;
+
+    a.push(gateA.task());
+    stream::enqueue(a, ev); // first record, stuck behind the gate
+    EXPECT_FALSE(ev.isDone());
+    stream::enqueue(b, ev); // re-record while pending, b is empty
+    // The second record's timeline is already drained, so the event
+    // completes through it even though a's record is still gated.
+    wait::wait(ev);
+    EXPECT_TRUE(ev.isDone());
+    gateA.open = true;
+    a.wait();
+    b.wait();
+    EXPECT_TRUE(ev.isDone());
+}
+
+TEST(EventSemantics, ReRecordWhilePendingCudaSim)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync a(dev);
+    stream::StreamCudaSimAsync b(dev);
+    event::EventCudaSim ev(dev);
+    Gate gateA;
+
+    a.simStream().enqueue(gateA.task());
+    stream::enqueue(a, ev);
+    EXPECT_FALSE(ev.isDone());
+    stream::enqueue(b, ev);
+    wait::wait(ev);
+    gateA.open = true;
+    a.wait();
+    b.wait();
+    EXPECT_TRUE(ev.isDone());
+}
+
+// ---------------------------------------------------------------------
+// Cross-stream wait chains complete in dependency order even when the
+// waiting stream was enqueued first.
+
+TEST(EventSemantics, CrossStreamWaitObservesRecord)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync producer(dev);
+    stream::StreamCpuAsync consumer(dev);
+    event::EventCpu ev(dev);
+    Gate gate;
+    std::atomic<int> value{0};
+
+    producer.push(gate.task());
+    producer.push([&value] { value = 7; });
+    stream::enqueue(producer, ev);
+    wait::wait(consumer, ev); // consumer blocks on the gated record
+    std::atomic<int> observed{-1};
+    consumer.push([&value, &observed] { observed = value.load(); });
+    EXPECT_EQ(observed.load(), -1);
+    gate.open = true;
+    consumer.wait();
+    EXPECT_EQ(observed.load(), 7);
+    producer.wait();
+}
+
+// ---------------------------------------------------------------------
+// wait(dev) interplay: a device-wide wait drains streams that are
+// themselves blocked on events of *other* streams of the same device —
+// the registry wait must not deadlock on the dependency.
+
+TEST(EventSemantics, DeviceWaitDrainsEventChainedStreamsCpu)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync producer(dev);
+    stream::StreamCpuAsync consumer(dev);
+    event::EventCpu ev(dev);
+    Gate gate;
+    std::atomic<int> order{0};
+    std::atomic<int> producerSeq{-1};
+    std::atomic<int> consumerSeq{-1};
+
+    producer.push(gate.task());
+    producer.push([&] { producerSeq = order++; });
+    stream::enqueue(producer, ev);
+    wait::wait(consumer, ev);
+    consumer.push([&] { consumerSeq = order++; });
+
+    // Releasing the gate from another thread while the device-wide wait
+    // is already blocking: wait(dev) must ride out the chain.
+    std::jthread releaser(
+        [&gate]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            gate.open = true;
+        });
+    wait::wait(dev);
+    EXPECT_EQ(producerSeq.load(), 0);
+    EXPECT_EQ(consumerSeq.load(), 1);
+}
+
+TEST(EventSemantics, DeviceWaitDrainsEventChainedStreamsCudaSim)
+{
+    auto const dev = dev::PltfCudaSim::getDevByIdx(0);
+    stream::StreamCudaSimAsync producer(dev);
+    stream::StreamCudaSimAsync consumer(dev);
+    event::EventCudaSim ev(dev);
+    Gate gate;
+    std::atomic<bool> consumerRan{false};
+
+    producer.simStream().enqueue(gate.task());
+    stream::enqueue(producer, ev);
+    wait::wait(consumer, ev);
+    consumer.simStream().enqueue([&consumerRan] { consumerRan = true; });
+
+    std::jthread releaser(
+        [&gate]
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            gate.open = true;
+        });
+    wait::wait(dev);
+    EXPECT_TRUE(consumerRan.load());
+}
+
+// ---------------------------------------------------------------------
+// A record into an idle stream completes promptly; isDone flips pending
+// exactly between record and completion (the protocol capture re-arms).
+
+TEST(EventSemantics, RecordMarksPendingThenCompletes)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync s(dev);
+    event::EventCpu ev(dev);
+    Gate gate;
+
+    s.push(gate.task());
+    stream::enqueue(s, ev);
+    EXPECT_FALSE(ev.isDone()) << "record must mark the event pending immediately";
+    gate.open = true;
+    wait::wait(ev);
+    EXPECT_TRUE(ev.isDone());
+    s.wait();
+
+    // Manual re-arm/complete round trip (the graph replay prologue path).
+    ev.markPending();
+    EXPECT_FALSE(ev.isDone());
+    ev.complete();
+    EXPECT_TRUE(ev.isDone());
+}

@@ -1,0 +1,356 @@
+/// \file Stream-capture tests: begin/end capture on live streams, the
+/// in-order chain, cross-stream dependency discovery through event
+/// record/wait pairs, capture misuse, and replay equivalence of captured
+/// graphs (DESIGN.md §4.2, invariant 9).
+#include <graph/capture.hpp>
+#include <graph/exec.hpp>
+#include <graph/graph.hpp>
+
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct IotaKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out) const
+        {
+            auto const i = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[i] = static_cast<double>(i);
+        }
+    };
+
+    struct ScaleKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* in, double* out, double factor) const
+        {
+            auto const i = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[i] = in[i] * factor;
+        }
+    };
+
+    struct OffsetKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* in, double* out, double offset) const
+        {
+            auto const i = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[i] = in[i] + offset;
+        }
+    };
+
+    struct JoinKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double const* a, double const* b, double* out) const
+        {
+            auto const i = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[i] = a[i] + b[i];
+        }
+    };
+} // namespace
+
+// ---------------------------------------------------------------------
+// Linear pipeline capture: nothing executes during capture; the replay
+// reproduces direct execution.
+
+TEST(GraphCapture, LinearPipelineOnCpuAsync)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size n = 32;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+
+    std::vector<double> a(n, -1.0), b(n, -1.0);
+    std::atomic<bool> hostTaskRan{false};
+
+    graph::Graph g;
+    graph::Capture capture(g);
+    stream::StreamCpuAsync s(dev);
+    capture.add(s);
+
+    stream::enqueue(s, exec::create<Acc>(wd, IotaKernel{}, a.data()));
+    stream::enqueue(s, exec::create<Acc>(wd, ScaleKernel{}, a.data(), b.data(), 2.0));
+    s.push([&hostTaskRan] { hostTaskRan = true; });
+    capture.end();
+
+    EXPECT_EQ(g.nodeCount(), 3u);
+    EXPECT_EQ(g.kind(graph::NodeId{0}), graph::NodeKind::Kernel);
+    EXPECT_EQ(g.kind(graph::NodeId{2}), graph::NodeKind::Host);
+    // In-order chain: node i depends on node i-1.
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{2}, graph::NodeId{0}));
+    EXPECT_FALSE(hostTaskRan.load()) << "capture must record, not execute";
+    EXPECT_EQ(a[5], -1.0) << "captured kernels must not run during capture";
+
+    graph::Exec exec(g);
+    exec.replay(s); // the same stream, now released from capture
+    s.wait();
+    EXPECT_TRUE(hostTaskRan.load());
+    for(Size i = 0; i < n; ++i)
+    {
+        EXPECT_EQ(a[i], static_cast<double>(i));
+        EXPECT_EQ(b[i], 2.0 * static_cast<double>(i));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-stream diamond: two captured streams, linked by event
+// record/wait pairs; the capture discovers the fork/join edges.
+
+TEST(GraphCapture, CrossStreamDiamondViaEvents)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size n = 24;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+
+    std::vector<double> a(n), b1(n), b2(n), c(n);
+    std::vector<double> da(n), db1(n), db2(n), dc(n);
+
+    // Reference: the same fork/join wiring on live streams.
+    {
+        stream::StreamCpuAsync sa(dev);
+        stream::StreamCpuAsync sb(dev);
+        event::EventCpu evA(dev), evB(dev);
+        stream::enqueue(sa, exec::create<Acc>(wd, IotaKernel{}, da.data()));
+        stream::enqueue(sa, evA);
+        wait::wait(sb, evA);
+        stream::enqueue(sb, exec::create<Acc>(wd, OffsetKernel{}, da.data(), db2.data(), 3.0));
+        stream::enqueue(sb, evB);
+        stream::enqueue(sa, exec::create<Acc>(wd, ScaleKernel{}, da.data(), db1.data(), 2.0));
+        wait::wait(sa, evB);
+        stream::enqueue(sa, exec::create<Acc>(wd, JoinKernel{}, db1.data(), db2.data(), dc.data()));
+        sa.wait();
+        sb.wait();
+    }
+
+    // Captured: identical enqueue sequence against capturing streams.
+    graph::Graph g;
+    {
+        graph::Capture capture(g);
+        stream::StreamCpuAsync sa(dev);
+        stream::StreamCpuAsync sb(dev);
+        capture.add(sa);
+        capture.add(sb);
+        event::EventCpu evA(dev), evB(dev);
+
+        stream::enqueue(sa, exec::create<Acc>(wd, IotaKernel{}, a.data())); // node 0 (A)
+        stream::enqueue(sa, evA); // node 1: record evA (A)
+        wait::wait(sb, evA); // B now depends on node 1
+        stream::enqueue(sb, exec::create<Acc>(wd, OffsetKernel{}, a.data(), b2.data(), 3.0)); // node 2 (B)
+        stream::enqueue(sb, evB); // node 3: record evB (B)
+        stream::enqueue(sa, exec::create<Acc>(wd, ScaleKernel{}, a.data(), b1.data(), 2.0)); // node 4 (A)
+        wait::wait(sa, evB); // A now depends on node 3
+        stream::enqueue(sa, exec::create<Acc>(wd, JoinKernel{}, b1.data(), b2.data(), c.data())); // node 5 (A)
+        capture.end();
+    }
+
+    ASSERT_EQ(g.nodeCount(), 6u);
+    // The cross-stream fork: B's branch kernel depends (through evA's
+    // record) on A's producer.
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{2}, graph::NodeId{0}));
+    // The cross-stream join: A's join kernel depends on B's branch
+    // through evB's record, and on A's own chain.
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{5}, graph::NodeId{2}));
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{5}, graph::NodeId{4}));
+    // The branches are NOT ordered against each other.
+    EXPECT_FALSE(g.dependsOn(graph::NodeId{4}, graph::NodeId{2}));
+    EXPECT_FALSE(g.dependsOn(graph::NodeId{2}, graph::NodeId{4}));
+
+    graph::Exec exec(g);
+    stream::StreamCpuAsync s(dev);
+    exec.replay(s);
+    s.wait();
+    EXPECT_EQ(c, dc) << "captured diamond replay differs from live-stream execution";
+}
+
+// ---------------------------------------------------------------------
+// Capture on a simulated-GPU stream: launches and copies are recorded
+// device-bound; replay re-executes the grids.
+
+TEST(GraphCapture, SimStreamCaptureAndReplay)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size n = 16;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+
+    auto buf = mem::buf::alloc<double, Size>(dev, n);
+    std::vector<double> host(n, -1.0);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim1, Size> hostView(host.data(), {}, Vec<Dim1, Size>(n));
+
+    graph::Graph g;
+    stream::StreamCudaSimAsync s(dev);
+    {
+        graph::Capture capture(g);
+        capture.add(s);
+        EXPECT_TRUE(s.capturing());
+        mem::view::set(s, buf, 0, Vec<Dim1, Size>(n));
+        stream::enqueue(s, exec::create<Acc>(wd, IotaKernel{}, buf.data()));
+        mem::view::copy(s, hostView, buf, Vec<Dim1, Size>(n));
+        capture.end();
+    }
+    EXPECT_FALSE(s.capturing());
+    EXPECT_EQ(g.nodeCount(), 3u);
+    EXPECT_EQ(host[3], -1.0) << "captured sim ops must not execute";
+
+    auto const launchedBefore = dev.simDevice().execStats().kernelsLaunched;
+    graph::Exec exec(g);
+    exec.replay(s);
+    s.wait();
+    EXPECT_EQ(dev.simDevice().execStats().kernelsLaunched, launchedBefore + 1);
+    for(Size i = 0; i < n; ++i)
+        EXPECT_EQ(host[i], static_cast<double>(i));
+}
+
+// ---------------------------------------------------------------------
+// Cross-stream edges between simulated streams via EventCudaSim.
+
+TEST(GraphCapture, SimCrossStreamEdgeViaEvent)
+{
+    using Acc = acc::AccGpuCudaSim<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size n = 8;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+    auto a = mem::buf::alloc<double, Size>(dev, n);
+    auto b = mem::buf::alloc<double, Size>(dev, n);
+
+    graph::Graph g;
+    stream::StreamCudaSimAsync sa(dev);
+    stream::StreamCudaSimAsync sb(dev);
+    {
+        graph::Capture capture(g);
+        capture.add(sa);
+        capture.add(sb);
+        event::EventCudaSim ev(dev);
+        stream::enqueue(sa, exec::create<Acc>(wd, IotaKernel{}, a.data())); // node 0
+        stream::enqueue(sa, ev); // node 1
+        wait::wait(sb, ev);
+        stream::enqueue(sb, exec::create<Acc>(wd, ScaleKernel{}, a.data(), b.data(), 2.0)); // node 2
+        capture.end();
+    }
+    ASSERT_EQ(g.nodeCount(), 3u);
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{2}, graph::NodeId{0}));
+
+    graph::Exec exec(g);
+    exec.replay(sa);
+    sa.wait();
+    std::vector<double> host(n);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim1, Size> hostView(host.data(), {}, Vec<Dim1, Size>(n));
+    stream::StreamCudaSimSync copyStream(dev);
+    mem::view::copy(copyStream, hostView, b, Vec<Dim1, Size>(n));
+    for(Size i = 0; i < n; ++i)
+        EXPECT_EQ(host[i], 2.0 * static_cast<double>(i));
+}
+
+// ---------------------------------------------------------------------
+// Re-record during capture: later waits bind to the latest record.
+
+TEST(GraphCapture, ReRecordBindsLaterWaitsToLatestRecord)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    graph::Graph g;
+    graph::Capture capture(g);
+    stream::StreamCpuAsync sa(dev);
+    stream::StreamCpuAsync sb(dev);
+    capture.add(sa);
+    capture.add(sb);
+    event::EventCpu ev(dev);
+
+    sa.push([] {}); // node 0
+    stream::enqueue(sa, ev); // node 1: first record
+    wait::wait(sb, ev);
+    sb.push([] {}); // node 2, depends on node 1
+    sa.push([] {}); // node 3
+    stream::enqueue(sa, ev); // node 4: re-record
+    wait::wait(sb, ev);
+    sb.push([] {}); // node 5, depends on node 4 (not just node 1)
+    capture.end();
+
+    ASSERT_EQ(g.nodeCount(), 6u);
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{2}, graph::NodeId{1}));
+    EXPECT_FALSE(g.dependsOn(graph::NodeId{2}, graph::NodeId{4}));
+    EXPECT_TRUE(g.dependsOn(graph::NodeId{5}, graph::NodeId{4}));
+}
+
+// ---------------------------------------------------------------------
+// Misuse is rejected with typed errors.
+
+TEST(GraphCapture, MisuseIsRejected)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    auto const simDev = dev::PltfCudaSim::getDevByIdx(0);
+
+    // Waiting for an event never recorded in the session.
+    {
+        graph::Graph g;
+        graph::Capture capture(g);
+        stream::StreamCpuAsync s(dev);
+        capture.add(s);
+        event::EventCpu ev(dev);
+        EXPECT_THROW(wait::wait(s, ev), UsageError);
+    }
+    // Synchronizing a capturing stream — directly or through the
+    // device-wide wait (both back-ends must reject it, invariant 8).
+    {
+        graph::Graph g;
+        graph::Capture capture(g);
+        stream::StreamCpuAsync s(dev);
+        capture.add(s);
+        EXPECT_THROW(s.wait(), UsageError);
+        EXPECT_THROW(wait::wait(dev), UsageError);
+        stream::StreamCudaSimAsync sim(simDev);
+        capture.add(sim);
+        EXPECT_THROW(sim.wait(), gpusim::LaunchError);
+        EXPECT_THROW(wait::wait(simDev), gpusim::LaunchError);
+    }
+    // Double capture of one stream.
+    {
+        graph::Graph g1, g2;
+        graph::Capture c1(g1);
+        graph::Capture c2(g2);
+        stream::StreamCpuAsync s(dev);
+        c1.add(s);
+        EXPECT_THROW(c2.add(s), UsageError);
+    }
+    // Replay into a capturing stream.
+    {
+        graph::Graph empty;
+        graph::Graph g;
+        graph::Exec exec(empty);
+        graph::Capture capture(g);
+        stream::StreamCpuAsync s(dev);
+        capture.add(s);
+        EXPECT_THROW(exec.replay(s), UsageError);
+        stream::StreamCudaSimAsync sim(simDev);
+        capture.add(sim);
+        EXPECT_THROW(exec.replay(sim), UsageError);
+    }
+}
+
+//! The Capture destructor releases still-attached streams.
+TEST(GraphCapture, DestructorDetachesStreams)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    stream::StreamCpuAsync s(dev);
+    {
+        graph::Graph g;
+        graph::Capture capture(g);
+        capture.add(s);
+        s.push([] {});
+        // no end(): the destructor must detach
+    }
+    std::atomic<bool> ran{false};
+    s.push([&ran] { ran = true; });
+    s.wait();
+    EXPECT_TRUE(ran.load()) << "stream must execute normally after Capture destruction";
+}

@@ -11,9 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstddef>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -270,4 +274,167 @@ TEST(ThreadPoolMultiJob, MixedJobAndTeamTrafficCoexists)
     teamThread.join();
     EXPECT_EQ(jobTotal.load(), 60u * 32u);
     EXPECT_EQ(teamTotal.load(), 60u * 3u);
+}
+
+// ---------------------------------------------------------------------
+// Pre-built jobs and batch submission (DESIGN.md §4.3: the graph replay
+// engine submits its frozen job descriptor per replay; runBatch opens
+// several pre-built jobs concurrently from one thread).
+
+TEST(ThreadPoolPrebuilt, PrebuiltJobRunsRepeatedlyWithExactCoverage)
+{
+    threadpool::ThreadPool pool(2);
+    constexpr std::size_t count = 97;
+    std::vector<std::atomic<std::uint32_t>> visits(count);
+    auto const body = [&](std::size_t i) { visits[i].fetch_add(1); };
+    auto const job = pool.prebuild(count, body);
+    EXPECT_EQ(job.count(), count);
+
+    constexpr int runs = 5;
+    for(int r = 0; r < runs; ++r)
+        pool.runPrebuilt(job);
+    for(std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(visits[i].load(), static_cast<std::uint32_t>(runs)) << "index " << i;
+}
+
+TEST(ThreadPoolPrebuilt, EmptyPrebuiltIsNoop)
+{
+    threadpool::ThreadPool pool(1);
+    int runs = 0;
+    auto const body = [&](std::size_t) { ++runs; };
+    auto const job = pool.prebuild(0, body);
+    EXPECT_NO_THROW(pool.runPrebuilt(job));
+    EXPECT_EQ(runs, 0);
+}
+
+TEST(ThreadPoolBatch, BatchCoversEveryJobExactlyOnce)
+{
+    threadpool::ThreadPool pool(3);
+    constexpr std::size_t jobCount = 12; // > slotCount: forces rounds
+    constexpr std::size_t count = 41;
+    std::vector<std::vector<std::atomic<std::uint8_t>>> visits(jobCount);
+    for(auto& v : visits)
+    {
+        std::vector<std::atomic<std::uint8_t>> fresh(count);
+        v.swap(fresh);
+    }
+    std::vector<std::function<void(std::size_t)>> bodies;
+    bodies.reserve(jobCount);
+    for(std::size_t j = 0; j < jobCount; ++j)
+        bodies.emplace_back([&visits, j](std::size_t i) { visits[j][i].fetch_add(1); });
+    std::vector<threadpool::ThreadPool::PrebuiltJob> jobs;
+    jobs.reserve(jobCount);
+    for(std::size_t j = 0; j < jobCount; ++j)
+        jobs.push_back(pool.prebuild(count, bodies[j]));
+
+    pool.runBatch(jobs);
+    for(std::size_t j = 0; j < jobCount; ++j)
+        for(std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(visits[j][i].load(), 1u) << "job " << j << " index " << i;
+}
+
+TEST(ThreadPoolBatch, JobsOfOneBatchOverlap)
+{
+    // Job A's body blocks until job B's body ran: only concurrent
+    // execution of both batch members (submitter drains A, a worker
+    // steals B) can complete the batch.
+    threadpool::ThreadPool pool(2);
+    std::atomic<bool> released{false};
+    std::atomic<bool> observed{false};
+    auto const waiter = [&](std::size_t)
+    {
+        auto const deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while(!released.load() && std::chrono::steady_clock::now() < deadline)
+            std::this_thread::yield();
+        observed = released.load();
+    };
+    auto const releaser = [&](std::size_t) { released = true; };
+    std::array<threadpool::ThreadPool::PrebuiltJob, 2> jobs{
+        pool.prebuild(1, waiter),
+        pool.prebuild(1, releaser)};
+    pool.runBatch(jobs);
+    EXPECT_TRUE(observed.load()) << "batch jobs did not overlap";
+}
+
+TEST(ThreadPoolBatch, ErrorsStayConfinedAndFirstRethrows)
+{
+    threadpool::ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    auto const good = [&](std::size_t) { completed.fetch_add(1); };
+    auto const bad = [](std::size_t) { throw std::runtime_error("batch job failed"); };
+    std::array<threadpool::ThreadPool::PrebuiltJob, 3> jobs{
+        pool.prebuild(8, good),
+        pool.prebuild(4, bad),
+        pool.prebuild(8, good)};
+    EXPECT_THROW(pool.runBatch(jobs), std::runtime_error);
+    EXPECT_EQ(completed.load(), 16) << "sibling batch jobs must still complete fully";
+    // The pool stays healthy afterwards.
+    std::atomic<int> after{0};
+    pool.parallelFor(10, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolBatch, ReentrantBatchRejected)
+{
+    threadpool::ThreadPool pool(1);
+    std::atomic<bool> typed{false};
+    pool.parallelFor(
+        1,
+        [&](std::size_t)
+        {
+            try
+            {
+                std::array<threadpool::ThreadPool::PrebuiltJob, 1> jobs{};
+                pool.runBatch(jobs);
+            }
+            catch(threadpool::UsageError const&)
+            {
+                typed = true;
+            }
+        });
+    EXPECT_TRUE(typed.load());
+}
+
+// ---------------------------------------------------------------------
+// Per-stream slot affinity hint (ROADMAP open item): a thread that keeps
+// submitting re-acquires the slot it used last time instead of walking
+// the ticket scan.
+
+TEST(ThreadPoolAffinity, SequentialSubmitterReusesItsSlot)
+{
+    threadpool::ThreadPool pool(2);
+    std::jthread submitter(
+        [&]
+        {
+            pool.parallelFor(16, [](std::size_t) {});
+            auto const first = threadpool::ThreadPool::lastSlotHint();
+            ASSERT_NE(first, threadpool::ThreadPool::npos);
+            for(int r = 0; r < 20; ++r)
+            {
+                pool.parallelFor(16, [](std::size_t) {});
+                EXPECT_EQ(threadpool::ThreadPool::lastSlotHint(), first)
+                    << "uncontended sequential submissions must stay on one slot";
+            }
+        });
+}
+
+TEST(ThreadPoolAffinity, HintYieldsWhenSlotIsHeld)
+{
+    // Two submitters ping-ponging on one pool: when a submitter's hinted
+    // slot is held by the other, it must fall back to another slot and
+    // still complete (the hint is an optimization, never a constraint).
+    threadpool::ThreadPool pool(2);
+    std::atomic<std::uint64_t> total{0};
+    std::barrier startLine(2);
+    std::vector<std::jthread> submitters;
+    for(int s = 0; s < 2; ++s)
+        submitters.emplace_back(
+            [&]
+            {
+                startLine.arrive_and_wait();
+                for(int r = 0; r < 200; ++r)
+                    pool.parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+            });
+    submitters.clear();
+    EXPECT_EQ(total.load(), 2u * 200u * 8u);
 }
