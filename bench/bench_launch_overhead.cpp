@@ -656,6 +656,96 @@ auto main() -> int
         ok = ok && speedup >= 2.0;
     }
 
+    // Alloc-churn scenario (DESIGN.md §5): per-iteration scratch buffers,
+    // the regime of solver scratch and request-scoped temporaries. Each of
+    // two streams (own submitter thread) runs N iterations of
+    // alloc -> kernel -> free. The direct path pays `mem::buf::alloc` per
+    // iteration — a system `operator new` per buffer — and must
+    // synchronize the stream before the buffer may die (host-owned
+    // storage cannot be freed under an in-flight kernel), serializing the
+    // stream exactly like cudaMalloc/cudaFree serialize a device. The
+    // pooled path allocates stream-ordered (allocAsync), frees
+    // stream-ordered (freeAsync) and never syncs inside the loop: after
+    // warm-up every allocation is a recycled same-stream block. The
+    // ISSUE 4 acceptance gate demands >= 2x.
+    {
+        using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+        auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+        constexpr Size blocks = 8;
+        constexpr Size elems = Size{32} * 1024; // 256 KiB of doubles per scratch buffer
+        constexpr std::size_t churnStreams = 2;
+        auto const perStream = bench::fullSweep() ? std::size_t{600} : std::size_t{200};
+        workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, Size{1}, Size{1});
+        auto const totalIters = static_cast<double>(churnStreams * perStream);
+
+        auto const aggregate = [&](auto&& iteration)
+        {
+            return bench::timeBestOf(
+                       bench::defaultReps(),
+                       [&]
+                       {
+                           std::vector<std::jthread> threads;
+                           threads.reserve(churnStreams);
+                           for(std::size_t t = 0; t < churnStreams; ++t)
+                               threads.emplace_back(
+                                   [&iteration, perStream]
+                                   {
+                                       stream::StreamCpuAsync s(
+                                           dev::DevMan<acc::AccCpuTaskBlocks<Dim1, Size>>::getDevByIdx(0));
+                                       for(std::size_t i = 0; i < perStream; ++i)
+                                           iteration(s);
+                                       s.wait();
+                                   });
+                       })
+                 / totalIters;
+        };
+
+        // Warm the pool once so the measured pooled loop is the steady
+        // state (bins populated for both worker streams).
+        {
+            stream::StreamCpuAsync s(dev);
+            for(int i = 0; i < 4; ++i)
+            {
+                auto buf = mem::buf::allocAsync<double, Size>(s, elems);
+                mem::buf::freeAsync(s, buf);
+            }
+            s.wait();
+        }
+
+        auto const tDirect = aggregate(
+            [&](stream::StreamCpuAsync& s)
+            {
+                auto buf = mem::buf::alloc<double, Size>(dev, elems);
+                stream::enqueue(s, exec::create<Acc>(wd, CheapKernel{}, buf.data()));
+                s.wait(); // the buffer dies at scope end; the kernel must be done
+            });
+        auto const tPooled = aggregate(
+            [&](stream::StreamCpuAsync& s)
+            {
+                auto buf = mem::buf::allocAsync<double, Size>(s, elems);
+                stream::enqueue(s, exec::create<Acc>(wd, CheapKernel{}, buf.data()));
+                mem::buf::freeAsync(s, buf);
+            });
+
+        auto const speedup = tDirect / tPooled;
+        table.addRow(
+            {"256 KiB scratch",
+             "alloc churn",
+             bench::fmt(tPooled * 1e9, 0),
+             bench::fmt(speedup, 2)});
+        report.beginRecord();
+        report.str("acc", "alloc_churn");
+        report.num("streams", churnStreams);
+        report.num("grid_blocks", static_cast<std::size_t>(blocks));
+        report.num("scratch_bytes", elems * sizeof(double));
+        report.num("ns_per_iteration_direct_alloc", tDirect * 1e9);
+        report.num("ns_per_iteration_pooled", tPooled * 1e9);
+        report.num("speedup", speedup);
+        // ISSUE 4 acceptance gate: stream-ordered pooled allocation >= 2x
+        // the per-call allocate/launch/sync/free pattern.
+        ok = ok && speedup >= 2.0;
+    }
+
     table.print(std::cout);
     table.printCsv(std::cout);
 
@@ -672,7 +762,7 @@ auto main() -> int
     }
     std::cout
         << (ok ? "launch-overhead gate: PASS (>= 3x vs seed on small grids, >= 2x concurrent submitters, "
-                 ">= 2x graph replay vs resubmission)\n"
+                 ">= 2x graph replay vs resubmission, >= 2x pooled alloc churn)\n"
                : "launch-overhead gate: FAIL\n");
     return ok ? 0 : 1;
 }

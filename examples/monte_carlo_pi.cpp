@@ -1,10 +1,15 @@
 /// \file Monte-Carlo estimation of pi on three back-ends at once.
 ///
 /// Demonstrates the counter-based RNG (independent per-thread streams),
-/// global-memory atomics, and the paper's claim that multiple back-end
+/// global-memory atomics, the paper's claim that multiple back-end
 /// instances can run in one binary at the same time (Sec. 3.1: "making it
 /// possible to run an algorithm on multiple back-ends in one binary at the
-/// same time").
+/// same time"), and the stream-ordered memory pool (DESIGN.md §5): the
+/// per-estimate hit counter is request-scoped scratch, so it is allocated
+/// with mem::buf::allocAsync and released with mem::buf::freeAsync right
+/// after the copy-out — ordered by the stream, no host synchronization
+/// around the allocation, and repeated estimates recycle the same pooled
+/// block instead of hitting the device allocator again.
 #include <alpaka/alpaka.hpp>
 
 #include <cmath>
@@ -50,7 +55,9 @@ namespace
         auto const devHost = alpaka::dev::PltfCpu::getDevByIdx(0);
         TStream stream(devAcc);
 
-        auto devHits = alpaka::mem::buf::alloc<unsigned long long, Size>(devAcc, Size{1});
+        // Stream-ordered scratch: valid for work enqueued on this stream
+        // from here on, no host-side allocation rendezvous needed.
+        auto devHits = alpaka::mem::buf::allocAsync<unsigned long long, Size>(stream, Size{1});
         auto hostHits = alpaka::mem::buf::alloc<unsigned long long, Size>(devHost, Size{1});
         alpaka::Vec<Dim, Size> const one(Size{1});
         alpaka::mem::view::set(stream, devHits, 0, one);
@@ -59,6 +66,9 @@ namespace
         auto const exec = alpaka::exec::create<TAcc>(workDiv, PiKernel{}, devHits.data(), samplesPerThread, seed);
         alpaka::stream::enqueue(stream, exec);
         alpaka::mem::view::copy(stream, hostHits, devHits, one);
+        // Free at the stream's tail — ordered after the copy above; the
+        // block goes back to the device's pool for the next estimate.
+        alpaka::mem::buf::freeAsync(stream, devHits);
         alpaka::wait::wait(stream);
 
         auto const total = static_cast<double>(threads * samplesPerThread);

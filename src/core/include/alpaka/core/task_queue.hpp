@@ -1,10 +1,13 @@
 /// \file Generic in-order asynchronous task queue backing StreamCpuAsync.
 #pragma once
 
+#include "gpusim/types.hpp"
+
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -40,6 +43,7 @@ namespace alpaka::core
             {
                 std::scoped_lock lock(mutex_);
                 queue_.push_back(Task{std::move(task), always});
+                drainState_->drained.store(false, std::memory_order_release);
             }
             cvWork_.notify_one();
         }
@@ -65,6 +69,13 @@ namespace alpaka::core
             return error_;
         }
 
+        //! Shared drained-state for non-blocking observers (see
+        //! gpusim::DrainState); holding it does not hold the queue.
+        [[nodiscard]] auto drainState() const -> std::shared_ptr<gpusim::DrainState const>
+        {
+            return drainState_;
+        }
+
     private:
         struct Task
         {
@@ -77,6 +88,7 @@ namespace alpaka::core
             for(;;)
             {
                 Task task;
+                bool skip = false;
                 {
                     std::unique_lock lock(mutex_);
                     cvWork_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
@@ -89,10 +101,14 @@ namespace alpaka::core
                     task = std::move(queue_.front());
                     queue_.pop_front();
                     busy_ = true;
-                    if(error_ != nullptr && !task.always)
-                        task.fn = nullptr;
+                    // Sticky error: skip the work — but never destroy the
+                    // closure under the mutex. A closure may own the last
+                    // reference to a pooled buffer whose release re-enters
+                    // queue/pool locks (DESIGN.md §5.3); it is destroyed
+                    // with `task` at the end of the iteration, unlocked.
+                    skip = error_ != nullptr && !task.always;
                 }
-                if(task.fn)
+                if(task.fn && !skip)
                 {
                     try
                     {
@@ -115,6 +131,11 @@ namespace alpaka::core
                     std::scoped_lock lock(mutex_);
                     busy_ = false;
                     drained = queue_.empty();
+                    if(drained)
+                    {
+                        drainState_->seq.fetch_add(1, std::memory_order_release);
+                        drainState_->drained.store(true, std::memory_order_release);
+                    }
                 }
                 if(drained)
                     cvDrained_.notify_all();
@@ -127,6 +148,7 @@ namespace alpaka::core
         std::deque<Task> queue_;
         bool busy_ = false;
         std::exception_ptr error_{};
+        std::shared_ptr<gpusim::DrainState> drainState_ = std::make_shared<gpusim::DrainState>();
         std::jthread worker_;
     };
 } // namespace alpaka::core

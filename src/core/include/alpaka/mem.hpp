@@ -16,6 +16,9 @@
 #include "alpaka/stream.hpp"
 #include "alpaka/vec.hpp"
 
+#include "mempool/lease.hpp"
+#include "mempool/stream_ops.hpp"
+
 #include <concepts>
 #include <cstddef>
 #include <cstring>
@@ -23,6 +26,7 @@
 #include <memory>
 #include <new>
 #include <type_traits>
+#include <utility>
 
 namespace alpaka::mem
 {
@@ -113,6 +117,18 @@ namespace alpaka::mem::buf
         {
         }
 
+        //! Adopts a stream-ordered pooled block (mem::buf::allocAsync);
+        //! the lease returns the storage to its pool when the buffer is
+        //! freed (explicitly or by the last owner's destructor).
+        BufCpu(
+            dev::DevCpu const& device,
+            Vec<TDim, TSize> const& extent,
+            std::size_t pitchBytes,
+            std::unique_ptr<mempool::BufLease> lease)
+            : impl_(std::make_shared<Impl>(device, extent, pitchBytes, std::move(lease)))
+        {
+        }
+
         [[nodiscard]] auto getDev() const noexcept -> dev::DevCpu
         {
             return impl_->dev;
@@ -132,6 +148,11 @@ namespace alpaka::mem::buf
         {
             return impl_->pitchBytes;
         }
+        //! The pooled-block lease, or nullptr for a malloc-backed buffer.
+        [[nodiscard]] auto pooledLease() const noexcept -> mempool::BufLease*
+        {
+            return impl_->lease.get();
+        }
 
     private:
         struct Impl
@@ -145,9 +166,23 @@ namespace alpaka::mem::buf
                 bytes = pitchBytes * detail::rowCount(ext);
                 ptr = static_cast<TElem*>(::operator new[](bytes, std::align_val_t{rowAlignment}));
             }
+            Impl(
+                dev::DevCpu const& device,
+                Vec<TDim, TSize> const& ext,
+                std::size_t pitch,
+                std::unique_ptr<mempool::BufLease> pooled)
+                : dev(device)
+                , extent(ext)
+                , pitchBytes(pitch)
+                , lease(std::move(pooled))
+            {
+                bytes = pitchBytes * detail::rowCount(ext);
+                ptr = static_cast<TElem*>(lease->data());
+            }
             ~Impl()
             {
-                ::operator delete[](static_cast<void*>(ptr), std::align_val_t{rowAlignment});
+                if(lease == nullptr)
+                    ::operator delete[](static_cast<void*>(ptr), std::align_val_t{rowAlignment});
             }
             Impl(Impl const&) = delete;
             auto operator=(Impl const&) -> Impl& = delete;
@@ -157,6 +192,7 @@ namespace alpaka::mem::buf
             std::size_t pitchBytes = 0;
             std::size_t bytes = 0;
             TElem* ptr = nullptr;
+            std::unique_ptr<mempool::BufLease> lease;
         };
 
         std::shared_ptr<Impl> impl_;
@@ -180,6 +216,16 @@ namespace alpaka::mem::buf
         {
         }
 
+        //! Adopts a stream-ordered pooled block (mem::buf::allocAsync).
+        BufCudaSim(
+            dev::DevCudaSim const& device,
+            Vec<TDim, TSize> const& extent,
+            std::size_t pitchBytes,
+            std::unique_ptr<mempool::BufLease> lease)
+            : impl_(std::make_shared<Impl>(device, extent, pitchBytes, std::move(lease)))
+        {
+        }
+
         [[nodiscard]] auto getDev() const noexcept -> dev::DevCudaSim
         {
             return impl_->dev;
@@ -195,6 +241,11 @@ namespace alpaka::mem::buf
         [[nodiscard]] auto rowPitchBytes() const noexcept -> std::size_t
         {
             return impl_->pitchBytes;
+        }
+        //! The pooled-block lease, or nullptr for a direct allocation.
+        [[nodiscard]] auto pooledLease() const noexcept -> mempool::BufLease*
+        {
+            return impl_->lease.get();
         }
 
     private:
@@ -217,9 +268,25 @@ namespace alpaka::mem::buf
                         memory.allocatePitched(widthBytes, detail::rowCount(ext), pitchBytes));
                 }
             }
+            Impl(
+                dev::DevCudaSim const& device,
+                Vec<TDim, TSize> const& ext,
+                std::size_t pitch,
+                std::unique_ptr<mempool::BufLease> pooled)
+                : dev(device)
+                , extent(ext)
+                , pitchBytes(pitch)
+                , lease(std::move(pooled))
+            {
+                ptr = static_cast<TElem*>(lease->data());
+            }
             ~Impl()
             {
-                dev.simDevice().memory().free(ptr);
+                // A pooled block belongs to its pool (which holds it as a
+                // live MemoryManager allocation); only direct allocations
+                // free into the device here.
+                if(lease == nullptr)
+                    dev.simDevice().memory().free(ptr);
             }
             Impl(Impl const&) = delete;
             auto operator=(Impl const&) -> Impl& = delete;
@@ -228,6 +295,7 @@ namespace alpaka::mem::buf
             Vec<TDim, TSize> extent;
             std::size_t pitchBytes = 0;
             TElem* ptr = nullptr;
+            std::unique_ptr<mempool::BufLease> lease;
         };
 
         std::shared_ptr<Impl> impl_;
@@ -269,6 +337,118 @@ namespace alpaka::mem::buf
         -> Buf<TDev, TElem, dim::DimInt<1>, TSize>
     {
         return alloc<TElem, TSize>(device, Vec<dim::DimInt<1>, TSize>(extent));
+    }
+
+    //! Stream-ordered allocation from the device's memory pool (the
+    //! `cudaMallocAsync` analog, DESIGN.md §5): returns immediately with a
+    //! buffer on \p stream's device whose storage may be a recycled pool
+    //! block — reuse is ordered by \p stream's progress, so the buffer is
+    //! valid for work subsequently enqueued on that stream (other streams
+    //! must be ordered against it by the user, e.g. through events).
+    //!
+    //! On a *capturing* stream this records a graph alloc node instead:
+    //! the block is reserved for the graph's lifetime, every replay of the
+    //! instantiated graph::Exec sees the identical address, and the
+    //! matching mem::buf::freeAsync records the free node.
+    template<typename TElem, typename TSize, typename TStream, typename TDim>
+    [[nodiscard]] auto allocAsync(TStream const& stream, Vec<TDim, TSize> const& extent)
+        -> Buf<typename TStream::Dev, TElem, TDim, TSize>
+    {
+        using TDev = typename TStream::Dev;
+        auto const device = stream.getDev();
+        if(!extent.allOf([](TSize v) { return v > static_cast<TSize>(0); }))
+            throw UsageError("mem::buf::allocAsync: extents must be positive");
+        auto const widthBytes = static_cast<std::size_t>(extent.back()) * sizeof(TElem);
+        std::size_t pitchBytes = widthBytes;
+        if constexpr(TDim::value >= 2)
+        {
+            if constexpr(std::is_same_v<TDev, dev::DevCpu>)
+                pitchBytes = detail::roundUp(widthBytes, BufCpu<TElem, TDim, TSize>::rowAlignment);
+            else
+                pitchBytes = detail::roundUp(widthBytes, device.simDevice().memory().pitchAlignment());
+        }
+        auto const bytes = pitchBytes * detail::rowCount(extent);
+
+        auto& pool = mempool::Pool::forDev(device);
+        std::unique_ptr<mempool::BufLease> lease;
+        if(mempool::detail::isCapturing(stream))
+        {
+            // Graph alloc node: the activation body holds the reservation,
+            // so the block lives exactly as long as graph + execs do.
+            auto block = pool.allocGraph(bytes);
+            mempool::detail::streamRun(stream, [block] { block->activate(); });
+            void* const payload = block->data();
+            lease = std::make_unique<mempool::BufLease>(
+                pool,
+                std::move(block),
+                payload,
+                mempool::detail::captureKey(stream));
+        }
+        else
+        {
+            void* const payload = pool.allocOrdered(mempool::detail::streamKey(stream), bytes);
+            // The implicit (destructor) release is pool-only: it may run
+            // on any thread (a stream worker destroying a task closure
+            // that held the last buffer reference), so it must not touch
+            // the stream — no tail marker, no capture-state read. The
+            // stream key and shared drain state captured here carry the
+            // ordering instead (DESIGN.md §5.3, Pool::freeDeferred); the
+            // alive guard covers buffers outliving a device-owned pool.
+            lease = std::make_unique<mempool::BufLease>(
+                pool,
+                payload,
+                pool.aliveGuard(),
+                mempool::detail::streamKey(stream),
+                mempool::detail::drainState(stream));
+        }
+        return Buf<TDev, TElem, TDim, TSize>(device, extent, pitchBytes, std::move(lease));
+    }
+
+    //! 1-d convenience overload taking the element count as a scalar.
+    template<typename TElem, typename TSize, typename TStream>
+    [[nodiscard]] auto allocAsync(TStream const& stream, TSize const extent)
+        -> Buf<typename TStream::Dev, TElem, dim::DimInt<1>, TSize>
+    {
+        return allocAsync<TElem, TSize>(stream, Vec<dim::DimInt<1>, TSize>(extent));
+    }
+
+    //! Stream-ordered release of an allocAsync buffer (the `cudaFreeAsync`
+    //! analog): the block returns to the pool ordered after the work
+    //! previously enqueued on \p stream. Remaining buffer handles become
+    //! dangling by contract, exactly like a CUDA pointer after
+    //! cudaFreeAsync; a second freeAsync raises DoubleFreeError. On a
+    //! capturing stream this records the graph free node of a
+    //! graph-allocated buffer instead.
+    template<typename TStream, typename TBuf>
+    void freeAsync(TStream const& stream, TBuf const& buf)
+    {
+        auto* const lease = buf.pooledLease();
+        if(lease == nullptr)
+            throw mempool::PoolError(
+                "mem::buf::freeAsync: buffer was not allocated with mem::buf::allocAsync");
+        if(auto const block = lease->graph(); block != nullptr)
+        {
+            if(!mempool::detail::isCapturing(stream))
+                throw mempool::PoolError(
+                    "mem::buf::freeAsync: graph-allocated buffer freed outside stream capture");
+            if(mempool::detail::captureKey(stream) != lease->sessionKey())
+                throw mempool::PoolError(
+                    "mem::buf::freeAsync: graph-allocated buffer freed into a different capture session "
+                    "than the one that allocated it");
+            lease->beginRelease();
+            mempool::detail::streamRun(stream, [block] { block->retire(); });
+            lease->dropGraph();
+            return;
+        }
+        if(mempool::detail::isCapturing(stream))
+            throw mempool::PoolError(
+                "mem::buf::freeAsync: live-allocated buffer freed on a capturing stream (allocate inside "
+                "the capture to get graph alloc/free nodes)");
+        lease->beginRelease(); // claims the single release (DoubleFreeError otherwise)
+        lease->pool().freeOrdered(
+            mempool::detail::streamKey(stream),
+            lease->data(),
+            mempool::detail::recordFence(stream));
     }
 } // namespace alpaka::mem::buf
 

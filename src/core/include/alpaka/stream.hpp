@@ -214,6 +214,23 @@ namespace alpaka::stream
             return impl_->queue.idle();
         }
 
+        //! Opaque identity of the stream's shared queue (copies share it).
+        //! The memory pool keys its no-fence same-stream block reuse on it
+        //! (DESIGN.md §5.2).
+        [[nodiscard]] auto queueKey() const noexcept -> void const*
+        {
+            return impl_.get();
+        }
+
+        //! Shared drained-state of the live queue (gpusim::DrainState).
+        //! The memory pool's conservative destructor fence (DESIGN.md
+        //! §5.3) polls it lock-free: holding the state holds neither the
+        //! queue nor its worker thread.
+        [[nodiscard]] auto drainState() const -> std::shared_ptr<gpusim::DrainState const>
+        {
+            return impl_->queue.drainState();
+        }
+
         //! \name stream capture (see gpusim/capture.hpp for the contract;
         //! a sink whose session ended is dropped lazily, so stream and
         //! capture session may die in any order)
@@ -299,6 +316,13 @@ namespace alpaka::stream
             [[nodiscard]] auto idle() const -> bool
             {
                 return impl_->stream.idle();
+            }
+
+            //! Shared drained-state for the memory pool's conservative
+            //! fence (see StreamCpuAsync::drainState).
+            [[nodiscard]] auto drainState() const -> std::shared_ptr<gpusim::DrainState const>
+            {
+                return impl_->stream.drainState();
             }
 
             //! \name stream capture — forwarded to the simulator stream,

@@ -49,6 +49,16 @@ namespace gpusim
             return true;
         }
 
+        //! Identity of the capture *session* this sink belongs to: all
+        //! sinks handed out by one session return the same key (sinks are
+        //! per stream, sessions usually span several). Pooled graph
+        //! buffers use it to verify their free is recorded into the same
+        //! session that allocated them.
+        [[nodiscard]] virtual auto sessionKey() const noexcept -> void const*
+        {
+            return this;
+        }
+
         //! A sequential operation on this stream's timeline. \p always
         //! marks tasks that must run even on an errored (poisoned) replay,
         //! e.g. event completion markers.

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -163,6 +164,28 @@ namespace gpusim
 
         [[nodiscard]] auto execStats() const -> ExecStats;
 
+        //! Opaque per-device extension slot (currently: the stream-ordered
+        //! memory pool of this device, attached lazily by
+        //! mempool::Pool::forDev). Owning it here ties the extension's
+        //! lifetime to the device — a pool keyed on a device address can
+        //! never outlive its device and leak onto a recycled address.
+        //! Declared after memory_ so a dying pool can still return its
+        //! cached blocks to the MemoryManager. External synchronization:
+        //! attach under the caller's own lock (Pool::forDev does).
+        [[nodiscard]] auto extensionAnchor() noexcept -> std::shared_ptr<void>&
+        {
+            return extensionAnchor_;
+        }
+
+        //! Lock-free companion of the anchor: the raw extension pointer,
+        //! published once the anchor is set, so the per-allocation lookup
+        //! (Pool::forDev on every allocAsync) does not serialize on a
+        //! creation mutex.
+        [[nodiscard]] auto extensionPtr() noexcept -> std::atomic<void*>&
+        {
+            return extensionPtr_;
+        }
+
     private:
         friend class ThreadCtx;
 
@@ -177,5 +200,7 @@ namespace gpusim
         std::vector<std::byte> sharedArena_;
         mutable std::mutex statsMutex_;
         ExecStats stats_{};
+        std::atomic<void*> extensionPtr_{nullptr};
+        std::shared_ptr<void> extensionAnchor_; //!< last member: destroyed first
     };
 } // namespace gpusim

@@ -80,6 +80,10 @@ namespace gpusim
         }
         [[nodiscard]] auto stats() const -> MemoryStats;
 
+        //! Number of live allocations — leak-check accessor for tests
+        //! (equals stats().liveAllocations but reads as intent).
+        [[nodiscard]] auto allocationCount() const -> std::size_t;
+
     private:
         struct Allocation
         {

@@ -138,6 +138,13 @@ namespace gpusim
         {
             return activeCapture() != nullptr;
         }
+        //! Session key of the attached capture (nullptr when not
+        //! capturing) — see CaptureSink::sessionKey.
+        [[nodiscard]] auto captureSessionKey() const noexcept -> void const*
+        {
+            auto const* const sink = activeCapture();
+            return sink == nullptr ? nullptr : sink->sessionKey();
+        }
         //! @}
 
         //! Blocks until all enqueued work completed.
@@ -148,6 +155,15 @@ namespace gpusim
 
         //! True when no work is pending (non-blocking).
         [[nodiscard]] auto idle() const -> bool;
+
+        //! Shared drained-state for non-blocking observers (see
+        //! gpusim::DrainState); holding it does not hold the stream. A
+        //! sync stream is permanently drained (work runs inline, inside
+        //! the enqueue).
+        [[nodiscard]] auto drainState() const -> std::shared_ptr<DrainState const>
+        {
+            return drainState_;
+        }
 
         //! Sticky error of the stream, if any (nullptr otherwise).
         [[nodiscard]] auto lastError() const -> std::exception_ptr;
@@ -188,6 +204,7 @@ namespace gpusim
         std::deque<Task> queue_;
         bool busy_ = false;
         std::exception_ptr error_{};
+        std::shared_ptr<DrainState> drainState_ = std::make_shared<DrainState>();
         std::jthread worker_{}; //!< only for async streams
     };
 } // namespace gpusim

@@ -1,6 +1,7 @@
 /// \file Basic types shared across the GPU simulator.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -36,6 +37,20 @@ namespace gpusim
     {
     public:
         using Error::Error;
+    };
+
+    //! Shared drained-state of a stream's work queue, published for
+    //! non-blocking observers (the memory pool's destructor-release fence,
+    //! DESIGN.md §5.3): `drained` is true whenever the queue is
+    //! momentarily empty and idle, `seq` increments on every transition to
+    //! drained. Observers hold this state through its own shared_ptr —
+    //! never the queue — so a poll can neither block on queue locks nor
+    //! become the last owner of a stream (destroying a worker thread from
+    //! inside a foreign critical section).
+    struct DrainState
+    {
+        std::atomic<bool> drained{true};
+        std::atomic<std::uint64_t> seq{0};
     };
 
     //! CUDA-dim3-like extent triple.

@@ -122,4 +122,10 @@ namespace gpusim
         std::scoped_lock lock(mutex_);
         return stats_;
     }
+
+    auto MemoryManager::allocationCount() const -> std::size_t
+    {
+        std::scoped_lock lock(mutex_);
+        return allocations_.size();
+    }
 } // namespace gpusim

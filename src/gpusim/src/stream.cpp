@@ -43,6 +43,7 @@ namespace gpusim
         for(;;)
         {
             Task task;
+            bool skip = false;
             {
                 std::unique_lock lock(mutex_);
                 cvWork_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
@@ -55,14 +56,22 @@ namespace gpusim
                 task = std::move(queue_.front());
                 queue_.pop_front();
                 busy_ = true;
-                if(error_ != nullptr && !task.always)
-                    task.fn = nullptr; // sticky error: skip the work
+                // Sticky error: skip the work — but never destroy the
+                // closure under the mutex (it may own the last reference
+                // to a pooled buffer whose release takes other locks); it
+                // dies with `task` at the end of the iteration, unlocked.
+                skip = error_ != nullptr && !task.always;
             }
-            if(task.fn)
+            if(task.fn && !skip)
                 runTask(task.fn);
             {
                 std::scoped_lock lock(mutex_);
                 busy_ = false;
+                if(queue_.empty())
+                {
+                    drainState_->seq.fetch_add(1, std::memory_order_release);
+                    drainState_->drained.store(true, std::memory_order_release);
+                }
             }
             cvDrained_.notify_all();
         }
@@ -75,6 +84,7 @@ namespace gpusim
             {
                 std::scoped_lock lock(mutex_);
                 queue_.push_back(std::move(task));
+                drainState_->drained.store(false, std::memory_order_release);
             }
             cvWork_.notify_one();
             return;

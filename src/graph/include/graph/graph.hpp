@@ -22,10 +22,14 @@
 #include "alpaka/exec.hpp"
 #include "alpaka/mem.hpp"
 
+#include "mempool/pool.hpp"
+
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -44,6 +48,8 @@ namespace alpaka::graph
         Set,
         Host,
         EventRecord,
+        Alloc,
+        Free,
         Empty
     };
 
@@ -138,6 +144,21 @@ namespace alpaka::graph
         //! Adds a no-op node — a join/fork point for dependency fan-in.
         auto addEmpty(std::initializer_list<NodeId> deps) -> NodeId;
 
+        //! Adds a memory-pool alloc node (the CUDA graph mem-alloc-node
+        //! analog, DESIGN.md §5.4): a block of \p bytes is reserved from
+        //! \p pool for the lifetime of this graph and every Exec
+        //! instantiated from it — all replays see the identical address,
+        //! returned here so downstream nodes can bind it. The block goes
+        //! back to the pool's bins when the last owner dies.
+        auto addAlloc(std::initializer_list<NodeId> deps, mempool::Pool& pool, std::size_t bytes)
+            -> std::pair<NodeId, void*>;
+
+        //! Adds the free node matching an addAlloc of this graph; work
+        //! depending on the block must be a dependency of this node.
+        //! \throws mempool::PoolError when \p ptr does not name an
+        //! addAlloc block of this graph (or was already freed).
+        auto addFree(std::initializer_list<NodeId> deps, void* ptr) -> NodeId;
+
         //! Inserts a fully described node; deps must name existing nodes
         //! (\throws UsageError otherwise) — the invariant that keeps every
         //! Graph acyclic by construction.
@@ -161,5 +182,9 @@ namespace alpaka::graph
 
     private:
         std::vector<detail::Node> nodes_;
+        //! addAlloc blocks not yet matched by addFree (the node bodies
+        //! hold their own references, so blocks survive the graph when an
+        //! Exec copied them).
+        std::map<void*, std::shared_ptr<mempool::GraphBlock>> allocs_;
     };
 } // namespace alpaka::graph

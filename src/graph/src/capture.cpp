@@ -21,6 +21,12 @@ namespace alpaka::graph
             return active_.load(std::memory_order_acquire);
         }
 
+        //! All sinks of one Capture share the session identity.
+        [[nodiscard]] auto sessionKey() const noexcept -> void const* override
+        {
+            return owner_;
+        }
+
         void deactivate() noexcept
         {
             active_.store(false, std::memory_order_release);

@@ -40,6 +40,41 @@ namespace alpaka::graph
         return addNode(std::move(node));
     }
 
+    auto Graph::addAlloc(std::initializer_list<NodeId> deps, mempool::Pool& pool, std::size_t bytes)
+        -> std::pair<NodeId, void*>
+    {
+        auto block = pool.allocGraph(bytes);
+        void* const ptr = block->data();
+        detail::Node node;
+        node.kind = NodeKind::Alloc;
+        node.body = [block] { block->activate(); };
+        node.deps = deps;
+        // addNode first: if the deps are invalid, the local block reference
+        // dies with this frame and the reservation lapses — a failed
+        // addAlloc must not leak a reservation or leave an allocs_ entry
+        // a later addFree could match.
+        auto const id = addNode(std::move(node));
+        allocs_.emplace(ptr, std::move(block));
+        return {id, ptr};
+    }
+
+    auto Graph::addFree(std::initializer_list<NodeId> deps, void* ptr) -> NodeId
+    {
+        auto const it = allocs_.find(ptr);
+        if(it == allocs_.end())
+            throw mempool::PoolError(
+                "graph::Graph::addFree: pointer does not name an unfreed addAlloc block of this graph");
+        detail::Node node;
+        node.kind = NodeKind::Free;
+        node.body = [block = it->second] { block->retire(); };
+        node.deps = deps;
+        // Validate (addNode) before consuming the mapping: a failed
+        // addFree must leave the block freeable by a corrected retry.
+        auto const id = addNode(std::move(node));
+        allocs_.erase(it); // a second addFree of the same block throws
+        return id;
+    }
+
     auto Graph::addEmpty(std::initializer_list<NodeId> deps) -> NodeId
     {
         detail::Node node;

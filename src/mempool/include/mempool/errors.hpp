@@ -1,0 +1,36 @@
+/// \file Typed errors of the stream-ordered memory pool (DESIGN.md §5).
+///
+/// Misuse of the pool is diagnosed deterministically instead of corrupting
+/// the free lists: a pointer that never came from the pool, a block freed
+/// twice, or pool entry points called on a capturing stream each raise a
+/// distinct type, so tests (and production error handling) can tell the
+/// failure modes apart.
+#pragma once
+
+#include "alpaka/core/error.hpp"
+
+namespace alpaka::mempool
+{
+    //! Base error of the stream-ordered memory pool.
+    class PoolError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! A block was returned to the pool twice without an allocation in
+    //! between.
+    class DoubleFreeError : public PoolError
+    {
+    public:
+        using PoolError::PoolError;
+    };
+
+    //! A pointer handed to freeAsync was never allocated from this pool
+    //! (or was already released back to the upstream allocator by trim).
+    class ForeignPointerError : public PoolError
+    {
+    public:
+        using PoolError::PoolError;
+    };
+} // namespace alpaka::mempool

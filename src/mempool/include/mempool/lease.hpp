@@ -1,0 +1,131 @@
+/// \file Pooled-block lease held by buffers (DESIGN.md §5.3).
+///
+/// `mem::buf::allocAsync` hands a BufCpu/BufCudaSim its storage through a
+/// BufLease instead of a plain `operator new` pointer. The lease knows how
+/// to give the block back:
+///
+///  * explicit `mem::buf::freeAsync(stream, buf)` releases at that
+///    stream's current tail (the CUDA `cudaFreeAsync` discipline) and
+///    flips the lease to released — a second explicit free is a
+///    deterministic DoubleFreeError, and the buffer's destructor then
+///    does nothing;
+///  * otherwise the destructor of the last buffer owner performs the
+///    pool-only deferred release: it carries the allocating stream's key
+///    and shared drain state as plain typed fields (no type-erased
+///    closure, so a pooled allocation never pays a closure heap
+///    allocation on top) and never touches the stream itself — it cannot
+///    pin the queue, enqueue into it, or read its capture state;
+///  * graph leases (buffers allocated while their stream was capturing)
+///    own a GraphBlock reference instead — the block stays reserved for as
+///    long as the graph (or any Exec instantiated from it) lives.
+#pragma once
+
+#include "mempool/errors.hpp"
+#include "mempool/pool.hpp"
+
+#include "gpusim/types.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace alpaka::mempool
+{
+    //! Shared release state of one pooled buffer (the buffer Impl owns it;
+    //! buffer copies share the Impl, hence the lease).
+    class BufLease
+    {
+    public:
+        //! Live-stream lease: the deferred (destructor) release frees
+        //! into \p pool keyed on \p streamKey, fenced by \p drain (see
+        //! Pool::freeDeferred); \p poolGuard makes the release a no-op
+        //! when a device-owned pool died first.
+        BufLease(
+            Pool& pool,
+            void* payload,
+            std::weak_ptr<void> poolGuard,
+            void const* streamKey,
+            std::shared_ptr<gpusim::DrainState const> drain)
+            : pool_(&pool)
+            , payload_(payload)
+            , poolGuard_(std::move(poolGuard))
+            , streamKey_(streamKey)
+            , drain_(std::move(drain))
+        {
+        }
+
+        //! Graph lease: the block is reserved for the capturing graph;
+        //! \p sessionKey identifies the capture session that allocated it
+        //! (the free must be recorded into the same session).
+        BufLease(Pool& pool, std::shared_ptr<GraphBlock> block, void* payload, void const* sessionKey)
+            : pool_(&pool)
+            , payload_(payload)
+            , graph_(std::move(block))
+            , sessionKey_(sessionKey)
+        {
+        }
+
+        //! Deferred release of a still-owned block; a graph lease merely
+        //! drops its GraphBlock reference (the graph keeps the block).
+        ~BufLease()
+        {
+            if(released_.exchange(true) || graph_ != nullptr)
+                return;
+            if(auto const poolToken = poolGuard_.lock(); poolToken != nullptr)
+                pool_->freeDeferred(streamKey_, payload_, drain_);
+        }
+
+        BufLease(BufLease const&) = delete;
+        auto operator=(BufLease const&) -> BufLease& = delete;
+
+        [[nodiscard]] auto data() const noexcept -> void*
+        {
+            return payload_;
+        }
+        [[nodiscard]] auto pool() const noexcept -> Pool&
+        {
+            return *pool_;
+        }
+        [[nodiscard]] auto graph() const noexcept -> std::shared_ptr<GraphBlock> const&
+        {
+            return graph_;
+        }
+        //! Capture session of a graph lease (nullptr for live leases).
+        [[nodiscard]] auto sessionKey() const noexcept -> void const*
+        {
+            return sessionKey_;
+        }
+        [[nodiscard]] auto released() const noexcept -> bool
+        {
+            return released_.load();
+        }
+
+        //! Claims the (single) release. \throws DoubleFreeError when the
+        //! buffer was already freed explicitly.
+        void beginRelease()
+        {
+            if(released_.exchange(true))
+                throw DoubleFreeError("mem::buf::freeAsync: buffer was already freed");
+        }
+
+        //! Explicit release recorded a graph free node; the graph now owns
+        //! the reservation alone.
+        void dropGraph() noexcept
+        {
+            graph_.reset();
+        }
+
+    private:
+        Pool* pool_;
+        void* payload_;
+        //! \name live-lease release fields (unused for graph leases)
+        //! @{
+        std::weak_ptr<void> poolGuard_;
+        void const* streamKey_ = nullptr;
+        std::shared_ptr<gpusim::DrainState const> drain_;
+        //! @}
+        std::shared_ptr<GraphBlock> graph_;
+        void const* sessionKey_ = nullptr;
+        std::atomic<bool> released_{false};
+    };
+} // namespace alpaka::mempool

@@ -1,0 +1,207 @@
+/// \file Stream-typed primitives of the memory pool (DESIGN.md §5.2).
+///
+/// The pool core (pool.hpp) is type-erased: it orders reuse on opaque
+/// stream keys and poll-able fences. This header binds it to the concrete
+/// stream types — StreamCpuSync, StreamCpuAsync and the two CudaSim
+/// streams — via three small primitives:
+///
+///  * streamKey(stream): opaque identity of the stream's timeline; blocks
+///    freed on a stream are tagged with it so the same stream can reuse
+///    them with no fence at all (in-order queues order the reuse for
+///    free).
+///  * recordFence(stream): drops a completion marker at the stream's tail
+///    and returns a non-blocking poll. Synchronous streams return the
+///    always-done fence — their tail is the host timeline. Asynchronous
+///    streams use the existing event machinery: an EventCpu completion
+///    marker (always-run, so a poisoned stream still releases its blocks)
+///    or a gpusim::Event record.
+///  * streamRun(stream, fn, always): pushes a host task through the
+///    stream's ordinary enqueue path — while the stream is capturing this
+///    records the task as a graph node, which is exactly how the graph
+///    alloc/free nodes of mem::buf::allocAsync are born.
+#pragma once
+
+#include "mempool/pool.hpp"
+
+#include "alpaka/event.hpp"
+#include "alpaka/stream.hpp"
+
+#include "gpusim/stream.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace alpaka::mempool::detail
+{
+    //! \name stream identity (same-stream reuse key)
+    //! @{
+    //! A sync stream's timeline is the host timeline and its fences are
+    //! always complete, so its key never gates anything — any address
+    //! distinct from the async keys does.
+    [[nodiscard]] inline auto streamKey(stream::StreamCpuSync const& stream) noexcept -> void const*
+    {
+        return &stream;
+    }
+    [[nodiscard]] inline auto streamKey(stream::StreamCpuAsync const& stream) noexcept -> void const*
+    {
+        return stream.queueKey();
+    }
+    template<bool TAsync>
+    [[nodiscard]] auto streamKey(stream::detail::StreamCudaSimBase<TAsync> const& stream) noexcept -> void const*
+    {
+        return &stream.simStream();
+    }
+    //! @}
+
+    //! \name capture state
+    //! @{
+    [[nodiscard]] inline auto isCapturing(stream::StreamCpuSync const& stream) noexcept -> bool
+    {
+        return stream.captureSink() != nullptr;
+    }
+    [[nodiscard]] inline auto isCapturing(stream::StreamCpuAsync const& stream) noexcept -> bool
+    {
+        return stream.captureSink() != nullptr;
+    }
+    template<bool TAsync>
+    [[nodiscard]] auto isCapturing(stream::detail::StreamCudaSimBase<TAsync> const& stream) noexcept -> bool
+    {
+        return stream.capturing();
+    }
+
+    //! Session key of the stream's active capture (nullptr when not
+    //! capturing) — graph buffers must be freed into the session that
+    //! allocated them (gpusim::CaptureSink::sessionKey).
+    [[nodiscard]] inline auto captureKey(stream::StreamCpuSync const& stream) noexcept -> void const*
+    {
+        auto const& sink = stream.captureSink();
+        return sink == nullptr ? nullptr : sink->sessionKey();
+    }
+    [[nodiscard]] inline auto captureKey(stream::StreamCpuAsync const& stream) noexcept -> void const*
+    {
+        auto const& sink = stream.captureSink();
+        return sink == nullptr ? nullptr : sink->sessionKey();
+    }
+    template<bool TAsync>
+    [[nodiscard]] auto captureKey(stream::detail::StreamCudaSimBase<TAsync> const& stream) noexcept
+        -> void const*
+    {
+        return stream.simStream().captureSessionKey();
+    }
+    //! @}
+
+    //! \name host task through the stream's enqueue path (captured as a
+    //! graph node while the stream is capturing)
+    //! @{
+    inline void streamRun(stream::StreamCpuSync const& stream, std::function<void()> fn, bool /*always*/ = false)
+    {
+        stream.run(std::move(fn));
+    }
+    inline void streamRun(stream::StreamCpuAsync const& stream, std::function<void()> fn, bool always = false)
+    {
+        stream.push(std::move(fn), always);
+    }
+    template<bool TAsync>
+    void streamRun(
+        stream::detail::StreamCudaSimBase<TAsync> const& stream,
+        std::function<void()> fn,
+        bool /*always*/ = false)
+    {
+        stream.simStream().enqueue(std::move(fn));
+    }
+    //! @}
+
+    //! \name free-point fences
+    //! @{
+    //! Synchronous CPU stream: everything enqueued so far already ran in
+    //! the calling thread — the free point has passed.
+    [[nodiscard]] inline auto recordFence(stream::StreamCpuSync const&) -> Fence
+    {
+        return {};
+    }
+
+    //! Asynchronous CPU stream: an EventCpu completion marker at the tail.
+    //! always-run, like every completion marker (invariant 4): a poisoned
+    //! stream skips work but still releases the blocks it no longer uses.
+    [[nodiscard]] inline auto recordFence(stream::StreamCpuAsync const& stream) -> Fence
+    {
+        event::EventCpu marker(stream.getDev());
+        marker.markPending();
+        stream.push([marker] { marker.complete(); }, /*always=*/true);
+        return Fence{[marker] { return marker.isDone(); }};
+    }
+
+    //! CudaSim streams: a gpusim::Event recorded at the tail (the sync
+    //! flavour completes it inline, making the fence instantly done).
+    template<bool TAsync>
+    [[nodiscard]] auto recordFence(stream::detail::StreamCudaSimBase<TAsync> const& stream) -> Fence
+    {
+        gpusim::Event marker;
+        stream.simStream().record(marker);
+        return Fence{[marker] { return marker.isDone(); }};
+    }
+    //! @}
+
+    //! \name conservative drain states (the implicit destructor-release
+    //! fence, DESIGN.md §5.3)
+    //!
+    //! The destructor of a pooled buffer's last owner may run on ANY
+    //! thread (a stream worker destroying a task closure, a foreign
+    //! consumer thread) and at any time (mid-capture included), so the
+    //! implicit release must not enqueue a tail marker or read the
+    //! capture state. Instead it observes the stream's shared
+    //! gpusim::DrainState — captured at alloc time — and fences the block
+    //! on "the live queue drained at or after the release", which
+    //! conservatively implies the free point passed. The state is a pair
+    //! of atomics owned apart from the queue: polling it (which happens
+    //! under the pool lock) can neither block on queue locks nor become
+    //! the last owner of a stream and destroy a worker thread in-place.
+    //! Same-stream reuse is unaffected (keyed, fence ignored); only
+    //! cross-stream reuse of destructor-freed blocks is coarser than the
+    //! precise tail fence an explicit freeAsync records.
+    //! @{
+    //! A sync stream's free point is the host timeline — no state needed.
+    [[nodiscard]] inline auto drainState(stream::StreamCpuSync const&)
+        -> std::shared_ptr<gpusim::DrainState const>
+    {
+        return nullptr;
+    }
+    [[nodiscard]] inline auto drainState(stream::StreamCpuAsync const& stream)
+        -> std::shared_ptr<gpusim::DrainState const>
+    {
+        return stream.drainState();
+    }
+    template<bool TAsync>
+    [[nodiscard]] auto drainState(stream::detail::StreamCudaSimBase<TAsync> const& stream)
+        -> std::shared_ptr<gpusim::DrainState const>
+    {
+        return stream.drainState();
+    }
+    //! @}
+} // namespace alpaka::mempool::detail
+
+namespace alpaka::mempool
+{
+    template<typename TStream>
+    auto Pool::allocAsync(TStream const& stream, std::size_t bytes) -> void*
+    {
+        if(detail::isCapturing(stream))
+            throw PoolError(
+                "mempool::Pool::allocAsync on a capturing stream — use mem::buf::allocAsync, which records "
+                "graph alloc nodes");
+        return allocOrdered(detail::streamKey(stream), bytes);
+    }
+
+    template<typename TStream>
+    void Pool::freeAsync(TStream const& stream, void* ptr)
+    {
+        if(detail::isCapturing(stream))
+            throw PoolError(
+                "mempool::Pool::freeAsync on a capturing stream — use mem::buf::freeAsync, which records "
+                "graph free nodes");
+        // Record the fence before publishing the block: a block is only
+        // ever visible to other streams together with its fence.
+        auto fence = detail::recordFence(stream);
+        freeOrdered(detail::streamKey(stream), ptr, std::move(fence));
+    }
+} // namespace alpaka::mempool

@@ -1,0 +1,60 @@
+/// \file Process-wide per-device pools backing mem::buf::allocAsync.
+///
+/// One pool for the host CPU, one per simulated device, each created on
+/// first use. The host pool leaks deliberately (the system allocator is
+/// immortal, the blocks go back to the OS with the process). A simulated
+/// device's pool is *owned by the device itself* through its opaque
+/// extension anchor: pooled blocks live inside the device's
+/// gpusim::MemoryManager registry, so the pool must die just before the
+/// MemoryManager — owning it in the Device (declared after memory_) gives
+/// exactly that order, and a device address recycled by a later Device
+/// can never inherit a stale pool.
+#include "mempool/pool.hpp"
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+
+#include <memory>
+#include <mutex>
+#include <new>
+
+namespace alpaka::mempool
+{
+    namespace
+    {
+        //! Pooled host blocks match the simulator's 256-byte base
+        //! alignment, which also satisfies BufCpu's 64-byte row alignment.
+        constexpr std::size_t hostAlignment = 256;
+    } // namespace
+
+    auto Pool::forDev(dev::DevCpu const& /*dev*/) -> Pool&
+    {
+        static Pool* const pool = new Pool(Upstream{
+            [](std::size_t bytes) { return ::operator new[](bytes, std::align_val_t{hostAlignment}); },
+            [](void* ptr, std::size_t /*bytes*/)
+            { ::operator delete[](ptr, std::align_val_t{hostAlignment}); }});
+        return *pool;
+    }
+
+    auto Pool::forDev(dev::DevCudaSim const& dev) -> Pool&
+    {
+        static std::mutex mutex;
+
+        auto* const device = &dev.simDevice();
+        // Hot path: the pool is looked up per allocation, so it must not
+        // serialize on the creation mutex once attached.
+        if(void* const fast = device->extensionPtr().load(std::memory_order_acquire))
+            return *static_cast<Pool*>(fast);
+
+        std::scoped_lock lock(mutex);
+        auto& anchor = device->extensionAnchor();
+        if(anchor == nullptr)
+        {
+            anchor = std::make_shared<Pool>(Upstream{
+                [device](std::size_t bytes) { return device->memory().allocate(bytes); },
+                [device](void* ptr, std::size_t /*bytes*/) { device->memory().free(ptr); }});
+            device->extensionPtr().store(anchor.get(), std::memory_order_release);
+        }
+        return *std::static_pointer_cast<Pool>(anchor);
+    }
+} // namespace alpaka::mempool

@@ -80,6 +80,25 @@ TEST(SimMemory, ForeignPointerFreeRejected)
     EXPECT_THROW(dev.memory().free(&hostInt), gpusim::MemoryError);
 }
 
+TEST(SimMemory, AllocationCountTracksLeaksExactly)
+{
+    gpusim::Device dev(smallSpec());
+    auto& mm = dev.memory();
+    EXPECT_EQ(mm.allocationCount(), 0u);
+    auto* const a = mm.allocate(64);
+    auto* const b = mm.allocate(128);
+    EXPECT_EQ(mm.allocationCount(), 2u);
+    mm.free(a);
+    // Rejected frees must not disturb the registry: the count is an
+    // exact leak check for tests.
+    EXPECT_THROW(mm.free(a), gpusim::MemoryError);
+    int hostInt = 0;
+    EXPECT_THROW(mm.free(&hostInt), gpusim::MemoryError);
+    EXPECT_EQ(mm.allocationCount(), 1u);
+    mm.free(b);
+    EXPECT_EQ(mm.allocationCount(), 0u);
+}
+
 TEST(SimMemory, ZeroByteAllocationRejected)
 {
     gpusim::Device dev(smallSpec());

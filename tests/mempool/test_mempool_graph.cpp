@@ -1,0 +1,295 @@
+/// \file Tests of graph memory nodes (DESIGN.md §5.4): capturing
+/// mem::buf::allocAsync/freeAsync records alloc/free nodes whose block is
+/// reserved for the graph's lifetime — every replay of the instantiated
+/// Exec reuses the identical address — plus the explicit
+/// Graph::addAlloc/addFree API and the typed misuse surface between live
+/// and capturing streams.
+#include <alpaka/alpaka.hpp>
+#include <graph/capture.hpp>
+#include <graph/exec.hpp>
+#include <graph/graph.hpp>
+#include <mempool/pool.hpp>
+#include <mempool/stream_ops.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <new>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    struct FillKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, double* out, double value) const
+        {
+            auto const i = idx::getIdx<Grid, Blocks>(acc)[0];
+            out[i] = value;
+        }
+    };
+
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+
+    auto const hostDev = dev::PltfCpu::getDevByIdx(0);
+
+    [[nodiscard]] auto countingUpstream(std::atomic<std::size_t>& live) -> mempool::Upstream
+    {
+        return {
+            [&live](std::size_t bytes)
+            {
+                live += bytes;
+                return ::operator new[](bytes, std::align_val_t{256});
+            },
+            [&live](void* ptr, std::size_t bytes)
+            {
+                live -= bytes;
+                ::operator delete[](ptr, std::align_val_t{256});
+            }};
+    }
+} // namespace
+
+TEST(GraphMem, CapturedAllocFreeReplaysWithStableAddress)
+{
+    // An uncommon size class so the global pool's history cannot collide
+    // with the address assertions below.
+    constexpr Size n = 48 * 1024; // doubles -> 384 KiB -> 512 KiB class
+    stream::StreamCpuAsync stream(hostDev);
+    Vec<Dim1, Size> const extent(n);
+    workdiv::WorkDivMembers<Dim1, Size> const wd(n, Size{1}, Size{1});
+
+    std::vector<double> out(n, 0.0);
+    mem::view::ViewPlainPtr<dev::DevCpu, double, Dim1, Size> outView(out.data(), hostDev, extent);
+
+    std::vector<std::uintptr_t> replayAddresses;
+    double* scratchPtr = nullptr;
+    auto& pool = mempool::Pool::forDev(hostDev);
+
+    graph::Graph g;
+    {
+        graph::Capture capture(g);
+        capture.add(stream);
+
+        auto scratch = mem::buf::allocAsync<double, Size>(stream, n); // alloc node
+        scratchPtr = scratch.data();
+        EXPECT_NE(scratch.pooledLease()->graph(), nullptr) << "capture produces a graph lease";
+
+        stream::enqueue(stream, exec::create<Acc>(wd, FillKernel{}, scratch.data(), 5.0));
+        mem::view::copy(stream, outView, scratch, extent);
+        // A captured host node observing the address every replay.
+        stream.push([&replayAddresses, p = scratch.data()]
+                    { replayAddresses.push_back(reinterpret_cast<std::uintptr_t>(p)); });
+        mem::buf::freeAsync(stream, scratch); // free node
+        capture.end();
+    }
+    EXPECT_EQ(g.nodeCount(), 5u) << "alloc + kernel + copy + host + free";
+    EXPECT_EQ(g.kind(graph::NodeId{0}), graph::NodeKind::Host) << "captured alloc nodes arrive type-erased";
+
+    {
+        graph::Exec exec(g);
+        for(int replay = 0; replay < 3; ++replay)
+        {
+            std::fill(out.begin(), out.end(), 0.0);
+            exec.replay(stream);
+            stream.wait();
+            ASSERT_EQ(out[0], 5.0);
+            ASSERT_EQ(out[n - 1], 5.0);
+
+            // While graph + exec live, the block is reserved: concurrent
+            // pool users must never receive its address.
+            void* const probe = pool.allocAsync(stream, n * sizeof(double));
+            EXPECT_NE(probe, static_cast<void*>(scratchPtr));
+            pool.freeAsync(stream, probe);
+        }
+        ASSERT_EQ(replayAddresses.size(), 3u);
+        EXPECT_EQ(replayAddresses[0], reinterpret_cast<std::uintptr_t>(scratchPtr));
+        EXPECT_EQ(replayAddresses[1], replayAddresses[0]) << "replays reuse the identical block";
+        EXPECT_EQ(replayAddresses[2], replayAddresses[0]);
+        stream.wait();
+    }
+
+    // Graph and Exec destroyed: the block returns to the bins and is the
+    // LIFO head of its class again.
+    g = graph::Graph{};
+    EXPECT_EQ(pool.allocAsync(stream, n * sizeof(double)), static_cast<void*>(scratchPtr));
+    pool.freeAsync(stream, scratchPtr);
+    stream.wait();
+}
+
+TEST(GraphMem, ExplicitAllocFreeNodes)
+{
+    std::atomic<std::size_t> liveUpstream{0};
+    mempool::Pool pool(countingUpstream(liveUpstream));
+    int streamTag = 0;
+
+    void* reserved = nullptr;
+    {
+        graph::Graph g;
+        auto const [allocId, ptr] = g.addAlloc({}, pool, 1024);
+        reserved = ptr;
+        EXPECT_NE(ptr, nullptr);
+        EXPECT_EQ(g.kind(allocId), graph::NodeKind::Alloc);
+
+        auto const fill = g.addHost({allocId}, [ptr] { std::memset(ptr, 0x5A, 1024); });
+        auto const freeId = g.addFree({fill}, ptr);
+        EXPECT_EQ(g.kind(freeId), graph::NodeKind::Free);
+        EXPECT_TRUE(g.dependsOn(freeId, allocId));
+
+        // The same block cannot be freed twice, and foreign pointers are
+        // rejected.
+        EXPECT_THROW((void) g.addFree({}, ptr), mempool::PoolError);
+        int foreign = 0;
+        EXPECT_THROW((void) g.addFree({}, &foreign), mempool::PoolError);
+
+        EXPECT_EQ(pool.bytesInUse(), 1024u) << "reserved while the graph lives";
+        EXPECT_NE(pool.allocOrdered(&streamTag, 1024), ptr);
+
+        graph::Exec exec(g);
+        stream::StreamCpuAsync stream(hostDev);
+        for(int replay = 0; replay < 2; ++replay)
+        {
+            exec.replay(stream);
+            stream.wait();
+            EXPECT_EQ(static_cast<std::uint8_t const*>(reserved)[1023], 0x5A);
+        }
+        EXPECT_EQ(pool.bytesInUse(), 1024u + 1024u) << "block stays reserved across replays";
+    }
+    // Graph and Exec gone: the reservation lapses.
+    EXPECT_EQ(pool.bytesInUse(), 1024u); // only the probe block remains
+    EXPECT_EQ(pool.allocOrdered(&streamTag, 1024), reserved);
+}
+
+TEST(GraphMem, FailedAddAllocLeavesNoReservation)
+{
+    std::atomic<std::size_t> liveUpstream{0};
+    mempool::Pool pool(countingUpstream(liveUpstream));
+    graph::Graph g;
+
+    EXPECT_THROW((void) g.addAlloc({graph::NodeId{99}}, pool, 1024), UsageError);
+    EXPECT_EQ(pool.bytesInUse(), 0u) << "a failed addAlloc must not leak a reservation";
+    EXPECT_EQ(g.nodeCount(), 0u);
+
+    // ... and must not leave an entry a later addFree could match.
+    int streamTag = 0;
+    void* const probe = pool.allocOrdered(&streamTag, 1024);
+    EXPECT_THROW((void) g.addFree({}, probe), mempool::PoolError);
+    pool.freeOrdered(&streamTag, probe, {});
+}
+
+TEST(GraphMem, FailedAddFreeLeavesBlockFreeable)
+{
+    std::atomic<std::size_t> liveUpstream{0};
+    mempool::Pool pool(countingUpstream(liveUpstream));
+    graph::Graph g;
+    auto const [allocId, ptr] = g.addAlloc({}, pool, 512);
+
+    // Invalid dep: the addFree fails, but the mapping must survive so a
+    // corrected retry can still record the free node.
+    EXPECT_THROW((void) g.addFree({graph::NodeId{99}}, ptr), UsageError);
+    auto const freeId = g.addFree({allocId}, ptr);
+    EXPECT_EQ(g.kind(freeId), graph::NodeKind::Free);
+    EXPECT_EQ(g.nodeCount(), 2u);
+}
+
+TEST(GraphMem, FreeIntoDifferentCaptureSessionIsRejected)
+{
+    stream::StreamCpuAsync stream(hostDev);
+    graph::Graph a;
+    graph::Graph b;
+
+    graph::Capture captureA(a);
+    captureA.add(stream);
+    auto buf = mem::buf::allocAsync<double, Size>(stream, Size{64});
+    captureA.end();
+
+    {
+        graph::Capture captureB(b);
+        captureB.add(stream);
+        // Capturing, but not the session that allocated the block.
+        EXPECT_THROW(mem::buf::freeAsync(stream, buf), mempool::PoolError);
+        captureB.end();
+    }
+    EXPECT_EQ(a.nodeCount(), 1u) << "only A's alloc node exists";
+    EXPECT_EQ(b.nodeCount(), 0u) << "no retire node leaked into the other session";
+}
+
+TEST(GraphMem, SameSessionCrossStreamFreeIsAllowed)
+{
+    // The CUDA contract: alloc and free nodes may live on different
+    // streams of one capture session (ordering across them is the
+    // user's event business).
+    stream::StreamCpuAsync s1(hostDev);
+    stream::StreamCpuAsync s2(hostDev);
+    graph::Graph g;
+    graph::Capture capture(g);
+    capture.add(s1);
+    capture.add(s2);
+    auto buf = mem::buf::allocAsync<double, Size>(s1, Size{64});
+    EXPECT_NO_THROW(mem::buf::freeAsync(s2, buf));
+    capture.end();
+    EXPECT_EQ(g.nodeCount(), 2u);
+}
+
+TEST(GraphMem, ImplicitDestructorFreeDuringCaptureUsesDrainFence)
+{
+    // A live-allocated buffer dying while its stream captures must not
+    // record anything into the graph; the block returns with a
+    // conservative drain fence instead and becomes reusable (cross
+    // stream) once the live queue is empty.
+    stream::StreamCpuAsync stream(hostDev);
+    stream::StreamCpuAsync other(hostDev);
+    auto& pool = mempool::Pool::forDev(hostDev);
+
+    constexpr Size n = 96 * 1024; // 768 KiB -> 1 MiB class, unlikely elsewhere
+    void* payload = nullptr;
+    graph::Graph g;
+    {
+        std::optional<mem::buf::BufCpu<double, Dim1, Size>> buf(
+            mem::buf::allocAsync<double, Size>(stream, n));
+        payload = buf->data();
+        graph::Capture capture(g);
+        capture.add(stream);
+        buf.reset(); // dies mid-capture
+        capture.end();
+    }
+    EXPECT_EQ(g.nodeCount(), 0u) << "the implicit free recorded no graph node";
+    stream.wait(); // drains the live queue -> the fence completes
+    EXPECT_EQ(pool.allocAsync(other, n * sizeof(double)), payload);
+    pool.freeAsync(other, payload);
+    other.wait();
+}
+
+TEST(GraphMem, MisuseAcrossLiveAndCapturingStreamsIsTyped)
+{
+    std::atomic<std::size_t> liveUpstream{0};
+    mempool::Pool pool(countingUpstream(liveUpstream));
+    stream::StreamCpuAsync stream(hostDev);
+
+    // A live-allocated buffer must not be freed into a capture ...
+    auto liveBuf = mem::buf::allocAsync<double, Size>(stream, Size{64});
+    graph::Graph g;
+    {
+        graph::Capture capture(g);
+        capture.add(stream);
+        EXPECT_THROW(mem::buf::freeAsync(stream, liveBuf), mempool::PoolError);
+
+        // ... and the raw pool entry points reject capturing streams
+        // outright (only mem::buf::allocAsync knows how to record nodes).
+        EXPECT_THROW((void) pool.allocAsync(stream, 64), mempool::PoolError);
+        EXPECT_THROW(pool.freeAsync(stream, liveBuf.data()), mempool::PoolError);
+
+        // A graph-allocated buffer must not be freed on a live stream.
+        auto graphBuf = mem::buf::allocAsync<double, Size>(stream, Size{64});
+        capture.end();
+        EXPECT_THROW(mem::buf::freeAsync(stream, graphBuf), mempool::PoolError);
+    }
+    mem::buf::freeAsync(stream, liveBuf);
+    stream.wait();
+}
