@@ -3,12 +3,30 @@
 ///
 /// graph::Exec freezes a Graph into its executable form once:
 /// dependencies become a successor CSR + per-node initial indegrees,
-/// chunkable kernel nodes are split into block-range subtasks, the pool
-/// job descriptor (count, grain, trampoline) is pre-built, and per-replay
-/// scratch (atomic indegree/pending counters, the ready ring) is
-/// allocated. replay(stream) then costs: one task pushed into the target
-/// stream + one pre-built pool job — independent of how many operations
-/// the pipeline contains.
+/// chunkable kernel nodes are split into block-range subtasks, and the
+/// pool job descriptor (count, grain, trampoline) is pre-built.
+/// replay(stream) then costs: one task pushed into the target stream +
+/// one pre-built pool job — independent of how many operations the
+/// pipeline contains.
+///
+/// Replays of one Exec may run CONCURRENTLY (the kernel-service runtime
+/// keeps several in-flight replays of one request template): all mutable
+/// per-replay state — the atomic indegree/pending counters, the ready
+/// ring, the pop/push cursors, poisoning and the first-error slot — lives
+/// in a ReplayScratch acquired from a small replay-owned pool at the
+/// start of run() and returned when the replay drained. The frozen DAG
+/// (nodes, CSR, subtasks) is shared read-only, so concurrent replays
+/// never touch common mutable bookkeeping; whether the node BODIES
+/// tolerate overlapped execution is the graph author's contract, exactly
+/// as it is for the same kernels enqueued into two live streams.
+///
+/// Exception: an Exec whose graph carries *shared replay infrastructure*
+/// the author cannot make overlap-safe — event-record nodes (the shared
+/// event is re-armed by a per-replay prologue and completed mid-replay)
+/// or graph memory nodes (every replay addresses the SAME reserved
+/// block, invariant 12) — serializes its replays on an internal mutex,
+/// preserving the pre-PR 5 semantics for exactly the graphs that need
+/// them. Introspectable via replaysSerialize().
 ///
 /// Replay protocol (run()/runTicket() in exec.cpp): the driver — the
 /// task enqueued into the target stream, so a replay is ordered like any
@@ -60,8 +78,9 @@ namespace alpaka::graph
 
         //! Enqueues one full DAG execution into \p stream (any stream
         //! type; the graph's nodes carry their own devices, so the target
-        //! stream only hosts the driver). Replays of one Exec serialize;
-        //! the Exec must outlive the replay (wait on the stream before
+        //! stream only hosts the driver). Replays of one Exec may overlap
+        //! — each gets its own scratch, errors stay confined per replay;
+        //! the Exec must outlive every replay (wait on the streams before
         //! destroying it). \throws UsageError when \p stream is capturing.
         template<typename TStream>
         void replay(TStream& stream)
@@ -88,6 +107,13 @@ namespace alpaka::graph
         [[nodiscard]] auto subtaskCount() const noexcept -> std::size_t
         {
             return subtasks_.size();
+        }
+        //! True when replays of this Exec serialize (the graph carries
+        //! event-record or graph-memory nodes — shared state a concurrent
+        //! replay would corrupt); false when replays may overlap.
+        [[nodiscard]] auto replaysSerialize() const noexcept -> bool
+        {
+            return serializeReplays_;
         }
         //! @}
 
@@ -129,17 +155,47 @@ namespace alpaka::graph
             std::atomic<std::uint32_t> value{0};
         };
 
-        //! The per-index body of the pre-built pool job.
+        struct ReplayScratch;
+
+        //! The per-index body of the pre-built pool job; one per scratch,
+        //! so a pop ticket always lands in its own replay's ring.
         struct PopBody
         {
             Exec* self = nullptr;
+            ReplayScratch* scratch = nullptr;
             void operator()(std::size_t /*index*/) const;
         };
 
+        //! One replay's complete working set. Acquired from scratchPool_
+        //! per run(); successive users are synchronized by the pool mutex,
+        //! so the relaxed counter resets in run() stay safe exactly as
+        //! under the old serialize-everything replay mutex.
+        struct ReplayScratch
+        {
+            std::unique_ptr<Counter[]> indeg;
+            std::unique_ptr<Counter[]> pending;
+            //! Ready ring: position i holds subtask-id + 1 once pushed.
+            //! Exactly subtaskCount() pushes and pops happen per replay,
+            //! so positions are handed out by plain fetch_adds and never
+            //! wrap.
+            std::unique_ptr<std::atomic<std::uint32_t>[]> ring;
+            alignas(64) std::atomic<std::size_t> popTicket{0};
+            alignas(64) std::atomic<std::size_t> pushCursor{0};
+            //! Publish word of the ring — the pool's own spin-then-park,
+            //! notify-eliding discipline (threadpool::detail::PublishWord).
+            threadpool::detail::PublishWord readyWord;
+            std::atomic<bool> poisoned{false};
+            threadpool::detail::FirstError errors;
+            PopBody popBody;
+            threadpool::ThreadPool::PrebuiltJob job;
+        };
+
         void run();
-        void runTicket();
-        void pushNode(NodeId node);
-        void completeNode(NodeId node);
+        void runTicket(ReplayScratch& scratch);
+        void pushNode(ReplayScratch& scratch, NodeId node);
+        void completeNode(ReplayScratch& scratch, NodeId node);
+        [[nodiscard]] auto acquireScratch() -> std::unique_ptr<ReplayScratch>;
+        void releaseScratch(std::unique_ptr<ReplayScratch> scratch);
 
         threadpool::ThreadPool* pool_;
         std::vector<NodeExec> nodes_;
@@ -149,26 +205,16 @@ namespace alpaka::graph
         std::vector<NodeId> initialReady_;
         std::vector<std::function<void()>> prologues_;
 
-        //! \name per-replay scratch (reset by run(), guarded by replayMutex_)
-        //! @{
-        std::unique_ptr<Counter[]> indeg_;
-        std::unique_ptr<Counter[]> pending_;
-        //! Ready ring: position i holds subtask-id + 1 once pushed. Exactly
-        //! subtaskCount() pushes and pops happen per replay, so positions
-        //! are handed out by plain fetch_adds and never wrap.
-        std::unique_ptr<std::atomic<std::uint32_t>[]> ring_;
-        alignas(64) std::atomic<std::size_t> popTicket_{0};
-        alignas(64) std::atomic<std::size_t> pushCursor_{0};
-        //! Publish word of the ring — the pool's own spin-then-park,
-        //! notify-eliding discipline (threadpool::detail::PublishWord).
-        threadpool::detail::PublishWord readyWord_;
-        std::atomic<bool> poisoned_{false};
-        threadpool::detail::FirstError errors_;
-        //! @}
-
-        std::mutex replayMutex_; //!< replays of one Exec serialize
-        PopBody popBody_{this};
-        threadpool::ThreadPool::PrebuiltJob job_;
+        //! Replay-owned scratch pool: LIFO of drained working sets, popped
+        //! per run(), grown on demand (steady state: one per concurrently
+        //! in-flight replay, typically 1).
+        std::mutex scratchMutex_;
+        std::vector<std::unique_ptr<ReplayScratch>> scratchPool_;
+        //! Whole-replay serialization for graphs with shared replay
+        //! infrastructure (see the header comment); held by run() only
+        //! when serializeReplays_ is set.
+        std::mutex serialMutex_;
+        bool serializeReplays_ = false;
         int spinBudget_ = threadpool::detail::machineSpinBudget();
     };
 } // namespace alpaka::graph

@@ -6,7 +6,7 @@ namespace alpaka::graph
 {
     void Exec::PopBody::operator()(std::size_t /*index*/) const
     {
-        self->runTicket();
+        self->runTicket(*scratch);
     }
 
     Exec::Exec(Graph const& graph, threadpool::ThreadPool& pool) : pool_(&pool)
@@ -34,6 +34,12 @@ namespace alpaka::graph
             node.always = from.always;
             if(from.prologue != nullptr)
                 prologues_.push_back(from.prologue);
+            // Event records (prologue-re-armed shared events) and graph
+            // memory nodes (one reserved address for every replay,
+            // invariant 12) are shared replay infrastructure: replays of
+            // a graph carrying them must not overlap.
+            if(from.prologue != nullptr || from.kind == NodeKind::Alloc || from.kind == NodeKind::Free)
+                serializeReplays_ = true;
 
             // Dedupe dependencies: a duplicate edge must not count twice
             // against the indegree.
@@ -79,66 +85,105 @@ namespace alpaka::graph
             succ_.insert(succ_.end(), successors[i].begin(), successors[i].end());
             nodes_[i].succEnd = static_cast<std::uint32_t>(succ_.size());
         }
+    }
 
-        indeg_ = std::make_unique<Counter[]>(nodeCount);
-        pending_ = std::make_unique<Counter[]>(nodeCount);
-        ring_ = std::make_unique<std::atomic<std::uint32_t>[]>(subtasks_.size());
-        job_ = pool.prebuild(subtasks_.size(), popBody_);
+    auto Exec::acquireScratch() -> std::unique_ptr<ReplayScratch>
+    {
+        {
+            std::scoped_lock lock(scratchMutex_);
+            if(!scratchPool_.empty())
+            {
+                auto scratch = std::move(scratchPool_.back());
+                scratchPool_.pop_back();
+                return scratch;
+            }
+        }
+        // First use (or one more concurrent replay than ever before):
+        // allocate a fresh working set. The pop body must hold a stable
+        // pointer to its scratch, so wire it after construction.
+        auto scratch = std::make_unique<ReplayScratch>();
+        scratch->indeg = std::make_unique<Counter[]>(nodes_.size());
+        scratch->pending = std::make_unique<Counter[]>(nodes_.size());
+        scratch->ring = std::make_unique<std::atomic<std::uint32_t>[]>(subtasks_.size());
+        scratch->popBody = PopBody{this, scratch.get()};
+        scratch->job = pool_->prebuild(subtasks_.size(), scratch->popBody);
+        return scratch;
+    }
+
+    void Exec::releaseScratch(std::unique_ptr<ReplayScratch> scratch)
+    {
+        std::scoped_lock lock(scratchMutex_);
+        scratchPool_.push_back(std::move(scratch));
     }
 
     void Exec::run()
     {
         if(subtasks_.empty())
             return;
-        // Replays of one Exec serialize: the scratch state below is one
-        // replay's working set (invariant 10).
-        std::scoped_lock lock(replayMutex_);
+        // Concurrent replays each work on their own scratch; the frozen
+        // DAG is shared read-only (invariant 10 applies per replay).
+        // Graphs with shared replay infrastructure serialize instead —
+        // see the header comment.
+        std::unique_lock serial(serialMutex_, std::defer_lock);
+        if(serializeReplays_)
+            serial.lock();
+        auto scratch = acquireScratch();
 
         for(auto const& prologue : prologues_)
             prologue();
-        poisoned_.store(false, std::memory_order_relaxed);
+        scratch->poisoned.store(false, std::memory_order_relaxed);
         for(std::size_t i = 0; i < nodes_.size(); ++i)
         {
-            indeg_[i].value.store(nodes_[i].initialIndeg, std::memory_order_relaxed);
-            pending_[i].value.store(nodes_[i].subCount, std::memory_order_relaxed);
+            scratch->indeg[i].value.store(nodes_[i].initialIndeg, std::memory_order_relaxed);
+            scratch->pending[i].value.store(nodes_[i].subCount, std::memory_order_relaxed);
         }
         for(std::size_t t = 0; t < subtasks_.size(); ++t)
-            ring_[t].store(0, std::memory_order_relaxed);
-        popTicket_.store(0, std::memory_order_relaxed);
-        // No participant is in flight yet, so the relaxed resets above
+            scratch->ring[t].store(0, std::memory_order_relaxed);
+        scratch->popTicket.store(0, std::memory_order_relaxed);
+        // No participant is in flight on THIS scratch yet (the pool hands
+        // a scratch to one replay at a time), so the relaxed resets above
         // cannot race; the job publication below releases them.
-        pushCursor_.store(0, std::memory_order_relaxed);
+        scratch->pushCursor.store(0, std::memory_order_relaxed);
         for(auto const node : initialReady_)
-            pushNode(node);
+            pushNode(*scratch, node);
 
-        pool_->runPrebuilt(job_);
-        errors_.rethrowIfSetAndClear();
+        pool_->runPrebuilt(scratch->job);
+        try
+        {
+            scratch->errors.rethrowIfSetAndClear();
+        }
+        catch(...)
+        {
+            releaseScratch(std::move(scratch));
+            throw;
+        }
+        releaseScratch(std::move(scratch));
     }
 
-    void Exec::pushNode(NodeId node)
+    void Exec::pushNode(ReplayScratch& scratch, NodeId node)
     {
         auto const first = firstSub_[node];
         auto const count = nodes_[node].subCount;
         for(std::uint32_t k = 0; k < count; ++k)
         {
-            auto const pos = pushCursor_.fetch_add(1, std::memory_order_relaxed);
-            ring_[pos].store(first + k + 1, std::memory_order_release);
+            auto const pos = scratch.pushCursor.fetch_add(1, std::memory_order_relaxed);
+            scratch.ring[pos].store(first + k + 1, std::memory_order_release);
         }
         // Advertise once per node — the shared Dekker-paired,
         // notify-eliding protocol (threadpool::detail::PublishWord) covers
         // the release-stores above.
-        readyWord_.publish();
+        scratch.readyWord.publish();
     }
 
-    void Exec::runTicket()
+    void Exec::runTicket(ReplayScratch& scratch)
     {
-        auto const ticket = popTicket_.fetch_add(1, std::memory_order_relaxed);
-        auto& slot = ring_[ticket];
+        auto const ticket = scratch.popTicket.fetch_add(1, std::memory_order_relaxed);
+        auto& slot = scratch.ring[ticket];
         std::uint32_t id = 0;
         int spins = spinBudget_;
         for(;;)
         {
-            auto const seq = readyWord_.snapshot();
+            auto const seq = scratch.readyWord.snapshot();
             id = slot.load(std::memory_order_acquire);
             if(id != 0)
                 break;
@@ -150,14 +195,14 @@ namespace alpaka::graph
                 threadpool::detail::cpuRelax();
             else
             {
-                readyWord_.park(seq);
+                scratch.readyWord.park(seq);
                 spins = spinBudget_;
             }
         }
 
         auto const& sub = subtasks_[id - 1];
         auto const& node = nodes_[sub.node];
-        if(!poisoned_.load(std::memory_order_acquire) || node.always)
+        if(!scratch.poisoned.load(std::memory_order_acquire) || node.always)
         {
             try
             {
@@ -168,24 +213,24 @@ namespace alpaka::graph
             }
             catch(...)
             {
-                errors_.captureCurrent();
-                poisoned_.store(true, std::memory_order_release);
+                scratch.errors.captureCurrent();
+                scratch.poisoned.store(true, std::memory_order_release);
             }
         }
         // Bookkeeping runs even on a poisoned replay: every ticket must be
         // served or the pops would starve.
-        if(pending_[sub.node].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            completeNode(sub.node);
+        if(scratch.pending[sub.node].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            completeNode(scratch, sub.node);
     }
 
-    void Exec::completeNode(NodeId node)
+    void Exec::completeNode(ReplayScratch& scratch, NodeId node)
     {
         auto const& done = nodes_[node];
         for(auto s = done.succBegin; s < done.succEnd; ++s)
         {
             auto const succ = succ_[s];
-            if(indeg_[succ].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
-                pushNode(succ);
+            if(scratch.indeg[succ].value.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                pushNode(scratch, succ);
         }
     }
 } // namespace alpaka::graph

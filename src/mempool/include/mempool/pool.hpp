@@ -128,6 +128,22 @@ namespace alpaka::mempool
         std::atomic<bool> active_{false};
     };
 
+    //! One coherent snapshot of the pool's counters, taken under a single
+    //! acquisition of the pool lock. Monitoring paths (the kernel-service
+    //! introspection surface) must use this instead of composing the
+    //! individual getters, whose separate locks can interleave with
+    //! concurrent alloc/free and yield impossible combinations (e.g.
+    //! bytesInUse > bytesHeld).
+    struct PoolStats
+    {
+        std::size_t bytesHeld = 0; //!< held from upstream (in use + cached)
+        std::size_t bytesInUse = 0; //!< handed out (incl. graph reservations)
+        std::size_t highWaterBytes = 0; //!< highest bytesInUse ever observed
+        std::size_t blocksCached = 0; //!< reusable blocks across all bins
+        std::uint64_t cacheHits = 0; //!< allocations served from the bins
+        std::uint64_t cacheMisses = 0; //!< allocations sent upstream
+    };
+
     struct PoolOptions
     {
         //! Smallest size class; requests are rounded up to it.
@@ -202,6 +218,10 @@ namespace alpaka::mempool
 
         //! \name introspection
         //! @{
+        //! Atomic snapshot of every counter below under ONE lock hold —
+        //! the only way to observe a mutually consistent set of values
+        //! while other streams allocate and free concurrently.
+        [[nodiscard]] auto stats() const -> PoolStats;
         //! Bytes held from the upstream allocator (in use + cached).
         [[nodiscard]] auto bytesHeld() const -> std::size_t;
         //! Bytes currently handed out (including graph reservations).

@@ -222,6 +222,20 @@ namespace alpaka::mempool
         return released;
     }
 
+    auto Pool::stats() const -> PoolStats
+    {
+        std::scoped_lock lock(mutex_);
+        PoolStats s;
+        s.bytesHeld = bytesHeld_;
+        s.bytesInUse = bytesInUse_;
+        s.highWaterBytes = highWater_;
+        for(auto const& list : bins_)
+            s.blocksCached += list.size();
+        s.cacheHits = hits_;
+        s.cacheMisses = misses_;
+        return s;
+    }
+
     auto Pool::bytesHeld() const -> std::size_t
     {
         std::scoped_lock lock(mutex_);

@@ -1,0 +1,140 @@
+/// \file serve::Future — completion handle of a submitted request
+/// (DESIGN.md §6.2).
+///
+/// A Future is the client's side of one request: poll it, block on it
+/// (with or without deadline), or attach a continuation. Completion is
+/// one-shot and carries an optional error; the service never delivers a
+/// value through the future — results travel through the request payload
+/// the client owns, so the hot completion path moves no data.
+#pragma once
+
+#include "alpaka/core/error.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace alpaka::serve
+{
+    class Service;
+
+    class Future
+    {
+    public:
+        //! An empty future (valid() == false); submitting yields real ones.
+        Future() = default;
+
+        [[nodiscard]] auto valid() const noexcept -> bool
+        {
+            return state_ != nullptr;
+        }
+
+        //! Non-blocking: has the request completed (successfully or not)?
+        [[nodiscard]] auto poll() const -> bool
+        {
+            auto& state = requireState();
+            std::scoped_lock lock(state.mutex);
+            return state.done;
+        }
+
+        //! Blocks until completion; rethrows the request's error, if any.
+        void wait() const
+        {
+            auto& state = requireState();
+            std::unique_lock lock(state.mutex);
+            state.cv.wait(lock, [&] { return state.done; });
+            if(state.error != nullptr)
+                std::rethrow_exception(state.error);
+        }
+
+        //! Blocks up to \p timeout. \returns true when the request
+        //! completed (rethrowing its error like wait()), false on timeout.
+        auto waitFor(std::chrono::nanoseconds timeout) const -> bool
+        {
+            auto& state = requireState();
+            std::unique_lock lock(state.mutex);
+            if(!state.cv.wait_for(lock, timeout, [&] { return state.done; }))
+                return false;
+            if(state.error != nullptr)
+                std::rethrow_exception(state.error);
+            return true;
+        }
+
+        //! The request's error (nullptr when it succeeded or is still in
+        //! flight). Never throws on a completed future — the inspecting
+        //! twin of wait().
+        [[nodiscard]] auto error() const -> std::exception_ptr
+        {
+            auto& state = requireState();
+            std::scoped_lock lock(state.mutex);
+            return state.error;
+        }
+
+        //! Attaches a continuation: runs with the request's error (or
+        //! nullptr on success) when it completes — on the completing
+        //! worker thread, or inline right now when already complete.
+        //! Continuations must not block the worker for long and must not
+        //! throw.
+        void then(std::function<void(std::exception_ptr)> fn) const
+        {
+            auto& state = requireState();
+            {
+                std::unique_lock lock(state.mutex);
+                if(!state.done)
+                {
+                    state.continuations.push_back(std::move(fn));
+                    return;
+                }
+            }
+            fn(error());
+        }
+
+    private:
+        friend class Service;
+
+        struct State
+        {
+            std::mutex mutex;
+            std::condition_variable cv;
+            bool done = false;
+            std::exception_ptr error;
+            std::vector<std::function<void(std::exception_ptr)>> continuations;
+        };
+
+        //! Using an empty future is misuse, reported typed — never a null
+        //! dereference (\throws UsageError).
+        [[nodiscard]] auto requireState() const -> State&
+        {
+            if(state_ == nullptr)
+                throw UsageError("serve::Future: operation on an empty (default-constructed) future");
+            return *state_;
+        }
+
+        //! One-shot completion, called by the service's worker. Runs the
+        //! continuations outside the lock (they may touch the future).
+        static void complete(std::shared_ptr<State> const& state, std::exception_ptr error)
+        {
+            std::vector<std::function<void(std::exception_ptr)>> continuations;
+            {
+                std::scoped_lock lock(state->mutex);
+                state->done = true;
+                state->error = error;
+                continuations = std::exchange(state->continuations, {});
+            }
+            state->cv.notify_all();
+            for(auto const& fn : continuations)
+                fn(error);
+        }
+
+        explicit Future(std::shared_ptr<State> state) noexcept : state_(std::move(state))
+        {
+        }
+
+        std::shared_ptr<State> state_;
+    };
+} // namespace alpaka::serve

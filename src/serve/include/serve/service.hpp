@@ -1,0 +1,287 @@
+/// \file serve::Service — the kernel-as-a-service runtime (DESIGN.md §6).
+///
+/// Everything below this layer prices ONE client's work: the launch
+/// engine makes a kernel launch nearly free (§3), graphs replay a frozen
+/// pipeline for one pool job (§4), the memory pool recycles scratch
+/// without serializing a stream (§5). A service has MANY clients, and
+/// composing the layers under sustained concurrent load is its own
+/// problem: admission must be bounded (a million users cannot all be "in
+/// the queue"), dispatch must be fair across tenants (one chatty client
+/// must not starve the rest), and per-request submission cost must be
+/// amortized when traffic bursts (batching). serve::Service is that
+/// composition:
+///
+///  * A fleet of worker streams spread over devices (DevCpu and any
+///    number of DevCudaSim entries). Each worker owns its streams and
+///    dispatches from its own thread, so the fleet's pool submissions
+///    land in distinct ThreadPool job-ring slots (per-thread slot
+///    affinity, §3.7) and overlap exactly like the paper's streams.
+///  * Request templates, registered once and lowered ahead of traffic:
+///    single-kernel templates freeze a threadpool PrebuiltJob over the
+///    batch index space; graph templates pre-instantiate one graph::Exec
+///    per worker (the builder sees each worker's device). Dispatch cost
+///    is then independent of template complexity — the §4 replay story
+///    carried to the serving layer.
+///  * A bounded MPMC admission queue with per-tenant accounting:
+///    submit() fails fast with AdmissionError when the global or
+///    per-tenant bound is hit, submitFor() blocks up to a deadline for
+///    space (backpressure, invariant 13).
+///  * Per-tenant fair scheduling: workers pick the next non-empty tenant
+///    round-robin; one pick drains at most one template's maxBatch from
+///    that tenant before the cursor moves on (invariant 14).
+///  * Adaptive batching: a dispatch coalesces the run of same-template
+///    requests at the head of the picked tenant's queue, capped by the
+///    template's maxBatch. Batch size therefore tracks instantaneous
+///    queue depth — 1 when idle (no artificial delay is ever added to a
+///    lone request), growing toward maxBatch exactly when submission
+///    cost matters, which is what amortizes it (§6.3).
+///  * Request-scoped memory: scratchBytes per request come from the
+///    worker device's mempool::Pool via allocAsync/freeAsync — steady
+///    state serves every request from recycled blocks (§5).
+///  * Completion via serve::Future (poll/wait/waitFor/then); a failing
+///    request fails only its own future (invariant 15).
+///  * Introspection: Service::stats() — queue depths per tenant,
+///    in-flight count, throughput, a p50/p99 latency histogram snapshot
+///    and the coherent per-device pool stats.
+#pragma once
+
+#include "serve/future.hpp"
+#include "serve/types.hpp"
+
+#include "mempool/stream_ops.hpp"
+
+#include "alpaka/stream.hpp"
+
+#include "graph/exec.hpp"
+
+#include "threadpool/thread_pool.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace alpaka::serve
+{
+    struct ServiceOptions
+    {
+        //! CPU worker streams (>= 1 worker total across both kinds).
+        std::size_t cpuWorkers = 2;
+        //! One simulated-GPU worker stream per entry; repeat a device for
+        //! several workers on it.
+        std::vector<dev::DevCudaSim> simDevs;
+        //! Global admission bound: queued (admitted, undispatched)
+        //! requests never exceed this (invariant 13).
+        std::size_t queueCapacity = 1024;
+        //! Per-tenant admission bound; 0 means queueCapacity.
+        std::size_t tenantCapacity = 0;
+        //! Bound on distinct tenants (their accounting records persist
+        //! for the service lifetime); a submit naming a tenant beyond the
+        //! bound is rejected with AdmissionError. 0 = unbounded.
+        std::size_t maxTenants = 0;
+        //! Execution substrate; nullptr = ThreadPool::global().
+        threadpool::ThreadPool* pool = nullptr;
+    };
+
+    class Service
+    {
+    public:
+        using Options = ServiceOptions;
+
+        explicit Service(Options options = {});
+        //! Stops admission, finishes every already-admitted request (all
+        //! futures complete), then joins the fleet.
+        ~Service();
+
+        Service(Service const&) = delete;
+        auto operator=(Service const&) -> Service& = delete;
+
+        //! Registers \p desc (see TemplateDesc for the two flavours) and
+        //! lowers it for every worker: kernel templates are frozen into
+        //! per-worker PrebuiltJobs, graph builders run once per worker and
+        //! the Graphs are instantiated into per-worker graph::Exec
+        //! objects. Callable any time, including while serving. \throws
+        //! UsageError for an ill-formed descriptor (neither or both
+        //! flavours set, maxBatch == 0).
+        auto registerTemplate(TemplateDesc desc) -> TemplateId;
+
+        //! Admits one request of \p tmpl for \p tenant (created on first
+        //! use). Never blocks: \throws AdmissionError when the global or
+        //! tenant queue bound is reached or the service is shutting down.
+        //! \throws UsageError for an unknown template id.
+        auto submit(TemplateId tmpl, std::string_view tenant, void* payload) -> Future;
+
+        //! Blocking submit: waits up to \p timeout for queue space, then
+        //! admits. \throws AdmissionError when the deadline expires first.
+        auto submitFor(TemplateId tmpl, std::string_view tenant, void* payload, std::chrono::nanoseconds timeout)
+            -> Future;
+
+        //! Blocks until no request is queued or in flight.
+        void drain();
+
+        //! Coherent introspection snapshot (per-device pool stats come
+        //! from mempool::Pool::stats(), the single-lock variant).
+        [[nodiscard]] auto stats() const -> ServiceStats;
+
+        [[nodiscard]] auto workerCount() const noexcept -> std::size_t
+        {
+            return workers_.size();
+        }
+
+    private:
+        struct TemplateState;
+
+        //! Log2-bucketed latency histogram, lock-free on the record path.
+        class LatencyHistogram
+        {
+        public:
+            void record(std::uint64_t us) noexcept;
+            [[nodiscard]] auto snapshot() const -> LatencySnapshot;
+
+        private:
+            static constexpr std::size_t bucketCount = 48;
+            std::array<std::atomic<std::uint64_t>, bucketCount> counts_{};
+            std::atomic<std::uint64_t> maxUs_{0};
+        };
+
+        struct TenantState;
+
+        //! One admitted, not-yet-dispatched request.
+        struct Pending
+        {
+            TemplateState* tmpl = nullptr;
+            TenantState* tenant = nullptr;
+            void* payload = nullptr;
+            std::shared_ptr<Future::State> future;
+            std::chrono::steady_clock::time_point admitted;
+        };
+
+        struct TenantState
+        {
+            std::string name;
+            std::deque<Pending> queue;
+            std::uint64_t admitted = 0;
+            std::uint64_t completed = 0;
+        };
+
+        struct Worker
+        {
+            std::size_t index = 0;
+            dev::DevCpu cpuDev{};
+            std::optional<dev::DevCudaSim> simDev;
+            //! Replay driver + CPU scratch timeline; the worker thread IS
+            //! this stream's execution (synchronous stream), so template
+            //! errors surface in the worker and never poison a queue.
+            std::optional<stream::StreamCpuSync> driver;
+            //! Scratch timeline of simulated-GPU workers.
+            std::optional<stream::StreamCudaSimSync> simStream;
+            mempool::Pool* pool = nullptr;
+            //! Reused batch-item buffer of this worker's dispatches — the
+            //! dispatch hot path performs no allocation of its own.
+            std::vector<RequestItem> items;
+            std::thread thread;
+        };
+
+        struct PerWorker;
+
+        //! Stable per-(template, worker) callable of the kernel flavour's
+        //! pre-built job: runs the body for its batch index, captures the
+        //! request's error without ever throwing into the pool job.
+        struct KernelRun
+        {
+            TemplateState const* tmpl = nullptr;
+            PerWorker* per = nullptr;
+            void operator()(std::size_t index) const;
+        };
+
+        //! Per-(template, worker) lowered state (stable address).
+        struct PerWorker
+        {
+            //! The batch bound to the dispatch currently executing on
+            //! this worker; written and cleared by the worker thread
+            //! around the pool-job/replay, which orders the accesses of
+            //! pool workers (invariant 15).
+            BatchView const* cell = nullptr;
+            KernelRun run{};
+            std::vector<std::exception_ptr> itemErrors;
+            threadpool::ThreadPool::PrebuiltJob job{};
+            std::unique_ptr<graph::Exec> exec;
+        };
+
+        struct TemplateState
+        {
+            TemplateId id = 0;
+            TemplateDesc desc;
+            bool isGraph = false;
+            std::vector<std::unique_ptr<PerWorker>> perWorker;
+        };
+
+        //! One dispatch: a same-template run popped from one tenant.
+        struct Batch
+        {
+            TemplateState* tmpl = nullptr;
+            std::vector<Pending> requests;
+        };
+
+        auto admit(
+            TemplateId tmpl,
+            std::string_view tenant,
+            void* payload,
+            std::chrono::steady_clock::time_point const* deadline) -> Future;
+        [[nodiscard]] auto resolveTemplate(TemplateId id) -> TemplateState*;
+        [[nodiscard]] auto tenantLocked(std::string_view name) -> TenantState*;
+        [[nodiscard]] auto popBatchLocked() -> Batch;
+        void workerLoop(Worker& worker);
+        //! Runs \p batch on \p worker and completes its futures.
+        //! \returns the number of requests that failed.
+        auto execute(Worker& worker, Batch& batch) -> std::size_t;
+        [[nodiscard]] auto allocScratch(Worker& worker, std::size_t bytes) -> void*;
+        void freeScratch(Worker& worker, void* ptr);
+
+        Options options_;
+        threadpool::ThreadPool* pool_;
+        std::chrono::steady_clock::time_point born_ = std::chrono::steady_clock::now();
+
+        //! Registry: append-only under registryMutex_; TemplateState
+        //! addresses are stable, so dispatch never needs this lock.
+        mutable std::mutex registryMutex_;
+        std::vector<std::unique_ptr<TemplateState>> templates_;
+
+        //! Admission/scheduling state under one mutex (short critical
+        //! sections: queue push/pop and counter updates only — execution
+        //! never holds it).
+        mutable std::mutex mutex_;
+        std::condition_variable workCv_; //!< workers: work available / stop
+        std::condition_variable spaceCv_; //!< blocking submitters: space freed
+        std::condition_variable idleCv_; //!< drain(): everything completed
+        std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
+        std::vector<TenantState*> tenantOrder_; //!< creation order (stats)
+        //! Tenants with a non-empty queue, in round-robin rotation: a
+        //! tenant enters at the back on its 0→1 queue transition, the
+        //! scheduler pops the front and re-appends it while non-empty.
+        //! Dispatch therefore never scans idle tenants — O(1) per pick
+        //! however many tenants exist.
+        std::deque<TenantState*> active_;
+        std::size_t queued_ = 0;
+        std::size_t inFlight_ = 0;
+        std::uint64_t admitted_ = 0;
+        std::uint64_t rejected_ = 0;
+        std::uint64_t completed_ = 0;
+        std::uint64_t failed_ = 0;
+        std::uint64_t batches_ = 0;
+        bool stop_ = false;
+
+        LatencyHistogram latency_;
+        std::vector<std::unique_ptr<Worker>> workers_;
+    };
+} // namespace alpaka::serve

@@ -1,0 +1,220 @@
+/// \file Request/template/introspection types of the kernel-service
+/// runtime (DESIGN.md §6).
+///
+/// The ROADMAP north star — serving heavy traffic from many concurrent
+/// clients — needs a vocabulary the layers below deliberately do not
+/// have: a *request* (one unit of client work against a registered
+/// template), a *tenant* (the fairness domain requests are accounted
+/// to), a *template* (work whose structure is registered once and
+/// lowered ahead of time), and typed *admission* failures (the
+/// backpressure surface of the bounded queue). This header defines that
+/// vocabulary; serve/service.hpp composes it with the launch engine,
+/// task graphs and the memory pool.
+#pragma once
+
+#include "mempool/pool.hpp"
+
+#include "alpaka/core/error.hpp"
+#include "alpaka/dev.hpp"
+
+#include "graph/graph.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alpaka::serve
+{
+    //! Admission rejected by the service's bounded queue: the global or
+    //! per-tenant capacity is exhausted (backpressure, invariant 13) or a
+    //! blocking submit ran out of deadline. A retryable condition — typed
+    //! apart from UsageError, which marks non-retryable API misuse.
+    class AdmissionError : public std::runtime_error
+    {
+    public:
+        using std::runtime_error::runtime_error;
+    };
+
+    //! Handle of a registered request template.
+    using TemplateId = std::uint32_t;
+
+    //! One request of a dispatched batch, as the template's execution
+    //! body sees it: the client's payload plus the request-scoped scratch
+    //! block the service allocated from the worker device's memory pool
+    //! (nullptr when the template declares scratchBytes == 0).
+    struct RequestItem
+    {
+        void* payload = nullptr;
+        void* scratch = nullptr;
+    };
+
+    //! The coalesced batch a template execution runs over: 1 request when
+    //! the service is idle, up to TemplateDesc::maxBatch under load.
+    class BatchView
+    {
+    public:
+        BatchView() = default;
+        BatchView(RequestItem const* items, std::size_t count, std::size_t scratchBytes) noexcept
+            : items_(items)
+            , count_(count)
+            , scratchBytes_(scratchBytes)
+        {
+        }
+
+        [[nodiscard]] auto size() const noexcept -> std::size_t
+        {
+            return count_;
+        }
+        [[nodiscard]] auto operator[](std::size_t i) const noexcept -> RequestItem const&
+        {
+            return items_[i];
+        }
+        [[nodiscard]] auto scratchBytes() const noexcept -> std::size_t
+        {
+            return scratchBytes_;
+        }
+
+    private:
+        RequestItem const* items_ = nullptr;
+        std::size_t count_ = 0;
+        std::size_t scratchBytes_ = 0;
+    };
+
+    class Service;
+
+    //! Per-worker context a graph template's builder receives, once per
+    //! worker stream at registration. The builder returns the Graph that
+    //! is instantiated into that worker's graph::Exec; its node bodies
+    //! reach the batch of the current replay through batch() — a stable
+    //! cell the worker binds before every replay and clears after, both
+    //! ordered with the replay on the worker's stream (invariant 15).
+    class GraphContext
+    {
+    public:
+        [[nodiscard]] auto workerIndex() const noexcept -> std::size_t
+        {
+            return workerIndex_;
+        }
+        //! True on a simulated-GPU worker (simDev() is valid), false on a
+        //! CPU worker (cpuDev() is valid).
+        [[nodiscard]] auto onSim() const noexcept -> bool
+        {
+            return sim_;
+        }
+        [[nodiscard]] auto cpuDev() const -> dev::DevCpu
+        {
+            if(sim_)
+                throw UsageError("serve::GraphContext::cpuDev() on a simulated-GPU worker");
+            return cpuDev_;
+        }
+        [[nodiscard]] auto simDev() const -> dev::DevCudaSim
+        {
+            if(!sim_)
+                throw UsageError("serve::GraphContext::simDev() on a CPU worker");
+            return *simDev_;
+        }
+        //! Stable double-indirection to the replay's batch: dereference
+        //! once inside a node body to get the BatchView bound to the
+        //! replay currently executing on this worker.
+        [[nodiscard]] auto batch() const noexcept -> BatchView const* const*
+        {
+            return cell_;
+        }
+
+    private:
+        friend class Service;
+        GraphContext(
+            std::size_t workerIndex,
+            dev::DevCpu cpuDev,
+            std::optional<dev::DevCudaSim> simDev,
+            BatchView const* const* cell) noexcept
+            : workerIndex_(workerIndex)
+            , sim_(simDev.has_value())
+            , cpuDev_(cpuDev)
+            , simDev_(simDev)
+            , cell_(cell)
+        {
+        }
+
+        std::size_t workerIndex_;
+        bool sim_;
+        dev::DevCpu cpuDev_;
+        std::optional<dev::DevCudaSim> simDev_;
+        BatchView const* const* cell_;
+    };
+
+    //! A request template, registered once and lowered ahead of any
+    //! traffic. Exactly one of {body, graph} must be set:
+    //!
+    //!  * body — single-kernel flavour: runs once per request of a batch,
+    //!    parallelized over the batch through ONE pre-built ThreadPool
+    //!    job per dispatch (threadpool::ThreadPool::PrebuiltJob, frozen
+    //!    over [0, maxBatch) at registration). An exception thrown by
+    //!    body fails only that request's future (invariant 15).
+    //!  * graph — multi-node flavour: the builder is invoked once per
+    //!    worker stream at registration and the returned Graph is
+    //!    pre-instantiated into a graph::Exec; each dispatch is one
+    //!    replay, whatever the batch size. An exception poisons the
+    //!    replay (DESIGN.md §4.3) and fails every future of the batch.
+    struct TemplateDesc
+    {
+        std::string name;
+        //! Request-scoped scratch allocated per request from the worker
+        //! device's mempool::Pool (allocAsync at dispatch, freeAsync after
+        //! completion); 0 = none.
+        std::size_t scratchBytes = 0;
+        //! Largest batch one dispatch may coalesce; 1 disables batching
+        //! for this template.
+        std::size_t maxBatch = 1;
+        std::function<void(RequestItem const&)> body;
+        std::function<graph::Graph(GraphContext&)> graph;
+    };
+
+    //! \name introspection snapshot types (Service::stats())
+    //! @{
+    struct TenantStats
+    {
+        std::string tenant;
+        std::size_t queued = 0; //!< admitted, not yet dispatched
+        std::uint64_t admitted = 0;
+        std::uint64_t completed = 0;
+    };
+
+    //! Latency quantiles from the service's log2-bucketed histogram of
+    //! request latencies (admission to future completion). Quantiles are
+    //! upper bucket bounds, i.e. conservative to within a factor of 2.
+    struct LatencySnapshot
+    {
+        std::uint64_t count = 0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+        double maxUs = 0.0;
+    };
+
+    struct DevicePoolStats
+    {
+        std::string device;
+        mempool::PoolStats pool;
+    };
+
+    struct ServiceStats
+    {
+        std::size_t queued = 0; //!< admitted, not yet dispatched
+        std::size_t inFlight = 0; //!< dispatched, future not yet completed
+        std::uint64_t admitted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0; //!< completed with an error
+        std::uint64_t batches = 0; //!< dispatches (>= 1 request each)
+        double requestsPerSecond = 0.0; //!< completed / lifetime
+        LatencySnapshot latency;
+        std::vector<TenantStats> tenants;
+        //! One entry per distinct device of the worker fleet, via the
+        //! coherent mempool::Pool::stats() snapshot.
+        std::vector<DevicePoolStats> devicePools;
+    };
+    //! @}
+} // namespace alpaka::serve

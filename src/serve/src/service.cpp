@@ -1,0 +1,452 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace alpaka::serve
+{
+    // ------------------------------------------------------------------
+    // latency histogram
+
+    void Service::LatencyHistogram::record(std::uint64_t us) noexcept
+    {
+        auto const bucket = std::min<std::size_t>(std::bit_width(us), bucketCount - 1);
+        counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+        auto prev = maxUs_.load(std::memory_order_relaxed);
+        while(us > prev && !maxUs_.compare_exchange_weak(prev, us, std::memory_order_relaxed))
+        {
+        }
+    }
+
+    auto Service::LatencyHistogram::snapshot() const -> LatencySnapshot
+    {
+        std::array<std::uint64_t, bucketCount> counts{};
+        std::uint64_t total = 0;
+        for(std::size_t b = 0; b < bucketCount; ++b)
+        {
+            counts[b] = counts_[b].load(std::memory_order_relaxed);
+            total += counts[b];
+        }
+        LatencySnapshot snap;
+        snap.count = total;
+        snap.maxUs = static_cast<double>(maxUs_.load(std::memory_order_relaxed));
+        if(total == 0)
+            return snap;
+        // A bucket holds latencies in [2^(b-1), 2^b); report the upper
+        // bound, conservative to within 2x.
+        auto const quantile = [&](double q) -> double
+        {
+            auto const rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+            std::uint64_t seen = 0;
+            for(std::size_t b = 0; b < bucketCount; ++b)
+            {
+                seen += counts[b];
+                if(seen >= rank)
+                    return static_cast<double>(std::uint64_t{1} << b);
+            }
+            return snap.maxUs;
+        };
+        snap.p50Us = quantile(0.50);
+        snap.p99Us = quantile(0.99);
+        return snap;
+    }
+
+    // ------------------------------------------------------------------
+    // construction / shutdown
+
+    Service::Service(Options options) : options_(std::move(options))
+    {
+        pool_ = options_.pool != nullptr ? options_.pool : &threadpool::ThreadPool::global();
+        if(options_.queueCapacity == 0)
+            throw UsageError("serve::Service: queueCapacity must be >= 1");
+        auto const workerCount = options_.cpuWorkers + options_.simDevs.size();
+        if(workerCount == 0)
+            throw UsageError("serve::Service: the fleet needs at least one worker stream");
+
+        workers_.reserve(workerCount);
+        for(std::size_t w = 0; w < options_.cpuWorkers; ++w)
+        {
+            auto worker = std::make_unique<Worker>();
+            worker->index = workers_.size();
+            worker->driver.emplace(worker->cpuDev);
+            worker->pool = &mempool::Pool::forDev(worker->cpuDev);
+            workers_.push_back(std::move(worker));
+        }
+        for(auto const& dev : options_.simDevs)
+        {
+            auto worker = std::make_unique<Worker>();
+            worker->index = workers_.size();
+            worker->simDev = dev;
+            worker->driver.emplace(worker->cpuDev);
+            worker->simStream.emplace(dev);
+            worker->pool = &mempool::Pool::forDev(dev);
+            workers_.push_back(std::move(worker));
+        }
+        // Start the threads only after the fleet vector is complete (a
+        // worker never touches another worker, but keeps things simple).
+        for(auto& worker : workers_)
+            worker->thread = std::thread([this, w = worker.get()] { workerLoop(*w); });
+    }
+
+    Service::~Service()
+    {
+        {
+            std::scoped_lock lock(mutex_);
+            stop_ = true;
+        }
+        workCv_.notify_all();
+        spaceCv_.notify_all();
+        for(auto& worker : workers_)
+            if(worker->thread.joinable())
+                worker->thread.join();
+    }
+
+    // ------------------------------------------------------------------
+    // registration
+
+    auto Service::registerTemplate(TemplateDesc desc) -> TemplateId
+    {
+        auto const hasBody = desc.body != nullptr;
+        auto const hasGraph = desc.graph != nullptr;
+        if(hasBody == hasGraph)
+            throw UsageError("serve::Service::registerTemplate: exactly one of {body, graph} must be set");
+        if(desc.maxBatch == 0)
+            throw UsageError("serve::Service::registerTemplate: maxBatch must be >= 1");
+
+        auto state = std::make_unique<TemplateState>();
+        state->desc = std::move(desc);
+        state->isGraph = hasGraph;
+        state->perWorker.reserve(workers_.size());
+        for(auto const& worker : workers_)
+        {
+            auto per = std::make_unique<PerWorker>();
+            if(hasGraph)
+            {
+                GraphContext ctx(worker->index, worker->cpuDev, worker->simDev, &per->cell);
+                auto const graph = state->desc.graph(ctx);
+                per->exec = std::make_unique<graph::Exec>(graph, *pool_);
+            }
+            else
+            {
+                per->run = KernelRun{state.get(), per.get()};
+                per->itemErrors.resize(state->desc.maxBatch);
+                per->job = pool_->prebuild(state->desc.maxBatch, per->run);
+            }
+            state->perWorker.push_back(std::move(per));
+        }
+
+        std::scoped_lock lock(registryMutex_);
+        state->id = static_cast<TemplateId>(templates_.size());
+        auto const id = state->id;
+        templates_.push_back(std::move(state));
+        return id;
+    }
+
+    auto Service::resolveTemplate(TemplateId id) -> TemplateState*
+    {
+        std::scoped_lock lock(registryMutex_);
+        if(id >= templates_.size())
+            throw UsageError("serve::Service: unknown template id " + std::to_string(id));
+        return templates_[id].get();
+    }
+
+    // ------------------------------------------------------------------
+    // admission
+
+    auto Service::tenantLocked(std::string_view name) -> TenantState*
+    {
+        auto const it = tenants_.find(std::string(name));
+        if(it != tenants_.end())
+            return it->second.get();
+        // Tenant records persist for accounting; the bound keeps a
+        // churned tenant namespace from growing the service without
+        // limit (invariant 13 extended to the tenant table).
+        if(options_.maxTenants != 0 && tenants_.size() >= options_.maxTenants)
+        {
+            ++rejected_;
+            throw AdmissionError(
+                "serve::Service: tenant bound reached (" + std::to_string(tenants_.size()) + "/"
+                + std::to_string(options_.maxTenants) + "), tenant '" + std::string(name) + "' not admitted");
+        }
+        auto state = std::make_unique<TenantState>();
+        state->name = std::string(name);
+        auto* const raw = state.get();
+        tenants_.emplace(raw->name, std::move(state));
+        tenantOrder_.push_back(raw);
+        return raw;
+    }
+
+    auto Service::admit(
+        TemplateId tmpl,
+        std::string_view tenant,
+        void* payload,
+        std::chrono::steady_clock::time_point const* deadline) -> Future
+    {
+        auto* const state = resolveTemplate(tmpl);
+        auto future = std::make_shared<Future::State>();
+        {
+            std::unique_lock lock(mutex_);
+            auto* const t = tenantLocked(tenant);
+            auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
+            auto const admissible = [&] { return queued_ < options_.queueCapacity && t->queue.size() < tenantCap; };
+            if(stop_ || !admissible())
+            {
+                if(deadline == nullptr || stop_)
+                {
+                    ++rejected_;
+                    throw AdmissionError(
+                        stop_ ? "serve::Service: submit while shutting down"
+                              : "serve::Service: admission queue full (queued " + std::to_string(queued_) + "/"
+                                  + std::to_string(options_.queueCapacity) + ", tenant '" + t->name + "' "
+                                  + std::to_string(t->queue.size()) + "/" + std::to_string(tenantCap) + ")");
+                }
+                if(!spaceCv_.wait_until(lock, *deadline, [&] { return stop_ || admissible(); }) || stop_)
+                {
+                    ++rejected_;
+                    throw AdmissionError(
+                        stop_ ? "serve::Service: submit while shutting down"
+                              : "serve::Service: admission deadline expired before queue space freed");
+                }
+            }
+            if(t->queue.empty())
+                active_.push_back(t); // 0 -> 1: tenant (re)enters the rotation
+            t->queue.push_back(Pending{state, t, payload, future, std::chrono::steady_clock::now()});
+            ++t->admitted;
+            ++admitted_;
+            ++queued_;
+        }
+        workCv_.notify_one();
+        return Future(std::move(future));
+    }
+
+    auto Service::submit(TemplateId tmpl, std::string_view tenant, void* payload) -> Future
+    {
+        return admit(tmpl, tenant, payload, nullptr);
+    }
+
+    auto Service::submitFor(
+        TemplateId tmpl,
+        std::string_view tenant,
+        void* payload,
+        std::chrono::nanoseconds timeout) -> Future
+    {
+        auto const deadline = std::chrono::steady_clock::now() + timeout;
+        return admit(tmpl, tenant, payload, &deadline);
+    }
+
+    // ------------------------------------------------------------------
+    // scheduling
+
+    auto Service::popBatchLocked() -> Batch
+    {
+        if(active_.empty())
+            return {};
+        // Fairness (invariant 14): the picked tenant goes to the back of
+        // the rotation whatever we take from it, and one pick never
+        // exceeds the head template's maxBatch.
+        auto* const t = active_.front();
+        active_.pop_front();
+        Batch batch;
+        batch.tmpl = t->queue.front().tmpl;
+        auto const limit = batch.tmpl->desc.maxBatch;
+        while(batch.requests.size() < limit && !t->queue.empty() && t->queue.front().tmpl == batch.tmpl)
+        {
+            batch.requests.push_back(std::move(t->queue.front()));
+            t->queue.pop_front();
+        }
+        if(!t->queue.empty())
+            active_.push_back(t);
+        return batch;
+    }
+
+    void Service::workerLoop(Worker& worker)
+    {
+        for(;;)
+        {
+            Batch batch;
+            {
+                std::unique_lock lock(mutex_);
+                workCv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+                if(queued_ == 0)
+                    return; // stop requested and nothing left to serve
+                batch = popBatchLocked();
+                if(batch.tmpl == nullptr)
+                    continue;
+                queued_ -= batch.requests.size();
+                inFlight_ += batch.requests.size();
+                ++batches_;
+            }
+            spaceCv_.notify_all();
+
+            auto const failures = execute(worker, batch);
+
+            bool idle = false;
+            {
+                std::scoped_lock lock(mutex_);
+                inFlight_ -= batch.requests.size();
+                completed_ += batch.requests.size();
+                failed_ += failures;
+                for(auto const& request : batch.requests)
+                    ++request.tenant->completed;
+                idle = queued_ == 0 && inFlight_ == 0;
+            }
+            if(idle)
+                idleCv_.notify_all();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+
+    void Service::KernelRun::operator()(std::size_t index) const
+    {
+        auto const* const view = per->cell;
+        if(view == nullptr || index >= view->size())
+            return; // the frozen job spans maxBatch; this dispatch is smaller
+        try
+        {
+            tmpl->desc.body((*view)[index]);
+        }
+        catch(...)
+        {
+            // Confinement (invariant 15): the error belongs to THIS
+            // request; it must neither fail the pool job nor the batch.
+            per->itemErrors[index] = std::current_exception();
+        }
+    }
+
+    auto Service::allocScratch(Worker& worker, std::size_t bytes) -> void*
+    {
+        if(worker.simDev.has_value())
+            return worker.pool->allocAsync(*worker.simStream, bytes);
+        return worker.pool->allocAsync(*worker.driver, bytes);
+    }
+
+    void Service::freeScratch(Worker& worker, void* ptr)
+    {
+        if(worker.simDev.has_value())
+            worker.pool->freeAsync(*worker.simStream, ptr);
+        else
+            worker.pool->freeAsync(*worker.driver, ptr);
+    }
+
+    auto Service::execute(Worker& worker, Batch& batch) -> std::size_t
+    {
+        auto& tmpl = *batch.tmpl;
+        auto const count = batch.requests.size();
+        auto const scratchBytes = tmpl.desc.scratchBytes;
+        auto& items = worker.items;
+        items.assign(count, RequestItem{});
+        std::exception_ptr batchError; // setup or replay failure: fails every request of the batch
+        std::size_t allocated = 0;
+        auto& per = *tmpl.perWorker[worker.index];
+
+        try
+        {
+            for(std::size_t i = 0; i < count; ++i)
+            {
+                items[i].payload = batch.requests[i].payload;
+                if(scratchBytes > 0)
+                {
+                    items[i].scratch = allocScratch(worker, scratchBytes);
+                    ++allocated;
+                }
+            }
+            BatchView const view(items.data(), count, scratchBytes);
+            // Bind -> run -> unbind, all on this worker thread: the pool
+            // job publication (or the inline replay) orders the bind
+            // before every body, the drain orders the unbind after
+            // (invariant 15).
+            per.cell = &view;
+            if(tmpl.isGraph)
+            {
+                try
+                {
+                    per.exec->replay(*worker.driver);
+                }
+                catch(...)
+                {
+                    batchError = std::current_exception();
+                }
+            }
+            else
+            {
+                pool_->runPrebuilt(per.job);
+            }
+        }
+        catch(...)
+        {
+            batchError = std::current_exception();
+        }
+        per.cell = nullptr;
+
+        // Request-scoped blocks go back stream-ordered; on the fleet's
+        // synchronous streams the free point has passed, so the blocks are
+        // instantly reusable by any worker.
+        for(std::size_t i = 0; i < allocated; ++i)
+            freeScratch(worker, items[i].scratch);
+
+        std::size_t failures = 0;
+        auto const now = std::chrono::steady_clock::now();
+        for(std::size_t i = 0; i < count; ++i)
+        {
+            // Kernel-flavour per-item errors are consumed (and the slot
+            // reset for the next dispatch) right here — no copy.
+            auto const itemError
+                = tmpl.isGraph ? std::exception_ptr{} : std::exchange(per.itemErrors[i], nullptr);
+            auto const error = batchError != nullptr ? batchError : itemError;
+            if(error != nullptr)
+                ++failures;
+            latency_.record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(now - batch.requests[i].admitted).count()));
+            Future::complete(batch.requests[i].future, error);
+        }
+        return failures;
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+
+    void Service::drain()
+    {
+        std::unique_lock lock(mutex_);
+        idleCv_.wait(lock, [&] { return queued_ == 0 && inFlight_ == 0; });
+    }
+
+    auto Service::stats() const -> ServiceStats
+    {
+        ServiceStats s;
+        {
+            std::scoped_lock lock(mutex_);
+            s.queued = queued_;
+            s.inFlight = inFlight_;
+            s.admitted = admitted_;
+            s.rejected = rejected_;
+            s.completed = completed_;
+            s.failed = failed_;
+            s.batches = batches_;
+            s.tenants.reserve(tenantOrder_.size());
+            for(auto const* t : tenantOrder_)
+                s.tenants.push_back(TenantStats{t->name, t->queue.size(), t->admitted, t->completed});
+        }
+        auto const elapsed
+            = std::chrono::duration<double>(std::chrono::steady_clock::now() - born_).count();
+        s.requestsPerSecond = elapsed > 0.0 ? static_cast<double>(s.completed) / elapsed : 0.0;
+        s.latency = latency_.snapshot();
+
+        // One entry per distinct pool of the fleet, via the coherent
+        // single-lock snapshot (the satellite of this subsystem).
+        std::vector<mempool::Pool*> seen;
+        for(auto const& worker : workers_)
+        {
+            if(std::find(seen.begin(), seen.end(), worker->pool) != seen.end())
+                continue;
+            seen.push_back(worker->pool);
+            auto const name
+                = worker->simDev.has_value() ? worker->simDev->getName() : worker->cpuDev.getName();
+            s.devicePools.push_back(DevicePoolStats{name, worker->pool->stats()});
+        }
+        return s;
+    }
+} // namespace alpaka::serve

@@ -1,0 +1,263 @@
+/// \file Concurrent replays of ONE graph::Exec (the PR 5 satellite:
+/// per-replay scratch instead of the replay mutex, DESIGN.md §4.3).
+///
+/// The kernel-service runtime keeps several in-flight replays of one
+/// request template; these tests drive that contract directly at the
+/// graph layer: K host threads replay the SAME Exec M times each —
+/// through sync streams (inline drivers) and async streams (queue-worker
+/// drivers) — and the DAG bookkeeping, error confinement and always-run
+/// semantics must hold per replay. Node bodies use atomics: whether
+/// bodies tolerate overlap is the graph author's contract, and here they
+/// do, so every counter must come out exact. Part of the TSan/ASan CI
+/// lanes.
+#include <graph/exec.hpp>
+#include <graph/graph.hpp>
+
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+using Size = std::size_t;
+
+namespace
+{
+    //! Grid-chunked kernel: one atomic bump per block. Chunked kernel
+    //! nodes split into ring subtasks, so concurrent replays exercise the
+    //! per-replay ready rings, not just single-subtask nodes.
+    struct CountKernel
+    {
+        template<typename TAcc>
+        ALPAKA_FN_ACC void operator()(TAcc const& acc, std::atomic<std::uint64_t>* counter) const
+        {
+            (void) idx::getIdx<Grid, Blocks>(acc)[0];
+            counter->fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+} // namespace
+
+TEST(GraphConcurrentReplay, KThreadsReplayOneExecThroughSyncStreams)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size blocks = 64;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, Size{1}, Size{1});
+
+    std::atomic<std::uint64_t> source{0};
+    std::atomic<std::uint64_t> left{0};
+    std::atomic<std::uint64_t> right{0};
+    std::atomic<std::uint64_t> sink{0};
+
+    // Diamond: chunked kernel -> {left, right} hosts -> join host. The
+    // join also checks the intra-replay dependence: by the time it runs,
+    // at least as many source blocks must have run as replays reached it.
+    graph::Graph g;
+    auto const n0 = g.addKernel({}, dev, exec::create<Acc>(wd, CountKernel{}, &source));
+    auto const n1 = g.addHost({n0}, [&] { left.fetch_add(1, std::memory_order_relaxed); });
+    auto const n2 = g.addHost({n0}, [&] { right.fetch_add(1, std::memory_order_relaxed); });
+    g.addHost({n1, n2}, [&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    graph::Exec exec(g);
+    // Pure compute DAG: nothing forces serialization.
+    EXPECT_FALSE(exec.replaysSerialize());
+
+    constexpr int threads = 4;
+    constexpr int replaysPerThread = 25;
+    std::barrier startLine(threads);
+    {
+        std::vector<std::jthread> hosts;
+        hosts.reserve(threads);
+        for(int t = 0; t < threads; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuSync stream(dev);
+                    startLine.arrive_and_wait();
+                    for(int r = 0; r < replaysPerThread; ++r)
+                        exec.replay(stream);
+                });
+    }
+
+    constexpr std::uint64_t replays = threads * replaysPerThread;
+    EXPECT_EQ(source.load(), replays * blocks);
+    EXPECT_EQ(left.load(), replays);
+    EXPECT_EQ(right.load(), replays);
+    EXPECT_EQ(sink.load(), replays);
+}
+
+TEST(GraphConcurrentReplay, MixedSyncAndAsyncStreamsOverlapOnOneExec)
+{
+    using Acc = acc::AccCpuTaskBlocks<Dim1, Size>;
+    auto const dev = dev::DevMan<Acc>::getDevByIdx(0);
+    constexpr Size blocks = 32;
+    workdiv::WorkDivMembers<Dim1, Size> const wd(blocks, Size{1}, Size{1});
+
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<std::uint64_t> joins{0};
+    graph::Graph g;
+    auto const n0 = g.addKernel({}, dev, exec::create<Acc>(wd, CountKernel{}, &counter));
+    g.addHost({n0}, [&] { joins.fetch_add(1, std::memory_order_relaxed); });
+    graph::Exec exec(g);
+
+    constexpr int syncThreads = 2;
+    constexpr int asyncStreams = 2;
+    constexpr int replaysEach = 20;
+    std::barrier startLine(syncThreads + asyncStreams);
+    {
+        std::vector<std::jthread> hosts;
+        for(int t = 0; t < syncThreads; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuSync stream(dev);
+                    startLine.arrive_and_wait();
+                    for(int r = 0; r < replaysEach; ++r)
+                        exec.replay(stream);
+                });
+        for(int t = 0; t < asyncStreams; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuAsync stream(dev);
+                    startLine.arrive_and_wait();
+                    // Pipelined: all replays in the queue at once; the
+                    // queue worker drives them one after another while
+                    // the other streams' replays overlap.
+                    for(int r = 0; r < replaysEach; ++r)
+                        exec.replay(stream);
+                    stream.wait();
+                });
+    }
+
+    constexpr std::uint64_t replays = (syncThreads + asyncStreams) * replaysEach;
+    EXPECT_EQ(counter.load(), replays * blocks);
+    EXPECT_EQ(joins.load(), replays);
+}
+
+TEST(GraphConcurrentReplay, ErrorsStayConfinedToTheirReplay)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+
+    std::atomic<std::uint64_t> downstream{0};
+    graph::Graph g;
+    auto const boom = g.addHost({}, [] { throw std::runtime_error("request exploded"); });
+    // A poisoned replay must skip ordinary downstream bodies — in EVERY
+    // replay, concurrent or not.
+    g.addHost({boom}, [&] { downstream.fetch_add(1, std::memory_order_relaxed); });
+    graph::Exec exec(g);
+    EXPECT_FALSE(exec.replaysSerialize());
+
+    constexpr int threads = 4;
+    constexpr int replaysPerThread = 10;
+    std::atomic<int> caught{0};
+    std::barrier startLine(threads);
+    {
+        std::vector<std::jthread> hosts;
+        for(int t = 0; t < threads; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuSync stream(dev);
+                    startLine.arrive_and_wait();
+                    for(int r = 0; r < replaysPerThread; ++r)
+                    {
+                        try
+                        {
+                            exec.replay(stream);
+                        }
+                        catch(std::runtime_error const&)
+                        {
+                            caught.fetch_add(1, std::memory_order_relaxed);
+                        }
+                    }
+                });
+    }
+
+    // Per-replay FirstError: every replay delivers exactly one error to
+    // its own caller — a shared error slot would lose or double-deliver
+    // under concurrency.
+    EXPECT_EQ(caught.load(), threads * replaysPerThread);
+    EXPECT_EQ(downstream.load(), 0u);
+}
+
+TEST(GraphConcurrentReplay, SharedReplayInfrastructureSerializes)
+{
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+
+    // Event-record graphs re-arm a SHARED event per replay (prologue) and
+    // complete it mid-replay — overlapped replays would release waiters
+    // of a replay still in flight. Such Execs keep the pre-PR 5
+    // serialization and stay exact under concurrent replay attempts.
+    event::EventCpu done(dev);
+    std::atomic<std::uint64_t> body{0};
+    graph::Graph withEvent;
+    auto const n0 = withEvent.addHost({}, [&] { body.fetch_add(1, std::memory_order_relaxed); });
+    withEvent.addEventRecord({n0}, done);
+    graph::Exec eventExec(withEvent);
+    EXPECT_TRUE(eventExec.replaysSerialize());
+
+    constexpr int threads = 4;
+    constexpr int replaysPerThread = 10;
+    std::barrier startLine(threads);
+    {
+        std::vector<std::jthread> hosts;
+        for(int t = 0; t < threads; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuSync stream(dev);
+                    startLine.arrive_and_wait();
+                    for(int r = 0; r < replaysPerThread; ++r)
+                        eventExec.replay(stream);
+                });
+    }
+    EXPECT_EQ(body.load(), static_cast<std::uint64_t>(threads) * replaysPerThread);
+    EXPECT_TRUE(done.isDone());
+
+    // Graph memory nodes reserve ONE address for every replay
+    // (invariant 12) — also shared infrastructure, also serialized.
+    auto& pool = mempool::Pool::forDev(dev);
+    graph::Graph withAlloc;
+    auto const [allocNode, ptr] = withAlloc.addAlloc({}, pool, 256);
+    auto const use = withAlloc.addHost({allocNode}, [p = ptr] { *static_cast<char*>(p) = 1; });
+    withAlloc.addFree({use}, ptr);
+    graph::Exec allocExec(withAlloc);
+    EXPECT_TRUE(allocExec.replaysSerialize());
+    stream::StreamCpuSync stream(dev);
+    allocExec.replay(stream);
+}
+
+TEST(GraphConcurrentReplay, SequentialReplayStillExactAfterConcurrentBurst)
+{
+    // The scratch pool must hand back drained working sets: after a
+    // concurrent burst, plain sequential replays keep exact counts (a
+    // stale counter or ring slot would corrupt them).
+    auto const dev = dev::PltfCpu::getDevByIdx(0);
+    std::atomic<std::uint64_t> counter{0};
+    graph::Graph g;
+    auto const a = g.addHost({}, [&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    g.addHost({a}, [&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    graph::Exec exec(g);
+
+    {
+        std::vector<std::jthread> hosts;
+        for(int t = 0; t < 3; ++t)
+            hosts.emplace_back(
+                [&]
+                {
+                    stream::StreamCpuSync stream(dev);
+                    for(int r = 0; r < 10; ++r)
+                        exec.replay(stream);
+                });
+    }
+    stream::StreamCpuSync stream(dev);
+    for(int r = 0; r < 10; ++r)
+        exec.replay(stream);
+    EXPECT_EQ(counter.load(), (3u * 10u + 10u) * 2u);
+}
