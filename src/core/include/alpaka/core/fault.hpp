@@ -1,0 +1,169 @@
+/// \file Deterministic fault injection (DESIGN.md §7.2).
+///
+/// Every recovery path this codebase claims — mempool upstream-OOM
+/// trim-and-retry, serve worker supervision, typed per-request error
+/// confinement — is only as real as the test that forces the fault. This
+/// header provides the forcing machinery, following the WiredTiger
+/// discipline adopted for memory ordering (SNIPPETS.md §3): a claimed
+/// failure-handling path gets a checked-in test that *provokes* the
+/// failure, deterministically.
+///
+///  * Injection sites are named: `ALPAKA_FAULT_POINT("mempool.upstream_oom")`
+///    marks the spot where an upstream allocation may be made to fail.
+///    Sites compile to NOTHING (no atomic load, no branch — invariant 17)
+///    unless the build sets `ALPAKA_REPRO_FAULTINJECT=ON`.
+///  * A scoped `fault::Plan` arms sites for the duration of a test: fire
+///    on the Nth hit, every Kth hit, with probability p, at most M times
+///    (`fault::Trigger`). What firing *does* is the plan's choice too —
+///    throw (an `InjectedFault` or a caller-supplied exception, e.g.
+///    `std::bad_alloc` for OOM sites) or delay (stalls, slow fences, late
+///    wakeups). The site itself stays one uniform line.
+///  * Decisions are pure functions of (seed, site, hit index): chaos runs
+///    are reproducible for a fixed `ALPAKA_STRESS_SEED`, and
+///    `Plan::decides` re-derives any schedule offline so tests can assert
+///    reproducibility without re-running the world.
+///
+/// The framework itself (Plan, Trigger, detail::hit) is compiled in both
+/// modes so tests link and skip gracefully when injection is off; only
+/// the *sites* vanish from the production code.
+#pragma once
+
+#include "alpaka/core/error.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alpaka::fault
+{
+    //! The default exception an armed fail-site throws. Tests that force a
+    //! specific error type (std::bad_alloc at OOM sites) supply their own
+    //! factory instead.
+    class InjectedFault : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! When an armed site fires, as a predicate over its hit counter
+    //! (1-based: the first evaluation of a site is hit 1).
+    struct Trigger
+    {
+        //! First hit eligible to fire.
+        std::uint64_t nth = 1;
+        //! 0: only hit `nth` is eligible; k: hits nth, nth+k, nth+2k, ...
+        std::uint64_t period = 0;
+        //! Seeded pseudo-random gate applied per eligible hit; decisions
+        //! are pure in (seed, site, hit index) — see Plan::decides.
+        double probability = 1.0;
+        //! Cap on total fires (1 = one-shot even with a period).
+        std::uint64_t maxFires = UINT64_MAX;
+
+        //! Fire exactly once, on hit \p n.
+        [[nodiscard]] static auto once(std::uint64_t n = 1) -> Trigger
+        {
+            return Trigger{n, 0, 1.0, 1};
+        }
+        //! Fire on every \p k-th hit starting at \p first.
+        [[nodiscard]] static auto every(std::uint64_t k, std::uint64_t first = 1) -> Trigger
+        {
+            return Trigger{first, k, 1.0, UINT64_MAX};
+        }
+        //! Fire each hit independently with probability \p p.
+        [[nodiscard]] static auto withProbability(double p) -> Trigger
+        {
+            return Trigger{1, 1, p, UINT64_MAX};
+        }
+    };
+
+    namespace detail
+    {
+        struct Rule;
+
+        //! Count of installed rules across all live plans; sites bail out
+        //! on a single relaxed load while no plan is armed.
+        [[nodiscard]] auto armedRules() noexcept -> std::atomic<int>&;
+
+        void evaluate(char const* site);
+
+        //! The compiled-in body of ALPAKA_FAULT_POINT: nothing but one
+        //! relaxed atomic load while no plan is installed.
+        inline void hit(char const* site)
+        {
+            if(armedRules().load(std::memory_order_acquire) != 0)
+                evaluate(site);
+        }
+    } // namespace detail
+
+    //! A scoped fault schedule: rules installed through it arm the named
+    //! sites process-wide until the plan dies (tests stack plans freely —
+    //! rules of different plans on one site all apply, in installation
+    //! order). Thread safe: sites are hit from any thread; rule state is
+    //! atomic and decisions are hit-count-deterministic, so concurrent
+    //! hitters always agree on which hit index fires.
+    class Plan
+    {
+    public:
+        //! Seeded from ALPAKA_STRESS_SEED when set, else a fixed default —
+        //! the same convention the stress tests already use.
+        Plan();
+        explicit Plan(std::uint64_t seed);
+        ~Plan();
+
+        Plan(Plan const&) = delete;
+        auto operator=(Plan const&) -> Plan& = delete;
+
+        //! Arms \p site to throw when \p trigger fires: the exception from
+        //! \p make, or InjectedFault when no factory is given.
+        auto fail(std::string_view site, Trigger trigger = Trigger::once(), std::function<std::exception_ptr()> make = {})
+            -> Plan&;
+
+        //! Arms \p site to sleep \p duration when \p trigger fires (stalls,
+        //! slow fences, late wakeups).
+        auto delay(std::string_view site, std::chrono::nanoseconds duration, Trigger trigger = Trigger::once())
+            -> Plan&;
+
+        //! \name introspection over this plan's own rules
+        //! @{
+        //! Times the named site was evaluated against this plan's rules.
+        [[nodiscard]] auto hits(std::string_view site) const -> std::uint64_t;
+        //! Times this plan's rules fired at the named site.
+        [[nodiscard]] auto fires(std::string_view site) const -> std::uint64_t;
+        [[nodiscard]] auto seed() const noexcept -> std::uint64_t
+        {
+            return seed_;
+        }
+        //! @}
+
+        //! The pure decision function: would a rule with \p trigger under
+        //! \p seed fire on \p hitIndex of \p site (ignoring maxFires)?
+        //! Exactly the predicate the installed rules evaluate — tests use
+        //! it to re-derive and compare schedules offline (reproducibility,
+        //! DESIGN.md §7.2).
+        [[nodiscard]] static auto decides(
+            std::uint64_t seed,
+            std::string_view site,
+            Trigger const& trigger,
+            std::uint64_t hitIndex) -> bool;
+
+        //! The ALPAKA_STRESS_SEED-or-default convention in one place.
+        [[nodiscard]] static auto envSeed() -> std::uint64_t;
+
+    private:
+        std::uint64_t seed_;
+        std::vector<std::shared_ptr<detail::Rule>> rules_;
+    };
+} // namespace alpaka::fault
+
+//! A named injection site. Compiled out entirely (invariant 17: zero code,
+//! not even a load) unless the build defines ALPAKA_REPRO_FAULTINJECT.
+#if defined(ALPAKA_REPRO_FAULTINJECT)
+#    define ALPAKA_FAULT_POINT(site) ::alpaka::fault::detail::hit(site)
+#else
+#    define ALPAKA_FAULT_POINT(site) ((void) 0)
+#endif

@@ -1,5 +1,7 @@
 #include "gpusim/device.hpp"
 
+#include "alpaka/core/fault.hpp"
+
 #include <algorithm>
 #include <cstring>
 
@@ -57,6 +59,11 @@ namespace gpusim
     void Device::runGrid(GridSpec const& grid, KernelBody const& body)
     {
         validate(grid);
+        // Fault site: a kernel that dies after validation. Both the direct
+        // launch path and captured-graph replay funnel through here; on an
+        // async stream the throw lands in runTask and becomes the sticky
+        // stream error the drain/wait protocol must surface.
+        ALPAKA_FAULT_POINT("gpusim.kernel_fail");
         std::scoped_lock execLock(execMutex_);
 
         sharedArena_.resize(grid.sharedMemBytes);

@@ -1,5 +1,7 @@
 #include "gpusim/memory.hpp"
 
+#include "alpaka/core/fault.hpp"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +90,10 @@ namespace gpusim
 
     void MemoryManager::copyHtoD(void* dst, void const* src, std::size_t bytes)
     {
+        // Fault site: an async copy that fails mid-transfer (shared by the
+        // three copy directions; stream enqueues turn it into a sticky
+        // stream error).
+        ALPAKA_FAULT_POINT("gpusim.copy_fail");
         validateRange(dst, bytes, "copyHtoD destination");
         std::memcpy(dst, src, bytes);
         std::scoped_lock lock(mutex_);
@@ -96,6 +102,7 @@ namespace gpusim
 
     void MemoryManager::copyDtoH(void* dst, void const* src, std::size_t bytes)
     {
+        ALPAKA_FAULT_POINT("gpusim.copy_fail");
         validateRange(src, bytes, "copyDtoH source");
         std::memcpy(dst, src, bytes);
         std::scoped_lock lock(mutex_);
@@ -104,6 +111,7 @@ namespace gpusim
 
     void MemoryManager::copyDtoD(void* dst, void const* src, std::size_t bytes)
     {
+        ALPAKA_FAULT_POINT("gpusim.copy_fail");
         validateRange(src, bytes, "copyDtoD source");
         validateRange(dst, bytes, "copyDtoD destination");
         std::memmove(dst, src, bytes);

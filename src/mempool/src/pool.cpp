@@ -1,5 +1,7 @@
 #include "mempool/pool.hpp"
 
+#include "alpaka/core/fault.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <string>
@@ -52,6 +54,10 @@ namespace alpaka::mempool
         // scanLimit so a bin full of pending fences cannot stall the hot
         // path. Completed fences are cleared on sight so they are polled
         // at most once.
+        // Fault site (delay rules): models slow fence polling — e.g. a
+        // device whose event queries stall — while the pool lock is held,
+        // which is exactly where it would hurt.
+        ALPAKA_FAULT_POINT("mempool.fence_poll");
         auto& list = bins_[bin];
         auto const scan = std::min(options_.scanLimit, list.size());
         for(std::size_t i = 0; i < scan; ++i)
@@ -74,6 +80,10 @@ namespace alpaka::mempool
     {
         try
         {
+            // Fault site: a one-shot rule exercises the trim-and-retry
+            // recovery below; a two-fire rule makes the retry fail too and
+            // tests upstream-error propagation to the caller.
+            ALPAKA_FAULT_POINT("mempool.upstream_oom");
             return upstream_.allocate(bytes);
         }
         catch(...)
@@ -84,6 +94,7 @@ namespace alpaka::mempool
             // so a retry failure propagates the upstream error.
             if(trim(0) == 0)
                 throw;
+            ALPAKA_FAULT_POINT("mempool.upstream_oom");
             return upstream_.allocate(bytes);
         }
     }

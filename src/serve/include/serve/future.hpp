@@ -96,6 +96,7 @@ namespace alpaka::serve
 
     private:
         friend class Service;
+        friend struct FutureTestAccess;
 
         struct State
         {
@@ -115,13 +116,22 @@ namespace alpaka::serve
             return *state_;
         }
 
-        //! One-shot completion, called by the service's worker. Runs the
+        //! One-shot completion, called by the service's worker or the
+        //! supervisor. The two race under a single injected fault (a
+        //! worker declared lost may still finish its batch); the done
+        //! check under the lock makes the loser's attempt a no-op, so a
+        //! future resolves exactly once whoever wins (invariant 16; the
+        //! claim protocol on InFlightBatch makes the race rare, this is
+        //! the backstop that makes it impossible to lose). Runs the
         //! continuations outside the lock (they may touch the future).
-        static void complete(std::shared_ptr<State> const& state, std::exception_ptr error)
+        //! \returns true when this call resolved the future.
+        static auto complete(std::shared_ptr<State> const& state, std::exception_ptr error) -> bool
         {
             std::vector<std::function<void(std::exception_ptr)>> continuations;
             {
                 std::scoped_lock lock(state->mutex);
+                if(state->done)
+                    return false;
                 state->done = true;
                 state->error = error;
                 continuations = std::exchange(state->continuations, {});
@@ -129,6 +139,7 @@ namespace alpaka::serve
             state->cv.notify_all();
             for(auto const& fn : continuations)
                 fn(error);
+            return true;
         }
 
         explicit Future(std::shared_ptr<State> state) noexcept : state_(std::move(state))
@@ -136,5 +147,24 @@ namespace alpaka::serve
         }
 
         std::shared_ptr<State> state_;
+    };
+
+    //! Test-only backdoor: drives a future's completion without a running
+    //! service, so the race tests (then-vs-complete, cancel-vs-complete,
+    //! double resolution) can pin the exact interleavings the resilience
+    //! layer makes reachable. Not part of the public API.
+    struct FutureTestAccess
+    {
+        std::shared_ptr<Future::State> state = std::make_shared<Future::State>();
+
+        [[nodiscard]] auto future() const -> Future
+        {
+            return Future(state);
+        }
+        //! \returns true when this call resolved the future (one-shot).
+        auto complete(std::exception_ptr error) const -> bool
+        {
+            return Future::complete(state, error);
+        }
     };
 } // namespace alpaka::serve

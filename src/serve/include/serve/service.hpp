@@ -43,6 +43,19 @@
 ///  * Introspection: Service::stats() — queue depths per tenant,
 ///    in-flight count, throughput, a p50/p99 latency histogram snapshot
 ///    and the coherent per-device pool stats.
+///  * Resilience (DESIGN.md §7): per-request deadlines and CancelTokens
+///    shed doomed work at dispatch time (DeadlineError/CancelledError,
+///    before any kernel runs); a supervisor thread heartbeat-monitors
+///    the fleet, declares a stalled worker lost, fails its in-flight
+///    requests with WorkerLostError and installs a replacement worker on
+///    the same slot (fresh streams, re-lowered templates) so the fleet
+///    degrades instead of wedging; a queue high-watermark sheds the
+///    most-expired/oldest-deadline requests first (OverloadError) so
+///    backpressure never becomes unbounded latency; shutdown(timeout)
+///    drains with a bounded wait and reports stuck workers instead of
+///    hanging. All of it is opt-in: with the default options (no
+///    supervision, no watermark) and the plain submit overloads the
+///    service behaves exactly as it did before the resilience layer.
 #pragma once
 
 #include "serve/future.hpp"
@@ -61,6 +74,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -91,6 +105,21 @@ namespace alpaka::serve
         std::size_t maxTenants = 0;
         //! Execution substrate; nullptr = ThreadPool::global().
         threadpool::ThreadPool* pool = nullptr;
+        //! A worker busy on one dispatch for longer than this is declared
+        //! lost by the supervisor: its in-flight futures resolve with
+        //! WorkerLostError and a replacement worker takes over the slot.
+        //! 0 (default) disables supervision — no supervisor thread runs,
+        //! and a worker may legitimately block forever (exactly the
+        //! pre-resilience behaviour).
+        std::chrono::nanoseconds stallTimeout{0};
+        //! Supervisor poll period; 0 = stallTimeout / 4 (floor 1ms).
+        std::chrono::nanoseconds superviseEvery{0};
+        //! Overload shedding: whenever the queued count exceeds this
+        //! watermark, deadline-bearing requests are shed most-expired/
+        //! oldest-deadline first (OverloadError) until the queue is back
+        //! at the watermark. Requests without a deadline are never shed.
+        //! 0 (default) disables shedding.
+        std::size_t shedWatermark = 0;
     };
 
     class Service
@@ -121,13 +150,35 @@ namespace alpaka::serve
         //! \throws UsageError for an unknown template id.
         auto submit(TemplateId tmpl, std::string_view tenant, void* payload) -> Future;
 
+        //! Admits \p request — the full surface: deadline and CancelToken
+        //! ride along (see Request). A request already expired or
+        //! cancelled at submission is not queued; its future comes back
+        //! pre-resolved with the typed error.
+        auto submit(Request const& request) -> Future;
+
         //! Blocking submit: waits up to \p timeout for queue space, then
         //! admits. \throws AdmissionError when the deadline expires first.
         auto submitFor(TemplateId tmpl, std::string_view tenant, void* payload, std::chrono::nanoseconds timeout)
             -> Future;
 
-        //! Blocks until no request is queued or in flight.
+        //! Blocking submit of the full Request surface.
+        auto submitFor(Request const& request, std::chrono::nanoseconds timeout) -> Future;
+
+        //! Blocks until no request is queued, in flight, or resolving.
         void drain();
+
+        //! Bounded shutdown (the drain-tolerates-a-dead-worker
+        //! satellite): stops admission, then waits up to \p timeout for
+        //! the fleet to finish the already-admitted work and exit. A
+        //! worker unresponsive past the deadline is reported stuck and
+        //! its in-flight requests resolve with WorkerLostError; if no
+        //! live worker remains, still-queued requests resolve with
+        //! CancelledError — every future resolves either way (invariant
+        //! 16). Idempotent; the destructor calls it and then joins the
+        //! remaining threads (a literally-infinite stall blocks the
+        //! destructor — the report, not the join, is what is bounded:
+        //! detaching would let a late worker touch freed service state).
+        auto shutdown(std::chrono::nanoseconds timeout = std::chrono::seconds(5)) -> ShutdownReport;
 
         //! Coherent introspection snapshot (per-device pool stats come
         //! from mempool::Pool::stats(), the single-lock variant).
@@ -164,6 +215,10 @@ namespace alpaka::serve
             void* payload = nullptr;
             std::shared_ptr<Future::State> future;
             std::chrono::steady_clock::time_point admitted;
+            //! Shed with DeadlineError once passed (empty = never).
+            std::optional<std::chrono::steady_clock::time_point> deadline;
+            //! Shed with CancelledError once cancelled (empty = never).
+            CancelToken cancel;
         };
 
         struct TenantState
@@ -172,6 +227,44 @@ namespace alpaka::serve
             std::deque<Pending> queue;
             std::uint64_t admitted = 0;
             std::uint64_t completed = 0;
+        };
+
+        //! One dispatch: a same-template run popped from one tenant.
+        struct Batch
+        {
+            TemplateState* tmpl = nullptr;
+            std::vector<Pending> requests;
+        };
+
+        //! A dispatched batch while a worker executes it. The claimed
+        //! flag is the exactly-once handshake between the executing
+        //! worker and the supervisor: whoever exchanges it to true owns
+        //! resolving the futures and the in-flight accounting; the loser
+        //! walks away (invariant 16). The supervisor claims when it
+        //! declares the worker lost; a worker that later finishes anyway
+        //! (it was stalled, not dead) loses the claim, discards its
+        //! results and exits.
+        struct InFlightBatch
+        {
+            Batch batch;
+            std::atomic<bool> claimed{false};
+        };
+
+        //! A worker's heartbeat, shared (shared_ptr) between the worker
+        //! thread, the supervisor and shutdown so it outlives any of
+        //! them. busySinceNs is the steady-clock start of the dispatch
+        //! currently executing (0 = idle): the supervisor declares the
+        //! worker lost when now - busySinceNs exceeds stallTimeout.
+        struct Beat
+        {
+            std::atomic<std::int64_t> busySinceNs{0};
+            //! Set by the supervisor (or shutdown); the worker thread
+            //! exits at the next check instead of serving on a slot that
+            //! has been handed to its replacement.
+            std::atomic<bool> lost{false};
+            //! Set by the worker thread as its very last action; bounded
+            //! joins poll this (std::thread has no timed join).
+            std::atomic<bool> exited{false};
         };
 
         struct Worker
@@ -189,7 +282,25 @@ namespace alpaka::serve
             //! Reused batch-item buffer of this worker's dispatches — the
             //! dispatch hot path performs no allocation of its own.
             std::vector<RequestItem> items;
+            //! Reused per-request outcome buffer of execute().
+            std::vector<std::exception_ptr> outcomes;
+            std::shared_ptr<Beat> beat = std::make_shared<Beat>();
+            //! The dispatch currently executing (set at pop, cleared at
+            //! completion, both under mutex_); the supervisor reads it to
+            //! claim a lost worker's work.
+            std::shared_ptr<InFlightBatch> inFlight;
             std::thread thread;
+        };
+
+        //! Immutable description of one fleet slot (built once in the
+        //! constructor): which devices and pool a worker on this slot
+        //! uses. Template lowering and worker (re)construction read this
+        //! instead of workers_, which restarts mutate under mutex_.
+        struct SlotInfo
+        {
+            dev::DevCpu cpuDev{};
+            std::optional<dev::DevCudaSim> simDev;
+            mempool::Pool* pool = nullptr;
         };
 
         struct PerWorker;
@@ -204,7 +315,13 @@ namespace alpaka::serve
             void operator()(std::size_t index) const;
         };
 
-        //! Per-(template, worker) lowered state (stable address).
+        //! Per-(template, worker-incarnation) lowered state (stable
+        //! address, owned by TemplateState::incarnations for the template's
+        //! lifetime): a slot's current incarnation hangs in
+        //! TemplateState::perWorker; an executing worker pins its own
+        //! pointer for the duration of a dispatch, and a replacement
+        //! installing a fresh incarnation never frees the one a zombie (a
+        //! stalled-but-alive predecessor) still executes against.
         struct PerWorker
         {
             //! The batch bound to the dispatch currently executing on
@@ -223,28 +340,59 @@ namespace alpaka::serve
             TemplateId id = 0;
             TemplateDesc desc;
             bool isGraph = false;
-            std::vector<std::unique_ptr<PerWorker>> perWorker;
+            //! The CURRENT lowered incarnation per fleet slot; a plain
+            //! atomic pointer so a worker restart swaps in a re-lowered
+            //! incarnation (fresh streams need fresh graph::Execs) while
+            //! dispatches load lock-free. std::atomic<std::shared_ptr>
+            //! would also work but its libstdc++ lock-bit protocol is
+            //! opaque to TSan (and slower than a bare pointer load).
+            std::vector<std::atomic<PerWorker*>> perWorker;
+            //! Owns every incarnation this template ever lowered, current
+            //! and superseded alike (appended under registryMutex_, never
+            //! removed): a zombie worker may still be executing against a
+            //! superseded incarnation, so none can be freed before the
+            //! TemplateState itself dies with the service. Restarts are
+            //! rare; the retired tail stays tiny.
+            std::vector<std::unique_ptr<PerWorker>> incarnations;
         };
 
-        //! One dispatch: a same-template run popped from one tenant.
-        struct Batch
+        //! Requests removed from the queues whose futures still await
+        //! their typed error — resolved outside mutex_ (a continuation
+        //! may re-enter the service).
+        struct Shed
         {
-            TemplateState* tmpl = nullptr;
-            std::vector<Pending> requests;
+            Pending request;
+            std::exception_ptr error;
         };
 
-        auto admit(
-            TemplateId tmpl,
-            std::string_view tenant,
-            void* payload,
-            std::chrono::steady_clock::time_point const* deadline) -> Future;
+        auto admit(Request const& request, std::chrono::steady_clock::time_point const* spaceDeadline) -> Future;
         [[nodiscard]] auto resolveTemplate(TemplateId id) -> TemplateState*;
         [[nodiscard]] auto tenantLocked(std::string_view name) -> TenantState*;
-        [[nodiscard]] auto popBatchLocked() -> Batch;
+        //! Pops the next batch; doomed (expired/cancelled) head requests
+        //! go to \p shed instead of the batch (dispatch-time shedding —
+        //! they never reach kernel work).
+        [[nodiscard]] auto popBatchLocked(std::vector<Shed>& shed) -> Batch;
+        //! Moves overload victims (queued > watermark) into \p shed,
+        //! most-expired/oldest-deadline first. Caller holds mutex_.
+        void shedOverloadLocked(std::vector<Shed>& shed);
+        //! Completes shed futures (outside mutex_) and settles their
+        //! accounting (resolving_ was raised while popping them).
+        void resolveShed(std::vector<Shed>& shed);
         void workerLoop(Worker& worker);
-        //! Runs \p batch on \p worker and completes its futures.
-        //! \returns the number of requests that failed.
-        auto execute(Worker& worker, Batch& batch) -> std::size_t;
+        //! Lowers \p tmpl for slot \p slot (kernel job freeze or graph
+        //! build + instantiate). Caller holds registryMutex_.
+        //! The returned incarnation is owned by tmpl.incarnations.
+        [[nodiscard]] auto lowerForSlot(TemplateState& tmpl, std::size_t slot) -> PerWorker*;
+        //! Builds a (not yet started) worker for \p slot from slotInfo_.
+        [[nodiscard]] auto makeWorker(std::size_t slot) const -> std::unique_ptr<Worker>;
+        void supervisorLoop();
+        //! One supervision sweep: detect stalled workers, fail their
+        //! in-flight work typed, restart their slots.
+        void superviseOnce();
+        //! Runs \p batch on \p worker, filling worker.outcomes with the
+        //! per-request results; completes NO futures (the claim winner
+        //! does, in workerLoop or the supervisor).
+        void execute(Worker& worker, Batch& batch);
         [[nodiscard]] auto allocScratch(Worker& worker, std::size_t bytes) -> void*;
         void freeScratch(Worker& worker, void* ptr);
 
@@ -274,14 +422,32 @@ namespace alpaka::serve
         std::deque<TenantState*> active_;
         std::size_t queued_ = 0;
         std::size_t inFlight_ = 0;
+        //! Requests off the queues whose typed-error resolution is still
+        //! running outside the lock; drain() waits for zero so a returned
+        //! drain() always means every future has resolved.
+        std::size_t resolving_ = 0;
         std::uint64_t admitted_ = 0;
         std::uint64_t rejected_ = 0;
         std::uint64_t completed_ = 0;
         std::uint64_t failed_ = 0;
         std::uint64_t batches_ = 0;
+        std::uint64_t shedExpired_ = 0;
+        std::uint64_t shedCancelled_ = 0;
+        std::uint64_t shedOverload_ = 0;
+        std::uint64_t workersLost_ = 0;
+        std::uint64_t workerRestarts_ = 0;
         bool stop_ = false;
+        bool shutdownRan_ = false;
 
         LatencyHistogram latency_;
+        //! Fixed-size fleet: a restart replaces workers_[i] in place
+        //! (under mutex_) and retires the predecessor to zombies_, whose
+        //! thread may still be unwinding a stall — its Worker must stay
+        //! alive (stable address) until the destructor joins it.
         std::vector<std::unique_ptr<Worker>> workers_;
+        std::vector<std::unique_ptr<Worker>> zombies_;
+        std::vector<SlotInfo> slotInfo_;
+        std::condition_variable superviseCv_; //!< supervisor: stop/poke
+        std::thread supervisor_;
     };
 } // namespace alpaka::serve

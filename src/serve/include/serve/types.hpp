@@ -19,11 +19,15 @@
 
 #include "graph/graph.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace alpaka::serve
@@ -38,8 +42,131 @@ namespace alpaka::serve
         using std::runtime_error::runtime_error;
     };
 
+    //! \name typed request-failure taxonomy (DESIGN.md §7.1)
+    //!
+    //! Every admitted request's future resolves exactly once (invariant
+    //! 16) — when it cannot resolve with the template's own outcome, it
+    //! resolves with one of these, so a client can always tell "my work
+    //! failed" (KernelExecutionError et al., invariant 15) from "the
+    //! service shed or lost my work" and react accordingly (retry, back
+    //! off, give up).
+    //! @{
+
+    //! The request's CancelToken was cancelled before the work ran.
+    class CancelledError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! The request's deadline expired before the work ran.
+    class DeadlineError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! The worker executing the request was declared lost by the
+    //! supervisor (stalled past ServiceOptions::stallTimeout) or died
+    //! across shutdown; whether the work ran is unknowable.
+    class WorkerLostError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+
+    //! Shed under overload: the queue crossed ServiceOptions::
+    //! shedWatermark and this request had the most-expired/oldest
+    //! deadline (deadline-less requests are never shed).
+    class OverloadError : public Error
+    {
+    public:
+        using Error::Error;
+    };
+    //! @}
+
+    //! Cooperative cancellation handle: the client keeps a copy, attaches
+    //! a copy to a Request, and may cancel() at any time. The service
+    //! checks at dispatch time — before any kernel work — and sheds a
+    //! cancelled request with CancelledError. A default-constructed token
+    //! is empty: it can never be cancelled and costs the hot path nothing
+    //! (not even an atomic load).
+    class CancelToken
+    {
+    public:
+        CancelToken() = default;
+
+        //! A real (cancellable) token.
+        [[nodiscard]] static auto make() -> CancelToken
+        {
+            CancelToken t;
+            t.state_ = std::make_shared<std::atomic<bool>>(false);
+            return t;
+        }
+
+        //! Requests cancellation; idempotent, thread safe, never blocks.
+        //! Work already dispatched to a worker is NOT interrupted — the
+        //! future then resolves with the work's own outcome (invariant 16
+        //! forbids resolving twice, so cancel-after-dispatch is a no-op).
+        void cancel() const noexcept
+        {
+            if(state_ != nullptr)
+                state_->store(true, std::memory_order_release);
+        }
+
+        [[nodiscard]] auto cancelled() const noexcept -> bool
+        {
+            return state_ != nullptr && state_->load(std::memory_order_acquire);
+        }
+
+        //! False for the empty (never-cancellable) token.
+        [[nodiscard]] auto valid() const noexcept -> bool
+        {
+            return state_ != nullptr;
+        }
+
+    private:
+        std::shared_ptr<std::atomic<bool>> state_;
+    };
+
     //! Handle of a registered request template.
     using TemplateId = std::uint32_t;
+
+    //! One unit of client work against a registered template — the full
+    //! submission surface. The plain submit(tmpl, tenant, payload)
+    //! overloads construct the degenerate form (no deadline, empty
+    //! token), which behaves exactly as before the resilience layer.
+    struct Request
+    {
+        TemplateId tmpl = 0;
+        //! Fairness/accounting domain; created on first use.
+        std::string_view tenant;
+        void* payload = nullptr;
+        //! Absolute completion deadline: a request still queued past it
+        //! is shed with DeadlineError at dispatch time; under overload,
+        //! requests closest to (or past) their deadline are shed first.
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        CancelToken cancel;
+    };
+
+    //! What Service::shutdown(timeout) observed (the bounded-drain
+    //! satellite): a clean report means every worker exited and joined
+    //! within the timeout and no request was abandoned.
+    struct ShutdownReport
+    {
+        bool clean = true;
+        //! Worker threads that exited and were joined in time.
+        std::size_t workersJoined = 0;
+        //! Fleet slot indices of workers unresponsive within the timeout
+        //! (their in-flight requests resolve with WorkerLostError; their
+        //! threads are joined — unbounded — by the destructor).
+        std::vector<std::size_t> stuckWorkers;
+        //! Queued (never-dispatched) requests failed with CancelledError
+        //! because no live worker remained to serve them.
+        std::size_t abandonedQueued = 0;
+        //! In-flight requests failed with WorkerLostError.
+        std::size_t orphanedInFlight = 0;
+    };
 
     //! One request of a dispatched batch, as the template's execution
     //! body sees it: the client's payload plus the request-scoped scratch
@@ -209,6 +336,14 @@ namespace alpaka::serve
         std::uint64_t completed = 0;
         std::uint64_t failed = 0; //!< completed with an error
         std::uint64_t batches = 0; //!< dispatches (>= 1 request each)
+        //! \name resilience counters (DESIGN.md §7)
+        //! @{
+        std::uint64_t shedExpired = 0; //!< shed with DeadlineError
+        std::uint64_t shedCancelled = 0; //!< shed with CancelledError
+        std::uint64_t shedOverload = 0; //!< shed with OverloadError
+        std::uint64_t workersLost = 0; //!< supervisor declared a worker lost
+        std::uint64_t workerRestarts = 0; //!< replacement workers installed
+        //! @}
         double requestsPerSecond = 0.0; //!< completed / lifetime
         LatencySnapshot latency;
         std::vector<TenantStats> tenants;

@@ -1,11 +1,24 @@
 #include "serve/service.hpp"
 
+#include "alpaka/core/fault.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <utility>
 
 namespace alpaka::serve
 {
+    namespace
+    {
+        //! Steady-clock now as int64 ns — the heartbeat wire format.
+        auto nowNs() noexcept -> std::int64_t
+        {
+            return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        }
+    } // namespace
+
     // ------------------------------------------------------------------
     // latency histogram
 
@@ -64,46 +77,211 @@ namespace alpaka::serve
         if(workerCount == 0)
             throw UsageError("serve::Service: the fleet needs at least one worker stream");
 
-        workers_.reserve(workerCount);
+        slotInfo_.reserve(workerCount);
         for(std::size_t w = 0; w < options_.cpuWorkers; ++w)
         {
-            auto worker = std::make_unique<Worker>();
-            worker->index = workers_.size();
-            worker->driver.emplace(worker->cpuDev);
-            worker->pool = &mempool::Pool::forDev(worker->cpuDev);
-            workers_.push_back(std::move(worker));
+            SlotInfo info;
+            info.pool = &mempool::Pool::forDev(info.cpuDev);
+            slotInfo_.push_back(info);
         }
         for(auto const& dev : options_.simDevs)
         {
-            auto worker = std::make_unique<Worker>();
-            worker->index = workers_.size();
-            worker->simDev = dev;
-            worker->driver.emplace(worker->cpuDev);
-            worker->simStream.emplace(dev);
-            worker->pool = &mempool::Pool::forDev(dev);
-            workers_.push_back(std::move(worker));
+            SlotInfo info;
+            info.simDev = dev;
+            info.pool = &mempool::Pool::forDev(dev);
+            slotInfo_.push_back(info);
         }
+
+        workers_.reserve(workerCount);
+        for(std::size_t w = 0; w < workerCount; ++w)
+            workers_.push_back(makeWorker(w));
         // Start the threads only after the fleet vector is complete (a
         // worker never touches another worker, but keeps things simple).
         for(auto& worker : workers_)
             worker->thread = std::thread([this, w = worker.get()] { workerLoop(*w); });
+        if(options_.stallTimeout.count() > 0)
+            supervisor_ = std::thread([this] { supervisorLoop(); });
+    }
+
+    auto Service::makeWorker(std::size_t slot) const -> std::unique_ptr<Worker>
+    {
+        auto const& info = slotInfo_[slot];
+        auto worker = std::make_unique<Worker>();
+        worker->index = slot;
+        worker->cpuDev = info.cpuDev;
+        worker->simDev = info.simDev;
+        worker->driver.emplace(worker->cpuDev);
+        if(info.simDev.has_value())
+            worker->simStream.emplace(*info.simDev);
+        worker->pool = info.pool;
+        return worker;
     }
 
     Service::~Service()
     {
+        if(!shutdownRan_)
+        {
+            // The destructor keeps the pre-resilience contract: every
+            // admitted request finishes, however long it takes. Tests of
+            // the bounded path call shutdown() themselves with a real
+            // timeout and read the report.
+            shutdown(std::chrono::hours(24));
+        }
+        for(auto& worker : workers_)
+            if(worker != nullptr && worker->thread.joinable())
+                worker->thread.join();
+        for(auto& zombie : zombies_)
+            if(zombie->thread.joinable())
+                zombie->thread.join();
+    }
+
+    auto Service::shutdown(std::chrono::nanoseconds timeout) -> ShutdownReport
+    {
+        ShutdownReport report;
+        auto const deadline = std::chrono::steady_clock::now() + timeout;
         {
             std::scoped_lock lock(mutex_);
             stop_ = true;
         }
         workCv_.notify_all();
         spaceCv_.notify_all();
+        superviseCv_.notify_all();
+        // The supervisor exits promptly on stop_; joining it first means
+        // no restart mutates workers_ while we walk the fleet below.
+        if(supervisor_.joinable())
+            supervisor_.join();
+
+        auto const waitExit = [&](Worker& worker) -> bool
+        {
+            while(!worker.beat->exited.load(std::memory_order_acquire))
+            {
+                if(std::chrono::steady_clock::now() >= deadline)
+                    return false;
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+            return true;
+        };
+
         for(auto& worker : workers_)
-            if(worker->thread.joinable())
+        {
+            if(worker == nullptr || !worker->thread.joinable())
+                continue;
+            if(waitExit(*worker))
+            {
                 worker->thread.join();
+                ++report.workersJoined;
+                continue;
+            }
+            // Unresponsive within the bound: report it, stop it from ever
+            // serving again, and resolve its in-flight futures typed so no
+            // client blocks on a wedged worker (the thread itself is the
+            // destructor's problem — detaching would risk a use after
+            // free; see the header contract).
+            report.clean = false;
+            report.stuckWorkers.push_back(worker->index);
+            worker->beat->lost.store(true, std::memory_order_release);
+            std::shared_ptr<InFlightBatch> work;
+            {
+                std::scoped_lock lock(mutex_);
+                work = worker->inFlight;
+            }
+            if(work != nullptr && !work->claimed.exchange(true, std::memory_order_acq_rel))
+            {
+                auto& requests = work->batch.requests;
+                for(auto const& request : requests)
+                    Future::complete(
+                        request.future,
+                        std::make_exception_ptr(WorkerLostError(
+                            "serve::Service: worker " + std::to_string(worker->index)
+                            + " unresponsive at shutdown; request outcome unknown")));
+                std::scoped_lock lock(mutex_);
+                inFlight_ -= requests.size();
+                completed_ += requests.size();
+                failed_ += requests.size();
+                for(auto const& request : requests)
+                    ++request.tenant->completed;
+                report.orphanedInFlight += requests.size();
+            }
+        }
+        for(auto& zombie : zombies_)
+        {
+            if(!zombie->thread.joinable())
+                continue;
+            if(waitExit(*zombie))
+            {
+                zombie->thread.join();
+                ++report.workersJoined;
+            }
+            else
+            {
+                report.clean = false;
+                report.stuckWorkers.push_back(zombie->index);
+            }
+        }
+
+        // Whatever is still queued now has nobody left to serve it: every
+        // joinable worker exited (and drained while it could) or is stuck
+        // with its lost flag set. Resolve the leftovers so invariant 16
+        // holds across shutdown too.
+        std::vector<Pending> abandoned;
+        {
+            std::scoped_lock lock(mutex_);
+            for(auto* t : tenantOrder_)
+            {
+                for(auto& pending : t->queue)
+                    abandoned.push_back(std::move(pending));
+                t->queue.clear();
+            }
+            active_.clear();
+            queued_ = 0;
+            resolving_ += abandoned.size();
+        }
+        for(auto const& pending : abandoned)
+            Future::complete(
+                pending.future,
+                std::make_exception_ptr(
+                    CancelledError("serve::Service: request abandoned at shutdown (no live worker remained)")));
+        if(!abandoned.empty())
+        {
+            report.clean = false;
+            report.abandonedQueued = abandoned.size();
+            std::scoped_lock lock(mutex_);
+            resolving_ -= abandoned.size();
+            completed_ += abandoned.size();
+            failed_ += abandoned.size();
+            for(auto const& pending : abandoned)
+                ++pending.tenant->completed;
+        }
+        idleCv_.notify_all();
+        {
+            std::scoped_lock lock(mutex_);
+            shutdownRan_ = true;
+        }
+        return report;
     }
 
     // ------------------------------------------------------------------
     // registration
+
+    auto Service::lowerForSlot(TemplateState& tmpl, std::size_t slot) -> PerWorker*
+    {
+        auto const& info = slotInfo_[slot];
+        auto per = std::make_unique<PerWorker>();
+        if(tmpl.isGraph)
+        {
+            GraphContext ctx(slot, info.cpuDev, info.simDev, &per->cell);
+            auto const graph = tmpl.desc.graph(ctx);
+            per->exec = std::make_unique<graph::Exec>(graph, *pool_);
+        }
+        else
+        {
+            per->run = KernelRun{&tmpl, per.get()};
+            per->itemErrors.resize(tmpl.desc.maxBatch);
+            per->job = pool_->prebuild(tmpl.desc.maxBatch, per->run);
+        }
+        tmpl.incarnations.push_back(std::move(per));
+        return tmpl.incarnations.back().get();
+    }
 
     auto Service::registerTemplate(TemplateDesc desc) -> TemplateId
     {
@@ -117,26 +295,14 @@ namespace alpaka::serve
         auto state = std::make_unique<TemplateState>();
         state->desc = std::move(desc);
         state->isGraph = hasGraph;
-        state->perWorker.reserve(workers_.size());
-        for(auto const& worker : workers_)
-        {
-            auto per = std::make_unique<PerWorker>();
-            if(hasGraph)
-            {
-                GraphContext ctx(worker->index, worker->cpuDev, worker->simDev, &per->cell);
-                auto const graph = state->desc.graph(ctx);
-                per->exec = std::make_unique<graph::Exec>(graph, *pool_);
-            }
-            else
-            {
-                per->run = KernelRun{state.get(), per.get()};
-                per->itemErrors.resize(state->desc.maxBatch);
-                per->job = pool_->prebuild(state->desc.maxBatch, per->run);
-            }
-            state->perWorker.push_back(std::move(per));
-        }
-
+        // Lowering runs under registryMutex_ so a concurrent worker
+        // restart (which re-lowers every template for its slot, also
+        // under registryMutex_) sees either no entry or a fully lowered
+        // one — never a template half-lowered across slots.
         std::scoped_lock lock(registryMutex_);
+        state->perWorker = std::vector<std::atomic<PerWorker*>>(slotInfo_.size());
+        for(std::size_t slot = 0; slot < slotInfo_.size(); ++slot)
+            state->perWorker[slot].store(lowerForSlot(*state, slot), std::memory_order_release);
         state->id = static_cast<TemplateId>(templates_.size());
         auto const id = state->id;
         templates_.push_back(std::move(state));
@@ -177,22 +343,45 @@ namespace alpaka::serve
         return raw;
     }
 
-    auto Service::admit(
-        TemplateId tmpl,
-        std::string_view tenant,
-        void* payload,
-        std::chrono::steady_clock::time_point const* deadline) -> Future
+    auto Service::admit(Request const& request, std::chrono::steady_clock::time_point const* spaceDeadline)
+        -> Future
     {
-        auto* const state = resolveTemplate(tmpl);
+        auto* const state = resolveTemplate(request.tmpl);
+        // Fault site: admission itself fails (e.g. the tenant table
+        // allocation dies) — the error must reach the submitter, never a
+        // worker, and must not leak a queue slot.
+        ALPAKA_FAULT_POINT("serve.admit");
         auto future = std::make_shared<Future::State>();
+
+        // Already doomed at submission: resolve now, queue nothing.
+        if(request.cancel.cancelled())
+        {
+            Future::complete(
+                future,
+                std::make_exception_ptr(CancelledError("serve::Service: request cancelled before admission")));
+            std::scoped_lock lock(mutex_);
+            ++shedCancelled_;
+            return Future(std::move(future));
+        }
+        if(request.deadline.has_value() && *request.deadline <= std::chrono::steady_clock::now())
+        {
+            Future::complete(
+                future,
+                std::make_exception_ptr(DeadlineError("serve::Service: deadline expired before admission")));
+            std::scoped_lock lock(mutex_);
+            ++shedExpired_;
+            return Future(std::move(future));
+        }
+
+        std::vector<Shed> shed;
         {
             std::unique_lock lock(mutex_);
-            auto* const t = tenantLocked(tenant);
+            auto* const t = tenantLocked(request.tenant);
             auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
             auto const admissible = [&] { return queued_ < options_.queueCapacity && t->queue.size() < tenantCap; };
             if(stop_ || !admissible())
             {
-                if(deadline == nullptr || stop_)
+                if(spaceDeadline == nullptr || stop_)
                 {
                     ++rejected_;
                     throw AdmissionError(
@@ -201,7 +390,7 @@ namespace alpaka::serve
                                   + std::to_string(options_.queueCapacity) + ", tenant '" + t->name + "' "
                                   + std::to_string(t->queue.size()) + "/" + std::to_string(tenantCap) + ")");
                 }
-                if(!spaceCv_.wait_until(lock, *deadline, [&] { return stop_ || admissible(); }) || stop_)
+                if(!spaceCv_.wait_until(lock, *spaceDeadline, [&] { return stop_ || admissible(); }) || stop_)
                 {
                     ++rejected_;
                     throw AdmissionError(
@@ -211,18 +400,33 @@ namespace alpaka::serve
             }
             if(t->queue.empty())
                 active_.push_back(t); // 0 -> 1: tenant (re)enters the rotation
-            t->queue.push_back(Pending{state, t, payload, future, std::chrono::steady_clock::now()});
+            t->queue.push_back(Pending{
+                state,
+                t,
+                request.payload,
+                future,
+                std::chrono::steady_clock::now(),
+                request.deadline,
+                request.cancel});
             ++t->admitted;
             ++admitted_;
             ++queued_;
+            if(options_.shedWatermark != 0 && queued_ > options_.shedWatermark)
+                shedOverloadLocked(shed);
         }
         workCv_.notify_one();
+        resolveShed(shed);
         return Future(std::move(future));
     }
 
     auto Service::submit(TemplateId tmpl, std::string_view tenant, void* payload) -> Future
     {
-        return admit(tmpl, tenant, payload, nullptr);
+        return admit(Request{tmpl, tenant, payload, std::nullopt, {}}, nullptr);
+    }
+
+    auto Service::submit(Request const& request) -> Future
+    {
+        return admit(request, nullptr);
     }
 
     auto Service::submitFor(
@@ -232,13 +436,19 @@ namespace alpaka::serve
         std::chrono::nanoseconds timeout) -> Future
     {
         auto const deadline = std::chrono::steady_clock::now() + timeout;
-        return admit(tmpl, tenant, payload, &deadline);
+        return admit(Request{tmpl, tenant, payload, std::nullopt, {}}, &deadline);
+    }
+
+    auto Service::submitFor(Request const& request, std::chrono::nanoseconds timeout) -> Future
+    {
+        auto const deadline = std::chrono::steady_clock::now() + timeout;
+        return admit(request, &deadline);
     }
 
     // ------------------------------------------------------------------
     // scheduling
 
-    auto Service::popBatchLocked() -> Batch
+    auto Service::popBatchLocked(std::vector<Shed>& shed) -> Batch
     {
         if(active_.empty())
             return {};
@@ -248,51 +458,319 @@ namespace alpaka::serve
         auto* const t = active_.front();
         active_.pop_front();
         Batch batch;
-        batch.tmpl = t->queue.front().tmpl;
-        auto const limit = batch.tmpl->desc.maxBatch;
-        while(batch.requests.size() < limit && !t->queue.empty() && t->queue.front().tmpl == batch.tmpl)
+        auto const now = std::chrono::steady_clock::now();
+        while(!t->queue.empty())
         {
-            batch.requests.push_back(std::move(t->queue.front()));
+            auto& head = t->queue.front();
+            // Dispatch-time shedding: a cancelled or expired request is
+            // dropped here, before any kernel work, whatever template it
+            // belongs to — doomed work never gates batch formation.
+            auto const cancelled = head.cancel.cancelled();
+            if(cancelled || (head.deadline.has_value() && *head.deadline <= now))
+            {
+                Shed s;
+                s.request = std::move(head);
+                s.error = cancelled
+                              ? std::make_exception_ptr(
+                                    CancelledError("serve::Service: request cancelled before dispatch"))
+                              : std::make_exception_ptr(
+                                    DeadlineError("serve::Service: deadline expired before dispatch"));
+                shed.push_back(std::move(s));
+                t->queue.pop_front();
+                --queued_;
+                ++resolving_;
+                continue;
+            }
+            if(batch.tmpl == nullptr)
+                batch.tmpl = head.tmpl;
+            else if(head.tmpl != batch.tmpl || batch.requests.size() >= batch.tmpl->desc.maxBatch)
+                break;
+            batch.requests.push_back(std::move(head));
             t->queue.pop_front();
         }
         if(!t->queue.empty())
             active_.push_back(t);
+        if(batch.requests.empty())
+            batch.tmpl = nullptr; // everything at the head was doomed
         return batch;
+    }
+
+    void Service::shedOverloadLocked(std::vector<Shed>& shed)
+    {
+        // Fail-fast the requests that are least likely to make their
+        // deadline anyway: most-expired/oldest-deadline first. Requests
+        // without a deadline made no latency promise to break, so they
+        // are never shed — they queue and backpressure as before.
+        while(queued_ > options_.shedWatermark)
+        {
+            TenantState* victimTenant = nullptr;
+            std::size_t victimIndex = 0;
+            std::chrono::steady_clock::time_point victimDeadline{};
+            for(auto* t : active_)
+            {
+                for(std::size_t i = 0; i < t->queue.size(); ++i)
+                {
+                    auto const& pending = t->queue[i];
+                    if(!pending.deadline.has_value())
+                        continue;
+                    if(victimTenant == nullptr || *pending.deadline < victimDeadline)
+                    {
+                        victimTenant = t;
+                        victimIndex = i;
+                        victimDeadline = *pending.deadline;
+                    }
+                }
+            }
+            if(victimTenant == nullptr)
+                return; // nothing sheddable; the hard capacity bound still holds
+            Shed s;
+            s.request = std::move(victimTenant->queue[victimIndex]);
+            s.error = std::make_exception_ptr(OverloadError(
+                "serve::Service: shed under overload (queued past watermark "
+                + std::to_string(options_.shedWatermark) + ")"));
+            shed.push_back(std::move(s));
+            victimTenant->queue.erase(
+                victimTenant->queue.begin() + static_cast<std::ptrdiff_t>(victimIndex));
+            --queued_;
+            ++resolving_;
+            if(victimTenant->queue.empty())
+                active_.erase(std::find(active_.begin(), active_.end(), victimTenant));
+        }
+    }
+
+    void Service::resolveShed(std::vector<Shed>& shed)
+    {
+        if(shed.empty())
+            return;
+        // Futures first, outside the lock (a continuation may re-enter
+        // the service); only then the accounting that lets drain() return
+        // — so drain() returning always means the futures have resolved.
+        for(auto const& s : shed)
+            Future::complete(s.request.future, s.error);
+        bool idle = false;
+        {
+            std::scoped_lock lock(mutex_);
+            for(auto const& s : shed)
+            {
+                --resolving_;
+                ++completed_;
+                ++failed_;
+                ++s.request.tenant->completed;
+                try
+                {
+                    std::rethrow_exception(s.error);
+                }
+                catch(DeadlineError const&)
+                {
+                    ++shedExpired_;
+                }
+                catch(CancelledError const&)
+                {
+                    ++shedCancelled_;
+                }
+                catch(...)
+                {
+                    ++shedOverload_;
+                }
+            }
+            idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
+        }
+        spaceCv_.notify_all();
+        if(idle)
+            idleCv_.notify_all();
+        shed.clear();
     }
 
     void Service::workerLoop(Worker& worker)
     {
+        std::vector<Shed> shed;
         for(;;)
         {
-            Batch batch;
+            if(worker.beat->lost.load(std::memory_order_acquire))
+                break; // slot handed to a replacement; this thread is done
+            std::shared_ptr<InFlightBatch> work;
+            bool exit = false;
             {
                 std::unique_lock lock(mutex_);
                 workCv_.wait(lock, [&] { return stop_ || queued_ > 0; });
-                if(queued_ == 0)
-                    return; // stop requested and nothing left to serve
-                batch = popBatchLocked();
-                if(batch.tmpl == nullptr)
-                    continue;
-                queued_ -= batch.requests.size();
-                inFlight_ += batch.requests.size();
-                ++batches_;
+                if(stop_ && queued_ == 0)
+                {
+                    exit = true;
+                }
+                else if(queued_ > 0)
+                {
+                    auto batch = popBatchLocked(shed);
+                    if(batch.tmpl != nullptr)
+                    {
+                        work = std::make_shared<InFlightBatch>();
+                        work->batch = std::move(batch);
+                        auto const count = work->batch.requests.size();
+                        queued_ -= count;
+                        inFlight_ += count;
+                        ++batches_;
+                        worker.inFlight = work;
+                        // Heartbeat: busy from here until the accounting
+                        // below; the supervisor measures this window.
+                        worker.beat->busySinceNs.store(nowNs(), std::memory_order_release);
+                    }
+                }
             }
             spaceCv_.notify_all();
+            resolveShed(shed);
+            if(exit)
+                break;
+            if(work == nullptr)
+                continue;
 
-            auto const failures = execute(worker, batch);
+            execute(worker, work->batch);
+
+            // The exactly-once handshake (invariant 16): whoever flips
+            // claimed owns the futures and the accounting. Losing means
+            // the supervisor declared this worker lost mid-batch and
+            // already resolved everything with WorkerLostError — this
+            // thread is a zombie; its results are discarded and it exits.
+            if(work->claimed.exchange(true, std::memory_order_acq_rel))
+                break;
+
+            auto const& outcomes = worker.outcomes;
+            auto& requests = work->batch.requests;
+            std::size_t failures = 0;
+            auto const now = std::chrono::steady_clock::now();
+            for(std::size_t i = 0; i < requests.size(); ++i)
+            {
+                if(outcomes[i] != nullptr)
+                    ++failures;
+                latency_.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(now - requests[i].admitted).count()));
+                Future::complete(requests[i].future, outcomes[i]);
+            }
+            bool idle = false;
+            {
+                std::scoped_lock lock(mutex_);
+                worker.inFlight.reset();
+                worker.beat->busySinceNs.store(0, std::memory_order_relaxed);
+                inFlight_ -= requests.size();
+                completed_ += requests.size();
+                failed_ += failures;
+                for(auto const& request : requests)
+                    ++request.tenant->completed;
+                idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
+            }
+            if(idle)
+                idleCv_.notify_all();
+        }
+        worker.beat->exited.store(true, std::memory_order_release);
+    }
+
+    // ------------------------------------------------------------------
+    // supervision
+
+    void Service::supervisorLoop()
+    {
+        auto interval = options_.superviseEvery;
+        if(interval.count() <= 0)
+            interval = std::max(
+                options_.stallTimeout / 4,
+                std::chrono::nanoseconds(std::chrono::milliseconds(1)));
+        std::unique_lock lock(mutex_);
+        while(!stop_)
+        {
+            superviseCv_.wait_for(lock, interval, [&] { return stop_; });
+            if(stop_)
+                return;
+            lock.unlock();
+            superviseOnce();
+            lock.lock();
+        }
+    }
+
+    void Service::superviseOnce()
+    {
+        struct LostWorker
+        {
+            std::size_t slot = 0;
+            std::shared_ptr<InFlightBatch> work;
+        };
+        std::vector<LostWorker> lost;
+        auto const now = nowNs();
+        {
+            std::scoped_lock lock(mutex_);
+            for(auto& worker : workers_)
+            {
+                if(worker == nullptr)
+                    continue; // slot went dark (a restart failed); served by the rest
+                auto const busySince = worker->beat->busySinceNs.load(std::memory_order_acquire);
+                if(busySince == 0 || now - busySince < options_.stallTimeout.count())
+                    continue;
+                // Claim before declaring lost: if the worker finished in
+                // the meantime (or is finishing right now), the exchange
+                // loses and the worker stays — stalled is a verdict on
+                // the batch, and the batch owner is whoever claims it.
+                auto work = worker->inFlight;
+                if(work == nullptr || work->claimed.exchange(true, std::memory_order_acq_rel))
+                    continue;
+                worker->beat->lost.store(true, std::memory_order_release);
+                ++workersLost_;
+                lost.push_back(LostWorker{worker->index, std::move(work)});
+                // The zombie keeps its Worker (stable address — its thread
+                // still runs inside it); the slot frees for a replacement.
+                zombies_.push_back(std::move(worker));
+            }
+        }
+        if(lost.empty())
+            return;
+
+        for(auto const& l : lost)
+        {
+            // Futures first (outside every lock), accounting later:
+            // drain() must not return between the two.
+            for(auto const& request : l.work->batch.requests)
+                Future::complete(
+                    request.future,
+                    std::make_exception_ptr(WorkerLostError(
+                        "serve::Service: worker " + std::to_string(l.slot)
+                        + " stalled past stallTimeout; request outcome unknown")));
+
+            // Re-lower every template for the slot: the replacement gets
+            // fresh streams, so graph templates need fresh graph::Execs;
+            // the zombie still holds shared_ptrs to its old incarnations.
+            std::unique_ptr<Worker> fresh;
+            try
+            {
+                fresh = makeWorker(l.slot);
+                std::scoped_lock rlock(registryMutex_);
+                for(auto& tmpl : templates_)
+                    tmpl->perWorker[l.slot].store(lowerForSlot(*tmpl, l.slot), std::memory_order_release);
+            }
+            catch(...)
+            {
+                // Replacement construction failed: the slot stays dark and
+                // the remaining workers carry the traffic — degraded, not
+                // wedged.
+                fresh.reset();
+            }
 
             bool idle = false;
             {
                 std::scoped_lock lock(mutex_);
-                inFlight_ -= batch.requests.size();
-                completed_ += batch.requests.size();
-                failed_ += failures;
-                for(auto const& request : batch.requests)
+                auto const& requests = l.work->batch.requests;
+                inFlight_ -= requests.size();
+                completed_ += requests.size();
+                failed_ += requests.size();
+                for(auto const& request : requests)
                     ++request.tenant->completed;
-                idle = queued_ == 0 && inFlight_ == 0;
+                if(fresh != nullptr)
+                {
+                    auto* const raw = fresh.get();
+                    workers_[l.slot] = std::move(fresh);
+                    ++workerRestarts_;
+                    raw->thread = std::thread([this, raw] { workerLoop(*raw); });
+                }
+                idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
             }
             if(idle)
                 idleCv_.notify_all();
+            workCv_.notify_all();
         }
     }
 
@@ -306,6 +784,9 @@ namespace alpaka::serve
             return; // the frozen job spans maxBatch; this dispatch is smaller
         try
         {
+            // Fault site: a kernel body that throws — must fail exactly
+            // this request's future, nothing else (invariant 15).
+            ALPAKA_FAULT_POINT("serve.kernel_throw");
             tmpl->desc.body((*view)[index]);
         }
         catch(...)
@@ -331,21 +812,33 @@ namespace alpaka::serve
             worker.pool->freeAsync(*worker.driver, ptr);
     }
 
-    auto Service::execute(Worker& worker, Batch& batch) -> std::size_t
+    void Service::execute(Worker& worker, Batch& batch)
     {
         auto& tmpl = *batch.tmpl;
         auto const count = batch.requests.size();
         auto const scratchBytes = tmpl.desc.scratchBytes;
         auto& items = worker.items;
         items.assign(count, RequestItem{});
+        worker.outcomes.assign(count, nullptr);
         std::exception_ptr batchError; // setup or replay failure: fails every request of the batch
         std::size_t allocated = 0;
-        auto& per = *tmpl.perWorker[worker.index];
+        // The slot's CURRENT incarnation, pinned for this dispatch: a
+        // concurrent restart swaps the slot to a fresh incarnation, but
+        // this worker (then a zombie) keeps executing against its own —
+        // which stays alive in TemplateState::incarnations either way.
+        auto* const per = tmpl.perWorker[worker.index].load(std::memory_order_acquire);
 
         try
         {
+            // Fault site: dispatch dies before any per-request work —
+            // the whole batch must fail typed, futures resolving once.
+            ALPAKA_FAULT_POINT("serve.dispatch");
             for(std::size_t i = 0; i < count; ++i)
             {
+                // Fault site: batch assembly fails midway (scratch
+                // exhaustion is the realistic cause — compose with
+                // "mempool.upstream_oom" to force the real path).
+                ALPAKA_FAULT_POINT("serve.batch_build");
                 items[i].payload = batch.requests[i].payload;
                 if(scratchBytes > 0)
                 {
@@ -358,12 +851,15 @@ namespace alpaka::serve
             // job publication (or the inline replay) orders the bind
             // before every body, the drain orders the unbind after
             // (invariant 15).
-            per.cell = &view;
+            per->cell = &view;
+            // Fault site (delay rules): the worker stalls with work in
+            // flight — the window the supervisor exists to detect.
+            ALPAKA_FAULT_POINT("serve.worker_stall");
             if(tmpl.isGraph)
             {
                 try
                 {
-                    per.exec->replay(*worker.driver);
+                    per->exec->replay(*worker.driver);
                 }
                 catch(...)
                 {
@@ -372,14 +868,14 @@ namespace alpaka::serve
             }
             else
             {
-                pool_->runPrebuilt(per.job);
+                pool_->runPrebuilt(per->job);
             }
         }
         catch(...)
         {
             batchError = std::current_exception();
         }
-        per.cell = nullptr;
+        per->cell = nullptr;
 
         // Request-scoped blocks go back stream-ordered; on the fleet's
         // synchronous streams the free point has passed, so the blocks are
@@ -387,22 +883,14 @@ namespace alpaka::serve
         for(std::size_t i = 0; i < allocated; ++i)
             freeScratch(worker, items[i].scratch);
 
-        std::size_t failures = 0;
-        auto const now = std::chrono::steady_clock::now();
         for(std::size_t i = 0; i < count; ++i)
         {
             // Kernel-flavour per-item errors are consumed (and the slot
             // reset for the next dispatch) right here — no copy.
             auto const itemError
-                = tmpl.isGraph ? std::exception_ptr{} : std::exchange(per.itemErrors[i], nullptr);
-            auto const error = batchError != nullptr ? batchError : itemError;
-            if(error != nullptr)
-                ++failures;
-            latency_.record(static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::microseconds>(now - batch.requests[i].admitted).count()));
-            Future::complete(batch.requests[i].future, error);
+                = tmpl.isGraph ? std::exception_ptr{} : std::exchange(per->itemErrors[i], nullptr);
+            worker.outcomes[i] = batchError != nullptr ? batchError : itemError;
         }
-        return failures;
     }
 
     // ------------------------------------------------------------------
@@ -411,7 +899,7 @@ namespace alpaka::serve
     void Service::drain()
     {
         std::unique_lock lock(mutex_);
-        idleCv_.wait(lock, [&] { return queued_ == 0 && inFlight_ == 0; });
+        idleCv_.wait(lock, [&] { return queued_ == 0 && inFlight_ == 0 && resolving_ == 0; });
     }
 
     auto Service::stats() const -> ServiceStats
@@ -426,6 +914,11 @@ namespace alpaka::serve
             s.completed = completed_;
             s.failed = failed_;
             s.batches = batches_;
+            s.shedExpired = shedExpired_;
+            s.shedCancelled = shedCancelled_;
+            s.shedOverload = shedOverload_;
+            s.workersLost = workersLost_;
+            s.workerRestarts = workerRestarts_;
             s.tenants.reserve(tenantOrder_.size());
             for(auto const* t : tenantOrder_)
                 s.tenants.push_back(TenantStats{t->name, t->queue.size(), t->admitted, t->completed});
@@ -436,16 +929,16 @@ namespace alpaka::serve
         s.latency = latency_.snapshot();
 
         // One entry per distinct pool of the fleet, via the coherent
-        // single-lock snapshot (the satellite of this subsystem).
+        // single-lock snapshot. slotInfo_ is immutable, so this never
+        // races a worker restart.
         std::vector<mempool::Pool*> seen;
-        for(auto const& worker : workers_)
+        for(auto const& info : slotInfo_)
         {
-            if(std::find(seen.begin(), seen.end(), worker->pool) != seen.end())
+            if(std::find(seen.begin(), seen.end(), info.pool) != seen.end())
                 continue;
-            seen.push_back(worker->pool);
-            auto const name
-                = worker->simDev.has_value() ? worker->simDev->getName() : worker->cpuDev.getName();
-            s.devicePools.push_back(DevicePoolStats{name, worker->pool->stats()});
+            seen.push_back(info.pool);
+            auto const name = info.simDev.has_value() ? info.simDev->getName() : info.cpuDev.getName();
+            s.devicePools.push_back(DevicePoolStats{name, info.pool->stats()});
         }
         return s;
     }

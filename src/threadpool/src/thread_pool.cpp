@@ -1,5 +1,7 @@
 #include "threadpool/thread_pool.hpp"
 
+#include "alpaka/core/fault.hpp"
+
 #include <algorithm>
 
 namespace threadpool
@@ -241,6 +243,10 @@ namespace threadpool
 
     void ThreadPool::drainSlot(JobSlot& slot)
     {
+        // Fault site (delay rules): stalls a participant — pool worker or
+        // helping submitter — after it registered on the slot but before it
+        // claims chunks, the window the quiescence protocol must survive.
+        ALPAKA_FAULT_POINT("threadpool.worker_stall");
         auto const count = slot.count;
         auto const grain = slot.grain;
         // Completed indices are subtracted from remaining once per
@@ -316,6 +322,10 @@ namespace threadpool
                 detail::cpuRelax();
                 continue;
             }
+            // Fault site (delay rules): widens the snapshot→park window; a
+            // publish landing inside the delay must still be caught by the
+            // futex value check in park(), never slept through.
+            ALPAKA_FAULT_POINT("threadpool.park_delay");
             publishWord_.park(seq);
             spins = spinBudget_;
         }

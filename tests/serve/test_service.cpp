@@ -699,3 +699,164 @@ TEST(ServeService, DrainWaitsForQuiescenceAndPoolStatsAreCoherent)
     for(auto const& pool : stats.devicePools)
         EXPECT_LE(pool.pool.bytesInUse, pool.pool.bytesHeld);
 }
+
+// ------------------------------------------------- future resolution races
+
+// The resilience layer (DESIGN.md §7) makes future-resolution races
+// reachable: a worker declared lost may still finish its batch and race
+// the supervisor to complete() (invariant 16 demands exactly one
+// winner). These tests pin the State machinery directly through the
+// test backdoor, with real thread interleavings.
+
+TEST(ServeFuture, CompletionIsOneShotUnderConcurrentResolvers)
+{
+    for(int round = 0; round < 200; ++round)
+    {
+        serve::FutureTestAccess access;
+        auto const future = access.future();
+        std::atomic<int> winners{0};
+        std::barrier sync(3);
+        std::vector<std::thread> threads;
+        // One "worker" resolving success, two "supervisors" resolving
+        // typed errors — whoever wins, the future resolves exactly once.
+        threads.emplace_back(
+            [&]
+            {
+                sync.arrive_and_wait();
+                winners += access.complete(nullptr);
+            });
+        for(int s = 0; s < 2; ++s)
+            threads.emplace_back(
+                [&]
+                {
+                    sync.arrive_and_wait();
+                    winners += access.complete(
+                        std::make_exception_ptr(serve::WorkerLostError("serve: worker lost")));
+                });
+        for(auto& t : threads)
+            t.join();
+        EXPECT_EQ(winners.load(), 1);
+        EXPECT_TRUE(future.poll());
+        // The observable state is the winner's, fixed forever: wait() and
+        // error() agree with each other on every later inspection.
+        if(future.error() == nullptr)
+            EXPECT_NO_THROW(future.wait());
+        else
+            EXPECT_THROW(future.wait(), serve::WorkerLostError);
+    }
+}
+
+TEST(ServeFuture, ThenRacingCompletionRunsExactlyOnceWithTheFinalError)
+{
+    for(int round = 0; round < 200; ++round)
+    {
+        serve::FutureTestAccess access;
+        auto const future = access.future();
+        std::atomic<int> ran{0};
+        std::atomic<bool> sawError{false};
+        std::barrier sync(2);
+        std::thread completer(
+            [&]
+            {
+                sync.arrive_and_wait();
+                (void) access.complete(std::make_exception_ptr(serve::CancelledError("serve: cancelled")));
+            });
+        sync.arrive_and_wait();
+        // Races the attach against the completion: the continuation must
+        // fire exactly once either way (queued, or inline on attach).
+        future.then(
+            [&](std::exception_ptr error)
+            {
+                ran.fetch_add(1);
+                sawError.store(error != nullptr);
+            });
+        completer.join();
+        EXPECT_EQ(ran.load(), 1);
+        EXPECT_TRUE(sawError.load());
+    }
+}
+
+TEST(ServeFuture, CancelRacingCompletionResolvesExactlyOnceThroughTheService)
+{
+    // End-to-end flavour: a real service, a client cancelling while the
+    // worker completes. Whichever side wins, the continuation count per
+    // request is exactly one.
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 2});
+    auto const id = svc.registerTemplate(scaleTemplate(4));
+    constexpr int rounds = 100;
+    std::atomic<int> resolutions{0};
+    std::vector<Payload> payloads(rounds);
+    std::vector<serve::CancelToken> tokens;
+    std::vector<serve::Future> futures;
+    tokens.reserve(rounds);
+    futures.reserve(rounds);
+    for(int i = 0; i < rounds; ++i)
+    {
+        payloads[i].in = 1.0;
+        tokens.push_back(serve::CancelToken::make());
+        serve::Request request;
+        request.tmpl = id;
+        request.tenant = "t";
+        request.payload = &payloads[i];
+        request.cancel = tokens[i];
+        auto future = svc.submit(request);
+        future.then([&](std::exception_ptr) { resolutions.fetch_add(1); });
+        futures.push_back(std::move(future));
+        if(i % 2 == 0)
+            tokens[i].cancel(); // races the dispatch
+    }
+    svc.drain();
+    for(int i = 0; i < rounds; ++i)
+    {
+        ASSERT_TRUE(futures[i].poll());
+        // Either it ran (out is final) or it was shed (out untouched) —
+        // never half-made state.
+        if(futures[i].error() == nullptr)
+            EXPECT_DOUBLE_EQ(payloads[i].out, 3.0);
+        else
+            EXPECT_DOUBLE_EQ(payloads[i].out, 0.0);
+    }
+    EXPECT_EQ(resolutions.load(), rounds);
+}
+
+// ------------------------------------------------------- teardown hygiene
+
+TEST(ServeService, ServingWithShedAndCancelPathsLeavesNoDeviceAllocations)
+{
+    auto const simDev = dev::PltfCudaSim::getDevByIdx(0);
+    (void) mempool::Pool::forDev(simDev).trim(0);
+    auto const baseline = simDev.simDevice().memory().allocationCount();
+    {
+        serve::ServiceOptions options;
+        options.cpuWorkers = 0;
+        options.simDevs = {simDev};
+        serve::Service svc(std::move(options));
+        auto const id = svc.registerTemplate(scaleTemplate(4));
+        std::vector<Payload> payloads(32);
+        std::vector<serve::Future> futures;
+        for(std::size_t i = 0; i < payloads.size(); ++i)
+        {
+            payloads[i].in = static_cast<double>(i);
+            serve::Request request;
+            request.tmpl = id;
+            request.tenant = i % 2 == 0 ? "even" : "odd";
+            request.payload = &payloads[i];
+            if(i % 8 == 1)
+                request.deadline = std::chrono::steady_clock::now() - 1ms; // shed at submit
+            if(i % 8 == 5)
+            {
+                auto token = serve::CancelToken::make();
+                request.cancel = token;
+                token.cancel(); // shed at submit
+            }
+            futures.push_back(svc.submit(request));
+        }
+        svc.drain();
+        for(auto const& f : futures)
+            EXPECT_TRUE(f.poll());
+    }
+    // Scratch blocks travelled submit → pool → device and back on every
+    // path (served, expired, cancelled); nothing may remain.
+    (void) mempool::Pool::forDev(simDev).trim(0);
+    EXPECT_EQ(simDev.simDevice().memory().allocationCount(), baseline);
+}
