@@ -1010,6 +1010,67 @@ auto main() -> int
         ok = ok && overheadRatio <= 1.02;
     }
 
+    // Contended-submit scenario (ISSUE 7, DESIGN.md §8.6): the admission
+    // path itself under producer contention — K clients hammer submitFor
+    // with a no-op template, so per-request time is dominated by the
+    // lock-free reservation + MPMC ring push + publish, not the body.
+    // Reported (not gated): the number to watch across PRs is
+    // ns_per_request_contended_submit.
+    {
+        constexpr std::size_t submitters = 4;
+        auto const perSubmitter = bench::fullSweep() ? std::size_t{4000} : std::size_t{1000};
+        auto const total = static_cast<double>(submitters * perSubmitter);
+
+        serve::ServiceOptions options;
+        options.cpuWorkers = 2;
+        options.queueCapacity = 4096;
+        serve::Service service(std::move(options));
+        serve::TemplateDesc tmpl;
+        tmpl.name = "noop";
+        tmpl.maxBatch = 64;
+        tmpl.body = [](serve::RequestItem const&) {};
+        auto const tmplId = service.registerTemplate(std::move(tmpl));
+
+        std::vector<int> payloads(submitters);
+        std::vector<std::vector<serve::Future>> futures(
+            submitters,
+            std::vector<serve::Future>(perSubmitter));
+        auto const tSubmit = bench::timeBestOf(
+                                 bench::defaultReps(),
+                                 [&]
+                                 {
+                                     std::vector<std::jthread> threads;
+                                     threads.reserve(submitters);
+                                     for(std::size_t c = 0; c < submitters; ++c)
+                                         threads.emplace_back(
+                                             [&, c]
+                                             {
+                                                 auto const tenant = "sub-" + std::to_string(c);
+                                                 for(std::size_t r = 0; r < perSubmitter; ++r)
+                                                     futures[c][r] = service.submitFor(
+                                                         tmplId,
+                                                         tenant,
+                                                         &payloads[c],
+                                                         std::chrono::seconds{60});
+                                                 for(auto const& f : futures[c])
+                                                     f.wait();
+                                             });
+                                 })
+                             / total;
+
+        table.addRow(
+            {std::to_string(submitters) + " submitters",
+             "contended-submit",
+             bench::fmt(tSubmit * 1e9, 0),
+             bench::fmt(1.0, 2)});
+        report.beginRecord();
+        report.str("acc", "contended_submit");
+        report.num("submitters", submitters);
+        report.num("requests_per_submitter", perSubmitter);
+        report.num("ns_per_request_contended_submit", tSubmit * 1e9);
+        report.num("contended_submit_requests_per_sec", 1.0 / tSubmit);
+    }
+
     table.print(std::cout);
     table.printCsv(std::cout);
 

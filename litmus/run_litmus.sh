@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs every .litmus model through herd7 and fails on any witness of a
+# forbidden state (the `exists` clause of each test names the BAD
+# outcome, so a passing model prints "Positive: 0").
+#
+# Usage: litmus/run_litmus.sh [herd7-binary]
+#
+# herd7 comes from herdtools7 (opam install herdtools7); the CI litmus
+# lane installs it, local runs need it on PATH. Each test is pure model
+# checking — no hardware of the modeled architecture is required, so
+# the ARM64 variants verify on an x86 host and vice versa.
+set -u
+
+herd="${1:-herd7}"
+if ! command -v "$herd" > /dev/null 2>&1; then
+    echo "error: '$herd' not found — install herdtools7 (opam install herdtools7)" >&2
+    exit 2
+fi
+
+root="$(cd "$(dirname "$0")" && pwd)"
+fail=0
+checked=0
+for f in "$root"/*/*.litmus; do
+    out="$("$herd" "$f" 2>&1)"
+    status=$?
+    checked=$((checked + 1))
+    if [ $status -ne 0 ]; then
+        echo "FAIL (herd7 error) ${f#"$root"/}"
+        echo "$out" | sed 's/^/    /'
+        fail=1
+        continue
+    fi
+    # herd7 summarizes as "Positive: <witnesses> Negative: <others>";
+    # any witness means the claimed-forbidden state is reachable under
+    # the architecture's memory model — the protocol annotation is
+    # refuted and the code must be strengthened, not the test.
+    if echo "$out" | grep -Eq '^Positive: 0 '; then
+        echo "ok   ${f#"$root"/}"
+    else
+        echo "FAIL (forbidden-state witness) ${f#"$root"/}"
+        echo "$out" | sed 's/^/    /'
+        fail=1
+    fi
+done
+
+echo "checked $checked litmus tests"
+exit $fail

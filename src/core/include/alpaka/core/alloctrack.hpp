@@ -1,0 +1,29 @@
+/// \file Test-only global heap-allocation counting (DESIGN.md §8.9).
+///
+/// The zero-allocation steady-state audit needs a process-wide observer
+/// mirroring gpusim::MemoryManager::allocationCount() for the REAL heap:
+/// when the build option ALPAKA_REPRO_ALLOCTRACK is ON, the global
+/// operator new/delete families are replaced (in alloctrack.cpp) with
+/// counting forwarders over std::malloc/std::free, and allocCount()
+/// reports how many allocations the process has performed. Tests bracket
+/// a steady-state serving window with two allocCount() reads and assert
+/// the delta is zero (tests/serve/test_service_alloc.cpp).
+///
+/// With the option OFF (the default) nothing is replaced, the accessors
+/// report zero, and allocTrackEnabled() lets tests skip themselves.
+#pragma once
+
+#include <cstdint>
+
+namespace alpaka::core
+{
+    //! True when this binary was built with ALPAKA_REPRO_ALLOCTRACK and
+    //! the counting operator new/delete replacements are live.
+    [[nodiscard]] auto allocTrackEnabled() noexcept -> bool;
+
+    //! Process-wide count of heap allocations (operator new family).
+    [[nodiscard]] auto allocCount() noexcept -> std::uint64_t;
+
+    //! Process-wide count of heap deallocations (operator delete family).
+    [[nodiscard]] auto deallocCount() noexcept -> std::uint64_t;
+} // namespace alpaka::core

@@ -1,10 +1,42 @@
 /// \file Generic in-order asynchronous task queue backing StreamCpuAsync.
+///
+/// Lock-free MPSC design (DESIGN.md §8.7): producers enqueue through a
+/// Vyukov intrusive MPSC list (one exchange on the head plus one release
+/// store to link — no mutex, no per-enqueue syscall while the worker is
+/// busy), the single worker thread consumes nodes and recycles them
+/// through a bounded MPMC ring, so the steady state allocates nothing.
+///
+/// The delicate part is the shared gpusim::DrainState: fences built by
+/// mempool::Pool::freeDeferred poll {drained, seq} without any lock, and
+/// a stale drained==true is UNSAFE (a pooled block would be reused while
+/// a queued task still writes it — DESIGN.md §5.3). The publication
+/// protocol below therefore guarantees that drained==true is never
+/// observable by a thread whose enqueue has completed until that task
+/// ran:
+///
+///  * enqueue counts the task in a packed {epoch, pending} state word
+///    (seq_cst) BEFORE clearing the drained flag and linking the node;
+///  * the worker, on pending hitting zero, publishes the drain under a
+///    tiny leaf mutex: set publishing, re-read the state word, and store
+///    drained=true only if no enqueue raced past the count (litmus:
+///    taskqueue/{x86,arm64}_drain_flag — the seq_cst Dekker pair between
+///    the producer's count/flag-check and the worker's publishing-mark/
+///    state-re-read);
+///  * a producer that observes publishing or drained (seq_cst, after its
+///    count) joins the same leaf mutex and clears the flag — so any
+///    optimistically stored true is provably valid at the instant it is
+///    stored, not just eventually corrected.
+///
+/// The leaf mutex is uncontended and touched only on idle<->busy
+/// transitions; the task path itself (enqueue, pop, run) is lock-free.
 #pragma once
+
+#include "alpaka/core/mpmc_ring.hpp"
 
 #include "gpusim/types.hpp"
 
-#include <condition_variable>
-#include <deque>
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -19,18 +51,37 @@ namespace alpaka::core
     class TaskQueue
     {
     public:
-        TaskQueue() : worker_([this](std::stop_token stop) { loop(stop); })
+        TaskQueue()
         {
+            head_.store(&stub_, std::memory_order_relaxed);
+            tail_ = &stub_;
+            worker_ = std::thread([this] { loop(); });
         }
 
         ~TaskQueue()
         {
+            // Drain first: a stream dies only after its work ran.
+            awaitDrained();
+            stop_.store(true, std::memory_order_release);
+            // Wake the parked worker without claiming a task: parkSeq_ is
+            // the worker's private futex word, so bumping it perturbs no
+            // drain-protocol state.
+            parkSeq_.fetch_add(1, std::memory_order_seq_cst);
+            parkSeq_.notify_all();
+            worker_.join();
+            // Free the spine (every closure already ran and was moved
+            // out, so nodes hold no resources) and the recycle ring.
+            Node* node = tail_;
+            while(node != nullptr)
             {
-                std::unique_lock lock(mutex_);
-                cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
+                Node* const next = node->next.load(std::memory_order_relaxed);
+                if(node != &stub_)
+                    delete node;
+                node = next;
             }
-            worker_.request_stop();
-            cvWork_.notify_all();
+            Node* cached = nullptr;
+            while(nodeCache_.pop(cached))
+                delete cached;
         }
 
         TaskQueue(TaskQueue const&) = delete;
@@ -40,32 +91,54 @@ namespace alpaka::core
         //! (event markers must complete or waiters would hang).
         void enqueue(std::function<void()> task, bool always = false)
         {
+            Node* node = nullptr;
+            if(!nodeCache_.pop(node))
+                node = new Node;
+            node->fn = std::move(task);
+            node->always = always;
+            node->next.store(nullptr, std::memory_order_relaxed);
+
+            // Count before linking (and before the flag check): from here
+            // on, any validated drain publication sees pending > 0 and
+            // withholds drained=true until this task ran.
+            state_.fetch_add(pendingOne | epochOne, std::memory_order_seq_cst);
+            // Dekker with the worker's drain publication (litmus:
+            // taskqueue/*_drain_flag): read publishing_ FIRST — a cleared
+            // publishing_ means any in-flight publication finished, so
+            // the subsequent drained read sees its outcome.
+            if(publishing_.load(std::memory_order_seq_cst)
+               || drainState_->drained.load(std::memory_order_seq_cst))
             {
-                std::scoped_lock lock(mutex_);
-                queue_.push_back(Task{std::move(task), always});
-                drainState_->drained.store(false, std::memory_order_release);
+                std::scoped_lock lock(drainMutex_);
+                drainState_->drained.store(false, std::memory_order_seq_cst);
             }
-            cvWork_.notify_one();
+
+            // Link (litmus: taskqueue/*_mpsc_link): the release store of
+            // prev->next publishes fn/always to the worker's acquire load.
+            Node* const prev = head_.exchange(node, std::memory_order_acq_rel);
+            prev->next.store(node, std::memory_order_release);
+
+            parkSeq_.fetch_add(1, std::memory_order_seq_cst);
+            parkSeq_.notify_one(); // only the worker parks here
         }
 
         //! Blocks until the queue drained; rethrows the sticky error.
         void wait()
         {
-            std::unique_lock lock(mutex_);
-            cvDrained_.wait(lock, [&] { return queue_.empty() && !busy_; });
-            if(error_ != nullptr)
+            awaitDrained();
+            if(hasError_.load(std::memory_order_acquire))
                 std::rethrow_exception(error_);
         }
 
         [[nodiscard]] auto idle() const -> bool
         {
-            std::scoped_lock lock(mutex_);
-            return queue_.empty() && !busy_;
+            return pendingOf(state_.load(std::memory_order_acquire)) == 0;
         }
 
         [[nodiscard]] auto lastError() const -> std::exception_ptr
         {
-            std::scoped_lock lock(mutex_);
+            if(!hasError_.load(std::memory_order_acquire))
+                return nullptr;
             return error_;
         }
 
@@ -77,78 +150,155 @@ namespace alpaka::core
         }
 
     private:
-        struct Task
+        struct Node
         {
             std::function<void()> fn;
             bool always = false;
+            std::atomic<Node*> next{nullptr};
         };
 
-        void loop(std::stop_token stop)
+        // Packed state word: bits 0..31 = pending task count (enqueued,
+        // not yet finished), bits 32..63 = enqueue epoch (total enqueues,
+        // modular). One fetch_add bumps both, so "pending == 0" and "no
+        // enqueue happened since" are a single atomic snapshot — the
+        // drain publication validates against the epoch.
+        static constexpr std::uint64_t pendingOne = 1;
+        static constexpr std::uint64_t epochOne = std::uint64_t{1} << 32;
+
+        [[nodiscard]] static constexpr auto pendingOf(std::uint64_t state) noexcept -> std::uint32_t
+        {
+            return static_cast<std::uint32_t>(state & 0xffffffffu);
+        }
+
+        [[nodiscard]] static constexpr auto epochOf(std::uint64_t state) noexcept -> std::uint32_t
+        {
+            return static_cast<std::uint32_t>(state >> 32);
+        }
+
+        void awaitDrained() const
         {
             for(;;)
             {
-                Task task;
-                bool skip = false;
-                {
-                    std::unique_lock lock(mutex_);
-                    cvWork_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
-                    if(queue_.empty())
-                    {
-                        if(stop.stop_requested())
-                            return;
-                        continue;
-                    }
-                    task = std::move(queue_.front());
-                    queue_.pop_front();
-                    busy_ = true;
-                    // Sticky error: skip the work — but never destroy the
-                    // closure under the mutex. A closure may own the last
-                    // reference to a pooled buffer whose release re-enters
-                    // queue/pool locks (DESIGN.md §5.3); it is destroyed
-                    // with `task` at the end of the iteration, unlocked.
-                    skip = error_ != nullptr && !task.always;
-                }
-                if(task.fn && !skip)
-                {
-                    try
-                    {
-                        task.fn();
-                    }
-                    catch(...)
-                    {
-                        std::scoped_lock lock(mutex_);
-                        if(error_ == nullptr)
-                            error_ = std::current_exception();
-                    }
-                }
-                // Batched drain notification: waiters only care about the
-                // fully drained state, so skip the notify (and the
-                // associated wakeups) while more tasks are queued. Like
-                // enqueue's notify_one, the notify stays outside the
-                // critical section so woken waiters find the mutex free.
-                bool drained;
-                {
-                    std::scoped_lock lock(mutex_);
-                    busy_ = false;
-                    drained = queue_.empty();
-                    if(drained)
-                    {
-                        drainState_->seq.fetch_add(1, std::memory_order_release);
-                        drainState_->drained.store(true, std::memory_order_release);
-                    }
-                }
-                if(drained)
-                    cvDrained_.notify_all();
+                auto const s = state_.load(std::memory_order_acquire);
+                if(pendingOf(s) == 0)
+                    return;
+                state_.wait(s, std::memory_order_acquire);
             }
         }
 
-        mutable std::mutex mutex_;
-        std::condition_variable cvWork_;
-        std::condition_variable cvDrained_;
-        std::deque<Task> queue_;
-        bool busy_ = false;
-        std::exception_ptr error_{};
+        //! Pops one task (Vyukov MPSC: consume the payload of tail->next,
+        //! retire the old tail into the node cache). \returns false when
+        //! no linked node is available — which the caller disambiguates
+        //! via the pending count (mid-link vs genuinely empty).
+        [[nodiscard]] auto tryPop(std::function<void()>& fn, bool& always) -> bool
+        {
+            Node* tail = tail_;
+            Node* const next = tail->next.load(std::memory_order_acquire);
+            if(next == nullptr)
+                return false;
+            fn = std::move(next->fn);
+            next->fn = nullptr; // moved-from state of std::function is unspecified; pin it
+            always = next->always;
+            tail_ = next;
+            if(tail != &stub_)
+            {
+                if(!nodeCache_.push(tail))
+                    delete tail;
+            }
+            return true;
+        }
+
+        //! Publication of the drained flag (worker only, pending hit 0).
+        //! Under drainMutex_ so a true stored here is validated against
+        //! the state word atomically w.r.t. every producer's clear.
+        void publishDrained(std::uint64_t observed)
+        {
+            std::scoped_lock lock(drainMutex_);
+            publishing_.store(true, std::memory_order_seq_cst);
+            auto const s = state_.load(std::memory_order_seq_cst);
+            if(pendingOf(s) == 0 && epochOf(s) == epochOf(observed))
+            {
+                // seq before drained: freeDeferred captures seq first, so
+                // a drain landing between its two reads is never missed
+                // (mempool/pool.cpp).
+                drainState_->seq.fetch_add(1, std::memory_order_release);
+                drainState_->drained.store(true, std::memory_order_seq_cst);
+            }
+            publishing_.store(false, std::memory_order_seq_cst);
+        }
+
+        void runOne(std::function<void()>& fn, bool always)
+        {
+            // Sticky error: skip the work. The closure is destroyed by
+            // the caller's loop-local fn, outside every queue lock — a
+            // closure may own the last reference to a pooled buffer whose
+            // release re-enters pool locks (DESIGN.md §5.3).
+            auto const skip = hasError_.load(std::memory_order_relaxed) && !always;
+            if(fn && !skip)
+            {
+                try
+                {
+                    fn();
+                }
+                catch(...)
+                {
+                    if(!hasError_.load(std::memory_order_relaxed))
+                    {
+                        error_ = std::current_exception();
+                        hasError_.store(true, std::memory_order_release);
+                    }
+                }
+            }
+            fn = nullptr; // destroy the closure BEFORE the task stops counting
+            auto const s = state_.fetch_sub(pendingOne, std::memory_order_seq_cst) - pendingOne;
+            if(pendingOf(s) == 0)
+                publishDrained(s);
+            state_.notify_all(); // wait()-ers park on the state word
+        }
+
+        void loop()
+        {
+            std::function<void()> fn;
+            bool always = false;
+            for(;;)
+            {
+                // Park ticket BEFORE the emptiness check: an enqueue
+                // bumping parkSeq_ after this snapshot makes the park
+                // return immediately (no lost wakeup).
+                auto const ticket = parkSeq_.load(std::memory_order_seq_cst);
+                if(tryPop(fn, always))
+                {
+                    runOne(fn, always);
+                    continue;
+                }
+                auto const s = state_.load(std::memory_order_seq_cst);
+                if(pendingOf(s) != 0)
+                {
+                    // Counted but not yet linked: the producer is one
+                    // store away — yield it the core instead of parking.
+                    std::this_thread::yield();
+                    continue;
+                }
+                if(stop_.load(std::memory_order_acquire))
+                    return;
+                parkSeq_.wait(ticket, std::memory_order_seq_cst);
+            }
+        }
+
+        alignas(64) std::atomic<std::uint64_t> state_{0};
+        alignas(64) std::atomic<Node*> head_{nullptr}; //!< producers exchange
+        alignas(64) std::atomic<std::uint64_t> parkSeq_{0}; //!< worker park/wake word
+        Node* tail_ = nullptr; //!< worker-only
+        Node stub_;
+        MpmcRing<Node*> nodeCache_{256};
+
+        std::atomic<bool> stop_{false};
+        std::atomic<bool> hasError_{false};
+        std::exception_ptr error_{}; //!< written once, before hasError_ releases it
+
+        std::mutex drainMutex_; //!< leaf lock of the drained-flag protocol
+        std::atomic<bool> publishing_{false};
         std::shared_ptr<gpusim::DrainState> drainState_ = std::make_shared<gpusim::DrainState>();
-        std::jthread worker_;
+        std::thread worker_;
     };
 } // namespace alpaka::core

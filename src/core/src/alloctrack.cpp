@@ -1,0 +1,188 @@
+#include "alpaka/core/alloctrack.hpp"
+
+#if defined(ALPAKA_REPRO_ALLOCTRACK)
+
+#    include <atomic>
+#    include <cstddef>
+#    include <cstdlib>
+#    include <new>
+
+namespace
+{
+    // Relaxed is enough: the audit reads the counter on a quiesced
+    // process state (before/after a serving window it drained), never
+    // pairs it with another variable.
+    std::atomic<std::uint64_t> gAllocCount{0};
+    std::atomic<std::uint64_t> gDeallocCount{0};
+
+    auto countedAlloc(std::size_t size) noexcept -> void*
+    {
+        gAllocCount.fetch_add(1, std::memory_order_relaxed);
+        // malloc(0) may return nullptr legally; operator new must not.
+        return std::malloc(size != 0 ? size : 1);
+    }
+
+    auto countedAlignedAlloc(std::size_t size, std::size_t align) noexcept -> void*
+    {
+        gAllocCount.fetch_add(1, std::memory_order_relaxed);
+        // aligned_alloc requires size to be a multiple of the alignment.
+        auto const rounded = (size + align - 1) / align * align;
+        return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+    }
+
+    void countedFree(void* ptr) noexcept
+    {
+        if(ptr == nullptr)
+            return;
+        gDeallocCount.fetch_add(1, std::memory_order_relaxed);
+        std::free(ptr);
+    }
+} // namespace
+
+// Replacements for the replaceable global allocation functions. Sized
+// deletes forward to the unsized forms; sanitizer builds still intercept
+// the underlying malloc/free, so the audit composes with TSan/ASan lanes.
+
+auto operator new(std::size_t size) -> void*
+{
+    if(auto* const p = countedAlloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+auto operator new[](std::size_t size) -> void*
+{
+    return ::operator new(size);
+}
+
+auto operator new(std::size_t size, std::align_val_t align) -> void*
+{
+    if(auto* const p = countedAlignedAlloc(size, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc{};
+}
+
+auto operator new[](std::size_t size, std::align_val_t align) -> void*
+{
+    return ::operator new(size, align);
+}
+
+auto operator new(std::size_t size, std::nothrow_t const&) noexcept -> void*
+{
+    return countedAlloc(size);
+}
+
+auto operator new[](std::size_t size, std::nothrow_t const&) noexcept -> void*
+{
+    return countedAlloc(size);
+}
+
+auto operator new(std::size_t size, std::align_val_t align, std::nothrow_t const&) noexcept -> void*
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+auto operator new[](std::size_t size, std::align_val_t align, std::nothrow_t const&) noexcept -> void*
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete(void* ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete(void* ptr, std::nothrow_t const&) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::nothrow_t const&) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete(void* ptr, std::align_val_t, std::nothrow_t const&) noexcept
+{
+    countedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::align_val_t, std::nothrow_t const&) noexcept
+{
+    countedFree(ptr);
+}
+
+namespace alpaka::core
+{
+    auto allocTrackEnabled() noexcept -> bool
+    {
+        return true;
+    }
+
+    auto allocCount() noexcept -> std::uint64_t
+    {
+        return gAllocCount.load(std::memory_order_relaxed);
+    }
+
+    auto deallocCount() noexcept -> std::uint64_t
+    {
+        return gDeallocCount.load(std::memory_order_relaxed);
+    }
+} // namespace alpaka::core
+
+#else // !ALPAKA_REPRO_ALLOCTRACK
+
+namespace alpaka::core
+{
+    auto allocTrackEnabled() noexcept -> bool
+    {
+        return false;
+    }
+
+    auto allocCount() noexcept -> std::uint64_t
+    {
+        return 0;
+    }
+
+    auto deallocCount() noexcept -> std::uint64_t
+    {
+        return 0;
+    }
+} // namespace alpaka::core
+
+#endif

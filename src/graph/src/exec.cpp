@@ -166,6 +166,10 @@ namespace alpaka::graph
         auto const count = nodes_[node].subCount;
         for(std::uint32_t k = 0; k < count; ++k)
         {
+            // Relaxed claim is sound (litmus: graph/*_ready_ring): RMW
+            // atomicity alone makes every pos unique, and the consumer
+            // never reads the cursor — the slot's release store below is
+            // the only publication edge it synchronizes on.
             auto const pos = scratch.pushCursor.fetch_add(1, std::memory_order_relaxed);
             scratch.ring[pos].store(first + k + 1, std::memory_order_release);
         }
@@ -177,6 +181,10 @@ namespace alpaka::graph
 
     void Exec::runTicket(ReplayScratch& scratch)
     {
+        // Relaxed ticket claim, same argument as pushNode's cursor: RMW
+        // atomicity gives each participant a distinct slot; the acquire
+        // load of the slot below carries all the ordering (litmus:
+        // graph/*_ready_ring — the ISA2 chain push→publish→consume).
         auto const ticket = scratch.popTicket.fetch_add(1, std::memory_order_relaxed);
         auto& slot = scratch.ring[ticket];
         std::uint32_t id = 0;

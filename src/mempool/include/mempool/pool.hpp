@@ -104,7 +104,10 @@ namespace alpaka::mempool
         //! \name replay bodies of the graph alloc/free nodes (introspection
         //! only — the reservation itself is lifetime-based). Atomic: an
         //! explicitly built graph may leave its alloc/free nodes unordered,
-        //! and replay then runs them concurrently.
+        //! and replay then runs them concurrently. Relaxed is sound
+        //! (litmus sweep, DESIGN.md §8): the flag guards nothing — no
+        //! data is published under it, so there is no ordering edge to
+        //! strengthen.
         //! @{
         void activate() noexcept
         {

@@ -9,9 +9,11 @@
 #pragma once
 
 #include "alpaka/core/error.hpp"
+#include "alpaka/core/mpmc_ring.hpp"
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -22,6 +24,62 @@
 namespace alpaka::serve
 {
     class Service;
+
+    namespace detail
+    {
+        //! Block-recycling allocator for the per-request Future::State
+        //! control block: retired blocks park in a lock-free ring and the
+        //! next submission reuses one, so steady-state serving touches
+        //! the heap for none of its futures (zero-allocation audit,
+        //! DESIGN.md §8.9). One cache per block size (allocate_shared
+        //! instantiates this for its combined state+refcount node); the
+        //! ring is intentionally leaked at exit — blocks cached inside it
+        //! stay reachable, so leak checkers stay quiet and a Future
+        //! outliving main() can still retire its block safely.
+        template<typename T>
+        class RecyclingAllocator
+        {
+        public:
+            using value_type = T;
+
+            RecyclingAllocator() noexcept = default;
+
+            template<typename U>
+            explicit RecyclingAllocator(RecyclingAllocator<U> const&) noexcept
+            {
+            }
+
+            [[nodiscard]] auto allocate(std::size_t n) -> T*
+            {
+                if(n == 1)
+                {
+                    void* block = nullptr;
+                    if(cache().pop(block))
+                        return static_cast<T*>(block);
+                }
+                return static_cast<T*>(::operator new(n * sizeof(T)));
+            }
+
+            void deallocate(T* p, std::size_t n) noexcept
+            {
+                if(n == 1 && cache().push(static_cast<void*>(p)))
+                    return;
+                ::operator delete(p);
+            }
+
+            friend auto operator==(RecyclingAllocator const&, RecyclingAllocator const&) noexcept -> bool
+            {
+                return true;
+            }
+
+        private:
+            static auto cache() -> core::MpmcRing<void*>&
+            {
+                static auto* const ring = new core::MpmcRing<void*>(4096);
+                return *ring;
+            }
+        };
+    } // namespace detail
 
     class Future
     {
@@ -106,6 +164,14 @@ namespace alpaka::serve
             std::exception_ptr error;
             std::vector<std::function<void(std::exception_ptr)>> continuations;
         };
+
+        //! State factory of the serving hot path: pooled through the
+        //! recycling allocator, so per-request future creation allocates
+        //! only until the cache warmed up.
+        [[nodiscard]] static auto makeState() -> std::shared_ptr<State>
+        {
+            return std::allocate_shared<State>(detail::RecyclingAllocator<State>{});
+        }
 
         //! Using an empty future is misuse, reported typed — never a null
         //! dereference (\throws UsageError).

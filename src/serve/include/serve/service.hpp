@@ -63,10 +63,12 @@
 
 #include "mempool/stream_ops.hpp"
 
+#include "alpaka/core/mpmc_ring.hpp"
 #include "alpaka/stream.hpp"
 
 #include "graph/exec.hpp"
 
+#include "threadpool/spin.hpp"
 #include "threadpool/thread_pool.hpp"
 
 #include <array>
@@ -75,7 +77,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -193,6 +194,11 @@ namespace alpaka::serve
         struct TemplateState;
 
         //! Log2-bucketed latency histogram, lock-free on the record path.
+        //! Snapshot consistency (litmus: serve/*_hist_snapshot): record()
+        //! raises maxUs BEFORE counting the sample (release), snapshot()
+        //! reads counts (acquire) before maxUs — so every sample a
+        //! snapshot counts is covered by the maxUs it reports, and the
+        //! derived quantiles never exceed the reported max.
         class LatencyHistogram
         {
         public:
@@ -221,12 +227,92 @@ namespace alpaka::serve
             CancelToken cancel;
         };
 
+        //! Fixed-capacity FIFO of one tenant's admitted requests, backed
+        //! by a ring over a vector sized once at tenant creation (the
+        //! per-tenant admission bound). Unlike std::deque — whose chunk
+        //! map churns a heap allocation every few dozen rotations —
+        //! steady-state queueing through this ring never touches the
+        //! heap (zero-allocation audit, DESIGN.md §8.9). Worker-side
+        //! only: every access is under mutex_.
+        class PendingFifo
+        {
+        public:
+            explicit PendingFifo(std::size_t capacity) : buf_(capacity)
+            {
+            }
+
+            [[nodiscard]] auto size() const noexcept -> std::size_t
+            {
+                return tail_ - head_;
+            }
+            [[nodiscard]] auto empty() const noexcept -> bool
+            {
+                return head_ == tail_;
+            }
+            [[nodiscard]] auto front() noexcept -> Pending&
+            {
+                return at(0);
+            }
+            //! Element \p i positions behind the front.
+            [[nodiscard]] auto at(std::size_t i) noexcept -> Pending&
+            {
+                return buf_[(head_ + i) % buf_.size()];
+            }
+            //! Capacity is enforced by the admission-side reservation
+            //! (TenantState::depth); a push never overflows.
+            void pushBack(Pending&& p)
+            {
+                buf_[tail_ % buf_.size()] = std::move(p);
+                ++tail_;
+            }
+            void popFront()
+            {
+                front() = Pending{}; // drop the future/token refs now
+                ++head_;
+            }
+            //! Removes the element at logical index \p i by shifting the
+            //! tail down — O(size), used only by overload shedding, which
+            //! is already the exceptional path.
+            auto takeAt(std::size_t i) -> Pending
+            {
+                Pending out = std::move(at(i));
+                for(auto j = i; j + 1 < size(); ++j)
+                    at(j) = std::move(at(j + 1));
+                at(size() - 1) = Pending{};
+                --tail_;
+                return out;
+            }
+
+        private:
+            std::vector<Pending> buf_;
+            std::size_t head_ = 0;
+            std::size_t tail_ = 0;
+        };
+
         struct TenantState
         {
+            explicit TenantState(std::size_t queueCap) : queue(queueCap)
+            {
+            }
+
             std::string name;
-            std::deque<Pending> queue;
-            std::uint64_t admitted = 0;
-            std::uint64_t completed = 0;
+            //! Cached std::hash of name — the lock-free tenant index
+            //! probes compare this before the string.
+            std::size_t hash = 0;
+            PendingFifo queue;
+            //! Admission-side occupancy: requests of this tenant staged
+            //! in the admission ring plus queued here. Reserved by
+            //! fetch_add (rolled back on reject) BEFORE the ring push, so
+            //! the per-tenant bound holds without any lock; drops under
+            //! mutex_ as requests leave the queue.
+            std::atomic<std::size_t> depth{0};
+            std::atomic<std::uint64_t> admitted{0};
+            std::uint64_t completed = 0; //!< under mutex_
+            //! Intrusive round-robin rotation hooks (under mutex_): a
+            //! linked rotation beats a std::deque of pointers, whose
+            //! chunk churn would allocate in the steady state.
+            TenantState* nextActive = nullptr;
+            bool inRotation = false;
         };
 
         //! One dispatch: a same-template run popped from one tenant.
@@ -289,6 +375,11 @@ namespace alpaka::serve
             //! completion, both under mutex_); the supervisor reads it to
             //! claim a lost worker's work.
             std::shared_ptr<InFlightBatch> inFlight;
+            //! Pool of this worker's InFlightBatch control blocks: an
+            //! entry with use_count() == 1 (nobody else — supervisor or
+            //! shutdown — still holds it) is recycled for the next
+            //! dispatch, so the steady state allocates no batch state.
+            std::vector<std::shared_ptr<InFlightBatch>> batchCache;
             std::thread thread;
         };
 
@@ -367,11 +458,34 @@ namespace alpaka::serve
 
         auto admit(Request const& request, std::chrono::steady_clock::time_point const* spaceDeadline) -> Future;
         [[nodiscard]] auto resolveTemplate(TemplateId id) -> TemplateState*;
+        //! Lock-free tenant lookup through the open-addressed index;
+        //! nullptr on miss (first submit of a tenant — the locked
+        //! creation path handles it).
+        [[nodiscard]] auto tenantFind(std::string_view name) const noexcept -> TenantState*;
         [[nodiscard]] auto tenantLocked(std::string_view name) -> TenantState*;
-        //! Pops the next batch; doomed (expired/cancelled) head requests
-        //! go to \p shed instead of the batch (dispatch-time shedding —
-        //! they never reach kernel work).
-        [[nodiscard]] auto popBatchLocked(std::vector<Shed>& shed) -> Batch;
+        //! Reserves one global + one per-tenant queue slot against the
+        //! atomic bounds (fetch_add, rolled back on overshoot). \returns
+        //! false with nothing held when either bound is full.
+        [[nodiscard]] auto tryReserve(TenantState& t) noexcept -> bool;
+        //! Moves every request staged in the admission ring into its
+        //! tenant's queue and rotation slot. Caller holds mutex_.
+        void drainAdmissionLocked();
+        //! \name intrusive active-tenant rotation (caller holds mutex_)
+        //! @{
+        void activePush(TenantState* t) noexcept;
+        [[nodiscard]] auto activePop() noexcept -> TenantState*;
+        void activeErase(TenantState* t) noexcept;
+        //! @}
+        //! A recycled (or, before the cache warmed up, fresh) in-flight
+        //! control block from \p worker's pool, claimed flag reset and
+        //! batch cleared.
+        [[nodiscard]] auto acquireBatch(Worker& worker) -> std::shared_ptr<InFlightBatch>;
+        //! Pops the next batch into \p out (whose request buffer is
+        //! reused across dispatches); doomed (expired/cancelled) head
+        //! requests go to \p shed instead of the batch (dispatch-time
+        //! shedding — they never reach kernel work). \returns false when
+        //! no batch formed.
+        [[nodiscard]] auto popBatchLocked(Batch& out, std::vector<Shed>& shed) -> bool;
         //! Moves overload victims (queued > watermark) into \p shed,
         //! most-expired/oldest-deadline first. Caller holds mutex_.
         void shedOverloadLocked(std::vector<Shed>& shed);
@@ -404,30 +518,69 @@ namespace alpaka::serve
         //! addresses are stable, so dispatch never needs this lock.
         mutable std::mutex registryMutex_;
         std::vector<std::unique_ptr<TemplateState>> templates_;
+        //! Lock-free template lookup: registerTemplate publishes the
+        //! state pointer here (release) and submit loads it (acquire) —
+        //! the submit hot path never touches registryMutex_. Ids past the
+        //! index capacity fall back to the locked lookup.
+        static constexpr std::size_t templateIndexCapacity = 1024;
+        std::vector<std::atomic<TemplateState*>> templateIndex_
+            = std::vector<std::atomic<TemplateState*>>(templateIndexCapacity);
 
-        //! Admission/scheduling state under one mutex (short critical
-        //! sections: queue push/pop and counter updates only — execution
-        //! never holds it).
+        //! The bounded lock-free admission path (litmus: serve/
+        //! {x86,arm64}_admit_ring_cell, *_admit_stop_gate): a submitter
+        //! reserves against the atomic bounds, stages the request in this
+        //! MPMC ring and publishes workWord_ — no mutex anywhere on the
+        //! submit hot path. Workers move staged requests into the tenant
+        //! queues under mutex_ (drainAdmissionLocked) before scheduling.
+        //! Sized 2x queueCapacity so a push under a reservation never
+        //! meets a transiently-uncommitted cell.
+        core::MpmcRing<Pending> admitRing_;
+        //! Dekker gate against shutdown (litmus: serve/*_admit_stop_gate):
+        //! a submitter raises the gate (seq_cst) and THEN checks stop_;
+        //! shutdown stores stop_ and spins until the gate is zero before
+        //! its leftover sweep. Either the submitter sees stop_ and backs
+        //! out, or shutdown waits for the ring push to land — no admitted
+        //! request is ever orphaned in the ring.
+        std::atomic<std::size_t> admitGate_{0};
+        std::atomic<bool> stop_{false};
+        //! Admitted, undispatched requests (ring-staged + tenant-queued);
+        //! the global bound is enforced by fetch_add-reserve on this.
+        std::atomic<std::size_t> queued_{0};
+        std::atomic<std::uint64_t> admitted_{0};
+        std::atomic<std::uint64_t> rejected_{0};
+        //! Worker wake word (replaces the old workCv_, which needed
+        //! mutex_ on the submit side to avoid lost wakeups): a submitter
+        //! publishes after the ring push, workers snapshot-check-park.
+        threadpool::detail::PublishWord workWord_;
+
+        //! Scheduling state under one mutex (short critical sections:
+        //! queue moves and counter updates only — neither execution nor
+        //! admission ever holds it).
         mutable std::mutex mutex_;
-        std::condition_variable workCv_; //!< workers: work available / stop
         std::condition_variable spaceCv_; //!< blocking submitters: space freed
         std::condition_variable idleCv_; //!< drain(): everything completed
         std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
         std::vector<TenantState*> tenantOrder_; //!< creation order (stats)
-        //! Tenants with a non-empty queue, in round-robin rotation: a
-        //! tenant enters at the back on its 0→1 queue transition, the
-        //! scheduler pops the front and re-appends it while non-empty.
-        //! Dispatch therefore never scans idle tenants — O(1) per pick
-        //! however many tenants exist.
-        std::deque<TenantState*> active_;
-        std::size_t queued_ = 0;
+        //! Lock-free tenant index: open-addressed, insert-only (tenant
+        //! records persist), written under mutex_ at creation, probed
+        //! without any lock by submit. Beyond the capacity, extra
+        //! tenants simply miss here and resolve through the locked map.
+        static constexpr std::size_t tenantSlotCount = 1024;
+        std::vector<std::atomic<TenantState*>> tenantSlots_
+            = std::vector<std::atomic<TenantState*>>(tenantSlotCount);
+        //! Tenants with a non-empty queue, in round-robin rotation
+        //! (intrusive list through TenantState::nextActive): a tenant
+        //! enters at the back on its 0→1 queue transition, the scheduler
+        //! pops the front and re-appends it while non-empty. Dispatch
+        //! therefore never scans idle tenants — O(1) per pick however
+        //! many tenants exist.
+        TenantState* activeHead_ = nullptr;
+        TenantState* activeTail_ = nullptr;
         std::size_t inFlight_ = 0;
         //! Requests off the queues whose typed-error resolution is still
         //! running outside the lock; drain() waits for zero so a returned
         //! drain() always means every future has resolved.
         std::size_t resolving_ = 0;
-        std::uint64_t admitted_ = 0;
-        std::uint64_t rejected_ = 0;
         std::uint64_t completed_ = 0;
         std::uint64_t failed_ = 0;
         std::uint64_t batches_ = 0;
@@ -436,7 +589,6 @@ namespace alpaka::serve
         std::uint64_t shedOverload_ = 0;
         std::uint64_t workersLost_ = 0;
         std::uint64_t workerRestarts_ = 0;
-        bool stop_ = false;
         bool shutdownRan_ = false;
 
         LatencyHistogram latency_;

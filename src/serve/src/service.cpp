@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 #include <utility>
 
 namespace alpaka::serve
@@ -17,6 +18,29 @@ namespace alpaka::serve
                        std::chrono::steady_clock::now().time_since_epoch())
                 .count();
         }
+
+        //! RAII arm of the admission gate (the Dekker pair with
+        //! shutdown's stop_-store/gate-spin, litmus: serve/
+        //! *_admit_stop_gate). Raised for the whole reserve→push window
+        //! so shutdown's leftover sweep never misses an in-flight ring
+        //! push; released on every exit path, including the throws.
+        class GateGuard
+        {
+        public:
+            explicit GateGuard(std::atomic<std::size_t>& gate) noexcept : gate_(gate)
+            {
+                gate_.fetch_add(1, std::memory_order_seq_cst);
+            }
+            ~GateGuard()
+            {
+                gate_.fetch_sub(1, std::memory_order_seq_cst);
+            }
+            GateGuard(GateGuard const&) = delete;
+            auto operator=(GateGuard const&) -> GateGuard& = delete;
+
+        private:
+            std::atomic<std::size_t>& gate_;
+        };
     } // namespace
 
     // ------------------------------------------------------------------
@@ -25,25 +49,35 @@ namespace alpaka::serve
     void Service::LatencyHistogram::record(std::uint64_t us) noexcept
     {
         auto const bucket = std::min<std::size_t>(std::bit_width(us), bucketCount - 1);
-        counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+        // Max BEFORE count (litmus: serve/*_hist_snapshot — the MP
+        // pattern with maxUs as payload and the bucket count as flag):
+        // once a snapshot has seen this sample's count, read-read
+        // coherence across the release/acquire pair guarantees its maxUs
+        // read covers this sample — so reported quantiles never exceed
+        // the reported max. The old order (count first, both relaxed)
+        // could publish a counted sample whose max was still in flight.
         auto prev = maxUs_.load(std::memory_order_relaxed);
-        while(us > prev && !maxUs_.compare_exchange_weak(prev, us, std::memory_order_relaxed))
+        while(us > prev
+              && !maxUs_.compare_exchange_weak(prev, us, std::memory_order_release, std::memory_order_relaxed))
         {
         }
+        counts_[bucket].fetch_add(1, std::memory_order_release);
     }
 
     auto Service::LatencyHistogram::snapshot() const -> LatencySnapshot
     {
         std::array<std::uint64_t, bucketCount> counts{};
         std::uint64_t total = 0;
+        // Counts first (acquire), maxUs last: the mirror of record()'s
+        // ordering — see the header contract.
         for(std::size_t b = 0; b < bucketCount; ++b)
         {
-            counts[b] = counts_[b].load(std::memory_order_relaxed);
+            counts[b] = counts_[b].load(std::memory_order_acquire);
             total += counts[b];
         }
         LatencySnapshot snap;
         snap.count = total;
-        snap.maxUs = static_cast<double>(maxUs_.load(std::memory_order_relaxed));
+        snap.maxUs = static_cast<double>(maxUs_.load(std::memory_order_acquire));
         if(total == 0)
             return snap;
         // A bucket holds latencies in [2^(b-1), 2^b); report the upper
@@ -68,7 +102,9 @@ namespace alpaka::serve
     // ------------------------------------------------------------------
     // construction / shutdown
 
-    Service::Service(Options options) : options_(std::move(options))
+    Service::Service(Options options)
+        : options_(std::move(options))
+        , admitRing_(options_.queueCapacity * 2)
     {
         pool_ = options_.pool != nullptr ? options_.pool : &threadpool::ThreadPool::global();
         if(options_.queueCapacity == 0)
@@ -140,12 +176,22 @@ namespace alpaka::serve
         ShutdownReport report;
         auto const deadline = std::chrono::steady_clock::now() + timeout;
         {
+            // Under mutex_ only for the cv waiters (spaceCv_/superviseCv_
+            // check stop_ inside their predicates); the store itself is
+            // the seq_cst half of the admission Dekker.
             std::scoped_lock lock(mutex_);
-            stop_ = true;
+            stop_.store(true, std::memory_order_seq_cst);
         }
-        workCv_.notify_all();
+        workWord_.publishAlways();
         spaceCv_.notify_all();
         superviseCv_.notify_all();
+        // Admission quiescence (litmus: serve/*_admit_stop_gate): any
+        // submitter already past its stop_ check holds the gate until its
+        // ring push landed; once the gate reads zero every future ring
+        // entry is impossible (a later submitter sees stop_) and every
+        // present one is visible to the sweep below.
+        while(admitGate_.load(std::memory_order_seq_cst) != 0)
+            std::this_thread::yield();
         // The supervisor exits promptly on stop_; joining it first means
         // no restart mutates workers_ while we walk the fleet below.
         if(supervisor_.joinable())
@@ -219,21 +265,28 @@ namespace alpaka::serve
             }
         }
 
-        // Whatever is still queued now has nobody left to serve it: every
-        // joinable worker exited (and drained while it could) or is stuck
-        // with its lost flag set. Resolve the leftovers so invariant 16
-        // holds across shutdown too.
+        // Whatever is still staged or queued now has nobody left to serve
+        // it: every joinable worker exited (and drained while it could)
+        // or is stuck with its lost flag set. Resolve the leftovers so
+        // invariant 16 holds across shutdown too.
         std::vector<Pending> abandoned;
         {
             std::scoped_lock lock(mutex_);
+            drainAdmissionLocked();
             for(auto* t : tenantOrder_)
             {
-                for(auto& pending : t->queue)
-                    abandoned.push_back(std::move(pending));
-                t->queue.clear();
+                while(!t->queue.empty())
+                {
+                    abandoned.push_back(std::move(t->queue.front()));
+                    t->queue.popFront();
+                }
+                t->depth.store(0, std::memory_order_relaxed);
+                t->nextActive = nullptr;
+                t->inRotation = false;
             }
-            active_.clear();
-            queued_ = 0;
+            activeHead_ = nullptr;
+            activeTail_ = nullptr;
+            queued_.store(0, std::memory_order_relaxed);
             resolving_ += abandoned.size();
         }
         for(auto const& pending : abandoned)
@@ -305,12 +358,25 @@ namespace alpaka::serve
             state->perWorker[slot].store(lowerForSlot(*state, slot), std::memory_order_release);
         state->id = static_cast<TemplateId>(templates_.size());
         auto const id = state->id;
+        auto* const raw = state.get();
         templates_.push_back(std::move(state));
+        // Publish to the lock-free index last: an acquire load through
+        // templateIndex_ sees a fully lowered template.
+        if(id < templateIndexCapacity)
+            templateIndex_[id].store(raw, std::memory_order_release);
         return id;
     }
 
     auto Service::resolveTemplate(TemplateId id) -> TemplateState*
     {
+        // Hot path: one acquire load, no lock (zero-allocation audit —
+        // submit never touches registryMutex_ once the template exists).
+        if(id < templateIndexCapacity)
+        {
+            auto* const state = templateIndex_[id].load(std::memory_order_acquire);
+            if(state != nullptr)
+                return state;
+        }
         std::scoped_lock lock(registryMutex_);
         if(id >= templates_.size())
             throw UsageError("serve::Service: unknown template id " + std::to_string(id));
@@ -319,6 +385,21 @@ namespace alpaka::serve
 
     // ------------------------------------------------------------------
     // admission
+
+    auto Service::tenantFind(std::string_view name) const noexcept -> TenantState*
+    {
+        auto const h = std::hash<std::string_view>{}(name);
+        for(std::size_t i = 0; i < tenantSlotCount; ++i)
+        {
+            auto const slot = (h + i) & (tenantSlotCount - 1);
+            auto* const t = tenantSlots_[slot].load(std::memory_order_acquire);
+            if(t == nullptr)
+                return nullptr; // insert-only table: an empty probe slot ends the chain
+            if(t->hash == h && std::string_view(t->name) == name)
+                return t;
+        }
+        return nullptr; // index full; the locked map still resolves it
+    }
 
     auto Service::tenantLocked(std::string_view name) -> TenantState*
     {
@@ -330,17 +411,51 @@ namespace alpaka::serve
         // limit (invariant 13 extended to the tenant table).
         if(options_.maxTenants != 0 && tenants_.size() >= options_.maxTenants)
         {
-            ++rejected_;
+            rejected_.fetch_add(1, std::memory_order_relaxed);
             throw AdmissionError(
                 "serve::Service: tenant bound reached (" + std::to_string(tenants_.size()) + "/"
                 + std::to_string(options_.maxTenants) + "), tenant '" + std::string(name) + "' not admitted");
         }
-        auto state = std::make_unique<TenantState>();
+        auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
+        auto state = std::make_unique<TenantState>(std::min(tenantCap, options_.queueCapacity));
         state->name = std::string(name);
+        state->hash = std::hash<std::string_view>{}(std::string_view(state->name));
         auto* const raw = state.get();
         tenants_.emplace(raw->name, std::move(state));
         tenantOrder_.push_back(raw);
+        // Publish into the lock-free index (release pairs with
+        // tenantFind's acquire); on a full table the tenant just keeps
+        // resolving through this locked path.
+        for(std::size_t i = 0; i < tenantSlotCount; ++i)
+        {
+            auto const slot = (raw->hash + i) & (tenantSlotCount - 1);
+            if(tenantSlots_[slot].load(std::memory_order_relaxed) == nullptr)
+            {
+                tenantSlots_[slot].store(raw, std::memory_order_release);
+                break;
+            }
+        }
         return raw;
+    }
+
+    auto Service::tryReserve(TenantState& t) noexcept -> bool
+    {
+        // Optimistic fetch_add with rollback: the transient overshoot is
+        // invisible to correctness (nothing is staged until both
+        // reservations held) and self-corrects before this returns.
+        if(queued_.fetch_add(1, std::memory_order_acq_rel) + 1 > options_.queueCapacity)
+        {
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
+        auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
+        if(t.depth.fetch_add(1, std::memory_order_acq_rel) + 1 > tenantCap)
+        {
+            t.depth.fetch_sub(1, std::memory_order_relaxed);
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
     }
 
     auto Service::admit(Request const& request, std::chrono::steady_clock::time_point const* spaceDeadline)
@@ -351,7 +466,7 @@ namespace alpaka::serve
         // allocation dies) — the error must reach the submitter, never a
         // worker, and must not leak a queue slot.
         ALPAKA_FAULT_POINT("serve.admit");
-        auto future = std::make_shared<Future::State>();
+        auto future = Future::makeState();
 
         // Already doomed at submission: resolve now, queue nothing.
         if(request.cancel.cancelled())
@@ -373,49 +488,94 @@ namespace alpaka::serve
             return Future(std::move(future));
         }
 
-        std::vector<Shed> shed;
+        TenantState* t = tenantFind(request.tenant);
+        for(;;)
         {
-            std::unique_lock lock(mutex_);
-            auto* const t = tenantLocked(request.tenant);
-            auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
-            auto const admissible = [&] { return queued_ < options_.queueCapacity && t->queue.size() < tenantCap; };
-            if(stop_ || !admissible())
+            bool reserved = false;
             {
-                if(spaceDeadline == nullptr || stop_)
+                GateGuard gate(admitGate_);
+                // Stop check AFTER the gate raise (seq_cst Dekker with
+                // shutdown, litmus: serve/*_admit_stop_gate).
+                if(stop_.load(std::memory_order_seq_cst))
                 {
-                    ++rejected_;
-                    throw AdmissionError(
-                        stop_ ? "serve::Service: submit while shutting down"
-                              : "serve::Service: admission queue full (queued " + std::to_string(queued_) + "/"
-                                  + std::to_string(options_.queueCapacity) + ", tenant '" + t->name + "' "
-                                  + std::to_string(t->queue.size()) + "/" + std::to_string(tenantCap) + ")");
+                    rejected_.fetch_add(1, std::memory_order_relaxed);
+                    throw AdmissionError("serve::Service: submit while shutting down");
                 }
-                if(!spaceCv_.wait_until(lock, *spaceDeadline, [&] { return stop_ || admissible(); }) || stop_)
+                if(t == nullptr)
                 {
-                    ++rejected_;
-                    throw AdmissionError(
-                        stop_ ? "serve::Service: submit while shutting down"
-                              : "serve::Service: admission deadline expired before queue space freed");
+                    // First submit of this tenant: the one admission path
+                    // that locks (and allocates) — once per tenant
+                    // lifetime, never in the steady state.
+                    std::scoped_lock lock(mutex_);
+                    t = tenantLocked(request.tenant);
+                }
+                if(tryReserve(*t))
+                {
+                    Pending p{
+                        state,
+                        t,
+                        request.payload,
+                        future,
+                        std::chrono::steady_clock::now(),
+                        request.deadline,
+                        request.cancel};
+                    // The reservation guarantees a free cell (ring is 2x
+                    // the bound); the spin only ever covers another
+                    // thread's in-flight cell commit.
+                    while(!admitRing_.push(std::move(p)))
+                        threadpool::detail::cpuRelax();
+                    admitted_.fetch_add(1, std::memory_order_relaxed);
+                    t->admitted.fetch_add(1, std::memory_order_relaxed);
+                    reserved = true;
                 }
             }
-            if(t->queue.empty())
-                active_.push_back(t); // 0 -> 1: tenant (re)enters the rotation
-            t->queue.push_back(Pending{
-                state,
-                t,
-                request.payload,
-                future,
-                std::chrono::steady_clock::now(),
-                request.deadline,
-                request.cancel});
-            ++t->admitted;
-            ++admitted_;
-            ++queued_;
-            if(options_.shedWatermark != 0 && queued_ > options_.shedWatermark)
-                shedOverloadLocked(shed);
+            if(reserved)
+                break;
+            // Full. Fail fast (plain submit) or wait for space and retry
+            // the reservation (the wait is the one blocking submit path,
+            // and it parks outside the admission gate so shutdown never
+            // waits on a parked submitter).
+            if(spaceDeadline == nullptr)
+            {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                auto const tenantCap
+                    = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
+                throw AdmissionError(
+                    "serve::Service: admission queue full (queued " + std::to_string(queued_.load()) + "/"
+                    + std::to_string(options_.queueCapacity) + ", tenant '" + t->name + "' "
+                    + std::to_string(t->depth.load()) + "/" + std::to_string(tenantCap) + ")");
+            }
+            std::unique_lock lock(mutex_);
+            auto const tenantCap = options_.tenantCapacity == 0 ? options_.queueCapacity : options_.tenantCapacity;
+            auto const spaceLikely = [&]
+            {
+                return stop_.load(std::memory_order_relaxed)
+                       || (queued_.load(std::memory_order_relaxed) < options_.queueCapacity
+                           && t->depth.load(std::memory_order_relaxed) < tenantCap);
+            };
+            if(!spaceCv_.wait_until(lock, *spaceDeadline, spaceLikely))
+            {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                throw AdmissionError("serve::Service: admission deadline expired before queue space freed");
+            }
+            // stop_ and lost reservation races resurface in the next
+            // iteration's gate-guarded checks.
         }
-        workCv_.notify_one();
-        resolveShed(shed);
+
+        workWord_.publish(); // wake a parked worker (elided when none is)
+        if(options_.shedWatermark != 0 && queued_.load(std::memory_order_relaxed) > options_.shedWatermark)
+        {
+            // Overload: shed most-expired first. Slow path by design —
+            // it takes mutex_ and allocates, but a service past its
+            // watermark is already failing its latency promise.
+            std::vector<Shed> shed;
+            {
+                std::scoped_lock lock(mutex_);
+                drainAdmissionLocked();
+                shedOverloadLocked(shed);
+            }
+            resolveShed(shed);
+        }
         return Future(std::move(future));
     }
 
@@ -448,16 +608,92 @@ namespace alpaka::serve
     // ------------------------------------------------------------------
     // scheduling
 
-    auto Service::popBatchLocked(std::vector<Shed>& shed) -> Batch
+    void Service::activePush(TenantState* t) noexcept
     {
-        if(active_.empty())
-            return {};
+        t->nextActive = nullptr;
+        t->inRotation = true;
+        if(activeTail_ != nullptr)
+            activeTail_->nextActive = t;
+        else
+            activeHead_ = t;
+        activeTail_ = t;
+    }
+
+    auto Service::activePop() noexcept -> TenantState*
+    {
+        auto* const t = activeHead_;
+        if(t == nullptr)
+            return nullptr;
+        activeHead_ = t->nextActive;
+        if(activeHead_ == nullptr)
+            activeTail_ = nullptr;
+        t->nextActive = nullptr;
+        t->inRotation = false;
+        return t;
+    }
+
+    void Service::activeErase(TenantState* t) noexcept
+    {
+        TenantState* prev = nullptr;
+        for(auto* it = activeHead_; it != nullptr; prev = it, it = it->nextActive)
+        {
+            if(it != t)
+                continue;
+            if(prev != nullptr)
+                prev->nextActive = t->nextActive;
+            else
+                activeHead_ = t->nextActive;
+            if(activeTail_ == t)
+                activeTail_ = prev;
+            t->nextActive = nullptr;
+            t->inRotation = false;
+            return;
+        }
+    }
+
+    void Service::drainAdmissionLocked()
+    {
+        Pending p;
+        while(admitRing_.pop(p))
+        {
+            auto* const t = p.tenant;
+            t->queue.pushBack(std::move(p));
+            if(!t->inRotation)
+                activePush(t); // 0 -> 1: tenant (re)enters the rotation
+        }
+    }
+
+    auto Service::acquireBatch(Worker& worker) -> std::shared_ptr<InFlightBatch>
+    {
+        for(auto& slot : worker.batchCache)
+        {
+            // use_count() == 1 means this worker's cache holds the only
+            // reference: no supervisor or shutdown claim is outstanding,
+            // so the block (and its request buffer's capacity) recycles.
+            if(slot.use_count() == 1)
+            {
+                slot->claimed.store(false, std::memory_order_relaxed);
+                slot->batch.tmpl = nullptr;
+                slot->batch.requests.clear();
+                return slot;
+            }
+        }
+        auto fresh = std::make_shared<InFlightBatch>();
+        if(worker.batchCache.size() < 8)
+            worker.batchCache.push_back(fresh);
+        return fresh;
+    }
+
+    auto Service::popBatchLocked(Batch& out, std::vector<Shed>& shed) -> bool
+    {
         // Fairness (invariant 14): the picked tenant goes to the back of
         // the rotation whatever we take from it, and one pick never
         // exceeds the head template's maxBatch.
-        auto* const t = active_.front();
-        active_.pop_front();
-        Batch batch;
+        auto* const t = activePop();
+        if(t == nullptr)
+            return false;
+        out.tmpl = nullptr;
+        out.requests.clear();
         auto const now = std::chrono::steady_clock::now();
         while(!t->queue.empty())
         {
@@ -476,23 +712,28 @@ namespace alpaka::serve
                               : std::make_exception_ptr(
                                     DeadlineError("serve::Service: deadline expired before dispatch"));
                 shed.push_back(std::move(s));
-                t->queue.pop_front();
-                --queued_;
+                t->queue.popFront();
+                t->depth.fetch_sub(1, std::memory_order_relaxed);
+                queued_.fetch_sub(1, std::memory_order_relaxed);
                 ++resolving_;
                 continue;
             }
-            if(batch.tmpl == nullptr)
-                batch.tmpl = head.tmpl;
-            else if(head.tmpl != batch.tmpl || batch.requests.size() >= batch.tmpl->desc.maxBatch)
+            if(out.tmpl == nullptr)
+                out.tmpl = head.tmpl;
+            else if(head.tmpl != out.tmpl || out.requests.size() >= out.tmpl->desc.maxBatch)
                 break;
-            batch.requests.push_back(std::move(head));
-            t->queue.pop_front();
+            out.requests.push_back(std::move(head));
+            t->queue.popFront();
+            t->depth.fetch_sub(1, std::memory_order_relaxed);
         }
         if(!t->queue.empty())
-            active_.push_back(t);
-        if(batch.requests.empty())
-            batch.tmpl = nullptr; // everything at the head was doomed
-        return batch;
+            activePush(t);
+        if(out.requests.empty())
+        {
+            out.tmpl = nullptr; // everything at the head was doomed
+            return false;
+        }
+        return true;
     }
 
     void Service::shedOverloadLocked(std::vector<Shed>& shed)
@@ -501,16 +742,16 @@ namespace alpaka::serve
         // deadline anyway: most-expired/oldest-deadline first. Requests
         // without a deadline made no latency promise to break, so they
         // are never shed — they queue and backpressure as before.
-        while(queued_ > options_.shedWatermark)
+        while(queued_.load(std::memory_order_relaxed) > options_.shedWatermark)
         {
             TenantState* victimTenant = nullptr;
             std::size_t victimIndex = 0;
             std::chrono::steady_clock::time_point victimDeadline{};
-            for(auto* t : active_)
+            for(auto* t = activeHead_; t != nullptr; t = t->nextActive)
             {
                 for(std::size_t i = 0; i < t->queue.size(); ++i)
                 {
-                    auto const& pending = t->queue[i];
+                    auto const& pending = t->queue.at(i);
                     if(!pending.deadline.has_value())
                         continue;
                     if(victimTenant == nullptr || *pending.deadline < victimDeadline)
@@ -524,17 +765,16 @@ namespace alpaka::serve
             if(victimTenant == nullptr)
                 return; // nothing sheddable; the hard capacity bound still holds
             Shed s;
-            s.request = std::move(victimTenant->queue[victimIndex]);
+            s.request = victimTenant->queue.takeAt(victimIndex);
             s.error = std::make_exception_ptr(OverloadError(
                 "serve::Service: shed under overload (queued past watermark "
                 + std::to_string(options_.shedWatermark) + ")"));
             shed.push_back(std::move(s));
-            victimTenant->queue.erase(
-                victimTenant->queue.begin() + static_cast<std::ptrdiff_t>(victimIndex));
-            --queued_;
+            victimTenant->depth.fetch_sub(1, std::memory_order_relaxed);
+            queued_.fetch_sub(1, std::memory_order_relaxed);
             ++resolving_;
             if(victimTenant->queue.empty())
-                active_.erase(std::find(active_.begin(), active_.end(), victimTenant));
+                activeErase(victimTenant);
         }
     }
 
@@ -573,7 +813,7 @@ namespace alpaka::serve
                     ++shedOverload_;
                 }
             }
-            idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
+            idle = queued_.load(std::memory_order_relaxed) == 0 && inFlight_ == 0 && resolving_ == 0;
         }
         spaceCv_.notify_all();
         if(idle)
@@ -588,24 +828,31 @@ namespace alpaka::serve
         {
             if(worker.beat->lost.load(std::memory_order_acquire))
                 break; // slot handed to a replacement; this thread is done
-            std::shared_ptr<InFlightBatch> work;
+            // Park ticket BEFORE the work checks: a submitter publishing
+            // after this snapshot makes the park below return immediately
+            // (no lost wakeup — the snapshot-check-park protocol of
+            // PublishWord).
+            auto const ticket = workWord_.snapshot();
+            auto work = acquireBatch(worker);
             bool exit = false;
+            bool popped = false;
             {
                 std::unique_lock lock(mutex_);
-                workCv_.wait(lock, [&] { return stop_ || queued_ > 0; });
-                if(stop_ && queued_ == 0)
+                drainAdmissionLocked();
+                if(stop_.load(std::memory_order_seq_cst) && queued_.load(std::memory_order_seq_cst) == 0
+                   && admitGate_.load(std::memory_order_seq_cst) == 0)
                 {
+                    // Stopped, nothing queued, and no admission mid-push
+                    // (the gate read pairs with the submitter's raise).
                     exit = true;
                 }
-                else if(queued_ > 0)
+                else if(queued_.load(std::memory_order_relaxed) > 0)
                 {
-                    auto batch = popBatchLocked(shed);
-                    if(batch.tmpl != nullptr)
+                    popped = popBatchLocked(work->batch, shed);
+                    if(popped)
                     {
-                        work = std::make_shared<InFlightBatch>();
-                        work->batch = std::move(batch);
                         auto const count = work->batch.requests.size();
-                        queued_ -= count;
+                        queued_.fetch_sub(count, std::memory_order_relaxed);
                         inFlight_ += count;
                         ++batches_;
                         worker.inFlight = work;
@@ -619,8 +866,19 @@ namespace alpaka::serve
             resolveShed(shed);
             if(exit)
                 break;
-            if(work == nullptr)
+            if(!popped)
+            {
+                work.reset(); // back to the cache untouched
+                if(stop_.load(std::memory_order_seq_cst) || queued_.load(std::memory_order_seq_cst) > 0)
+                {
+                    // Racing work (or a draining shutdown): re-check
+                    // rather than park.
+                    std::this_thread::yield();
+                    continue;
+                }
+                workWord_.park(ticket);
                 continue;
+            }
 
             execute(worker, work->batch);
 
@@ -654,7 +912,7 @@ namespace alpaka::serve
                 failed_ += failures;
                 for(auto const& request : requests)
                     ++request.tenant->completed;
-                idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
+                idle = queued_.load(std::memory_order_relaxed) == 0 && inFlight_ == 0 && resolving_ == 0;
             }
             if(idle)
                 idleCv_.notify_all();
@@ -673,10 +931,10 @@ namespace alpaka::serve
                 options_.stallTimeout / 4,
                 std::chrono::nanoseconds(std::chrono::milliseconds(1)));
         std::unique_lock lock(mutex_);
-        while(!stop_)
+        while(!stop_.load(std::memory_order_acquire))
         {
-            superviseCv_.wait_for(lock, interval, [&] { return stop_; });
-            if(stop_)
+            superviseCv_.wait_for(lock, interval, [&] { return stop_.load(std::memory_order_relaxed); });
+            if(stop_.load(std::memory_order_relaxed))
                 return;
             lock.unlock();
             superviseOnce();
@@ -766,11 +1024,11 @@ namespace alpaka::serve
                     ++workerRestarts_;
                     raw->thread = std::thread([this, raw] { workerLoop(*raw); });
                 }
-                idle = queued_ == 0 && inFlight_ == 0 && resolving_ == 0;
+                idle = queued_.load(std::memory_order_relaxed) == 0 && inFlight_ == 0 && resolving_ == 0;
             }
             if(idle)
                 idleCv_.notify_all();
-            workCv_.notify_all();
+            workWord_.publishAlways();
         }
     }
 
@@ -899,7 +1157,9 @@ namespace alpaka::serve
     void Service::drain()
     {
         std::unique_lock lock(mutex_);
-        idleCv_.wait(lock, [&] { return queued_ == 0 && inFlight_ == 0 && resolving_ == 0; });
+        idleCv_.wait(
+            lock,
+            [&] { return queued_.load(std::memory_order_relaxed) == 0 && inFlight_ == 0 && resolving_ == 0; });
     }
 
     auto Service::stats() const -> ServiceStats
@@ -907,10 +1167,10 @@ namespace alpaka::serve
         ServiceStats s;
         {
             std::scoped_lock lock(mutex_);
-            s.queued = queued_;
+            s.queued = queued_.load(std::memory_order_relaxed);
             s.inFlight = inFlight_;
-            s.admitted = admitted_;
-            s.rejected = rejected_;
+            s.admitted = admitted_.load(std::memory_order_relaxed);
+            s.rejected = rejected_.load(std::memory_order_relaxed);
             s.completed = completed_;
             s.failed = failed_;
             s.batches = batches_;
@@ -921,7 +1181,11 @@ namespace alpaka::serve
             s.workerRestarts = workerRestarts_;
             s.tenants.reserve(tenantOrder_.size());
             for(auto const* t : tenantOrder_)
-                s.tenants.push_back(TenantStats{t->name, t->queue.size(), t->admitted, t->completed});
+                s.tenants.push_back(TenantStats{
+                    t->name,
+                    t->depth.load(std::memory_order_relaxed),
+                    t->admitted.load(std::memory_order_relaxed),
+                    t->completed});
         }
         auto const elapsed
             = std::chrono::duration<double>(std::chrono::steady_clock::now() - born_).count();

@@ -126,8 +126,18 @@ namespace threadpool
             for(;;)
             {
                 gen = generation_.load(std::memory_order_seq_cst);
-                if(shutdown_.load(std::memory_order_seq_cst)
-                   || memberIndex >= keep_.load(std::memory_order_seq_cst))
+                // Acquire is provably enough for both exit flags (litmus
+                // sweep, DESIGN.md §8): they are read AFTER the
+                // generation load, and the waking side stores its flag
+                // BEFORE bumping generation (a seq_cst RMW). A member
+                // that read the bumped generation therefore synchronizes
+                // with the bump and must see the flag; a member that read
+                // the old generation parks on it and the bump's futex
+                // value check/notify supplies the wake. (This is the
+                // ordering ThreadPool::workerLoop got wrong — see the
+                // pre-park re-check there.)
+                if(shutdown_.load(std::memory_order_acquire)
+                   || memberIndex >= keep_.load(std::memory_order_acquire))
                     return;
                 if(detail::isOpen(gen) && gen != seen)
                     break;

@@ -280,7 +280,11 @@ namespace threadpool
         int spins = spinBudget_;
         for(;;)
         {
-            if(shutdown_.load(std::memory_order_seq_cst))
+            // Fast-path exit check; acquire is enough here (litmus sweep,
+            // DESIGN.md §8): this load is advisory — the check that
+            // guarantees no worker parks past a published shutdown is the
+            // post-snapshot one right before park() below.
+            if(shutdown_.load(std::memory_order_acquire))
                 return;
             auto const seq = publishWord_.snapshot();
             // Scan for an open generation not yet drained: the worker's own
@@ -322,6 +326,19 @@ namespace threadpool
                 detail::cpuRelax();
                 continue;
             }
+            // Shutdown re-check AFTER the snapshot, immediately before
+            // parking (litmus: threadpool/*_park_publish — the forbidden
+            // state is "parked past a published shutdown"). The top-of-
+            // loop check alone is refutable: the destructor's store+bump
+            // can land between it and the snapshot, leaving seq already
+            // bumped — the worker would park on the post-shutdown value
+            // with no notify ever coming. Reading the bumped seq
+            // synchronizes with publishAlways() (seq_cst RMW), so this
+            // load is guaranteed to see the store and exit; a pre-bump
+            // seq instead makes park()'s futex value check or the notify
+            // catch the wake.
+            if(shutdown_.load(std::memory_order_acquire))
+                return;
             // Fault site (delay rules): widens the snapshot→park window; a
             // publish landing inside the delay must still be caught by the
             // futex value check in park(), never slept through.

@@ -553,3 +553,103 @@ TEST(GpusimMemory, FreeOfUnknownPointerIsTypedAndCountsStayExact)
     manager.free(b);
     EXPECT_EQ(manager.allocationCount(), 0u);
 }
+
+// The trim boundary audit (DESIGN.md §5.1): trim(keepBytes) racing
+// concurrent freeAsync/allocAsync traffic must keep the accounting
+// exact — bytesHeld equals the upstream's live bytes at every quiesce
+// point, bytesInUse covers exactly the outstanding blocks, and
+// highWaterBytes is monotone and never exceeded by any later
+// bytesInUse. Every counter mutation is serialized under the pool
+// lock (trim subtracts victims under the lock and only the upstream
+// release happens outside it), so drift here would mean a mutation
+// escaped the lock.
+TEST(MemPool, TrimRacingConcurrentFreeKeepsAccountingExact)
+{
+    CountingUpstream upstream;
+    mempool::Pool pool(upstream.upstream(), {.minBlockBytes = 256});
+
+    constexpr std::size_t churnThreads = 3;
+    constexpr int rounds = 400;
+    std::atomic<bool> stopTrim{false};
+    std::atomic<std::size_t> peakInUse{0};
+
+    std::vector<std::thread> threads;
+    for(std::size_t t = 0; t < churnThreads; ++t)
+    {
+        threads.emplace_back(
+            [&, t]
+            {
+                int const streamTag = 0; // distinct per thread by address
+                std::vector<std::pair<void*, std::size_t>> held;
+                held.reserve(8);
+                std::size_t mine = 0;
+                for(int r = 0; r < rounds; ++r)
+                {
+                    std::size_t const bytes = std::size_t{256} << ((r + t) % 4); // 256..2048
+                    held.emplace_back(pool.allocOrdered(&streamTag, bytes), bytes);
+                    mine += bytes;
+                    // Track a lower bound of the true concurrent in-use
+                    // peak: my own outstanding bytes alone never exceed
+                    // the real peak.
+                    auto prev = peakInUse.load();
+                    while(prev < mine && !peakInUse.compare_exchange_weak(prev, mine))
+                    {
+                    }
+                    if(held.size() >= 6)
+                    {
+                        // Free the oldest half while trim races us.
+                        for(std::size_t k = 0; k < 3; ++k)
+                        {
+                            pool.freeOrdered(&streamTag, held.front().first, {});
+                            mine -= held.front().second;
+                            held.erase(held.begin());
+                        }
+                    }
+                }
+                for(auto const& [p, bytes] : held)
+                    pool.freeOrdered(&streamTag, p, {});
+            });
+    }
+    threads.emplace_back(
+        [&]
+        {
+            std::size_t keep = 0;
+            while(!stopTrim.load(std::memory_order_acquire))
+            {
+                (void) pool.trim(keep);
+                keep = (keep + 1024) % 8192;
+                std::this_thread::yield();
+            }
+        });
+
+    for(std::size_t t = 0; t < churnThreads; ++t)
+        threads[t].join();
+    stopTrim.store(true, std::memory_order_release);
+    threads.back().join();
+
+    // Quiesced: every block freed, fences instant. Exactness checks.
+    auto const stats = pool.stats();
+    EXPECT_EQ(stats.bytesInUse, 0u) << "all blocks were freed";
+    EXPECT_EQ(stats.bytesHeld, upstream.liveBytes.load())
+        << "held bytes drifted from the upstream's live bytes across trim races";
+    EXPECT_GE(stats.highWaterBytes, peakInUse.load())
+        << "high water lost a concurrently observed in-use peak";
+    EXPECT_EQ(stats.cacheHits + stats.cacheMisses,
+              static_cast<std::uint64_t>(churnThreads) * rounds)
+        << "every allocation is either a hit or a miss";
+    EXPECT_EQ(upstream.allocs.load(), stats.cacheMisses)
+        << "each miss went upstream exactly once";
+
+    // trim(0) on a quiet pool must empty the caches exactly: held
+    // drops to zero and the upstream got every block back.
+    auto const released = pool.trim(0);
+    EXPECT_EQ(released, stats.bytesHeld);
+    EXPECT_EQ(pool.bytesHeld(), 0u);
+    EXPECT_EQ(pool.blocksCached(), 0u);
+    EXPECT_EQ(upstream.liveBytes.load(), 0u) << "upstream live bytes leak after full trim";
+    EXPECT_EQ(upstream.allocs.load(), upstream.frees.load());
+
+    // High water is a max over history: the racy window above cannot
+    // lower it afterwards.
+    EXPECT_EQ(pool.highWaterBytes(), stats.highWaterBytes);
+}

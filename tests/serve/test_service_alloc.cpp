@@ -1,0 +1,126 @@
+/// \file Zero-allocation steady-state audit of the kernel service
+/// (DESIGN.md §8.9, invariant 18): once caches are warm, the serving
+/// cycle — submit, admission ring handoff, batch build, dispatch,
+/// scratch alloc/free, future completion — must not touch the heap.
+/// The audit needs the counting operator new/delete replacements of
+/// ALPAKA_REPRO_ALLOCTRACK=ON (a sanitizer-matrix lane); without them
+/// the tests skip.
+#include <serve/service.hpp>
+
+#include <alpaka/core/alloctrack.hpp>
+
+#include <alpaka/alpaka.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace alpaka;
+
+namespace
+{
+    struct Payload
+    {
+        double in = 0.0;
+        double out = 0.0;
+    };
+
+    //! Doubles through scratch, so the audit covers the mempool
+    //! batch-build path (allocAsync/freeAsync per request), not just the
+    //! queueing machinery.
+    [[nodiscard]] auto scratchTemplate() -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "audit";
+        desc.scratchBytes = sizeof(double);
+        desc.maxBatch = 16;
+        desc.body = [](serve::RequestItem const& item)
+        {
+            auto* const p = static_cast<Payload*>(item.payload);
+            auto* const scratch = static_cast<double*>(item.scratch);
+            *scratch = p->in * 2.0;
+            p->out = *scratch;
+        };
+        return desc;
+    }
+} // namespace
+
+TEST(ServeServiceAlloc, SteadyStateServingAllocatesNothing)
+{
+    if(!core::allocTrackEnabled())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_ALLOCTRACK";
+
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 1, .queueCapacity = 256});
+    auto const id = svc.registerTemplate(scratchTemplate());
+    Payload p;
+
+    // Warm every cache on the cycle: the tenant record and its fixed
+    // FIFO, the admission ring lap state, the recycled future states,
+    // the worker's batch cache and item vectors, the mempool bins, the
+    // task-queue node cache, the histogram. Enough laps that each
+    // bounded ring has wrapped at least once.
+    for(int i = 0; i < 2'000; ++i)
+    {
+        p.in = static_cast<double>(i);
+        svc.submit(id, "tenant", &p).wait();
+    }
+    svc.drain();
+
+    auto const before = core::allocCount();
+    for(int i = 0; i < 1'000; ++i)
+    {
+        p.in = static_cast<double>(i);
+        svc.submit(id, "tenant", &p).wait();
+        ASSERT_DOUBLE_EQ(p.out, 2.0 * i);
+    }
+    svc.drain();
+    auto const after = core::allocCount();
+
+    EXPECT_EQ(after - before, 0u) << "steady-state submit->complete cycle touched the heap "
+                                  << (after - before) << " time(s)";
+}
+
+TEST(ServeServiceAlloc, SteadyStateBurstsAllocateNothing)
+{
+    if(!core::allocTrackEnabled())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_ALLOCTRACK";
+
+    constexpr std::size_t burst = 64;
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 1, .queueCapacity = 256});
+    auto const id = svc.registerTemplate(scratchTemplate());
+
+    std::vector<Payload> payloads(burst);
+    std::vector<serve::Future> futures;
+    futures.reserve(burst);
+
+    // Bursts pile a queue, so this warms (and then audits) the batched
+    // dispatch path: multi-request batches, FIFO laps, shed-free
+    // watermark checks.
+    auto runBurst = [&](int round)
+    {
+        futures.clear();
+        for(std::size_t i = 0; i < burst; ++i)
+        {
+            payloads[i].in = static_cast<double>(round) + static_cast<double>(i);
+            futures.push_back(svc.submit(id, "tenant", &payloads[i]));
+        }
+        for(auto& f : futures)
+            f.wait();
+        for(std::size_t i = 0; i < burst; ++i)
+            ASSERT_DOUBLE_EQ(payloads[i].out, 2.0 * payloads[i].in);
+    };
+
+    for(int round = 0; round < 50; ++round)
+        runBurst(round);
+    svc.drain();
+
+    auto const before = core::allocCount();
+    for(int round = 0; round < 20; ++round)
+        runBurst(round);
+    svc.drain();
+    auto const after = core::allocCount();
+
+    EXPECT_EQ(after - before, 0u) << "steady-state burst cycle touched the heap " << (after - before)
+                                  << " time(s)";
+}
