@@ -13,6 +13,10 @@
 #include <graph/capture.hpp>
 #include <graph/exec.hpp>
 #include <graph/graph.hpp>
+#include <net/client.hpp>
+#include <net/front_door.hpp>
+#include <net/router.hpp>
+#include <net/transport.hpp>
 #include <serve/service.hpp>
 
 #include <algorithm>
@@ -1071,6 +1075,224 @@ auto main() -> int
         report.num("contended_submit_requests_per_sec", 1.0 / tSubmit);
     }
 
+    // net_roundtrip scenario (ISSUE 8): what the wire path COSTS — the
+    // same requests once submitted directly into the Router (the in-
+    // process baseline) and once through the full front door (frame
+    // encode, crc, session state machine, zero-copy landing, response
+    // frame). Reported, not gated: the number to watch across PRs is
+    // front_door_overhead_pct.
+    {
+        struct NetPayload
+        {
+            double in = 0.0;
+            double out = 0.0;
+        };
+        net::RouterOptions routerOptions;
+        routerOptions.shards = 2;
+        routerOptions.shard.cpuWorkers = 2;
+        routerOptions.shard.queueCapacity = 4096;
+        net::Router router(routerOptions);
+        serve::TemplateDesc tmpl;
+        tmpl.name = "scale";
+        tmpl.maxBatch = 32;
+        tmpl.body = [](serve::RequestItem const& item)
+        {
+            auto* const p = static_cast<NetPayload*>(item.payload);
+            p->out = p->in * 2.0 + 1.0;
+        };
+        auto const tmplId = router.registerTemplate(std::move(tmpl));
+
+        auto const requests = bench::fullSweep() ? std::size_t{100'000} : std::size_t{20'000};
+        constexpr std::size_t window = net::DefaultCfg::window;
+
+        // ---- baseline: direct Router::submit, same window-of-W
+        // pipelining discipline the client uses on the wire.
+        std::vector<NetPayload> direct(window);
+        std::array<serve::Future, window> win;
+        auto const tDirect = bench::timeBestOf(
+                                 1,
+                                 [&]
+                                 {
+                                     for(std::size_t r = 0; r < requests; r += window)
+                                     {
+                                         auto const n = std::min(window, requests - r);
+                                         for(std::size_t i = 0; i < n; ++i)
+                                         {
+                                             direct[i].in = static_cast<double>(r + i);
+                                             win[i] = router.submit(
+                                                 serve::Request{tmplId, "direct", &direct[i], std::nullopt, {}});
+                                         }
+                                         for(std::size_t i = 0; i < n; ++i)
+                                             win[i].wait();
+                                     }
+                                 })
+                             / static_cast<double>(requests);
+
+        // ---- the same traffic through the front door over the
+        // in-process pipe transport, one polling loop driving both ends.
+        net::FrontDoor<> door(router);
+        auto [serverEnd, clientEnd] = net::makePipePair();
+        door.accept(std::move(serverEnd));
+        net::Client<> client(std::move(clientEnd));
+        client.hello("wire");
+        while(!client.ready())
+        {
+            door.poll(std::chrono::steady_clock::now());
+            client.poll([](net::Client<>::Response const&) {});
+        }
+
+        NetPayload wirePayload;
+        std::size_t wireBad = 0;
+        auto const tWire = bench::timeBestOf(
+                               1,
+                               [&]
+                               {
+                                   std::size_t sent = 0;
+                                   std::size_t got = 0;
+                                   while(got < requests)
+                                   {
+                                       while(sent < requests)
+                                       {
+                                           wirePayload.in = static_cast<double>(sent);
+                                           if(client.trySubmit(tmplId, reinterpret_cast<std::byte const*>(&wirePayload), sizeof(NetPayload)) == 0)
+                                               break;
+                                           ++sent;
+                                       }
+                                       bool progress = door.poll(std::chrono::steady_clock::now());
+                                       progress |= client.poll(
+                                           [&](net::Client<>::Response const& r)
+                                           {
+                                               ++got;
+                                               if(r.status != net::Status::Ok || r.payloadLen != sizeof(NetPayload))
+                                                   ++wireBad;
+                                           });
+                                       // A poll tick with nothing to move means the
+                                       // shard workers have the batch: give them the
+                                       // core instead of starving them with busy polls
+                                       // (this box may be single-core).
+                                       if(!progress)
+                                           std::this_thread::yield();
+                                   }
+                               })
+                           / static_cast<double>(requests);
+        auto const overheadPct = (tWire / tDirect - 1.0) * 100.0;
+        auto const doorStats = door.stats();
+
+        table.addRow({"1 conn", "net-direct", bench::fmt(tDirect * 1e9, 0), bench::fmt(1.0, 2)});
+        table.addRow({"1 conn", "net-roundtrip", bench::fmt(tWire * 1e9, 0), bench::fmt(tDirect / tWire, 2)});
+        report.beginRecord();
+        report.str("acc", "net_roundtrip");
+        report.num("requests", requests);
+        report.num("ns_per_request_direct_submit", tDirect * 1e9);
+        report.num("ns_per_request_front_door", tWire * 1e9);
+        report.num("front_door_overhead_pct", overheadPct);
+        report.num("front_door_frames_in", static_cast<std::size_t>(doorStats.framesIn));
+        report.num("front_door_rx_stalls", static_cast<std::size_t>(doorStats.rxStalls));
+        ok = ok && wireBad == 0;
+    }
+
+    // router_sharding scenario (ISSUE 8 acceptance): >= 1M requests
+    // through the consistent-hash router across >= 2 shards, every
+    // result verified, fleet latency quantiles from the bucket-merged
+    // per-shard histograms.
+    {
+        struct NetPayload
+        {
+            double in = 0.0;
+            double out = 0.0;
+        };
+        constexpr std::size_t totalRequests = 1'048'576;
+        constexpr std::size_t submitters = 4;
+        constexpr std::size_t perSubmitter = totalRequests / submitters;
+
+        net::RouterOptions routerOptions;
+        routerOptions.shards = 2;
+        routerOptions.shard.cpuWorkers = 2;
+        routerOptions.shard.queueCapacity = 4096;
+        net::Router router(routerOptions);
+        serve::TemplateDesc tmpl;
+        tmpl.name = "scale";
+        tmpl.maxBatch = 64;
+        tmpl.body = [](serve::RequestItem const& item)
+        {
+            auto* const p = static_cast<NetPayload*>(item.payload);
+            p->out = p->in * 2.0 + 1.0;
+        };
+        auto const tmplId = router.registerTemplate(std::move(tmpl));
+
+        std::vector<NetPayload> payloads(totalRequests);
+        auto const tRouted = bench::timeBestOf(
+                                 1,
+                                 [&]
+                                 {
+                                     {
+                                         std::vector<std::jthread> threads;
+                                         threads.reserve(submitters);
+                                         for(std::size_t c = 0; c < submitters; ++c)
+                                             threads.emplace_back(
+                                                 [&, c]
+                                                 {
+                                                     // 8 tenants per submitter so both shards see
+                                                     // traffic whatever the ring says.
+                                                     for(std::size_t r = 0; r < perSubmitter; ++r)
+                                                     {
+                                                         auto const idx = c * perSubmitter + r;
+                                                         payloads[idx].in = static_cast<double>(idx);
+                                                         auto const tenant = "tenant-" + std::to_string(c * 8 + r % 8);
+                                                         for(;;)
+                                                         {
+                                                             try
+                                                             {
+                                                                 router.submit(serve::Request{
+                                                                     tmplId,
+                                                                     tenant,
+                                                                     &payloads[idx],
+                                                                     std::nullopt,
+                                                                     {}});
+                                                                 break;
+                                                             }
+                                                             catch(net::ShardBusyError const&)
+                                                             {
+                                                                 std::this_thread::yield();
+                                                             }
+                                                         }
+                                                     }
+                                                 });
+                                     }
+                                     router.drain();
+                                 })
+                             / static_cast<double>(totalRequests);
+
+        std::size_t mismatches = 0;
+        for(std::size_t i = 0; i < totalRequests; ++i)
+            if(payloads[i].out != payloads[i].in * 2.0 + 1.0)
+                ++mismatches;
+        auto const routed = router.stats();
+        std::size_t shardsServing = 0;
+        for(auto const& shard : routed.perShard)
+            shardsServing += shard.completed > 0 ? 1 : 0;
+
+        table.addRow(
+            {std::to_string(submitters) + " submitters",
+             "router-sharding",
+             bench::fmt(tRouted * 1e9, 0),
+             bench::fmt(1.0, 2)});
+        report.beginRecord();
+        report.str("acc", "router_sharding");
+        report.num("requests", totalRequests);
+        report.num("shards", routerOptions.shards);
+        report.num("shards_serving", shardsServing);
+        report.num("verified_mismatches", mismatches);
+        report.num("ns_per_request_routed", tRouted * 1e9);
+        report.num("routed_requests_per_sec", 1.0 / tRouted);
+        report.num("latency_p50_us", routed.latency.p50Us);
+        report.num("latency_p99_us", routed.latency.p99Us);
+        report.num("latency_max_us", routed.latency.maxUs);
+        // ISSUE 8 acceptance gate: >= 1M requests, >= 2 shards actually
+        // serving, every payload verified.
+        ok = ok && routed.completed >= totalRequests && shardsServing >= 2 && mismatches == 0;
+    }
+
     table.print(std::cout);
     table.printCsv(std::cout);
 
@@ -1088,7 +1310,8 @@ auto main() -> int
     std::cout
         << (ok ? "launch-overhead gate: PASS (>= 3x vs seed on small grids, >= 2x concurrent submitters, "
                  ">= 2x graph replay vs resubmission, >= 2x pooled alloc churn, >= 2x serve throughput,\n"
-                 "                             <= 2% resilience-layer overhead on the serve hot path)\n"
+                 "                             <= 2% resilience-layer overhead on the serve hot path, "
+                 "1M routed requests across >= 2 shards verified)\n"
                : "launch-overhead gate: FAIL\n");
     return ok ? 0 : 1;
 }

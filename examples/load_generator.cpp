@@ -1,0 +1,268 @@
+/// \file Million-request load generator for the network front door
+/// (DESIGN.md §9): a tenant-affine shard Router behind a FrontDoor,
+/// hammered by concurrent client connections over the in-process pipe
+/// transport (or, with --socket, a real non-blocking loopback TCP
+/// socket). Every response is verified against the template's function,
+/// end-to-end latency is recorded client-side into the same log2-
+/// bucketed histogram the service uses, and the run ends with p50/p99/
+/// max and the router's shard-merged view of the same traffic.
+///
+///   load_generator [requests] [clients] [shards] [--socket]
+///
+/// Defaults drive 1'048'576 requests from 4 clients across 2 shards.
+#include <net/client.hpp>
+#include <net/front_door.hpp>
+#include <net/router.hpp>
+#include <net/socket.hpp>
+#include <net/transport.hpp>
+
+#include <serve/latency.hpp>
+#include <serve/service.hpp>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace alpaka;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+    //! Wider than the hermetic test config: a load generator wants deep
+    //! pipelines, not tiny reassembly tables.
+    struct LoadCfg
+    {
+        static constexpr std::size_t maxConnections = 16;
+        static constexpr std::size_t slotsPerConnection = 64;
+        static constexpr std::size_t maxPayload = 64;
+        static constexpr std::size_t maxTenantBytes = 48;
+        static constexpr std::size_t window = 64;
+        static constexpr std::size_t txFrames = 8;
+    };
+
+    struct Payload
+    {
+        double in = 0.0;
+        double out = 0.0;
+    };
+
+    struct ClientResult
+    {
+        serve::LatencyHistogram latency; //!< end-to-end, client-side clocked
+        std::uint64_t verified = 0;
+        std::uint64_t mismatched = 0;
+    };
+
+    //! One client connection: pipelines its share of the load through a
+    //! window of in-flight requests, stamping each submit and clocking
+    //! the matching response.
+    void runClient(
+        std::unique_ptr<net::Transport> transport,
+        std::string const& tenant,
+        serve::TemplateId tmpl,
+        std::size_t requests,
+        ClientResult& result)
+    {
+        net::Client<LoadCfg> client(std::move(transport));
+        client.hello(tenant);
+        while(!client.ready() && !client.closed())
+            client.poll([](net::Client<LoadCfg>::Response const&) {});
+        std::unordered_map<std::uint64_t, Clock::time_point> inFlight;
+        inFlight.reserve(LoadCfg::window);
+
+        Payload payload;
+        std::size_t sent = 0;
+        std::size_t done = 0;
+        while(done < requests && !client.closed())
+        {
+            while(sent < requests)
+            {
+                payload.in = static_cast<double>(sent);
+                auto const id = client.trySubmit(tmpl, reinterpret_cast<std::byte const*>(&payload), sizeof(Payload));
+                if(id == 0)
+                    break; // window or staging full: go service the wire
+                inFlight.emplace(id, Clock::now());
+                ++sent;
+            }
+            bool const progress = client.poll(
+                [&](net::Client<LoadCfg>::Response const& r)
+                {
+                    ++done;
+                    auto const it = inFlight.find(r.reqId);
+                    if(it != inFlight.end())
+                    {
+                        result.latency.record(static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - it->second)
+                                .count()));
+                        inFlight.erase(it);
+                    }
+                    Payload echoed;
+                    if(r.status == net::Status::Ok && r.payloadLen == sizeof(Payload))
+                    {
+                        std::memcpy(&echoed, r.payload, sizeof(Payload));
+                        if(echoed.out == echoed.in * 2.0 + 1.0)
+                            ++result.verified;
+                        else
+                            ++result.mismatched;
+                    }
+                    else
+                        ++result.mismatched;
+                });
+            if(!progress)
+                std::this_thread::yield();
+        }
+        client.bye();
+        // Flush the Bye and wait (briefly) for the door's draining ack —
+        // the graceful path; a vanished peer would also be handled.
+        auto const until = Clock::now() + std::chrono::milliseconds{200};
+        while(!client.closed() && Clock::now() < until)
+            if(!client.poll([](net::Client<LoadCfg>::Response const&) {}))
+                std::this_thread::yield();
+    }
+} // namespace
+
+auto main(int argc, char** argv) -> int
+{
+    std::size_t totalRequests = 1'048'576;
+    std::size_t clients = 4;
+    std::size_t shards = 2;
+    bool useSocket = false;
+    std::size_t positional = 0;
+    for(int a = 1; a < argc; ++a)
+    {
+        std::string const arg = argv[a];
+        if(arg == "--socket")
+            useSocket = true;
+        else if(positional == 0)
+            totalRequests = std::stoull(arg), ++positional;
+        else if(positional == 1)
+            clients = std::stoull(arg), ++positional;
+        else
+            shards = std::stoull(arg), ++positional;
+    }
+    if(clients == 0 || clients > LoadCfg::maxConnections || shards == 0)
+    {
+        std::cerr << "usage: load_generator [requests] [clients <= " << LoadCfg::maxConnections
+                  << "] [shards] [--socket]\n";
+        return 1;
+    }
+
+    net::RouterOptions routerOptions;
+    routerOptions.shards = shards;
+    routerOptions.shard.cpuWorkers = 2;
+    routerOptions.shard.queueCapacity = 4096;
+    net::Router router(routerOptions);
+    serve::TemplateDesc tmpl;
+    tmpl.name = "scale";
+    tmpl.maxBatch = 64;
+    tmpl.body = [](serve::RequestItem const& item)
+    {
+        auto* const p = static_cast<Payload*>(item.payload);
+        p->out = p->in * 2.0 + 1.0;
+    };
+    auto const tmplId = router.registerTemplate(std::move(tmpl));
+    net::FrontDoor<LoadCfg> door(router);
+
+    std::cout << "load_generator: " << totalRequests << " requests, " << clients << " clients, " << shards
+              << " shards, " << (useSocket ? "loopback socket" : "in-process pipe") << " transport\n";
+
+    // Client-side transport ends; the server ends go to the door (pipe)
+    // or arrive via the listener's non-blocking accept (socket).
+    std::vector<std::unique_ptr<net::Transport>> clientEnds(clients);
+    std::unique_ptr<net::SocketListener> listener;
+    if(useSocket)
+    {
+        listener = std::make_unique<net::SocketListener>(0);
+        for(auto& end : clientEnds)
+            end = net::connectLoopback(listener->port());
+    }
+    else
+    {
+        for(auto& end : clientEnds)
+        {
+            auto [serverEnd, clientEnd] = net::makePipePair(1 << 18);
+            if(!door.accept(std::move(serverEnd)))
+            {
+                std::cerr << "error: connection table full\n";
+                return 1;
+            }
+            end = std::move(clientEnd);
+        }
+    }
+
+    // The server: one thread polling the door (and the listener when
+    // sockets are in play) until every client said Bye.
+    std::atomic<bool> stop{false};
+    std::thread server(
+        [&]
+        {
+            while(!stop.load(std::memory_order_acquire))
+            {
+                if(listener != nullptr)
+                    while(auto conn = listener->accept())
+                        if(!door.accept(std::move(conn)))
+                            break;
+                if(!door.poll(Clock::now()))
+                    std::this_thread::yield();
+            }
+        });
+
+    std::vector<ClientResult> results(clients);
+    auto const perClient = totalRequests / clients;
+    auto const t0 = Clock::now();
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(clients);
+        for(std::size_t c = 0; c < clients; ++c)
+            threads.emplace_back(
+                [&, c]
+                {
+                    auto share = perClient + (c == 0 ? totalRequests % clients : 0);
+                    runClient(std::move(clientEnds[c]), "tenant-" + std::to_string(c), tmplId, share, results[c]);
+                });
+    }
+    auto const elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    stop.store(true, std::memory_order_release);
+    server.join();
+    router.drain();
+
+    serve::LatencyCounts merged;
+    std::uint64_t verified = 0;
+    std::uint64_t mismatched = 0;
+    for(auto const& r : results)
+    {
+        merged.merge(r.latency.counts());
+        verified += r.verified;
+        mismatched += r.mismatched;
+    }
+    auto const endToEnd = merged.snapshot();
+    auto const routed = router.stats();
+
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "\n  completed   " << verified << " verified, " << mismatched << " mismatched\n";
+    std::cout << "  throughput  " << std::setprecision(0) << static_cast<double>(verified) / elapsed
+              << " req/s (" << std::setprecision(2) << elapsed << " s wall)\n";
+    std::cout << "  end-to-end  p50 " << std::setprecision(0) << endToEnd.p50Us << " us   p99 " << endToEnd.p99Us
+              << " us   max " << endToEnd.maxUs << " us\n";
+    std::cout << "  in-service  p50 " << routed.latency.p50Us << " us   p99 " << routed.latency.p99Us
+              << " us   max " << routed.latency.maxUs << " us\n";
+    std::cout << "  per shard   ";
+    for(std::size_t s = 0; s < routed.perShard.size(); ++s)
+        std::cout << (s > 0 ? " / " : "") << "shard " << s << ": " << routed.perShard[s].completed << " done, "
+                  << routed.perShard[s].batches << " batches";
+    std::cout << '\n';
+
+    auto const reports = router.shutdown(std::chrono::seconds{10});
+    for(std::size_t s = 0; s < reports.size(); ++s)
+        if(!reports[s].clean)
+            std::cout << "  WARNING: shard " << s << " shutdown not clean\n";
+
+    return mismatched == 0 && verified == totalRequests ? 0 : 1;
+}

@@ -1,0 +1,330 @@
+/// \file net::Client — the client side of the wire protocol
+/// (DESIGN.md §9.2).
+///
+/// A windowed, polled, compile-time-sized peer of the FrontDoor: hello()
+/// binds the connection to a tenant (the name travels once — request
+/// frames carry no strings), trySubmit() encodes request frames into a
+/// fixed staging buffer under an in-flight window, poll() flushes
+/// staging and dispatches response frames to a caller-supplied handler
+/// (static polymorphism — no std::function, no allocation), bye()
+/// starts the drain handshake. Strict on protocol errors: any decode
+/// failure records its typed code and closes the connection —
+/// rethrowError() raises the matching net::ProtocolError subclass for
+/// callers who want the exception surface (satellite c).
+///
+/// Single-threaded like the front door: one thread drives one client.
+#pragma once
+
+#include "net/config.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+#include "alpaka/core/error.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace alpaka::net
+{
+    template<typename Cfg = DefaultCfg>
+    class Client
+    {
+        static_assert(Cfg::window >= 1 && Cfg::txFrames >= 1);
+
+    public:
+        //! One completed request, as the poll() handler sees it. The
+        //! payload points into the client's receive buffer — valid only
+        //! during the handler call.
+        struct Response
+        {
+            std::uint64_t reqId = 0;
+            Status status = Status::Ok;
+            std::uint32_t tmpl = 0;
+            std::byte const* payload = nullptr;
+            std::size_t payloadLen = 0;
+        };
+
+        explicit Client(std::unique_ptr<Transport> transport) noexcept : transport_(std::move(transport))
+        {
+        }
+
+        Client(Client const&) = delete;
+        auto operator=(Client const&) -> Client& = delete;
+
+        //! Stages the Hello binding this connection to \p tenant; poll
+        //! until ready(). \throws UsageError when already helloed or the
+        //! name exceeds Cfg::maxTenantBytes.
+        void hello(std::string_view tenant)
+        {
+            if(state_ != State::Fresh)
+                throw UsageError("net::Client::hello: connection already bound");
+            if(tenant.size() > Cfg::maxTenantBytes)
+                throw UsageError("net::Client::hello: tenant name exceeds Cfg::maxTenantBytes");
+            FrameHeader h;
+            h.type = FrameType::Hello;
+            h.payloadLen = static_cast<std::uint32_t>(tenant.size());
+            stage(h, reinterpret_cast<std::byte const*>(tenant.data()));
+            state_ = State::HelloSent;
+        }
+
+        //! HelloAck received; requests may flow.
+        [[nodiscard]] auto ready() const noexcept -> bool
+        {
+            return state_ == State::Ready;
+        }
+        //! Bye handshake finished or connection lost.
+        [[nodiscard]] auto closed() const noexcept -> bool
+        {
+            return state_ == State::Closed;
+        }
+        [[nodiscard]] auto inFlight() const noexcept -> std::size_t
+        {
+            return inFlight_;
+        }
+        //! First protocol error observed (None when the stream has been
+        //! clean); the connection closes on the first one.
+        [[nodiscard]] auto lastError() const noexcept -> DecodeError
+        {
+            return error_;
+        }
+        //! Raises the typed ProtocolError subclass of lastError().
+        void rethrowError() const
+        {
+            if(error_ != DecodeError::None)
+                raise(error_);
+        }
+
+        //! Encodes one request frame if the window and staging allow.
+        //! \p deadlineUs is the relative deadline budget (0 = none), \p
+        //! shardHint is advisory (see FrameHeader). \returns the
+        //! assigned reqId, or 0 when blocked (window full, staging
+        //! full, or not ready) — poll and retry.
+        auto trySubmit(
+            std::uint32_t tmpl,
+            std::byte const* payload,
+            std::size_t len,
+            std::uint32_t deadlineUs = 0,
+            std::uint16_t shardHint = 0) -> std::uint64_t
+        {
+            if(state_ != State::Ready || inFlight_ >= Cfg::window || len > Cfg::maxPayload
+               || tx_.size() - txLen_ < headerSize + len)
+                return 0;
+            FrameHeader h;
+            h.type = FrameType::Request;
+            h.tmpl = tmpl;
+            h.reqId = nextId_++;
+            h.payloadLen = static_cast<std::uint32_t>(len);
+            h.deadlineUs = deadlineUs;
+            h.shardHint = shardHint;
+            stage(h, payload);
+            ++inFlight_;
+            return h.reqId;
+        }
+
+        //! Starts the drain: no further submits; the server finishes
+        //! in-flight work, responses keep arriving, then Bye is acked
+        //! and closed() turns true. Callable in any live state.
+        void bye()
+        {
+            if(state_ == State::Draining || state_ == State::Closed)
+                return;
+            state_ = State::Draining;
+            byePending_ = true;
+        }
+
+        //! One non-blocking pass: flush staged frames, receive and
+        //! dispatch responses. \p onResponse is invoked once per
+        //! Response/Error frame. \returns true on any progress.
+        template<typename F>
+        auto poll(F&& onResponse) -> bool
+        {
+            bool progress = flushTx();
+            if(byePending_ && tx_.size() - txLen_ >= headerSize)
+            {
+                FrameHeader h;
+                h.type = FrameType::Bye;
+                h.payloadLen = 0;
+                stage(h, nullptr);
+                byePending_ = false;
+                progress = flushTx() || progress;
+            }
+            if(state_ == State::Closed)
+                return progress;
+            // Bounded frames per poll, mirroring the front door.
+            for(int frame = 0; frame < 16; ++frame)
+            {
+                if(rxHeaderHave_ < headerSize)
+                {
+                    auto const n = transport_->recv(rxHeader_.data() + rxHeaderHave_, headerSize - rxHeaderHave_);
+                    if(n < 0)
+                    {
+                        // EOF mid-frame is a truncated frame; between
+                        // frames it is the peer's close.
+                        if(rxHeaderHave_ != 0)
+                            fail(DecodeError::Truncated);
+                        else
+                            shut();
+                        return true;
+                    }
+                    if(n == 0)
+                        return progress;
+                    rxHeaderHave_ += static_cast<std::size_t>(n);
+                    progress = true;
+                    if(rxHeaderHave_ < headerSize)
+                        return progress;
+                    auto const err = decodeHeader(rxHeader_.data(), headerSize, Cfg::maxPayload, header_);
+                    if(err != DecodeError::None)
+                    {
+                        fail(err);
+                        return true;
+                    }
+                    rxPayloadHave_ = 0;
+                }
+                if(header_.payloadLen != 0 && rxPayloadHave_ < header_.payloadLen)
+                {
+                    auto const n
+                        = transport_->recv(rxPayload_.data() + rxPayloadHave_, header_.payloadLen - rxPayloadHave_);
+                    if(n < 0)
+                    {
+                        fail(DecodeError::Truncated);
+                        return true;
+                    }
+                    if(n == 0)
+                        return progress;
+                    rxPayloadHave_ += static_cast<std::size_t>(n);
+                    progress = true;
+                    if(rxPayloadHave_ < header_.payloadLen)
+                        return progress;
+                }
+                if(verifyCrc(rxHeader_.data(), rxPayload_.data(), header_.payloadLen) != DecodeError::None)
+                {
+                    fail(DecodeError::BadCrc);
+                    return true;
+                }
+                rxHeaderHave_ = 0;
+                progress = true;
+                if(!dispatch(onResponse))
+                    return true;
+                if(state_ == State::Closed)
+                    return true;
+            }
+            return progress;
+        }
+
+    private:
+        enum class State : std::uint8_t
+        {
+            Fresh,
+            HelloSent,
+            Ready,
+            Draining,
+            Closed,
+        };
+
+        //! Routes one received frame. \returns false when the
+        //! connection died on it.
+        template<typename F>
+        auto dispatch(F&& onResponse) -> bool
+        {
+            switch(header_.type)
+            {
+            case FrameType::HelloAck:
+                if(state_ != State::HelloSent)
+                {
+                    fail(DecodeError::BadType);
+                    return false;
+                }
+                state_ = State::Ready;
+                return true;
+            case FrameType::Response:
+            case FrameType::Error:
+                if(state_ != State::Ready && state_ != State::Draining)
+                {
+                    fail(DecodeError::BadType);
+                    return false;
+                }
+                if(inFlight_ != 0)
+                    --inFlight_;
+                onResponse(Response{
+                    header_.reqId,
+                    header_.status,
+                    header_.tmpl,
+                    rxPayload_.data(),
+                    header_.payloadLen});
+                return true;
+            case FrameType::Bye:
+                // The server's drain ack (or its own shutdown notice).
+                shut();
+                return true;
+            default:
+                // Hello/Request are client-to-server only; receiving
+                // one means the stream is not talking our protocol.
+                fail(DecodeError::BadType);
+                return false;
+            }
+        }
+
+        auto flushTx() -> bool
+        {
+            if(txLen_ == 0)
+                return false;
+            auto const n = transport_->send(tx_.data() + txSent_, txLen_ - txSent_);
+            if(n < 0)
+            {
+                shut();
+                return true;
+            }
+            if(n == 0)
+                return false;
+            txSent_ += static_cast<std::size_t>(n);
+            if(txSent_ == txLen_)
+            {
+                txLen_ = 0;
+                txSent_ = 0;
+            }
+            return true;
+        }
+
+        //! Appends one frame to staging (caller checked the room).
+        void stage(FrameHeader const& h, std::byte const* payload)
+        {
+            encodeHeader(h, tx_.data() + txLen_, payload, h.payloadLen);
+            if(h.payloadLen != 0)
+                std::memcpy(tx_.data() + txLen_ + headerSize, payload, h.payloadLen);
+            txLen_ += headerSize + h.payloadLen;
+        }
+
+        void fail(DecodeError err) noexcept
+        {
+            if(error_ == DecodeError::None)
+                error_ = err;
+            shut();
+        }
+
+        void shut() noexcept
+        {
+            transport_->close();
+            state_ = State::Closed;
+        }
+
+        std::unique_ptr<Transport> transport_;
+        State state_ = State::Fresh;
+        DecodeError error_ = DecodeError::None;
+        std::uint64_t nextId_ = 1;
+        std::size_t inFlight_ = 0;
+        bool byePending_ = false;
+        std::array<std::byte, headerSize> rxHeader_{};
+        std::size_t rxHeaderHave_ = 0;
+        FrameHeader header_{};
+        std::size_t rxPayloadHave_ = 0;
+        std::array<std::byte, Cfg::maxPayload> rxPayload_{};
+        std::array<std::byte, Cfg::txFrames*(headerSize + Cfg::maxPayload)> tx_{};
+        std::size_t txLen_ = 0;
+        std::size_t txSent_ = 0;
+    };
+} // namespace alpaka::net

@@ -1,0 +1,38 @@
+/// \file Compile-time sizing of the net session layer (DESIGN.md §9.2).
+///
+/// Everything the front door and the client allocate is sized HERE, at
+/// compile time — connection table, per-connection request slots,
+/// payload capacity, client window — so a session's entire footprint is
+/// one fixed-size object and the steady state has nothing left to
+/// allocate (the zenoh-pico discipline, SNIPPETS.md §1). Both endpoints
+/// of a connection must agree on maxPayload (it bounds what the decoder
+/// accepts); instantiating FrontDoor and Client from the same Cfg makes
+/// that agreement structural.
+#pragma once
+
+#include <cstddef>
+
+namespace alpaka::net
+{
+    struct DefaultCfg
+    {
+        //! Connection-table capacity of a FrontDoor.
+        static constexpr std::size_t maxConnections = 8;
+        //! In-flight request slots per connection: the flow-control
+        //! bound — the front door stops READING a connection whose slots
+        //! are all busy (backpressure by not draining the transport,
+        //! never by dropping).
+        static constexpr std::size_t slotsPerConnection = 16;
+        //! Payload capacity per frame; a frame announcing more is
+        //! rejected as Oversized before any payload byte is read.
+        static constexpr std::size_t maxPayload = 256;
+        //! Tenant-name capacity (the Hello payload).
+        static constexpr std::size_t maxTenantBytes = 48;
+        //! Client-side in-flight window (requests submitted, response
+        //! not yet received).
+        static constexpr std::size_t window = 16;
+        //! Client tx staging, in frames: how many encoded frames may sit
+        //! waiting for the transport to accept them.
+        static constexpr std::size_t txFrames = 4;
+    };
+} // namespace alpaka::net

@@ -1,0 +1,695 @@
+/// \file net::FrontDoor — the server side of the wire protocol
+/// (DESIGN.md §9.2).
+///
+/// One FrontDoor is a compile-time-sized connection table driven by ONE
+/// poll thread: accept() parks a transport in a vacant entry, poll(tnow)
+/// advances every connection's session state machine — flush staged
+/// frames, encode completed responses, reassemble and decode incoming
+/// frames — and never blocks, never calls the OS (the transport does,
+/// if it is a socket), and never allocates in the steady state:
+///
+///  * Zero-copy landing: a Request frame's payload is received DIRECTLY
+///    into a per-connection slot buffer; admission hands the service a
+///    PayloadView over that buffer, the template mutates it in place,
+///    and the response frame is encoded from the same bytes. No payload
+///    copy exists anywhere between transport and kernel (satellite a).
+///  * Completion rides Future::then: the continuation (runs on a worker
+///    thread) writes the slot's status and flips one atomic; the poll
+///    thread picks the slot up on its next pass. The capture is one
+///    pointer, so then()'s inline continuation slot keeps the path
+///    allocation-free (serve/future.hpp).
+///  * Flow control by NOT reading: a connection whose slots are all
+///    busy is simply not drained further — backpressure propagates
+///    through the transport's bounded buffer to the client's window,
+///    never by dropping a frame (invariant 20).
+///  * Session life cycle: AwaitHello (first frame must bind a tenant)
+///    → Open → Draining (peer sent Bye; in-flight requests finish,
+///    responses flush, Bye is acked) → Reaping (transport closed;
+///    late continuations land harmlessly in the slot table) → Vacant.
+///    A protocol violation or decode error closes the connection after
+///    a best-effort typed Error frame — a byte stream that lost frame
+///    sync cannot be trusted further (satellite c's fuzz target).
+///  * Fault sites (satellite b): net.poll_delay stalls a poll tick,
+///    net.frame_drop / net.frame_duplicate / net.frame_truncate
+///    perturb response frames at the staging boundary — deterministic,
+///    seeded, compiled out of production builds (DESIGN.md §7.2).
+///
+/// Thread contract: accept/poll/stats from the single poll thread;
+/// worker threads touch only slot atomics via continuations. The
+/// Router (and its shards) must outlive the FrontDoor's last in-flight
+/// request — drain or shut the router down before destroying the door.
+#pragma once
+
+#include "net/config.hpp"
+#include "net/router.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+#include "serve/types.hpp"
+
+#include "alpaka/core/fault.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+
+namespace alpaka::net
+{
+    //! Maps a completed request's outcome to its wire status — the
+    //! serve-layer failure taxonomy projected onto the protocol. Called
+    //! on worker threads; the rethrow inspects an exception that was
+    //! already allocated at throw time, so the success path (error ==
+    //! nullptr) stays allocation-free.
+    [[nodiscard]] inline auto statusOf(std::exception_ptr error) noexcept -> Status
+    {
+        if(error == nullptr)
+            return Status::Ok;
+        try
+        {
+            std::rethrow_exception(error);
+        }
+        catch(serve::DeadlineError const&)
+        {
+            return Status::Expired;
+        }
+        catch(serve::CancelledError const&)
+        {
+            return Status::Cancelled;
+        }
+        catch(serve::WorkerLostError const&)
+        {
+            return Status::WorkerLost;
+        }
+        catch(serve::OverloadError const&)
+        {
+            return Status::Overloaded;
+        }
+        catch(serve::AdmissionError const&)
+        {
+            return Status::Busy;
+        }
+        catch(...)
+        {
+            return Status::Failed;
+        }
+    }
+
+    //! Poll-thread-local introspection counters (read them from the
+    //! poll thread, like everything else on a FrontDoor).
+    struct FrontDoorStats
+    {
+        std::uint64_t connectionsAccepted = 0;
+        std::uint64_t connectionsClosed = 0;
+        std::uint64_t framesIn = 0;
+        std::uint64_t framesOut = 0;
+        std::uint64_t requestsSubmitted = 0;
+        std::uint64_t responsesOk = 0;
+        std::uint64_t responsesError = 0;
+        std::uint64_t admissionRejected = 0;
+        //! Stall episodes: rx left undrained because every slot was busy
+        //! (flow control engaged).
+        std::uint64_t rxStalls = 0;
+        //! \name injected-fault observations (chaos builds)
+        //! @{
+        std::uint64_t pollsDelayed = 0;
+        std::uint64_t framesDropped = 0;
+        std::uint64_t framesDuplicated = 0;
+        std::uint64_t framesTruncated = 0;
+        //! @}
+        //! Indexed by DecodeError.
+        std::array<std::uint64_t, 7> decodeErrors{};
+    };
+
+    template<typename Cfg = DefaultCfg>
+    class FrontDoor
+    {
+        static_assert(Cfg::maxTenantBytes <= Cfg::maxPayload, "a Hello payload is a frame payload");
+
+    public:
+        explicit FrontDoor(Router& router) noexcept : router_(router)
+        {
+        }
+
+        FrontDoor(FrontDoor const&) = delete;
+        auto operator=(FrontDoor const&) -> FrontDoor& = delete;
+
+        //! Parks \p transport in a vacant connection entry awaiting its
+        //! Hello. \returns false (transport dropped, peer sees EOF) when
+        //! the table is full — the front door's own admission control.
+        auto accept(std::unique_ptr<Transport> transport) -> bool
+        {
+            for(auto& c : conns_)
+            {
+                if(c.state != ConnState::Vacant)
+                    continue;
+                c.transport = std::move(transport);
+                c.state = ConnState::AwaitHello;
+                c.tenantLen = 0;
+                c.rxHeaderHave = 0;
+                c.headerDecoded = false;
+                c.prepared = false;
+                c.rxPayloadHave = 0;
+                c.rxSlot = nullptr;
+                c.rxPayloadDst = nullptr;
+                c.stalled = false;
+                c.txLen = 0;
+                c.txSent = 0;
+                c.truncateClose = false;
+                c.byeQueued = false;
+                ++stats_.connectionsAccepted;
+                return true;
+            }
+            return false;
+        }
+
+        //! One non-blocking pass over every connection. \p tnow anchors
+        //! relative frame deadlines to the caller's clock (the core
+        //! never reads a clock itself — SNIPPETS.md §1 discipline).
+        //! \returns true when any byte or state moved (callers use this
+        //! to decide between spinning and backing off).
+        auto poll(std::chrono::steady_clock::time_point tnow) -> bool
+        {
+            try
+            {
+                ALPAKA_FAULT_POINT("net.poll_delay");
+            }
+            catch(fault::InjectedFault const&)
+            {
+                ++stats_.pollsDelayed;
+                return false;
+            }
+            bool progress = false;
+            for(auto& c : conns_)
+                progress = pollConn(c, tnow) || progress;
+            return progress;
+        }
+
+        [[nodiscard]] auto openConnections() const noexcept -> std::size_t
+        {
+            std::size_t n = 0;
+            for(auto const& c : conns_)
+                n += c.state != ConnState::Vacant ? 1 : 0;
+            return n;
+        }
+
+        [[nodiscard]] auto stats() const noexcept -> FrontDoorStats const&
+        {
+            return stats_;
+        }
+
+        //! Force-closes every connection (no Bye handshake); keep
+        //! polling until openConnections() == 0 to let late
+        //! continuations land.
+        void closeAll() noexcept
+        {
+            for(auto& c : conns_)
+            {
+                if(c.state == ConnState::Vacant || c.state == ConnState::Reaping)
+                    continue;
+                c.transport->close();
+                c.state = ConnState::Reaping;
+            }
+        }
+
+    private:
+        enum class ConnState : std::uint8_t
+        {
+            Vacant,
+            AwaitHello,
+            Open,
+            Draining,
+            Reaping,
+        };
+
+        //! Slot states: the poll thread owns Free→Busy (and reads
+        //! Done); the completing worker owns Busy→Done (release, paired
+        //! with the poll thread's acquire — the only cross-thread edge
+        //! in the front door).
+        static constexpr std::uint8_t slotFree = 0;
+        static constexpr std::uint8_t slotBusy = 1;
+        static constexpr std::uint8_t slotDone = 2;
+
+        struct Slot
+        {
+            std::atomic<std::uint8_t> state{slotFree};
+            Status status = Status::Ok;
+            std::uint64_t reqId = 0;
+            std::uint32_t tmpl = 0;
+            std::uint32_t len = 0;
+            std::array<std::byte, Cfg::maxPayload> payload{};
+        };
+
+        struct Conn
+        {
+            std::unique_ptr<Transport> transport;
+            ConnState state = ConnState::Vacant;
+            std::array<char, Cfg::maxTenantBytes> tenant{};
+            std::size_t tenantLen = 0;
+            //! \name rx reassembly (one frame at a time)
+            //! @{
+            std::array<std::byte, headerSize> rxHeader{};
+            std::size_t rxHeaderHave = 0;
+            FrameHeader header{};
+            bool headerDecoded = false;
+            bool prepared = false; //!< payload destination chosen
+            Slot* rxSlot = nullptr;
+            std::byte* rxPayloadDst = nullptr;
+            std::size_t rxPayloadHave = 0;
+            bool stalled = false;
+            //! @}
+            //! \name tx staging (two frames: the duplicate fault needs
+            //! room for both copies)
+            //! @{
+            std::array<std::byte, 2 * (headerSize + Cfg::maxPayload)> tx{};
+            std::size_t txLen = 0;
+            std::size_t txSent = 0;
+            bool truncateClose = false;
+            bool byeQueued = false;
+            //! @}
+            std::array<Slot, Cfg::slotsPerConnection> slots{};
+        };
+
+        static constexpr auto errIdx(DecodeError e) noexcept -> std::size_t
+        {
+            return static_cast<std::size_t>(e);
+        }
+
+        auto pollConn(Conn& c, std::chrono::steady_clock::time_point tnow) -> bool
+        {
+            if(c.state == ConnState::Vacant)
+                return false;
+            if(c.state == ConnState::Reaping)
+                return reap(c);
+            bool progress = flushTx(c);
+            if(c.state == ConnState::Reaping)
+                return true;
+            progress = pumpResponses(c) || progress;
+            progress = flushTx(c) || progress;
+            if(c.state == ConnState::Reaping)
+                return true;
+            if(c.state == ConnState::Draining && !c.byeQueued && allSlotsFree(c))
+            {
+                FrameHeader bye;
+                bye.type = FrameType::Bye;
+                bye.payloadLen = 0;
+                if(stageFrame(c, bye, nullptr, false))
+                {
+                    c.byeQueued = true;
+                    progress = true;
+                }
+            }
+            if(c.state == ConnState::Draining && c.byeQueued)
+            {
+                progress = flushTx(c) || progress;
+                if(c.state == ConnState::Draining && c.txLen == 0)
+                {
+                    c.transport->close();
+                    c.state = ConnState::Reaping;
+                }
+                return progress; // drained peers send nothing further
+            }
+            progress = pumpRx(c, tnow) || progress;
+            return progress;
+        }
+
+        auto reap(Conn& c) -> bool
+        {
+            bool progress = false;
+            bool allFree = true;
+            for(auto& s : c.slots)
+            {
+                auto const st = s.state.load(std::memory_order_acquire);
+                if(st == slotDone)
+                {
+                    s.state.store(slotFree, std::memory_order_relaxed);
+                    progress = true;
+                }
+                else if(st == slotBusy)
+                    allFree = false;
+            }
+            if(allFree)
+            {
+                c.transport.reset();
+                c.state = ConnState::Vacant;
+                ++stats_.connectionsClosed;
+                progress = true;
+            }
+            return progress;
+        }
+
+        [[nodiscard]] auto allSlotsFree(Conn& c) const noexcept -> bool
+        {
+            for(auto& s : c.slots)
+                if(s.state.load(std::memory_order_acquire) != slotFree)
+                    return false;
+            return true;
+        }
+
+        auto flushTx(Conn& c) -> bool
+        {
+            if(c.txLen == 0)
+                return false;
+            auto const n = c.transport->send(c.tx.data() + c.txSent, c.txLen - c.txSent);
+            if(n < 0)
+            {
+                closeConn(c);
+                return true;
+            }
+            if(n == 0)
+                return false;
+            c.txSent += static_cast<std::size_t>(n);
+            if(c.txSent == c.txLen)
+            {
+                c.txLen = 0;
+                c.txSent = 0;
+                if(c.truncateClose)
+                    closeConn(c);
+            }
+            return true;
+        }
+
+        //! Encodes one frame into the staging buffer; \p faults opts the
+        //! frame into the chaos sites. \returns false (retry next poll)
+        //! when the staging has no room.
+        auto stageFrame(Conn& c, FrameHeader h, std::byte const* payload, bool faults) -> bool
+        {
+            bool drop = false;
+            bool duplicate = false;
+            bool truncate = false;
+            if(faults)
+            {
+                try
+                {
+                    ALPAKA_FAULT_POINT("net.frame_drop");
+                }
+                catch(fault::InjectedFault const&)
+                {
+                    drop = true;
+                }
+                try
+                {
+                    ALPAKA_FAULT_POINT("net.frame_duplicate");
+                }
+                catch(fault::InjectedFault const&)
+                {
+                    duplicate = true;
+                }
+                try
+                {
+                    ALPAKA_FAULT_POINT("net.frame_truncate");
+                }
+                catch(fault::InjectedFault const&)
+                {
+                    truncate = true;
+                }
+            }
+            if(drop)
+            {
+                ++stats_.framesDropped;
+                return true; // consumed, never sent
+            }
+            auto const frameBytes = headerSize + h.payloadLen;
+            auto const copies = duplicate ? std::size_t{2} : std::size_t{1};
+            if(c.tx.size() - c.txLen < copies * frameBytes)
+                return false;
+            for(std::size_t i = 0; i < copies; ++i)
+            {
+                encodeHeader(h, c.tx.data() + c.txLen, payload, h.payloadLen);
+                if(h.payloadLen != 0)
+                    std::memcpy(c.tx.data() + c.txLen + headerSize, payload, h.payloadLen);
+                c.txLen += frameBytes;
+                ++stats_.framesOut;
+            }
+            if(duplicate)
+                ++stats_.framesDuplicated;
+            if(truncate)
+            {
+                // Drop the back half of the (last) staged frame and cut
+                // the connection once the front half left: the peer sees
+                // a frame truncated by a mid-frame EOF.
+                c.txLen -= frameBytes - frameBytes / 2;
+                c.truncateClose = true;
+                ++stats_.framesTruncated;
+            }
+            return true;
+        }
+
+        auto pumpResponses(Conn& c) -> bool
+        {
+            bool progress = false;
+            for(auto& slot : c.slots)
+            {
+                if(slot.state.load(std::memory_order_acquire) != slotDone)
+                    continue;
+                FrameHeader h;
+                h.type = slot.status == Status::Ok ? FrameType::Response : FrameType::Error;
+                h.status = slot.status;
+                h.tmpl = slot.tmpl;
+                h.reqId = slot.reqId;
+                h.payloadLen = slot.status == Status::Ok ? slot.len : 0;
+                if(!stageFrame(c, h, slot.payload.data(), true))
+                    break; // staging full; retry next poll
+                slot.status == Status::Ok ? ++stats_.responsesOk : ++stats_.responsesError;
+                slot.state.store(slotFree, std::memory_order_relaxed);
+                progress = true;
+            }
+            return progress;
+        }
+
+        //! Chooses the landing area of the decoded header's payload (and
+        //! validates the frame type against the session state). \returns
+        //! false when the connection must wait (no free slot — flow
+        //! control) or was closed (protocol violation).
+        auto prepare(Conn& c) -> bool
+        {
+            switch(c.header.type)
+            {
+            case FrameType::Hello:
+                if(c.state != ConnState::AwaitHello || c.header.payloadLen > Cfg::maxTenantBytes)
+                {
+                    closeWithError(c);
+                    return false;
+                }
+                c.rxPayloadDst = reinterpret_cast<std::byte*>(c.tenant.data());
+                c.prepared = true;
+                return true;
+            case FrameType::Request:
+            {
+                if(c.state == ConnState::AwaitHello)
+                {
+                    closeWithError(c);
+                    return false;
+                }
+                for(auto& s : c.slots)
+                {
+                    if(s.state.load(std::memory_order_acquire) == slotFree)
+                    {
+                        c.rxSlot = &s;
+                        c.rxPayloadDst = s.payload.data();
+                        c.prepared = true;
+                        c.stalled = false;
+                        return true;
+                    }
+                }
+                if(!c.stalled)
+                {
+                    c.stalled = true;
+                    ++stats_.rxStalls;
+                }
+                return false; // backpressure: leave bytes in the transport
+            }
+            case FrameType::Bye:
+                if(c.header.payloadLen != 0)
+                {
+                    closeWithError(c);
+                    return false;
+                }
+                c.prepared = true;
+                return true;
+            default:
+                // HelloAck/Response/Error are server-to-client only.
+                closeWithError(c);
+                return false;
+            }
+        }
+
+        void handleFrame(Conn& c, std::chrono::steady_clock::time_point tnow)
+        {
+            ++stats_.framesIn;
+            switch(c.header.type)
+            {
+            case FrameType::Hello:
+            {
+                c.tenantLen = c.header.payloadLen;
+                FrameHeader ack;
+                ack.type = FrameType::HelloAck;
+                ack.payloadLen = 0;
+                stageFrame(c, ack, nullptr, false); // staging is empty pre-Open
+                c.state = ConnState::Open;
+                return;
+            }
+            case FrameType::Request:
+                submitSlot(c, *c.rxSlot, tnow);
+                return;
+            case FrameType::Bye:
+                c.state = ConnState::Draining;
+                return;
+            default:
+                return; // unreachable: prepare() closed on these
+            }
+        }
+
+        void submitSlot(Conn& c, Slot& slot, std::chrono::steady_clock::time_point tnow)
+        {
+            slot.reqId = c.header.reqId;
+            slot.tmpl = c.header.tmpl;
+            slot.len = c.header.payloadLen;
+            if(c.state == ConnState::Draining)
+            {
+                slot.status = Status::Draining;
+                slot.state.store(slotDone, std::memory_order_relaxed);
+                return;
+            }
+            serve::Request req;
+            req.tmpl = c.header.tmpl;
+            req.tenant = std::string_view(c.tenant.data(), c.tenantLen);
+            req.payload = serve::PayloadView(slot.payload.data(), slot.len);
+            if(c.header.deadlineUs != 0)
+                req.deadline = tnow + std::chrono::microseconds(c.header.deadlineUs);
+            slot.state.store(slotBusy, std::memory_order_relaxed);
+            try
+            {
+                // One-pointer capture: rides then()'s inline slot, no
+                // allocation (serve/future.hpp).
+                router_.submit(req).then(
+                    [slotPtr = &slot](std::exception_ptr e) noexcept
+                    {
+                        slotPtr->status = statusOf(e);
+                        slotPtr->state.store(slotDone, std::memory_order_release);
+                    });
+                ++stats_.requestsSubmitted;
+            }
+            catch(serve::AdmissionError const&) // ShardBusyError included
+            {
+                slot.status = Status::Busy;
+                slot.state.store(slotDone, std::memory_order_relaxed);
+                ++stats_.admissionRejected;
+            }
+            catch(UsageError const&)
+            {
+                slot.status = Status::BadRequest;
+                slot.state.store(slotDone, std::memory_order_relaxed);
+            }
+        }
+
+        auto pumpRx(Conn& c, std::chrono::steady_clock::time_point tnow) -> bool
+        {
+            bool progress = false;
+            // Bounded frames per connection per poll: keeps one chatty
+            // connection from starving the table.
+            for(int frame = 0; frame < 16; ++frame)
+            {
+                if(!c.headerDecoded)
+                {
+                    auto const n = c.transport->recv(c.rxHeader.data() + c.rxHeaderHave, headerSize - c.rxHeaderHave);
+                    if(n < 0)
+                    {
+                        closeConn(c);
+                        return true;
+                    }
+                    if(n == 0)
+                        return progress;
+                    c.rxHeaderHave += static_cast<std::size_t>(n);
+                    progress = true;
+                    if(c.rxHeaderHave < headerSize)
+                        return progress;
+                    auto const err = decodeHeader(c.rxHeader.data(), headerSize, Cfg::maxPayload, c.header);
+                    if(err != DecodeError::None)
+                    {
+                        ++stats_.decodeErrors[errIdx(err)];
+                        closeWithError(c);
+                        return true;
+                    }
+                    c.headerDecoded = true;
+                    c.prepared = false;
+                    c.rxPayloadHave = 0;
+                    c.rxSlot = nullptr;
+                    c.rxPayloadDst = nullptr;
+                }
+                if(!c.prepared)
+                {
+                    if(!prepare(c))
+                        return progress;
+                }
+                if(c.header.payloadLen != 0 && c.rxPayloadHave < c.header.payloadLen)
+                {
+                    auto const n
+                        = c.transport->recv(c.rxPayloadDst + c.rxPayloadHave, c.header.payloadLen - c.rxPayloadHave);
+                    if(n < 0)
+                    {
+                        closeConn(c);
+                        return true;
+                    }
+                    if(n == 0)
+                        return progress;
+                    c.rxPayloadHave += static_cast<std::size_t>(n);
+                    progress = true;
+                    if(c.rxPayloadHave < c.header.payloadLen)
+                        return progress;
+                }
+                if(verifyCrc(c.rxHeader.data(), c.rxPayloadDst, c.header.payloadLen) != DecodeError::None)
+                {
+                    ++stats_.decodeErrors[errIdx(DecodeError::BadCrc)];
+                    closeWithError(c);
+                    return true;
+                }
+                handleFrame(c, tnow);
+                progress = true;
+                c.headerDecoded = false;
+                c.prepared = false;
+                c.rxHeaderHave = 0;
+                if(c.state == ConnState::Reaping || c.state == ConnState::Draining)
+                    return progress;
+            }
+            return progress;
+        }
+
+        //! Best-effort typed rejection, then cut: one Error frame (echoes
+        //! the offending reqId when a header got far enough to carry
+        //! one), one flush attempt, close. A stream that lost frame sync
+        //! cannot be re-synchronized — closing IS the error recovery.
+        void closeWithError(Conn& c)
+        {
+            if(c.txLen == 0 && c.transport != nullptr)
+            {
+                FrameHeader err;
+                err.type = FrameType::Error;
+                err.status = Status::BadRequest;
+                err.reqId = c.headerDecoded || c.rxHeaderHave == headerSize ? c.header.reqId : 0;
+                err.payloadLen = 0;
+                if(stageFrame(c, err, nullptr, false))
+                {
+                    ++stats_.responsesError;
+                    flushTx(c);
+                }
+            }
+            closeConn(c);
+        }
+
+        void closeConn(Conn& c)
+        {
+            if(c.transport != nullptr)
+                c.transport->close();
+            c.state = ConnState::Reaping;
+        }
+
+        Router& router_;
+        FrontDoorStats stats_{};
+        std::array<Conn, Cfg::maxConnections> conns_{};
+    };
+} // namespace alpaka::net

@@ -1,0 +1,68 @@
+/// \file Loopback-socket transport — the ONLY place the net subsystem
+/// touches the OS (DESIGN.md §9.1).
+///
+/// The zenoh-pico platform-layer split: the protocol core (wire codec,
+/// session state machines, router) is pure polled C++ over the abstract
+/// net::Transport; this header is the swap-in implementation over a
+/// non-blocking TCP socket, used by the load-generator example to show
+/// the stack runs over a real kernel byte stream unchanged. Everything
+/// POSIX lives in socket.cpp.
+#pragma once
+
+#include "net/transport.hpp"
+
+#include <cstdint>
+#include <memory>
+
+namespace alpaka::net
+{
+    //! A connected non-blocking TCP socket as a Transport: send/recv
+    //! map to the socket calls with EAGAIN reported as would-block (0)
+    //! and EOF/reset as closed (-1) — the exact Transport contract.
+    class SocketTransport final : public Transport
+    {
+    public:
+        //! Takes ownership of connected descriptor \p fd (made
+        //! non-blocking here).
+        explicit SocketTransport(int fd);
+        ~SocketTransport() override;
+
+        auto send(std::byte const* data, std::size_t len) noexcept -> std::ptrdiff_t override;
+        auto recv(std::byte* data, std::size_t len) noexcept -> std::ptrdiff_t override;
+        void close() noexcept override;
+
+    private:
+        int fd_;
+    };
+
+    //! Listening socket on 127.0.0.1 (ephemeral port when \p port == 0);
+    //! accept() is polled like everything else in this subsystem.
+    class SocketListener
+    {
+    public:
+        //! \throws Error when bind/listen fails.
+        explicit SocketListener(std::uint16_t port = 0);
+        ~SocketListener();
+
+        SocketListener(SocketListener const&) = delete;
+        auto operator=(SocketListener const&) -> SocketListener& = delete;
+
+        //! The bound port (useful after an ephemeral bind).
+        [[nodiscard]] auto port() const noexcept -> std::uint16_t
+        {
+            return port_;
+        }
+
+        //! Non-blocking accept: nullptr when no connection is pending.
+        [[nodiscard]] auto accept() -> std::unique_ptr<Transport>;
+
+    private:
+        int fd_;
+        std::uint16_t port_ = 0;
+    };
+
+    //! Connects to 127.0.0.1:\p port. \throws Error on failure (the
+    //! connect itself blocks briefly — loopback; the returned transport
+    //! is non-blocking).
+    [[nodiscard]] auto connectLoopback(std::uint16_t port) -> std::unique_ptr<Transport>;
+} // namespace alpaka::net

@@ -1,0 +1,118 @@
+/// \file net::Router implementation (see net/router.hpp).
+
+#include "net/router.hpp"
+
+#include "alpaka/core/error.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <string_view>
+
+namespace alpaka::net
+{
+    HashRing::HashRing(std::size_t shards, std::size_t vnodes) : shards_(shards)
+    {
+        if(shards == 0 || vnodes == 0)
+            throw UsageError("net::HashRing: shards and vnodes must be >= 1");
+        ring_.reserve(shards * vnodes);
+        for(std::size_t s = 0; s < shards; ++s)
+        {
+            for(std::size_t v = 0; v < vnodes; ++v)
+            {
+                // hash("shard/<s>/<v>") without allocating: feed the
+                // pieces through FNV's running state.
+                std::array<char, 24> num{};
+                auto h = fnv1a("shard/");
+                auto* end = std::to_chars(num.data(), num.data() + num.size(), s).ptr;
+                h = fnv1a({num.data(), static_cast<std::size_t>(end - num.data())}, h);
+                h = fnv1a("/", h);
+                end = std::to_chars(num.data(), num.data() + num.size(), v).ptr;
+                h = fnv1a({num.data(), static_cast<std::size_t>(end - num.data())}, h);
+                ring_.push_back(Point{h, static_cast<std::uint32_t>(s)});
+            }
+        }
+        std::sort(
+            ring_.begin(),
+            ring_.end(),
+            [](Point const& a, Point const& b)
+            { return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard); });
+    }
+
+    auto HashRing::shardOf(std::uint64_t keyHash) const noexcept -> std::size_t
+    {
+        // First point clockwise from the key; wrap to the first point.
+        auto const it = std::lower_bound(
+            ring_.begin(),
+            ring_.end(),
+            keyHash,
+            [](Point const& p, std::uint64_t h) { return p.hash < h; });
+        return it != ring_.end() ? it->shard : ring_.front().shard;
+    }
+
+    Router::Router(RouterOptions options) : ring_(options.shards, options.vnodesPerShard)
+    {
+        shards_.reserve(options.shards);
+        for(std::size_t s = 0; s < options.shards; ++s)
+            shards_.push_back(std::make_unique<serve::Service>(options.shard));
+    }
+
+    auto Router::registerTemplate(serve::TemplateDesc desc) -> serve::TemplateId
+    {
+        auto const id = shards_.front()->registerTemplate(desc);
+        for(std::size_t s = 1; s < shards_.size(); ++s)
+        {
+            if(shards_[s]->registerTemplate(desc) != id)
+                throw UsageError("net::Router: shard template ids diverged (register only through the router)");
+        }
+        return id;
+    }
+
+    auto Router::submit(serve::Request const& request) -> serve::Future
+    {
+        auto const s = ring_.shardOf(request.tenant);
+        try
+        {
+            return shards_[s]->submit(request);
+        }
+        catch(serve::AdmissionError const& e)
+        {
+            throw ShardBusyError(s, e.what());
+        }
+    }
+
+    void Router::drain()
+    {
+        for(auto& shard : shards_)
+            shard->drain();
+    }
+
+    auto Router::shutdown(std::chrono::nanoseconds timeout) -> std::vector<serve::ShutdownReport>
+    {
+        std::vector<serve::ShutdownReport> reports;
+        reports.reserve(shards_.size());
+        for(auto& shard : shards_)
+            reports.push_back(shard->shutdown(timeout));
+        return reports;
+    }
+
+    auto Router::stats() const -> RouterStats
+    {
+        RouterStats out;
+        out.perShard.reserve(shards_.size());
+        for(auto const& shard : shards_)
+        {
+            auto s = shard->stats();
+            out.queued += s.queued;
+            out.inFlight += s.inFlight;
+            out.admitted += s.admitted;
+            out.rejected += s.rejected;
+            out.completed += s.completed;
+            out.failed += s.failed;
+            out.latencyCounts.merge(s.latencyCounts);
+            out.perShard.push_back(std::move(s));
+        }
+        out.latency = out.latencyCounts.snapshot();
+        return out;
+    }
+} // namespace alpaka::net

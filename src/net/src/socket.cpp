@@ -1,0 +1,133 @@
+/// \file POSIX half of the socket transport (see net/socket.hpp). The
+/// single file of the net subsystem that includes OS headers.
+
+#include "net/socket.hpp"
+
+#include "alpaka/core/error.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace alpaka::net
+{
+    namespace
+    {
+        void setNonBlocking(int fd)
+        {
+            auto const flags = ::fcntl(fd, F_GETFL, 0);
+            if(flags >= 0)
+                ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        }
+
+        //! Frames are tiny and latency-bound; Nagle would serialize the
+        //! request/response ping-pong on the ACK clock.
+        void setNoDelay(int fd)
+        {
+            int const one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+    } // namespace
+
+    SocketTransport::SocketTransport(int fd) : fd_(fd)
+    {
+        setNonBlocking(fd_);
+        setNoDelay(fd_);
+    }
+
+    SocketTransport::~SocketTransport()
+    {
+        close();
+    }
+
+    auto SocketTransport::send(std::byte const* data, std::size_t len) noexcept -> std::ptrdiff_t
+    {
+        if(fd_ < 0)
+            return -1;
+        auto const n = ::send(fd_, data, len, MSG_NOSIGNAL);
+        if(n >= 0)
+            return n;
+        return errno == EAGAIN || errno == EWOULDBLOCK ? 0 : -1;
+    }
+
+    auto SocketTransport::recv(std::byte* data, std::size_t len) noexcept -> std::ptrdiff_t
+    {
+        if(fd_ < 0)
+            return -1;
+        auto const n = ::recv(fd_, data, len, 0);
+        if(n > 0)
+            return n;
+        if(n == 0)
+            return -1; // orderly EOF
+        return errno == EAGAIN || errno == EWOULDBLOCK ? 0 : -1;
+    }
+
+    void SocketTransport::close() noexcept
+    {
+        if(fd_ >= 0)
+        {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    SocketListener::SocketListener(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if(fd_ < 0)
+            throw Error("net::SocketListener: socket() failed");
+        int const one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0
+           || ::listen(fd_, SOMAXCONN) != 0)
+        {
+            ::close(fd_);
+            throw Error("net::SocketListener: bind/listen on loopback failed");
+        }
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+        port_ = ntohs(addr.sin_port);
+        setNonBlocking(fd_);
+    }
+
+    SocketListener::~SocketListener()
+    {
+        if(fd_ >= 0)
+            ::close(fd_);
+    }
+
+    auto SocketListener::accept() -> std::unique_ptr<Transport>
+    {
+        auto const fd = ::accept(fd_, nullptr, nullptr);
+        if(fd < 0)
+            return nullptr;
+        return std::make_unique<SocketTransport>(fd);
+    }
+
+    auto connectLoopback(std::uint16_t port) -> std::unique_ptr<Transport>
+    {
+        auto const fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if(fd < 0)
+            throw Error("net::connectLoopback: socket() failed");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        {
+            ::close(fd);
+            throw Error("net::connectLoopback: connect to loopback failed");
+        }
+        return std::make_unique<SocketTransport>(fd);
+    }
+} // namespace alpaka::net

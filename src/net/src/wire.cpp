@@ -1,0 +1,34 @@
+/// \file Out-of-line throwing surface of the wire protocol. Only
+/// raise() lives here: the codec itself is inline and allocation-free,
+/// and keeping the throw (which allocates its message) out of line
+/// keeps the decoder's codegen free of EH bloat on the poll path.
+
+#include "net/wire.hpp"
+
+#include <string>
+
+namespace alpaka::net
+{
+    void raise(DecodeError code)
+    {
+        auto const what = std::string("net: protocol error: ") + std::string(toString(code));
+        switch(code)
+        {
+        case DecodeError::Truncated:
+            throw TruncatedFrameError(code, what);
+        case DecodeError::BadMagic:
+            throw BadMagicError(code, what);
+        case DecodeError::BadVersion:
+            throw BadVersionError(code, what);
+        case DecodeError::BadType:
+            throw BadFrameTypeError(code, what);
+        case DecodeError::Oversized:
+            throw OversizedFrameError(code, what);
+        case DecodeError::BadCrc:
+            throw BadCrcError(code, what);
+        case DecodeError::None:
+            break;
+        }
+        throw UsageError("net::raise(DecodeError::None): raising success is caller misuse");
+    }
+} // namespace alpaka::net

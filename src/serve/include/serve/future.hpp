@@ -138,6 +138,13 @@ namespace alpaka::serve
         //! worker thread, or inline right now when already complete.
         //! Continuations must not block the worker for long and must not
         //! throw.
+        //!
+        //! Allocation contract (DESIGN.md §9.2): the FIRST continuation
+        //! lands in an inline slot of the request's recycled state block,
+        //! so one then() per request — the wire completion path — costs
+        //! the heap nothing as long as the callable's capture fits
+        //! std::function's small-object buffer (two pointers). Further
+        //! continuations spill to a vector and may allocate.
         void then(std::function<void(std::exception_ptr)> fn) const
         {
             auto& state = requireState();
@@ -145,7 +152,15 @@ namespace alpaka::serve
                 std::unique_lock lock(state.mutex);
                 if(!state.done)
                 {
-                    state.continuations.push_back(std::move(fn));
+                    if(!state.hasFirst)
+                    {
+                        state.first = std::move(fn);
+                        state.hasFirst = true;
+                    }
+                    else
+                    {
+                        state.continuations.push_back(std::move(fn));
+                    }
                     return;
                 }
             }
@@ -161,7 +176,10 @@ namespace alpaka::serve
             std::mutex mutex;
             std::condition_variable cv;
             bool done = false;
+            //! First-continuation inline slot (see then()).
+            bool hasFirst = false;
             std::exception_ptr error;
+            std::function<void(std::exception_ptr)> first;
             std::vector<std::function<void(std::exception_ptr)>> continuations;
         };
 
@@ -193,6 +211,7 @@ namespace alpaka::serve
         //! \returns true when this call resolved the future.
         static auto complete(std::shared_ptr<State> const& state, std::exception_ptr error) -> bool
         {
+            std::function<void(std::exception_ptr)> first;
             std::vector<std::function<void(std::exception_ptr)>> continuations;
             {
                 std::scoped_lock lock(state->mutex);
@@ -200,9 +219,12 @@ namespace alpaka::serve
                     return false;
                 state->done = true;
                 state->error = error;
+                first = std::exchange(state->first, {});
                 continuations = std::exchange(state->continuations, {});
             }
             state->cv.notify_all();
+            if(first != nullptr)
+                first(error);
             for(auto const& fn : continuations)
                 fn(error);
             return true;

@@ -193,24 +193,6 @@ namespace alpaka::serve
     private:
         struct TemplateState;
 
-        //! Log2-bucketed latency histogram, lock-free on the record path.
-        //! Snapshot consistency (litmus: serve/*_hist_snapshot): record()
-        //! raises maxUs BEFORE counting the sample (release), snapshot()
-        //! reads counts (acquire) before maxUs — so every sample a
-        //! snapshot counts is covered by the maxUs it reports, and the
-        //! derived quantiles never exceed the reported max.
-        class LatencyHistogram
-        {
-        public:
-            void record(std::uint64_t us) noexcept;
-            [[nodiscard]] auto snapshot() const -> LatencySnapshot;
-
-        private:
-            static constexpr std::size_t bucketCount = 48;
-            std::array<std::atomic<std::uint64_t>, bucketCount> counts_{};
-            std::atomic<std::uint64_t> maxUs_{0};
-        };
-
         struct TenantState;
 
         //! One admitted, not-yet-dispatched request.
@@ -218,7 +200,7 @@ namespace alpaka::serve
         {
             TemplateState* tmpl = nullptr;
             TenantState* tenant = nullptr;
-            void* payload = nullptr;
+            PayloadView payload;
             std::shared_ptr<Future::State> future;
             std::chrono::steady_clock::time_point admitted;
             //! Shed with DeadlineError once passed (empty = never).

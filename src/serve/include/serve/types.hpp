@@ -14,6 +14,8 @@
 
 #include "mempool/pool.hpp"
 
+#include "serve/latency.hpp"
+
 #include "alpaka/core/error.hpp"
 #include "alpaka/dev.hpp"
 
@@ -23,6 +25,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -132,6 +135,67 @@ namespace alpaka::serve
     //! Handle of a registered request template.
     using TemplateId = std::uint32_t;
 
+    //! The request payload as a zero-copy view: a span the service hands
+    //! through to the template body untouched. This is the wire-to-worker
+    //! contract (DESIGN.md §9.2): the net front door decodes a frame and
+    //! points the view straight into the connection's receive slot, the
+    //! kernel reads and writes those bytes in place, and the response
+    //! frame is encoded from the same slot — no payload copy anywhere on
+    //! the serving path. The borrowed form is the hot path; owningCopy()
+    //! is the fallback for callers whose source buffer dies before the
+    //! future resolves (the view then keeps the copy alive by refcount).
+    //!
+    //! The implicit void* constructor preserves every pre-PR8 call site:
+    //! a bare pointer is a borrowed view of unknown (0) size, exactly the
+    //! old contract where payload size was the template's private
+    //! business.
+    class PayloadView
+    {
+    public:
+        PayloadView() = default;
+
+        //! Borrowed span over caller-owned bytes (zero-copy).
+        PayloadView(void* data, std::size_t size) noexcept : data_(data), size_(size)
+        {
+        }
+
+        //! A bare pointer of unknown size (the pre-view call sites).
+        PayloadView(void* data) noexcept : data_(data) // NOLINT(google-explicit-constructor)
+        {
+        }
+
+        //! Owning fallback: copies \p size bytes of \p src into a block
+        //! the view (and every Pending copy of it) keeps alive.
+        [[nodiscard]] static auto owningCopy(void const* src, std::size_t size) -> PayloadView
+        {
+            PayloadView v;
+            v.owner_ = std::shared_ptr<std::byte[]>(new std::byte[size]);
+            std::memcpy(v.owner_.get(), src, size);
+            v.data_ = v.owner_.get();
+            v.size_ = size;
+            return v;
+        }
+
+        [[nodiscard]] auto data() const noexcept -> void*
+        {
+            return data_;
+        }
+        [[nodiscard]] auto size() const noexcept -> std::size_t
+        {
+            return size_;
+        }
+        //! True for the owning fallback, false for borrowed views.
+        [[nodiscard]] auto owning() const noexcept -> bool
+        {
+            return owner_ != nullptr;
+        }
+
+    private:
+        void* data_ = nullptr;
+        std::size_t size_ = 0;
+        std::shared_ptr<std::byte[]> owner_;
+    };
+
     //! One unit of client work against a registered template — the full
     //! submission surface. The plain submit(tmpl, tenant, payload)
     //! overloads construct the degenerate form (no deadline, empty
@@ -141,7 +205,7 @@ namespace alpaka::serve
         TemplateId tmpl = 0;
         //! Fairness/accounting domain; created on first use.
         std::string_view tenant;
-        void* payload = nullptr;
+        PayloadView payload;
         //! Absolute completion deadline: a request still queued past it
         //! is shed with DeadlineError at dispatch time; under overload,
         //! requests closest to (or past) their deadline are shed first.
@@ -175,6 +239,9 @@ namespace alpaka::serve
     struct RequestItem
     {
         void* payload = nullptr;
+        //! Byte size of the payload view; 0 when the request was
+        //! submitted as a bare pointer (the pre-view call sites).
+        std::size_t payloadSize = 0;
         void* scratch = nullptr;
     };
 
@@ -310,17 +377,6 @@ namespace alpaka::serve
         std::uint64_t completed = 0;
     };
 
-    //! Latency quantiles from the service's log2-bucketed histogram of
-    //! request latencies (admission to future completion). Quantiles are
-    //! upper bucket bounds, i.e. conservative to within a factor of 2.
-    struct LatencySnapshot
-    {
-        std::uint64_t count = 0;
-        double p50Us = 0.0;
-        double p99Us = 0.0;
-        double maxUs = 0.0;
-    };
-
     struct DevicePoolStats
     {
         std::string device;
@@ -346,6 +402,10 @@ namespace alpaka::serve
         //! @}
         double requestsPerSecond = 0.0; //!< completed / lifetime
         LatencySnapshot latency;
+        //! The raw histogram behind `latency` — the mergeable form the
+        //! net::Router sums across shards (quantiles do not merge,
+        //! buckets do; DESIGN.md §9.3).
+        LatencyCounts latencyCounts;
         std::vector<TenantStats> tenants;
         //! One entry per distinct device of the worker fleet, via the
         //! coherent mempool::Pool::stats() snapshot.

@@ -44,62 +44,6 @@ namespace alpaka::serve
     } // namespace
 
     // ------------------------------------------------------------------
-    // latency histogram
-
-    void Service::LatencyHistogram::record(std::uint64_t us) noexcept
-    {
-        auto const bucket = std::min<std::size_t>(std::bit_width(us), bucketCount - 1);
-        // Max BEFORE count (litmus: serve/*_hist_snapshot — the MP
-        // pattern with maxUs as payload and the bucket count as flag):
-        // once a snapshot has seen this sample's count, read-read
-        // coherence across the release/acquire pair guarantees its maxUs
-        // read covers this sample — so reported quantiles never exceed
-        // the reported max. The old order (count first, both relaxed)
-        // could publish a counted sample whose max was still in flight.
-        auto prev = maxUs_.load(std::memory_order_relaxed);
-        while(us > prev
-              && !maxUs_.compare_exchange_weak(prev, us, std::memory_order_release, std::memory_order_relaxed))
-        {
-        }
-        counts_[bucket].fetch_add(1, std::memory_order_release);
-    }
-
-    auto Service::LatencyHistogram::snapshot() const -> LatencySnapshot
-    {
-        std::array<std::uint64_t, bucketCount> counts{};
-        std::uint64_t total = 0;
-        // Counts first (acquire), maxUs last: the mirror of record()'s
-        // ordering — see the header contract.
-        for(std::size_t b = 0; b < bucketCount; ++b)
-        {
-            counts[b] = counts_[b].load(std::memory_order_acquire);
-            total += counts[b];
-        }
-        LatencySnapshot snap;
-        snap.count = total;
-        snap.maxUs = static_cast<double>(maxUs_.load(std::memory_order_acquire));
-        if(total == 0)
-            return snap;
-        // A bucket holds latencies in [2^(b-1), 2^b); report the upper
-        // bound, conservative to within 2x.
-        auto const quantile = [&](double q) -> double
-        {
-            auto const rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
-            std::uint64_t seen = 0;
-            for(std::size_t b = 0; b < bucketCount; ++b)
-            {
-                seen += counts[b];
-                if(seen >= rank)
-                    return static_cast<double>(std::uint64_t{1} << b);
-            }
-            return snap.maxUs;
-        };
-        snap.p50Us = quantile(0.50);
-        snap.p99Us = quantile(0.99);
-        return snap;
-    }
-
-    // ------------------------------------------------------------------
     // construction / shutdown
 
     Service::Service(Options options)
@@ -1097,7 +1041,8 @@ namespace alpaka::serve
                 // exhaustion is the realistic cause — compose with
                 // "mempool.upstream_oom" to force the real path).
                 ALPAKA_FAULT_POINT("serve.batch_build");
-                items[i].payload = batch.requests[i].payload;
+                items[i].payload = batch.requests[i].payload.data();
+                items[i].payloadSize = batch.requests[i].payload.size();
                 if(scratchBytes > 0)
                 {
                     items[i].scratch = allocScratch(worker, scratchBytes);
@@ -1190,7 +1135,8 @@ namespace alpaka::serve
         auto const elapsed
             = std::chrono::duration<double>(std::chrono::steady_clock::now() - born_).count();
         s.requestsPerSecond = elapsed > 0.0 ? static_cast<double>(s.completed) / elapsed : 0.0;
-        s.latency = latency_.snapshot();
+        s.latencyCounts = latency_.counts();
+        s.latency = s.latencyCounts.snapshot();
 
         // One entry per distinct pool of the fleet, via the coherent
         // single-lock snapshot. slotInfo_ is immutable, so this never

@@ -1,0 +1,448 @@
+/// \file Session-layer semantics of the network front door (DESIGN.md
+/// §9.2): Hello handshake, request/response round-trips with the
+/// payload mutated in place (the zero-copy contract), delivery over
+/// byte-fragmenting transports, window/slot flow control, deadline
+/// propagation, typed rejections, the Bye drain handshake, protocol
+/// hostility (garbage, oversized frames), and the steady-state
+/// allocation audit over the whole wire path.
+#include <net/client.hpp>
+#include <net/front_door.hpp>
+#include <net/router.hpp>
+#include <net/transport.hpp>
+
+#include <serve/service.hpp>
+
+#include <alpaka/core/alloctrack.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+using namespace std::chrono_literals;
+
+namespace
+{
+    //! Small sizing so table/slot exhaustion is reachable in-test.
+    struct TestCfg
+    {
+        static constexpr std::size_t maxConnections = 4;
+        static constexpr std::size_t slotsPerConnection = 8;
+        static constexpr std::size_t maxPayload = 128;
+        static constexpr std::size_t maxTenantBytes = 32;
+        static constexpr std::size_t window = 8;
+        static constexpr std::size_t txFrames = 4;
+    };
+
+    using Door = net::FrontDoor<TestCfg>;
+    using Client = net::Client<TestCfg>;
+
+    //! payload[i] += 1 in place — the response echoes the mutation, so
+    //! the client can verify the kernel really saw ITS bytes (zero-copy
+    //! evidence, not just plumbing).
+    [[nodiscard]] auto incrementTemplate() -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "increment";
+        desc.maxBatch = 8;
+        desc.body = [](serve::RequestItem const& item)
+        {
+            auto* const bytes = static_cast<unsigned char*>(item.payload);
+            for(std::size_t i = 0; i < item.payloadSize; ++i)
+                bytes[i] = static_cast<unsigned char>(bytes[i] + 1);
+        };
+        return desc;
+    }
+
+    [[nodiscard]] auto smallRouter(std::size_t shards = 1) -> net::RouterOptions
+    {
+        net::RouterOptions opt;
+        opt.shards = shards;
+        opt.shard.cpuWorkers = 1;
+        opt.shard.queueCapacity = 64;
+        return opt;
+    }
+
+    //! Drives door and client until \p done or the wall-clock bound —
+    //! every wait in this suite is bounded (no hangs on regression).
+    template<typename Pred, typename OnResponse>
+    auto pollUntil(Door& door, Client& client, OnResponse&& onResponse, Pred&& done, std::chrono::milliseconds budget = 5000ms)
+        -> bool
+    {
+        auto const until = std::chrono::steady_clock::now() + budget;
+        while(!done())
+        {
+            auto const tnow = std::chrono::steady_clock::now();
+            if(tnow > until)
+                return false;
+            auto const progress = door.poll(tnow) | static_cast<int>(client.poll(onResponse));
+            if(progress == 0)
+                std::this_thread::sleep_for(100us);
+        }
+        return true;
+    }
+
+    //! One connected (door, client) pair over an in-process pipe, with
+    //! the Hello handshake completed.
+    struct Session
+    {
+        Door door;
+        std::unique_ptr<Client> client;
+
+        explicit Session(net::Router& router, std::string_view tenant = "tenant-a", std::size_t pipeBytes = 1 << 16)
+            : door(router)
+        {
+            auto [serverEnd, clientEnd] = net::makePipePair(pipeBytes);
+            EXPECT_TRUE(door.accept(std::move(serverEnd)));
+            client = std::make_unique<Client>(std::move(clientEnd));
+            client->hello(tenant);
+            EXPECT_TRUE(pollUntil(door, *client, [](auto const&) {}, [&] { return client->ready(); }));
+        }
+    };
+} // namespace
+
+TEST(NetSession, HelloThenEchoRoundTrip)
+{
+    net::Router router(smallRouter());
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    std::array<std::byte, 8> payload{};
+    for(std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::byte>(i);
+    auto const reqId = s.client->trySubmit(tmpl, payload.data(), payload.size());
+    ASSERT_NE(reqId, 0U);
+
+    bool got = false;
+    Client::Response seen;
+    std::array<std::byte, 8> echoed{};
+    ASSERT_TRUE(pollUntil(
+        s.door,
+        *s.client,
+        [&](Client::Response const& r)
+        {
+            seen = r;
+            std::memcpy(echoed.data(), r.payload, r.payloadLen);
+            got = true;
+        },
+        [&] { return got; }));
+
+    EXPECT_EQ(seen.reqId, reqId);
+    EXPECT_EQ(seen.status, net::Status::Ok);
+    EXPECT_EQ(seen.tmpl, tmpl);
+    ASSERT_EQ(seen.payloadLen, payload.size());
+    for(std::size_t i = 0; i < payload.size(); ++i)
+        EXPECT_EQ(static_cast<unsigned>(echoed[i]), i + 1) << "payload byte " << i << " not mutated in place";
+    EXPECT_EQ(s.door.stats().requestsSubmitted, 1U);
+    EXPECT_EQ(s.door.stats().responsesOk, 1U);
+    router.drain();
+}
+
+//! A 7-byte pipe fragments every frame across many partial sends and
+//! recvs; the reassembly state machines must not care.
+TEST(NetSession, SurvivesBytewiseFragmentation)
+{
+    net::Router router(smallRouter());
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Session s(router, "tenant-a", 7);
+
+    int got = 0;
+    for(int round = 0; round < 20; ++round)
+    {
+        std::array<std::byte, 33> payload{};
+        payload[round] = static_cast<std::byte>(round);
+        std::uint64_t reqId = 0;
+        ASSERT_TRUE(pollUntil(
+            s.door,
+            *s.client,
+            [&](Client::Response const&) { ++got; },
+            [&]
+            {
+                if(reqId == 0)
+                    reqId = s.client->trySubmit(tmpl, payload.data(), payload.size());
+                return got == round + 1;
+            }));
+    }
+    EXPECT_EQ(got, 20);
+    router.drain();
+}
+
+TEST(NetSession, ManyRequestsPipelineThroughTheWindow)
+{
+    net::Router router(smallRouter());
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    constexpr int total = 500;
+    int sent = 0;
+    int got = 0;
+    std::array<std::byte, 16> payload{};
+    ASSERT_TRUE(pollUntil(
+        s.door,
+        *s.client,
+        [&](Client::Response const& r)
+        {
+            EXPECT_EQ(r.status, net::Status::Ok);
+            ++got;
+        },
+        [&]
+        {
+            while(sent < total && s.client->trySubmit(tmpl, payload.data(), payload.size()) != 0)
+                ++sent;
+            return got == total;
+        }));
+    EXPECT_EQ(got, total);
+    EXPECT_EQ(s.door.stats().responsesOk, static_cast<std::uint64_t>(total));
+    router.drain();
+    EXPECT_EQ(router.stats().completed, static_cast<std::uint64_t>(total));
+}
+
+//! Client window: trySubmit refuses past Cfg::window in-flight; the
+//! requests complete once the (blocked) worker resumes.
+TEST(NetSession, WindowLimitsInFlight)
+{
+    net::Router router(smallRouter());
+    std::atomic<bool> release{false};
+    serve::TemplateDesc gate;
+    gate.name = "gate";
+    gate.body = [&release](serve::RequestItem const&)
+    {
+        while(!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(1ms);
+    };
+    auto const tmpl = router.registerTemplate(gate);
+    Session s(router);
+
+    std::array<std::byte, 4> payload{};
+    std::size_t accepted = 0;
+    // Pump until the window refuses: everything staged/in flight.
+    auto const until = std::chrono::steady_clock::now() + 3s;
+    while(std::chrono::steady_clock::now() < until)
+    {
+        if(s.client->trySubmit(tmpl, payload.data(), payload.size()) != 0)
+        {
+            ++accepted;
+            continue;
+        }
+        if(s.client->inFlight() == TestCfg::window)
+            break;
+        s.door.poll(std::chrono::steady_clock::now());
+        s.client->poll([](auto const&) {});
+    }
+    EXPECT_EQ(accepted, TestCfg::window);
+    EXPECT_EQ(s.client->trySubmit(tmpl, payload.data(), payload.size()), 0U);
+
+    release.store(true, std::memory_order_release);
+    int got = 0;
+    ASSERT_TRUE(pollUntil(s.door, *s.client, [&](auto const&) { ++got; }, [&] { return got == static_cast<int>(accepted); }));
+    EXPECT_EQ(s.client->inFlight(), 0U);
+    router.drain();
+}
+
+TEST(NetSession, DeadlinePropagatesAsExpiredStatus)
+{
+    net::Router router(smallRouter());
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    serve::TemplateDesc gate;
+    gate.name = "gate";
+    gate.body = [&started, &release](serve::RequestItem const&)
+    {
+        started.store(true, std::memory_order_release);
+        while(!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(1ms);
+    };
+    auto const gateId = router.registerTemplate(gate);
+    auto const incId = router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    std::array<std::byte, 4> payload{};
+    // First request blocks the only worker; the second carries a 1ms
+    // budget and is shed at dispatch time, after the gate releases.
+    ASSERT_NE(s.client->trySubmit(gateId, payload.data(), payload.size()), 0U);
+    auto const deadlined = s.client->trySubmit(incId, payload.data(), payload.size(), 1'000);
+    ASSERT_NE(deadlined, 0U);
+
+    std::vector<Client::Response> seen;
+    // Poll until the gate request occupies the worker (both frames have
+    // then landed and the 1ms budget is ticking), outlive the budget,
+    // then release: the deadlined request is shed at dispatch.
+    ASSERT_TRUE(pollUntil(s.door, *s.client, [&](Client::Response const& r) { seen.push_back(r); }, [&]
+                          { return started.load(std::memory_order_acquire); }));
+    std::this_thread::sleep_for(20ms);
+    release.store(true, std::memory_order_release);
+    ASSERT_TRUE(pollUntil(s.door, *s.client, [&](Client::Response const& r) { seen.push_back(r); }, [&]
+                          { return seen.size() == 2; }));
+    bool sawExpired = false;
+    for(auto const& r : seen)
+        if(r.reqId == deadlined)
+        {
+            EXPECT_EQ(r.status, net::Status::Expired);
+            EXPECT_EQ(r.payloadLen, 0U);
+            sawExpired = true;
+        }
+    EXPECT_TRUE(sawExpired);
+    router.drain();
+}
+
+TEST(NetSession, UnknownTemplateAnswersBadRequest)
+{
+    net::Router router(smallRouter());
+    router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    std::array<std::byte, 4> payload{};
+    auto const reqId = s.client->trySubmit(9999, payload.data(), payload.size());
+    ASSERT_NE(reqId, 0U);
+    bool got = false;
+    ASSERT_TRUE(pollUntil(
+        s.door,
+        *s.client,
+        [&](Client::Response const& r)
+        {
+            EXPECT_EQ(r.reqId, reqId);
+            EXPECT_EQ(r.status, net::Status::BadRequest);
+            got = true;
+        },
+        [&] { return got; }));
+    router.drain();
+}
+
+TEST(NetSession, ByeDrainsAndAcks)
+{
+    net::Router router(smallRouter());
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    std::array<std::byte, 4> payload{};
+    for(int i = 0; i < 5; ++i)
+        ASSERT_NE(s.client->trySubmit(tmpl, payload.data(), payload.size()), 0U);
+    s.client->bye();
+    EXPECT_EQ(s.client->trySubmit(tmpl, payload.data(), payload.size()), 0U) << "no submits after bye";
+
+    int got = 0;
+    ASSERT_TRUE(pollUntil(s.door, *s.client, [&](auto const&) { ++got; }, [&] { return s.client->closed(); }));
+    EXPECT_EQ(got, 5) << "every in-flight response arrives before the Bye ack";
+    EXPECT_EQ(s.client->lastError(), net::DecodeError::None);
+
+    // The server side reaps the connection back to Vacant.
+    auto const until = std::chrono::steady_clock::now() + 2s;
+    while(s.door.openConnections() != 0 && std::chrono::steady_clock::now() < until)
+        s.door.poll(std::chrono::steady_clock::now());
+    EXPECT_EQ(s.door.openConnections(), 0U);
+    EXPECT_EQ(s.door.stats().connectionsClosed, 1U);
+    router.drain();
+}
+
+TEST(NetSession, GarbageBytesCloseTheConnectionTyped)
+{
+    net::Router router(smallRouter());
+    router.registerTemplate(incrementTemplate());
+    Door door(router);
+    auto [serverEnd, rawClient] = net::makePipePair();
+    ASSERT_TRUE(door.accept(std::move(serverEnd)));
+
+    // 64 bytes of garbage instead of a Hello.
+    std::array<std::byte, 64> junk{};
+    for(std::size_t i = 0; i < junk.size(); ++i)
+        junk[i] = static_cast<std::byte>(i * 7 + 3);
+    ASSERT_EQ(rawClient->send(junk.data(), junk.size()), static_cast<std::ptrdiff_t>(junk.size()));
+
+    auto const until = std::chrono::steady_clock::now() + 2s;
+    while(door.openConnections() != 0 && std::chrono::steady_clock::now() < until)
+        door.poll(std::chrono::steady_clock::now());
+    EXPECT_EQ(door.openConnections(), 0U);
+
+    std::uint64_t reported = 0;
+    for(auto const count : door.stats().decodeErrors)
+        reported += count;
+    EXPECT_EQ(reported, 1U) << "exactly one decode error closes the stream";
+    EXPECT_EQ(door.stats().requestsSubmitted, 0U);
+}
+
+//! A frame announcing more payload than the receiver's compile-time
+//! slot is rejected from the header alone — no payload byte is read.
+TEST(NetSession, OversizedFrameRejectedBeforePayload)
+{
+    net::Router router(smallRouter());
+    router.registerTemplate(incrementTemplate());
+    Door door(router);
+    auto [serverEnd, rawClient] = net::makePipePair();
+    ASSERT_TRUE(door.accept(std::move(serverEnd)));
+
+    net::FrameHeader h;
+    h.type = net::FrameType::Hello;
+    h.payloadLen = TestCfg::maxPayload + 1;
+    std::array<std::byte, net::headerSize> buf{};
+    net::encodeHeader(h, buf.data(), nullptr, 0);
+    ASSERT_EQ(rawClient->send(buf.data(), buf.size()), static_cast<std::ptrdiff_t>(buf.size()));
+
+    auto const until = std::chrono::steady_clock::now() + 2s;
+    while(door.openConnections() != 0 && std::chrono::steady_clock::now() < until)
+        door.poll(std::chrono::steady_clock::now());
+    EXPECT_EQ(
+        door.stats().decodeErrors[static_cast<std::size_t>(net::DecodeError::Oversized)],
+        1U);
+}
+
+TEST(NetSession, ConnectionTableIsBounded)
+{
+    net::Router router(smallRouter());
+    Door door(router);
+    std::vector<std::unique_ptr<net::Transport>> keep;
+    for(std::size_t i = 0; i < TestCfg::maxConnections; ++i)
+    {
+        auto [serverEnd, clientEnd] = net::makePipePair();
+        EXPECT_TRUE(door.accept(std::move(serverEnd)));
+        keep.push_back(std::move(clientEnd));
+    }
+    auto [serverEnd, clientEnd] = net::makePipePair();
+    EXPECT_FALSE(door.accept(std::move(serverEnd))) << "table full";
+    EXPECT_EQ(door.openConnections(), TestCfg::maxConnections);
+}
+
+//! The acceptance gate: once warm, the whole wire path — client encode,
+//! pipe, frame decode, admission, dispatch, completion continuation,
+//! response encode, client decode — performs ZERO heap allocations.
+TEST(NetSession, SteadyStateWirePathAllocatesNothing)
+{
+    if(!core::allocTrackEnabled())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_ALLOCTRACK";
+
+    net::Router router(smallRouter());
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Session s(router);
+
+    std::array<std::byte, 32> payload{};
+    auto roundTrips = [&](int count)
+    {
+        int got = 0;
+        int sent = 0;
+        ASSERT_TRUE(pollUntil(
+            s.door,
+            *s.client,
+            [&](auto const&) { ++got; },
+            [&]
+            {
+                while(sent < count && s.client->trySubmit(tmpl, payload.data(), payload.size()) != 0)
+                    ++sent;
+                return got == count;
+            }));
+    };
+
+    // Warm every cache on the path (tenant record, future-state ring,
+    // batch caches, mempool bins, ring laps).
+    roundTrips(2'000);
+    router.drain();
+
+    auto const before = core::allocCount();
+    roundTrips(2'000);
+    auto const after = core::allocCount();
+    EXPECT_EQ(after, before) << "wire path allocated in steady state";
+    router.drain();
+}
