@@ -8,16 +8,29 @@
 /// max and the router's shard-merged view of the same traffic.
 ///
 ///   load_generator [requests] [clients] [shards] [--socket]
+///                  [--trace[=trace.json]]
 ///
 /// Defaults drive 1'048'576 requests from 4 clients across 2 shards.
+/// With --trace (an ALPAKA_REPRO_TRACE=ON build), a collector thread
+/// drains the span rings throughout the run, the capture lands as a
+/// Perfetto-loadable Chrome trace, and the run's unified metrics
+/// registry is printed in text exposition (DESIGN.md §10).
 #include <net/client.hpp>
 #include <net/front_door.hpp>
 #include <net/router.hpp>
 #include <net/socket.hpp>
 #include <net/transport.hpp>
 
+#include <obs/collector.hpp>
+#include <obs/registry.hpp>
+#include <obs/trace_json.hpp>
+
 #include <serve/latency.hpp>
 #include <serve/service.hpp>
+
+#include <threadpool/thread_pool.hpp>
+
+#include <alpaka/core/trace.hpp>
 
 #include <atomic>
 #include <chrono>
@@ -134,12 +147,21 @@ auto main(int argc, char** argv) -> int
     std::size_t clients = 4;
     std::size_t shards = 2;
     bool useSocket = false;
+    bool traceRun = false;
+    std::string tracePath = "trace.json";
     std::size_t positional = 0;
     for(int a = 1; a < argc; ++a)
     {
         std::string const arg = argv[a];
         if(arg == "--socket")
             useSocket = true;
+        else if(arg == "--trace")
+            traceRun = true;
+        else if(arg.starts_with("--trace="))
+        {
+            traceRun = true;
+            tracePath = arg.substr(8);
+        }
         else if(positional == 0)
             totalRequests = std::stoull(arg), ++positional;
         else if(positional == 1)
@@ -150,9 +172,12 @@ auto main(int argc, char** argv) -> int
     if(clients == 0 || clients > LoadCfg::maxConnections || shards == 0)
     {
         std::cerr << "usage: load_generator [requests] [clients <= " << LoadCfg::maxConnections
-                  << "] [shards] [--socket]\n";
+                  << "] [shards] [--socket] [--trace[=trace.json]]\n";
         return 1;
     }
+    if(traceRun && !trace::compiledIn())
+        std::cout << "note: --trace on an ALPAKA_REPRO_TRACE=OFF build — no recording sites compiled in, "
+                     "the capture will hold metrics only\n";
 
     net::RouterOptions routerOptions;
     routerOptions.shards = shards;
@@ -195,6 +220,26 @@ auto main(int argc, char** argv) -> int
             }
             end = std::move(clientEnd);
         }
+    }
+
+    // The trace collector: polls the span rings fast enough that an
+    // 8192-event ring never laps (drop-free capture under full load),
+    // bounded so an unattended capture cannot eat the machine.
+    obs::Collector collector(std::size_t{1} << 22);
+    std::atomic<bool> traceStop{false};
+    std::thread traceThread;
+    if(traceRun)
+    {
+        traceThread = std::thread(
+            [&]
+            {
+                while(!traceStop.load(std::memory_order_acquire))
+                {
+                    collector.poll();
+                    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+                }
+                collector.poll(); // final sweep after the last producer stopped
+            });
     }
 
     // The server: one thread polling the door (and the listener when
@@ -258,6 +303,32 @@ auto main(int argc, char** argv) -> int
         std::cout << (s > 0 ? " / " : "") << "shard " << s << ": " << routed.perShard[s].completed << " done, "
                   << routed.perShard[s].batches << " batches";
     std::cout << '\n';
+    std::cout << "  queue wait  p50 " << routed.queueWait.p50Us << " us   p99 " << routed.queueWait.p99Us
+              << " us   max " << routed.queueWait.maxUs << " us\n";
+
+    if(traceRun)
+    {
+        traceStop.store(true, std::memory_order_release);
+        traceThread.join();
+
+        if(obs::writeChromeTrace(tracePath, collector.events()))
+            std::cout << "\n  trace       " << collector.events().size() << " events -> " << tracePath
+                      << " (ring drops " << collector.ringDropped() << ", cap drops " << collector.capDropped()
+                      << ")\n";
+        else
+            std::cout << "\n  trace       ERROR: could not write " << tracePath << '\n';
+
+        // The unified registry view of the same run: the fleet merge of
+        // every shard, the wire front door, the thread pool, the span
+        // rings themselves, and the (normally unarmed) fault registry.
+        obs::Registry reg;
+        obs::collect(reg, routed);
+        obs::collect(reg, door.stats());
+        obs::collect(reg, threadpool::ThreadPool::global().counters());
+        obs::collectTrace(reg);
+        obs::collectFault(reg);
+        std::cout << "\n--- metrics exposition ---\n" << reg.exposition();
+    }
 
     auto const reports = router.shutdown(std::chrono::seconds{10});
     for(std::size_t s = 0; s < reports.size(); ++s)

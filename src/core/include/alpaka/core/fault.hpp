@@ -100,6 +100,13 @@ namespace alpaka::fault
         }
     } // namespace detail
 
+    //! Process-wide armed-site hits (site evaluations while any plan was
+    //! installed). Zero in unarmed runs and untraced builds; exported
+    //! through obs::collectFault (DESIGN.md §10.4).
+    [[nodiscard]] auto totalHits() noexcept -> std::uint64_t;
+    //! Process-wide rule fires (injections that actually acted).
+    [[nodiscard]] auto totalFires() noexcept -> std::uint64_t;
+
     //! A scoped fault schedule: rules installed through it arm the named
     //! sites process-wide until the plan dies (tests stack plans freely —
     //! rules of different plans on one site all apply, in installation

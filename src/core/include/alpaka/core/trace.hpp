@@ -1,0 +1,270 @@
+/// \file Always-on tracing primitives: per-thread span rings and the
+/// lock-free thread table every layer records into (DESIGN.md §10).
+///
+/// The design goal is a flight recorder cheap enough to leave enabled
+/// in production serving, priced with the same discipline as the fault
+/// points (§7): recording sites compile to `((void) 0)` unless the
+/// build defines ALPAKA_REPRO_TRACE (invariant 23 — the OFF hot path
+/// is bit-for-bit free of trace code), and when compiled in, the
+/// steady-state recording path allocates nothing and never blocks
+/// (invariant 24) — a full ring drops-and-counts, it neither grows nor
+/// waits for the collector.
+///
+/// Shape: each recording thread owns one fixed-size SPSC ring of
+/// 32-byte events. The producer writes the cell with plain stores and
+/// publishes with one release store of the head index (litmus:
+/// obs/*_ring_publish); the collector acquires the head, copies
+/// [tail, head), and grants cell reuse with a release store of tail
+/// that the producer re-acquires only on the would-drop slow path
+/// (litmus: obs/*_ring_reclaim — this edge is also what makes the
+/// drop counter exact: a producer only counts a drop after an acquire
+/// reload of tail proved the ring really is full). Rings register in a
+/// fixed lock-free table (release-store of the slot pointer, claimed
+/// by one fetch_add) and are deliberately never freed: a ring may be
+/// drained after its thread exited, and the table is bounded by
+/// maxThreads either way.
+///
+/// Timestamps are raw TSC ticks on x86 (one RDTSC ≈ a cache hit, the
+/// difference between ≤2 % and ~10 % overhead at serve batch sizes)
+/// and steady_clock nanoseconds elsewhere; drain() converts everything
+/// to steady_clock nanoseconds through a two-point linear calibration,
+/// so consumers only ever see ns.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace alpaka::trace
+{
+    enum class EventKind : std::uint8_t
+    {
+        SpanBegin = 0, //!< thread-scoped span open; arg free-form
+        SpanEnd = 1, //!< closes the innermost same-site SpanBegin on this thread
+        Instant = 2, //!< point event; arg free-form (usually a request id)
+        Counter = 3, //!< sampled value; arg is the sample
+        AsyncBegin = 4, //!< cross-thread span open; arg is the correlation id
+        AsyncEnd = 5, //!< cross-thread span close; arg matches the begin
+    };
+
+    //! One ring cell. 32 bytes so a 64-byte line holds exactly two and
+    //! the ring never straddles cells across lines.
+    struct Event
+    {
+        std::uint64_t tsNs; //!< raw ticks in the ring; ns after drain()
+        std::uint64_t arg;
+        std::uint32_t site; //!< interned site id (siteName())
+        std::uint32_t tid; //!< ring's registration index (threadName())
+        EventKind kind;
+        std::uint8_t reserved[7];
+    };
+    static_assert(sizeof(Event) == 32, "trace events are 32-byte cells");
+
+    //! Events per thread ring (power of two). 8192 × 32 B = 256 KiB per
+    //! recording thread, bounded by maxThreads.
+    inline constexpr std::size_t ringCapacity = 8192;
+    //! Thread-table slots. Threads beyond this record nothing (counted
+    //! in tableFullDrops()), they never block or allocate.
+    inline constexpr std::size_t maxThreads = 256;
+
+    //! True when the build compiled the recording sites in.
+    [[nodiscard]] constexpr auto compiledIn() noexcept -> bool
+    {
+#if defined(ALPAKA_REPRO_TRACE)
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    namespace detail
+    {
+        struct ThreadRing
+        {
+            alignas(64) Event events[ringCapacity];
+            //! Producer's publish index: next unwritten position. The
+            //! release store is the only publication edge the collector
+            //! synchronizes on.
+            alignas(64) std::atomic<std::uint64_t> head{0};
+            //! Producer-local mirror of tail — the fast path compares
+            //! against this and touches the shared tail only when the
+            //! ring LOOKS full.
+            std::uint64_t tailCache = 0;
+            std::uint32_t tid = 0;
+            //! Collector cursor: first unread position. Its release
+            //! store grants the producer cell reuse.
+            alignas(64) std::atomic<std::uint64_t> tail{0};
+            //! Producer-owned drop count; exact because only the single
+            //! producer increments it, and only after the tail reload
+            //! proved fullness (see record()).
+            std::atomic<std::uint64_t> dropped{0};
+            //! Optional thread name, published once via release flag.
+            char name[48] = {};
+            std::atomic<bool> named{false};
+        };
+
+        //! Global enable gate — one relaxed load on the hot path. True
+        //! by default in traced builds ("always-on"); the bench flips it
+        //! to price the recording path itself (paired measurement).
+        inline std::atomic<bool> g_enabled{true};
+        //! Records attempted by threads past the table bound.
+        inline std::atomic<std::uint64_t> g_tableFullDrops{0};
+
+        //! Registers the calling thread in the table (one allocation,
+        //! ever, per thread — NOT on the steady-state path). Returns
+        //! nullptr when the table is full.
+        auto registerThisThread() noexcept -> ThreadRing*;
+
+        [[nodiscard]] inline auto ring() noexcept -> ThreadRing*
+        {
+            thread_local ThreadRing* const r = registerThisThread();
+            return r;
+        }
+
+        [[nodiscard]] inline auto nowTicks() noexcept -> std::uint64_t
+        {
+#if defined(__x86_64__) || defined(__i386__)
+            return __builtin_ia32_rdtsc();
+#else
+            return std::uint64_t(std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+        }
+    } // namespace detail
+
+    //! Runtime gate for the recording path (compiled-in builds only;
+    //! a no-op otherwise). Tracing starts enabled.
+    void setEnabled(bool on) noexcept;
+    [[nodiscard]] auto enabled() noexcept -> bool;
+
+    //! Interns \p name, returning its stable site id. Locked, intended
+    //! for once-per-site static initialization (the macros cache it).
+    auto internSite(std::string_view name) -> std::uint32_t;
+    [[nodiscard]] auto siteName(std::uint32_t id) noexcept -> std::string_view;
+    [[nodiscard]] auto siteCount() noexcept -> std::size_t;
+
+    //! Names the calling thread's ring for exporters ("serve.worker.0").
+    void nameThread(std::string_view name) noexcept;
+    [[nodiscard]] auto threadName(std::uint32_t tid) noexcept -> std::string_view;
+    [[nodiscard]] auto threadCount() noexcept -> std::size_t;
+
+    //! The recording hot path: one relaxed gate load, one tick read,
+    //! four plain stores, one release store. Never blocks, never
+    //! allocates; a full ring drops-and-counts (invariant 24).
+    inline void record(std::uint32_t site, EventKind kind, std::uint64_t arg) noexcept
+    {
+        if(!detail::g_enabled.load(std::memory_order_relaxed))
+            return;
+        auto* const r = detail::ring();
+        if(r == nullptr)
+        {
+            detail::g_tableFullDrops.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        auto const head = r->head.load(std::memory_order_relaxed);
+        if(head - r->tailCache >= ringCapacity)
+        {
+            // Looks full: reload the collector's cursor (acquire pairs
+            // with its release in drain() — litmus: obs/*_ring_reclaim)
+            // and only drop if it STILL is. The acquire also orders the
+            // upcoming cell overwrite after the collector's copies.
+            r->tailCache = r->tail.load(std::memory_order_acquire);
+            if(head - r->tailCache >= ringCapacity)
+            {
+                r->dropped.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+        auto& e = r->events[head & (ringCapacity - 1)];
+        e.tsNs = detail::nowTicks();
+        e.arg = arg;
+        e.site = site;
+        e.tid = r->tid;
+        e.kind = kind;
+        // Publish: everything above is ordered before the index bump
+        // (litmus: obs/*_ring_publish).
+        r->head.store(head + 1, std::memory_order_release);
+    }
+
+    struct DrainStats
+    {
+        std::size_t events = 0; //!< appended by this drain
+        std::size_t threads = 0; //!< rings visited
+        std::uint64_t dropped = 0; //!< cumulative ring-full drops
+        std::uint64_t tableFullDrops = 0; //!< cumulative table-full drops
+    };
+
+    //! Drains every registered ring's unread events into \p out
+    //! (appended, timestamps converted to steady_clock ns). Serialized
+    //! internally — any thread may call, one at a time proceeds. Each
+    //! ring's slice is snapshot-consistent: exactly the events published
+    //! before this drain's acquire of its head.
+    auto drain(std::vector<Event>& out) -> DrainStats;
+
+    //! Cumulative ring-full drops across all rings (without draining).
+    [[nodiscard]] auto droppedTotal() noexcept -> std::uint64_t;
+    //! Cumulative events ever published across all rings.
+    [[nodiscard]] auto recordedTotal() noexcept -> std::uint64_t;
+    [[nodiscard]] auto tableFullDrops() noexcept -> std::uint64_t;
+
+    namespace detail
+    {
+        //! RAII pair for ALPAKA_TRACE_SCOPE.
+        struct ScopedSpan
+        {
+            explicit ScopedSpan(std::uint32_t site, std::uint64_t arg) noexcept : site_(site)
+            {
+                record(site_, EventKind::SpanBegin, arg);
+            }
+            ScopedSpan(ScopedSpan const&) = delete;
+            auto operator=(ScopedSpan const&) -> ScopedSpan& = delete;
+            ~ScopedSpan()
+            {
+                record(site_, EventKind::SpanEnd, 0);
+            }
+
+        private:
+            std::uint32_t site_;
+        };
+    } // namespace detail
+} // namespace alpaka::trace
+
+// Recording macros — the ALPAKA_FAULT_POINT pattern: in untraced
+// builds every site is `((void) 0)` and the argument expressions are
+// never evaluated (invariant 23). In traced builds each site interns
+// its name once (function-local static) and records inline.
+#if defined(ALPAKA_REPRO_TRACE)
+#    define ALPAKA_TRACE_CONCAT_INNER_(a, b) a##b
+#    define ALPAKA_TRACE_CONCAT_(a, b) ALPAKA_TRACE_CONCAT_INNER_(a, b)
+#    define ALPAKA_TRACE_EVENT_(kindv, name, argv)                                                                    \
+        do                                                                                                            \
+        {                                                                                                             \
+            static std::uint32_t const alpakaTraceSite_ = ::alpaka::trace::internSite(name);                          \
+            ::alpaka::trace::record(alpakaTraceSite_, kindv, static_cast<std::uint64_t>(argv));                       \
+        } while(false)
+#    define ALPAKA_TRACE_INSTANT(name, argv) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::Instant, name, argv)
+#    define ALPAKA_TRACE_COUNTER(name, valuev) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::Counter, name, valuev)
+#    define ALPAKA_TRACE_SPAN_BEGIN(name, argv) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::SpanBegin, name, argv)
+#    define ALPAKA_TRACE_SPAN_END(name) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::SpanEnd, name, 0)
+#    define ALPAKA_TRACE_ASYNC_BEGIN(name, idv) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::AsyncBegin, name, idv)
+#    define ALPAKA_TRACE_ASYNC_END(name, idv) ALPAKA_TRACE_EVENT_(::alpaka::trace::EventKind::AsyncEnd, name, idv)
+//! Span over the enclosing block (RAII; name interned once).
+#    define ALPAKA_TRACE_SCOPE(name, argv)                                                                            \
+        static std::uint32_t const ALPAKA_TRACE_CONCAT_(alpakaTraceSite_, __LINE__)                                   \
+            = ::alpaka::trace::internSite(name);                                                                      \
+        ::alpaka::trace::detail::ScopedSpan const ALPAKA_TRACE_CONCAT_(alpakaTraceScope_, __LINE__)(                  \
+            ALPAKA_TRACE_CONCAT_(alpakaTraceSite_, __LINE__),                                                         \
+            static_cast<std::uint64_t>(argv))
+#    define ALPAKA_TRACE_THREAD_NAME(name) ::alpaka::trace::nameThread(name)
+#else
+#    define ALPAKA_TRACE_INSTANT(name, argv) ((void) 0)
+#    define ALPAKA_TRACE_COUNTER(name, valuev) ((void) 0)
+#    define ALPAKA_TRACE_SPAN_BEGIN(name, argv) ((void) 0)
+#    define ALPAKA_TRACE_SPAN_END(name) ((void) 0)
+#    define ALPAKA_TRACE_ASYNC_BEGIN(name, idv) ((void) 0)
+#    define ALPAKA_TRACE_ASYNC_END(name, idv) ((void) 0)
+#    define ALPAKA_TRACE_SCOPE(name, argv) ((void) 0)
+#    define ALPAKA_TRACE_THREAD_NAME(name) ((void) 0)
+#endif

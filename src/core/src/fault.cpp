@@ -69,8 +69,19 @@ namespace alpaka::fault
             return n;
         }
 
+        namespace
+        {
+            //! Process totals behind fault::totalHits/totalFires — the
+            //! registry's fault-fire counters (DESIGN.md §10.4). Bumped
+            //! only inside evaluate(), i.e. only while armed: the
+            //! unarmed fast path stays one load.
+            std::atomic<std::uint64_t> g_totalHits{0};
+            std::atomic<std::uint64_t> g_totalFires{0};
+        } // namespace
+
         void evaluate(char const* site)
         {
+            g_totalHits.fetch_add(1, std::memory_order_relaxed);
             // Snapshot the matching rules, then act with the lock dropped:
             // a firing rule may sleep or throw, and a concurrent plan
             // destructor must never wait behind either.
@@ -91,6 +102,7 @@ namespace alpaka::fault
                 // each of the maxFires slots; overshoot simply doesn't act.
                 if(r->fired.fetch_add(1, std::memory_order_relaxed) + 1 > r->trigger.maxFires)
                     continue;
+                g_totalFires.fetch_add(1, std::memory_order_relaxed);
                 if(r->isDelay)
                     std::this_thread::sleep_for(r->delayFor);
                 else if(r->make)
@@ -100,6 +112,16 @@ namespace alpaka::fault
             }
         }
     } // namespace detail
+
+    auto totalHits() noexcept -> std::uint64_t
+    {
+        return detail::g_totalHits.load(std::memory_order_relaxed);
+    }
+
+    auto totalFires() noexcept -> std::uint64_t
+    {
+        return detail::g_totalFires.load(std::memory_order_relaxed);
+    }
 
     auto Plan::envSeed() -> std::uint64_t
     {

@@ -1,0 +1,256 @@
+/// \file Trace thread table, site interning, and the calibrated drain
+/// (DESIGN.md §10.2). The recording hot path lives in the header; this
+/// file is everything that may lock or allocate — registration, name
+/// interning, and the collector side.
+
+#include "alpaka/core/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <string>
+
+namespace alpaka::trace
+{
+    namespace detail
+    {
+        namespace
+        {
+            //! Lock-free ring table: slots claimed by one fetch_add,
+            //! pointers published with release stores. Rings are never
+            //! freed — a collector may drain a ring after its thread
+            //! exited, and the table bounds the footprint regardless.
+            std::atomic<ThreadRing*> g_table[maxThreads]{};
+            std::atomic<std::uint32_t> g_threadCount{0};
+
+            struct SiteTable
+            {
+                std::mutex mutex;
+                std::vector<std::string> names; // id = index
+            };
+
+            auto siteTable() -> SiteTable&
+            {
+                static SiteTable t;
+                return t;
+            }
+
+            //! Site-id readers (drain, exporters) must not take the
+            //! intern lock: names are also published into this bounded
+            //! lock-free mirror (release store per slot, like the ring
+            //! table). 512 sites is far beyond the code's site count.
+            constexpr std::size_t maxSites = 512;
+            std::atomic<char const*> g_siteNames[maxSites]{};
+            std::atomic<std::uint32_t> g_siteCount{0};
+
+            auto steadyNs() noexcept -> std::uint64_t
+            {
+                return std::uint64_t(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
+            }
+
+            //! Two-point tick→ns calibration. The base pair is captured
+            //! at static-init/first-use; drain() refreshes the second
+            //! point each call, so the mapping tightens as wall time
+            //! accumulates. On non-x86, ticks already ARE steady ns and
+            //! the mapping is the identity.
+            struct Calibration
+            {
+                std::uint64_t tick0;
+                std::uint64_t ns0;
+            };
+
+            auto calibration() noexcept -> Calibration&
+            {
+                static Calibration c{nowTicks(), steadyNs()};
+                return c;
+            }
+
+            // Forces base-pair capture before any event is recorded in
+            // this TU's users (best effort; first drain still works
+            // even if events predate it — ticks map linearly anyway).
+            [[maybe_unused]] auto const& g_calibInit = calibration();
+        } // namespace
+
+        auto registerThisThread() noexcept -> ThreadRing*
+        {
+            auto const tid = g_threadCount.fetch_add(1, std::memory_order_relaxed);
+            if(tid >= maxThreads)
+                return nullptr;
+            // Default-init, NOT value-init: the 256 KiB events array must
+            // stay untouched here. Zeroing it faults every page of the
+            // ring inside the first record() — ~300 ns/launch measured on
+            // short-lived submitter threads — and the collector never
+            // reads past [tail, head), so indeterminate cells are
+            // unobservable. aligned_alloc + placement new rather than the
+            // aligned operator new: rings must not route through
+            // replaceable operators (tests and the ALLOCTRACK audit
+            // replace them, and the ring is infrastructure those audits
+            // measure AROUND, not part of the measured workload).
+            static_assert(sizeof(ThreadRing) % alignof(ThreadRing) == 0);
+            void* const mem = std::aligned_alloc(alignof(ThreadRing), sizeof(ThreadRing));
+            if(mem == nullptr)
+                return nullptr;
+            auto* const r = ::new(mem) ThreadRing;
+            if(r == nullptr)
+                return nullptr;
+            r->tid = tid;
+            g_table[tid].store(r, std::memory_order_release);
+            return r;
+        }
+    } // namespace detail
+
+    void setEnabled(bool on) noexcept
+    {
+        detail::g_enabled.store(on, std::memory_order_relaxed);
+    }
+
+    auto enabled() noexcept -> bool
+    {
+        return detail::g_enabled.load(std::memory_order_relaxed);
+    }
+
+    auto internSite(std::string_view name) -> std::uint32_t
+    {
+        auto& t = detail::siteTable();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        for(std::size_t i = 0; i < t.names.size(); ++i)
+            if(t.names[i] == name)
+                return std::uint32_t(i);
+        auto const id = std::uint32_t(t.names.size());
+        t.names.emplace_back(name);
+        if(id < detail::maxSites)
+        {
+            // string storage is stable: names are never erased and the
+            // vector only grows, but the c_str pointer must survive
+            // reallocation — publish a leaked copy instead.
+            auto* const stable = new char[name.size() + 1];
+            std::memcpy(stable, name.data(), name.size());
+            stable[name.size()] = '\0';
+            detail::g_siteNames[id].store(stable, std::memory_order_release);
+            detail::g_siteCount.store(id + 1, std::memory_order_release);
+        }
+        return id;
+    }
+
+    auto siteName(std::uint32_t id) noexcept -> std::string_view
+    {
+        if(id >= detail::g_siteCount.load(std::memory_order_acquire))
+            return "?";
+        auto const* const s = detail::g_siteNames[id].load(std::memory_order_acquire);
+        return s != nullptr ? std::string_view(s) : std::string_view("?");
+    }
+
+    auto siteCount() noexcept -> std::size_t
+    {
+        return detail::g_siteCount.load(std::memory_order_acquire);
+    }
+
+    void nameThread(std::string_view name) noexcept
+    {
+        auto* const r = detail::ring();
+        if(r == nullptr)
+            return;
+        auto const n = std::min(name.size(), sizeof(r->name) - 1);
+        std::memcpy(r->name, name.data(), n);
+        r->name[n] = '\0';
+        r->named.store(true, std::memory_order_release);
+    }
+
+    auto threadName(std::uint32_t tid) noexcept -> std::string_view
+    {
+        if(tid >= maxThreads)
+            return {};
+        auto const* const r = detail::g_table[tid].load(std::memory_order_acquire);
+        if(r == nullptr || !r->named.load(std::memory_order_acquire))
+            return {};
+        return r->name;
+    }
+
+    auto threadCount() noexcept -> std::size_t
+    {
+        return std::min<std::size_t>(detail::g_threadCount.load(std::memory_order_relaxed), maxThreads);
+    }
+
+    auto drain(std::vector<Event>& out) -> DrainStats
+    {
+        // One collector at a time: tail is single-consumer state.
+        static std::mutex drainMutex;
+        std::lock_guard<std::mutex> lock(drainMutex);
+
+        // Refresh the calibration's far point; convert through the
+        // resulting linear map. Identity when ticks are already ns.
+        auto const& base = detail::calibration();
+        auto const tick1 = detail::nowTicks();
+        auto const ns1 = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        double nsPerTick = 1.0;
+        if(tick1 > base.tick0 && ns1 > base.ns0)
+            nsPerTick = double(ns1 - base.ns0) / double(tick1 - base.tick0);
+        auto const toNs = [&](std::uint64_t tick) -> std::uint64_t
+        {
+            if(tick <= base.tick0)
+                return base.ns0;
+            return base.ns0 + std::uint64_t(double(tick - base.tick0) * nsPerTick);
+        };
+
+        DrainStats stats{};
+        auto const n = threadCount();
+        for(std::size_t i = 0; i < n; ++i)
+        {
+            auto* const r = detail::g_table[i].load(std::memory_order_acquire);
+            if(r == nullptr)
+                continue;
+            ++stats.threads;
+            // Snapshot-consistent slice: exactly the events published
+            // before this acquire (litmus: obs/*_ring_publish).
+            auto const head = r->head.load(std::memory_order_acquire);
+            auto tail = r->tail.load(std::memory_order_relaxed);
+            for(; tail != head; ++tail)
+            {
+                Event e = r->events[tail & (ringCapacity - 1)];
+                e.tsNs = toNs(e.tsNs);
+                out.push_back(e);
+                ++stats.events;
+            }
+            // Grant cell reuse only after the copies above (litmus:
+            // obs/*_ring_reclaim).
+            r->tail.store(head, std::memory_order_release);
+            stats.dropped += r->dropped.load(std::memory_order_relaxed);
+        }
+        stats.tableFullDrops = detail::g_tableFullDrops.load(std::memory_order_relaxed);
+        return stats;
+    }
+
+    auto droppedTotal() noexcept -> std::uint64_t
+    {
+        std::uint64_t total = 0;
+        auto const n = threadCount();
+        for(std::size_t i = 0; i < n; ++i)
+            if(auto const* const r = detail::g_table[i].load(std::memory_order_acquire))
+                total += r->dropped.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    auto recordedTotal() noexcept -> std::uint64_t
+    {
+        std::uint64_t total = 0;
+        auto const n = threadCount();
+        for(std::size_t i = 0; i < n; ++i)
+            if(auto const* const r = detail::g_table[i].load(std::memory_order_acquire))
+                total += r->head.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    auto tableFullDrops() noexcept -> std::uint64_t
+    {
+        return detail::g_tableFullDrops.load(std::memory_order_relaxed);
+    }
+} // namespace alpaka::trace

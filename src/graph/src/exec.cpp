@@ -1,5 +1,7 @@
 #include "graph/exec.hpp"
 
+#include "alpaka/core/trace.hpp"
+
 #include <algorithm>
 
 namespace alpaka::graph
@@ -127,6 +129,7 @@ namespace alpaka::graph
         std::unique_lock serial(serialMutex_, std::defer_lock);
         if(serializeReplays_)
             serial.lock();
+        ALPAKA_TRACE_SCOPE("graph.replay", subtasks_.size());
         auto scratch = acquireScratch();
 
         for(auto const& prologue : prologues_)
@@ -233,6 +236,8 @@ namespace alpaka::graph
 
     void Exec::completeNode(ReplayScratch& scratch, NodeId node)
     {
+        if(traceNodes_.load(std::memory_order_relaxed))
+            ALPAKA_TRACE_INSTANT("graph.node_complete", node);
         auto const& done = nodes_[node];
         for(auto s = done.succBegin; s < done.succEnd; ++s)
         {

@@ -48,6 +48,7 @@
 #include "serve/types.hpp"
 
 #include "alpaka/core/fault.hpp"
+#include "alpaka/core/trace.hpp"
 
 #include <array>
 #include <atomic>
@@ -454,6 +455,7 @@ namespace alpaka::net
                 h.payloadLen = slot.status == Status::Ok ? slot.len : 0;
                 if(!stageFrame(c, h, slot.payload.data(), true))
                     break; // staging full; retry next poll
+                ALPAKA_TRACE_ASYNC_END("net.request", slot.reqId);
                 slot.status == Status::Ok ? ++stats_.responsesOk : ++stats_.responsesError;
                 slot.state.store(slotFree, std::memory_order_relaxed);
                 progress = true;
@@ -534,6 +536,7 @@ namespace alpaka::net
                 return;
             }
             case FrameType::Request:
+                ALPAKA_TRACE_INSTANT("net.frame_decode", c.header.reqId);
                 submitSlot(c, *c.rxSlot, tnow);
                 return;
             case FrameType::Bye:
@@ -549,6 +552,11 @@ namespace alpaka::net
             slot.reqId = c.header.reqId;
             slot.tmpl = c.header.tmpl;
             slot.len = c.header.payloadLen;
+            // The wire reqId is the request's trace correlation id: every
+            // layer below (router, serve, graph) tags its spans with the
+            // same value, so one Perfetto async track spans decode →
+            // route → queue → execute → response staging.
+            ALPAKA_TRACE_ASYNC_BEGIN("net.request", slot.reqId);
             if(c.state == ConnState::Draining)
             {
                 slot.status = Status::Draining;
@@ -559,6 +567,7 @@ namespace alpaka::net
             req.tmpl = c.header.tmpl;
             req.tenant = std::string_view(c.tenant.data(), c.tenantLen);
             req.payload = serve::PayloadView(slot.payload.data(), slot.len);
+            req.traceId = slot.reqId;
             if(c.header.deadlineUs != 0)
                 req.deadline = tnow + std::chrono::microseconds(c.header.deadlineUs);
             slot.state.store(slotBusy, std::memory_order_relaxed);
@@ -570,6 +579,7 @@ namespace alpaka::net
                     [slotPtr = &slot](std::exception_ptr e) noexcept
                     {
                         slotPtr->status = statusOf(e);
+                        ALPAKA_TRACE_INSTANT("net.completion", slotPtr->reqId);
                         slotPtr->state.store(slotDone, std::memory_order_release);
                     });
                 ++stats_.requestsSubmitted;

@@ -122,6 +122,8 @@ namespace alpaka::net
         std::uint64_t failed = 0;
         serve::LatencySnapshot latency;
         serve::LatencyCounts latencyCounts;
+        serve::LatencySnapshot queueWait;
+        serve::LatencyCounts queueWaitCounts;
         std::vector<serve::ServiceStats> perShard;
     };
 

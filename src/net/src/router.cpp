@@ -3,6 +3,7 @@
 #include "net/router.hpp"
 
 #include "alpaka/core/error.hpp"
+#include "alpaka/core/trace.hpp"
 
 #include <algorithm>
 #include <array>
@@ -71,6 +72,8 @@ namespace alpaka::net
     auto Router::submit(serve::Request const& request) -> serve::Future
     {
         auto const s = ring_.shardOf(request.tenant);
+        if(request.traceId != 0)
+            ALPAKA_TRACE_INSTANT("net.shard_route", request.traceId);
         try
         {
             return shards_[s]->submit(request);
@@ -110,9 +113,11 @@ namespace alpaka::net
             out.completed += s.completed;
             out.failed += s.failed;
             out.latencyCounts.merge(s.latencyCounts);
+            out.queueWaitCounts.merge(s.queueWaitCounts);
             out.perShard.push_back(std::move(s));
         }
         out.latency = out.latencyCounts.snapshot();
+        out.queueWait = out.queueWaitCounts.snapshot();
         return out;
     }
 } // namespace alpaka::net

@@ -1,0 +1,61 @@
+/// \file obs::Collector — accumulating drain of the per-thread span
+/// rings (DESIGN.md §10.3).
+///
+/// trace::drain() hands back exactly the events published since the
+/// last drain; the collector is the stateful wrapper a long-running
+/// capture wants: poll it periodically (faster than rings fill — 8192
+/// events per thread of headroom), it accumulates into one buffer,
+/// bounded by an optional cap so an unattended capture cannot grow
+/// without limit (events past the cap are counted, not kept — the same
+/// drop-and-count discipline as the rings themselves).
+#pragma once
+
+#include "alpaka/core/trace.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alpaka::obs
+{
+    class Collector
+    {
+    public:
+        //! \p maxEvents bounds the accumulated buffer (0 = unbounded).
+        explicit Collector(std::size_t maxEvents = 0) noexcept : cap_(maxEvents)
+        {
+        }
+
+        //! Drains all rings, appending to the buffer (up to the cap).
+        //! Returns the underlying drain's stats.
+        auto poll() -> trace::DrainStats;
+
+        [[nodiscard]] auto events() const noexcept -> std::vector<trace::Event> const&
+        {
+            return events_;
+        }
+        //! Cumulative ring-full drops observed by the last poll.
+        [[nodiscard]] auto ringDropped() const noexcept -> std::uint64_t
+        {
+            return ringDropped_;
+        }
+        //! Events drained but discarded because the buffer was full.
+        [[nodiscard]] auto capDropped() const noexcept -> std::uint64_t
+        {
+            return capDropped_;
+        }
+
+        void clear() noexcept
+        {
+            events_.clear();
+            capDropped_ = 0;
+        }
+
+    private:
+        std::vector<trace::Event> events_;
+        std::vector<trace::Event> scratch_;
+        std::size_t cap_;
+        std::uint64_t ringDropped_ = 0;
+        std::uint64_t capDropped_ = 0;
+    };
+} // namespace alpaka::obs

@@ -1,0 +1,33 @@
+/// \file Chrome/Perfetto trace_event JSON exporter (DESIGN.md §10.3).
+///
+/// Maps the 32-byte ring events onto the trace_event format both
+/// chrome://tracing and ui.perfetto.dev load directly:
+///
+///   SpanBegin/SpanEnd → "B"/"E" duration events on the recording
+///     thread's track;
+///   Instant           → "i" (thread scope);
+///   Counter           → "C" with the sample as the value series;
+///   AsyncBegin/End    → "b"/"e" async events, id = the event arg —
+///     the request-lifecycle spans: every layer opens/closes async
+///     spans keyed by the wire reqId, so one request renders as one
+///     correlated timeline across the poll thread, the serve workers,
+///     and the kernel pool (the acceptance shape of ISSUE 9).
+///
+/// Thread-name metadata records ("M" phase) are emitted for every ring
+/// that named itself via ALPAKA_TRACE_THREAD_NAME.
+#pragma once
+
+#include "alpaka/core/trace.hpp"
+
+#include <ostream>
+#include <span>
+#include <string_view>
+
+namespace alpaka::obs
+{
+    //! Writes the full trace_event JSON document to \p out.
+    void writeChromeTrace(std::ostream& out, std::span<trace::Event const> events);
+
+    //! Convenience: writes to \p path, returns false on I/O failure.
+    auto writeChromeTrace(std::string_view path, std::span<trace::Event const> events) -> bool;
+} // namespace alpaka::obs

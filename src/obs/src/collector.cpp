@@ -1,0 +1,23 @@
+/// \file Collector accumulation (DESIGN.md §10.3).
+
+#include "obs/collector.hpp"
+
+namespace alpaka::obs
+{
+    auto Collector::poll() -> trace::DrainStats
+    {
+        scratch_.clear();
+        auto const stats = trace::drain(scratch_);
+        ringDropped_ = stats.dropped;
+        for(auto const& e : scratch_)
+        {
+            if(cap_ != 0 && events_.size() >= cap_)
+            {
+                capDropped_ += 1;
+                continue;
+            }
+            events_.push_back(e);
+        }
+        return stats;
+    }
+} // namespace alpaka::obs

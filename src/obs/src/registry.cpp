@@ -1,0 +1,256 @@
+/// \file Registry storage, merge semantics, text exposition, and the
+/// per-layer stats absorbers (DESIGN.md §10.4).
+
+#include "obs/registry.hpp"
+
+#include "alpaka/core/fault.hpp"
+#include "alpaka/core/trace.hpp"
+#include "mempool/pool.hpp"
+#include "net/front_door.hpp"
+#include "net/router.hpp"
+#include "threadpool/thread_pool.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace alpaka::obs
+{
+    auto Registry::upsert(std::string_view name, std::string_view labels, MetricKind kind) -> Sample&
+    {
+        for(auto& s : samples_)
+            if(s.kind == kind && s.name == name && s.labels == labels)
+                return s;
+        auto& s = samples_.emplace_back();
+        s.name = std::string(name);
+        s.labels = std::string(labels);
+        s.kind = kind;
+        return s;
+    }
+
+    void Registry::counter(std::string_view name, double v, std::string_view labels)
+    {
+        upsert(name, labels, MetricKind::Counter).value += v;
+    }
+
+    void Registry::gauge(std::string_view name, double v, std::string_view labels)
+    {
+        upsert(name, labels, MetricKind::Gauge).value = v;
+    }
+
+    void Registry::histogram(std::string_view name, serve::LatencyCounts const& h, std::string_view labels)
+    {
+        upsert(name, labels, MetricKind::Histogram).hist.merge(h);
+    }
+
+    auto Registry::merge(Registry const& other) -> Registry&
+    {
+        for(auto const& s : other.samples_)
+        {
+            auto& mine = upsert(s.name, s.labels, s.kind);
+            switch(s.kind)
+            {
+            case MetricKind::Counter:
+            case MetricKind::Gauge:
+                // Gauges sum too: merging registries means merging
+                // fleets, and levels (queue depth, bytes held) add up
+                // across members.
+                mine.value += s.value;
+                break;
+            case MetricKind::Histogram:
+                mine.hist.merge(s.hist);
+                break;
+            }
+        }
+        return *this;
+    }
+
+    auto Registry::find(std::string_view name, std::string_view labels) const noexcept -> Sample const*
+    {
+        for(auto const& s : samples_)
+            if(s.name == name && s.labels == labels)
+                return &s;
+        return nullptr;
+    }
+
+    auto Registry::value(std::string_view name, std::string_view labels) const noexcept -> double
+    {
+        auto const* const s = find(name, labels);
+        if(s == nullptr)
+            return 0.0;
+        return s->kind == MetricKind::Histogram ? double(s->hist.total()) : s->value;
+    }
+
+    namespace
+    {
+        void appendValue(std::string& out, double v)
+        {
+            char buf[64];
+            if(std::nearbyint(v) == v && std::fabs(v) < 9.0e15)
+                std::snprintf(buf, sizeof(buf), "%" PRId64, std::int64_t(v));
+            else
+                std::snprintf(buf, sizeof(buf), "%.6g", v);
+            out += buf;
+        }
+
+        void appendLine(std::string& out, Sample const& s, std::string_view suffix, double v)
+        {
+            out += s.name;
+            out += suffix;
+            if(!s.labels.empty())
+            {
+                out += '{';
+                out += s.labels;
+                out += '}';
+            }
+            out += ' ';
+            appendValue(out, v);
+            out += '\n';
+        }
+
+        auto kindName(MetricKind k) -> char const*
+        {
+            switch(k)
+            {
+            case MetricKind::Counter:
+                return "counter";
+            case MetricKind::Gauge:
+                return "gauge";
+            case MetricKind::Histogram:
+                return "histogram";
+            }
+            return "?";
+        }
+    } // namespace
+
+    auto Registry::exposition() const -> std::string
+    {
+        std::string out;
+        std::string_view prev;
+        for(auto const& s : samples_)
+        {
+            if(s.name != prev)
+            {
+                out += "# ";
+                out += kindName(s.kind);
+                out += ' ';
+                out += s.name;
+                out += '\n';
+                prev = s.name;
+            }
+            if(s.kind == MetricKind::Histogram)
+            {
+                auto const snap = s.hist.snapshot();
+                appendLine(out, s, "_count", double(snap.count));
+                appendLine(out, s, "_p50_us", snap.p50Us);
+                appendLine(out, s, "_p99_us", snap.p99Us);
+                appendLine(out, s, "_max_us", snap.maxUs);
+            }
+            else
+                appendLine(out, s, "", s.value);
+        }
+        return out;
+    }
+
+    void collect(Registry& reg, serve::ServiceStats const& s, std::string_view labels)
+    {
+        reg.gauge("serve_queued", double(s.queued), labels);
+        reg.gauge("serve_in_flight", double(s.inFlight), labels);
+        reg.counter("serve_admitted", double(s.admitted), labels);
+        reg.counter("serve_rejected", double(s.rejected), labels);
+        reg.counter("serve_completed", double(s.completed), labels);
+        reg.counter("serve_failed", double(s.failed), labels);
+        reg.counter("serve_batches", double(s.batches), labels);
+        reg.counter("serve_shed_expired", double(s.shedExpired), labels);
+        reg.counter("serve_shed_cancelled", double(s.shedCancelled), labels);
+        reg.counter("serve_shed_overload", double(s.shedOverload), labels);
+        reg.counter("serve_workers_lost", double(s.workersLost), labels);
+        reg.counter("serve_worker_restarts", double(s.workerRestarts), labels);
+        reg.histogram("serve_latency", s.latencyCounts, labels);
+        reg.histogram("serve_queue_wait", s.queueWaitCounts, labels);
+        for(auto const& pool : s.devicePools)
+        {
+            // Device pools carry their own label dimension; a caller
+            // label (e.g. shard) composes in front.
+            std::string poolLabels(labels);
+            if(!poolLabels.empty())
+                poolLabels += ',';
+            poolLabels += "dev=";
+            poolLabels += pool.device;
+            collect(reg, pool.pool, poolLabels);
+        }
+    }
+
+    void collect(Registry& reg, mempool::PoolStats const& s, std::string_view labels)
+    {
+        reg.gauge("mempool_bytes_held", double(s.bytesHeld), labels);
+        reg.gauge("mempool_bytes_in_use", double(s.bytesInUse), labels);
+        reg.gauge("mempool_high_water_bytes", double(s.highWaterBytes), labels);
+        reg.gauge("mempool_blocks_cached", double(s.blocksCached), labels);
+        reg.counter("mempool_cache_hits", double(s.cacheHits), labels);
+        reg.counter("mempool_cache_misses", double(s.cacheMisses), labels);
+    }
+
+    void collect(Registry& reg, net::FrontDoorStats const& s, std::string_view labels)
+    {
+        reg.counter("net_connections_accepted", double(s.connectionsAccepted), labels);
+        reg.counter("net_connections_closed", double(s.connectionsClosed), labels);
+        reg.counter("net_frames_in", double(s.framesIn), labels);
+        reg.counter("net_frames_out", double(s.framesOut), labels);
+        reg.counter("net_requests_submitted", double(s.requestsSubmitted), labels);
+        reg.counter("net_responses_ok", double(s.responsesOk), labels);
+        reg.counter("net_responses_error", double(s.responsesError), labels);
+        reg.counter("net_admission_rejected", double(s.admissionRejected), labels);
+        reg.counter("net_rx_stalls", double(s.rxStalls), labels);
+        reg.counter("net_polls_delayed", double(s.pollsDelayed), labels);
+        reg.counter("net_frames_dropped", double(s.framesDropped), labels);
+        reg.counter("net_frames_duplicated", double(s.framesDuplicated), labels);
+        reg.counter("net_frames_truncated", double(s.framesTruncated), labels);
+        for(std::size_t i = 0; i < s.decodeErrors.size(); ++i)
+        {
+            if(s.decodeErrors[i] == 0)
+                continue;
+            std::string errLabels(labels);
+            if(!errLabels.empty())
+                errLabels += ',';
+            errLabels += "err=";
+            errLabels += std::to_string(i);
+            reg.counter("net_decode_errors", double(s.decodeErrors[i]), errLabels);
+        }
+    }
+
+    void collect(Registry& reg, net::RouterStats const& s)
+    {
+        // The fleet view IS the merge: absorbing every shard's stats
+        // unlabeled makes counters sum and histograms bucket-merge by
+        // the registry's own semantics — no bespoke aggregation, and it
+        // agrees exactly with RouterStats' precomputed sums (pinned by
+        // test_registry).
+        reg.gauge("router_shards", double(s.perShard.size()));
+        for(auto const& shard : s.perShard)
+            collect(reg, shard);
+    }
+
+    void collect(Registry& reg, threadpool::PoolCounters const& s, std::string_view labels)
+    {
+        reg.counter("threadpool_parks", double(s.parks), labels);
+        reg.counter("threadpool_steals", double(s.steals), labels);
+        reg.counter("threadpool_jobs", double(s.jobs), labels);
+    }
+
+    void collectTrace(Registry& reg)
+    {
+        reg.counter("trace_events_recorded", double(trace::recordedTotal()));
+        reg.counter("trace_events_dropped", double(trace::droppedTotal()));
+        reg.counter("trace_table_full_drops", double(trace::tableFullDrops()));
+        reg.gauge("trace_threads", double(trace::threadCount()));
+        reg.gauge("trace_sites", double(trace::siteCount()));
+        reg.gauge("trace_compiled_in", trace::compiledIn() ? 1.0 : 0.0);
+    }
+
+    void collectFault(Registry& reg)
+    {
+        reg.counter("fault_hits", double(fault::totalHits()));
+        reg.counter("fault_fires", double(fault::totalFires()));
+    }
+} // namespace alpaka::obs

@@ -1,0 +1,138 @@
+/// \file trace_event JSON emission (DESIGN.md §10.3).
+
+#include "obs/trace_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+namespace alpaka::obs
+{
+    namespace
+    {
+        void appendEscaped(std::string& out, std::string_view s)
+        {
+            for(char const c : s)
+            {
+                switch(c)
+                {
+                case '"':
+                    out += "\\\"";
+                    break;
+                case '\\':
+                    out += "\\\\";
+                    break;
+                default:
+                    if(static_cast<unsigned char>(c) < 0x20)
+                    {
+                        char buf[8];
+                        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                        out += buf;
+                    }
+                    else
+                        out += c;
+                }
+            }
+        }
+
+        //! ts is microseconds with ns precision kept as a fraction.
+        void appendTs(std::string& out, std::uint64_t tsNs)
+        {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", tsNs / 1000, unsigned(tsNs % 1000));
+            out += buf;
+        }
+    } // namespace
+
+    void writeChromeTrace(std::ostream& out, std::span<trace::Event const> events)
+    {
+        std::string line;
+        out << "{\"traceEvents\":[\n";
+        bool first = true;
+        auto const emit = [&](std::string_view body)
+        {
+            if(!first)
+                out << ",\n";
+            first = false;
+            out << body;
+        };
+
+        // Thread-name metadata for every named ring that shows up.
+        std::set<std::uint32_t> tids;
+        for(auto const& e : events)
+            tids.insert(e.tid);
+        for(auto const tid : tids)
+        {
+            auto const name = trace::threadName(tid);
+            if(name.empty())
+                continue;
+            line.clear();
+            line += R"({"ph":"M","name":"thread_name","pid":1,"tid":)";
+            line += std::to_string(tid);
+            line += R"(,"args":{"name":")";
+            appendEscaped(line, name);
+            line += "\"}}";
+            emit(line);
+        }
+
+        for(auto const& e : events)
+        {
+            auto const site = trace::siteName(e.site);
+            line.clear();
+            line += R"({"name":")";
+            appendEscaped(line, site);
+            line += R"(","pid":1,"tid":)";
+            line += std::to_string(e.tid);
+            line += R"(,"ts":)";
+            appendTs(line, e.tsNs);
+            switch(e.kind)
+            {
+            case trace::EventKind::SpanBegin:
+                line += R"(,"ph":"B","cat":"span","args":{"arg":)";
+                line += std::to_string(e.arg);
+                line += "}}";
+                break;
+            case trace::EventKind::SpanEnd:
+                line += R"(,"ph":"E","cat":"span"})";
+                break;
+            case trace::EventKind::Instant:
+                line += R"(,"ph":"i","cat":"instant","s":"t","args":{"arg":)";
+                line += std::to_string(e.arg);
+                line += "}}";
+                break;
+            case trace::EventKind::Counter:
+                line += R"(,"ph":"C","cat":"counter","args":{"value":)";
+                line += std::to_string(e.arg);
+                line += "}}";
+                break;
+            case trace::EventKind::AsyncBegin:
+            case trace::EventKind::AsyncEnd:
+                line += R"(,"ph":")";
+                line += e.kind == trace::EventKind::AsyncBegin ? 'b' : 'e';
+                line += R"(","cat":"request","id":")";
+                {
+                    char buf[24];
+                    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, e.arg);
+                    line += buf;
+                }
+                line += R"(","args":{"reqId":)";
+                line += std::to_string(e.arg);
+                line += "}}";
+                break;
+            }
+            emit(line);
+        }
+        out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    }
+
+    auto writeChromeTrace(std::string_view path, std::span<trace::Event const> events) -> bool
+    {
+        std::ofstream f{std::string(path)};
+        if(!f)
+            return false;
+        writeChromeTrace(f, events);
+        return f.good();
+    }
+} // namespace alpaka::obs

@@ -207,6 +207,9 @@ namespace alpaka::serve
             std::optional<std::chrono::steady_clock::time_point> deadline;
             //! Shed with CancelledError once cancelled (empty = never).
             CancelToken cancel;
+            //! Request::traceId, carried so dispatch/completion close
+            //! the async spans admission opened (DESIGN.md §10).
+            std::uint64_t traceId = 0;
         };
 
         //! Fixed-capacity FIFO of one tenant's admitted requests, backed
@@ -574,6 +577,10 @@ namespace alpaka::serve
         bool shutdownRan_ = false;
 
         LatencyHistogram latency_;
+        //! Admission→dispatch wait (one record per request at batch
+        //! pop, timed off the pop's existing clock read — the hot path
+        //! gains two relaxed atomics and no clock call).
+        LatencyHistogram queueWait_;
         //! Fixed-size fleet: a restart replaces workers_[i] in place
         //! (under mutex_) and retires the predecessor to zombies_, whose
         //! thread may still be unwinding a stall — its Worker must stay

@@ -211,6 +211,13 @@ namespace alpaka::serve
         //! requests closest to (or past) their deadline are shed first.
         std::optional<std::chrono::steady_clock::time_point> deadline;
         CancelToken cancel;
+        //! Trace correlation id (DESIGN.md §10): 0 = untraced. The net
+        //! front door sets the wire reqId here, so the request's spans —
+        //! frame decode on the poll thread, queue wait and execution on
+        //! the serve workers, the completion continuation — share one
+        //! async-span id in the exported timeline. Untraced builds carry
+        //! the field (it is plumbing, not trace code) but never read it.
+        std::uint64_t traceId = 0;
     };
 
     //! What Service::shutdown(timeout) observed (the bounded-drain
@@ -406,6 +413,11 @@ namespace alpaka::serve
         //! net::Router sums across shards (quantiles do not merge,
         //! buckets do; DESIGN.md §9.3).
         LatencyCounts latencyCounts;
+        //! Admission→dispatch wait per request — the queue-pressure
+        //! signal the autoscaling follow-on feeds on (DESIGN.md §10.4);
+        //! recorded unconditionally (a metric, not a trace event).
+        LatencySnapshot queueWait;
+        LatencyCounts queueWaitCounts;
         std::vector<TenantStats> tenants;
         //! One entry per distinct device of the worker fleet, via the
         //! coherent mempool::Pool::stats() snapshot.

@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
 #include "alpaka/core/fault.hpp"
+#include "alpaka/core/trace.hpp"
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <functional>
 #include <utility>
 
@@ -462,7 +464,8 @@ namespace alpaka::serve
                         future,
                         std::chrono::steady_clock::now(),
                         request.deadline,
-                        request.cancel};
+                        request.cancel,
+                        request.traceId};
                     // The reservation guarantees a free cell (ring is 2x
                     // the bound); the spin only ever covers another
                     // thread's in-flight cell commit.
@@ -506,6 +509,15 @@ namespace alpaka::serve
             // iteration's gate-guarded checks.
         }
 
+        // Request-lifecycle spans (DESIGN.md §10): traced requests open
+        // their cross-thread timeline here — "serve.request" runs to
+        // completion, "serve.queued" to dispatch pop. Untraced requests
+        // (traceId 0 — e.g. the bench's plain submits) record nothing.
+        if(request.traceId != 0)
+        {
+            ALPAKA_TRACE_ASYNC_BEGIN("serve.request", request.traceId);
+            ALPAKA_TRACE_ASYNC_BEGIN("serve.queued", request.traceId);
+        }
         workWord_.publish(); // wake a parked worker (elided when none is)
         if(options_.shedWatermark != 0 && queued_.load(std::memory_order_relaxed) > options_.shedWatermark)
         {
@@ -677,6 +689,18 @@ namespace alpaka::serve
             out.tmpl = nullptr; // everything at the head was doomed
             return false;
         }
+        // Queue-wait accounting rides the loop's one clock read: two
+        // relaxed atomics per request, no extra now() (DESIGN.md §10.4).
+        // Traced requests also close the "serve.queued" span opened at
+        // admission — the timeline's queue-wait segment.
+        for(auto const& p : out.requests)
+        {
+            auto const waitedUs
+                = std::chrono::duration_cast<std::chrono::microseconds>(now - p.admitted).count();
+            queueWait_.record(std::uint64_t(std::max<std::int64_t>(waitedUs, 0)));
+            if(p.traceId != 0)
+                ALPAKA_TRACE_ASYNC_END("serve.queued", p.traceId);
+        }
         return true;
     }
 
@@ -730,7 +754,17 @@ namespace alpaka::serve
         // the service); only then the accounting that lets drain() return
         // — so drain() returning always means the futures have resolved.
         for(auto const& s : shed)
+        {
+            if(s.request.traceId != 0)
+            {
+                // A shed request's timeline still closes: both spans end
+                // here (the queued span was never closed at dispatch —
+                // shed requests bypass popBatchLocked's accounting).
+                ALPAKA_TRACE_ASYNC_END("serve.queued", s.request.traceId);
+                ALPAKA_TRACE_ASYNC_END("serve.request", s.request.traceId);
+            }
             Future::complete(s.request.future, s.error);
+        }
         bool idle = false;
         {
             std::scoped_lock lock(mutex_);
@@ -767,6 +801,11 @@ namespace alpaka::serve
 
     void Service::workerLoop(Worker& worker)
     {
+#if defined(ALPAKA_REPRO_TRACE)
+        char traceName[32];
+        std::snprintf(traceName, sizeof(traceName), "serve.worker.%zu", worker.index);
+        ALPAKA_TRACE_THREAD_NAME(traceName);
+#endif
         std::vector<Shed> shed;
         for(;;)
         {
@@ -844,6 +883,8 @@ namespace alpaka::serve
                     ++failures;
                 latency_.record(static_cast<std::uint64_t>(
                     std::chrono::duration_cast<std::chrono::microseconds>(now - requests[i].admitted).count()));
+                if(requests[i].traceId != 0)
+                    ALPAKA_TRACE_ASYNC_END("serve.request", requests[i].traceId);
                 Future::complete(requests[i].future, outcomes[i]);
             }
             bool idle = false;
@@ -1018,6 +1059,14 @@ namespace alpaka::serve
     {
         auto& tmpl = *batch.tmpl;
         auto const count = batch.requests.size();
+        // Per-batch span (amortized over up to maxBatch requests); the
+        // per-request "serve.exec" async spans below only fire for
+        // traced requests, so the untraced hot path pays 2 events per
+        // BATCH, not per request (overhead budget, DESIGN.md §10.5).
+        ALPAKA_TRACE_SCOPE("serve.batch", count);
+        for(auto const& r : batch.requests)
+            if(r.traceId != 0)
+                ALPAKA_TRACE_ASYNC_BEGIN("serve.exec", r.traceId);
         auto const scratchBytes = tmpl.desc.scratchBytes;
         auto& items = worker.items;
         items.assign(count, RequestItem{});
@@ -1045,6 +1094,7 @@ namespace alpaka::serve
                 items[i].payloadSize = batch.requests[i].payload.size();
                 if(scratchBytes > 0)
                 {
+                    ALPAKA_TRACE_SCOPE("serve.scratch_alloc", scratchBytes);
                     items[i].scratch = allocScratch(worker, scratchBytes);
                     ++allocated;
                 }
@@ -1094,6 +1144,9 @@ namespace alpaka::serve
                 = tmpl.isGraph ? std::exception_ptr{} : std::exchange(per->itemErrors[i], nullptr);
             worker.outcomes[i] = batchError != nullptr ? batchError : itemError;
         }
+        for(auto const& r : batch.requests)
+            if(r.traceId != 0)
+                ALPAKA_TRACE_ASYNC_END("serve.exec", r.traceId);
     }
 
     // ------------------------------------------------------------------
@@ -1137,6 +1190,8 @@ namespace alpaka::serve
         s.requestsPerSecond = elapsed > 0.0 ? static_cast<double>(s.completed) / elapsed : 0.0;
         s.latencyCounts = latency_.counts();
         s.latency = s.latencyCounts.snapshot();
+        s.queueWaitCounts = queueWait_.counts();
+        s.queueWait = s.queueWaitCounts.snapshot();
 
         // One entry per distinct pool of the fleet, via the coherent
         // single-lock snapshot. slotInfo_ is immutable, so this never

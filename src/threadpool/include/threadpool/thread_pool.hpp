@@ -92,6 +92,17 @@ namespace threadpool
         };
     } // namespace detail
 
+    //! Scheduler health counters (ThreadPool::counters()): how often
+    //! workers gave up spinning and parked, how often a drained slot was
+    //! another submitter's (the steal path), and jobs published. The
+    //! park/steal ratio is the signal the adaptive-grain follow-on needs.
+    struct PoolCounters
+    {
+        std::uint64_t parks = 0;
+        std::uint64_t steals = 0;
+        std::uint64_t jobs = 0;
+    };
+
     class ThreadPool
     {
     public:
@@ -218,6 +229,18 @@ namespace threadpool
         //! Lazily constructed process-wide pool.
         [[nodiscard]] static auto global() -> ThreadPool&;
 
+        //! Coarse scheduler health counters, absorbed into the metrics
+        //! registry (obs::collect, DESIGN.md §10.4). Relaxed snapshot —
+        //! monotonic, not mutually coherent.
+        [[nodiscard]] auto counters() const noexcept -> PoolCounters
+        {
+            PoolCounters c;
+            c.parks = parks_.load(std::memory_order_relaxed);
+            c.steals = steals_.load(std::memory_order_relaxed);
+            c.jobs = jobs_.load(std::memory_order_relaxed);
+            return c;
+        }
+
     private:
         template<typename TFn>
         static void chunkTrampoline(void const* ctx, std::size_t begin, std::size_t end, detail::FirstError& errors)
@@ -312,6 +335,11 @@ namespace threadpool
         //! submitters over distinct slots.
         alignas(64) std::atomic<std::size_t> submitCursor_{0};
         std::atomic<bool> shutdown_{false};
+        //! counters() sources — relaxed, bumped off the chunk-claim hot
+        //! loop (per park / per drained foreign slot / per publish).
+        alignas(64) std::atomic<std::uint64_t> parks_{0};
+        std::atomic<std::uint64_t> steals_{0};
+        std::atomic<std::uint64_t> jobs_{0};
         std::vector<std::jthread> workers_;
     };
 } // namespace threadpool

@@ -1,8 +1,10 @@
 #include "threadpool/thread_pool.hpp"
 
 #include "alpaka/core/fault.hpp"
+#include "alpaka/core/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace threadpool
 {
@@ -142,6 +144,8 @@ namespace threadpool
         // protocol (detail::PublishWord).
         slot.generation.fetch_add(1, std::memory_order_seq_cst);
         publishWord_.publish();
+        jobs_.fetch_add(1, std::memory_order_relaxed);
+        ALPAKA_TRACE_INSTANT("threadpool.publish", count);
     }
 
     void ThreadPool::awaitCloseQuiesce(JobSlot& slot)
@@ -269,6 +273,11 @@ namespace threadpool
     void ThreadPool::workerLoop(std::size_t workerIndex)
     {
         t_workerIndex = workerIndex;
+#if defined(ALPAKA_REPRO_TRACE)
+        char traceName[32];
+        std::snprintf(traceName, sizeof(traceName), "pool.worker.%zu", workerIndex);
+        ALPAKA_TRACE_THREAD_NAME(traceName);
+#endif
         // Last drained generation per slot: a worker re-joins a slot only
         // for a generation it has not drained yet (re-joining a drained one
         // would merely burn a fetch_add, but the scan must make progress).
@@ -305,6 +314,11 @@ namespace threadpool
                 if(slot.generation.load(std::memory_order_seq_cst) == gen)
                 {
                     seen[(scanOffset + i) % slotCount] = gen;
+                    // i > 0 means the worker moved past its preferred
+                    // slot to drain another submitter's job — the steal
+                    // path (counters(), DESIGN.md §10.4).
+                    if(i != 0)
+                        steals_.fetch_add(1, std::memory_order_relaxed);
                     drainSlot(slot);
                     drained = true;
                 }
@@ -343,6 +357,12 @@ namespace threadpool
             // publish landing inside the delay must still be caught by the
             // futex value check in park(), never slept through.
             ALPAKA_FAULT_POINT("threadpool.park_delay");
+            // Counted, not traced: parks fire at stall-workload frequency,
+            // and a per-park trace event measurably taxed stall-bound
+            // scenarios (~25% on alloc_churn's 1-core run). The counter
+            // carries the idle signal; timelines get it from the gaps
+            // between serve/graph spans.
+            parks_.fetch_add(1, std::memory_order_relaxed);
             publishWord_.park(seq);
             spins = spinBudget_;
         }

@@ -1,0 +1,329 @@
+/// \file End-to-end observability pipeline (DESIGN.md §10): requests
+/// entering through the network front door leave correlated spans in
+/// the per-thread rings — the wire reqId shows up as the async span id
+/// at every layer (net.request → serve.request → serve.exec) — the
+/// collector drains them concurrently with production (the TSan lane
+/// target), the queue-wait histogram fills unconditionally, and the
+/// traced steady state allocates NOTHING (invariant 24, audited under
+/// ALPAKA_REPRO_ALLOCTRACK like the §8.9 serving audit).
+#include <obs/collector.hpp>
+#include <obs/registry.hpp>
+#include <obs/trace_json.hpp>
+
+#include <net/client.hpp>
+#include <net/front_door.hpp>
+#include <net/router.hpp>
+#include <net/transport.hpp>
+
+#include <serve/service.hpp>
+
+#include <alpaka/core/alloctrack.hpp>
+#include <alpaka/core/trace.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+using namespace std::chrono_literals;
+
+namespace
+{
+    struct TestCfg
+    {
+        static constexpr std::size_t maxConnections = 4;
+        static constexpr std::size_t slotsPerConnection = 8;
+        static constexpr std::size_t maxPayload = 128;
+        static constexpr std::size_t maxTenantBytes = 32;
+        static constexpr std::size_t window = 8;
+        static constexpr std::size_t txFrames = 4;
+    };
+    using Door = net::FrontDoor<TestCfg>;
+    using Client = net::Client<TestCfg>;
+
+    [[nodiscard]] auto incrementTemplate() -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "increment";
+        desc.maxBatch = 8;
+        desc.body = [](serve::RequestItem const& item)
+        {
+            auto* const bytes = static_cast<unsigned char*>(item.payload);
+            for(std::size_t i = 0; i < item.payloadSize; ++i)
+                bytes[i] = static_cast<unsigned char>(bytes[i] + 1);
+        };
+        return desc;
+    }
+
+    template<typename Pred, typename OnResponse>
+    auto pollUntil(
+        Door& door,
+        Client& client,
+        OnResponse&& onResponse,
+        Pred&& done,
+        std::chrono::milliseconds budget = 5000ms) -> bool
+    {
+        auto const until = std::chrono::steady_clock::now() + budget;
+        while(!done())
+        {
+            auto const tnow = std::chrono::steady_clock::now();
+            if(tnow > until)
+                return false;
+            auto const progress = door.poll(tnow) | static_cast<int>(client.poll(onResponse));
+            if(progress == 0)
+                std::this_thread::sleep_for(100us);
+        }
+        return true;
+    }
+
+    void flushRings()
+    {
+        std::vector<trace::Event> sink;
+        trace::drain(sink);
+    }
+} // namespace
+
+//! The tentpole acceptance shape in miniature: wire requests leave
+//! async spans whose ids ARE the wire reqIds, at the net layer AND the
+//! serve layer below it, every begin paired with an end.
+TEST(ObsPipeline, WireRequestsLeaveCorrelatedSpans)
+{
+    if(!trace::compiledIn())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_TRACE";
+    flushRings();
+
+    net::RouterOptions opt;
+    opt.shards = 2;
+    opt.shard.cpuWorkers = 1;
+    opt.shard.queueCapacity = 64;
+    net::Router router(opt);
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    Door door(router);
+    auto [serverEnd, clientEnd] = net::makePipePair(1 << 16);
+    ASSERT_TRUE(door.accept(std::move(serverEnd)));
+    Client client(std::move(clientEnd));
+    client.hello("tenant-a");
+    ASSERT_TRUE(pollUntil(door, client, [](auto const&) {}, [&] { return client.ready(); }));
+
+    constexpr int requests = 20;
+    std::set<std::uint64_t> submitted;
+    int got = 0;
+    for(int i = 0; i < requests; ++i)
+    {
+        std::array<std::byte, 8> payload{};
+        std::uint64_t reqId = 0;
+        ASSERT_TRUE(pollUntil(
+            door,
+            client,
+            [&](Client::Response const&) { ++got; },
+            [&]
+            {
+                if(reqId == 0)
+                {
+                    reqId = client.trySubmit(tmpl, payload.data(), payload.size());
+                    if(reqId != 0)
+                        submitted.insert(reqId);
+                }
+                return got == i + 1;
+            }));
+    }
+    router.drain();
+
+    std::vector<trace::Event> all;
+    trace::drain(all);
+
+    auto const netSite = trace::internSite("net.request");
+    auto const serveSite = trace::internSite("serve.request");
+    auto const execSite = trace::internSite("serve.exec");
+    // Per site and correlation id: +1 on AsyncBegin, -1 on AsyncEnd; a
+    // fully-correlated capture balances every id at exactly zero.
+    std::map<std::uint64_t, int> netOpen;
+    std::map<std::uint64_t, int> serveOpen;
+    std::set<std::uint64_t> serveSeen;
+    std::set<std::uint64_t> execSeen;
+    for(auto const& e : all)
+    {
+        if(e.kind != trace::EventKind::AsyncBegin && e.kind != trace::EventKind::AsyncEnd)
+            continue;
+        auto const delta = e.kind == trace::EventKind::AsyncBegin ? 1 : -1;
+        if(e.site == netSite)
+            netOpen[e.arg] += delta;
+        if(e.site == serveSite)
+        {
+            serveOpen[e.arg] += delta;
+            serveSeen.insert(e.arg);
+        }
+        if(e.site == execSite)
+            execSeen.insert(e.arg);
+    }
+
+    for(auto const id : submitted)
+    {
+        ASSERT_TRUE(netOpen.count(id) != 0) << "reqId " << id << " left no net.request span";
+        EXPECT_EQ(netOpen[id], 0) << "unbalanced net.request span for reqId " << id;
+        EXPECT_TRUE(serveSeen.count(id) != 0) << "reqId " << id << " has no serve.request span — correlation broken";
+        EXPECT_EQ(serveOpen[id], 0) << "unbalanced serve.request span for reqId " << id;
+        EXPECT_TRUE(execSeen.count(id) != 0) << "reqId " << id << " has no serve.exec span";
+    }
+
+    // And the Chrome export of that capture is loadable JSON with the
+    // async ids rendered (spot shape checks; Perfetto does the rest).
+    std::ostringstream json;
+    obs::writeChromeTrace(json, all);
+    auto const text = json.str();
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("net.request"), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"e\""), std::string::npos);
+}
+
+//! Queue wait is a metric, not a trace event: it fills per request in
+//! EVERY build, traced or not.
+TEST(ObsPipeline, QueueWaitHistogramFillsUnconditionally)
+{
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 1, .queueCapacity = 64});
+    auto const id = svc.registerTemplate(incrementTemplate());
+    unsigned char p[8] = {};
+    constexpr int requests = 50;
+    for(int i = 0; i < requests; ++i)
+        svc.submit(id, "tenant", p).wait();
+    svc.drain();
+
+    auto const stats = svc.stats();
+    EXPECT_EQ(stats.queueWaitCounts.total(), std::uint64_t(requests));
+    EXPECT_EQ(stats.queueWait.count, std::uint64_t(requests));
+
+    obs::Registry reg;
+    obs::collect(reg, stats);
+    EXPECT_DOUBLE_EQ(reg.value("serve_queue_wait"), double(requests));
+}
+
+//! Invariant 24 end-to-end: 1000 steady-state TRACED requests — spans
+//! recording at every layer — allocate nothing. The collector polls
+//! into pre-reserved buffers inside the audit window, so the drain path
+//! is covered too. Mirrors the §8.9 audit; needs ALLOCTRACK counters.
+TEST(ObsPipeline, TracedSteadyStateAllocatesNothing)
+{
+    if(!core::allocTrackEnabled())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_ALLOCTRACK";
+
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 1, .queueCapacity = 64});
+    auto const id = svc.registerTemplate(incrementTemplate());
+    unsigned char payload[8] = {};
+
+    // Traced submissions: a nonzero traceId arms the per-request async
+    // spans on admit/dispatch/execute/complete.
+    auto submitTraced = [&](std::uint64_t reqId)
+    {
+        serve::Request req;
+        req.tmpl = id;
+        req.tenant = "tenant";
+        req.payload = serve::PayloadView(payload, sizeof(payload));
+        req.traceId = reqId;
+        svc.submit(req).wait();
+    };
+
+    // Warmup: caches, rings, the thread-table registration of every
+    // participating thread (one allocation each, ever — NOT steady
+    // state), and the drain buffers.
+    std::vector<trace::Event> sink;
+    sink.reserve(4 * trace::ringCapacity);
+    for(std::uint64_t i = 1; i <= 2'000; ++i)
+    {
+        submitTraced(i);
+        if(i % 256 == 0)
+        {
+            sink.clear();
+            trace::drain(sink);
+        }
+    }
+    svc.drain();
+    sink.clear();
+    trace::drain(sink);
+
+    auto const before = core::allocCount();
+    std::uint64_t drainedEvents = 0;
+    for(std::uint64_t i = 1; i <= 1'000; ++i)
+    {
+        submitTraced(2'000 + i);
+        if(i % 256 == 0)
+        {
+            sink.clear();
+            drainedEvents += trace::drain(sink).events;
+        }
+    }
+    svc.drain();
+    sink.clear();
+    drainedEvents += trace::drain(sink).events;
+    auto const after = core::allocCount();
+
+    EXPECT_EQ(after - before, 0u) << "traced steady-state cycle touched the heap " << (after - before)
+                                  << " time(s) (invariant 24)";
+    if(trace::compiledIn())
+        EXPECT_GT(drainedEvents, 0u) << "the audit must actually have exercised the recording path";
+}
+
+//! Collector vs producers under race (the TSan lane target): counts
+//! stay exact while a service records from its own threads.
+TEST(ObsPipeline, CollectorRunsConcurrentlyWithProducers)
+{
+    if(!trace::compiledIn())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_TRACE";
+    flushRings();
+
+    serve::Service svc(serve::ServiceOptions{.cpuWorkers = 2, .queueCapacity = 64});
+    auto const id = svc.registerTemplate(incrementTemplate());
+
+    std::atomic<bool> stop{false};
+    obs::Collector collector;
+    std::thread drainer(
+        [&]
+        {
+            while(!stop.load(std::memory_order_acquire))
+            {
+                collector.poll();
+                std::this_thread::sleep_for(200us);
+            }
+            collector.poll();
+        });
+
+    unsigned char p[8] = {};
+    for(std::uint64_t i = 1; i <= 2'000; ++i)
+    {
+        serve::Request req;
+        req.tmpl = id;
+        req.tenant = "tenant";
+        req.payload = serve::PayloadView(p, sizeof(p));
+        req.traceId = i;
+        svc.submit(req).wait();
+    }
+    svc.drain();
+    stop.store(true, std::memory_order_release);
+    drainer.join();
+
+    // Every request opened serve.request exactly once; the concurrent
+    // drains must have seen each of those begins exactly once.
+    auto const serveSite = trace::internSite("serve.request");
+    std::set<std::uint64_t> begins;
+    std::uint64_t beginEvents = 0;
+    for(auto const& e : collector.events())
+    {
+        if(e.site == serveSite && e.kind == trace::EventKind::AsyncBegin)
+        {
+            begins.insert(e.arg);
+            ++beginEvents;
+        }
+    }
+    EXPECT_EQ(collector.ringDropped(), 0u) << "a continuously-polled capture at this rate must not drop";
+    EXPECT_EQ(begins.size(), 2'000u);
+    EXPECT_EQ(beginEvents, 2'000u) << "an event was delivered twice";
+}

@@ -1,0 +1,213 @@
+/// \file obs::Registry semantics (DESIGN.md §10.4): upsert keying by
+/// name+labels+kind, counter/gauge/histogram update rules, registry
+/// merge (counters and gauges sum, histograms bucket-merge), text
+/// exposition shape, and the stats absorbers — including the pinned
+/// agreement between the router's bespoke fleet sums and the registry
+/// merge of its per-shard collects.
+#include <obs/registry.hpp>
+
+#include <net/router.hpp>
+#include <serve/service.hpp>
+
+#include <alpaka/core/trace.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+using namespace alpaka;
+
+TEST(Registry, CounterAddsGaugeSets)
+{
+    obs::Registry reg;
+    reg.counter("hits", 3);
+    reg.counter("hits", 4);
+    reg.gauge("depth", 7);
+    reg.gauge("depth", 2);
+    EXPECT_DOUBLE_EQ(reg.value("hits"), 7.0);
+    EXPECT_DOUBLE_EQ(reg.value("depth"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(Registry, LabelsKeySeparateSeries)
+{
+    obs::Registry reg;
+    reg.counter("hits", 1, "shard=0");
+    reg.counter("hits", 2, "shard=1");
+    reg.counter("hits", 10, "shard=0");
+    EXPECT_DOUBLE_EQ(reg.value("hits", "shard=0"), 11.0);
+    EXPECT_DOUBLE_EQ(reg.value("hits", "shard=1"), 2.0);
+    EXPECT_EQ(reg.find("hits"), nullptr) << "unlabeled series was never written";
+}
+
+TEST(Registry, HistogramBucketMerges)
+{
+    serve::LatencyHistogram h1;
+    serve::LatencyHistogram h2;
+    for(std::uint64_t i = 1; i <= 100; ++i)
+        h1.record(i);
+    for(std::uint64_t i = 1000; i <= 1100; ++i)
+        h2.record(i);
+
+    obs::Registry reg;
+    reg.histogram("lat", h1.counts());
+    reg.histogram("lat", h2.counts());
+    auto const* const s = reg.find("lat");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->hist.total(), 201U);
+    EXPECT_EQ(s->hist.maxUs, 1100U);
+    EXPECT_DOUBLE_EQ(reg.value("lat"), 201.0) << "value() of a histogram is its count";
+}
+
+TEST(Registry, MergeSumsCountersAndGaugesAndCopiesNewSamples)
+{
+    obs::Registry a;
+    a.counter("hits", 5);
+    a.gauge("depth", 3);
+    obs::Registry b;
+    b.counter("hits", 7);
+    b.gauge("depth", 4);
+    b.counter("only_in_b", 1);
+    serve::LatencyHistogram h;
+    h.record(10);
+    b.histogram("lat", h.counts());
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value("hits"), 12.0);
+    // Gauges sum on merge: merging registries merges fleets, and levels
+    // add across fleet members.
+    EXPECT_DOUBLE_EQ(a.value("depth"), 7.0);
+    EXPECT_DOUBLE_EQ(a.value("only_in_b"), 1.0);
+    ASSERT_NE(a.find("lat"), nullptr);
+    EXPECT_EQ(a.find("lat")->hist.total(), 1U);
+}
+
+TEST(Registry, ExpositionShape)
+{
+    obs::Registry reg;
+    reg.counter("hits", 41);
+    reg.counter("hits", 1, "shard=1");
+    reg.gauge("ratio", 0.5);
+    serve::LatencyHistogram h;
+    h.record(100);
+    reg.histogram("lat", h.counts());
+
+    auto const text = reg.exposition();
+    EXPECT_NE(text.find("# counter hits\n"), std::string::npos);
+    EXPECT_NE(text.find("hits 41\n"), std::string::npos);
+    EXPECT_NE(text.find("hits{shard=1} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("# gauge ratio\n"), std::string::npos);
+    EXPECT_NE(text.find("ratio 0.5\n"), std::string::npos);
+    EXPECT_NE(text.find("# histogram lat\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_count 1\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_max_us 100\n"), std::string::npos);
+}
+
+TEST(Registry, CollectServiceStatsMapsEveryCounter)
+{
+    serve::ServiceStats s;
+    s.queued = 3;
+    s.inFlight = 2;
+    s.admitted = 100;
+    s.rejected = 5;
+    s.completed = 90;
+    s.failed = 4;
+    s.batches = 30;
+    s.shedExpired = 1;
+    s.shedCancelled = 2;
+    s.shedOverload = 3;
+    s.workersLost = 1;
+    s.workerRestarts = 1;
+    serve::LatencyHistogram lat;
+    lat.record(50);
+    s.latencyCounts = lat.counts();
+    serve::LatencyHistogram qw;
+    qw.record(7);
+    qw.record(9);
+    s.queueWaitCounts = qw.counts();
+
+    obs::Registry reg;
+    obs::collect(reg, s, "shard=0");
+    EXPECT_DOUBLE_EQ(reg.value("serve_queued", "shard=0"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_in_flight", "shard=0"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_admitted", "shard=0"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_rejected", "shard=0"), 5.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_completed", "shard=0"), 90.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_failed", "shard=0"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_batches", "shard=0"), 30.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_shed_expired", "shard=0"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_shed_cancelled", "shard=0"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_shed_overload", "shard=0"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_workers_lost", "shard=0"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_worker_restarts", "shard=0"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_latency", "shard=0"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_queue_wait", "shard=0"), 2.0);
+}
+
+namespace
+{
+    [[nodiscard]] auto doublingTemplate() -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "double";
+        desc.maxBatch = 8;
+        desc.body = [](serve::RequestItem const& item) { *static_cast<double*>(item.payload) *= 2.0; };
+        return desc;
+    }
+} // namespace
+
+//! The router's precomputed fleet sums and the registry merge of its
+//! per-shard collects must agree exactly — the fleet view IS a merge.
+TEST(Registry, RouterFleetViewAgreesWithBespokeSums)
+{
+    net::RouterOptions opt;
+    opt.shards = 3;
+    opt.shard.cpuWorkers = 1;
+    opt.shard.queueCapacity = 64;
+    net::Router router(opt);
+    auto const tmpl = router.registerTemplate(doublingTemplate());
+
+    double payloads[64];
+    for(int i = 0; i < 64; ++i)
+    {
+        payloads[i] = double(i);
+        serve::Request req;
+        req.tmpl = tmpl;
+        req.tenant = (i % 2) != 0 ? "tenant-odd" : "tenant-even";
+        req.payload = serve::PayloadView(&payloads[i], sizeof(double));
+        router.submit(req).wait();
+    }
+    router.drain();
+
+    auto const stats = router.stats();
+    obs::Registry reg;
+    obs::collect(reg, stats);
+
+    EXPECT_DOUBLE_EQ(reg.value("router_shards"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("serve_admitted"), double(stats.admitted));
+    EXPECT_DOUBLE_EQ(reg.value("serve_completed"), double(stats.completed));
+    EXPECT_DOUBLE_EQ(reg.value("serve_failed"), double(stats.failed));
+    EXPECT_DOUBLE_EQ(reg.value("serve_queued"), double(stats.queued));
+    EXPECT_DOUBLE_EQ(reg.value("serve_completed"), 64.0);
+    auto const* const lat = reg.find("serve_latency");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->hist.total(), stats.latencyCounts.total());
+    auto const* const qw = reg.find("serve_queue_wait");
+    ASSERT_NE(qw, nullptr);
+    EXPECT_EQ(qw->hist.total(), stats.queueWaitCounts.total());
+    EXPECT_EQ(qw->hist.total(), 64U) << "queue wait is recorded per request, unconditionally";
+}
+
+TEST(Registry, TraceAndFaultCollectorsAlwaysPresent)
+{
+    obs::Registry reg;
+    obs::collectTrace(reg);
+    obs::collectFault(reg);
+    EXPECT_NE(reg.find("trace_events_recorded"), nullptr);
+    EXPECT_NE(reg.find("trace_events_dropped"), nullptr);
+    EXPECT_NE(reg.find("trace_threads"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.value("trace_compiled_in"), trace::compiledIn() ? 1.0 : 0.0);
+    EXPECT_NE(reg.find("fault_hits"), nullptr);
+    EXPECT_NE(reg.find("fault_fires"), nullptr);
+}

@@ -1,0 +1,257 @@
+/// \file Span-ring protocol tests (DESIGN.md §10.2, invariant 24): SPSC
+/// publish/drain round-trips, ring wraparound across multiple refills,
+/// EXACT drop accounting when the ring overflows (the acquire-reload
+/// edge, litmus: obs/*_ring_reclaim), the lock-free thread table, site
+/// interning, the runtime enable gate, and the compile-out contract of
+/// the recording macros (invariant 23 — argument expressions must not
+/// be evaluated in untraced builds).
+///
+/// The trace framework itself (trace.cpp) compiles in EVERY build —
+/// only the macro sites are gated — so the protocol tests run in the
+/// default tier-1 configuration too.
+#include <alpaka/core/trace.hpp>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace alpaka;
+
+namespace
+{
+    //! Rings persist for the process lifetime and drains are global, so
+    //! every test records under its own site and filters drained events
+    //! down to it — tests stay independent inside one binary.
+    [[nodiscard]] auto eventsOf(std::vector<trace::Event> const& all, std::uint32_t site) -> std::vector<trace::Event>
+    {
+        std::vector<trace::Event> out;
+        for(auto const& e : all)
+            if(e.site == site)
+                out.push_back(e);
+        return out;
+    }
+
+    void flushRings()
+    {
+        std::vector<trace::Event> sink;
+        trace::drain(sink);
+    }
+} // namespace
+
+TEST(TraceSite, InternsOnceAndRoundTrips)
+{
+    auto const a = trace::internSite("test.site.alpha");
+    auto const b = trace::internSite("test.site.beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(trace::internSite("test.site.alpha"), a);
+    EXPECT_EQ(trace::siteName(a), "test.site.alpha");
+    EXPECT_EQ(trace::siteName(b), "test.site.beta");
+    EXPECT_GE(trace::siteCount(), 2U);
+    EXPECT_EQ(trace::siteName(0xffffffffU), "?");
+}
+
+TEST(TraceRing, RecordDrainRoundTrip)
+{
+    flushRings();
+    auto const site = trace::internSite("test.roundtrip");
+    for(std::uint64_t i = 0; i < 100; ++i)
+        trace::record(site, trace::EventKind::Instant, i);
+
+    std::vector<trace::Event> all;
+    auto const stats = trace::drain(all);
+    EXPECT_GE(stats.threads, 1U);
+    auto const mine = eventsOf(all, site);
+    ASSERT_EQ(mine.size(), 100U);
+    for(std::uint64_t i = 0; i < 100; ++i)
+    {
+        EXPECT_EQ(mine[i].arg, i) << "event " << i << " out of order or torn";
+        EXPECT_EQ(mine[i].kind, trace::EventKind::Instant);
+        EXPECT_EQ(mine[i].tid, mine[0].tid);
+        if(i > 0)
+            EXPECT_GE(mine[i].tsNs, mine[i - 1].tsNs) << "drained timestamps must be monotone per thread";
+    }
+}
+
+//! Three full ring laps with a drain between each: the producer reuses
+//! every cell twice over and nothing is lost — the collector's release
+//! store of tail really grants reuse (litmus: obs/*_ring_reclaim).
+TEST(TraceRing, WraparoundAcrossRefills)
+{
+    auto const site = trace::internSite("test.wraparound");
+    auto const droppedBefore = trace::droppedTotal();
+    for(int lap = 0; lap < 3; ++lap)
+    {
+        flushRings();
+        for(std::uint64_t i = 0; i < trace::ringCapacity; ++i)
+            trace::record(site, trace::EventKind::Instant, (std::uint64_t(lap) << 32) | i);
+        std::vector<trace::Event> all;
+        trace::drain(all);
+        auto const mine = eventsOf(all, site);
+        ASSERT_EQ(mine.size(), trace::ringCapacity) << "lap " << lap;
+        for(std::uint64_t i = 0; i < trace::ringCapacity; ++i)
+            ASSERT_EQ(mine[i].arg, (std::uint64_t(lap) << 32) | i) << "lap " << lap << " event " << i;
+    }
+    EXPECT_EQ(trace::droppedTotal(), droppedBefore) << "a drained ring must never drop";
+}
+
+//! Overflow accounting is EXACT, not approximate: capacity + K records
+//! into an undrained ring keep exactly capacity and count exactly K
+//! drops. A fresh thread gives the test an empty ring of its own.
+TEST(TraceRing, DropCountIsExact)
+{
+    constexpr std::uint64_t extra = 1234;
+    auto const site = trace::internSite("test.dropexact");
+    auto const droppedBefore = trace::droppedTotal();
+
+    std::thread producer(
+        [site]
+        {
+            for(std::uint64_t i = 0; i < trace::ringCapacity + extra; ++i)
+                trace::record(site, trace::EventKind::Instant, i);
+        });
+    producer.join();
+
+    std::vector<trace::Event> all;
+    trace::drain(all);
+    auto const mine = eventsOf(all, site);
+    ASSERT_EQ(mine.size(), trace::ringCapacity);
+    EXPECT_EQ(trace::droppedTotal() - droppedBefore, extra) << "drop counter must be exact (invariant 24)";
+    // The survivors are the FIRST capacity events — overflow drops the
+    // new event, it never overwrites published ones.
+    for(std::uint64_t i = 0; i < trace::ringCapacity; ++i)
+        ASSERT_EQ(mine[i].arg, i);
+}
+
+//! Producer and collector running concurrently (the TSan lane target):
+//! every published event is either drained intact or counted dropped —
+//! nothing torn, nothing double-delivered, nothing lost.
+TEST(TraceRing, ConcurrentProducerCollector)
+{
+    constexpr std::uint64_t total = 200'000;
+    auto const site = trace::internSite("test.spsc");
+    auto const droppedBefore = trace::droppedTotal();
+
+    std::atomic<bool> done{false};
+    std::thread producer(
+        [&]
+        {
+            for(std::uint64_t i = 0; i < total; ++i)
+                trace::record(site, trace::EventKind::Counter, i);
+            done.store(true, std::memory_order_release);
+        });
+
+    std::vector<trace::Event> mine;
+    std::vector<trace::Event> batch;
+    while(!done.load(std::memory_order_acquire))
+    {
+        batch.clear();
+        trace::drain(batch);
+        for(auto const& e : batch)
+            if(e.site == site)
+                mine.push_back(e);
+    }
+    producer.join();
+    batch.clear();
+    trace::drain(batch); // final sweep: everything published before join
+    for(auto const& e : batch)
+        if(e.site == site)
+            mine.push_back(e);
+
+    auto const dropped = trace::droppedTotal() - droppedBefore;
+    EXPECT_EQ(mine.size() + dropped, total) << "drained + dropped must account for every record";
+    // Per-producer order survives concurrent drains: args strictly
+    // increase (drops leave gaps, never reorderings).
+    for(std::size_t i = 1; i < mine.size(); ++i)
+        ASSERT_GT(mine[i].arg, mine[i - 1].arg) << "at drained event " << i;
+    for(auto const& e : mine)
+        ASSERT_EQ(e.kind, trace::EventKind::Counter) << "torn cell: kind mismatch";
+}
+
+TEST(TraceTable, EachThreadGetsItsOwnRing)
+{
+    constexpr int threads = 4;
+    flushRings();
+    auto const site = trace::internSite("test.table");
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for(int t = 0; t < threads; ++t)
+        pool.emplace_back(
+            [site, t]
+            {
+                trace::nameThread(("test.table." + std::to_string(t)).c_str());
+                for(std::uint64_t i = 0; i < 64; ++i)
+                    trace::record(site, trace::EventKind::Instant, std::uint64_t(t));
+            });
+    for(auto& th : pool)
+        th.join();
+
+    std::vector<trace::Event> all;
+    trace::drain(all);
+    auto const mine = eventsOf(all, site);
+    ASSERT_EQ(mine.size(), threads * 64U);
+    std::vector<std::uint32_t> tids;
+    for(auto const& e : mine)
+        tids.push_back(e.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    EXPECT_EQ(tids.size(), std::size_t(threads)) << "each thread must own a distinct ring";
+    for(auto const tid : tids)
+        EXPECT_TRUE(std::string_view(trace::threadName(tid)).starts_with("test.table."));
+    // Within one ring, args are constant (= that thread's index): cells
+    // never interleave across producers.
+    for(auto const& e : mine)
+    {
+        auto const name = std::string("test.table.") + std::to_string(e.arg);
+        EXPECT_EQ(trace::threadName(e.tid), name);
+    }
+}
+
+TEST(TraceGate, DisabledRecordsNothing)
+{
+    flushRings();
+    auto const site = trace::internSite("test.gate");
+    trace::setEnabled(false);
+    for(std::uint64_t i = 0; i < 32; ++i)
+        trace::record(site, trace::EventKind::Instant, i);
+    trace::setEnabled(true);
+    trace::record(site, trace::EventKind::Instant, 99);
+
+    std::vector<trace::Event> all;
+    trace::drain(all);
+    auto const mine = eventsOf(all, site);
+    ASSERT_EQ(mine.size(), 1U) << "disabled recording must be a no-op";
+    EXPECT_EQ(mine[0].arg, 99U);
+}
+
+//! Invariant 23: in untraced builds the macros are `((void) 0)` and the
+//! argument expression is NEVER evaluated; in traced builds it is.
+TEST(TraceMacros, ArgumentsEvaluateOnlyWhenCompiledIn)
+{
+    flushRings();
+    int evaluations = 0;
+    ALPAKA_TRACE_INSTANT("test.macro", ++evaluations);
+    ALPAKA_TRACE_COUNTER("test.macro", ++evaluations);
+    {
+        ALPAKA_TRACE_SCOPE("test.macro.scope", ++evaluations);
+    }
+    EXPECT_EQ(evaluations, trace::compiledIn() ? 3 : 0);
+
+    std::vector<trace::Event> all;
+    trace::drain(all);
+    auto const mine = eventsOf(all, trace::internSite("test.macro.scope"));
+    if(trace::compiledIn())
+    {
+        ASSERT_EQ(mine.size(), 2U) << "scope must emit a begin/end pair";
+        EXPECT_EQ(mine[0].kind, trace::EventKind::SpanBegin);
+        EXPECT_EQ(mine[1].kind, trace::EventKind::SpanEnd);
+    }
+    else
+    {
+        EXPECT_TRUE(mine.empty());
+    }
+}
