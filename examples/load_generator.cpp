@@ -8,19 +8,28 @@
 /// max and the router's shard-merged view of the same traffic.
 ///
 ///   load_generator [requests] [clients] [shards] [--socket]
-///                  [--trace[=trace.json]]
+///                  [--trace[=trace.json]] [--admin]
 ///
 /// Defaults drive 1'048'576 requests from 4 clients across 2 shards.
 /// With --trace (an ALPAKA_REPRO_TRACE=ON build), a collector thread
 /// drains the span rings throughout the run, the capture lands as a
 /// Perfetto-loadable Chrome trace, and the run's unified metrics
 /// registry is printed in text exposition (DESIGN.md §10).
+///
+/// With --admin, an obs::AdminPlane answers the in-band admin frame
+/// family (DESIGN.md §11) and a dedicated ops client interrogates the
+/// live fleet MID-RUN — trace enable, metrics scrape, health check,
+/// rolling-rate snapshot, live Perfetto capture — once over the
+/// in-process pipe and once over a real loopback TCP socket, on the
+/// same door that is serving the tenant load. Any failed verification
+/// makes the run exit nonzero.
 #include <net/client.hpp>
 #include <net/front_door.hpp>
 #include <net/router.hpp>
 #include <net/socket.hpp>
 #include <net/transport.hpp>
 
+#include <obs/admin.hpp>
 #include <obs/collector.hpp>
 #include <obs/registry.hpp>
 #include <obs/trace_json.hpp>
@@ -139,6 +148,89 @@ namespace
             if(!client.poll([](net::Client<LoadCfg>::Response const&) {}))
                 std::this_thread::yield();
     }
+
+    //! One in-band admin session over \p transport, run MID-LOAD on the
+    //! same door that is serving the tenants: trace enable, metrics
+    //! scrape, health check, rolling-rate snapshot, live Perfetto
+    //! capture. Each chunked AdminData stream is reassembled by request
+    //! id until its final (non-Partial) status, then verified. Returns
+    //! the number of failed checks.
+    auto runAdminOps(std::unique_ptr<net::Transport> transport, char const* label) -> int
+    {
+        int failures = 0;
+        auto const fail = [&](char const* what)
+        {
+            std::cerr << "admin(" << label << "): FAILED " << what << '\n';
+            ++failures;
+        };
+
+        net::Client<LoadCfg> client(std::move(transport));
+        client.hello("admin-ops");
+        auto const ready = Clock::now() + std::chrono::seconds{10};
+        while(!client.ready() && !client.closed() && Clock::now() < ready)
+            if(!client.poll([](net::Client<LoadCfg>::Response const&) {}))
+                std::this_thread::yield();
+        if(!client.ready())
+        {
+            fail("handshake");
+            return failures;
+        }
+
+        std::string body;
+        // One round trip: submit (retrying while the window is busy),
+        // then concatenate the chunk stream until the final status.
+        auto const roundTrip = [&](net::FrameType type, std::uint32_t op) -> net::Status
+        {
+            body.clear();
+            auto const until = Clock::now() + std::chrono::seconds{10};
+            std::uint64_t id = 0;
+            while((id = client.tryAdmin(type, op)) == 0 && !client.closed() && Clock::now() < until)
+                if(!client.poll([](net::Client<LoadCfg>::Response const&) {}))
+                    std::this_thread::yield();
+            auto status = net::Status::BadRequest;
+            bool done = id == 0;
+            while(!done && !client.closed() && Clock::now() < until)
+                if(!client.poll(
+                       [&](net::Client<LoadCfg>::Response const& r)
+                       {
+                           if(r.reqId != id)
+                               return;
+                           body.append(reinterpret_cast<char const*>(r.payload), r.payloadLen);
+                           if(r.status != net::Status::Partial)
+                           {
+                               status = r.status;
+                               done = true;
+                           }
+                       }))
+                    std::this_thread::yield();
+            return done ? status : net::Status::BadRequest;
+        };
+        auto const traceOp = [](net::TraceOp op) { return static_cast<std::uint32_t>(op); };
+
+        if(roundTrip(net::FrameType::TraceControl, traceOp(net::TraceOp::Enable)) != net::Status::Ok
+           || body.find("trace_enabled 1\n") == std::string::npos)
+            fail("TraceControl enable");
+        if(roundTrip(net::FrameType::MetricsScrape, 0) != net::Status::Ok
+           || body.find("serve_admitted_total") == std::string::npos)
+            fail("MetricsScrape exposition");
+        if(roundTrip(net::FrameType::HealthCheck, 0) != net::Status::Ok || body.rfind("fleet ", 0) != 0)
+            fail("HealthCheck report");
+        if(roundTrip(net::FrameType::StatsSnapshot, 0) != net::Status::Ok)
+            fail("StatsSnapshot arm");
+        if(roundTrip(net::FrameType::StatsSnapshot, 0) != net::Status::Ok
+           || body.find("req_per_s ") == std::string::npos)
+            fail("StatsSnapshot rates");
+        if(roundTrip(net::FrameType::TraceControl, traceOp(net::TraceOp::Capture)) != net::Status::Ok || body.empty()
+           || body.front() != '{')
+            fail("TraceControl live capture");
+
+        client.bye();
+        auto const until = Clock::now() + std::chrono::milliseconds{200};
+        while(!client.closed() && Clock::now() < until)
+            if(!client.poll([](net::Client<LoadCfg>::Response const&) {}))
+                std::this_thread::yield();
+        return failures;
+    }
 } // namespace
 
 auto main(int argc, char** argv) -> int
@@ -148,6 +240,7 @@ auto main(int argc, char** argv) -> int
     std::size_t shards = 2;
     bool useSocket = false;
     bool traceRun = false;
+    bool adminRun = false;
     std::string tracePath = "trace.json";
     std::size_t positional = 0;
     for(int a = 1; a < argc; ++a)
@@ -155,6 +248,8 @@ auto main(int argc, char** argv) -> int
         std::string const arg = argv[a];
         if(arg == "--socket")
             useSocket = true;
+        else if(arg == "--admin")
+            adminRun = true;
         else if(arg == "--trace")
             traceRun = true;
         else if(arg.starts_with("--trace="))
@@ -169,10 +264,13 @@ auto main(int argc, char** argv) -> int
         else
             shards = std::stoull(arg), ++positional;
     }
-    if(clients == 0 || clients > LoadCfg::maxConnections || shards == 0)
+    // The admin mode takes two connection-table slots of its own (one
+    // pipe session, one loopback-socket session).
+    std::size_t const adminConns = adminRun ? 2 : 0;
+    if(clients == 0 || clients + adminConns > LoadCfg::maxConnections || shards == 0)
     {
-        std::cerr << "usage: load_generator [requests] [clients <= " << LoadCfg::maxConnections
-                  << "] [shards] [--socket] [--trace[=trace.json]]\n";
+        std::cerr << "usage: load_generator [requests] [clients <= " << (LoadCfg::maxConnections - adminConns)
+                  << "] [shards] [--socket] [--trace[=trace.json]] [--admin]\n";
         return 1;
     }
     if(traceRun && !trace::compiledIn())
@@ -195,16 +293,29 @@ auto main(int argc, char** argv) -> int
     auto const tmplId = router.registerTemplate(std::move(tmpl));
     net::FrontDoor<LoadCfg> door(router);
 
+    // The ops plane: the door keeps speaking the tenant hot path
+    // untouched; admin frames route through the plane's handlers.
+    std::unique_ptr<obs::AdminPlane> plane;
+    if(adminRun)
+    {
+        plane = std::make_unique<obs::AdminPlane>(router);
+        door.setAdminProvider(plane.get());
+    }
+
     std::cout << "load_generator: " << totalRequests << " requests, " << clients << " clients, " << shards
-              << " shards, " << (useSocket ? "loopback socket" : "in-process pipe") << " transport\n";
+              << " shards, " << (useSocket ? "loopback socket" : "in-process pipe") << " transport"
+              << (adminRun ? ", mid-run admin ops over pipe+socket" : "") << '\n';
 
     // Client-side transport ends; the server ends go to the door (pipe)
-    // or arrive via the listener's non-blocking accept (socket).
+    // or arrive via the listener's non-blocking accept (socket). The
+    // admin mode always needs the listener: its second session runs
+    // over loopback TCP even when the tenants ride pipes.
     std::vector<std::unique_ptr<net::Transport>> clientEnds(clients);
     std::unique_ptr<net::SocketListener> listener;
+    if(useSocket || adminRun)
+        listener = std::make_unique<net::SocketListener>(0);
     if(useSocket)
     {
-        listener = std::make_unique<net::SocketListener>(0);
         for(auto& end : clientEnds)
             end = net::connectLoopback(listener->port());
     }
@@ -220,6 +331,19 @@ auto main(int argc, char** argv) -> int
             }
             end = std::move(clientEnd);
         }
+    }
+    std::unique_ptr<net::Transport> adminPipeEnd;
+    std::unique_ptr<net::Transport> adminSocketEnd;
+    if(adminRun)
+    {
+        auto [serverEnd, clientEnd] = net::makePipePair(1 << 18);
+        if(!door.accept(std::move(serverEnd)))
+        {
+            std::cerr << "error: connection table full\n";
+            return 1;
+        }
+        adminPipeEnd = std::move(clientEnd);
+        adminSocketEnd = net::connectLoopback(listener->port());
     }
 
     // The trace collector: polls the span rings fast enough that an
@@ -260,6 +384,8 @@ auto main(int argc, char** argv) -> int
         });
 
     std::vector<ClientResult> results(clients);
+    std::atomic<int> adminFailures{0};
+    std::thread adminThread;
     auto const perClient = totalRequests / clients;
     auto const t0 = Clock::now();
     {
@@ -272,8 +398,21 @@ auto main(int argc, char** argv) -> int
                     auto share = perClient + (c == 0 ? totalRequests % clients : 0);
                     runClient(std::move(clientEnds[c]), "tenant-" + std::to_string(c), tmplId, share, results[c]);
                 });
+        // The ops client runs WHILE the tenants hammer the door: first
+        // the pipe session, then the loopback-socket session.
+        if(adminRun)
+            adminThread = std::thread(
+                [&]
+                {
+                    adminFailures += runAdminOps(std::move(adminPipeEnd), "pipe");
+                    adminFailures += runAdminOps(std::move(adminSocketEnd), "socket");
+                });
     }
     auto const elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    // The door must keep being polled until the admin sessions finish
+    // (a short run can complete before the ops script does).
+    if(adminThread.joinable())
+        adminThread.join();
     stop.store(true, std::memory_order_release);
     server.join();
     router.drain();
@@ -305,6 +444,12 @@ auto main(int argc, char** argv) -> int
     std::cout << '\n';
     std::cout << "  queue wait  p50 " << routed.queueWait.p50Us << " us   p99 " << routed.queueWait.p99Us
               << " us   max " << routed.queueWait.maxUs << " us\n";
+    if(adminRun)
+    {
+        auto const ds = door.stats();
+        std::cout << "  admin       " << ds.adminRequests << " requests, " << ds.adminChunks
+                  << " chunks over pipe+socket, " << adminFailures.load() << " failed checks\n";
+    }
 
     if(traceRun)
     {
@@ -330,10 +475,14 @@ auto main(int argc, char** argv) -> int
         std::cout << "\n--- metrics exposition ---\n" << reg.exposition();
     }
 
-    auto const reports = router.shutdown(std::chrono::seconds{10});
+    // With the plane in play, shutdown goes through it — the fleet
+    // stops AND the plane's capture collector gets its final flush
+    // (Collector::drainAll), so no recorded span is stranded in a ring.
+    auto const reports
+        = plane != nullptr ? plane->shutdown(std::chrono::seconds{10}) : router.shutdown(std::chrono::seconds{10});
     for(std::size_t s = 0; s < reports.size(); ++s)
         if(!reports[s].clean)
             std::cout << "  WARNING: shard " << s << " shutdown not clean\n";
 
-    return mismatched == 0 && verified == totalRequests ? 0 : 1;
+    return mismatched == 0 && verified == totalRequests && adminFailures.load() == 0 ? 0 : 1;
 }

@@ -1,0 +1,35 @@
+/// \file net::AdminProvider — the pluggable back end of the in-band
+/// admin plane (DESIGN.md §11.1).
+///
+/// The front door SPEAKS the admin frame family but does not KNOW what
+/// a metrics scrape or a health report contains: obs sits above net in
+/// the library graph (the layers record without knowing about their
+/// exporters), so the door delegates admin requests through this
+/// interface and obs::AdminPlane implements it over the Registry, the
+/// health model, and the trace collector. A door with no provider
+/// answers every admin request with Status::BadRequest — tenant traffic
+/// is unaffected either way.
+#pragma once
+
+#include "net/wire.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace alpaka::net
+{
+    class AdminProvider
+    {
+    public:
+        virtual ~AdminProvider() = default;
+
+        //! Handles one admin request: \p type is an admin FrameType
+        //! (isAdminRequest(type) holds), \p op its tmpl field (a TraceOp
+        //! for TraceControl, 0 otherwise). Fills \p body with the
+        //! response text — the door streams it back in bounded AdminData
+        //! chunks — and returns the final chunk's wire status. Called on
+        //! the door's poll thread: it may allocate (the admin plane is
+        //! deliberately off the tenant hot path) but must not block.
+        virtual auto handleAdmin(FrameType type, std::uint32_t op, std::string& body) -> Status = 0;
+    };
+} // namespace alpaka::net

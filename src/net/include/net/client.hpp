@@ -126,6 +126,31 @@ namespace alpaka::net
             return h.reqId;
         }
 
+        //! Stages one admin request (MetricsScrape/HealthCheck/
+        //! StatsSnapshot/TraceControl; \p op is TraceControl's TraceOp,
+        //! ignored otherwise). The response arrives through poll()'s
+        //! handler as one or more AdminData frames sharing the returned
+        //! reqId: Status::Partial marks a non-final chunk, any other
+        //! status finishes the stream (concatenate the payloads for the
+        //! full text). Counts against the same in-flight window as
+        //! requests. \returns the reqId, or 0 when blocked — poll and
+        //! retry. \throws UsageError for a non-admin frame type.
+        auto tryAdmin(FrameType type, std::uint32_t op = 0) -> std::uint64_t
+        {
+            if(!isAdminRequest(type))
+                throw UsageError("net::Client::tryAdmin: not an admin frame type");
+            if(state_ != State::Ready || inFlight_ >= Cfg::window || tx_.size() - txLen_ < headerSize)
+                return 0;
+            FrameHeader h;
+            h.type = type;
+            h.tmpl = op;
+            h.reqId = nextId_++;
+            h.payloadLen = 0;
+            stage(h, nullptr);
+            ++inFlight_;
+            return h.reqId;
+        }
+
         //! Starts the drain: no further submits; the server finishes
         //! in-flight work, responses keep arriving, then Bye is acked
         //! and closed() turns true. Callable in any live state.
@@ -257,13 +282,32 @@ namespace alpaka::net
                     rxPayload_.data(),
                     header_.payloadLen});
                 return true;
+            case FrameType::AdminData:
+                if(state_ != State::Ready && state_ != State::Draining)
+                {
+                    fail(DecodeError::BadType);
+                    return false;
+                }
+                // A chunk of an admin response stream: only the FINAL
+                // chunk (status != Partial) retires the window slot its
+                // request took.
+                if(header_.status != Status::Partial && inFlight_ != 0)
+                    --inFlight_;
+                onResponse(Response{
+                    header_.reqId,
+                    header_.status,
+                    header_.tmpl,
+                    rxPayload_.data(),
+                    header_.payloadLen});
+                return true;
             case FrameType::Bye:
                 // The server's drain ack (or its own shutdown notice).
                 shut();
                 return true;
             default:
-                // Hello/Request are client-to-server only; receiving
-                // one means the stream is not talking our protocol.
+                // Hello/Request and the admin requests are
+                // client-to-server only; receiving one means the stream
+                // is not talking our protocol.
                 fail(DecodeError::BadType);
                 return false;
             }

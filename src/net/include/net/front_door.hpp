@@ -40,6 +40,7 @@
 /// request — drain or shut the router down before destroying the door.
 #pragma once
 
+#include "net/admin.hpp"
 #include "net/config.hpp"
 #include "net/router.hpp"
 #include "net/transport.hpp"
@@ -57,6 +58,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <string_view>
 
 namespace alpaka::net
@@ -122,8 +124,13 @@ namespace alpaka::net
         std::uint64_t framesDuplicated = 0;
         std::uint64_t framesTruncated = 0;
         //! @}
+        //! \name admin plane (DESIGN.md §11.1)
+        //! @{
+        std::uint64_t adminRequests = 0;
+        std::uint64_t adminChunks = 0;
+        //! @}
         //! Indexed by DecodeError.
-        std::array<std::uint64_t, 7> decodeErrors{};
+        std::array<std::uint64_t, 8> decodeErrors{};
     };
 
     template<typename Cfg = DefaultCfg>
@@ -162,6 +169,9 @@ namespace alpaka::net
                 c.txSent = 0;
                 c.truncateClose = false;
                 c.byeQueued = false;
+                c.adminActive = false;
+                c.adminBody.clear();
+                c.adminSent = 0;
                 ++stats_.connectionsAccepted;
                 return true;
             }
@@ -201,6 +211,16 @@ namespace alpaka::net
         [[nodiscard]] auto stats() const noexcept -> FrontDoorStats const&
         {
             return stats_;
+        }
+
+        //! Plugs the admin back end in (nullptr detaches). Without one,
+        //! admin requests are answered with a Status::BadRequest chunk —
+        //! tenant traffic never depends on a provider. Poll-thread
+        //! discipline applies: set it before the first poll or from the
+        //! poll thread.
+        void setAdminProvider(AdminProvider* provider) noexcept
+        {
+            admin_ = provider;
         }
 
         //! Force-closes every connection (no Bye handshake); keep
@@ -272,6 +292,18 @@ namespace alpaka::net
             bool truncateClose = false;
             bool byeQueued = false;
             //! @}
+            //! \name admin response streaming (the one part of a
+            //! connection that allocates — deliberately off the tenant
+            //! hot path; the ALLOCTRACK audit measures the request slots,
+            //! which admin traffic never touches)
+            //! @{
+            std::string adminBody;
+            std::size_t adminSent = 0;
+            std::uint64_t adminReqId = 0;
+            std::uint32_t adminOp = 0;
+            Status adminStatus = Status::Ok;
+            bool adminActive = false;
+            //! @}
             std::array<Slot, Cfg::slotsPerConnection> slots{};
         };
 
@@ -290,10 +322,11 @@ namespace alpaka::net
             if(c.state == ConnState::Reaping)
                 return true;
             progress = pumpResponses(c) || progress;
+            progress = pumpAdmin(c) || progress;
             progress = flushTx(c) || progress;
             if(c.state == ConnState::Reaping)
                 return true;
-            if(c.state == ConnState::Draining && !c.byeQueued && allSlotsFree(c))
+            if(c.state == ConnState::Draining && !c.byeQueued && allSlotsFree(c) && !c.adminActive)
             {
                 FrameHeader bye;
                 bye.type = FrameType::Bye;
@@ -513,8 +546,34 @@ namespace alpaka::net
                 }
                 c.prepared = true;
                 return true;
+            case FrameType::MetricsScrape:
+            case FrameType::HealthCheck:
+            case FrameType::StatsSnapshot:
+            case FrameType::TraceControl:
+            {
+                if(c.state == ConnState::AwaitHello)
+                {
+                    closeWithError(c);
+                    return false;
+                }
+                if(auto const err = validateAdmin(c.header); err != DecodeError::None)
+                {
+                    ++stats_.decodeErrors[errIdx(err)];
+                    closeWithError(c);
+                    return false;
+                }
+                // One admin stream per connection at a time: leave the
+                // frame in the transport until the active response has
+                // fully streamed — the same backpressure-by-not-reading
+                // discipline as a slot-full request (invariant 20).
+                if(c.adminActive)
+                    return false;
+                c.prepared = true;
+                return true;
+            }
             default:
-                // HelloAck/Response/Error are server-to-client only.
+                // HelloAck/Response/Error/AdminData are server-to-client
+                // only.
                 closeWithError(c);
                 return false;
             }
@@ -542,8 +601,83 @@ namespace alpaka::net
             case FrameType::Bye:
                 c.state = ConnState::Draining;
                 return;
+            case FrameType::MetricsScrape:
+            case FrameType::HealthCheck:
+            case FrameType::StatsSnapshot:
+            case FrameType::TraceControl:
+                handleAdmin(c);
+                return;
             default:
                 return; // unreachable: prepare() closed on these
+            }
+        }
+
+        //! Materializes one admin response via the provider and arms the
+        //! chunked stream. Runs on the poll thread; the provider may
+        //! allocate (off the tenant hot path), but a provider that throws
+        //! still yields a well-formed (Failed) final chunk — the admin
+        //! plane never kills a session that spoke the protocol correctly.
+        void handleAdmin(Conn& c)
+        {
+            ++stats_.adminRequests;
+            c.adminBody.clear();
+            c.adminReqId = c.header.reqId;
+            c.adminOp = c.header.tmpl;
+            c.adminSent = 0;
+            if(admin_ == nullptr)
+                c.adminStatus = Status::BadRequest;
+            else
+            {
+                try
+                {
+                    c.adminStatus = admin_->handleAdmin(c.header.type, c.header.tmpl, c.adminBody);
+                }
+                catch(...)
+                {
+                    c.adminBody.clear();
+                    c.adminStatus = Status::Failed;
+                }
+            }
+            c.adminActive = true;
+            pumpAdmin(c);
+        }
+
+        //! Streams the active admin response as bounded AdminData chunks:
+        //! at most Cfg::maxPayload bytes per frame, Status::Partial on
+        //! every chunk but the last (which carries the provider's final
+        //! status). Stops the moment staging or the transport is full and
+        //! resumes next poll — the admin plane obeys the same never-block
+        //! discipline as everything else on the door.
+        auto pumpAdmin(Conn& c) -> bool
+        {
+            if(!c.adminActive)
+                return false;
+            bool progress = false;
+            while(true)
+            {
+                auto const remaining = c.adminBody.size() - c.adminSent;
+                auto const chunk = remaining < Cfg::maxPayload ? remaining : Cfg::maxPayload;
+                FrameHeader h;
+                h.type = FrameType::AdminData;
+                h.status = chunk == remaining ? c.adminStatus : Status::Partial;
+                h.tmpl = c.adminOp;
+                h.reqId = c.adminReqId;
+                h.payloadLen = static_cast<std::uint32_t>(chunk);
+                if(!stageFrame(c, h, reinterpret_cast<std::byte const*>(c.adminBody.data()) + c.adminSent, false))
+                    return progress; // staging full; resume next poll
+                ++stats_.adminChunks;
+                c.adminSent += chunk;
+                progress = true;
+                if(c.adminSent == c.adminBody.size())
+                {
+                    c.adminActive = false;
+                    c.adminBody.clear();
+                    c.adminSent = 0;
+                    return progress;
+                }
+                flushTx(c); // hand staged chunks to the transport mid-stream
+                if(c.state == ConnState::Reaping)
+                    return true;
             }
         }
 
@@ -699,6 +833,7 @@ namespace alpaka::net
         }
 
         Router& router_;
+        AdminProvider* admin_ = nullptr;
         FrontDoorStats stats_{};
         std::array<Conn, Cfg::maxConnections> conns_{};
     };

@@ -33,13 +33,25 @@ namespace alpaka::net
     //! First two wire bytes of every frame (little-endian 0xA1FA).
     inline constexpr std::uint16_t wireMagic = 0xA1FA;
     //! Protocol revision; a mismatch rejects the connection at Hello.
-    inline constexpr std::uint8_t wireVersion = 1;
+    //! 2: admin frame family (MetricsScrape..AdminData, Status::Partial).
+    inline constexpr std::uint8_t wireVersion = 2;
 
     //! Frame taxonomy. Hello/HelloAck bind a connection to a tenant
     //! (the tenant name travels ONCE, in the Hello payload — request
     //! frames carry no strings, sessions are tenant-affine); Request/
     //! Response carry work; Error is a response that failed before or
     //! during execution; Bye starts a client-initiated drain.
+    //!
+    //! The admin family (DESIGN.md §11.1) is the live ops plane:
+    //! MetricsScrape / HealthCheck / StatsSnapshot / TraceControl are
+    //! payload-less client→server requests (TraceControl's op travels
+    //! in the tmpl field — see TraceOp); the server answers every one
+    //! of them with a stream of AdminData frames whose payloads
+    //! concatenate to the response text (Status::Partial on every chunk
+    //! but the last, which carries the final status). Admin frames ride
+    //! the same 32-byte header, the same CRC, and the same session —
+    //! they share the connection with tenant traffic but never touch
+    //! the zero-copy request slots.
     enum class FrameType : std::uint8_t
     {
         Hello = 0,
@@ -48,6 +60,19 @@ namespace alpaka::net
         Response = 3,
         Error = 4,
         Bye = 5,
+        MetricsScrape = 6, //!< → registry text exposition
+        HealthCheck = 7, //!< → component health report
+        StatsSnapshot = 8, //!< → timestamped snapshot + window rates
+        TraceControl = 9, //!< tmpl = TraceOp (enable/disable/capture)
+        AdminData = 10, //!< server→client response chunk
+    };
+
+    //! TraceControl operations, carried in the frame's tmpl field.
+    enum class TraceOp : std::uint32_t
+    {
+        Disable = 0, //!< trace::setEnabled(false)
+        Enable = 1, //!< trace::setEnabled(true)
+        Capture = 2, //!< drain the collector, reply with trace JSON
     };
 
     //! Response/Error status — the wire projection of the serve-layer
@@ -64,7 +89,15 @@ namespace alpaka::net
         Failed = 6, //!< the template body itself threw
         BadRequest = 7, //!< protocol violation (unknown template, ...)
         Draining = 8, //!< service shutting down
+        Partial = 9, //!< non-final AdminData chunk; more follow
     };
+
+    //! Admin requests travel client→server, AdminData server→client.
+    [[nodiscard]] constexpr auto isAdminRequest(FrameType t) noexcept -> bool
+    {
+        return t == FrameType::MetricsScrape || t == FrameType::HealthCheck || t == FrameType::StatsSnapshot
+               || t == FrameType::TraceControl;
+    }
 
     //! The fixed-layout frame header, as host-side fields. Wire layout
     //! (32 bytes, little-endian, offsets in brackets):
@@ -110,6 +143,7 @@ namespace alpaka::net
         BadType, //!< type byte outside the FrameType range
         Oversized, //!< payloadLen exceeds the receiver's slot capacity
         BadCrc,
+        BadAdmin, //!< well-formed header, malformed admin request
     };
 
     [[nodiscard]] constexpr auto toString(DecodeError e) noexcept -> std::string_view
@@ -130,6 +164,8 @@ namespace alpaka::net
             return "oversized payload";
         case DecodeError::BadCrc:
             return "bad crc";
+        case DecodeError::BadAdmin:
+            return "bad admin frame";
         }
         return "unknown";
     }
@@ -177,6 +213,11 @@ namespace alpaka::net
         using ProtocolError::ProtocolError;
     };
     class BadCrcError : public ProtocolError
+    {
+    public:
+        using ProtocolError::ProtocolError;
+    };
+    class BadAdminError : public ProtocolError
     {
     public:
         using ProtocolError::ProtocolError;
@@ -307,7 +348,7 @@ namespace alpaka::net
         if(out.version != wireVersion)
             return DecodeError::BadVersion;
         auto const type = static_cast<std::uint8_t>(in[3]);
-        if(type > static_cast<std::uint8_t>(FrameType::Bye))
+        if(type > static_cast<std::uint8_t>(FrameType::AdminData))
             return DecodeError::BadType;
         out.type = static_cast<FrameType>(type);
         out.status = static_cast<Status>(detail::load16(in + 4));
@@ -319,6 +360,22 @@ namespace alpaka::net
         out.reqId = detail::load64(in + 16);
         out.deadlineUs = detail::load32(in + 24);
         out.crc = detail::load32(in + 28);
+        return DecodeError::None;
+    }
+
+    //! Admin-request validity beyond the header checks: admin requests
+    //! carry no payload (a scrape is a question, not a data push), and
+    //! a TraceControl op must be one the server knows. Non-admin frames
+    //! pass untouched. Never allocates, never throws — the session
+    //! layers count the returned code like any other DecodeError.
+    [[nodiscard]] constexpr auto validateAdmin(FrameHeader const& h) noexcept -> DecodeError
+    {
+        if(!isAdminRequest(h.type))
+            return DecodeError::None;
+        if(h.payloadLen != 0)
+            return DecodeError::BadAdmin;
+        if(h.type == FrameType::TraceControl && h.tmpl > static_cast<std::uint32_t>(TraceOp::Capture))
+            return DecodeError::BadAdmin;
         return DecodeError::None;
     }
 

@@ -26,6 +26,8 @@ namespace alpaka::net
             throw OversizedFrameError(code, what);
         case DecodeError::BadCrc:
             throw BadCrcError(code, what);
+        case DecodeError::BadAdmin:
+            throw BadAdminError(code, what);
         case DecodeError::None:
             break;
         }

@@ -30,6 +30,22 @@ namespace alpaka::obs
         //! Returns the underlying drain's stats.
         auto poll() -> trace::DrainStats;
 
+        //! Final flush: polls until a pass drains nothing, so events
+        //! recorded just before a service/router shutdown are never
+        //! silently stranded in the rings. Call it AFTER the producers
+        //! stopped (post-shutdown) and the accounting identity holds:
+        //! drainedTotal() == trace::recordedTotal() (ring overruns are
+        //! counted separately in trace::droppedTotal() — they never made
+        //! it into a ring). \returns events drained by this call.
+        auto drainAll() -> std::uint64_t;
+
+        //! Cumulative events this collector drained out of the rings
+        //! over its lifetime (kept + cap-dropped).
+        [[nodiscard]] auto drainedTotal() const noexcept -> std::uint64_t
+        {
+            return drainedTotal_;
+        }
+
         [[nodiscard]] auto events() const noexcept -> std::vector<trace::Event> const&
         {
             return events_;
@@ -57,5 +73,6 @@ namespace alpaka::obs
         std::size_t cap_;
         std::uint64_t ringDropped_ = 0;
         std::uint64_t capDropped_ = 0;
+        std::uint64_t drainedTotal_ = 0;
     };
 } // namespace alpaka::obs

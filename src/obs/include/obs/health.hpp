@@ -1,0 +1,210 @@
+/// \file obs::Health — deterministic component health derived from
+/// registry snapshots (DESIGN.md §11.2).
+///
+/// Health is NOT a new instrumentation surface: it is pure snapshot
+/// algebra over the counters the layers already export through
+/// obs::Registry. Two timestamped snapshots make a window; windowed
+/// deltas make rates (req/s, sheds/s, drops/s — RateWindow); rates
+/// against thresholds make a raw severity per component; and a small
+/// hysteresis state machine (worsen immediately, recover only after
+/// `recoverAfter` consecutive calm windows) turns raw severities into
+/// operator-stable Healthy/Degraded/Critical states. Everything is a
+/// pure function of the snapshot sequence — no clocks are read, no
+/// sleeps are needed to test it, and the same snapshots always yield
+/// the same transition sequence (the chaos-lane determinism pin).
+#pragma once
+
+#include "obs/registry.hpp"
+
+#include "serve/latency.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alpaka::obs
+{
+    enum class HealthState : std::uint8_t
+    {
+        Healthy = 0,
+        Degraded = 1,
+        Critical = 2,
+    };
+
+    [[nodiscard]] constexpr auto toString(HealthState s) noexcept -> std::string_view
+    {
+        switch(s)
+        {
+        case HealthState::Healthy:
+            return "healthy";
+        case HealthState::Degraded:
+            return "degraded";
+        case HealthState::Critical:
+            return "critical";
+        }
+        return "?";
+    }
+
+    //! Rolling-delta derivation over registry snapshots: push() twice
+    //! (each snapshot timestamped by the CALLER — the window never reads
+    //! a clock) and every delta/rate/windowed-histogram question about
+    //! the interval between them is answerable without touching the live
+    //! layers again. Pure snapshot algebra, unit-testable without
+    //! sleeping.
+    class RateWindow
+    {
+    public:
+        //! Installs \p snapshot as the window's current edge (the
+        //! previous current becomes the far edge).
+        void push(Registry snapshot, std::chrono::steady_clock::time_point t);
+
+        //! Two snapshots present — deltas and rates are meaningful.
+        [[nodiscard]] auto ready() const noexcept -> bool
+        {
+            return have_ >= 2;
+        }
+        //! Window span in seconds (0 until ready).
+        [[nodiscard]] auto seconds() const noexcept -> double;
+
+        //! current − previous for one sample (counter/gauge value;
+        //! histogram count). 0 until ready. May be negative for gauges —
+        //! levels move both ways.
+        [[nodiscard]] auto delta(std::string_view name, std::string_view labels = {}) const noexcept -> double;
+        //! delta() summed over EVERY label set of \p name — the fleet
+        //! total of a per-shard (or per-device) counter.
+        [[nodiscard]] auto sumDelta(std::string_view name) const noexcept -> double;
+        //! delta / seconds (0 until ready or when the span is empty).
+        [[nodiscard]] auto ratePerSec(std::string_view name, std::string_view labels = {}) const noexcept -> double;
+        //! Bucket-wise histogram delta — the distribution of ONLY the
+        //! window's samples (bucket subtraction is exact, the same
+        //! discipline as the router's bucket merge). maxUs is the
+        //! cumulative max: the window cannot un-see an old extreme.
+        [[nodiscard]] auto histDelta(std::string_view name, std::string_view labels = {}) const
+            -> serve::LatencyCounts;
+
+        [[nodiscard]] auto current() const noexcept -> Registry const&
+        {
+            return cur_;
+        }
+
+    private:
+        Registry prev_;
+        Registry cur_;
+        std::chrono::steady_clock::time_point prevAt_{};
+        std::chrono::steady_clock::time_point curAt_{};
+        int have_ = 0;
+    };
+
+    //! Thresholds the raw severities are derived from. Rates are window
+    //! ratios in [0,1]; counts are per-window deltas.
+    struct HealthThresholds
+    {
+        //! Shed fraction of a shard's admitted requests (expired +
+        //! overload sheds; client cancels are not the service's fault).
+        double shedRateDegraded = 0.01;
+        double shedRateCritical = 0.10;
+        //! Failed fraction of a shard's completed requests.
+        double failRateDegraded = 0.05;
+        double failRateCritical = 0.50;
+        //! Workers declared lost (per window): any loss degrades, a
+        //! streak is critical.
+        std::uint64_t workersLostDegraded = 1;
+        std::uint64_t workersLostCritical = 3;
+        //! Windowed queue-wait p99 as a fraction of the budget.
+        double queueWaitDegraded = 0.50;
+        double queueWaitCritical = 1.00;
+        //! Queue-wait budget when the service declared none
+        //! (ServiceOptions::queueWaitBudget).
+        std::uint64_t queueWaitBudgetUs = 1'000'000;
+        //! Minimum windowed queue-wait samples before the p99 rule may
+        //! fire (a 3-request window has no meaningful p99).
+        std::uint64_t minWindowSamples = 16;
+        //! Mempool miss fraction of the window's lookups (steady state
+        //! should be hits; warmup windows are protected by the lookup
+        //! floor below).
+        double missRateDegraded = 0.50;
+        double missRateCritical = 0.90;
+        std::uint64_t minWindowLookups = 64;
+        //! Trace ring-drop fraction of the window's recorded events.
+        double ringDropDegraded = 0.0; //!< any drop degrades
+        double ringDropCritical = 0.10;
+        //! Consecutive calm (raw < held state) evaluations before a
+        //! component's held state falls — the hysteresis that keeps a
+        //! flapping signal from flapping the page.
+        int recoverAfter = 2;
+    };
+
+    struct ComponentHealth
+    {
+        std::string component;
+        //! Held state (post-hysteresis) — what an operator pages on.
+        HealthState state = HealthState::Healthy;
+        //! This window's raw severity (pre-hysteresis).
+        HealthState raw = HealthState::Healthy;
+        //! The worst firing rule, rendered ("shed_rate=0.125"); empty
+        //! when healthy.
+        std::string reason;
+    };
+
+    struct HealthReport
+    {
+        //! Worst held state across components — the Router fleet's
+        //! merged health.
+        HealthState fleet = HealthState::Healthy;
+        //! Sorted by component name.
+        std::vector<ComponentHealth> components;
+
+        [[nodiscard]] auto find(std::string_view component) const noexcept -> ComponentHealth const*;
+        //! One line per component, fleet first: `<name> <state>[ <reason>]`.
+        [[nodiscard]] auto text() const -> std::string;
+    };
+
+    //! The deterministic health state machine: feed it timestamped
+    //! snapshots (one per evaluation tick), read typed per-component
+    //! transitions. Components are discovered from the snapshot itself —
+    //! `shard/<i>` per `shard=<i>`-labeled serve counters, `workers`,
+    //! `mempool`, `net` and `trace` when their families are present.
+    //! Until the window is ready (two snapshots) everything is Healthy:
+    //! a rate needs an interval.
+    class HealthModel
+    {
+    public:
+        explicit HealthModel(HealthThresholds thresholds = {}) : thresholds_(thresholds)
+        {
+        }
+
+        //! One evaluation tick: pushes \p snapshot into the window,
+        //! derives raw severities, advances the hysteresis, returns the
+        //! report (also kept — last()).
+        auto evaluate(Registry snapshot, std::chrono::steady_clock::time_point t) -> HealthReport;
+
+        [[nodiscard]] auto last() const noexcept -> HealthReport const&
+        {
+            return last_;
+        }
+        [[nodiscard]] auto window() const noexcept -> RateWindow const&
+        {
+            return window_;
+        }
+        [[nodiscard]] auto thresholds() const noexcept -> HealthThresholds const&
+        {
+            return thresholds_;
+        }
+
+    private:
+        struct Track
+        {
+            HealthState state = HealthState::Healthy;
+            int calm = 0;
+        };
+
+        HealthThresholds thresholds_;
+        RateWindow window_;
+        //! Ordered map: deterministic component order in every report.
+        std::map<std::string, Track, std::less<>> tracks_;
+        HealthReport last_;
+    };
+} // namespace alpaka::obs

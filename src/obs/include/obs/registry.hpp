@@ -86,9 +86,11 @@ namespace alpaka::obs
         //! Counter/gauge value, 0 when absent (histograms: the count).
         [[nodiscard]] auto value(std::string_view name, std::string_view labels = {}) const noexcept -> double;
 
-        //! Text exposition: one `name{labels} value` line per counter/
-        //! gauge, `_count`/`_p50_us`/`_p99_us`/`_max_us` lines per
-        //! histogram, `# type` comment lines between metric families.
+        //! Prometheus text exposition: counters as `name_total`, gauges
+        //! as `name`, histograms as derived `_count`/`_p50_us`/`_p99_us`/
+        //! `_max_us` families; one `# TYPE family kind` line per family
+        //! (emitted once, however samples interleave); label values
+        //! quoted with backslash/quote/newline escaped.
         [[nodiscard]] auto exposition() const -> std::string;
 
     private:

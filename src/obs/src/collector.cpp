@@ -9,6 +9,7 @@ namespace alpaka::obs
         scratch_.clear();
         auto const stats = trace::drain(scratch_);
         ringDropped_ = stats.dropped;
+        drainedTotal_ += stats.events;
         for(auto const& e : scratch_)
         {
             if(cap_ != 0 && events_.size() >= cap_)
@@ -20,4 +21,17 @@ namespace alpaka::obs
         }
         return stats;
     }
+
+    auto Collector::drainAll() -> std::uint64_t
+    {
+        std::uint64_t drained = 0;
+        while(true)
+        {
+            auto const n = poll().events;
+            drained += n;
+            if(n == 0)
+                return drained;
+        }
+    }
 } // namespace alpaka::obs
+

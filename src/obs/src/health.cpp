@@ -1,0 +1,323 @@
+/// \file Rate-window algebra and the health state machine
+/// (DESIGN.md §11.2).
+
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace alpaka::obs
+{
+    void RateWindow::push(Registry snapshot, std::chrono::steady_clock::time_point t)
+    {
+        prev_ = std::move(cur_);
+        prevAt_ = curAt_;
+        cur_ = std::move(snapshot);
+        curAt_ = t;
+        if(have_ < 2)
+            ++have_;
+    }
+
+    auto RateWindow::seconds() const noexcept -> double
+    {
+        if(!ready())
+            return 0.0;
+        return std::chrono::duration<double>(curAt_ - prevAt_).count();
+    }
+
+    auto RateWindow::delta(std::string_view name, std::string_view labels) const noexcept -> double
+    {
+        if(!ready())
+            return 0.0;
+        return cur_.value(name, labels) - prev_.value(name, labels);
+    }
+
+    auto RateWindow::sumDelta(std::string_view name) const noexcept -> double
+    {
+        if(!ready())
+            return 0.0;
+        double sum = 0.0;
+        for(auto const& s : cur_.samples())
+            if(s.name == name)
+                sum += cur_.value(name, s.labels) - prev_.value(name, s.labels);
+        return sum;
+    }
+
+    auto RateWindow::ratePerSec(std::string_view name, std::string_view labels) const noexcept -> double
+    {
+        auto const span = seconds();
+        if(span <= 0.0)
+            return 0.0;
+        return delta(name, labels) / span;
+    }
+
+    auto RateWindow::histDelta(std::string_view name, std::string_view labels) const -> serve::LatencyCounts
+    {
+        serve::LatencyCounts d{};
+        if(!ready())
+            return d;
+        auto const* const cur = cur_.find(name, labels);
+        if(cur == nullptr)
+            return d;
+        auto const* const prev = prev_.find(name, labels);
+        for(std::size_t b = 0; b < serve::LatencyCounts::bucketCount; ++b)
+        {
+            auto const before = prev != nullptr ? prev->hist.counts[b] : 0;
+            d.counts[b] = cur->hist.counts[b] >= before ? cur->hist.counts[b] - before : 0;
+        }
+        d.maxUs = cur->hist.maxUs;
+        return d;
+    }
+
+    auto HealthReport::find(std::string_view component) const noexcept -> ComponentHealth const*
+    {
+        for(auto const& c : components)
+            if(c.component == component)
+                return &c;
+        return nullptr;
+    }
+
+    auto HealthReport::text() const -> std::string
+    {
+        std::string out;
+        out += "fleet ";
+        out += toString(fleet);
+        out += '\n';
+        for(auto const& c : components)
+        {
+            out += c.component;
+            out += ' ';
+            out += toString(c.state);
+            if(!c.reason.empty())
+            {
+                out += ' ';
+                out += c.reason;
+            }
+            out += '\n';
+        }
+        return out;
+    }
+
+    namespace
+    {
+        //! One rule evaluation: worsen (never improve) \p raw to
+        //! \p level, recording the FIRST reason that attains the running
+        //! worst — fixed rule order makes the reason deterministic.
+        void apply(HealthState& raw, std::string& reason, HealthState level, char const* fmt, double v)
+        {
+            if(level == HealthState::Healthy || level <= raw)
+                return;
+            raw = level;
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), fmt, v);
+            reason = buf;
+        }
+
+        //! Two-threshold ratio rule. A degraded threshold of 0 means
+        //! "any nonzero ratio degrades".
+        void ratioRule(
+            HealthState& raw,
+            std::string& reason,
+            double ratio,
+            double degraded,
+            double critical,
+            char const* fmt)
+        {
+            if(ratio >= critical)
+                apply(raw, reason, HealthState::Critical, fmt, ratio);
+            else if(ratio > 0.0 && ratio >= degraded)
+                apply(raw, reason, HealthState::Degraded, fmt, ratio);
+        }
+    } // namespace
+
+    auto HealthModel::evaluate(Registry snapshot, std::chrono::steady_clock::time_point t) -> HealthReport
+    {
+        window_.push(std::move(snapshot), t);
+
+        // ---- raw severities per component (pure window algebra)
+        std::map<std::string, std::pair<HealthState, std::string>, std::less<>> raws;
+        auto const& cur = window_.current();
+        auto const ready = window_.ready();
+
+        // shard/<i>: one component per shard=<i>-labeled serve family.
+        double fleetLost = 0.0;
+        for(auto const& s : cur.samples())
+        {
+            if(s.name != "serve_admitted" || s.labels.rfind("shard=", 0) != 0)
+                continue;
+            auto const& L = s.labels;
+            auto state = HealthState::Healthy;
+            std::string reason;
+            if(ready)
+            {
+                auto const admitted = std::max(1.0, window_.delta("serve_admitted", L));
+                auto const shed
+                    = window_.delta("serve_shed_expired", L) + window_.delta("serve_shed_overload", L);
+                ratioRule(
+                    state,
+                    reason,
+                    shed / admitted,
+                    thresholds_.shedRateDegraded,
+                    thresholds_.shedRateCritical,
+                    "shed_rate=%.3f");
+                auto const completed = std::max(1.0, window_.delta("serve_completed", L));
+                ratioRule(
+                    state,
+                    reason,
+                    window_.delta("serve_failed", L) / completed,
+                    thresholds_.failRateDegraded,
+                    thresholds_.failRateCritical,
+                    "fail_rate=%.3f");
+                auto const lost = window_.delta("serve_workers_lost", L);
+                fleetLost += lost;
+                if(lost >= double(thresholds_.workersLostCritical))
+                    apply(state, reason, HealthState::Critical, "workers_lost=%.0f", lost);
+                else if(lost >= double(thresholds_.workersLostDegraded))
+                    apply(state, reason, HealthState::Degraded, "workers_lost=%.0f", lost);
+                auto const waits = window_.histDelta("serve_queue_wait", L);
+                if(waits.total() >= thresholds_.minWindowSamples && thresholds_.queueWaitBudgetUs != 0)
+                {
+                    auto const ratio
+                        = waits.snapshot().p99Us / double(thresholds_.queueWaitBudgetUs);
+                    ratioRule(
+                        state,
+                        reason,
+                        ratio,
+                        thresholds_.queueWaitDegraded,
+                        thresholds_.queueWaitCritical,
+                        "queue_wait_p99_ratio=%.3f");
+                }
+            }
+            raws["shard/" + L.substr(6, L.find(',') - 6)] = {state, std::move(reason)};
+        }
+
+        // workers: fleet-wide loss streak.
+        {
+            auto state = HealthState::Healthy;
+            std::string reason;
+            if(ready)
+            {
+                if(fleetLost >= double(thresholds_.workersLostCritical))
+                    apply(state, reason, HealthState::Critical, "workers_lost=%.0f", fleetLost);
+                else if(fleetLost >= double(thresholds_.workersLostDegraded))
+                    apply(state, reason, HealthState::Degraded, "workers_lost=%.0f", fleetLost);
+            }
+            raws["workers"] = {state, std::move(reason)};
+        }
+
+        // mempool: windowed miss fraction, guarded by a lookup floor so
+        // warmup (all misses by definition) never pages.
+        bool mempoolPresent = false;
+        for(auto const& s : cur.samples())
+            if(s.name == "mempool_cache_misses")
+            {
+                mempoolPresent = true;
+                break;
+            }
+        if(mempoolPresent)
+        {
+            auto state = HealthState::Healthy;
+            std::string reason;
+            if(ready)
+            {
+                auto const misses = window_.sumDelta("mempool_cache_misses");
+                auto const lookups = misses + window_.sumDelta("mempool_cache_hits");
+                if(lookups >= double(thresholds_.minWindowLookups))
+                    ratioRule(
+                        state,
+                        reason,
+                        misses / lookups,
+                        thresholds_.missRateDegraded,
+                        thresholds_.missRateCritical,
+                        "miss_rate=%.3f");
+            }
+            raws["mempool"] = {state, std::move(reason)};
+        }
+
+        // net: perturbed frames on the door (injected or real).
+        {
+            bool present = false;
+            for(auto const& s : cur.samples())
+                if(s.name == "net_frames_in")
+                {
+                    present = true;
+                    break;
+                }
+            if(present)
+            {
+                auto state = HealthState::Healthy;
+                std::string reason;
+                if(ready)
+                {
+                    auto const perturbed = window_.sumDelta("net_frames_dropped")
+                                           + window_.sumDelta("net_frames_truncated")
+                                           + window_.sumDelta("net_decode_errors");
+                    if(perturbed > 0.0)
+                        apply(state, reason, HealthState::Degraded, "frames_perturbed=%.0f", perturbed);
+                }
+                raws["net"] = {state, std::move(reason)};
+            }
+        }
+
+        // trace: ring-drop fraction of the window's event volume.
+        {
+            bool present = false;
+            for(auto const& s : cur.samples())
+                if(s.name == "trace_events_recorded")
+                {
+                    present = true;
+                    break;
+                }
+            if(present)
+            {
+                auto state = HealthState::Healthy;
+                std::string reason;
+                if(ready)
+                {
+                    auto const recorded = window_.sumDelta("trace_events_recorded");
+                    auto const dropped = window_.sumDelta("trace_events_dropped");
+                    if(recorded + dropped > 0.0)
+                        ratioRule(
+                            state,
+                            reason,
+                            dropped / (recorded + dropped),
+                            thresholds_.ringDropDegraded,
+                            thresholds_.ringDropCritical,
+                            "ring_drop_rate=%.3f");
+                    auto const tableFull = window_.sumDelta("trace_table_full_drops");
+                    if(tableFull > 0.0)
+                        apply(state, reason, HealthState::Degraded, "table_full_drops=%.0f", tableFull);
+                }
+                raws["trace"] = {state, std::move(reason)};
+            }
+        }
+
+        // ---- hysteresis: worsen immediately, recover after calm streak
+        HealthReport report;
+        for(auto& [name, rawPair] : raws)
+        {
+            auto& track = tracks_[name];
+            auto const raw = rawPair.first;
+            if(raw >= track.state)
+            {
+                track.state = raw;
+                track.calm = 0;
+            }
+            else if(++track.calm >= thresholds_.recoverAfter)
+            {
+                track.state = raw;
+                track.calm = 0;
+            }
+            ComponentHealth ch;
+            ch.component = name;
+            ch.state = track.state;
+            ch.raw = raw;
+            ch.reason = std::move(rawPair.second);
+            if(ch.state > report.fleet)
+                report.fleet = ch.state;
+            report.components.push_back(std::move(ch));
+        }
+        last_ = report;
+        return report;
+    }
+} // namespace alpaka::obs

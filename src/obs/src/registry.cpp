@@ -93,61 +93,125 @@ namespace alpaka::obs
             out += buf;
         }
 
-        void appendLine(std::string& out, Sample const& s, std::string_view suffix, double v)
+        //! Prometheus label-value escaping: backslash, double quote and
+        //! newline must travel escaped inside the quoted value.
+        void appendEscaped(std::string& out, std::string_view v)
         {
-            out += s.name;
-            out += suffix;
-            if(!s.labels.empty())
+            for(char const c : v)
             {
-                out += '{';
-                out += s.labels;
-                out += '}';
+                switch(c)
+                {
+                case '\\':
+                    out += "\\\\";
+                    break;
+                case '"':
+                    out += "\\\"";
+                    break;
+                case '\n':
+                    out += "\\n";
+                    break;
+                default:
+                    out += c;
+                }
             }
+        }
+
+        //! Renders the registry's pre-rendered "k=v,k2=v2" label set in
+        //! exposition form: {k="v",k2="v2"}, values escaped. Label
+        //! VALUES must not contain ',' or '=' — the registry's label
+        //! keys are code-chosen (shard, dev, err), not user data.
+        void appendLabels(std::string& out, std::string_view labels)
+        {
+            if(labels.empty())
+                return;
+            out += '{';
+            std::size_t pos = 0;
+            bool first = true;
+            while(pos <= labels.size())
+            {
+                auto comma = labels.find(',', pos);
+                if(comma == std::string_view::npos)
+                    comma = labels.size();
+                auto const pair = labels.substr(pos, comma - pos);
+                auto const eq = pair.find('=');
+                if(!first)
+                    out += ',';
+                first = false;
+                out += pair.substr(0, eq);
+                out += "=\"";
+                if(eq != std::string_view::npos)
+                    appendEscaped(out, pair.substr(eq + 1));
+                out += '"';
+                pos = comma + 1;
+            }
+            out += '}';
+        }
+
+        void appendSample(std::string& out, std::string_view family, std::string_view labels, double v)
+        {
+            out += family;
+            appendLabels(out, labels);
             out += ' ';
             appendValue(out, v);
             out += '\n';
-        }
-
-        auto kindName(MetricKind k) -> char const*
-        {
-            switch(k)
-            {
-            case MetricKind::Counter:
-                return "counter";
-            case MetricKind::Gauge:
-                return "gauge";
-            case MetricKind::Histogram:
-                return "histogram";
-            }
-            return "?";
         }
     } // namespace
 
     auto Registry::exposition() const -> std::string
     {
         std::string out;
-        std::string_view prev;
+        // Families whose `# TYPE` line is already out — emitted once per
+        // family no matter how sample names interleave (conformance:
+        // duplicate TYPE lines are invalid exposition).
+        std::vector<std::string> typed;
+        auto const typeLine = [&](std::string const& family, char const* kind)
+        {
+            for(auto const& f : typed)
+                if(f == family)
+                    return;
+            typed.push_back(family);
+            out += "# TYPE ";
+            out += family;
+            out += ' ';
+            out += kind;
+            out += '\n';
+        };
         for(auto const& s : samples_)
         {
-            if(s.name != prev)
+            switch(s.kind)
             {
-                out += "# ";
-                out += kindName(s.kind);
-                out += ' ';
-                out += s.name;
-                out += '\n';
-                prev = s.name;
+            case MetricKind::Counter:
+            {
+                // Conformance: counter families carry the _total suffix.
+                auto const family = s.name + "_total";
+                typeLine(family, "counter");
+                appendSample(out, family, s.labels, s.value);
+                break;
             }
-            if(s.kind == MetricKind::Histogram)
+            case MetricKind::Gauge:
+                typeLine(s.name, "gauge");
+                appendSample(out, s.name, s.labels, s.value);
+                break;
+            case MetricKind::Histogram:
             {
+                // Log2-bucket histograms export their derived quantiles:
+                // a monotonic _count plus p50/p99/max gauges (the raw
+                // buckets stay an in-process merge artifact). _count
+                // follows the histogram convention — no _total.
                 auto const snap = s.hist.snapshot();
-                appendLine(out, s, "_count", double(snap.count));
-                appendLine(out, s, "_p50_us", snap.p50Us);
-                appendLine(out, s, "_p99_us", snap.p99Us);
-                appendLine(out, s, "_max_us", snap.maxUs);
+                auto const emit = [&](char const* suffix, char const* kind, double v)
+                {
+                    auto const family = s.name + suffix;
+                    typeLine(family, kind);
+                    appendSample(out, family, s.labels, v);
+                };
+                emit("_count", "counter", double(snap.count));
+                emit("_p50_us", "gauge", snap.p50Us);
+                emit("_p99_us", "gauge", snap.p99Us);
+                emit("_max_us", "gauge", snap.maxUs);
+                break;
             }
-            else
-                appendLine(out, s, "", s.value);
+            }
         }
         return out;
     }
@@ -206,6 +270,8 @@ namespace alpaka::obs
         reg.counter("net_frames_dropped", double(s.framesDropped), labels);
         reg.counter("net_frames_duplicated", double(s.framesDuplicated), labels);
         reg.counter("net_frames_truncated", double(s.framesTruncated), labels);
+        reg.counter("net_admin_requests", double(s.adminRequests), labels);
+        reg.counter("net_admin_chunks", double(s.adminChunks), labels);
         for(std::size_t i = 0; i < s.decodeErrors.size(); ++i)
         {
             if(s.decodeErrors[i] == 0)

@@ -121,6 +121,13 @@ namespace alpaka::serve
         //! at the watermark. Requests without a deadline are never shed.
         //! 0 (default) disables shedding.
         std::size_t shedWatermark = 0;
+        //! Advisory SLO: the queue-wait budget this service is operated
+        //! against. Purely declarative — admission and shedding never
+        //! read it — but it travels out through ServiceStats so the
+        //! health model (obs::HealthModel, DESIGN.md §11.2) compares the
+        //! windowed queue-wait p99 to the budget the OPERATOR set
+        //! instead of a one-size-fits-all default. 0 = unset.
+        std::chrono::microseconds queueWaitBudget{0};
     };
 
     class Service

@@ -418,6 +418,9 @@ namespace alpaka::serve
         //! recorded unconditionally (a metric, not a trace event).
         LatencySnapshot queueWait;
         LatencyCounts queueWaitCounts;
+        //! The operator-declared queue-wait SLO budget
+        //! (ServiceOptions::queueWaitBudget); 0 = unset.
+        std::uint64_t queueWaitBudgetUs = 0;
         std::vector<TenantStats> tenants;
         //! One entry per distinct device of the worker fleet, via the
         //! coherent mempool::Pool::stats() snapshot.

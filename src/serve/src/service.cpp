@@ -1192,6 +1192,7 @@ namespace alpaka::serve
         s.latency = s.latencyCounts.snapshot();
         s.queueWaitCounts = queueWait_.counts();
         s.queueWait = s.queueWaitCounts.snapshot();
+        s.queueWaitBudgetUs = static_cast<std::uint64_t>(options_.queueWaitBudget.count());
 
         // One entry per distinct pool of the fleet, via the coherent
         // single-lock snapshot. slotInfo_ is immutable, so this never

@@ -5,6 +5,7 @@
 /// propagation, typed rejections, the Bye drain handshake, protocol
 /// hostility (garbage, oversized frames), and the steady-state
 /// allocation audit over the whole wire path.
+#include <net/admin.hpp>
 #include <net/client.hpp>
 #include <net/front_door.hpp>
 #include <net/router.hpp>
@@ -417,6 +418,33 @@ TEST(NetSession, SteadyStateWirePathAllocatesNothing)
     net::Router router(smallRouter());
     auto const tmpl = router.registerTemplate(incrementTemplate());
     Session s(router);
+
+    // An admin provider rides along: the plane is DELIBERATELY off the
+    // audited surface (its handlers allocate), but its presence on the
+    // door must not make the tenant path allocate. Minimal in-test
+    // provider — net's own interface, no obs dependency.
+    struct StubProvider : net::AdminProvider
+    {
+        auto handleAdmin(net::FrameType, std::uint32_t, std::string& body) -> net::Status override
+        {
+            body = "fleet healthy\n";
+            return net::Status::Ok;
+        }
+    } provider;
+    s.door.setAdminProvider(&provider);
+    // One full admin exchange before the audit, so every admin-side
+    // lazy path (stream state, chunk staging) is exercised and warm.
+    {
+        auto const adminId = s.client->tryAdmin(net::FrameType::HealthCheck);
+        ASSERT_NE(adminId, 0U);
+        bool final = false;
+        ASSERT_TRUE(pollUntil(
+            s.door,
+            *s.client,
+            [&](Client::Response const& r)
+            { final = final || (r.reqId == adminId && r.status != net::Status::Partial); },
+            [&] { return final; }));
+    }
 
     std::array<std::byte, 32> payload{};
     auto roundTrips = [&](int count)

@@ -1,0 +1,401 @@
+/// \file Health model and rolling-rate window (DESIGN.md §11.2) — pure
+/// snapshot algebra, so everything here runs on synthetic registries
+/// with caller-supplied timestamps and NEVER sleeps: window deltas and
+/// rates, exact bucket-wise histogram windows, every threshold rule
+/// (shed/fail/workers/queue-wait-SLO/mempool/net/trace), the
+/// worsen-immediately-recover-slowly hysteresis, and the determinism
+/// pin (same snapshot sequence ⇒ same transition sequence).
+#include <obs/health.hpp>
+
+#include <serve/latency.hpp>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace alpaka;
+using namespace std::chrono_literals;
+
+namespace
+{
+    //! Synthetic clock: the window never reads a real one.
+    [[nodiscard]] auto at(int seconds) -> std::chrono::steady_clock::time_point
+    {
+        return std::chrono::steady_clock::time_point{} + std::chrono::seconds(seconds);
+    }
+
+    //! Cumulative counters of one synthetic shard, as collect() would
+    //! have rendered them.
+    struct ShardCounters
+    {
+        double admitted = 0;
+        double completed = 0;
+        double failed = 0;
+        double shedExpired = 0;
+        double shedOverload = 0;
+        double workersLost = 0;
+        serve::LatencyCounts queueWait{};
+    };
+
+    void addShard(obs::Registry& reg, std::string const& label, ShardCounters const& c)
+    {
+        reg.counter("serve_admitted", c.admitted, label);
+        reg.counter("serve_completed", c.completed, label);
+        reg.counter("serve_failed", c.failed, label);
+        reg.counter("serve_shed_expired", c.shedExpired, label);
+        reg.counter("serve_shed_overload", c.shedOverload, label);
+        reg.counter("serve_workers_lost", c.workersLost, label);
+        reg.histogram("serve_queue_wait", c.queueWait, label);
+    }
+
+    [[nodiscard]] auto shardSnapshot(ShardCounters const& c) -> obs::Registry
+    {
+        obs::Registry reg;
+        addShard(reg, "shard=0", c);
+        return reg;
+    }
+
+    [[nodiscard]] auto waits(std::uint64_t n, std::uint64_t us) -> serve::LatencyCounts
+    {
+        serve::LatencyHistogram h;
+        for(std::uint64_t i = 0; i < n; ++i)
+            h.record(us);
+        return h.counts();
+    }
+} // namespace
+
+TEST(RateWindow, NotReadyUntilTwoSnapshots)
+{
+    obs::RateWindow w;
+    EXPECT_FALSE(w.ready());
+    EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(w.delta("x"), 0.0);
+
+    obs::Registry one;
+    one.counter("x", 10);
+    w.push(std::move(one), at(0));
+    EXPECT_FALSE(w.ready());
+    EXPECT_DOUBLE_EQ(w.ratePerSec("x"), 0.0);
+
+    obs::Registry two;
+    two.counter("x", 30);
+    w.push(std::move(two), at(2));
+    EXPECT_TRUE(w.ready());
+    EXPECT_DOUBLE_EQ(w.seconds(), 2.0);
+    EXPECT_DOUBLE_EQ(w.delta("x"), 20.0);
+    EXPECT_DOUBLE_EQ(w.ratePerSec("x"), 10.0);
+}
+
+TEST(RateWindow, DeltasSumLabelsAndGaugesGoBothWays)
+{
+    obs::RateWindow w;
+    obs::Registry a;
+    a.counter("hits", 5, "shard=0");
+    a.counter("hits", 7, "shard=1");
+    a.gauge("depth", 9);
+    w.push(std::move(a), at(0));
+    obs::Registry b;
+    b.counter("hits", 6, "shard=0");
+    b.counter("hits", 10, "shard=1");
+    b.gauge("depth", 4);
+    w.push(std::move(b), at(1));
+
+    EXPECT_DOUBLE_EQ(w.delta("hits", "shard=0"), 1.0);
+    EXPECT_DOUBLE_EQ(w.delta("hits", "shard=1"), 3.0);
+    EXPECT_DOUBLE_EQ(w.sumDelta("hits"), 4.0);
+    EXPECT_DOUBLE_EQ(w.delta("depth"), -5.0) << "gauges are levels; the window must not clamp them";
+    // A series born inside the window deltas from zero.
+    EXPECT_DOUBLE_EQ(w.delta("hits", "shard=2"), 0.0);
+}
+
+TEST(RateWindow, HistDeltaIsExactBucketSubtraction)
+{
+    serve::LatencyHistogram cumulative;
+    for(int i = 0; i < 10; ++i)
+        cumulative.record(100); // old samples
+    obs::Registry a;
+    a.histogram("lat", cumulative.counts());
+
+    obs::RateWindow w;
+    w.push(std::move(a), at(0));
+    for(int i = 0; i < 3; ++i)
+        cumulative.record(100'000); // the window's samples
+    obs::Registry b;
+    b.histogram("lat", cumulative.counts());
+    w.push(std::move(b), at(1));
+
+    auto const d = w.histDelta("lat");
+    EXPECT_EQ(d.total(), 3U) << "only the window's samples";
+    EXPECT_EQ(d.maxUs, 100'000U);
+    auto const snap = d.snapshot();
+    EXPECT_DOUBLE_EQ(snap.p99Us, 100'000.0) << "quantile clamps to the observed max";
+
+    // Absent in the previous snapshot: the full distribution is new.
+    obs::RateWindow fresh;
+    fresh.push(obs::Registry{}, at(0));
+    obs::Registry c;
+    c.histogram("lat", cumulative.counts());
+    fresh.push(std::move(c), at(1));
+    EXPECT_EQ(fresh.histDelta("lat").total(), 13U);
+    EXPECT_EQ(fresh.histDelta("absent").total(), 0U);
+}
+
+TEST(HealthModel, HealthyUntilWindowReady)
+{
+    obs::HealthModel model;
+    ShardCounters c;
+    c.admitted = 100;
+    c.shedOverload = 100; // would be critical if a rate existed
+    auto const report = model.evaluate(shardSnapshot(c), at(0));
+    ASSERT_NE(report.find("shard/0"), nullptr);
+    EXPECT_EQ(report.find("shard/0")->state, obs::HealthState::Healthy);
+    EXPECT_EQ(report.fleet, obs::HealthState::Healthy) << "a rate needs an interval";
+}
+
+TEST(HealthModel, ShedRateDegradesThenCritical)
+{
+    obs::HealthModel model;
+    ShardCounters c;
+    c.admitted = 1000;
+    model.evaluate(shardSnapshot(c), at(0));
+
+    c.admitted = 2000;
+    c.shedOverload = 50; // 50/1000 = 0.05 ≥ 0.01 degraded, < 0.10 critical
+    auto r = model.evaluate(shardSnapshot(c), at(1));
+    ASSERT_NE(r.find("shard/0"), nullptr);
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("shard/0")->reason, "shed_rate=0.050");
+    EXPECT_EQ(r.fleet, obs::HealthState::Degraded);
+
+    c.admitted = 3000;
+    c.shedExpired = 250; // 250/1000 = 0.25 ≥ 0.10 — expired sheds count too
+    r = model.evaluate(shardSnapshot(c), at(2));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("shard/0")->reason, "shed_rate=0.250");
+}
+
+TEST(HealthModel, FailRateAgainstWindowCompletions)
+{
+    obs::HealthModel model;
+    ShardCounters c;
+    c.completed = 100;
+    c.admitted = 100;
+    model.evaluate(shardSnapshot(c), at(0));
+    c.completed = 200;
+    c.admitted = 200;
+    c.failed = 10; // 10/100 = 0.10 ≥ 0.05 degraded
+    auto const r = model.evaluate(shardSnapshot(c), at(1));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("shard/0")->reason, "fail_rate=0.100");
+}
+
+TEST(HealthModel, WorkersLostPerShardAndFleetWide)
+{
+    obs::HealthModel model;
+    obs::Registry a;
+    addShard(a, "shard=0", {});
+    addShard(a, "shard=1", {});
+    model.evaluate(std::move(a), at(0));
+
+    // Each shard loses 2 workers: per-shard degraded (2 < 3), but the
+    // fleet-wide component sees 4 ≥ 3 — critical.
+    ShardCounters lost;
+    lost.workersLost = 2;
+    obs::Registry b;
+    addShard(b, "shard=0", lost);
+    addShard(b, "shard=1", lost);
+    auto const r = model.evaluate(std::move(b), at(1));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("shard/0")->reason, "workers_lost=2");
+    EXPECT_EQ(r.find("shard/1")->state, obs::HealthState::Degraded);
+    ASSERT_NE(r.find("workers"), nullptr);
+    EXPECT_EQ(r.find("workers")->state, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("workers")->reason, "workers_lost=4");
+    EXPECT_EQ(r.fleet, obs::HealthState::Critical);
+}
+
+TEST(HealthModel, QueueWaitSloRatioAndSampleFloor)
+{
+    obs::HealthThresholds t;
+    t.queueWaitBudgetUs = 1'000'000;
+    obs::HealthModel model(t);
+
+    ShardCounters c;
+    model.evaluate(shardSnapshot(c), at(0));
+
+    // 15 windowed samples at 60% of budget — the ratio would fire, but
+    // a sub-16-sample window has no meaningful p99: no verdict.
+    c.queueWait = waits(15, 600'000);
+    auto r = model.evaluate(shardSnapshot(c), at(1));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Healthy);
+
+    // 32 fresh samples at 600ms against a 1s budget: ratio 0.6 ≥ 0.5.
+    c.queueWait.merge(waits(32, 600'000));
+    r = model.evaluate(shardSnapshot(c), at(2));
+    EXPECT_EQ(r.find("shard/0")->raw, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("shard/0")->reason, "queue_wait_p99_ratio=0.600");
+
+    // Budget blown: 32 samples at 1.5s — ratio 1.5 ≥ 1.0.
+    c.queueWait.merge(waits(32, 1'500'000));
+    r = model.evaluate(shardSnapshot(c), at(3));
+    EXPECT_EQ(r.find("shard/0")->raw, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("shard/0")->reason, "queue_wait_p99_ratio=1.500");
+}
+
+TEST(HealthModel, HysteresisWorsensImmediatelyRecoversAfterCalmStreak)
+{
+    obs::HealthModel model; // recoverAfter = 2
+    ShardCounters c;
+    c.admitted = 1000;
+    model.evaluate(shardSnapshot(c), at(0));
+
+    c.admitted = 2000;
+    c.shedOverload = 500; // critical, immediately
+    auto r = model.evaluate(shardSnapshot(c), at(1));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+
+    // First calm window: raw is healthy but the held state persists.
+    c.admitted = 3000;
+    r = model.evaluate(shardSnapshot(c), at(2));
+    EXPECT_EQ(r.find("shard/0")->raw, obs::HealthState::Healthy);
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical) << "one calm window must not clear a page";
+    EXPECT_EQ(r.fleet, obs::HealthState::Critical);
+
+    // Second consecutive calm window: recovered.
+    c.admitted = 4000;
+    r = model.evaluate(shardSnapshot(c), at(3));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Healthy);
+    EXPECT_EQ(r.fleet, obs::HealthState::Healthy);
+}
+
+TEST(HealthModel, RelapseResetsTheCalmStreak)
+{
+    obs::HealthModel model;
+    ShardCounters c;
+    c.admitted = 1000;
+    model.evaluate(shardSnapshot(c), at(0));
+    c.admitted = 2000;
+    c.shedOverload = 500;
+    model.evaluate(shardSnapshot(c), at(1)); // critical
+    c.admitted = 3000;
+    model.evaluate(shardSnapshot(c), at(2)); // calm #1
+    c.admitted = 4000;
+    c.shedOverload = 1000; // relapse — streak resets
+    model.evaluate(shardSnapshot(c), at(3));
+    c.admitted = 5000;
+    auto r = model.evaluate(shardSnapshot(c), at(4)); // calm #1 again
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+    c.admitted = 6000;
+    r = model.evaluate(shardSnapshot(c), at(5)); // calm #2 — now it clears
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Healthy);
+}
+
+TEST(HealthModel, MempoolMissRateGuardedByLookupFloor)
+{
+    obs::HealthModel model;
+    obs::Registry a;
+    a.counter("mempool_cache_hits", 0);
+    a.counter("mempool_cache_misses", 0);
+    model.evaluate(std::move(a), at(0));
+
+    // 32 lookups, all misses — warmup-sized, below the floor of 64.
+    obs::Registry b;
+    b.counter("mempool_cache_hits", 0);
+    b.counter("mempool_cache_misses", 32);
+    auto r = model.evaluate(std::move(b), at(1));
+    ASSERT_NE(r.find("mempool"), nullptr);
+    EXPECT_EQ(r.find("mempool")->state, obs::HealthState::Healthy) << "warmup windows must not page";
+
+    // 128 lookups, 124 misses: 0.969 ≥ 0.90 — critical.
+    obs::Registry c;
+    c.counter("mempool_cache_hits", 4);
+    c.counter("mempool_cache_misses", 156);
+    r = model.evaluate(std::move(c), at(2));
+    EXPECT_EQ(r.find("mempool")->raw, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("mempool")->reason, "miss_rate=0.969");
+}
+
+TEST(HealthModel, NetAndTraceComponents)
+{
+    obs::HealthModel model;
+    auto const snap = [](double framesIn, double dropped, double recorded, double ringDropped, double tableFull)
+    {
+        obs::Registry reg;
+        reg.counter("net_frames_in", framesIn);
+        reg.counter("net_frames_dropped", dropped);
+        reg.counter("trace_events_recorded", recorded);
+        reg.counter("trace_events_dropped", ringDropped);
+        reg.counter("trace_table_full_drops", tableFull);
+        return reg;
+    };
+    model.evaluate(snap(100, 0, 1000, 0, 0), at(0));
+
+    auto r = model.evaluate(snap(200, 2, 2000, 0, 0), at(1));
+    ASSERT_NE(r.find("net"), nullptr);
+    EXPECT_EQ(r.find("net")->state, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("net")->reason, "frames_perturbed=2");
+    EXPECT_EQ(r.find("trace")->state, obs::HealthState::Healthy);
+
+    // Any ring drop degrades (ringDropDegraded = 0); a 20% drop
+    // fraction of the window's volume is critical (≥ 0.10).
+    r = model.evaluate(snap(300, 2, 2800, 200, 0), at(2));
+    EXPECT_EQ(r.find("trace")->raw, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("trace")->reason, "ring_drop_rate=0.200");
+
+    // Thread-table overflow is a Degraded fact of its own.
+    r = model.evaluate(snap(400, 2, 2900, 200, 1), at(3));
+    EXPECT_EQ(r.find("trace")->raw, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("trace")->reason, "table_full_drops=1");
+}
+
+TEST(HealthModel, ReportTextShapeAndDeterministicOrder)
+{
+    obs::HealthModel model;
+    obs::Registry reg;
+    addShard(reg, "shard=1", {});
+    addShard(reg, "shard=0", {});
+    reg.counter("mempool_cache_misses", 0);
+    reg.counter("net_frames_in", 0);
+    reg.counter("trace_events_recorded", 0);
+    auto const r = model.evaluate(std::move(reg), at(0));
+
+    std::vector<std::string> names;
+    for(auto const& c : r.components)
+        names.push_back(c.component);
+    EXPECT_EQ(names, (std::vector<std::string>{"mempool", "net", "shard/0", "shard/1", "trace", "workers"}));
+
+    auto const text = r.text();
+    EXPECT_EQ(text.rfind("fleet healthy\n", 0), 0U);
+    EXPECT_NE(text.find("shard/0 healthy\n"), std::string::npos);
+    EXPECT_EQ(r.find("absent"), nullptr);
+}
+
+//! The determinism pin behind the chaos lane: health is a pure function
+//! of the snapshot sequence, so two models fed the same sequence emit
+//! byte-identical reports.
+TEST(HealthModel, SameSnapshotSequenceSameTransitionSequence)
+{
+    auto const run = []
+    {
+        obs::HealthModel model;
+        std::string transcript;
+        ShardCounters c;
+        for(int tick = 0; tick < 8; ++tick)
+        {
+            c.admitted += 1000;
+            c.shedOverload += (tick == 2 || tick == 3) ? 300 : 0;
+            c.failed += tick == 5 ? 60 : 0;
+            c.completed += 940;
+            transcript += model.evaluate(shardSnapshot(c), at(tick)).text();
+        }
+        return transcript;
+    };
+    auto const first = run();
+    EXPECT_EQ(first, run());
+    // And the transcript really contains transitions, not a flat line.
+    EXPECT_NE(first.find("critical"), std::string::npos);
+    EXPECT_NE(first.find("degraded"), std::string::npos);
+    EXPECT_NE(first.find("fleet healthy"), std::string::npos);
+}

@@ -1,0 +1,302 @@
+/// \file Chaos-lane health determinism (DESIGN.md §11.2, satellite c):
+/// seeded fault plans — a worker stall, an upstream OOM, a frame-drop
+/// storm — drive REAL services, and the health model's typed transition
+/// sequence over the resulting snapshots is pinned: worsen on the
+/// window that shows the fault, hold through one calm window, recover
+/// on the second; and the same seed yields the same transcript. Skips
+/// without ALPAKA_REPRO_FAULTINJECT (the chaos lanes).
+#include <obs/health.hpp>
+#include <obs/registry.hpp>
+
+#include <net/client.hpp>
+#include <net/front_door.hpp>
+#include <net/router.hpp>
+#include <net/transport.hpp>
+
+#include <serve/service.hpp>
+
+#include <alpaka/alpaka.hpp>
+#include <alpaka/core/fault.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+
+using namespace alpaka;
+using namespace std::chrono_literals;
+
+#if defined(ALPAKA_REPRO_FAULTINJECT)
+#    define REQUIRES_FAULTINJECT() (void) 0
+#else
+#    define REQUIRES_FAULTINJECT() GTEST_SKIP() << "built without ALPAKA_REPRO_FAULTINJECT"
+#endif
+
+namespace
+{
+    //! Synthetic evaluation clock — health ticks are driven by the
+    //! test, not by wall time.
+    [[nodiscard]] auto at(int seconds) -> std::chrono::steady_clock::time_point
+    {
+        return std::chrono::steady_clock::time_point{} + std::chrono::seconds(seconds);
+    }
+
+    struct Payload
+    {
+        double in = 0.0;
+        double out = 0.0;
+    };
+
+    [[nodiscard]] auto scaleTemplate(std::size_t maxBatch, std::size_t scratchBytes = sizeof(double))
+        -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "scale";
+        desc.scratchBytes = scratchBytes;
+        desc.maxBatch = maxBatch;
+        desc.body = [](serve::RequestItem const& item)
+        {
+            auto* const p = static_cast<Payload*>(item.payload);
+            auto* const scratch = static_cast<double*>(item.scratch);
+            *scratch = p->in * 2.0;
+            p->out = *scratch + 1.0;
+        };
+        return desc;
+    }
+
+    [[nodiscard]] auto snapshotOf(serve::Service& svc) -> obs::Registry
+    {
+        obs::Registry reg;
+        obs::collect(reg, svc.stats(), "shard=0");
+        return reg;
+    }
+} // namespace
+
+//! An injected worker stall: the supervisor declares the worker lost,
+//! and the loss surfaces as a typed Degraded verdict on BOTH the shard
+//! and the fleet-wide workers component — then hysteresis holds the
+//! page for exactly one calm window.
+TEST(HealthChaos, WorkerStallDrivesTypedTransitionSequence)
+{
+    REQUIRES_FAULTINJECT();
+    serve::ServiceOptions options;
+    options.cpuWorkers = 1;
+    options.stallTimeout = 50ms;
+    serve::Service svc(std::move(options));
+    auto const id = svc.registerTemplate(scaleTemplate(4));
+
+    obs::HealthModel model;
+    auto r = model.evaluate(snapshotOf(svc), at(0));
+    EXPECT_EQ(r.fleet, obs::HealthState::Healthy);
+
+    fault::Plan plan;
+    plan.delay("serve.worker_stall", 400ms, fault::Trigger::once(1));
+    Payload stalled{1.0, 0.0};
+    EXPECT_THROW(svc.submit(id, "t", &stalled).wait(), serve::WorkerLostError);
+    // The supervisor completes futures BEFORE accounting (with the
+    // replacement worker built in between); drain() is the barrier
+    // that may not return between the two, so after it the lost
+    // batch's failed-completion counters are visible.
+    svc.drain();
+    ASSERT_EQ(svc.stats().workersLost, 1U);
+
+    // The window that shows the loss: worsen immediately, typed. The
+    // stalled request resolves as a failed completion, so the shard's
+    // first-worst verdict is the fail rate (rule order is fixed); the
+    // loss itself is the fleet-wide workers component's verdict.
+    r = model.evaluate(snapshotOf(svc), at(1));
+    ASSERT_NE(r.find("shard/0"), nullptr);
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("shard/0")->reason, "fail_rate=1.000");
+    ASSERT_NE(r.find("workers"), nullptr);
+    EXPECT_EQ(r.find("workers")->state, obs::HealthState::Degraded);
+    EXPECT_EQ(r.find("workers")->reason, "workers_lost=1");
+    EXPECT_EQ(r.fleet, obs::HealthState::Critical);
+
+    // The restarted worker serves; one calm window holds the page...
+    Payload p{2.0, 0.0};
+    svc.submit(id, "t", &p).wait();
+    EXPECT_DOUBLE_EQ(p.out, 5.0);
+    r = model.evaluate(snapshotOf(svc), at(2));
+    EXPECT_EQ(r.find("shard/0")->raw, obs::HealthState::Healthy);
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+
+    // ...and the second calm window clears it.
+    r = model.evaluate(snapshotOf(svc), at(3));
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Healthy);
+    EXPECT_EQ(r.fleet, obs::HealthState::Healthy);
+}
+
+//! An upstream OOM on both allocation attempts fails the batch typed;
+//! the failed/completed window ratio pages Critical, then recovers
+//! through the calm streak once traffic succeeds again.
+TEST(HealthChaos, UpstreamOomDrivesFailRateTransitions)
+{
+    REQUIRES_FAULTINJECT();
+    auto dev = dev::PltfCudaSim::getDevByIdx(0);
+    serve::ServiceOptions options;
+    options.cpuWorkers = 0;
+    options.simDevs = {dev};
+    serve::Service svc(std::move(options));
+    // Prewarm a small-class cached block so the armed schedule covers
+    // the first attempt AND its trim-retry (see test_service_faults).
+    auto const smallId = svc.registerTemplate(scaleTemplate(1, 64));
+    Payload warm{1.0, 0.0};
+    svc.submit(smallId, "t", &warm).wait();
+    svc.drain();
+    auto const id = svc.registerTemplate(scaleTemplate(1, 256 * 1024));
+
+    obs::HealthModel model;
+    model.evaluate(snapshotOf(svc), at(0));
+
+    fault::Plan plan;
+    plan.fail(
+        "mempool.upstream_oom",
+        fault::Trigger{1, 1, 1.0, 2},
+        [] { return std::make_exception_ptr(std::bad_alloc()); });
+    Payload p{5.0, 0.0};
+    EXPECT_THROW(svc.submit(id, "t", &p).wait(), std::bad_alloc);
+    svc.drain();
+
+    // The only completion in the window failed: fail_rate 1.000.
+    auto r = model.evaluate(snapshotOf(svc), at(1));
+    ASSERT_NE(r.find("shard/0"), nullptr);
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Critical);
+    EXPECT_EQ(r.find("shard/0")->reason, "fail_rate=1.000");
+
+    // Healthy traffic; two calm windows clear the page.
+    for(int tick = 2; tick <= 3; ++tick)
+    {
+        Payload q{6.0, 0.0};
+        svc.submit(id, "t", &q).wait();
+        EXPECT_DOUBLE_EQ(q.out, 13.0);
+        r = model.evaluate(snapshotOf(svc), at(tick));
+    }
+    EXPECT_EQ(r.find("shard/0")->state, obs::HealthState::Healthy);
+}
+
+namespace
+{
+    struct TestCfg
+    {
+        static constexpr std::size_t maxConnections = 2;
+        static constexpr std::size_t slotsPerConnection = 8;
+        static constexpr std::size_t maxPayload = 64;
+        static constexpr std::size_t maxTenantBytes = 32;
+        static constexpr std::size_t window = 32;
+        static constexpr std::size_t txFrames = 4;
+    };
+
+    [[nodiscard]] auto incrementTemplate() -> serve::TemplateDesc
+    {
+        serve::TemplateDesc desc;
+        desc.name = "increment";
+        desc.maxBatch = 8;
+        desc.body = [](serve::RequestItem const& item)
+        {
+            auto* const bytes = static_cast<unsigned char*>(item.payload);
+            for(std::size_t i = 0; i < item.payloadSize; ++i)
+                bytes[i] = static_cast<unsigned char>(bytes[i] + 1);
+        };
+        return desc;
+    }
+
+    //! One seeded frame-drop storm over a live door; returns the health
+    //! transcript of (before, after) evaluations. A pure function of
+    //! the seed: the drop schedule is hit-index-deterministic and the
+    //! health model is snapshot-deterministic.
+    [[nodiscard]] auto stormTranscript(std::uint64_t seed) -> std::string
+    {
+        net::RouterOptions opt;
+        opt.shards = 1;
+        opt.shard.cpuWorkers = 1;
+        opt.shard.queueCapacity = 64;
+        net::Router router(opt);
+        auto const tmpl = router.registerTemplate(incrementTemplate());
+        net::FrontDoor<TestCfg> door(router);
+        auto [serverEnd, clientEnd] = net::makePipePair();
+        EXPECT_TRUE(door.accept(std::move(serverEnd)));
+        net::Client<TestCfg> client(std::move(clientEnd));
+        client.hello("tenant");
+
+        auto const pollUntil = [&](auto&& done, std::chrono::milliseconds budget = 5000ms)
+        {
+            auto const until = std::chrono::steady_clock::now() + budget;
+            int got = 0;
+            while(!done(got))
+            {
+                if(std::chrono::steady_clock::now() > until)
+                    return false;
+                bool const progress = door.poll(std::chrono::steady_clock::now())
+                                      | static_cast<int>(client.poll([&](auto const&) { ++got; }));
+                if(!progress)
+                    std::this_thread::sleep_for(100us);
+            }
+            return true;
+        };
+        EXPECT_TRUE(pollUntil([&](int) { return client.ready(); }));
+
+        obs::HealthModel model;
+        std::string transcript;
+        {
+            obs::Registry reg;
+            obs::collect(reg, door.stats());
+            transcript += model.evaluate(std::move(reg), at(0)).text();
+        }
+
+        // Arm AFTER the handshake so hit 1 is the first response frame —
+        // the schedule is identical run to run.
+        fault::Plan plan(seed);
+        plan.fail("net.frame_drop", fault::Trigger::withProbability(0.5));
+        constexpr int total = 24;
+        std::array<std::byte, 8> payload{};
+        int sent = 0;
+        EXPECT_TRUE(pollUntil(
+            [&](int got)
+            {
+                while(sent < total && client.trySubmit(tmpl, payload.data(), payload.size()) != 0)
+                    ++sent;
+                return sent == total && got + static_cast<int>(door.stats().framesDropped) >= total;
+            }));
+        EXPECT_GT(door.stats().framesDropped, 0U) << "the storm must have dropped something";
+
+        {
+            obs::Registry reg;
+            obs::collect(reg, door.stats());
+            transcript += model.evaluate(std::move(reg), at(1)).text();
+        }
+        transcript += "dropped=" + std::to_string(door.stats().framesDropped) + "\n";
+        router.drain();
+        return transcript;
+    }
+} // namespace
+
+//! Frame drops degrade the net component with a typed reason, and the
+//! whole storm→health pipeline is seed-reproducible end to end.
+TEST(HealthChaos, FrameDropStormIsSeedDeterministicEndToEnd)
+{
+    REQUIRES_FAULTINJECT();
+    auto const first = stormTranscript(0x5eed);
+    EXPECT_NE(first.find("net degraded frames_perturbed="), std::string::npos) << first;
+    EXPECT_EQ(first, stormTranscript(0x5eed)) << "same seed, same transition transcript";
+}
+
+//! The offline schedule pin for every site this suite arms: the pure
+//! decision function re-derives each plan's choices without running the
+//! world (DESIGN.md §7.2).
+TEST(HealthChaos, SchedulesRederiveOffline)
+{
+    REQUIRES_FAULTINJECT();
+    auto const seed = fault::Plan::envSeed();
+    auto const trigger = fault::Trigger::withProbability(0.25);
+    for(auto const* site : {"serve.worker_stall", "mempool.upstream_oom", "net.frame_drop"})
+        for(std::uint64_t hit = 1; hit <= 32; ++hit)
+            EXPECT_EQ(
+                fault::Plan::decides(seed, site, trigger, hit),
+                fault::Plan::decides(seed, site, trigger, hit))
+                << site << " hit " << hit;
+}

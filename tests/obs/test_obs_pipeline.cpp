@@ -6,6 +6,7 @@
 /// target), the queue-wait histogram fills unconditionally, and the
 /// traced steady state allocates NOTHING (invariant 24, audited under
 /// ALPAKA_REPRO_ALLOCTRACK like the §8.9 serving audit).
+#include <obs/admin.hpp>
 #include <obs/collector.hpp>
 #include <obs/registry.hpp>
 #include <obs/trace_json.hpp>
@@ -270,6 +271,53 @@ TEST(ObsPipeline, TracedSteadyStateAllocatesNothing)
                                   << " time(s) (invariant 24)";
     if(trace::compiledIn())
         EXPECT_GT(drainedEvents, 0u) << "the audit must actually have exercised the recording path";
+}
+
+//! The shutdown final flush (DESIGN.md §11.3, satellite b): after
+//! AdminPlane::shutdown() stops the fleet and drains the collector
+//! until dry, the books balance exactly — every event the rings
+//! published during the run was delivered to the collector (ring
+//! overruns are accounted separately and never inside recordedTotal).
+TEST(ObsPipeline, ShutdownFinalFlushDrainsEverythingRecorded)
+{
+    if(!trace::compiledIn())
+        GTEST_SKIP() << "built without ALPAKA_REPRO_TRACE";
+    flushRings();
+    auto const recordedBefore = trace::recordedTotal();
+    auto const droppedBefore = trace::droppedTotal();
+
+    net::RouterOptions opt;
+    opt.shards = 2;
+    opt.shard.cpuWorkers = 1;
+    opt.shard.queueCapacity = 64;
+    net::Router router(opt);
+    auto const tmpl = router.registerTemplate(incrementTemplate());
+    obs::AdminPlane plane(router);
+
+    unsigned char p[8] = {};
+    for(std::uint64_t i = 1; i <= 500; ++i)
+    {
+        serve::Request req;
+        req.tmpl = tmpl;
+        req.tenant = (i % 2) != 0 ? "tenant-odd" : "tenant-even";
+        req.payload = serve::PayloadView(p, sizeof(p));
+        req.traceId = i;
+        router.submit(req).wait();
+    }
+
+    auto const reports = plane.shutdown();
+    EXPECT_EQ(reports.size(), 2U);
+
+    auto const recordedDelta = trace::recordedTotal() - recordedBefore;
+    auto const droppedDelta = trace::droppedTotal() - droppedBefore;
+    EXPECT_GT(recordedDelta, 0U) << "the traced run must have recorded";
+    // The identity across shutdown: drained + ring-dropped covers every
+    // recording attempt, and the drained side alone covers every event
+    // the rings actually published.
+    EXPECT_EQ(plane.collector().drainedTotal(), recordedDelta);
+    EXPECT_EQ(plane.collector().drainedTotal() + droppedDelta, recordedDelta + droppedDelta);
+    // Dry means dry: a post-shutdown poll finds nothing new.
+    EXPECT_EQ(plane.collector().poll().events, 0U);
 }
 
 //! Collector vs producers under race (the TSan lane target): counts

@@ -94,14 +94,48 @@ TEST(Registry, ExpositionShape)
     reg.histogram("lat", h.counts());
 
     auto const text = reg.exposition();
-    EXPECT_NE(text.find("# counter hits\n"), std::string::npos);
-    EXPECT_NE(text.find("hits 41\n"), std::string::npos);
-    EXPECT_NE(text.find("hits{shard=1} 1\n"), std::string::npos);
-    EXPECT_NE(text.find("# gauge ratio\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE hits_total counter\n"), std::string::npos);
+    EXPECT_NE(text.find("hits_total 41\n"), std::string::npos);
+    EXPECT_NE(text.find("hits_total{shard=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE ratio gauge\n"), std::string::npos);
     EXPECT_NE(text.find("ratio 0.5\n"), std::string::npos);
-    EXPECT_NE(text.find("# histogram lat\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lat_count counter\n"), std::string::npos);
     EXPECT_NE(text.find("lat_count 1\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lat_max_us gauge\n"), std::string::npos);
     EXPECT_NE(text.find("lat_max_us 100\n"), std::string::npos);
+}
+
+//! The conformance satellite's pin: label values escaped (backslash,
+//! quote, newline), `# TYPE` once per family however samples
+//! interleave, counters suffixed `_total` (histogram `_count` exempt,
+//! per the histogram convention).
+TEST(Registry, ExpositionConformance)
+{
+    obs::Registry reg;
+    reg.counter("ops", 1, "path=a\\b");
+    reg.gauge("interleaved", 1.0);
+    reg.counter("ops", 2, "path=say \"hi\"");
+    reg.counter("ops", 3, "path=two\nlines");
+
+    auto const text = reg.exposition();
+    EXPECT_NE(text.find("ops_total{path=\"a\\\\b\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("ops_total{path=\"say \\\"hi\\\"\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("ops_total{path=\"two\\nlines\"} 3\n"), std::string::npos);
+    // No raw newline may survive inside a label value.
+    EXPECT_EQ(text.find("two\nlines"), std::string::npos);
+
+    // TYPE lines are unique per family even though `interleaved` split
+    // the ops samples.
+    std::size_t typeLines = 0;
+    for(std::size_t at = text.find("# TYPE ops_total counter\n"); at != std::string::npos;
+        at = text.find("# TYPE ops_total counter\n", at + 1))
+        ++typeLines;
+    EXPECT_EQ(typeLines, 1U);
+
+    // Multi-key label sets render each value quoted.
+    obs::Registry multi;
+    multi.counter("m", 1, "shard=0,dev=cpu");
+    EXPECT_NE(multi.exposition().find("m_total{shard=\"0\",dev=\"cpu\"} 1\n"), std::string::npos);
 }
 
 TEST(Registry, CollectServiceStatsMapsEveryCounter)
